@@ -1,0 +1,71 @@
+// Figure 5: full pipeline runtime — ETL plus query plus *on-the-fly*
+// index construction — optimized DeepLens (DL) vs baseline (BL). Several
+// queries win even when the index is built inside the query (paper §7.3).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/benchmark_queries.h"
+
+namespace deeplens {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 5: pipeline runtime incl. on-the-fly indexing",
+              "paper Fig. 5 (DL vs BL with ETL and index build included)");
+
+  WorkloadConfig config;
+  const int scale = BenchScale();
+  config.traffic.num_frames = 480 * scale;
+  config.football.frames_per_video = 20 * scale;
+  config.pc.num_images = 260 * scale;
+  config.pc.num_duplicates = 26;
+  config.pc.num_text_images = 50;
+
+  ScratchDir scratch("dl_fig5");
+  auto workload = BenchmarkWorkload::Create(scratch.path(), config);
+  DL_CHECK_OK(workload.status());
+  EtlTimings etl;
+  DL_CHECK_OK((*workload)->RunEtl(nullptr, &etl));
+  const double etl_ms = etl.total();
+
+  // BL: no persistent indexes, baseline operators. DL: optimized plans;
+  // q1's Ball-Tree is built on the fly *inside* the query (its build time
+  // is part of the measured query time); the metadata indexes are built
+  // here and charged to the DL total.
+  double bl_query[6], dl_query[6];
+  DL_CHECK_OK((*workload)->DropAllIndexes());
+  for (int q = 1; q <= 6; ++q) {
+    auto run = (*workload)->RunQuery(q, false);
+    DL_CHECK_OK(run.status());
+    bl_query[q - 1] = run->millis;
+  }
+  auto build_ms = (*workload)->BuildOptimizedIndexes();
+  DL_CHECK_OK(build_ms.status());
+  for (int q = 1; q <= 6; ++q) {
+    auto run = (*workload)->RunQuery(q, true);
+    DL_CHECK_OK(run.status());
+    dl_query[q - 1] = run->millis;
+  }
+
+  std::printf("shared ETL: %.0f ms; DL index build: %.1f ms\n\n", etl_ms,
+              *build_ms);
+  std::printf("%-4s %16s %16s %10s\n", "q", "BL_total_ms", "DL_total_ms",
+              "speedup");
+  for (int q = 1; q <= 6; ++q) {
+    const double bl = etl_ms + bl_query[q - 1];
+    const double dl = etl_ms + *build_ms + dl_query[q - 1];
+    std::printf("q%-3d %16.1f %16.1f %9.2fx\n", q, bl, dl, bl / dl);
+  }
+  std::printf(
+      "\nexpected shape: indexing overhead is small relative to the\n"
+      "compute-intensive ETL, so DL wins or ties even with index builds\n"
+      "charged to the query (paper: q1 ~5x, q4 ~3.5x at paper scale).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deeplens
+
+int main() { return deeplens::bench::Run(); }

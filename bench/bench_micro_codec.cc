@@ -1,0 +1,87 @@
+// Micro-benchmarks for the codec substrate: LJPG encode/decode per
+// quality, DLV1 I- vs P-frame cost, and the DCT kernel — the constants
+// behind the storage advisor's cost model.
+#include <benchmark/benchmark.h>
+
+#include "codec/dct.h"
+#include "codec/image_codec.h"
+#include "codec/video_codec.h"
+#include "common/rng.h"
+
+namespace deeplens {
+namespace codec {
+namespace {
+
+Image BenchFrame(int w, int h, uint64_t seed) {
+  Image img(w, h, 3);
+  Rng rng(seed);
+  for (auto& b : img.bytes()) {
+    b = static_cast<uint8_t>(110 + rng.NextU64Below(24));
+  }
+  return img;
+}
+
+void BM_Dct8x8(benchmark::State& state) {
+  Rng rng(1);
+  float block[kBlockArea], out[kBlockArea];
+  for (float& v : block) v = static_cast<float>(rng.NextGaussian() * 20);
+  for (auto _ : state) {
+    ForwardDct8x8(block, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Dct8x8);
+
+void BM_LjpgEncode(benchmark::State& state) {
+  const Image img = BenchFrame(128, 72, 2);
+  const auto quality = static_cast<Quality>(state.range(0));
+  for (auto _ : state) {
+    auto bytes = EncodeImage(img, quality);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetLabel(QualityName(quality));
+}
+BENCHMARK(BM_LjpgEncode)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LjpgDecode(benchmark::State& state) {
+  const Image img = BenchFrame(128, 72, 3);
+  const auto bytes = EncodeImage(img, Quality::kHigh);
+  for (auto _ : state) {
+    auto decoded = DecodeImage(Slice(bytes));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_LjpgDecode);
+
+void BM_VideoEncodeGop(benchmark::State& state) {
+  // Cost per frame as GOP size varies: GOP 1 = all-intra.
+  const int gop = static_cast<int>(state.range(0));
+  std::vector<Image> frames;
+  for (int f = 0; f < 16; ++f) frames.push_back(BenchFrame(128, 72, 4));
+  VideoCodecOptions options;
+  options.gop_size = gop;
+  for (auto _ : state) {
+    auto stream = EncodeVideo(frames, options);
+    benchmark::DoNotOptimize(stream);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_VideoEncodeGop)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_VideoSequentialDecode(benchmark::State& state) {
+  std::vector<Image> frames;
+  for (int f = 0; f < 32; ++f) frames.push_back(BenchFrame(128, 72, 5));
+  auto stream = EncodeVideo(frames, VideoCodecOptions{});
+  for (auto _ : state) {
+    auto decoded = DecodeVideo(Slice(*stream));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_VideoSequentialDecode);
+
+}  // namespace
+}  // namespace codec
+}  // namespace deeplens
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Micro-benchmarks for the index structures: point lookups, range scans,
+// and similarity probes — the per-operation constants behind Figure 4.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "index/balltree.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/rtree.h"
+
+namespace deeplens {
+namespace {
+
+void BM_HashLookup(benchmark::State& state) {
+  HashIndex index;
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    index.Insert(Slice(EncodeKeyU64(i)), static_cast<RowId>(i));
+  }
+  Rng rng(1);
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    out.clear();
+    index.Lookup(Slice(EncodeKeyU64(rng.NextU64Below(n))), &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HashLookup)->Arg(1000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BPlusTree tree;
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Insert(Slice(EncodeKeyU64(i)), static_cast<RowId>(i));
+  }
+  Rng rng(2);
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.Lookup(Slice(EncodeKeyU64(rng.NextU64Below(n))), &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000);
+
+void BM_BTreeRangeScan100(benchmark::State& state) {
+  BPlusTree tree;
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Insert(Slice(EncodeKeyU64(i)), static_cast<RowId>(i));
+  }
+  Rng rng(3);
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    out.clear();
+    const uint64_t lo = rng.NextU64Below(n - 100);
+    tree.RangeScan(Slice(EncodeKeyU64(lo)), Slice(EncodeKeyU64(lo + 99)),
+                   &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BTreeRangeScan100);
+
+void BM_RTreeIntersects(benchmark::State& state) {
+  RTree tree;
+  Rng rng(4);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(0, 1000));
+    const float y = static_cast<float>(rng.NextUniform(0, 1000));
+    tree.Insert(Rect{x, y, x + 10, y + 10}, static_cast<RowId>(i));
+  }
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    out.clear();
+    const float x = static_cast<float>(rng.NextUniform(0, 1000));
+    const float y = static_cast<float>(rng.NextUniform(0, 1000));
+    tree.SearchIntersects(Rect{x, y, x + 20, y + 20}, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RTreeIntersects)->Arg(1000)->Arg(50000);
+
+void BM_BallTreeRangeSearch(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<float> points(n * dim);
+  for (auto& v : points) v = static_cast<float>(rng.NextGaussian());
+  BallTree tree;
+  DL_CHECK_OK(tree.Build(std::move(points), dim, {}));
+  std::vector<float> query(dim);
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    for (auto& v : query) v = static_cast<float>(rng.NextGaussian());
+    out.clear();
+    tree.RangeSearch(query.data(), dim <= 4 ? 0.3f : 6.0f, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_BallTreeRangeSearch)
+    ->Args({10000, 3})
+    ->Args({10000, 64})
+    ->Args({100000, 3});
+
+}  // namespace
+}  // namespace deeplens
+
+BENCHMARK_MAIN();

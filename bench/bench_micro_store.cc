@@ -1,0 +1,104 @@
+// Micro-benchmarks for the record store: put/get/scan throughput and
+// reopen (log replay) cost.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "storage/record_store.h"
+
+namespace deeplens {
+namespace {
+
+std::string ScratchPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("dl_micro_store_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+void BM_RecordStorePut(benchmark::State& state) {
+  const std::string path = ScratchPath("put");
+  std::filesystem::remove(path);
+  auto store = RecordStore::Open(path);
+  std::vector<uint8_t> value(static_cast<size_t>(state.range(0)), 0x5A);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*store)->Put(Slice(EncodeKeyU64(key++)), Slice(value)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  store->reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RecordStorePut)->Arg(128)->Arg(4096)->Arg(65536);
+
+void BM_RecordStoreGet(benchmark::State& state) {
+  const std::string path = ScratchPath("get");
+  std::filesystem::remove(path);
+  auto store = RecordStore::Open(path);
+  std::vector<uint8_t> value(4096, 0x5A);
+  const uint64_t n = 2000;
+  for (uint64_t k = 0; k < n; ++k) {
+    DL_CHECK_OK((*store)->Put(Slice(EncodeKeyU64(k)), Slice(value)));
+  }
+  DL_CHECK_OK((*store)->Flush());
+  Rng rng(7);
+  for (auto _ : state) {
+    auto got = (*store)->Get(Slice(EncodeKeyU64(rng.NextU64Below(n))));
+    benchmark::DoNotOptimize(got);
+  }
+  store->reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RecordStoreGet);
+
+void BM_RecordStoreScan(benchmark::State& state) {
+  const std::string path = ScratchPath("scan");
+  std::filesystem::remove(path);
+  auto store = RecordStore::Open(path);
+  std::vector<uint8_t> value(512, 0x5A);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    DL_CHECK_OK((*store)->Put(Slice(EncodeKeyU64(k)), Slice(value)));
+  }
+  for (auto _ : state) {
+    uint64_t count = 0;
+    DL_CHECK_OK((*store)->Scan(Slice(EncodeKeyU64(1000)),
+                               Slice(EncodeKeyU64(1999)),
+                               [&](const Slice&, const Slice&) {
+                                 ++count;
+                                 return true;
+                               }));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  store->reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RecordStoreScan);
+
+void BM_RecordStoreReplay(benchmark::State& state) {
+  const std::string path = ScratchPath("replay");
+  std::filesystem::remove(path);
+  {
+    auto store = RecordStore::Open(path);
+    std::vector<uint8_t> value(256, 0x11);
+    for (uint64_t k = 0; k < static_cast<uint64_t>(state.range(0)); ++k) {
+      DL_CHECK_OK((*store)->Put(Slice(EncodeKeyU64(k)), Slice(value)));
+    }
+  }
+  for (auto _ : state) {
+    auto store = RecordStore::Open(path);
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RecordStoreReplay)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace deeplens
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table 1: accuracy vs runtime for the two execution orders of q4.
+//   Patch, Filter, Match — filter pushdown (classical optimization)
+//   Patch, Match, Filter — match everything first, filter pairs after
+// The paper's counter-intuitive finding: pushing the filter down *hurts
+// accuracy* because weak detections of real pedestrians are dropped
+// before matching can link them to their identity (§7.4.3).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/benchmark_queries.h"
+
+namespace deeplens {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 1: q4 plan order — accuracy vs runtime",
+              "paper Tab. 1 (filter pushdown changes the accuracy profile)");
+
+  WorkloadConfig config;
+  config.traffic.num_frames = 600 * BenchScale();
+  config.traffic.num_pedestrians = 16;
+  config.football.num_videos = 1;
+  config.football.frames_per_video = 2;
+  config.pc.num_images = 8;
+  config.pc.num_duplicates = 2;
+  config.pc.num_text_images = 2;
+
+  ScratchDir scratch("dl_tab1");
+  auto workload = BenchmarkWorkload::Create(scratch.path(), config);
+  DL_CHECK_OK(workload.status());
+  DL_CHECK_OK((*workload)->RunEtl(nullptr, nullptr));
+
+  auto filter_first = (*workload)->RunQ4PlanOrder(true);
+  DL_CHECK_OK(filter_first.status());
+  auto match_first = (*workload)->RunQ4PlanOrder(false);
+  DL_CHECK_OK(match_first.status());
+
+  std::printf("%-24s %8s %10s %12s\n", "execution method", "recall",
+              "precision", "runtime_ms");
+  std::printf("%-24s %8.2f %10.2f %12.2f\n", "Patch, Filter, Match",
+              filter_first->recall, filter_first->precision,
+              filter_first->runtime_ms);
+  std::printf("%-24s %8.2f %10.2f %12.2f\n", "Patch, Match, Filter",
+              match_first->recall, match_first->precision,
+              match_first->runtime_ms);
+  std::printf(
+      "\npaper reference:      recall  precision  runtime\n"
+      "Patch, Filter, Match    0.73       0.97    34.56\n"
+      "Patch, Match, Filter    0.82       0.98    62.11\n"
+      "\nexpected shape: match-before-filter has higher recall at higher\n"
+      "runtime — filter pushdown is not accuracy-neutral in a VDMS.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deeplens
+
+int main() { return deeplens::bench::Run(); }

@@ -1,0 +1,90 @@
+#include "codec/dct.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace deeplens {
+namespace codec {
+
+namespace {
+
+// Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1)u*pi/16) where
+// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8). Orthonormal so the inverse is the
+// transpose.
+struct DctBasis {
+  float m[kBlockSize][kBlockSize];
+  DctBasis() {
+    const double pi = 3.14159265358979323846;
+    for (int u = 0; u < kBlockSize; ++u) {
+      const double cu = u == 0 ? std::sqrt(1.0 / kBlockSize)
+                               : std::sqrt(2.0 / kBlockSize);
+      for (int x = 0; x < kBlockSize; ++x) {
+        m[u][x] = static_cast<float>(
+            cu * std::cos((2 * x + 1) * u * pi / (2 * kBlockSize)));
+      }
+    }
+  }
+};
+
+const DctBasis& Basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+}  // namespace
+
+void ForwardDct8x8(const float* in, float* out) {
+  const DctBasis& b = Basis();
+  float tmp[kBlockArea];
+  // Rows: tmp[y][u] = sum_x in[y][x] * basis[u][x]
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      float s = 0.0f;
+      for (int x = 0; x < kBlockSize; ++x) {
+        s += in[y * kBlockSize + x] * b.m[u][x];
+      }
+      tmp[y * kBlockSize + u] = s;
+    }
+  }
+  // Columns: out[v][u] = sum_y tmp[y][u] * basis[v][y]
+  float result[kBlockArea];
+  for (int v = 0; v < kBlockSize; ++v) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      float s = 0.0f;
+      for (int y = 0; y < kBlockSize; ++y) {
+        s += tmp[y * kBlockSize + u] * b.m[v][y];
+      }
+      result[v * kBlockSize + u] = s;
+    }
+  }
+  std::memcpy(out, result, sizeof(result));
+}
+
+void InverseDct8x8(const float* in, float* out) {
+  const DctBasis& b = Basis();
+  float tmp[kBlockArea];
+  // Columns first (transpose of forward).
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      float s = 0.0f;
+      for (int v = 0; v < kBlockSize; ++v) {
+        s += in[v * kBlockSize + u] * b.m[v][y];
+      }
+      tmp[y * kBlockSize + u] = s;
+    }
+  }
+  float result[kBlockArea];
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      float s = 0.0f;
+      for (int u = 0; u < kBlockSize; ++u) {
+        s += tmp[y * kBlockSize + u] * b.m[u][x];
+      }
+      result[y * kBlockSize + x] = s;
+    }
+  }
+  std::memcpy(out, result, sizeof(result));
+}
+
+}  // namespace codec
+}  // namespace deeplens

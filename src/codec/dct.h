@@ -1,0 +1,22 @@
+// 8×8 type-II discrete cosine transform used by the LJPG image codec and
+// the DLV1 video codec. Forward/inverse pair is orthonormal: applying
+// Forward then Inverse reproduces the input up to float rounding.
+#pragma once
+
+namespace deeplens {
+namespace codec {
+
+/// Side length of a transform block.
+inline constexpr int kBlockSize = 8;
+/// Number of coefficients in a block.
+inline constexpr int kBlockArea = kBlockSize * kBlockSize;
+
+/// In-place-safe forward 8×8 DCT-II. `in` and `out` are row-major 64-float
+/// arrays and may alias.
+void ForwardDct8x8(const float* in, float* out);
+
+/// Inverse 8×8 DCT (DCT-III with orthonormal scaling).
+void InverseDct8x8(const float* in, float* out);
+
+}  // namespace codec
+}  // namespace deeplens

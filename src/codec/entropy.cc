@@ -1,0 +1,87 @@
+#include "codec/entropy.h"
+
+#include <cstring>
+
+namespace deeplens {
+namespace codec {
+
+namespace {
+
+struct Zigzag {
+  int order[kBlockArea];
+  Zigzag() {
+    int idx = 0;
+    for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
+      if (s % 2 == 0) {
+        // Walk up-right.
+        for (int y = (s < kBlockSize ? s : kBlockSize - 1);
+             y >= 0 && s - y < kBlockSize; --y) {
+          order[idx++] = y * kBlockSize + (s - y);
+        }
+      } else {
+        for (int x = (s < kBlockSize ? s : kBlockSize - 1);
+             x >= 0 && s - x < kBlockSize; --x) {
+          order[idx++] = (s - x) * kBlockSize + x;
+        }
+      }
+    }
+  }
+};
+
+const Zigzag& Z() {
+  static const Zigzag z;
+  return z;
+}
+
+}  // namespace
+
+const int* ZigzagOrder() { return Z().order; }
+
+void EncodeBlock(const int32_t* qcoeffs, ByteBuffer* out) {
+  // Scan in zigzag order emitting (zero_run, value) pairs; a trailing
+  // all-zero suffix is encoded as a single end-of-block marker (run=63,
+  // value=0 disambiguated by position).
+  const int* order = ZigzagOrder();
+  int32_t scanned[kBlockArea];
+  for (int i = 0; i < kBlockArea; ++i) scanned[i] = qcoeffs[order[i]];
+
+  int last_nonzero = -1;
+  for (int i = 0; i < kBlockArea; ++i) {
+    if (scanned[i] != 0) last_nonzero = i;
+  }
+  // Number of scan positions that carry data.
+  out->PutU8(static_cast<uint8_t>(last_nonzero + 1));
+  int i = 0;
+  while (i <= last_nonzero) {
+    int run = 0;
+    while (scanned[i] == 0) {
+      ++run;
+      ++i;
+    }
+    out->PutVarint(static_cast<uint64_t>(run));
+    out->PutSignedVarint(scanned[i]);
+    ++i;
+  }
+}
+
+Status DecodeBlock(ByteReader* reader, int32_t* qcoeffs) {
+  std::memset(qcoeffs, 0, kBlockArea * sizeof(int32_t));
+  DL_ASSIGN_OR_RETURN(uint8_t count, reader->GetU8());
+  if (count > kBlockArea) {
+    return Status::Corruption("entropy block count out of range");
+  }
+  const int* order = ZigzagOrder();
+  int i = 0;
+  while (i < count) {
+    DL_ASSIGN_OR_RETURN(uint64_t run, reader->GetVarint());
+    i += static_cast<int>(run);
+    if (i >= count) return Status::Corruption("entropy run overflows block");
+    DL_ASSIGN_OR_RETURN(int64_t value, reader->GetSignedVarint());
+    qcoeffs[order[i]] = static_cast<int32_t>(value);
+    ++i;
+  }
+  return Status::OK();
+}
+
+}  // namespace codec
+}  // namespace deeplens

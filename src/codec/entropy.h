@@ -1,0 +1,24 @@
+// Entropy coding for quantized DCT blocks: zigzag reordering followed by a
+// zero-run-length + zigzag-varint code. Smooth synthetic content produces
+// long zero runs, which is where the 20–50× compression comes from.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/dct.h"
+#include "common/bytes.h"
+
+namespace deeplens {
+namespace codec {
+
+/// Zigzag scan order for an 8×8 block (maps block index → scan position).
+const int* ZigzagOrder();
+
+/// Encodes 64 quantized coefficients into `out` (appends).
+void EncodeBlock(const int32_t* qcoeffs, ByteBuffer* out);
+
+/// Decodes one block from `reader` into `qcoeffs` (64 entries).
+Status DecodeBlock(ByteReader* reader, int32_t* qcoeffs);
+
+}  // namespace codec
+}  // namespace deeplens

@@ -1,0 +1,220 @@
+#include "codec/image_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "codec/dct.h"
+#include "codec/entropy.h"
+
+namespace deeplens {
+namespace codec {
+
+namespace {
+
+constexpr uint16_t kLjpgMagic = 0xD11E;
+constexpr uint16_t kRawMagic = 0xD1AA;
+
+// Extracts one 8×8 block of channel `c` starting at (bx*8, by*8), centered
+// to [-128, 127]; out-of-bounds pixels replicate the edge.
+void ExtractBlock(const Image& img, int c, int bx, int by, float* block) {
+  const int w = img.width();
+  const int h = img.height();
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int sy = std::min(by * kBlockSize + y, h - 1);
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int sx = std::min(bx * kBlockSize + x, w - 1);
+      block[y * kBlockSize + x] =
+          static_cast<float>(img.At(sx, sy, c)) - 128.0f;
+    }
+  }
+}
+
+void StoreBlock(Image* img, int c, int bx, int by, const float* block) {
+  const int w = img->width();
+  const int h = img->height();
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int dy = by * kBlockSize + y;
+    if (dy >= h) break;
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int dx = bx * kBlockSize + x;
+      if (dx >= w) break;
+      const float v = block[y * kBlockSize + x] + 128.0f;
+      img->At(dx, dy, c) =
+          static_cast<uint8_t>(std::clamp(v, 0.0f, 255.0f));
+    }
+  }
+}
+
+// Residual variants work on signed differences (no 128 centering).
+void ExtractResidualBlock(const Image& img, const Image& pred, int c, int bx,
+                          int by, float* block) {
+  const int w = img.width();
+  const int h = img.height();
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int sy = std::min(by * kBlockSize + y, h - 1);
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int sx = std::min(bx * kBlockSize + x, w - 1);
+      block[y * kBlockSize + x] =
+          static_cast<float>(img.At(sx, sy, c)) -
+          static_cast<float>(pred.At(sx, sy, c));
+    }
+  }
+}
+
+void StoreResidualBlock(Image* img, const Image& pred, int c, int bx, int by,
+                        const float* block) {
+  const int w = img->width();
+  const int h = img->height();
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int dy = by * kBlockSize + y;
+    if (dy >= h) break;
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int dx = bx * kBlockSize + x;
+      if (dx >= w) break;
+      const float v =
+          block[y * kBlockSize + x] + static_cast<float>(pred.At(dx, dy, c));
+      img->At(dx, dy, c) =
+          static_cast<uint8_t>(std::clamp(v, 0.0f, 255.0f));
+    }
+  }
+}
+
+int BlocksAlong(int extent) {
+  return (extent + kBlockSize - 1) / kBlockSize;
+}
+
+}  // namespace
+
+void EncodePlanesInto(const Image& img, Quality q, ByteBuffer* out) {
+  const int bw = BlocksAlong(img.width());
+  const int bh = BlocksAlong(img.height());
+  float block[kBlockArea];
+  float coeffs[kBlockArea];
+  int32_t qcoeffs[kBlockArea];
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        ExtractBlock(img, c, bx, by, block);
+        ForwardDct8x8(block, coeffs);
+        QuantizeBlock(coeffs, q, qcoeffs);
+        EncodeBlock(qcoeffs, out);
+      }
+    }
+  }
+}
+
+Result<Image> DecodePlanes(ByteReader* reader, int width, int height,
+                           int channels, Quality q) {
+  Image img(width, height, channels);
+  const int bw = BlocksAlong(width);
+  const int bh = BlocksAlong(height);
+  int32_t qcoeffs[kBlockArea];
+  float coeffs[kBlockArea];
+  float block[kBlockArea];
+  for (int c = 0; c < channels; ++c) {
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        DL_RETURN_NOT_OK(DecodeBlock(reader, qcoeffs));
+        DequantizeBlock(qcoeffs, q, coeffs);
+        InverseDct8x8(coeffs, block);
+        StoreBlock(&img, c, bx, by, block);
+      }
+    }
+  }
+  return img;
+}
+
+std::vector<uint8_t> EncodeImage(const Image& img, Quality q) {
+  ByteBuffer out;
+  out.PutU16(kLjpgMagic);
+  out.PutU32(static_cast<uint32_t>(img.width()));
+  out.PutU32(static_cast<uint32_t>(img.height()));
+  out.PutU8(static_cast<uint8_t>(img.channels()));
+  out.PutU8(static_cast<uint8_t>(q));
+  EncodePlanesInto(img, q, &out);
+  return out.Release();
+}
+
+Result<Image> DecodeImage(const Slice& bytes) {
+  ByteReader reader(bytes);
+  DL_ASSIGN_OR_RETURN(uint16_t magic, reader.GetU16());
+  if (magic != kLjpgMagic) {
+    return Status::Corruption("not an LJPG stream");
+  }
+  DL_ASSIGN_OR_RETURN(uint32_t w, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t h, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint8_t c, reader.GetU8());
+  DL_ASSIGN_OR_RETURN(uint8_t q, reader.GetU8());
+  if (q > 2) return Status::Corruption("bad quality byte");
+  return DecodePlanes(&reader, static_cast<int>(w), static_cast<int>(h),
+                      static_cast<int>(c), static_cast<Quality>(q));
+}
+
+std::vector<uint8_t> SerializeRawImage(const Image& img) {
+  ByteBuffer out;
+  out.PutU16(kRawMagic);
+  out.PutU32(static_cast<uint32_t>(img.width()));
+  out.PutU32(static_cast<uint32_t>(img.height()));
+  out.PutU8(static_cast<uint8_t>(img.channels()));
+  out.PutBytes(img.data(), img.size_bytes());
+  return out.Release();
+}
+
+Result<Image> DeserializeRawImage(const Slice& bytes) {
+  ByteReader reader(bytes);
+  DL_ASSIGN_OR_RETURN(uint16_t magic, reader.GetU16());
+  if (magic != kRawMagic) {
+    return Status::Corruption("not a RAW image record");
+  }
+  DL_ASSIGN_OR_RETURN(uint32_t w, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t h, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint8_t c, reader.GetU8());
+  Image img(static_cast<int>(w), static_cast<int>(h), static_cast<int>(c));
+  DL_ASSIGN_OR_RETURN(Slice pixels, reader.GetBytes(img.size_bytes()));
+  std::memcpy(img.data(), pixels.data(), img.size_bytes());
+  return img;
+}
+
+void EncodeResidualInto(const Image& img, const Image& pred, Quality q,
+                        ByteBuffer* out) {
+  const int bw = BlocksAlong(img.width());
+  const int bh = BlocksAlong(img.height());
+  float block[kBlockArea];
+  float coeffs[kBlockArea];
+  int32_t qcoeffs[kBlockArea];
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        ExtractResidualBlock(img, pred, c, bx, by, block);
+        ForwardDct8x8(block, coeffs);
+        QuantizeBlock(coeffs, q, qcoeffs);
+        EncodeBlock(qcoeffs, out);
+      }
+    }
+  }
+}
+
+Result<Image> DecodeResidualOnto(ByteReader* reader, const Image& pred,
+                                 Quality q) {
+  Image img(pred.width(), pred.height(), pred.channels());
+  const int bw = BlocksAlong(pred.width());
+  const int bh = BlocksAlong(pred.height());
+  int32_t qcoeffs[kBlockArea];
+  float coeffs[kBlockArea];
+  float block[kBlockArea];
+  for (int c = 0; c < pred.channels(); ++c) {
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        DL_RETURN_NOT_OK(DecodeBlock(reader, qcoeffs));
+        DequantizeBlock(qcoeffs, q, coeffs);
+        InverseDct8x8(coeffs, block);
+        StoreResidualBlock(&img, pred, c, bx, by, block);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace codec
+}  // namespace deeplens

@@ -1,0 +1,45 @@
+// LJPG: the DeepLens intra-frame (single image) lossy codec. JPEG-shaped:
+// per-channel 8×8 block DCT → quantize → zigzag-RLE entropy code. Also
+// provides lossless raw serialization for the RAW storage format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/quant.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+namespace codec {
+
+/// Encodes `img` at the given quality. Output layout:
+///   magic(u16) w(u32) h(u32) c(u8) quality(u8) blocks...
+std::vector<uint8_t> EncodeImage(const Image& img, Quality q);
+
+/// Decodes an LJPG byte stream produced by EncodeImage.
+Result<Image> DecodeImage(const Slice& bytes);
+
+/// Lossless raw serialization: header + verbatim pixels.
+std::vector<uint8_t> SerializeRawImage(const Image& img);
+Result<Image> DeserializeRawImage(const Slice& bytes);
+
+/// Encodes the *residual* between `img` and `pred` (P-frame block path used
+/// by the video codec). Residuals are signed; the DCT operates on the
+/// signed difference directly.
+void EncodeResidualInto(const Image& img, const Image& pred, Quality q,
+                        ByteBuffer* out);
+
+/// Applies a residual stream on top of `pred`, producing the reconstructed
+/// image. `pred`'s dimensions determine the output.
+Result<Image> DecodeResidualOnto(ByteReader* reader, const Image& pred,
+                                 Quality q);
+
+/// Encodes image planes (no header) into `out`; used by both paths.
+void EncodePlanesInto(const Image& img, Quality q, ByteBuffer* out);
+Result<Image> DecodePlanes(ByteReader* reader, int width, int height,
+                           int channels, Quality q);
+
+}  // namespace codec
+}  // namespace deeplens

@@ -1,0 +1,88 @@
+#include "codec/quant.h"
+
+#include <cmath>
+
+namespace deeplens {
+namespace codec {
+
+namespace {
+
+// JPEG Annex K luminance table — the de-facto base for block-DCT codecs.
+constexpr float kBaseTable[kBlockArea] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+// Scale factors chosen so that High is near-lossless on smooth content,
+// Medium shows mild loss, and Low visibly degrades small objects — the
+// accuracy profile Figure 2 reports.
+float QualityScale(Quality q) {
+  switch (q) {
+    case Quality::kHigh:
+      return 0.25f;
+    case Quality::kMedium:
+      return 2.0f;
+    case Quality::kLow:
+      return 20.0f;
+  }
+  return 1.0f;
+}
+
+struct Tables {
+  float t[3][kBlockArea];
+  Tables() {
+    for (int qi = 0; qi < 3; ++qi) {
+      const float scale = QualityScale(static_cast<Quality>(qi));
+      for (int i = 0; i < kBlockArea; ++i) {
+        float v = kBaseTable[i] * scale;
+        if (v < 1.0f) v = 1.0f;
+        t[qi][i] = v;
+      }
+    }
+  }
+};
+
+const Tables& AllTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+const char* QualityName(Quality q) {
+  switch (q) {
+    case Quality::kHigh:
+      return "high";
+    case Quality::kMedium:
+      return "medium";
+    case Quality::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+const float* QuantTable(Quality q) {
+  return AllTables().t[static_cast<int>(q)];
+}
+
+void QuantizeBlock(const float* coeffs, Quality q, int32_t* out) {
+  const float* table = QuantTable(q);
+  for (int i = 0; i < kBlockArea; ++i) {
+    out[i] = static_cast<int32_t>(std::lround(coeffs[i] / table[i]));
+  }
+}
+
+void DequantizeBlock(const int32_t* qcoeffs, Quality q, float* out) {
+  const float* table = QuantTable(q);
+  for (int i = 0; i < kBlockArea; ++i) {
+    out[i] = static_cast<float>(qcoeffs[i]) * table[i];
+  }
+}
+
+}  // namespace codec
+}  // namespace deeplens

@@ -1,0 +1,30 @@
+// Quantization tables for the DCT codecs. Quality maps to a scale applied
+// to a JPEG-like base table: higher quality → finer quantization → larger
+// files and less loss. These three levels are the paper's High/Medium/Low
+// encodings (Figure 2).
+#pragma once
+
+#include <cstdint>
+
+#include "codec/dct.h"
+
+namespace deeplens {
+namespace codec {
+
+/// Lossy-encoding quality levels (paper Figure 2: High / Medium / Low).
+enum class Quality : uint8_t { kHigh = 0, kMedium = 1, kLow = 2 };
+
+const char* QualityName(Quality q);
+
+/// Returns the 64-entry quantization table for a quality level. Entries
+/// are >= 1.
+const float* QuantTable(Quality q);
+
+/// Quantizes DCT coefficients: out[i] = round(in[i] / table[i]).
+void QuantizeBlock(const float* coeffs, Quality q, int32_t* out);
+
+/// Dequantizes: out[i] = in[i] * table[i].
+void DequantizeBlock(const int32_t* qcoeffs, Quality q, float* out);
+
+}  // namespace codec
+}  // namespace deeplens

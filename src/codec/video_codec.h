@@ -1,0 +1,94 @@
+// DLV1: the DeepLens inter-frame video codec — the stand-in for H.264 in
+// the paper's experiments. The stream is a sequence of GOPs: an I-frame
+// (intra, LJPG planes) followed by P-frames (DCT-coded residuals against
+// the previously *reconstructed* frame). Decoding is strictly sequential
+// within a GOP, which is exactly the property that precludes temporal
+// filter push-down (paper §3.1, Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "codec/image_codec.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+namespace codec {
+
+/// Stream-level parameters.
+struct VideoCodecOptions {
+  Quality quality = Quality::kHigh;
+  /// Keyframe interval: 1 = all-intra; large values maximize compression
+  /// but force long sequential decodes.
+  int gop_size = 32;
+};
+
+/// \brief Incremental encoder. Feed frames in order, then Finish().
+class VideoEncoder {
+ public:
+  explicit VideoEncoder(VideoCodecOptions options);
+
+  /// Appends a frame. All frames must share dimensions with the first.
+  Status AddFrame(const Image& frame);
+
+  /// Completes the stream and returns the encoded bytes.
+  std::vector<uint8_t> Finish();
+
+  int num_frames() const { return num_frames_; }
+
+ private:
+  VideoCodecOptions options_;
+  ByteBuffer body_;
+  Image prev_reconstructed_;
+  int num_frames_ = 0;
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+};
+
+/// \brief Sequential decoder over a DLV1 stream. NextFrame() yields frames
+/// in order; there is deliberately no random access (a Seek is a decode
+/// of everything before the target).
+class VideoDecoder {
+ public:
+  /// The slice must outlive the decoder.
+  explicit VideoDecoder(Slice stream);
+
+  /// Validates the header; must be called before NextFrame().
+  Status Init();
+
+  int num_frames() const { return num_frames_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int frames_decoded() const { return next_frame_; }
+
+  /// Decodes the next frame; OutOfRange at end of stream.
+  Result<Image> NextFrame();
+
+  /// Decodes (and discards) frames until frame `target` is produced.
+  /// This is the "sequential scan" cost that encoded files pay for
+  /// temporal predicates.
+  Result<Image> SeekDecode(int target);
+
+ private:
+  Slice stream_;
+  ByteReader reader_;
+  VideoCodecOptions options_;
+  Image prev_;
+  int num_frames_ = 0;
+  int next_frame_ = 0;
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  bool initialized_ = false;
+};
+
+/// One-shot helpers.
+Result<std::vector<uint8_t>> EncodeVideo(const std::vector<Image>& frames,
+                                         VideoCodecOptions options);
+Result<std::vector<Image>> DecodeVideo(const Slice& stream);
+
+}  // namespace codec
+}  // namespace deeplens

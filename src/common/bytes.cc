@@ -1,0 +1,172 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+namespace deeplens {
+
+namespace {
+Status Underflow(const char* what) {
+  return Status::Corruption(std::string("byte reader underflow reading ") +
+                            what);
+}
+}  // namespace
+
+void ByteBuffer::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v & 0xff));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+void ByteBuffer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+void ByteBuffer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+void ByteBuffer::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutU32(bits);
+}
+void ByteBuffer::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(bits);
+}
+void ByteBuffer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+void ByteBuffer::PutSignedVarint(int64_t v) {
+  // Zigzag: maps small-magnitude signed values to small unsigned values.
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+void ByteBuffer::PutLengthPrefixed(const Slice& s) {
+  PutVarint(s.size());
+  PutBytes(s.data(), s.size());
+}
+void ByteBuffer::PutBytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (s_.size() < 1) return Underflow("u8");
+  uint8_t v = s_[0];
+  s_.RemovePrefix(1);
+  return v;
+}
+Result<uint16_t> ByteReader::GetU16() {
+  if (s_.size() < 2) return Underflow("u16");
+  uint16_t v = static_cast<uint16_t>(s_[0]) |
+               (static_cast<uint16_t>(s_[1]) << 8);
+  s_.RemovePrefix(2);
+  return v;
+}
+Result<uint32_t> ByteReader::GetU32() {
+  if (s_.size() < 4) return Underflow("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(s_[i]) << (8 * i);
+  s_.RemovePrefix(4);
+  return v;
+}
+Result<uint64_t> ByteReader::GetU64() {
+  if (s_.size() < 8) return Underflow("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(s_[i]) << (8 * i);
+  s_.RemovePrefix(8);
+  return v;
+}
+Result<int64_t> ByteReader::GetI64() {
+  DL_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+Result<float> ByteReader::GetF32() {
+  DL_ASSIGN_OR_RETURN(uint32_t bits, GetU32());
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+Result<double> ByteReader::GetF64() {
+  DL_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+Result<uint64_t> ByteReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (s_.empty()) return Underflow("varint");
+    if (shift > 63) return Status::Corruption("varint too long");
+    uint8_t b = s_[0];
+    s_.RemovePrefix(1);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+Result<int64_t> ByteReader::GetSignedVarint() {
+  DL_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+Result<Slice> ByteReader::GetLengthPrefixed() {
+  DL_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  return GetBytes(static_cast<size_t>(n));
+}
+Result<Slice> ByteReader::GetBytes(size_t n) {
+  if (s_.size() < n) return Underflow("bytes");
+  Slice out(s_.data(), n);
+  s_.RemovePrefix(n);
+  return out;
+}
+
+std::string EncodeKeyU64(uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i)
+    out[i] = static_cast<char>((v >> (8 * (7 - i))) & 0xff);
+  return out;
+}
+std::string EncodeKeyI64(int64_t v) {
+  // Flip the sign bit so negative values sort before positives.
+  return EncodeKeyU64(static_cast<uint64_t>(v) ^ (1ull << 63));
+}
+std::string EncodeKeyF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  // IEEE-754 total order: positive values get the sign bit set; negative
+  // values are bitwise complemented.
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  return EncodeKeyU64(bits);
+}
+
+Result<uint64_t> DecodeKeyU64(const Slice& s) {
+  if (s.size() != 8) return Status::Corruption("bad u64 key length");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | s[i];
+  return v;
+}
+Result<int64_t> DecodeKeyI64(const Slice& s) {
+  DL_ASSIGN_OR_RETURN(uint64_t v, DecodeKeyU64(s));
+  return static_cast<int64_t>(v ^ (1ull << 63));
+}
+Result<double> DecodeKeyF64(const Slice& s) {
+  DL_ASSIGN_OR_RETURN(uint64_t bits, DecodeKeyU64(s));
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,84 @@
+// Binary serialization helpers: fixed-width little-endian integers, varints,
+// length-prefixed strings, and order-preserving index-key encodings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace deeplens {
+
+/// \brief Growable byte buffer used as a serialization sink.
+class ByteBuffer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v);
+  /// Zigzag-encoded signed varint.
+  void PutSignedVarint(int64_t v);
+  /// Varint length prefix followed by raw bytes.
+  void PutLengthPrefixed(const Slice& s);
+  void PutBytes(const void* data, size_t n);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+  Slice AsSlice() const { return Slice(buf_.data(), buf_.size()); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Cursor over a byte slice used as a deserialization source.
+/// All Get* methods return Corruption on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(Slice s) : s_(s) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<float> GetF32();
+  Result<double> GetF64();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetSignedVarint();
+  /// Returns a view into the underlying slice (no copy).
+  Result<Slice> GetLengthPrefixed();
+  Result<Slice> GetBytes(size_t n);
+
+  size_t remaining() const { return s_.size(); }
+  bool AtEnd() const { return s_.empty(); }
+
+ private:
+  Slice s_;
+};
+
+// --- Order-preserving key encodings -----------------------------------
+// These map values to byte strings whose lexicographic order equals the
+// natural order of the values, so they can be used as B+Tree / sorted-file
+// keys directly.
+
+/// Encodes a uint64 as 8 big-endian bytes (order-preserving).
+std::string EncodeKeyU64(uint64_t v);
+/// Encodes an int64 with the sign bit flipped (order-preserving).
+std::string EncodeKeyI64(int64_t v);
+/// Encodes a double using the IEEE-754 total-order trick.
+std::string EncodeKeyF64(double v);
+
+Result<uint64_t> DecodeKeyU64(const Slice& s);
+Result<int64_t> DecodeKeyI64(const Slice& s);
+Result<double> DecodeKeyF64(const Slice& s);
+
+}  // namespace deeplens

@@ -1,0 +1,44 @@
+#include "common/checksum.h"
+
+namespace deeplens {
+
+namespace {
+// Lazily-built CRC32C (Castagnoli polynomial, reflected) lookup table.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+  }
+};
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const Crc32cTable& tab = Table();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = tab.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,24 @@
+// CRC32C checksum (software implementation) used to detect page / record
+// corruption in the storage layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace deeplens {
+
+/// Computes CRC32C over `data`, seeded with `seed` (0 for a fresh CRC).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const Slice& s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+/// 64-bit FNV-1a hash, used by the hash index and hash join.
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed = 14695981039346656037ull);
+
+inline uint64_t Fnv1a64(const Slice& s) { return Fnv1a64(s.data(), s.size()); }
+
+}  // namespace deeplens

@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for benchmarks and the cost model.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace deeplens {
+
+/// Monotonic timestamp in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Scoped stopwatch. `ElapsedMillis()` may be read repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace deeplens {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  const char* env = std::getenv("DEEPLENS_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = 0;
+  else if (std::strcmp(env, "info") == 0) g_level = 1;
+  else if (std::strcmp(env, "warn") == 0) g_level = 2;
+  else if (std::strcmp(env, "error") == 0) g_level = 3;
+}
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return static_cast<LogLevel>(g_level.load());
+}
+
+namespace internal {
+void LogEmit(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace deeplens

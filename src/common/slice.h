@@ -1,0 +1,81 @@
+// A non-owning view over contiguous bytes (RocksDB idiom).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deeplens {
+
+/// \brief Non-owning byte view. The referenced storage must outlive the
+/// Slice. Comparable lexicographically (used as index key ordering).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  /// From a NUL-terminated C string.
+  Slice(const char* s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s)), size_(std::strlen(s)) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const std::vector<uint8_t>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes from this view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::vector<uint8_t> ToBytes() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+  std::string_view ToView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  /// Three-way lexicographic comparison: <0, 0, >0.
+  int Compare(const Slice& other) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    int r = (n == 0) ? 0 : std::memcmp(data_, other.data_, n);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace deeplens {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_shared<const State>(State{code, std::move(msg)})) {}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ == nullptr ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+namespace internal {
+void FatalStatus(const std::string& what, const char* file, int line) {
+  std::fprintf(stderr, "FATAL %s:%d: %s\n", file, line, what.c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace deeplens

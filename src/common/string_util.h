@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace deeplens {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(const std::string& s);
+
+/// True if `s` starts with / ends with the given affix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count as "12.3 MB" style text.
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace deeplens

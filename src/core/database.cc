@@ -1,0 +1,208 @@
+#include "core/database.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace deeplens {
+
+Database::Database(std::string root)
+    : root_(std::move(root)), depth_(nn::kFocalTimesHeight) {}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& root) {
+  auto db = std::unique_ptr<Database>(new Database(root));
+  DL_RETURN_NOT_OK(CreateDirs(root));
+  DL_RETURN_NOT_OK(CreateDirs(root + "/videos"));
+  DL_RETURN_NOT_OK(CreateDirs(root + "/views"));
+  DL_ASSIGN_OR_RETURN(db->catalog_, Catalog::Open(root));
+  return db;
+}
+
+std::string Database::VideoPath(const std::string& name) const {
+  return root_ + "/videos/" + name;
+}
+
+std::string Database::ViewPath(const std::string& name) const {
+  return root_ + "/views/" + name;
+}
+
+EtlOptions Database::MakeEtlOptions(const std::string& dataset_name,
+                                    nn::Device* device) {
+  EtlOptions options;
+  options.device = device;
+  options.dataset_name = dataset_name;
+  options.lineage = &lineage_;
+  options.id_counter = &id_counter_;
+  return options;
+}
+
+Status Database::IngestVideo(const std::string& name, FrameIterator frames,
+                             const VideoStoreOptions& options,
+                             const std::string& description) {
+  DL_ASSIGN_OR_RETURN(auto writer,
+                      CreateVideoWriter(VideoPath(name), options));
+  int count = 0;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto frame, frames());
+    if (!frame.has_value()) break;
+    DL_RETURN_NOT_OK(writer->AddFrame(frame->second));
+    ++count;
+  }
+  DL_RETURN_NOT_OK(writer->Finish());
+  DatasetInfo info;
+  info.name = name;
+  info.path = VideoPath(name);
+  info.format = options.format;
+  info.num_items = count;
+  info.description = description;
+  return catalog_->Register(info);
+}
+
+Result<std::shared_ptr<VideoReader>> Database::LoadVideo(
+    const std::string& name) {
+  DL_ASSIGN_OR_RETURN(DatasetInfo info, catalog_->Lookup(name));
+  DL_ASSIGN_OR_RETURN(auto reader, OpenVideo(info.path));
+  return std::shared_ptr<VideoReader>(std::move(reader));
+}
+
+Status Database::RegisterView(const std::string& name,
+                              PatchCollection patches) {
+  ViewCache& view = views_[name];
+  view.patches = std::move(patches);
+  view.hash_indexes.clear();
+  view.btree_indexes.clear();
+  view.feature_index.reset();
+  view.bbox_index.reset();
+  return Status::OK();
+}
+
+Status Database::RegisterView(const std::string& name, PatchIterator* it) {
+  DL_ASSIGN_OR_RETURN(PatchCollection patches, CollectPatches(it));
+  return RegisterView(name, std::move(patches));
+}
+
+Result<ViewCache*> Database::GetView(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Database::PersistView(const std::string& name) {
+  DL_ASSIGN_OR_RETURN(ViewCache * view, GetView(name));
+  DL_RETURN_NOT_OK(RemoveFileIfExists(ViewPath(name)));
+  DL_ASSIGN_OR_RETURN(auto mat, MaterializedView::Open(ViewPath(name)));
+  for (const Patch& p : view->patches) {
+    DL_RETURN_NOT_OK(mat->Append(p));
+  }
+  return mat->Flush();
+}
+
+Status Database::LoadPersistedView(const std::string& name) {
+  DL_ASSIGN_OR_RETURN(auto mat, MaterializedView::Open(ViewPath(name)));
+  DL_ASSIGN_OR_RETURN(PatchCollection patches, mat->LoadAll());
+  // Re-register lineage for loaded patches so backtraces work across
+  // process restarts.
+  for (const Patch& p : patches) lineage_.Record(p);
+  return RegisterView(name, std::move(patches));
+}
+
+bool Database::HasPersistedView(const std::string& name) const {
+  return FileExists(ViewPath(name));
+}
+
+Result<IndexStats> Database::BuildIndex(const std::string& view_name,
+                                        IndexKind kind,
+                                        const std::string& meta_key) {
+  DL_ASSIGN_OR_RETURN(ViewCache * view, GetView(view_name));
+  Stopwatch timer;
+  IndexStats stats;
+  switch (kind) {
+    case IndexKind::kHash: {
+      if (meta_key.empty()) {
+        return Status::InvalidArgument("hash index needs a meta key");
+      }
+      HashIndex index;
+      for (size_t i = 0; i < view->patches.size(); ++i) {
+        index.Insert(
+            Slice(view->patches[i].meta().Get(meta_key).ToIndexKey()),
+            static_cast<RowId>(i));
+      }
+      stats = index.Stats();
+      view->hash_indexes[meta_key] = std::move(index);
+      break;
+    }
+    case IndexKind::kBPlusTree: {
+      if (meta_key.empty()) {
+        return Status::InvalidArgument("b+tree index needs a meta key");
+      }
+      BPlusTree index;
+      for (size_t i = 0; i < view->patches.size(); ++i) {
+        index.Insert(
+            Slice(view->patches[i].meta().Get(meta_key).ToIndexKey()),
+            static_cast<RowId>(i));
+      }
+      stats = index.Stats();
+      view->btree_indexes[meta_key] = std::move(index);
+      break;
+    }
+    case IndexKind::kBallTree: {
+      size_t dim = 0;
+      for (const Patch& p : view->patches) {
+        if (!p.has_features()) {
+          return Status::InvalidArgument(
+              "ball-tree index needs featurized patches");
+        }
+        if (dim == 0) dim = static_cast<size_t>(p.features().size());
+      }
+      if (dim == 0) {
+        return Status::InvalidArgument("view is empty or feature-less");
+      }
+      std::vector<float> points(view->patches.size() * dim);
+      for (size_t i = 0; i < view->patches.size(); ++i) {
+        const float* f = view->patches[i].features().data();
+        std::copy(f, f + dim,
+                  points.begin() + static_cast<ptrdiff_t>(i * dim));
+      }
+      auto tree = std::make_unique<BallTree>();
+      DL_RETURN_NOT_OK(tree->Build(std::move(points), dim, {}));
+      stats = tree->Stats();
+      view->feature_index = std::move(tree);
+      break;
+    }
+    case IndexKind::kRTree: {
+      auto tree = std::make_unique<RTree>();
+      for (size_t i = 0; i < view->patches.size(); ++i) {
+        const nn::BBox& b = view->patches[i].bbox();
+        tree->Insert(
+            Rect{static_cast<float>(b.x0), static_cast<float>(b.y0),
+                 static_cast<float>(b.x1), static_cast<float>(b.y1)},
+            static_cast<RowId>(i));
+      }
+      stats = tree->Stats();
+      view->bbox_index = std::move(tree);
+      break;
+    }
+    default:
+      return Status::NotImplemented(
+          std::string("index kind not buildable via Database: ") +
+          IndexKindName(kind));
+  }
+  stats.build_millis = timer.ElapsedMillis();
+  DL_LOG(kInfo) << "built " << IndexKindName(kind) << " index on '"
+                << view_name << "." << meta_key << "' ("
+                << stats.num_entries << " entries, "
+                << stats.build_millis << " ms)";
+  return stats;
+}
+
+Status Database::DropIndexes(const std::string& view_name) {
+  DL_ASSIGN_OR_RETURN(ViewCache * view, GetView(view_name));
+  view->hash_indexes.clear();
+  view->btree_indexes.clear();
+  view->feature_index.reset();
+  view->bbox_index.reset();
+  return Status::OK();
+}
+
+}  // namespace deeplens

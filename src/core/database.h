@@ -1,0 +1,119 @@
+// The DeepLens database facade: one object owning the catalog, the model
+// zoo, tuple-level lineage, materialized views, and the index registry.
+// This is the public entry point a downstream application uses.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "etl/generators.h"
+#include "etl/materialize.h"
+#include "etl/transformers.h"
+#include "exec/aggregates.h"
+#include "exec/joins.h"
+#include "index/balltree.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/rtree.h"
+#include "lineage/lineage.h"
+#include "storage/catalog.h"
+#include "storage/storage_advisor.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+
+/// \brief An in-memory queryable view: a patch collection plus the
+/// indexes built over it. RowIds in the indexes are positions in
+/// `patches`.
+struct ViewCache {
+  PatchCollection patches;
+  std::map<std::string, HashIndex> hash_indexes;     // by meta key
+  std::map<std::string, BPlusTree> btree_indexes;    // by meta key
+  std::unique_ptr<BallTree> feature_index;           // over features
+  std::unique_ptr<RTree> bbox_index;                 // over bboxes
+};
+
+/// \brief DeepLens instance rooted at a directory.
+class Database {
+ public:
+  /// Opens (creating directories as needed) a database at `root`.
+  static Result<std::unique_ptr<Database>> Open(const std::string& root);
+
+  const std::string& root() const { return root_; }
+  Catalog* catalog() { return catalog_.get(); }
+  LineageStore* lineage() { return &lineage_; }
+  std::atomic<uint64_t>* id_counter() { return &id_counter_; }
+
+  // --- Model zoo -------------------------------------------------------
+  const nn::TinySsdDetector* detector() const { return &detector_; }
+  const nn::TinyOcr* ocr() const { return &ocr_; }
+  const nn::TinyDepth* depth_model() const { return &depth_; }
+
+  /// EtlOptions wired to this database's lineage and id allocator.
+  EtlOptions MakeEtlOptions(const std::string& dataset_name,
+                            nn::Device* device = nullptr);
+
+  // --- Video ingest / load (paper §3.1 Load API) -----------------------
+
+  /// Stores a video under `name` with the chosen layout and registers it.
+  Status IngestVideo(const std::string& name, FrameIterator frames,
+                     const VideoStoreOptions& options,
+                     const std::string& description = "");
+
+  /// Opens a stored video by name (format-agnostic).
+  Result<std::shared_ptr<VideoReader>> LoadVideo(const std::string& name);
+
+  // --- Views (in-memory queryable patch collections) -------------------
+
+  /// Registers an in-memory collection as view `name` (replacing any
+  /// previous content and its indexes).
+  Status RegisterView(const std::string& name, PatchCollection patches);
+
+  /// Drains an iterator into view `name`.
+  Status RegisterView(const std::string& name, PatchIterator* it);
+
+  /// Fetches a view; NotFound if absent.
+  Result<ViewCache*> GetView(const std::string& name);
+  bool HasView(const std::string& name) const {
+    return views_.find(name) != views_.end();
+  }
+
+  /// Persists a view to disk under `<root>/views/<name>` so later opens
+  /// can LoadPersistedView() instead of re-running ETL.
+  Status PersistView(const std::string& name);
+  Status LoadPersistedView(const std::string& name);
+  bool HasPersistedView(const std::string& name) const;
+
+  // --- Index management (paper §3.2) ------------------------------------
+
+  /// Builds (or rebuilds) an index over `view`. For kHash/kBPlusTree pass
+  /// the meta key; kBallTree uses patch features; kRTree uses bboxes.
+  /// Returns build statistics.
+  Result<IndexStats> BuildIndex(const std::string& view, IndexKind kind,
+                                const std::string& meta_key = "");
+
+  /// Drops all indexes on a view.
+  Status DropIndexes(const std::string& view);
+
+ private:
+  explicit Database(std::string root);
+
+  std::string VideoPath(const std::string& name) const;
+  std::string ViewPath(const std::string& name) const;
+
+  std::string root_;
+  std::unique_ptr<Catalog> catalog_;
+  LineageStore lineage_;
+  std::atomic<uint64_t> id_counter_{1};
+
+  nn::TinySsdDetector detector_;
+  nn::TinyOcr ocr_;
+  nn::TinyDepth depth_;
+
+  std::map<std::string, ViewCache> views_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,64 @@
+#include "core/patch.h"
+
+#include <cstring>
+
+#include "codec/image_codec.h"
+
+namespace deeplens {
+
+// Layout: id, ref{dataset, frameno, parent}, bbox, meta, pixel?, feature?
+void Patch::SerializeInto(ByteBuffer* out) const {
+  out->PutU64(id_);
+  out->PutLengthPrefixed(Slice(ref_.dataset));
+  out->PutSignedVarint(ref_.frameno);
+  out->PutU64(ref_.parent);
+  out->PutSignedVarint(bbox_.x0);
+  out->PutSignedVarint(bbox_.y0);
+  out->PutSignedVarint(bbox_.x1);
+  out->PutSignedVarint(bbox_.y1);
+  meta_.SerializeInto(out);
+  out->PutU8(has_pixels() ? 1 : 0);
+  if (has_pixels()) {
+    const std::vector<uint8_t> raw = codec::SerializeRawImage(pixels_);
+    out->PutLengthPrefixed(Slice(raw));
+  }
+  out->PutU8(has_features() ? 1 : 0);
+  if (has_features()) {
+    out->PutVarint(static_cast<uint64_t>(features_.size()));
+    out->PutBytes(features_.data(),
+                  static_cast<size_t>(features_.size()) * sizeof(float));
+  }
+}
+
+Result<Patch> Patch::Deserialize(ByteReader* reader) {
+  Patch p;
+  DL_ASSIGN_OR_RETURN(p.id_, reader->GetU64());
+  DL_ASSIGN_OR_RETURN(Slice dataset, reader->GetLengthPrefixed());
+  p.ref_.dataset = dataset.ToString();
+  DL_ASSIGN_OR_RETURN(p.ref_.frameno, reader->GetSignedVarint());
+  DL_ASSIGN_OR_RETURN(p.ref_.parent, reader->GetU64());
+  DL_ASSIGN_OR_RETURN(int64_t x0, reader->GetSignedVarint());
+  DL_ASSIGN_OR_RETURN(int64_t y0, reader->GetSignedVarint());
+  DL_ASSIGN_OR_RETURN(int64_t x1, reader->GetSignedVarint());
+  DL_ASSIGN_OR_RETURN(int64_t y1, reader->GetSignedVarint());
+  p.bbox_ = nn::BBox{static_cast<int>(x0), static_cast<int>(y0),
+                     static_cast<int>(x1), static_cast<int>(y1)};
+  DL_ASSIGN_OR_RETURN(p.meta_, MetaDict::Deserialize(reader));
+  DL_ASSIGN_OR_RETURN(uint8_t has_pixels, reader->GetU8());
+  if (has_pixels) {
+    DL_ASSIGN_OR_RETURN(Slice raw, reader->GetLengthPrefixed());
+    DL_ASSIGN_OR_RETURN(p.pixels_, codec::DeserializeRawImage(raw));
+  }
+  DL_ASSIGN_OR_RETURN(uint8_t has_features, reader->GetU8());
+  if (has_features) {
+    DL_ASSIGN_OR_RETURN(uint64_t n, reader->GetVarint());
+    DL_ASSIGN_OR_RETURN(Slice bytes,
+                        reader->GetBytes(static_cast<size_t>(n) * 4));
+    std::vector<float> values(static_cast<size_t>(n));
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+    p.features_ = Tensor({static_cast<int64_t>(n)}, std::move(values));
+  }
+  return p;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,109 @@
+// The Patch abstract data type — the paper's "narrow waist" (§2.1/§2.2):
+//   Patch(ImgRef, Data, MetaData)
+// Data is pixel content (Image) and/or a featurized dense vector (Tensor);
+// MetaData is a typed key-value dictionary; ImgRef is the lineage
+// descriptor chaining the patch back to its source image and any parent
+// patches it was derived from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/value.h"
+#include "nn/domain.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+
+/// Globally unique patch identifier within a Database instance.
+using PatchId = uint64_t;
+inline constexpr PatchId kInvalidPatchId = 0;
+
+/// \brief Lineage descriptor: which dataset/frame produced this patch and
+/// (for derived patches) the parent patch it was transformed from.
+/// Operators are required to preserve/extend this chain (paper §2.2/§5.1).
+struct ImgRef {
+  std::string dataset;          // source dataset name ("" = unknown)
+  int64_t frameno = -1;         // source frame / image number
+  PatchId parent = kInvalidPatchId;  // immediate parent patch
+
+  bool operator==(const ImgRef& o) const {
+    return dataset == o.dataset && frameno == o.frameno &&
+           parent == o.parent;
+  }
+};
+
+/// \brief A featurized sub-image and its metadata. Copies are cheap-ish
+/// (images/tensors share buffers where possible); treat as a value type.
+class Patch {
+ public:
+  Patch() = default;
+
+  PatchId id() const { return id_; }
+  void set_id(PatchId id) { id_ = id; }
+
+  const ImgRef& ref() const { return ref_; }
+  ImgRef& mutable_ref() { return ref_; }
+  void set_ref(ImgRef ref) { ref_ = std::move(ref); }
+
+  /// Pixel content (may be empty when only features are kept — the
+  /// "pre-compressed to features" representation of §1).
+  const Image& pixels() const { return pixels_; }
+  void set_pixels(Image img) { pixels_ = std::move(img); }
+  bool has_pixels() const { return !pixels_.empty(); }
+
+  /// Feature vector (may be empty before a Transformer runs).
+  const Tensor& features() const { return features_; }
+  void set_features(Tensor t) { features_ = std::move(t); }
+  bool has_features() const { return !features_.empty(); }
+
+  /// Location of this patch in the source frame.
+  const nn::BBox& bbox() const { return bbox_; }
+  void set_bbox(nn::BBox b) { bbox_ = b; }
+
+  const MetaDict& meta() const { return meta_; }
+  MetaDict& mutable_meta() { return meta_; }
+
+  /// Serialization for materialization. Pixel payloads are stored raw;
+  /// use Transformer-level compression for smaller footprints.
+  void SerializeInto(ByteBuffer* out) const;
+  static Result<Patch> Deserialize(ByteReader* reader);
+
+ private:
+  PatchId id_ = kInvalidPatchId;
+  ImgRef ref_;
+  Image pixels_;
+  Tensor features_;
+  nn::BBox bbox_;
+  MetaDict meta_;
+};
+
+/// Operators consume/produce tuples of patches (paper §2.2:
+/// Operator(Iterator<Tuple<Patch>> in, Iterator<Tuple<Patch>> out)).
+/// Single-relation operators use 1-tuples; joins produce wider tuples.
+using PatchTuple = std::vector<Patch>;
+
+/// A fully materialized collection (used at API boundaries; operators
+/// stream internally).
+using PatchCollection = std::vector<Patch>;
+
+/// Common metadata keys produced by the built-in generators/transformers.
+namespace meta_keys {
+inline constexpr const char* kLabel = "label";
+inline constexpr const char* kScore = "score";
+inline constexpr const char* kFrameNo = "frameno";
+inline constexpr const char* kDataset = "dataset";
+inline constexpr const char* kText = "text";
+inline constexpr const char* kDepth = "depth";
+inline constexpr const char* kPatchId = "pid";
+inline constexpr const char* kBoxX0 = "x0";
+inline constexpr const char* kBoxY0 = "y0";
+inline constexpr const char* kBoxX1 = "x1";
+inline constexpr const char* kBoxY1 = "y1";
+}  // namespace meta_keys
+
+}  // namespace deeplens

@@ -1,0 +1,72 @@
+// Rule/cost-based physical planning (paper §5 "Future Work: Visual Query
+// Optimizer" — prototyped here): selects access paths from available
+// indexes, picks similarity-join strategies from relation sizes and
+// dimensionality, and exposes its reasoning via PlanExplanation so
+// benchmarks can report which plan ran.
+#pragma once
+
+#include <string>
+
+#include "core/database.h"
+#include "exec/expression_patterns.h"
+
+namespace deeplens {
+
+/// Physical access path for a filtered view scan.
+enum class AccessPath {
+  kFullScan = 0,
+  kHashLookup = 1,
+  kBTreeLookup = 2,
+  kBTreeRange = 3,
+};
+
+const char* AccessPathName(AccessPath path);
+
+/// What the planner decided and why.
+struct PlanExplanation {
+  AccessPath path = AccessPath::kFullScan;
+  std::string index_key;
+  std::string description;
+  uint64_t candidates = 0;  // tuples fetched before residual filtering
+};
+
+/// Similarity-join strategies (paper §5/§7.4).
+enum class SimJoinStrategy {
+  kNestedLoop = 0,  // baseline
+  kBallTree = 1,    // on-the-fly index join
+  kAllPairs = 2,    // dense device kernel (GPU/AVX)
+};
+
+const char* SimJoinStrategyName(SimJoinStrategy strategy);
+
+/// \brief The planner. Stateless; all inputs are explicit.
+class Planner {
+ public:
+  /// Chooses an access path for `predicate` over `view` given the indexes
+  /// that exist on it.
+  static PlanExplanation PlanScan(const ViewCache& view,
+                                  const ExprPtr& predicate);
+
+  /// Executes a scan with the chosen plan: index-driven candidate fetch,
+  /// then residual predicate. Returns matching patches.
+  static Result<PatchCollection> ExecuteScan(const ViewCache& view,
+                                             const ExprPtr& predicate,
+                                             PlanExplanation* explanation);
+
+  /// Cost-model choice of similarity-join strategy. The Ball-Tree wins
+  /// when the indexed side is large and dimensionality moderate; dense
+  /// all-pairs wins on small inputs (index build overhead) or on a GPU
+  /// with very large batches (paper §7.4.1-2: non-linear, data-dependent
+  /// costs make this genuinely hard).
+  static SimJoinStrategy ChooseSimilarityJoin(size_t left_size,
+                                              size_t right_size, size_t dim,
+                                              bool gpu_available);
+
+  /// Estimated cost (abstract units) used by ChooseSimilarityJoin;
+  /// exposed for the cost-model tests and Figure 7 analysis.
+  static double EstimateSimJoinCost(SimJoinStrategy strategy,
+                                    size_t left_size, size_t right_size,
+                                    size_t dim);
+};
+
+}  // namespace deeplens

@@ -1,0 +1,85 @@
+#include "core/query.h"
+
+#include <unordered_set>
+
+namespace deeplens {
+
+Query::Query(Database* db, std::string view)
+    : db_(db), view_(std::move(view)) {}
+
+Query& Query::Where(ExprPtr predicate) {
+  predicate_ = predicate_ ? And(std::move(predicate_), std::move(predicate))
+                          : std::move(predicate);
+  return *this;
+}
+
+Query& Query::CheckSchema(PatchSchema schema) {
+  schema_ = std::move(schema);
+  return *this;
+}
+
+Query& Query::Limit(size_t limit) {
+  limit_ = limit;
+  return *this;
+}
+
+ExprPtr Query::CombinedPredicate() const { return predicate_; }
+
+Result<PatchCollection> Query::Run(PlanExplanation* explanation) {
+  if (schema_.has_value() && predicate_) {
+    DL_RETURN_NOT_OK(predicate_->Validate({*schema_}));
+  }
+  DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
+  DL_ASSIGN_OR_RETURN(PatchCollection out,
+                      Planner::ExecuteScan(*view, predicate_, explanation));
+  if (limit_.has_value() && out.size() > *limit_) {
+    out.resize(*limit_);
+  }
+  return out;
+}
+
+Result<PatchCollection> Query::Execute() { return Run(nullptr); }
+
+Result<uint64_t> Query::Count() {
+  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+  return static_cast<uint64_t>(out.size());
+}
+
+Result<uint64_t> Query::CountDistinct(const std::string& key) {
+  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+  std::unordered_set<std::string> seen;
+  for (const Patch& p : out) {
+    seen.insert(p.meta().Get(key).ToIndexKey());
+  }
+  return static_cast<uint64_t>(seen.size());
+}
+
+Result<std::map<std::string, uint64_t>> Query::GroupCount(
+    const std::string& key) {
+  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+  std::map<std::string, uint64_t> groups;
+  for (const Patch& p : out) {
+    ++groups[p.meta().Get(key).ToDisplayString()];
+  }
+  return groups;
+}
+
+Result<std::optional<Patch>> Query::FirstBy(const std::string& order_key) {
+  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+  const Patch* best = nullptr;
+  for (const Patch& p : out) {
+    if (best == nullptr ||
+        p.meta().Get(order_key) < best->meta().Get(order_key)) {
+      best = &p;
+    }
+  }
+  if (best == nullptr) return std::optional<Patch>();
+  return std::optional<Patch>(*best);
+}
+
+Result<PlanExplanation> Query::Explain() {
+  DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
+  return Planner::PlanScan(*view, predicate_);
+}
+
+}  // namespace deeplens

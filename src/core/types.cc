@@ -1,0 +1,118 @@
+#include "core/types.h"
+
+namespace deeplens {
+
+PatchSchema& PatchSchema::AddAttribute(AttributeSpec spec) {
+  attrs_[spec.name] = std::move(spec);
+  return *this;
+}
+
+bool PatchSchema::HasAttribute(const std::string& name) const {
+  return attrs_.find(name) != attrs_.end();
+}
+
+const AttributeSpec* PatchSchema::FindAttribute(
+    const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+namespace {
+bool TypesCompatible(ValueType declared, ValueType actual) {
+  if (declared == actual) return true;
+  // Numeric widening int → float is allowed in predicates.
+  if (declared == ValueType::kFloat && actual == ValueType::kInt) {
+    return true;
+  }
+  if (declared == ValueType::kInt && actual == ValueType::kFloat) {
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+Status PatchSchema::ValidatePredicate(const std::string& attr,
+                                      const MetaValue& value) const {
+  const AttributeSpec* spec = FindAttribute(attr);
+  if (spec == nullptr) {
+    return Status::TypeError("attribute '" + attr +
+                             "' is not produced by this pipeline");
+  }
+  if (!value.is_null() && !TypesCompatible(spec->type, value.type())) {
+    return Status::TypeError(
+        "predicate on '" + attr + "' compares " +
+        ValueTypeName(spec->type) + " with " + ValueTypeName(value.type()));
+  }
+  if (!spec->domain.empty() && value.type() == ValueType::kString) {
+    const std::string& s = *value.AsString().value();
+    if (spec->domain.find(s) == spec->domain.end()) {
+      return Status::TypeError(
+          "label '" + s + "' can never be produced for attribute '" + attr +
+          "' (closed domain)");
+    }
+  }
+  return Status::OK();
+}
+
+Status PatchSchema::ValidateConsumer(const PatchSchema& required) const {
+  for (const auto& [name, spec] : required.attributes()) {
+    const AttributeSpec* have = FindAttribute(name);
+    if (have == nullptr) {
+      return Status::TypeError("consumer requires attribute '" + name +
+                               "' which the producer does not emit");
+    }
+    if (!TypesCompatible(have->type, spec.type)) {
+      return Status::TypeError(
+          "attribute '" + name + "' type mismatch: producer " +
+          ValueTypeName(have->type) + ", consumer " +
+          ValueTypeName(spec.type));
+    }
+  }
+  if (required.width() > 0 && width_ > 0 &&
+      (required.width() != width_ || required.height() != height_)) {
+    return Status::TypeError("consumer requires a different resolution");
+  }
+  return Status::OK();
+}
+
+Result<PatchSchema> PatchSchema::Join(const PatchSchema& left,
+                                      const PatchSchema& right) {
+  PatchSchema out = left;
+  for (const auto& [name, spec] : right.attributes()) {
+    const AttributeSpec* existing = out.FindAttribute(name);
+    if (existing != nullptr && !TypesCompatible(existing->type, spec.type)) {
+      return Status::TypeError("join schemas conflict on attribute '" +
+                               name + "'");
+    }
+    if (existing == nullptr) {
+      out.AddAttribute(spec);
+    }
+  }
+  return out;
+}
+
+std::string PatchSchema::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, spec] : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name;
+    out += ":";
+    out += ValueTypeName(spec.type);
+    if (!spec.domain.empty()) {
+      out += "[";
+      bool f2 = true;
+      for (const auto& d : spec.domain) {
+        if (!f2) out += "|";
+        f2 = false;
+        out += d;
+      }
+      out += "]";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace deeplens

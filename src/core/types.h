@@ -1,0 +1,77 @@
+// The DeepLens type system (paper §4.2 "Validation"): every pipeline stage
+// declares the schema of the patch collection it produces — attribute
+// types, closed label domains, and patch resolution constraints — so
+// downstream operators can be validated before execution ("can this
+// filter's label plausibly be produced by that detector?").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/value.h"
+
+namespace deeplens {
+
+/// Declared attribute of a patch collection's metadata.
+struct AttributeSpec {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// Closed domain for string attributes (e.g. a detector's label set);
+  /// empty = open domain.
+  std::set<std::string> domain;
+};
+
+/// \brief Schema of a patch collection.
+class PatchSchema {
+ public:
+  PatchSchema() = default;
+
+  /// Declares (or overwrites) an attribute.
+  PatchSchema& AddAttribute(AttributeSpec spec);
+  PatchSchema& AddAttribute(const std::string& name, ValueType type) {
+    return AddAttribute(AttributeSpec{name, type, {}});
+  }
+
+  /// Declares the fixed resolution patches carry (0 = unconstrained).
+  /// Almost all neural networks require fixed input resolutions (§4.2).
+  PatchSchema& SetResolution(int width, int height) {
+    width_ = width;
+    height_ = height;
+    return *this;
+  }
+
+  bool HasAttribute(const std::string& name) const;
+  const AttributeSpec* FindAttribute(const std::string& name) const;
+  const std::map<std::string, AttributeSpec>& attributes() const {
+    return attrs_;
+  }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Validates that an equality/range predicate over `attr` with constant
+  /// `value` is type-correct and, for closed string domains, satisfiable.
+  Status ValidatePredicate(const std::string& attr,
+                           const MetaValue& value) const;
+
+  /// Validates that `inner` (a consumer's requirements) is satisfied by
+  /// this schema: every required attribute exists with a compatible type.
+  Status ValidateConsumer(const PatchSchema& required) const;
+
+  /// Schema of the join of two collections (attribute union; conflicting
+  /// types fail).
+  static Result<PatchSchema> Join(const PatchSchema& left,
+                                  const PatchSchema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, AttributeSpec> attrs_;
+  int width_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,212 @@
+#include "core/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace deeplens {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+ValueType MetaValue::type() const {
+  switch (v_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kFloat;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+Result<int64_t> MetaValue::AsInt() const {
+  if (auto* p = std::get_if<int64_t>(&v_)) return *p;
+  return Status::TypeError(std::string("expected int, have ") +
+                           ValueTypeName(type()));
+}
+
+Result<double> MetaValue::AsFloat() const {
+  if (auto* p = std::get_if<double>(&v_)) return *p;
+  return Status::TypeError(std::string("expected float, have ") +
+                           ValueTypeName(type()));
+}
+
+Result<const std::string*> MetaValue::AsString() const {
+  if (auto* p = std::get_if<std::string>(&v_)) return p;
+  return Status::TypeError(std::string("expected string, have ") +
+                           ValueTypeName(type()));
+}
+
+Result<bool> MetaValue::AsBool() const {
+  if (auto* p = std::get_if<bool>(&v_)) return *p;
+  return Status::TypeError(std::string("expected bool, have ") +
+                           ValueTypeName(type()));
+}
+
+Result<double> MetaValue::AsNumeric() const {
+  if (auto* p = std::get_if<double>(&v_)) return *p;
+  if (auto* p = std::get_if<int64_t>(&v_)) return static_cast<double>(*p);
+  return Status::TypeError(std::string("expected numeric, have ") +
+                           ValueTypeName(type()));
+}
+
+int MetaValue::Compare(const MetaValue& other) const {
+  // Numeric types compare by value across int/float; everything else
+  // compares by type tag first.
+  const bool self_num =
+      type() == ValueType::kInt || type() == ValueType::kFloat;
+  const bool other_num =
+      other.type() == ValueType::kInt || other.type() == ValueType::kFloat;
+  if (self_num && other_num) {
+    const double a = AsNumeric().value();
+    const double b = other.AsNumeric().value();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1
+                                                                     : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kString: {
+      const std::string& a = std::get<std::string>(v_);
+      const std::string& b = std::get<std::string>(other.v_);
+      return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+    }
+    case ValueType::kBool: {
+      const bool a = std::get<bool>(v_);
+      const bool b = std::get<bool>(other.v_);
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    default:
+      return 0;  // numeric handled above
+  }
+}
+
+std::string MetaValue::ToIndexKey() const {
+  // Numerics share tag 'N' so int/float index keys interleave correctly.
+  switch (type()) {
+    case ValueType::kNull:
+      return "\x00";
+    case ValueType::kInt:
+      return "N" + EncodeKeyF64(static_cast<double>(
+                       std::get<int64_t>(v_)));
+    case ValueType::kFloat:
+      return "N" + EncodeKeyF64(std::get<double>(v_));
+    case ValueType::kString:
+      return "S" + std::get<std::string>(v_);
+    case ValueType::kBool:
+      return std::string("B") + (std::get<bool>(v_) ? "\x01" : "\x00");
+  }
+  return "";
+}
+
+void MetaValue::SerializeInto(ByteBuffer* out) const {
+  out->PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      out->PutSignedVarint(std::get<int64_t>(v_));
+      break;
+    case ValueType::kFloat:
+      out->PutF64(std::get<double>(v_));
+      break;
+    case ValueType::kString:
+      out->PutLengthPrefixed(Slice(std::get<std::string>(v_)));
+      break;
+    case ValueType::kBool:
+      out->PutU8(std::get<bool>(v_) ? 1 : 0);
+      break;
+  }
+}
+
+Result<MetaValue> MetaValue::Deserialize(ByteReader* reader) {
+  DL_ASSIGN_OR_RETURN(uint8_t tag, reader->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return MetaValue();
+    case ValueType::kInt: {
+      DL_ASSIGN_OR_RETURN(int64_t v, reader->GetSignedVarint());
+      return MetaValue(v);
+    }
+    case ValueType::kFloat: {
+      DL_ASSIGN_OR_RETURN(double v, reader->GetF64());
+      return MetaValue(v);
+    }
+    case ValueType::kString: {
+      DL_ASSIGN_OR_RETURN(Slice v, reader->GetLengthPrefixed());
+      return MetaValue(v.ToString());
+    }
+    case ValueType::kBool: {
+      DL_ASSIGN_OR_RETURN(uint8_t v, reader->GetU8());
+      return MetaValue(v != 0);
+    }
+  }
+  return Status::Corruption("unknown MetaValue tag");
+}
+
+std::string MetaValue::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kFloat:
+      return StringFormat("%g", std::get<double>(v_));
+    case ValueType::kString:
+      return "'" + std::get<std::string>(v_) + "'";
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+  }
+  return "?";
+}
+
+const MetaValue& MetaDict::Get(const std::string& key) const {
+  static const MetaValue kNull;
+  auto it = entries_.find(key);
+  return it == entries_.end() ? kNull : it->second;
+}
+
+void MetaDict::SerializeInto(ByteBuffer* out) const {
+  out->PutVarint(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    out->PutLengthPrefixed(Slice(key));
+    value.SerializeInto(out);
+  }
+}
+
+Result<MetaDict> MetaDict::Deserialize(ByteReader* reader) {
+  DL_ASSIGN_OR_RETURN(uint64_t count, reader->GetVarint());
+  MetaDict dict;
+  for (uint64_t i = 0; i < count; ++i) {
+    DL_ASSIGN_OR_RETURN(Slice key, reader->GetLengthPrefixed());
+    DL_ASSIGN_OR_RETURN(MetaValue value, MetaValue::Deserialize(reader));
+    dict.Set(key.ToString(), std::move(value));
+  }
+  return dict;
+}
+
+}  // namespace deeplens

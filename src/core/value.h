@@ -1,0 +1,95 @@
+// MetaValue: the typed values stored in a Patch's metadata key-value
+// dictionary (paper §2.2). Values serialize to bytes for materialization
+// and to order-preserving keys for indexing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace deeplens {
+
+/// Runtime type of a metadata value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kFloat = 2,
+  kString = 3,
+  kBool = 4,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief Tagged value: null / int64 / double / string / bool.
+class MetaValue {
+ public:
+  MetaValue() : v_(std::monostate{}) {}
+  MetaValue(int64_t v) : v_(v) {}            // NOLINT(runtime/explicit)
+  MetaValue(int v) : v_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  MetaValue(double v) : v_(v) {}             // NOLINT(runtime/explicit)
+  MetaValue(std::string v) : v_(std::move(v)) {}  // NOLINT
+  MetaValue(const char* v) : v_(std::string(v)) {}  // NOLINT
+  MetaValue(bool v) : v_(v) {}               // NOLINT(runtime/explicit)
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; TypeError on mismatch.
+  Result<int64_t> AsInt() const;
+  Result<double> AsFloat() const;
+  Result<const std::string*> AsString() const;
+  Result<bool> AsBool() const;
+
+  /// Numeric coercion: ints widen to double; TypeError otherwise.
+  Result<double> AsNumeric() const;
+
+  /// Total-order comparison within the same type; cross-type compares by
+  /// type tag (so heterogeneous sorts are stable and deterministic).
+  int Compare(const MetaValue& other) const;
+  bool operator==(const MetaValue& other) const { return Compare(other) == 0; }
+  bool operator<(const MetaValue& other) const { return Compare(other) < 0; }
+
+  /// Order-preserving index-key encoding (type tag + payload).
+  std::string ToIndexKey() const;
+
+  /// Binary (de)serialization for materialization.
+  void SerializeInto(ByteBuffer* out) const;
+  static Result<MetaValue> Deserialize(ByteReader* reader);
+
+  std::string ToDisplayString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> v_;
+};
+
+/// \brief Ordered metadata dictionary.
+class MetaDict {
+ public:
+  void Set(const std::string& key, MetaValue value) {
+    entries_[key] = std::move(value);
+  }
+
+  /// Null value if absent.
+  const MetaValue& Get(const std::string& key) const;
+  bool Contains(const std::string& key) const {
+    return entries_.find(key) != entries_.end();
+  }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  void SerializeInto(ByteBuffer* out) const;
+  static Result<MetaDict> Deserialize(ByteReader* reader);
+
+ private:
+  std::map<std::string, MetaValue> entries_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,344 @@
+#include "etl/generators.h"
+
+#include <deque>
+
+namespace deeplens {
+
+namespace {
+
+PatchId AllocateId(const EtlOptions& options) {
+  static std::atomic<uint64_t> fallback_counter{1};
+  std::atomic<uint64_t>* counter =
+      options.id_counter != nullptr ? options.id_counter : &fallback_counter;
+  return counter->fetch_add(1);
+}
+
+nn::Device* DeviceOf(const EtlOptions& options) {
+  return options.device != nullptr
+             ? options.device
+             : nn::GetDevice(nn::DeviceKind::kCpuVector);
+}
+
+// Device for small per-tuple model invocations (single-glyph OCR, one
+// patch's depth head). Offloading these to the GPU would pay a kernel
+// launch per tuple — exactly the overhead the paper warns about — so the
+// planner places them on the vectorized CPU path when the batch device is
+// the GPU.
+nn::Device* PerTupleDeviceOf(const EtlOptions& options) {
+  nn::Device* device = DeviceOf(options);
+  if (device->kind() == nn::DeviceKind::kGpuSim) {
+    return nn::GetDevice(nn::DeviceKind::kCpuVector);
+  }
+  return device;
+}
+
+void RecordLineage(const EtlOptions& options, const Patch& patch) {
+  if (options.lineage != nullptr) options.lineage->Record(patch);
+}
+
+// Base class for generators that buffer a batch of frames, process them,
+// and stream out the resulting patches.
+class BatchedGenerator : public PatchIterator {
+ public:
+  BatchedGenerator(FrameIterator frames, EtlOptions options)
+      : frames_(std::move(frames)), options_(std::move(options)) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    while (pending_.empty()) {
+      if (exhausted_) return std::optional<PatchTuple>();
+      DL_RETURN_NOT_OK(FillBatch());
+    }
+    PatchTuple t{std::move(pending_.front())};
+    pending_.pop_front();
+    return std::optional<PatchTuple>(std::move(t));
+  }
+
+ protected:
+  /// Pulls up to batch_size frames and appends output patches via Emit().
+  Status FillBatch() {
+    std::vector<std::pair<int, Image>> batch;
+    for (int i = 0; i < std::max(1, options_.batch_size); ++i) {
+      DL_ASSIGN_OR_RETURN(auto frame, frames_());
+      if (!frame.has_value()) {
+        exhausted_ = true;
+        break;
+      }
+      batch.push_back(std::move(*frame));
+    }
+    if (batch.empty()) return Status::OK();
+    return ProcessBatch(batch);
+  }
+
+  virtual Status ProcessBatch(
+      const std::vector<std::pair<int, Image>>& batch) = 0;
+
+  void Emit(Patch patch) {
+    RecordLineage(options_, patch);
+    pending_.push_back(std::move(patch));
+  }
+
+  const EtlOptions& options() const { return options_; }
+
+ private:
+  FrameIterator frames_;
+  EtlOptions options_;
+  std::deque<Patch> pending_;
+  bool exhausted_ = false;
+};
+
+class WholeImageGenerator : public BatchedGenerator {
+ public:
+  using BatchedGenerator::BatchedGenerator;
+
+ protected:
+  Status ProcessBatch(
+      const std::vector<std::pair<int, Image>>& batch) override {
+    for (const auto& [frameno, frame] : batch) {
+      Patch p;
+      p.set_id(AllocateId(options()));
+      p.set_ref(ImgRef{options().dataset_name, frameno, kInvalidPatchId});
+      p.set_pixels(frame);
+      p.set_bbox(nn::BBox{0, 0, frame.width(), frame.height()});
+      p.mutable_meta().Set(meta_keys::kFrameNo, int64_t{frameno});
+      p.mutable_meta().Set(meta_keys::kDataset, options().dataset_name);
+      p.mutable_meta().Set(meta_keys::kPatchId,
+                           static_cast<int64_t>(p.id()));
+      Emit(std::move(p));
+    }
+    return Status::OK();
+  }
+};
+
+class ObjectDetectorGenerator : public BatchedGenerator {
+ public:
+  ObjectDetectorGenerator(FrameIterator frames,
+                          const nn::TinySsdDetector* detector,
+                          EtlOptions options)
+      : BatchedGenerator(std::move(frames), std::move(options)),
+        detector_(detector) {}
+
+ protected:
+  Status ProcessBatch(
+      const std::vector<std::pair<int, Image>>& batch) override {
+    std::vector<Image> frames;
+    frames.reserve(batch.size());
+    for (const auto& [frameno, frame] : batch) frames.push_back(frame);
+    DL_ASSIGN_OR_RETURN(auto detections,
+                        detector_->DetectBatch(frames, DeviceOf(options())));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const int frameno = batch[i].first;
+      const Image& frame = batch[i].second;
+      for (const nn::Detection& d : detections[i]) {
+        Patch p;
+        p.set_id(AllocateId(options()));
+        p.set_ref(ImgRef{options().dataset_name, frameno, kInvalidPatchId});
+        p.set_bbox(d.bbox);
+        if (options().crop_pixels) {
+          p.set_pixels(frame.Crop(d.bbox.x0, d.bbox.y0, d.bbox.x1,
+                                  d.bbox.y1));
+        }
+        MetaDict& meta = p.mutable_meta();
+        meta.Set(meta_keys::kLabel,
+                 std::string(nn::ObjectClassName(d.label)));
+        meta.Set(meta_keys::kScore, static_cast<double>(d.score));
+        meta.Set(meta_keys::kFrameNo, int64_t{frameno});
+        meta.Set(meta_keys::kDataset, options().dataset_name);
+        meta.Set(meta_keys::kPatchId, static_cast<int64_t>(p.id()));
+        meta.Set(meta_keys::kBoxX0, int64_t{d.bbox.x0});
+        meta.Set(meta_keys::kBoxY0, int64_t{d.bbox.y0});
+        meta.Set(meta_keys::kBoxX1, int64_t{d.bbox.x1});
+        meta.Set(meta_keys::kBoxY1, int64_t{d.bbox.y1});
+        Emit(std::move(p));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const nn::TinySsdDetector* detector_;
+};
+
+class OcrGenerator : public BatchedGenerator {
+ public:
+  OcrGenerator(FrameIterator frames, const nn::TinySsdDetector* detector,
+               const nn::TinyOcr* ocr, EtlOptions options)
+      : BatchedGenerator(std::move(frames), std::move(options)),
+        detector_(detector),
+        ocr_(ocr) {}
+
+ protected:
+  Status ProcessBatch(
+      const std::vector<std::pair<int, Image>>& batch) override {
+    std::vector<Image> frames;
+    frames.reserve(batch.size());
+    for (const auto& [frameno, frame] : batch) frames.push_back(frame);
+    DL_ASSIGN_OR_RETURN(auto detections,
+                        detector_->DetectBatch(frames, DeviceOf(options())));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const int frameno = batch[i].first;
+      const Image& frame = batch[i].second;
+      for (const nn::Detection& d : detections[i]) {
+        if (d.label != nn::ObjectClass::kText) continue;
+        const Image crop =
+            frame.Crop(d.bbox.x0, d.bbox.y0, d.bbox.x1, d.bbox.y1);
+        DL_ASSIGN_OR_RETURN(
+            std::string text,
+            ocr_->RecognizeText(crop, PerTupleDeviceOf(options())));
+        if (text.empty()) continue;
+        Patch p;
+        p.set_id(AllocateId(options()));
+        p.set_ref(ImgRef{options().dataset_name, frameno, kInvalidPatchId});
+        p.set_bbox(d.bbox);
+        if (options().crop_pixels) p.set_pixels(crop);
+        MetaDict& meta = p.mutable_meta();
+        meta.Set(meta_keys::kText, text);
+        meta.Set(meta_keys::kScore, static_cast<double>(d.score));
+        meta.Set(meta_keys::kFrameNo, int64_t{frameno});
+        meta.Set(meta_keys::kDataset, options().dataset_name);
+        meta.Set(meta_keys::kPatchId, static_cast<int64_t>(p.id()));
+        Emit(std::move(p));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const nn::TinySsdDetector* detector_;
+  const nn::TinyOcr* ocr_;
+};
+
+class TileGenerator : public BatchedGenerator {
+ public:
+  TileGenerator(FrameIterator frames, int tile_w, int tile_h,
+                EtlOptions options)
+      : BatchedGenerator(std::move(frames), std::move(options)),
+        tile_w_(tile_w),
+        tile_h_(tile_h) {}
+
+ protected:
+  Status ProcessBatch(
+      const std::vector<std::pair<int, Image>>& batch) override {
+    for (const auto& [frameno, frame] : batch) {
+      for (int ty = 0; ty * tile_h_ < frame.height(); ++ty) {
+        for (int tx = 0; tx * tile_w_ < frame.width(); ++tx) {
+          const int x0 = tx * tile_w_;
+          const int y0 = ty * tile_h_;
+          const int x1 = std::min(frame.width(), x0 + tile_w_);
+          const int y1 = std::min(frame.height(), y0 + tile_h_);
+          Patch p;
+          p.set_id(AllocateId(options()));
+          p.set_ref(
+              ImgRef{options().dataset_name, frameno, kInvalidPatchId});
+          p.set_bbox(nn::BBox{x0, y0, x1, y1});
+          p.set_pixels(frame.Crop(x0, y0, x1, y1));
+          MetaDict& meta = p.mutable_meta();
+          meta.Set(meta_keys::kFrameNo, int64_t{frameno});
+          meta.Set(meta_keys::kDataset, options().dataset_name);
+          meta.Set(meta_keys::kPatchId, static_cast<int64_t>(p.id()));
+          meta.Set("tile_x", int64_t{tx});
+          meta.Set("tile_y", int64_t{ty});
+          Emit(std::move(p));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  int tile_w_, tile_h_;
+};
+
+}  // namespace
+
+FrameIterator FramesFromVideo(std::shared_ptr<VideoReader> reader) {
+  auto state = std::make_shared<int>(0);
+  return [reader, state]() -> Result<std::optional<std::pair<int, Image>>> {
+    if (*state >= reader->num_frames()) {
+      return std::optional<std::pair<int, Image>>();
+    }
+    const int frameno = (*state)++;
+    DL_ASSIGN_OR_RETURN(Image frame, reader->ReadFrame(frameno));
+    return std::optional<std::pair<int, Image>>(
+        std::make_pair(frameno, std::move(frame)));
+  };
+}
+
+FrameIterator FramesFromVector(std::vector<Image> frames,
+                               int first_frameno) {
+  auto data = std::make_shared<std::vector<Image>>(std::move(frames));
+  auto pos = std::make_shared<size_t>(0);
+  return [data, pos,
+          first_frameno]() -> Result<std::optional<std::pair<int, Image>>> {
+    if (*pos >= data->size()) {
+      return std::optional<std::pair<int, Image>>();
+    }
+    const size_t i = (*pos)++;
+    return std::optional<std::pair<int, Image>>(std::make_pair(
+        first_frameno + static_cast<int>(i), (*data)[i]));
+  };
+}
+
+PatchIteratorPtr MakeWholeImageGenerator(FrameIterator frames,
+                                         EtlOptions options) {
+  return std::make_unique<WholeImageGenerator>(std::move(frames),
+                                               std::move(options));
+}
+
+PatchIteratorPtr MakeObjectDetectorGenerator(
+    FrameIterator frames, const nn::TinySsdDetector* detector,
+    EtlOptions options) {
+  return std::make_unique<ObjectDetectorGenerator>(
+      std::move(frames), detector, std::move(options));
+}
+
+PatchIteratorPtr MakeOcrGenerator(FrameIterator frames,
+                                  const nn::TinySsdDetector* detector,
+                                  const nn::TinyOcr* ocr,
+                                  EtlOptions options) {
+  return std::make_unique<OcrGenerator>(std::move(frames), detector, ocr,
+                                        std::move(options));
+}
+
+PatchIteratorPtr MakeTileGenerator(FrameIterator frames, int tile_width,
+                                   int tile_height, EtlOptions options) {
+  return std::make_unique<TileGenerator>(std::move(frames), tile_width,
+                                         tile_height, std::move(options));
+}
+
+PatchSchema WholeImageSchema() {
+  PatchSchema schema;
+  schema.AddAttribute(meta_keys::kFrameNo, ValueType::kInt)
+      .AddAttribute(meta_keys::kDataset, ValueType::kString);
+  return schema;
+}
+
+PatchSchema DetectorSchema() {
+  PatchSchema schema;
+  AttributeSpec label;
+  label.name = meta_keys::kLabel;
+  label.type = ValueType::kString;
+  for (int c = 0; c < nn::kNumClasses; ++c) {
+    label.domain.insert(
+        nn::ObjectClassName(static_cast<nn::ObjectClass>(c)));
+  }
+  schema.AddAttribute(std::move(label))
+      .AddAttribute(meta_keys::kScore, ValueType::kFloat)
+      .AddAttribute(meta_keys::kFrameNo, ValueType::kInt)
+      .AddAttribute(meta_keys::kDataset, ValueType::kString)
+      .AddAttribute(meta_keys::kBoxX0, ValueType::kInt)
+      .AddAttribute(meta_keys::kBoxY0, ValueType::kInt)
+      .AddAttribute(meta_keys::kBoxX1, ValueType::kInt)
+      .AddAttribute(meta_keys::kBoxY1, ValueType::kInt);
+  return schema;
+}
+
+PatchSchema OcrSchema() {
+  PatchSchema schema;
+  schema.AddAttribute(meta_keys::kText, ValueType::kString)
+      .AddAttribute(meta_keys::kScore, ValueType::kFloat)
+      .AddAttribute(meta_keys::kFrameNo, ValueType::kInt)
+      .AddAttribute(meta_keys::kDataset, ValueType::kString);
+  return schema;
+}
+
+}  // namespace deeplens

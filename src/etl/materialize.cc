@@ -1,0 +1,67 @@
+#include "etl/materialize.h"
+
+#include "common/bytes.h"
+
+namespace deeplens {
+
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Open(
+    const std::string& path) {
+  DL_ASSIGN_OR_RETURN(auto store, RecordStore::Open(path));
+  return std::unique_ptr<MaterializedView>(
+      new MaterializedView(std::move(store)));
+}
+
+Status MaterializedView::Append(const Patch& patch) {
+  ByteBuffer buf;
+  patch.SerializeInto(&buf);
+  return store_->Put(Slice(EncodeKeyU64(patch.id())), buf.AsSlice());
+}
+
+Result<uint64_t> MaterializedView::Write(PatchIterator* it) {
+  uint64_t written = 0;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    for (const Patch& p : *tuple) {
+      DL_RETURN_NOT_OK(Append(p));
+      ++written;
+    }
+  }
+  DL_RETURN_NOT_OK(store_->Flush());
+  return written;
+}
+
+Result<PatchCollection> MaterializedView::LoadAll() const {
+  PatchCollection out;
+  Status decode_status;
+  DL_RETURN_NOT_OK(
+      store_->ScanAll([&](const Slice& /*key*/, const Slice& value) {
+        ByteReader reader(value);
+        auto patch = Patch::Deserialize(&reader);
+        if (!patch.ok()) {
+          decode_status = patch.status();
+          return false;
+        }
+        out.push_back(std::move(patch).value());
+        return true;
+      }));
+  DL_RETURN_NOT_OK(decode_status);
+  return out;
+}
+
+PatchIteratorPtr MaterializedView::Scan() const {
+  // Materialize eagerly: RecordStore scans are callback-driven, and patch
+  // decode cost dominates iteration overhead anyway.
+  auto loaded = std::make_shared<Result<PatchCollection>>(LoadAll());
+  auto pos = std::make_shared<size_t>(0);
+  return MakeGeneratorSource(
+      [loaded, pos]() -> Result<std::optional<PatchTuple>> {
+        if (!loaded->ok()) return loaded->status();
+        const PatchCollection& patches = loaded->value();
+        if (*pos >= patches.size()) return std::optional<PatchTuple>();
+        PatchTuple t{patches[(*pos)++]};
+        return std::optional<PatchTuple>(std::move(t));
+      });
+}
+
+}  // namespace deeplens

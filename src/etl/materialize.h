@@ -1,0 +1,47 @@
+// Materialization (paper §4.1 "Materialize"): any stage of the patch
+// dataflow can be persisted to disk and reloaded, so expensive ETL (neural
+// inference) amortizes across queries — the ETL-vs-Query-time separation
+// of §7.2.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/patch.h"
+#include "exec/operators.h"
+#include "storage/record_store.h"
+
+namespace deeplens {
+
+/// \brief A named, persisted patch collection backed by a RecordStore
+/// (keys are patch ids).
+class MaterializedView {
+ public:
+  /// Opens (or creates) the view's backing store.
+  static Result<std::unique_ptr<MaterializedView>> Open(
+      const std::string& path);
+
+  /// Drains `it` into the store. Returns the number of patches written.
+  Result<uint64_t> Write(PatchIterator* it);
+
+  /// Appends a single patch.
+  Status Append(const Patch& patch);
+
+  /// Loads every stored patch (ordered by id).
+  Result<PatchCollection> LoadAll() const;
+
+  /// Streaming source over the stored patches.
+  PatchIteratorPtr Scan() const;
+
+  uint64_t size() const { return store_->Stats().num_records; }
+  uint64_t storage_bytes() const { return store_->Stats().log_bytes; }
+  Status Flush() { return store_->Flush(); }
+
+ private:
+  explicit MaterializedView(std::unique_ptr<RecordStore> store)
+      : store_(std::move(store)) {}
+
+  std::shared_ptr<RecordStore> store_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,166 @@
+#include "exec/aggregates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "index/balltree.h"
+
+namespace deeplens {
+
+Result<uint64_t> CountAll(PatchIterator* it) { return Drain(it); }
+
+Result<uint64_t> CountDistinctKey(PatchIterator* it,
+                                  const std::string& key) {
+  std::unordered_set<std::string> seen;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    for (const Patch& p : *tuple) {
+      seen.insert(p.meta().Get(key).ToIndexKey());
+    }
+  }
+  return static_cast<uint64_t>(seen.size());
+}
+
+Result<std::map<std::string, uint64_t>> GroupByCount(
+    PatchIterator* it, const std::string& key) {
+  std::map<std::string, uint64_t> groups;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    if (tuple->empty()) continue;
+    const MetaValue& v = (*tuple)[0].meta().Get(key);
+    ++groups[v.ToDisplayString()];
+  }
+  return groups;
+}
+
+Result<std::map<std::string, double>> GroupByMin(
+    PatchIterator* it, const std::string& group_key,
+    const std::string& value_key) {
+  std::map<std::string, double> groups;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    if (tuple->empty()) continue;
+    const Patch& p = (*tuple)[0];
+    const MetaValue& g = p.meta().Get(group_key);
+    auto num = p.meta().Get(value_key).AsNumeric();
+    if (!num.ok()) continue;  // missing/typed-out values don't aggregate
+    auto [iter, inserted] =
+        groups.emplace(g.ToDisplayString(), num.value());
+    if (!inserted) iter->second = std::min(iter->second, num.value());
+  }
+  return groups;
+}
+
+namespace {
+
+// Union-find over cluster ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<DedupResult> SimilarityDedup(PatchIterator* it,
+                                    const DedupOptions& options) {
+  DL_ASSIGN_OR_RETURN(PatchCollection patches, CollectPatches(it));
+  DedupResult result;
+  if (patches.empty()) return result;
+
+  size_t dim = 0;
+  for (const Patch& p : patches) {
+    if (!p.has_features()) {
+      return Status::InvalidArgument(
+          "SimilarityDedup requires featurized patches");
+    }
+    const size_t d = static_cast<size_t>(p.features().size());
+    if (dim == 0) dim = d;
+    if (d != dim) {
+      return Status::InvalidArgument(
+          "SimilarityDedup: inconsistent feature dimensionality");
+    }
+  }
+
+  UnionFind uf(patches.size());
+  if (options.strategy == DedupOptions::Strategy::kBallTree) {
+    std::vector<float> points(patches.size() * dim);
+    for (size_t i = 0; i < patches.size(); ++i) {
+      const float* f = patches[i].features().data();
+      std::copy(f, f + dim,
+                points.begin() + static_cast<ptrdiff_t>(i * dim));
+    }
+    BallTree tree;
+    DL_RETURN_NOT_OK(tree.Build(std::move(points), dim, {}));
+    std::vector<RowId> matches;
+    for (size_t i = 0; i < patches.size(); ++i) {
+      matches.clear();
+      tree.RangeSearch(patches[i].features().data(), options.max_distance,
+                       &matches);
+      for (RowId r : matches) {
+        if (static_cast<size_t>(r) != i) uf.Union(i, static_cast<size_t>(r));
+      }
+    }
+    result.pairs_examined = tree.distance_evals();
+  } else {
+    nn::Device* device =
+        options.device != nullptr
+            ? options.device
+            : nn::GetDevice(nn::DeviceKind::kCpuVector);
+    std::vector<float> pts(patches.size() * dim);
+    for (size_t i = 0; i < patches.size(); ++i) {
+      const float* f = patches[i].features().data();
+      std::copy(f, f + dim, pts.begin() + static_cast<ptrdiff_t>(i * dim));
+    }
+    std::vector<float> d2(patches.size() * patches.size());
+    device->PairwiseL2Squared(pts.data(), patches.size(), pts.data(),
+                              patches.size(), dim, d2.data());
+    const float t2 = options.max_distance * options.max_distance;
+    for (size_t i = 0; i < patches.size(); ++i) {
+      for (size_t j = i + 1; j < patches.size(); ++j) {
+        if (d2[i * patches.size() + j] <= t2) uf.Union(i, j);
+      }
+    }
+    result.pairs_examined = patches.size() * patches.size();
+  }
+
+  std::unordered_set<size_t> roots;
+  result.cluster_of.resize(patches.size());
+  for (size_t i = 0; i < patches.size(); ++i) {
+    const size_t root = uf.Find(i);
+    result.cluster_of[i] = static_cast<uint32_t>(root);
+    if (roots.insert(root).second) {
+      result.representatives.push_back(patches[i]);
+    }
+  }
+  result.num_clusters = roots.size();
+  return result;
+}
+
+Result<std::vector<PatchTuple>> SortByKey(PatchIterator* it,
+                                          const std::string& key) {
+  DL_ASSIGN_OR_RETURN(std::vector<PatchTuple> tuples, Collect(it));
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [&key](const PatchTuple& a, const PatchTuple& b) {
+                     if (a.empty() || b.empty()) return b.empty() < a.empty();
+                     return a[0].meta().Get(key) < b[0].meta().Get(key);
+                   });
+  return tuples;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,61 @@
+// Aggregation and deduplication operators: count, group-by count,
+// exact distinct on a key, and similarity-based deduplication (the hard
+// part of q4 "count distinct pedestrians": near-duplicate detections of
+// the same physical object must collapse into one).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "nn/device.h"
+
+namespace deeplens {
+
+/// Counts tuples.
+Result<uint64_t> CountAll(PatchIterator* it);
+
+/// Count of distinct values of `key` (exact, hash-based).
+Result<uint64_t> CountDistinctKey(PatchIterator* it, const std::string& key);
+
+/// Group-by `key` → count, ordered by key.
+Result<std::map<std::string, uint64_t>> GroupByCount(PatchIterator* it,
+                                                     const std::string& key);
+
+/// Per-group minimum of a numeric attribute (e.g. first frame per label).
+Result<std::map<std::string, double>> GroupByMin(PatchIterator* it,
+                                                 const std::string& group_key,
+                                                 const std::string& value_key);
+
+/// \brief Similarity dedup options. Two patches are duplicates when their
+/// feature distance is <= max_distance; dedup is single-linkage clustering
+/// (connected components of the duplicate graph).
+struct DedupOptions {
+  float max_distance = 0.25f;
+  /// kBallTree builds the on-the-fly index; kAllPairs runs the dense
+  /// distance matrix on `device` (the Figure 8 query-time comparison).
+  enum class Strategy { kBallTree, kAllPairs } strategy = Strategy::kBallTree;
+  nn::Device* device = nullptr;  // kAllPairs only; null = vector CPU
+};
+
+/// Result of similarity dedup: cluster count plus one representative
+/// patch per cluster.
+struct DedupResult {
+  uint64_t num_clusters = 0;
+  PatchCollection representatives;
+  uint64_t pairs_examined = 0;
+  /// Cluster id per input patch, in input order (ids are arbitrary but
+  /// equal within a cluster).
+  std::vector<uint32_t> cluster_of;
+};
+
+/// Collapses near-duplicates into clusters (q4's distinct qualifier).
+Result<DedupResult> SimilarityDedup(PatchIterator* it,
+                                    const DedupOptions& options);
+
+/// Sorts a materialized tuple stream by a metadata key (ascending).
+Result<std::vector<PatchTuple>> SortByKey(PatchIterator* it,
+                                          const std::string& key);
+
+}  // namespace deeplens

@@ -1,0 +1,375 @@
+#include "exec/expression.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace deeplens {
+
+Result<bool> Expr::EvalBool(const PatchTuple& tuple) const {
+  DL_ASSIGN_OR_RETURN(MetaValue v, Eval(tuple));
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  return Status::TypeError("predicate did not evaluate to bool: " +
+                           ToString());
+}
+
+namespace {
+
+Status CheckSlot(size_t slot, const PatchTuple& tuple) {
+  if (slot >= tuple.size()) {
+    return Status::OutOfRange("expression references tuple slot " +
+                              std::to_string(slot) + " of " +
+                              std::to_string(tuple.size()));
+  }
+  return Status::OK();
+}
+
+class AttrExpr : public Expr {
+ public:
+  AttrExpr(size_t slot, std::string key)
+      : slot_(slot), key_(std::move(key)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_RETURN_NOT_OK(CheckSlot(slot_, tuple));
+    return tuple[slot_].meta().Get(key_);
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(slot_) + "." + key_;
+  }
+  Status Validate(const std::vector<PatchSchema>& schemas) const override {
+    if (slot_ < schemas.size() && !schemas[slot_].HasAttribute(key_)) {
+      return Status::TypeError("attribute '" + key_ +
+                               "' is not in the slot " +
+                               std::to_string(slot_) + " schema");
+    }
+    return Status::OK();
+  }
+  const std::string& key() const { return key_; }
+  size_t slot() const { return slot_; }
+
+ private:
+  size_t slot_;
+  std::string key_;
+};
+
+class LitExpr : public Expr {
+ public:
+  explicit LitExpr(MetaValue v) : v_(std::move(v)) {}
+  Result<MetaValue> Eval(const PatchTuple&) const override { return v_; }
+  std::string ToString() const override { return v_.ToDisplayString(); }
+
+ private:
+  MetaValue v_;
+};
+
+class GeomExpr : public Expr {
+ public:
+  GeomExpr(size_t slot, std::string what)
+      : slot_(slot), what_(std::move(what)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_RETURN_NOT_OK(CheckSlot(slot_, tuple));
+    const nn::BBox& b = tuple[slot_].bbox();
+    if (what_ == "width") return MetaValue(int64_t{b.Width()});
+    if (what_ == "height") return MetaValue(int64_t{b.Height()});
+    if (what_ == "area") return MetaValue(int64_t{b.Area()});
+    if (what_ == "cx") return MetaValue(int64_t{b.CenterX()});
+    if (what_ == "cy") return MetaValue(int64_t{b.CenterY()});
+    if (what_ == "x0") return MetaValue(int64_t{b.x0});
+    if (what_ == "y0") return MetaValue(int64_t{b.y0});
+    if (what_ == "x1") return MetaValue(int64_t{b.x1});
+    if (what_ == "y1") return MetaValue(int64_t{b.y1});
+    return Status::InvalidArgument("unknown geometry accessor: " + what_);
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(slot_) + ".@" + what_;
+  }
+
+ private:
+  size_t slot_;
+  std::string what_;
+};
+
+enum class CmpKind { kEq, kNe, kLt, kLe, kGt, kGe };
+
+class CmpExpr : public Expr {
+ public:
+  CmpExpr(CmpKind kind, ExprPtr a, ExprPtr b)
+      : kind_(kind), a_(std::move(a)), b_(std::move(b)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_ASSIGN_OR_RETURN(MetaValue va, a_->Eval(tuple));
+    DL_ASSIGN_OR_RETURN(MetaValue vb, b_->Eval(tuple));
+    if (va.is_null() || vb.is_null()) return MetaValue();  // SQL-ish null
+    const int c = va.Compare(vb);
+    switch (kind_) {
+      case CmpKind::kEq:
+        return MetaValue(c == 0);
+      case CmpKind::kNe:
+        return MetaValue(c != 0);
+      case CmpKind::kLt:
+        return MetaValue(c < 0);
+      case CmpKind::kLe:
+        return MetaValue(c <= 0);
+      case CmpKind::kGt:
+        return MetaValue(c > 0);
+      case CmpKind::kGe:
+        return MetaValue(c >= 0);
+    }
+    return Status::Internal("bad comparison kind");
+  }
+  std::string ToString() const override {
+    const char* op = "?";
+    switch (kind_) {
+      case CmpKind::kEq: op = "=="; break;
+      case CmpKind::kNe: op = "!="; break;
+      case CmpKind::kLt: op = "<"; break;
+      case CmpKind::kLe: op = "<="; break;
+      case CmpKind::kGt: op = ">"; break;
+      case CmpKind::kGe: op = ">="; break;
+    }
+    return "(" + a_->ToString() + " " + op + " " + b_->ToString() + ")";
+  }
+  Status Validate(const std::vector<PatchSchema>& schemas) const override {
+    DL_RETURN_NOT_OK(a_->Validate(schemas));
+    DL_RETURN_NOT_OK(b_->Validate(schemas));
+    // Domain check: attr == string-literal against a closed domain.
+    auto* attr = dynamic_cast<const AttrExpr*>(a_.get());
+    auto* lit = dynamic_cast<const LitExpr*>(b_.get());
+    if (attr != nullptr && lit != nullptr &&
+        attr->slot() < schemas.size()) {
+      DL_ASSIGN_OR_RETURN(MetaValue v, lit->Eval({}));
+      return schemas[attr->slot()].ValidatePredicate(attr->key(), v);
+    }
+    return Status::OK();
+  }
+
+  bool AsAttrCmpLit(int* op, size_t* slot, std::string* key,
+                    MetaValue* value) const override {
+    const auto* attr = dynamic_cast<const AttrExpr*>(a_.get());
+    const auto* lit = dynamic_cast<const LitExpr*>(b_.get());
+    bool swapped = false;
+    if (attr == nullptr || lit == nullptr) {
+      attr = dynamic_cast<const AttrExpr*>(b_.get());
+      lit = dynamic_cast<const LitExpr*>(a_.get());
+      swapped = true;
+    }
+    if (attr == nullptr || lit == nullptr) return false;
+    int raw;
+    switch (kind_) {
+      case CmpKind::kEq: raw = 0; break;
+      case CmpKind::kLt: raw = -2; break;
+      case CmpKind::kLe: raw = -1; break;
+      case CmpKind::kGt: raw = 2; break;
+      case CmpKind::kGe: raw = 1; break;
+      default: return false;  // != is not index-accelerable
+    }
+    *op = swapped ? -raw : raw;
+    *slot = attr->slot();
+    *key = attr->key();
+    *value = lit->Eval({}).value();
+    return true;
+  }
+
+ private:
+  CmpKind kind_;
+  ExprPtr a_, b_;
+};
+
+enum class BoolKind { kAnd, kOr, kNot };
+
+class BoolExpr : public Expr {
+ public:
+  BoolExpr(BoolKind kind, ExprPtr a, ExprPtr b)
+      : kind_(kind), a_(std::move(a)), b_(std::move(b)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_ASSIGN_OR_RETURN(bool va, a_->EvalBool(tuple));
+    if (kind_ == BoolKind::kNot) return MetaValue(!va);
+    if (kind_ == BoolKind::kAnd && !va) return MetaValue(false);
+    if (kind_ == BoolKind::kOr && va) return MetaValue(true);
+    DL_ASSIGN_OR_RETURN(bool vb, b_->EvalBool(tuple));
+    return MetaValue(kind_ == BoolKind::kAnd ? (va && vb) : (va || vb));
+  }
+  std::string ToString() const override {
+    switch (kind_) {
+      case BoolKind::kNot:
+        return "!" + a_->ToString();
+      case BoolKind::kAnd:
+        return "(" + a_->ToString() + " && " + b_->ToString() + ")";
+      case BoolKind::kOr:
+        return "(" + a_->ToString() + " || " + b_->ToString() + ")";
+    }
+    return "?";
+  }
+  Status Validate(const std::vector<PatchSchema>& schemas) const override {
+    DL_RETURN_NOT_OK(a_->Validate(schemas));
+    if (b_) DL_RETURN_NOT_OK(b_->Validate(schemas));
+    return Status::OK();
+  }
+
+  bool AsConjunction(ExprPtr* left, ExprPtr* right) const override {
+    if (kind_ != BoolKind::kAnd) return false;
+    *left = a_;
+    *right = b_;
+    return true;
+  }
+
+ private:
+  BoolKind kind_;
+  ExprPtr a_, b_;
+};
+
+enum class ArithKind { kAdd, kSub, kMul };
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithKind kind, ExprPtr a, ExprPtr b)
+      : kind_(kind), a_(std::move(a)), b_(std::move(b)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_ASSIGN_OR_RETURN(MetaValue va, a_->Eval(tuple));
+    DL_ASSIGN_OR_RETURN(MetaValue vb, b_->Eval(tuple));
+    if (va.is_null() || vb.is_null()) return MetaValue();
+    // Integer arithmetic stays integral; anything else widens to double.
+    if (va.type() == ValueType::kInt && vb.type() == ValueType::kInt) {
+      const int64_t x = va.AsInt().value();
+      const int64_t y = vb.AsInt().value();
+      switch (kind_) {
+        case ArithKind::kAdd: return MetaValue(x + y);
+        case ArithKind::kSub: return MetaValue(x - y);
+        case ArithKind::kMul: return MetaValue(x * y);
+      }
+    }
+    DL_ASSIGN_OR_RETURN(double x, va.AsNumeric());
+    DL_ASSIGN_OR_RETURN(double y, vb.AsNumeric());
+    switch (kind_) {
+      case ArithKind::kAdd: return MetaValue(x + y);
+      case ArithKind::kSub: return MetaValue(x - y);
+      case ArithKind::kMul: return MetaValue(x * y);
+    }
+    return Status::Internal("bad arithmetic kind");
+  }
+  std::string ToString() const override {
+    const char* op = kind_ == ArithKind::kAdd
+                         ? "+"
+                         : (kind_ == ArithKind::kSub ? "-" : "*");
+    return "(" + a_->ToString() + " " + op + " " + b_->ToString() + ")";
+  }
+  Status Validate(const std::vector<PatchSchema>& schemas) const override {
+    DL_RETURN_NOT_OK(a_->Validate(schemas));
+    return b_->Validate(schemas);
+  }
+
+ private:
+  ArithKind kind_;
+  ExprPtr a_, b_;
+};
+
+class FeatureDistanceExpr : public Expr {
+ public:
+  FeatureDistanceExpr(size_t a, size_t b) : a_(a), b_(b) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_RETURN_NOT_OK(CheckSlot(a_, tuple));
+    DL_RETURN_NOT_OK(CheckSlot(b_, tuple));
+    const Tensor& fa = tuple[a_].features();
+    const Tensor& fb = tuple[b_].features();
+    if (fa.empty() || fb.empty()) {
+      return Status::InvalidArgument(
+          "FeatureDistance on a patch without features (run a Transformer "
+          "first)");
+    }
+    return MetaValue(static_cast<double>(ops::L2Distance(fa, fb)));
+  }
+  std::string ToString() const override {
+    return "dist($" + std::to_string(a_) + ", $" + std::to_string(b_) + ")";
+  }
+
+ private:
+  size_t a_, b_;
+};
+
+class BoxIouExpr : public Expr {
+ public:
+  BoxIouExpr(size_t a, size_t b) : a_(a), b_(b) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_RETURN_NOT_OK(CheckSlot(a_, tuple));
+    DL_RETURN_NOT_OK(CheckSlot(b_, tuple));
+    return MetaValue(
+        static_cast<double>(tuple[a_].bbox().Iou(tuple[b_].bbox())));
+  }
+  std::string ToString() const override {
+    return "iou($" + std::to_string(a_) + ", $" + std::to_string(b_) + ")";
+  }
+
+ private:
+  size_t a_, b_;
+};
+
+}  // namespace
+
+ExprPtr Attr(size_t slot, std::string key) {
+  return std::make_shared<AttrExpr>(slot, std::move(key));
+}
+ExprPtr Attr(std::string key) { return Attr(0, std::move(key)); }
+ExprPtr Lit(MetaValue value) {
+  return std::make_shared<LitExpr>(std::move(value));
+}
+ExprPtr Geom(size_t slot, std::string what) {
+  return std::make_shared<GeomExpr>(slot, std::move(what));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CmpExpr>(CmpKind::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CmpExpr>(CmpKind::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CmpExpr>(CmpKind::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CmpExpr>(CmpKind::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CmpExpr>(CmpKind::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CmpExpr>(CmpKind::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BoolExpr>(BoolKind::kAnd, std::move(a),
+                                    std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BoolExpr>(BoolKind::kOr, std::move(a),
+                                    std::move(b));
+}
+ExprPtr Not(ExprPtr a) {
+  return std::make_shared<BoolExpr>(BoolKind::kNot, std::move(a), nullptr);
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithKind::kAdd, std::move(a),
+                                     std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithKind::kSub, std::move(a),
+                                     std::move(b));
+}
+ExprPtr MulE(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithKind::kMul, std::move(a),
+                                     std::move(b));
+}
+
+ExprPtr FeatureDistance(size_t slot_a, size_t slot_b) {
+  return std::make_shared<FeatureDistanceExpr>(slot_a, slot_b);
+}
+ExprPtr BoxIou(size_t slot_a, size_t slot_b) {
+  return std::make_shared<BoxIouExpr>(slot_a, slot_b);
+}
+
+}  // namespace deeplens

@@ -1,0 +1,96 @@
+// Typed expression trees over patch-tuple metadata: the predicate language
+// of Select / θ-Join operators. Expressions evaluate against a PatchTuple
+// (joins bind multiple patches; attribute references carry a tuple slot).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/patch.h"
+#include "core/types.h"
+
+namespace deeplens {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// \brief Expression node. Eval returns a MetaValue; predicates are
+/// expressions evaluating to bool.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  virtual Result<MetaValue> Eval(const PatchTuple& tuple) const = 0;
+  virtual std::string ToString() const = 0;
+
+  /// Static type/domain validation against per-slot schemas (paper §4.2).
+  virtual Status Validate(const std::vector<PatchSchema>& schemas) const {
+    (void)schemas;
+    return Status::OK();
+  }
+
+  /// Convenience: evaluate as a boolean predicate (null → false).
+  Result<bool> EvalBool(const PatchTuple& tuple) const;
+
+  // --- Planner introspection hooks (default: opaque) -------------------
+
+  /// If this node is an AND, fills both children and returns true.
+  virtual bool AsConjunction(ExprPtr* left, ExprPtr* right) const {
+    (void)left;
+    (void)right;
+    return false;
+  }
+
+  /// If this node compares attr(slot, key) against a literal, fills the
+  /// normalized comparison (op: -2 '<', -1 '<=', 0 '==', 1 '>=', 2 '>',
+  /// with the attribute on the left) and returns true.
+  virtual bool AsAttrCmpLit(int* op, size_t* slot, std::string* key,
+                            MetaValue* value) const {
+    (void)op;
+    (void)slot;
+    (void)key;
+    (void)value;
+    return false;
+  }
+};
+
+// --- Leaf nodes ---------------------------------------------------------
+
+/// Reference to a metadata attribute of tuple slot `slot`.
+ExprPtr Attr(size_t slot, std::string key);
+/// Reference to an attribute of slot 0 (the common single-relation case).
+ExprPtr Attr(std::string key);
+/// Constant.
+ExprPtr Lit(MetaValue value);
+/// Built-in geometric accessors on the patch itself (not the meta dict):
+/// "width", "height", "area", "cx", "cy", "x0", "y0", "x1", "y1".
+ExprPtr Geom(size_t slot, std::string what);
+
+// --- Comparisons & logic -------------------------------------------------
+
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+
+// --- Arithmetic ----------------------------------------------------------
+
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr MulE(ExprPtr a, ExprPtr b);
+
+// --- Vision-specific -----------------------------------------------------
+
+/// Euclidean distance between the feature vectors of two tuple slots.
+ExprPtr FeatureDistance(size_t slot_a, size_t slot_b);
+/// IoU between the bounding boxes of two tuple slots.
+ExprPtr BoxIou(size_t slot_a, size_t slot_b);
+
+}  // namespace deeplens

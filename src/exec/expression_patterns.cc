@@ -1,0 +1,57 @@
+#include "exec/expression_patterns.h"
+
+namespace deeplens {
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (!expr) return;
+  ExprPtr left, right;
+  if (expr->AsConjunction(&left, &right)) {
+    CollectConjuncts(left, out);
+    CollectConjuncts(right, out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+std::optional<AttrEqLitPattern> MatchAttrEqLit(const ExprPtr& expr) {
+  int op;
+  AttrEqLitPattern p;
+  if (expr && expr->AsAttrCmpLit(&op, &p.slot, &p.key, &p.value) &&
+      op == 0) {
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<AttrRangePattern> MatchAttrRange(const ExprPtr& expr) {
+  int op;
+  size_t slot;
+  std::string key;
+  MetaValue value;
+  if (!expr || !expr->AsAttrCmpLit(&op, &slot, &key, &value)) {
+    return std::nullopt;
+  }
+  AttrRangePattern p;
+  p.slot = slot;
+  p.key = std::move(key);
+  switch (op) {
+    case 0:
+      p.lo = value;
+      p.hi = value;
+      break;
+    case -1:  // attr <= v
+    case -2:  // attr < v (treated as <= for candidate generation; the
+              // residual predicate re-checks exactness)
+      p.hi = value;
+      break;
+    case 1:  // attr >= v
+    case 2:  // attr > v
+      p.lo = value;
+      break;
+    default:
+      return std::nullopt;
+  }
+  return p;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,37 @@
+// Pattern extraction over expression trees, used by the planner to match
+// predicates against available indexes (attr == literal → hash/B+Tree
+// lookup; attr </<= literal → B+Tree range).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "exec/expression.h"
+
+namespace deeplens {
+
+/// attr(slot, key) == literal.
+struct AttrEqLitPattern {
+  size_t slot = 0;
+  std::string key;
+  MetaValue value;
+};
+
+/// lo <= attr <= hi (either bound may be absent).
+struct AttrRangePattern {
+  size_t slot = 0;
+  std::string key;
+  std::optional<MetaValue> lo;
+  std::optional<MetaValue> hi;
+};
+
+/// Splits a predicate into its top-level AND conjuncts.
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Matches `expr` as attr == literal (either operand order).
+std::optional<AttrEqLitPattern> MatchAttrEqLit(const ExprPtr& expr);
+
+/// Matches `expr` as a one-sided comparison of attr vs literal.
+std::optional<AttrRangePattern> MatchAttrRange(const ExprPtr& expr);
+
+}  // namespace deeplens

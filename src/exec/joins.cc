@@ -1,0 +1,252 @@
+#include "exec/joins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/clock.h"
+
+namespace deeplens {
+
+namespace {
+
+Result<PatchCollection> Materialize(PatchIterator* it) {
+  return CollectPatches(it);
+}
+
+PatchTuple Concat(const Patch& a, const Patch& b) {
+  PatchTuple t;
+  t.reserve(2);
+  t.push_back(a);
+  t.push_back(b);
+  return t;
+}
+
+Result<bool> PassesResidual(const ExprPtr& residual, const PatchTuple& t) {
+  if (!residual) return true;
+  return residual->EvalBool(t);
+}
+
+// Gathers the feature matrix of a collection; fails if any patch lacks
+// features or dimensions disagree.
+Result<size_t> FeatureDim(const PatchCollection& patches) {
+  size_t dim = 0;
+  for (const Patch& p : patches) {
+    if (!p.has_features()) {
+      return Status::InvalidArgument(
+          "similarity join requires featurized patches (run a Transformer "
+          "first)");
+    }
+    const size_t d = static_cast<size_t>(p.features().size());
+    if (dim == 0) {
+      dim = d;
+    } else if (dim != d) {
+      return Status::InvalidArgument(
+          "similarity join: inconsistent feature dimensionality");
+    }
+  }
+  return dim;
+}
+
+}  // namespace
+
+Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
+                                               PatchIterator* right,
+                                               const ExprPtr& predicate,
+                                               JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+  std::vector<PatchTuple> out;
+  uint64_t examined = 0;
+  for (const Patch& a : lhs) {
+    for (const Patch& b : rhs) {
+      ++examined;
+      PatchTuple t = Concat(a, b);
+      DL_ASSIGN_OR_RETURN(bool pass, predicate->EvalBool(t));
+      if (pass) out.push_back(std::move(t));
+    }
+  }
+  if (stats != nullptr) {
+    stats->pairs_examined = examined;
+    stats->tuples_emitted = out.size();
+  }
+  return out;
+}
+
+Result<std::vector<PatchTuple>> HashEqualityJoin(
+    PatchIterator* left, PatchIterator* right, const std::string& key,
+    const ExprPtr& residual, JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+
+  Stopwatch build_timer;
+  HashIndex index;
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    index.Insert(Slice(rhs[i].meta().Get(key).ToIndexKey()),
+                 static_cast<RowId>(i));
+  }
+  const double build_ms = build_timer.ElapsedMillis();
+
+  std::vector<PatchTuple> out;
+  uint64_t examined = 0;
+  std::vector<RowId> matches;
+  for (const Patch& a : lhs) {
+    matches.clear();
+    index.Lookup(Slice(a.meta().Get(key).ToIndexKey()), &matches);
+    for (RowId r : matches) {
+      ++examined;
+      PatchTuple t = Concat(a, rhs[static_cast<size_t>(r)]);
+      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
+      if (pass) out.push_back(std::move(t));
+    }
+  }
+  if (stats != nullptr) {
+    stats->pairs_examined = examined;
+    stats->tuples_emitted = out.size();
+    stats->index_build_millis = build_ms;
+  }
+  return out;
+}
+
+Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
+    PatchIterator* left, PatchIterator* right,
+    const SimilarityJoinOptions& options, const ExprPtr& residual,
+    JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+
+  // Index the smaller relation (paper §5), probe with the other; emitted
+  // tuples always keep (left, right) order.
+  const bool index_right =
+      options.force_index_right || rhs.size() <= lhs.size();
+  const PatchCollection& indexed = index_right ? rhs : lhs;
+  const PatchCollection& probes = index_right ? lhs : rhs;
+
+  DL_ASSIGN_OR_RETURN(size_t dim, FeatureDim(indexed));
+  DL_ASSIGN_OR_RETURN(size_t probe_dim, FeatureDim(probes));
+  if (dim == 0 || probe_dim != dim) {
+    return Status::InvalidArgument(
+        "similarity join: feature dimensions disagree across relations");
+  }
+
+  Stopwatch build_timer;
+  std::vector<float> points(indexed.size() * dim);
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    const float* f = indexed[i].features().data();
+    std::copy(f, f + dim, points.begin() + static_cast<ptrdiff_t>(i * dim));
+  }
+  BallTree tree;
+  DL_RETURN_NOT_OK(tree.Build(std::move(points), dim, {}));
+  const double build_ms = build_timer.ElapsedMillis();
+
+  std::vector<PatchTuple> out;
+  std::vector<RowId> matches;
+  for (const Patch& probe : probes) {
+    matches.clear();
+    tree.RangeSearch(probe.features().data(), options.max_distance,
+                     &matches);
+    for (RowId r : matches) {
+      const Patch& hit = indexed[static_cast<size_t>(r)];
+      if (options.skip_identical_ids && probe.id() == hit.id()) continue;
+      PatchTuple t = index_right ? Concat(probe, hit) : Concat(hit, probe);
+      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
+      if (pass) out.push_back(std::move(t));
+    }
+  }
+  if (stats != nullptr) {
+    stats->pairs_examined = tree.distance_evals();
+    stats->tuples_emitted = out.size();
+    stats->index_build_millis = build_ms;
+  }
+  return out;
+}
+
+Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
+    PatchIterator* left, PatchIterator* right, float max_distance,
+    nn::Device* device, const ExprPtr& residual, JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+  if (lhs.empty() || rhs.empty()) return std::vector<PatchTuple>{};
+
+  DL_ASSIGN_OR_RETURN(size_t dim, FeatureDim(lhs));
+  DL_ASSIGN_OR_RETURN(size_t rdim, FeatureDim(rhs));
+  if (dim != rdim) {
+    return Status::InvalidArgument(
+        "similarity join: feature dimensions disagree across relations");
+  }
+
+  std::vector<float> a(lhs.size() * dim);
+  std::vector<float> b(rhs.size() * dim);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    const float* f = lhs[i].features().data();
+    std::copy(f, f + dim, a.begin() + static_cast<ptrdiff_t>(i * dim));
+  }
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    const float* f = rhs[j].features().data();
+    std::copy(f, f + dim, b.begin() + static_cast<ptrdiff_t>(j * dim));
+  }
+  std::vector<float> d2(lhs.size() * rhs.size());
+  device->PairwiseL2Squared(a.data(), lhs.size(), b.data(), rhs.size(), dim,
+                            d2.data());
+
+  const float threshold2 = max_distance * max_distance;
+  std::vector<PatchTuple> out;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    for (size_t j = 0; j < rhs.size(); ++j) {
+      if (d2[i * rhs.size() + j] > threshold2) continue;
+      if (lhs[i].id() == rhs[j].id()) continue;
+      PatchTuple t = Concat(lhs[i], rhs[j]);
+      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
+      if (pass) out.push_back(std::move(t));
+    }
+  }
+  if (stats != nullptr) {
+    stats->pairs_examined = lhs.size() * rhs.size();
+    stats->tuples_emitted = out.size();
+  }
+  return out;
+}
+
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchIterator* left,
+                                                 PatchIterator* right,
+                                                 const ExprPtr& residual,
+                                                 JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+
+  Stopwatch build_timer;
+  RTree tree;
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    const nn::BBox& b = rhs[i].bbox();
+    tree.Insert(Rect{static_cast<float>(b.x0), static_cast<float>(b.y0),
+                     static_cast<float>(b.x1), static_cast<float>(b.y1)},
+                static_cast<RowId>(i));
+  }
+  const double build_ms = build_timer.ElapsedMillis();
+
+  std::vector<PatchTuple> out;
+  uint64_t examined = 0;
+  std::vector<RowId> matches;
+  for (const Patch& a : lhs) {
+    matches.clear();
+    const nn::BBox& box = a.bbox();
+    tree.SearchIntersects(
+        Rect{static_cast<float>(box.x0), static_cast<float>(box.y0),
+             static_cast<float>(box.x1), static_cast<float>(box.y1)},
+        &matches);
+    for (RowId r : matches) {
+      ++examined;
+      PatchTuple t = Concat(a, rhs[static_cast<size_t>(r)]);
+      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
+      if (pass) out.push_back(std::move(t));
+    }
+  }
+  if (stats != nullptr) {
+    stats->pairs_examined = examined;
+    stats->tuples_emitted = out.size();
+    stats->index_build_millis = build_ms;
+  }
+  return out;
+}
+
+}  // namespace deeplens

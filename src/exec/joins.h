@@ -1,0 +1,71 @@
+// Join operators (paper §5): nested-loop θ-join, index equality join,
+// R-Tree spatial join, and the on-the-fly Ball-Tree similarity join that
+// the paper highlights for image matching. Join outputs concatenate the
+// input tuples (left ++ right).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exec/operators.h"
+#include "index/balltree.h"
+#include "index/hash_index.h"
+#include "index/rtree.h"
+#include "nn/device.h"
+
+namespace deeplens {
+
+/// Counters the benchmarks report (pairs examined vs emitted).
+struct JoinStats {
+  uint64_t pairs_examined = 0;
+  uint64_t tuples_emitted = 0;
+  double index_build_millis = 0.0;
+};
+
+/// \brief Nested-loop θ-join: every pair is tested against `predicate`.
+/// The baseline all plans are compared to (Figure 4's "no index" bars).
+/// Materializes both sides.
+Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
+                                               PatchIterator* right,
+                                               const ExprPtr& predicate,
+                                               JoinStats* stats = nullptr);
+
+/// \brief Hash equality join on a metadata key: builds a HashIndex over
+/// the right side, probes with the left. An optional `residual` predicate
+/// filters matched pairs.
+Result<std::vector<PatchTuple>> HashEqualityJoin(
+    PatchIterator* left, PatchIterator* right, const std::string& key,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+
+/// \brief On-the-fly Ball-Tree similarity join (paper §5 "On-The-Fly
+/// Index Similarity Join"): loads the smaller relation into an in-memory
+/// Ball-Tree over patch features, probes with the other side, and emits
+/// pairs within `max_distance`. `residual` optionally filters pairs.
+struct SimilarityJoinOptions {
+  float max_distance = 0.25f;
+  /// Build the index over the right side even if it is larger.
+  bool force_index_right = false;
+  /// Skip self-pairs (same patch id) — needed for self-joins (q1).
+  bool skip_identical_ids = true;
+};
+Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
+    PatchIterator* left, PatchIterator* right,
+    const SimilarityJoinOptions& options, const ExprPtr& residual = nullptr,
+    JoinStats* stats = nullptr);
+
+/// \brief All-pairs similarity join on a Device: computes the full
+/// pairwise distance matrix with the device's matching kernel (the GPU /
+/// AVX comparison of §7.4.2), then filters by threshold.
+Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
+    PatchIterator* left, PatchIterator* right, float max_distance,
+    nn::Device* device, const ExprPtr& residual = nullptr,
+    JoinStats* stats = nullptr);
+
+/// \brief R-Tree spatial join: emits pairs whose bounding boxes intersect
+/// (containment/intersection queries of §3.2). Builds the R-Tree over the
+/// right side.
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(
+    PatchIterator* left, PatchIterator* right,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+
+}  // namespace deeplens

@@ -1,0 +1,204 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+namespace deeplens {
+
+namespace {
+
+class VectorSource : public PatchIterator {
+ public:
+  explicit VectorSource(PatchCollection patches)
+      : patches_(std::move(patches)) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    if (pos_ >= patches_.size()) return std::optional<PatchTuple>();
+    PatchTuple t{patches_[pos_++]};
+    return std::optional<PatchTuple>(std::move(t));
+  }
+
+ private:
+  PatchCollection patches_;
+  size_t pos_ = 0;
+};
+
+class GeneratorSource : public PatchIterator {
+ public:
+  explicit GeneratorSource(
+      std::function<Result<std::optional<PatchTuple>>()> fn)
+      : fn_(std::move(fn)) {}
+
+  Result<std::optional<PatchTuple>> Next() override { return fn_(); }
+
+ private:
+  std::function<Result<std::optional<PatchTuple>>()> fn_;
+};
+
+class FilterOp : public PatchIterator {
+ public:
+  FilterOp(PatchIteratorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    while (true) {
+      DL_ASSIGN_OR_RETURN(auto tuple, child_->Next());
+      if (!tuple.has_value()) return std::optional<PatchTuple>();
+      DL_ASSIGN_OR_RETURN(bool pass, predicate_->EvalBool(*tuple));
+      if (pass) return tuple;
+    }
+  }
+
+ private:
+  PatchIteratorPtr child_;
+  ExprPtr predicate_;
+};
+
+class MapOp : public PatchIterator {
+ public:
+  MapOp(PatchIteratorPtr child,
+        std::function<Result<PatchTuple>(PatchTuple)> fn)
+      : child_(std::move(child)), fn_(std::move(fn)) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    DL_ASSIGN_OR_RETURN(auto tuple, child_->Next());
+    if (!tuple.has_value()) return std::optional<PatchTuple>();
+    DL_ASSIGN_OR_RETURN(PatchTuple mapped, fn_(std::move(*tuple)));
+    return std::optional<PatchTuple>(std::move(mapped));
+  }
+
+ private:
+  PatchIteratorPtr child_;
+  std::function<Result<PatchTuple>(PatchTuple)> fn_;
+};
+
+class LimitOp : public PatchIterator {
+ public:
+  LimitOp(PatchIteratorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    if (emitted_ >= limit_) return std::optional<PatchTuple>();
+    DL_ASSIGN_OR_RETURN(auto tuple, child_->Next());
+    if (tuple.has_value()) ++emitted_;
+    return tuple;
+  }
+
+ private:
+  PatchIteratorPtr child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+class UnionOp : public PatchIterator {
+ public:
+  explicit UnionOp(std::vector<PatchIteratorPtr> children)
+      : children_(std::move(children)) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    while (current_ < children_.size()) {
+      DL_ASSIGN_OR_RETURN(auto tuple, children_[current_]->Next());
+      if (tuple.has_value()) return tuple;
+      ++current_;
+    }
+    return std::optional<PatchTuple>();
+  }
+
+ private:
+  std::vector<PatchIteratorPtr> children_;
+  size_t current_ = 0;
+};
+
+class ProjectOp : public PatchIterator {
+ public:
+  ProjectOp(PatchIteratorPtr child, ProjectSpec spec)
+      : child_(std::move(child)), spec_(std::move(spec)) {}
+
+  Result<std::optional<PatchTuple>> Next() override {
+    DL_ASSIGN_OR_RETURN(auto tuple, child_->Next());
+    if (!tuple.has_value()) return std::optional<PatchTuple>();
+    for (Patch& p : *tuple) {
+      if (!spec_.keep_pixels) p.set_pixels(Image());
+      if (!spec_.keep_features) p.set_features(Tensor());
+      if (!spec_.keep_meta_keys.empty()) {
+        MetaDict kept;
+        for (const std::string& key : spec_.keep_meta_keys) {
+          if (p.meta().Contains(key)) kept.Set(key, p.meta().Get(key));
+        }
+        p.mutable_meta() = std::move(kept);
+      }
+    }
+    return tuple;
+  }
+
+ private:
+  PatchIteratorPtr child_;
+  ProjectSpec spec_;
+};
+
+}  // namespace
+
+PatchIteratorPtr MakeVectorSource(PatchCollection patches) {
+  return std::make_unique<VectorSource>(std::move(patches));
+}
+
+PatchIteratorPtr MakeGeneratorSource(
+    std::function<Result<std::optional<PatchTuple>>()> fn) {
+  return std::make_unique<GeneratorSource>(std::move(fn));
+}
+
+PatchIteratorPtr MakeFilter(PatchIteratorPtr child, ExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+
+PatchIteratorPtr MakeMap(PatchIteratorPtr child,
+                         std::function<Result<PatchTuple>(PatchTuple)> fn) {
+  return std::make_unique<MapOp>(std::move(child), std::move(fn));
+}
+
+PatchIteratorPtr MakeLimit(PatchIteratorPtr child, size_t limit) {
+  return std::make_unique<LimitOp>(std::move(child), limit);
+}
+
+PatchIteratorPtr MakeUnion(std::vector<PatchIteratorPtr> children) {
+  return std::make_unique<UnionOp>(std::move(children));
+}
+
+PatchIteratorPtr MakeProject(PatchIteratorPtr child, ProjectSpec spec) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(spec));
+}
+
+Result<std::vector<PatchTuple>> Collect(PatchIterator* it) {
+  std::vector<PatchTuple> out;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    out.push_back(std::move(*tuple));
+  }
+  return out;
+}
+
+Result<PatchCollection> CollectPatches(PatchIterator* it) {
+  PatchCollection out;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    if (tuple->size() != 1) {
+      return Status::InvalidArgument(
+          "CollectPatches on a multi-patch tuple stream");
+    }
+    out.push_back(std::move((*tuple)[0]));
+  }
+  return out;
+}
+
+Result<uint64_t> Drain(PatchIterator* it) {
+  uint64_t n = 0;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
+    if (!tuple.has_value()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,227 @@
+#include "index/balltree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "tensor/ops.h"
+
+namespace deeplens {
+
+BallTree::BallTree(int leaf_size)
+    : leaf_size_(leaf_size < 2 ? 2 : leaf_size) {}
+
+Status BallTree::Build(std::vector<float> points, size_t dim,
+                       std::vector<RowId> rows) {
+  if (dim == 0) return Status::InvalidArgument("BallTree dim must be > 0");
+  if (points.size() % dim != 0) {
+    return Status::InvalidArgument(
+        "BallTree points buffer is not a multiple of dim");
+  }
+  const size_t n = points.size() / dim;
+  if (rows.empty()) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = static_cast<RowId>(i);
+  }
+  if (rows.size() != n) {
+    return Status::InvalidArgument("BallTree rows size mismatch");
+  }
+  dim_ = dim;
+  points_ = std::move(points);
+  rows_ = std::move(rows);
+  perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) perm_[i] = static_cast<uint32_t>(i);
+  nodes_.clear();
+  centroids_.clear();
+  max_depth_ = 0;
+  distance_evals_ = 0;
+  if (n > 0) {
+    BuildRec(0, static_cast<uint32_t>(n), 1);
+  }
+  return Status::OK();
+}
+
+int32_t BallTree::BuildRec(uint32_t begin, uint32_t end, int depth) {
+  max_depth_ = std::max<uint64_t>(max_depth_, static_cast<uint64_t>(depth));
+  const int32_t node_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  const uint32_t centroid_off =
+      static_cast<uint32_t>(centroids_.size() / dim_);
+  centroids_.resize(centroids_.size() + dim_, 0.0f);
+
+  // Centroid = mean of the points in range.
+  {
+    float* c = centroids_.data() + static_cast<size_t>(centroid_off) * dim_;
+    for (uint32_t i = begin; i < end; ++i) {
+      const float* p = PointAt(i);
+      for (size_t d = 0; d < dim_; ++d) c[d] += p[d];
+    }
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    for (size_t d = 0; d < dim_; ++d) c[d] *= inv;
+  }
+  const float* c = centroids_.data() + static_cast<size_t>(centroid_off) * dim_;
+
+  // Covering radius.
+  float r2max = 0.0f;
+  for (uint32_t i = begin; i < end; ++i) {
+    r2max = std::max(r2max, ops::L2SquaredVector(PointAt(i), c, dim_));
+  }
+
+  Node& node = nodes_[static_cast<size_t>(node_idx)];
+  node.begin = begin;
+  node.end = end;
+  node.radius = std::sqrt(r2max);
+  node.centroid = centroid_off;
+
+  if (end - begin <= static_cast<uint32_t>(leaf_size_)) {
+    return node_idx;  // leaf
+  }
+
+  // Split direction: the vector between the two approximately-farthest
+  // points (standard ball-tree construction). Pick p1 far from centroid,
+  // then p2 far from p1; project everything on (p2 - p1) and split at the
+  // median projection.
+  uint32_t p1 = begin;
+  {
+    float best = -1.0f;
+    for (uint32_t i = begin; i < end; ++i) {
+      const float d2 = ops::L2SquaredVector(PointAt(i), c, dim_);
+      if (d2 > best) {
+        best = d2;
+        p1 = i;
+      }
+    }
+  }
+  uint32_t p2 = begin;
+  {
+    const float* a = PointAt(p1);
+    float best = -1.0f;
+    for (uint32_t i = begin; i < end; ++i) {
+      const float d2 = ops::L2SquaredVector(PointAt(i), a, dim_);
+      if (d2 > best) {
+        best = d2;
+        p2 = i;
+      }
+    }
+  }
+
+  // Projection values. Copy the axis first: PointAt references move as we
+  // permute, so materialize it.
+  std::vector<float> axis(dim_);
+  {
+    const float* a = PointAt(p1);
+    const float* b = PointAt(p2);
+    for (size_t d = 0; d < dim_; ++d) axis[d] = b[d] - a[d];
+  }
+  const uint32_t count = end - begin;
+  std::vector<float> proj(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    proj[i] = ops::DotVector(PointAt(begin + i), axis.data(), dim_);
+  }
+  // Median split via nth_element over an index permutation.
+  std::vector<uint32_t> order(count);
+  for (uint32_t i = 0; i < count; ++i) order[i] = i;
+  const uint32_t mid = count / 2;
+  std::nth_element(order.begin(), order.begin() + mid, order.end(),
+                   [&proj](uint32_t a, uint32_t b) {
+                     return proj[a] < proj[b];
+                   });
+  // Apply: rearrange perm_[begin..end) so the low-projection half is first.
+  std::vector<uint32_t> rearranged(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    rearranged[i] = perm_[begin + order[i]];
+  }
+  std::copy(rearranged.begin(), rearranged.end(), perm_.begin() + begin);
+
+  // Degenerate split guard (all projections equal): force a halfway cut.
+  uint32_t split = begin + mid;
+  if (split == begin) split = begin + 1;
+  if (split == end) split = end - 1;
+
+  const int32_t left = BuildRec(begin, split, depth + 1);
+  const int32_t right = BuildRec(split, end, depth + 1);
+  nodes_[static_cast<size_t>(node_idx)].left = left;
+  nodes_[static_cast<size_t>(node_idx)].right = right;
+  return node_idx;
+}
+
+void BallTree::RangeSearch(const float* query, float radius,
+                           std::vector<RowId>* out) const {
+  if (nodes_.empty()) return;
+  const float r2 = radius * radius;
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    const float* c = centroids_.data() + static_cast<size_t>(node.centroid) * dim_;
+    const float dc = std::sqrt(ops::L2SquaredVector(query, c, dim_));
+    ++distance_evals_;
+    // Prune: the closest any member can be is dc - radius_of_ball.
+    if (dc - node.radius > radius) continue;
+    if (node.left < 0) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        ++distance_evals_;
+        if (ops::L2SquaredVector(query, PointAt(i), dim_) <= r2) {
+          out->push_back(rows_[perm_[i]]);
+        }
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+void BallTree::KnnSearch(const float* query, size_t k,
+                         std::vector<std::pair<float, RowId>>* out) const {
+  out->clear();
+  if (nodes_.empty() || k == 0) return;
+  // Max-heap of the best k candidates (top = worst of the best).
+  std::priority_queue<std::pair<float, RowId>> best;
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    const float* c = centroids_.data() + static_cast<size_t>(node.centroid) * dim_;
+    const float dc = std::sqrt(ops::L2SquaredVector(query, c, dim_));
+    ++distance_evals_;
+    if (best.size() == k && dc - node.radius > best.top().first) continue;
+    if (node.left < 0) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        ++distance_evals_;
+        const float d =
+            std::sqrt(ops::L2SquaredVector(query, PointAt(i), dim_));
+        if (best.size() < k) {
+          best.emplace(d, rows_[perm_[i]]);
+        } else if (d < best.top().first) {
+          best.pop();
+          best.emplace(d, rows_[perm_[i]]);
+        }
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  out->resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    (*out)[i] = best.top();
+    best.pop();
+  }
+}
+
+IndexStats BallTree::Stats() const {
+  IndexStats s;
+  s.num_entries = rows_.size();
+  s.depth = max_depth_;
+  s.memory_bytes = points_.size() * sizeof(float) +
+                   rows_.size() * sizeof(RowId) +
+                   perm_.size() * sizeof(uint32_t) +
+                   nodes_.size() * sizeof(Node) +
+                   centroids_.size() * sizeof(float);
+  return s;
+}
+
+uint64_t BallTree::height() const { return max_depth_; }
+
+}  // namespace deeplens

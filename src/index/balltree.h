@@ -1,0 +1,76 @@
+// Ball-Tree over d-dimensional float vectors, built in bulk. Answers
+// Euclidean threshold ("similarity") queries and k-nearest-neighbour
+// queries — the structure the paper found most effective for
+// high-dimensional image-feature matching (§3.2, Figures 4/5/7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+
+namespace deeplens {
+
+/// \brief Bulk-built Ball-Tree. Points are stored in a flat row-major
+/// buffer; internal nodes hold a centroid and covering radius used to
+/// prune subtrees whose ball cannot contain a match.
+class BallTree {
+ public:
+  /// `leaf_size` = max points per leaf node.
+  explicit BallTree(int leaf_size = 16);
+
+  /// Builds over `points` (n × dim, row-major) with external ids `rows`
+  /// (parallel to points; pass empty to use 0..n-1).
+  Status Build(std::vector<float> points, size_t dim,
+               std::vector<RowId> rows);
+
+  bool built() const { return dim_ > 0; }
+  size_t dim() const { return dim_; }
+  uint64_t size() const { return rows_.size(); }
+
+  /// Rows within Euclidean distance <= `radius` of `query` (dim_ floats).
+  void RangeSearch(const float* query, float radius,
+                   std::vector<RowId>* out) const;
+
+  /// The k nearest rows to `query`, closest first. Returns pairs of
+  /// (distance, row).
+  void KnnSearch(const float* query, size_t k,
+                 std::vector<std::pair<float, RowId>>* out) const;
+
+  /// Number of point-distance evaluations performed since construction;
+  /// exposed so tests can verify pruning actually happens.
+  uint64_t distance_evals() const { return distance_evals_; }
+  void ResetCounters() { distance_evals_ = 0; }
+
+  IndexStats Stats() const;
+  uint64_t height() const;
+
+ private:
+  struct Node {
+    // Points in [begin, end) of the permuted order.
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    int32_t left = -1;   // child node indexes, -1 for leaves
+    int32_t right = -1;
+    float radius = 0.0f;
+    uint32_t centroid = 0;  // offset into centroids_ (units of dim_)
+  };
+
+  int32_t BuildRec(uint32_t begin, uint32_t end, int depth);
+  const float* PointAt(uint32_t perm_idx) const {
+    return points_.data() + static_cast<size_t>(perm_[perm_idx]) * dim_;
+  }
+
+  int leaf_size_;
+  size_t dim_ = 0;
+  std::vector<float> points_;     // original order, n × dim
+  std::vector<RowId> rows_;       // original order
+  std::vector<uint32_t> perm_;    // permutation defining node ranges
+  std::vector<Node> nodes_;       // nodes_[0] is the root (if any)
+  std::vector<float> centroids_;  // one dim_-vector per node
+  uint64_t max_depth_ = 0;
+  mutable uint64_t distance_evals_ = 0;
+};
+
+}  // namespace deeplens

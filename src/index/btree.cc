@@ -1,0 +1,257 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace deeplens {
+
+struct BPlusTree::Node {
+  bool leaf = true;
+  std::vector<std::string> keys;
+  std::vector<Node*> children;  // internal nodes: keys.size() + 1 children
+  std::vector<RowId> values;    // leaves: parallel to keys
+  Node* next = nullptr;         // leaf chain
+};
+
+namespace {
+
+// First index with keys[i] >= key.
+size_t LowerBoundSlot(const std::vector<std::string>& keys,
+                      const Slice& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First index with keys[i] > key (used to pick internal children so equal
+// keys route right, keeping duplicates contiguous in leaf order).
+size_t UpperBoundSlot(const std::vector<std::string>& keys,
+                      const Slice& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(int fanout) : fanout_(fanout < 4 ? 4 : fanout) {}
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& o) noexcept
+    : root_(o.root_),
+      first_leaf_(o.first_leaf_),
+      fanout_(o.fanout_),
+      num_entries_(o.num_entries_) {
+  o.root_ = nullptr;
+  o.first_leaf_ = nullptr;
+  o.num_entries_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& o) noexcept {
+  if (this != &o) {
+    FreeTree(root_);
+    root_ = o.root_;
+    first_leaf_ = o.first_leaf_;
+    fanout_ = o.fanout_;
+    num_entries_ = o.num_entries_;
+    o.root_ = nullptr;
+    o.first_leaf_ = nullptr;
+    o.num_entries_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    for (Node* c : n->children) FreeTree(c);
+  }
+  delete n;
+}
+
+bool BPlusTree::InsertRec(Node* node, const Slice& key, RowId row,
+                          std::string* sep, Node** right_out) {
+  if (node->leaf) {
+    const size_t slot = UpperBoundSlot(node->keys, key);
+    node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(slot),
+                      key.ToString());
+    node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(slot),
+                        row);
+    if (node->keys.size() <= static_cast<size_t>(fanout_)) {
+      return false;
+    }
+    // Split the leaf in half; the right sibling's first key is promoted
+    // (copied, B+ semantics) to the parent.
+    const size_t mid = node->keys.size() / 2;
+    auto* right = new Node();
+    right->leaf = true;
+    right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                       node->keys.end());
+    right->values.assign(node->values.begin() + static_cast<ptrdiff_t>(mid),
+                         node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    node->next = right;
+    *sep = right->keys.front();
+    *right_out = right;
+    return true;
+  }
+
+  const size_t child_idx = UpperBoundSlot(node->keys, key);
+  std::string child_sep;
+  Node* child_right = nullptr;
+  if (!InsertRec(node->children[child_idx], key, row, &child_sep,
+                 &child_right)) {
+    return false;
+  }
+
+  node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(child_idx),
+                    std::move(child_sep));
+  node->children.insert(
+      node->children.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
+      child_right);
+  if (node->keys.size() <= static_cast<size_t>(fanout_)) {
+    return false;
+  }
+  // Split the internal node: the middle key moves up (not copied).
+  const size_t mid = node->keys.size() / 2;
+  auto* right = new Node();
+  right->leaf = false;
+  *sep = node->keys[mid];
+  right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                     node->keys.end());
+  right->children.assign(
+      node->children.begin() + static_cast<ptrdiff_t>(mid) + 1,
+      node->children.end());
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  *right_out = right;
+  return true;
+}
+
+void BPlusTree::Insert(const Slice& key, RowId row) {
+  if (root_ == nullptr) {
+    root_ = new Node();
+    root_->leaf = true;
+    first_leaf_ = root_;
+  }
+  std::string sep;
+  Node* right = nullptr;
+  if (InsertRec(root_, key, row, &sep, &right)) {
+    auto* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(sep));
+    new_root->children.push_back(root_);
+    new_root->children.push_back(right);
+    root_ = new_root;
+  }
+  ++num_entries_;
+}
+
+BPlusTree::LeafPos BPlusTree::LowerBound(const Slice& key) const {
+  const Node* n = root_;
+  if (n == nullptr) return {nullptr, 0};
+  while (!n->leaf) {
+    // Descend left on equality so we land on the first duplicate.
+    n = n->children[LowerBoundSlot(n->keys, key)];
+  }
+  size_t slot = LowerBoundSlot(n->keys, key);
+  if (slot == n->keys.size()) {
+    n = n->next;
+    slot = 0;
+  }
+  return {n, slot};
+}
+
+void BPlusTree::Lookup(const Slice& key, std::vector<RowId>* out) const {
+  RangeScan(key, key, out);
+}
+
+void BPlusTree::RangeScan(const Slice& lo, const Slice& hi,
+                          std::vector<RowId>* out) const {
+  LeafPos pos = LowerBound(lo);
+  const Node* n = pos.leaf;
+  size_t slot = pos.slot;
+  while (n != nullptr) {
+    for (; slot < n->keys.size(); ++slot) {
+      if (Slice(n->keys[slot]).Compare(hi) > 0) return;
+      out->push_back(n->values[slot]);
+    }
+    n = n->next;
+    slot = 0;
+  }
+}
+
+void BPlusTree::ScanFrom(const Slice& lo, std::vector<RowId>* out) const {
+  LeafPos pos = LowerBound(lo);
+  const Node* n = pos.leaf;
+  size_t slot = pos.slot;
+  while (n != nullptr) {
+    for (; slot < n->keys.size(); ++slot) out->push_back(n->values[slot]);
+    n = n->next;
+    slot = 0;
+  }
+}
+
+void BPlusTree::ForEach(
+    const std::function<bool(const Slice&, RowId)>& visitor) const {
+  const Node* n = first_leaf_;
+  while (n != nullptr) {
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      if (!visitor(Slice(n->keys[i]), n->values[i])) return;
+    }
+    n = n->next;
+  }
+}
+
+uint64_t BPlusTree::height() const {
+  uint64_t h = 0;
+  const Node* n = root_;
+  while (n != nullptr) {
+    ++h;
+    if (n->leaf) break;
+    n = n->children[0];
+  }
+  return h;
+}
+
+IndexStats BPlusTree::Stats() const {
+  IndexStats s;
+  s.num_entries = num_entries_;
+  s.depth = height();
+  // DFS byte accounting.
+  uint64_t bytes = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + n->values.size() * sizeof(RowId) +
+             n->children.size() * sizeof(Node*);
+    for (const auto& k : n->keys) bytes += k.size() + sizeof(std::string);
+    if (!n->leaf) {
+      for (const Node* c : n->children) stack.push_back(c);
+    }
+  }
+  s.memory_bytes = bytes;
+  return s;
+}
+
+}  // namespace deeplens

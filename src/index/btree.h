@@ -1,0 +1,71 @@
+// In-memory B+Tree over byte-string keys → RowId multimap, with linked
+// leaves for range scans. This is the workhorse single-dimensional index:
+// frame-number predicates, time windows, and one-sided bounding-box
+// queries all compile to B+Tree range scans (paper §3.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "index/index.h"
+
+namespace deeplens {
+
+/// \brief B+Tree multimap. Keys are compared lexicographically (use the
+/// EncodeKey* helpers for numeric attributes).
+class BPlusTree {
+ public:
+  /// `fanout` = max keys per node (>= 4).
+  explicit BPlusTree(int fanout = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  void Insert(const Slice& key, RowId row);
+
+  /// Appends rows with key exactly equal to `key`.
+  void Lookup(const Slice& key, std::vector<RowId>* out) const;
+
+  /// Appends rows with lo <= key <= hi (inclusive both ends), in key order.
+  void RangeScan(const Slice& lo, const Slice& hi,
+                 std::vector<RowId>* out) const;
+
+  /// Appends rows with key >= lo (open-ended upper bound).
+  void ScanFrom(const Slice& lo, std::vector<RowId>* out) const;
+
+  /// Visits every (key, row) in order; return false from the visitor to
+  /// stop early.
+  void ForEach(
+      const std::function<bool(const Slice&, RowId)>& visitor) const;
+
+  uint64_t size() const { return num_entries_; }
+  uint64_t height() const;
+  IndexStats Stats() const;
+
+ private:
+  struct Node;
+  struct LeafPos {
+    const Node* leaf;
+    size_t slot;
+  };
+
+  Node* root_ = nullptr;
+  Node* first_leaf_ = nullptr;
+  int fanout_;
+  uint64_t num_entries_ = 0;
+
+  LeafPos LowerBound(const Slice& key) const;
+  void FreeTree(Node* n);
+  /// Recursive insert; returns true if `node` split, filling `sep` and
+  /// `right` with the promoted separator and new right sibling.
+  bool InsertRec(Node* node, const Slice& key, RowId row, std::string* sep,
+                 Node** right);
+};
+
+}  // namespace deeplens

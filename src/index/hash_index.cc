@@ -1,0 +1,93 @@
+#include "index/hash_index.h"
+
+#include "common/checksum.h"
+
+namespace deeplens {
+
+namespace {
+constexpr size_t kInitialBuckets = 64;
+}
+
+HashIndex::HashIndex() : buckets_(kInitialBuckets, -1) {}
+
+size_t HashIndex::BucketFor(const Slice& key) const {
+  return static_cast<size_t>(Fnv1a64(key)) & (buckets_.size() - 1);
+}
+
+void HashIndex::Insert(const Slice& key, RowId row) {
+  MaybeGrow();
+  const size_t b = BucketFor(key);
+  Entry e;
+  e.key = key.ToString();
+  e.row = row;
+  e.next = buckets_[b];
+  buckets_[b] = static_cast<int32_t>(entries_.size());
+  entries_.push_back(std::move(e));
+  ++num_entries_;
+}
+
+void HashIndex::Lookup(const Slice& key, std::vector<RowId>* out) const {
+  int32_t cur = buckets_[BucketFor(key)];
+  while (cur >= 0) {
+    const Entry& e = entries_[static_cast<size_t>(cur)];
+    if (Slice(e.key) == key) out->push_back(e.row);
+    cur = e.next;
+  }
+}
+
+bool HashIndex::Contains(const Slice& key) const {
+  int32_t cur = buckets_[BucketFor(key)];
+  while (cur >= 0) {
+    const Entry& e = entries_[static_cast<size_t>(cur)];
+    if (Slice(e.key) == key) return true;
+    cur = e.next;
+  }
+  return false;
+}
+
+size_t HashIndex::Erase(const Slice& key) {
+  const size_t b = BucketFor(key);
+  size_t removed = 0;
+  int32_t* link = &buckets_[b];
+  while (*link >= 0) {
+    Entry& e = entries_[static_cast<size_t>(*link)];
+    if (Slice(e.key) == key) {
+      // Unlink and tombstone; the slot is reclaimed at the next rehash.
+      e.dead = true;
+      *link = e.next;
+      ++removed;
+    } else {
+      link = &e.next;
+    }
+  }
+  num_entries_ -= removed;
+  return removed;
+}
+
+void HashIndex::MaybeGrow() {
+  if (entries_.size() < buckets_.size()) return;
+  std::vector<int32_t> grown(buckets_.size() * 2, -1);
+  buckets_.swap(grown);
+  // Relink every live entry under the new bucket count.
+  for (auto& b : buckets_) b = -1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].dead) continue;
+    const size_t b = BucketFor(Slice(entries_[i].key));
+    entries_[i].next = buckets_[b];
+    buckets_[b] = static_cast<int32_t>(i);
+  }
+}
+
+IndexStats HashIndex::Stats() const {
+  IndexStats s;
+  s.num_entries = num_entries_;
+  s.depth = buckets_.size();
+  uint64_t bytes = buckets_.size() * sizeof(int32_t);
+  for (const Entry& e : entries_) {
+    bytes += sizeof(Entry) + e.key.size();
+  }
+  s.memory_bytes = bytes;
+  return s;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,51 @@
+// Chained hash index over byte-string keys → RowId multimap. Supports
+// equality lookups only; the structure of choice for label / string
+// metadata predicates (paper §3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "index/index.h"
+
+namespace deeplens {
+
+/// \brief Equality-only multimap index with FNV-1a hashing and chaining.
+/// Grows by doubling when load factor exceeds 1.
+class HashIndex {
+ public:
+  HashIndex();
+
+  /// Inserts a (key, row) pair; duplicate keys accumulate.
+  void Insert(const Slice& key, RowId row);
+
+  /// Appends all rows whose key equals `key` to `out`.
+  void Lookup(const Slice& key, std::vector<RowId>* out) const;
+
+  /// True if at least one entry has this key.
+  bool Contains(const Slice& key) const;
+
+  /// Removes all entries with this key; returns how many were removed.
+  size_t Erase(const Slice& key);
+
+  uint64_t size() const { return num_entries_; }
+  IndexStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    RowId row;
+    int32_t next;  // chain link, -1 terminates
+    bool dead = false;  // tombstone set by Erase
+  };
+
+  void MaybeGrow();
+  size_t BucketFor(const Slice& key) const;
+
+  std::vector<int32_t> buckets_;  // head entry index per bucket, -1 empty
+  std::vector<Entry> entries_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace deeplens

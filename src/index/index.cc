@@ -1,0 +1,23 @@
+#include "index/index.h"
+
+namespace deeplens {
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kBPlusTree:
+      return "b+tree";
+    case IndexKind::kSortedFile:
+      return "sorted-file";
+    case IndexKind::kRTree:
+      return "r-tree";
+    case IndexKind::kBallTree:
+      return "ball-tree";
+    case IndexKind::kLsh:
+      return "lsh";
+  }
+  return "?";
+}
+
+}  // namespace deeplens

@@ -1,0 +1,66 @@
+// Common definitions for DeepLens index structures.
+//
+// DeepLens supports single-dimensional indexes (Hash, B+Tree, SortedFile)
+// over order-preserving key encodings, and multi-dimensional indexes
+// (R-Tree over bounding boxes, Ball-Tree over feature vectors, LSH as an
+// approximate alternative) — paper §3.2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deeplens {
+
+/// Identifier of an indexed tuple (a patch id or record id).
+using RowId = uint64_t;
+
+/// Kinds of indexes the planner can choose between.
+enum class IndexKind : int {
+  kHash = 0,
+  kBPlusTree = 1,
+  kSortedFile = 2,
+  kRTree = 3,
+  kBallTree = 4,
+  kLsh = 5,
+};
+
+const char* IndexKindName(IndexKind kind);
+
+/// \brief Build/occupancy statistics used by Figure 6 and the cost model.
+struct IndexStats {
+  uint64_t num_entries = 0;
+  uint64_t memory_bytes = 0;
+  double build_millis = 0.0;
+  /// Structure-specific depth (tree height, #buckets, ...).
+  uint64_t depth = 0;
+};
+
+/// \brief Axis-aligned 2-d rectangle (bounding box), the R-Tree key type.
+struct Rect {
+  float x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  bool Intersects(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+  bool Contains(const Rect& o) const {
+    return x0 <= o.x0 && o.x1 <= x1 && y0 <= o.y0 && o.y1 <= y1;
+  }
+  bool ContainsPoint(float x, float y) const {
+    return x0 <= x && x <= x1 && y0 <= y && y <= y1;
+  }
+  float Area() const { return (x1 - x0) * (y1 - y0); }
+  /// Smallest rectangle covering both.
+  Rect Union(const Rect& o) const {
+    return Rect{x0 < o.x0 ? x0 : o.x0, y0 < o.y0 ? y0 : o.y0,
+                x1 > o.x1 ? x1 : o.x1, y1 > o.y1 ? y1 : o.y1};
+  }
+  /// Area increase needed to cover `o` (R-Tree insertion heuristic).
+  float Enlargement(const Rect& o) const {
+    return Union(o).Area() - Area();
+  }
+};
+
+}  // namespace deeplens

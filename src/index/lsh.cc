@@ -1,0 +1,106 @@
+#include "index/lsh.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace deeplens {
+
+LshIndex::LshIndex(LshOptions options) : options_(options) {
+  if (options_.num_tables < 1) options_.num_tables = 1;
+  if (options_.bits_per_table < 1) options_.bits_per_table = 1;
+  if (options_.bits_per_table > 63) options_.bits_per_table = 63;
+  if (options_.bucket_width <= 0.0f) options_.bucket_width = 1.0f;
+}
+
+Status LshIndex::Build(std::vector<float> points, size_t dim,
+                       std::vector<RowId> rows) {
+  if (dim == 0) return Status::InvalidArgument("LshIndex dim must be > 0");
+  if (points.size() % dim != 0) {
+    return Status::InvalidArgument(
+        "LshIndex points buffer is not a multiple of dim");
+  }
+  const size_t n = points.size() / dim;
+  if (rows.empty()) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = static_cast<RowId>(i);
+  }
+  if (rows.size() != n) {
+    return Status::InvalidArgument("LshIndex rows size mismatch");
+  }
+  dim_ = dim;
+  points_ = std::move(points);
+  rows_ = std::move(rows);
+
+  Rng rng(options_.seed);
+  projections_.assign(static_cast<size_t>(options_.num_tables), {});
+  for (auto& table_proj : projections_) {
+    table_proj.resize(static_cast<size_t>(options_.bits_per_table) *
+                      (dim_ + 1));
+    for (float& w : table_proj) {
+      w = static_cast<float>(rng.NextGaussian());
+    }
+  }
+
+  tables_.assign(static_cast<size_t>(options_.num_tables), {});
+  for (int t = 0; t < options_.num_tables; ++t) {
+    auto& table = tables_[static_cast<size_t>(t)];
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t sig = SignatureFor(t, points_.data() + i * dim_);
+      table[sig].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t LshIndex::SignatureFor(int table, const float* point) const {
+  const auto& proj = projections_[static_cast<size_t>(table)];
+  uint64_t sig = 0;
+  for (int b = 0; b < options_.bits_per_table; ++b) {
+    const float* row = proj.data() + static_cast<size_t>(b) * (dim_ + 1);
+    const float v =
+        ops::DotVector(row, point, dim_) + row[dim_] * options_.bucket_width;
+    // Sign hash: robust for threshold-style similarity predicates.
+    sig = (sig << 1) | (v >= 0.0f ? 1u : 0u);
+  }
+  return sig;
+}
+
+void LshIndex::RangeSearch(const float* query, float radius,
+                           std::vector<RowId>* out) const {
+  if (!built()) return;
+  const float r2 = radius * radius;
+  std::unordered_set<uint32_t> seen;
+  for (int t = 0; t < options_.num_tables; ++t) {
+    const uint64_t sig = SignatureFor(t, query);
+    const auto& table = tables_[static_cast<size_t>(t)];
+    auto it = table.find(sig);
+    if (it == table.end()) continue;
+    for (uint32_t i : it->second) {
+      if (!seen.insert(i).second) continue;
+      if (ops::L2SquaredVector(query, points_.data() + static_cast<size_t>(i) * dim_,
+                               dim_) <= r2) {
+        out->push_back(rows_[i]);
+      }
+    }
+  }
+}
+
+IndexStats LshIndex::Stats() const {
+  IndexStats s;
+  s.num_entries = rows_.size();
+  s.depth = static_cast<uint64_t>(options_.num_tables);
+  uint64_t bytes = points_.size() * sizeof(float) +
+                   rows_.size() * sizeof(RowId);
+  for (const auto& proj : projections_) bytes += proj.size() * sizeof(float);
+  for (const auto& table : tables_) {
+    for (const auto& kv : table) {
+      bytes += sizeof(uint64_t) + kv.second.size() * sizeof(uint32_t);
+    }
+  }
+  s.memory_bytes = bytes;
+  return s;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,61 @@
+// Locality-sensitive hashing index for approximate Euclidean similarity.
+// Implements the paper's future-work suggestion (§7.3): when exact
+// multidimensional indexing is too expensive, random-projection LSH can
+// trade a little recall for much cheaper construction and probes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "index/index.h"
+
+namespace deeplens {
+
+/// Tuning parameters for the LSH index.
+struct LshOptions {
+  /// Number of independent hash tables; more tables → higher recall.
+  int num_tables = 8;
+  /// Hyperplanes per table (signature bits); more bits → fewer collisions.
+  int bits_per_table = 12;
+  /// Quantization width for the projection (p-stable E2LSH style).
+  float bucket_width = 1.0f;
+  uint64_t seed = 0xD11Cull;
+};
+
+/// \brief E2LSH-style index: each table hashes a point by quantized random
+/// projections; candidates are verified with exact distances.
+class LshIndex {
+ public:
+  explicit LshIndex(LshOptions options = LshOptions());
+
+  /// Bulk-builds over `points` (n × dim row-major) with ids `rows`
+  /// (empty → 0..n-1).
+  Status Build(std::vector<float> points, size_t dim,
+               std::vector<RowId> rows);
+
+  bool built() const { return dim_ > 0; }
+  uint64_t size() const { return rows_.size(); }
+
+  /// Approximate Euclidean range search. Exact distances verify every
+  /// candidate, so precision is 1; recall < 1 is possible.
+  void RangeSearch(const float* query, float radius,
+                   std::vector<RowId>* out) const;
+
+  IndexStats Stats() const;
+
+ private:
+  uint64_t SignatureFor(int table, const float* point) const;
+
+  LshOptions options_;
+  size_t dim_ = 0;
+  std::vector<float> points_;
+  std::vector<RowId> rows_;
+  /// projections_[t] is bits_per_table rows of (dim_ weights + offset).
+  std::vector<std::vector<float>> projections_;
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,250 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace deeplens {
+
+struct RTree::Entry {
+  Rect rect;
+  RowId row = 0;     // leaves
+  Node* child = nullptr;  // internal nodes
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+};
+
+RTree::RTree(int max_entries)
+    : root_(new Node()), max_entries_(max_entries < 4 ? 4 : max_entries) {}
+
+RTree::~RTree() { FreeTree(root_); }
+
+void RTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    for (const Entry& e : n->entries) FreeTree(e.child);
+  }
+  delete n;
+}
+
+Rect RTree::NodeRect(const Node* n) {
+  Rect r = n->entries.empty() ? Rect{} : n->entries[0].rect;
+  for (size_t i = 1; i < n->entries.size(); ++i) {
+    r = r.Union(n->entries[i].rect);
+  }
+  return r;
+}
+
+RTree::Node* RTree::ChooseLeaf(const Rect& rect) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    // Guttman: descend into the child needing least enlargement; ties
+    // break on smaller area.
+    float best_enlarge = std::numeric_limits<float>::max();
+    float best_area = std::numeric_limits<float>::max();
+    Node* best = nullptr;
+    for (const Entry& e : n->entries) {
+      const float enlarge = e.rect.Enlargement(rect);
+      const float area = e.rect.Area();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best_enlarge = enlarge;
+        best_area = area;
+        best = e.child;
+      }
+    }
+    n = best;
+  }
+  return n;
+}
+
+void RTree::SplitNode(Node* node) {
+  // Quadratic split: pick the pair of entries wasting the most area as
+  // seeds, then greedily assign the rest by enlargement preference.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  float worst = -std::numeric_limits<float>::max();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const float waste = entries[i].rect.Union(entries[j].rect).Area() -
+                          entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto* sibling = new Node();
+  sibling->leaf = node->leaf;
+
+  Rect rect_a = entries[seed_a].rect;
+  Rect rect_b = entries[seed_b].rect;
+  std::vector<Entry> group_a{entries[seed_a]};
+  std::vector<Entry> group_b{entries[seed_b]};
+
+  const size_t min_fill = static_cast<size_t>(max_entries_) / 2;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    const size_t remaining = entries.size() - group_a.size() -
+                             group_b.size() - 1 /* this one */;
+    // Force assignment if one group must take everything left to reach
+    // minimum fill.
+    if (group_a.size() + remaining + 1 <= min_fill) {
+      rect_a = rect_a.Union(entries[i].rect);
+      group_a.push_back(entries[i]);
+      continue;
+    }
+    if (group_b.size() + remaining + 1 <= min_fill) {
+      rect_b = rect_b.Union(entries[i].rect);
+      group_b.push_back(entries[i]);
+      continue;
+    }
+    const float da = rect_a.Enlargement(entries[i].rect);
+    const float db = rect_b.Enlargement(entries[i].rect);
+    if (da < db || (da == db && rect_a.Area() <= rect_b.Area())) {
+      rect_a = rect_a.Union(entries[i].rect);
+      group_a.push_back(entries[i]);
+    } else {
+      rect_b = rect_b.Union(entries[i].rect);
+      group_b.push_back(entries[i]);
+    }
+  }
+
+  node->entries = std::move(group_a);
+  sibling->entries = std::move(group_b);
+  if (!node->leaf) {
+    for (Entry& e : node->entries) e.child->parent = node;
+    for (Entry& e : sibling->entries) e.child->parent = sibling;
+  }
+
+  if (node->parent == nullptr) {
+    // Grow the tree: new root with the two halves as children.
+    auto* new_root = new Node();
+    new_root->leaf = false;
+    new_root->entries.push_back(Entry{NodeRect(node), 0, node});
+    new_root->entries.push_back(Entry{NodeRect(sibling), 0, sibling});
+    node->parent = new_root;
+    sibling->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+
+  sibling->parent = node->parent;
+  node->parent->entries.push_back(Entry{NodeRect(sibling), 0, sibling});
+  if (node->parent->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(node->parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  Node* n = node;
+  while (n->parent != nullptr) {
+    Node* p = n->parent;
+    for (Entry& e : p->entries) {
+      if (e.child == n) {
+        e.rect = NodeRect(n);
+        break;
+      }
+    }
+    n = p;
+  }
+}
+
+void RTree::Insert(const Rect& rect, RowId row) {
+  Node* leaf = ChooseLeaf(rect);
+  leaf->entries.push_back(Entry{rect, row, nullptr});
+  AdjustUpward(leaf);
+  if (leaf->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(leaf);
+    // Parent rectangles may be stale after splits; recompute on the way up
+    // from the (possibly new) leaf location.
+    AdjustUpward(leaf);
+  }
+  ++num_entries_;
+}
+
+void RTree::SearchIntersects(const Rect& query,
+                             std::vector<RowId>* out) const {
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const Entry& e : n->entries) {
+      if (!e.rect.Intersects(query)) continue;
+      if (n->leaf) {
+        out->push_back(e.row);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+void RTree::SearchContained(const Rect& query,
+                            std::vector<RowId>* out) const {
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const Entry& e : n->entries) {
+      if (n->leaf) {
+        if (query.Contains(e.rect)) out->push_back(e.row);
+      } else if (e.rect.Intersects(query)) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+void RTree::SearchPoint(float x, float y, std::vector<RowId>* out) const {
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const Entry& e : n->entries) {
+      if (!e.rect.ContainsPoint(x, y)) continue;
+      if (n->leaf) {
+        out->push_back(e.row);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+uint64_t RTree::height() const {
+  uint64_t h = 1;
+  const Node* n = root_;
+  while (!n->leaf && !n->entries.empty()) {
+    ++h;
+    n = n->entries[0].child;
+  }
+  return h;
+}
+
+IndexStats RTree::Stats() const {
+  IndexStats s;
+  s.num_entries = num_entries_;
+  s.depth = height();
+  uint64_t bytes = 0;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + n->entries.size() * sizeof(Entry);
+    if (!n->leaf) {
+      for (const Entry& e : n->entries) stack.push_back(e.child);
+    }
+  }
+  s.memory_bytes = bytes;
+  return s;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,55 @@
+// R-Tree over 2-d bounding boxes (quadratic-split Guttman variant).
+// Used for containment / intersection queries over patch bounding boxes
+// (paper §3.2). Deliberately 2-d: the paper observes that R-Trees are
+// tuned for geospatial data and do not extend well to high dimensions —
+// that role belongs to the Ball-Tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/index.h"
+
+namespace deeplens {
+
+/// \brief In-memory R-Tree mapping Rect → RowId.
+class RTree {
+ public:
+  /// `max_entries` = node capacity M (>= 4); min capacity is M/2.
+  explicit RTree(int max_entries = 16);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void Insert(const Rect& rect, RowId row);
+
+  /// Rows whose rect intersects `query`.
+  void SearchIntersects(const Rect& query, std::vector<RowId>* out) const;
+
+  /// Rows whose rect is fully contained in `query`.
+  void SearchContained(const Rect& query, std::vector<RowId>* out) const;
+
+  /// Rows whose rect contains the point (x, y).
+  void SearchPoint(float x, float y, std::vector<RowId>* out) const;
+
+  uint64_t size() const { return num_entries_; }
+  uint64_t height() const;
+  IndexStats Stats() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(const Rect& rect) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  void FreeTree(Node* n);
+  static Rect NodeRect(const Node* n);
+
+  Node* root_;
+  int max_entries_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,61 @@
+#include "index/sorted_file_index.h"
+
+#include <algorithm>
+
+namespace deeplens {
+
+void SortedFileIndex::Append(const Slice& key, RowId row) {
+  entries_.push_back(Entry{key.ToString(), row});
+  built_ = false;
+}
+
+void SortedFileIndex::Build() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return Slice(a.key).Compare(Slice(b.key)) < 0;
+                   });
+  built_ = true;
+}
+
+size_t SortedFileIndex::LowerBound(const Slice& key) const {
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(entries_[mid].key).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void SortedFileIndex::Lookup(const Slice& key,
+                             std::vector<RowId>* out) const {
+  for (size_t i = LowerBound(key); i < entries_.size(); ++i) {
+    if (Slice(entries_[i].key) != key) break;
+    out->push_back(entries_[i].row);
+  }
+}
+
+void SortedFileIndex::RangeScan(const Slice& lo, const Slice& hi,
+                                std::vector<RowId>* out) const {
+  for (size_t i = LowerBound(lo); i < entries_.size(); ++i) {
+    if (Slice(entries_[i].key).Compare(hi) > 0) break;
+    out->push_back(entries_[i].row);
+  }
+}
+
+IndexStats SortedFileIndex::Stats() const {
+  IndexStats s;
+  s.num_entries = entries_.size();
+  s.depth = 1;
+  uint64_t bytes = 0;
+  for (const Entry& e : entries_) {
+    bytes += sizeof(Entry) + e.key.size();
+  }
+  s.memory_bytes = bytes;
+  return s;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,49 @@
+// Sorted-file index: a bulk-built, binary-searched array of (key, RowId).
+// This models the paper's default FrameFile organization — records kept in
+// a file sorted by frame number / wall-clock time, enabling temporal
+// filter push-down without a tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "index/index.h"
+
+namespace deeplens {
+
+/// \brief Append-then-Build sorted index. Lookups before Build() (or after
+/// appends that follow a Build()) see only the built portion.
+class SortedFileIndex {
+ public:
+  /// Stages an entry; not visible until Build().
+  void Append(const Slice& key, RowId row);
+
+  /// Sorts staged entries (stable) and makes them queryable.
+  void Build();
+
+  bool built() const { return built_; }
+  uint64_t size() const { return entries_.size(); }
+
+  /// Appends rows with key == `key`.
+  void Lookup(const Slice& key, std::vector<RowId>* out) const;
+
+  /// Appends rows with lo <= key <= hi in key order.
+  void RangeScan(const Slice& lo, const Slice& hi,
+                 std::vector<RowId>* out) const;
+
+  IndexStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    RowId row;
+  };
+  std::vector<Entry> entries_;
+  bool built_ = false;
+
+  /// Index of the first entry with key >= `key`.
+  size_t LowerBound(const Slice& key) const;
+};
+
+}  // namespace deeplens

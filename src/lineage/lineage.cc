@@ -1,0 +1,118 @@
+#include "lineage/lineage.h"
+
+#include "common/bytes.h"
+
+namespace deeplens {
+
+std::string LineageStore::FrameKey(const std::string& dataset,
+                                   int64_t frameno) {
+  // dataset + NUL + big-endian frameno: orders by dataset then frame.
+  std::string key = dataset;
+  key.push_back('\0');
+  key += EncodeKeyI64(frameno);
+  return key;
+}
+
+void LineageStore::Record(const Patch& patch) {
+  Record(patch.id(), patch.ref());
+}
+
+void LineageStore::Record(PatchId id, const ImgRef& ref) {
+  if (id == kInvalidPatchId) return;
+  refs_[id] = ref;
+  if (ref.parent != kInvalidPatchId) {
+    children_[ref.parent].push_back(id);
+  }
+  // Index by *root* frame: resolve the chain now so queries are O(log n).
+  ImgRef root = ref;
+  int hops = 0;
+  while (root.parent != kInvalidPatchId && hops < 64) {
+    auto it = refs_.find(root.parent);
+    if (it == refs_.end()) break;
+    // Prefer the ancestor's dataset/frameno when this link does not carry
+    // its own provenance.
+    if (root.dataset.empty() && root.frameno < 0) {
+      root.dataset = it->second.dataset;
+      root.frameno = it->second.frameno;
+    }
+    root = it->second;
+    ++hops;
+  }
+  const ImgRef& own = refs_[id];
+  const std::string dataset =
+      !own.dataset.empty() ? own.dataset : root.dataset;
+  const int64_t frameno = own.frameno >= 0 ? own.frameno : root.frameno;
+  if (!dataset.empty() && frameno >= 0) {
+    frame_index_.Insert(Slice(FrameKey(dataset, frameno)),
+                        static_cast<RowId>(id));
+  }
+}
+
+Result<ImgRef> LineageStore::GetRef(PatchId id) const {
+  auto it = refs_.find(id);
+  if (it == refs_.end()) {
+    return Status::NotFound("no lineage recorded for patch " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<ImgRef> LineageStore::Backtrace(PatchId id) const {
+  DL_ASSIGN_OR_RETURN(ImgRef ref, GetRef(id));
+  int hops = 0;
+  while (ref.parent != kInvalidPatchId) {
+    if (++hops > 1024) {
+      return Status::Corruption("lineage chain cycle detected");
+    }
+    auto it = refs_.find(ref.parent);
+    if (it == refs_.end()) break;  // chain truncated: return best-known root
+    ImgRef parent_ref = it->second;
+    // The root's provenance wins; keep descending.
+    if (parent_ref.dataset.empty()) parent_ref.dataset = ref.dataset;
+    if (parent_ref.frameno < 0) parent_ref.frameno = ref.frameno;
+    ref = parent_ref;
+  }
+  return ref;
+}
+
+Result<std::vector<ImgRef>> LineageStore::Chain(PatchId id) const {
+  std::vector<ImgRef> chain;
+  DL_ASSIGN_OR_RETURN(ImgRef ref, GetRef(id));
+  chain.push_back(ref);
+  int hops = 0;
+  while (ref.parent != kInvalidPatchId) {
+    if (++hops > 1024) {
+      return Status::Corruption("lineage chain cycle detected");
+    }
+    auto it = refs_.find(ref.parent);
+    if (it == refs_.end()) break;
+    ref = it->second;
+    chain.push_back(ref);
+  }
+  return chain;
+}
+
+void LineageStore::PatchesForFrame(const std::string& dataset,
+                                   int64_t frameno,
+                                   std::vector<PatchId>* out) const {
+  std::vector<RowId> rows;
+  frame_index_.Lookup(Slice(FrameKey(dataset, frameno)), &rows);
+  out->insert(out->end(), rows.begin(), rows.end());
+}
+
+void LineageStore::PatchesForFrameRange(const std::string& dataset,
+                                        int64_t lo, int64_t hi,
+                                        std::vector<PatchId>* out) const {
+  std::vector<RowId> rows;
+  frame_index_.RangeScan(Slice(FrameKey(dataset, lo)),
+                         Slice(FrameKey(dataset, hi)), &rows);
+  out->insert(out->end(), rows.begin(), rows.end());
+}
+
+void LineageStore::Children(PatchId id, std::vector<PatchId>* out) const {
+  auto it = children_.find(id);
+  if (it == children_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+}  // namespace deeplens

@@ -1,0 +1,116 @@
+// Shared visual-domain definitions: object classes, their canonical render
+// colors in the synthetic datasets, bounding boxes, and the 5×7 digit font
+// used both by the scene renderer (jersey numbers, text blocks) and by the
+// TinyOCR templates. Header-only so sim/ and nn/ can share it without a
+// link dependency.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace deeplens {
+namespace nn {
+
+/// Closed world of labels the TinySSD detector can emit (paper §4.2:
+/// "object detection networks have a closed-world of labels").
+enum class ObjectClass : int {
+  kCar = 0,
+  kPerson = 1,
+  kPlayer = 2,
+  kText = 3,
+};
+inline constexpr int kNumClasses = 4;
+
+inline const char* ObjectClassName(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kCar:
+      return "car";
+    case ObjectClass::kPerson:
+      return "person";
+    case ObjectClass::kPlayer:
+      return "player";
+    case ObjectClass::kText:
+      return "text";
+  }
+  return "?";
+}
+
+/// Canonical body color each class is rendered with (R, G, B). The
+/// detector's first conv layer computes contrasts against these.
+inline constexpr uint8_t kClassColor[kNumClasses][3] = {
+    {200, 40, 40},   // car: red-dominant
+    {40, 180, 60},   // person: green-dominant
+    {40, 60, 200},   // player: blue-dominant
+    {25, 25, 25},    // text: dark block (glyphs drawn near-white)
+};
+
+/// Brightness of text glyph pixels.
+inline constexpr uint8_t kGlyphBrightness = 240;
+
+/// Projective constant shared by the scene camera model and TinyDepth:
+/// focal length × real object height. An object at depth d meters renders
+/// with pixel height kFocalTimesHeight / d.
+inline constexpr float kFocalTimesHeight = 320.0f;
+
+/// \brief Integer pixel bounding box, half-open is avoided: [x0,x1]×[y0,y1]
+/// inclusive of x0/y0, exclusive of x1/y1 like Image::Crop.
+struct BBox {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  int Width() const { return x1 - x0; }
+  int Height() const { return y1 - y0; }
+  int Area() const { return std::max(0, Width()) * std::max(0, Height()); }
+
+  /// Intersection-over-union; 0 when disjoint or degenerate.
+  float Iou(const BBox& o) const {
+    const int ix0 = std::max(x0, o.x0);
+    const int iy0 = std::max(y0, o.y0);
+    const int ix1 = std::min(x1, o.x1);
+    const int iy1 = std::min(y1, o.y1);
+    const int iw = ix1 - ix0;
+    const int ih = iy1 - iy0;
+    if (iw <= 0 || ih <= 0) return 0.0f;
+    const float inter = static_cast<float>(iw) * ih;
+    const float uni = static_cast<float>(Area()) + o.Area() - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+  }
+
+  int CenterX() const { return (x0 + x1) / 2; }
+  int CenterY() const { return (y0 + y1) / 2; }
+
+  bool ContainsPoint(int x, int y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+};
+
+// --- 5×7 digit font -----------------------------------------------------
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+
+/// Row bitmaps, MSB = leftmost of the 5 columns.
+inline constexpr uint8_t kDigitFont[10][kGlyphHeight] = {
+    {0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E},  // 0
+    {0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E},  // 1
+    {0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F},  // 2
+    {0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E},  // 3
+    {0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02},  // 4
+    {0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E},  // 5
+    {0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E},  // 6
+    {0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08},  // 7
+    {0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E},  // 8
+    {0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C},  // 9
+};
+
+/// True if pixel (x, y) of `digit`'s glyph is foreground.
+inline bool GlyphPixel(int digit, int x, int y) {
+  if (digit < 0 || digit > 9 || x < 0 || x >= kGlyphWidth || y < 0 ||
+      y >= kGlyphHeight) {
+    return false;
+  }
+  return (kDigitFont[digit][y] >> (kGlyphWidth - 1 - x)) & 1;
+}
+
+}  // namespace nn
+}  // namespace deeplens

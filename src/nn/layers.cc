@@ -1,0 +1,212 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace deeplens {
+namespace nn {
+
+namespace {
+int OutExtent(int in, int kernel, int stride, int padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+}  // namespace
+
+Tensor Im2Col(const Tensor& input_chw, int kernel, int stride, int padding) {
+  const int c = static_cast<int>(input_chw.dim(0));
+  const int h = static_cast<int>(input_chw.dim(1));
+  const int w = static_cast<int>(input_chw.dim(2));
+  const int oh = OutExtent(h, kernel, stride, padding);
+  const int ow = OutExtent(w, kernel, stride, padding);
+  Tensor out({static_cast<int64_t>(c) * kernel * kernel,
+              static_cast<int64_t>(oh) * ow});
+  float* dst = out.data();
+  const float* src = input_chw.data();
+  for (int ci = 0; ci < c; ++ci) {
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y * stride + ky - padding;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * stride + kx - padding;
+            float v = 0.0f;
+            if (sy >= 0 && sy < h && sx >= 0 && sx < w) {
+              v = src[(static_cast<size_t>(ci) * h + sy) * w + sx];
+            }
+            *dst++ = v;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weights_({out_channels,
+                static_cast<int64_t>(in_channels) * kernel * kernel}),
+      bias_({out_channels}) {}
+
+void Conv2d::InitRandom(Rng* rng, float scale) {
+  for (int64_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = static_cast<float>(rng->NextGaussian()) * scale;
+  }
+  for (int64_t i = 0; i < bias_.size(); ++i) bias_[i] = 0.0f;
+}
+
+Result<Tensor> Conv2d::Forward(const Tensor& input, Device* device) const {
+  if (input.rank() != 3) {
+    return Status::InvalidArgument("Conv2d expects CHW input, got " +
+                                   input.ShapeString());
+  }
+  if (input.dim(0) != in_channels_) {
+    return Status::InvalidArgument("Conv2d channel mismatch");
+  }
+  const int h = static_cast<int>(input.dim(1));
+  const int w = static_cast<int>(input.dim(2));
+  const int oh = OutExtent(h, kernel_, stride_, padding_);
+  const int ow = OutExtent(w, kernel_, stride_, padding_);
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument("Conv2d input smaller than kernel");
+  }
+
+  const Tensor cols = Im2Col(input, kernel_, stride_, padding_);
+  Tensor out({out_channels_, static_cast<int64_t>(oh) * ow});
+  device->Matmul(weights_.data(), cols.data(), out.data(),
+                 static_cast<size_t>(out_channels_),
+                 static_cast<size_t>(weights_.dim(1)),
+                 static_cast<size_t>(cols.dim(1)));
+  // Add bias per output channel.
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    const float b = bias_[oc];
+    if (b != 0.0f) {
+      float* row = out.data() + static_cast<size_t>(oc) * oh * ow;
+      device->ScaleBias(row, 1.0f, b, row, static_cast<size_t>(oh) * ow);
+    }
+  }
+  return out.Reshape({out_channels_, oh, ow});
+}
+
+Result<Tensor> ReluLayer::Forward(const Tensor& input,
+                                  Device* device) const {
+  Tensor out = input.Clone();
+  device->Relu(out.data(), static_cast<size_t>(out.size()));
+  return out;
+}
+
+Result<Tensor> MaxPool2d::Forward(const Tensor& input,
+                                  Device* /*device*/) const {
+  if (input.rank() != 3) {
+    return Status::InvalidArgument("MaxPool2d expects CHW input");
+  }
+  const int c = static_cast<int>(input.dim(0));
+  const int h = static_cast<int>(input.dim(1));
+  const int w = static_cast<int>(input.dim(2));
+  const int oh = OutExtent(h, kernel_, stride_, 0);
+  const int ow = OutExtent(w, kernel_, stride_, 0);
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument("MaxPool2d input smaller than kernel");
+  }
+  Tensor out({c, oh, ow});
+  for (int ci = 0; ci < c; ++ci) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float m = -std::numeric_limits<float>::max();
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const int sy = y * stride_ + ky;
+            const int sx = x * stride_ + kx;
+            if (sy < h && sx < w) {
+              m = std::max(m, input.At(ci, sy, sx));
+            }
+          }
+        }
+        out.At(ci, y, x) = m;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tensor> AvgPool2d::Forward(const Tensor& input,
+                                  Device* /*device*/) const {
+  if (input.rank() != 3) {
+    return Status::InvalidArgument("AvgPool2d expects CHW input");
+  }
+  const int c = static_cast<int>(input.dim(0));
+  const int h = static_cast<int>(input.dim(1));
+  const int w = static_cast<int>(input.dim(2));
+  const int oh = OutExtent(h, kernel_, stride_, 0);
+  const int ow = OutExtent(w, kernel_, stride_, 0);
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument("AvgPool2d input smaller than kernel");
+  }
+  Tensor out({c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int ci = 0; ci < c; ++ci) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float s = 0.0f;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const int sy = y * stride_ + ky;
+            const int sx = x * stride_ + kx;
+            if (sy < h && sx < w) s += input.At(ci, sy, sx);
+          }
+        }
+        out.At(ci, y, x) = s * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Linear::Linear(int in_features, int out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_({out_features, in_features}),
+      bias_({out_features}) {}
+
+void Linear::InitRandom(Rng* rng, float scale) {
+  for (int64_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = static_cast<float>(rng->NextGaussian()) * scale;
+  }
+  for (int64_t i = 0; i < bias_.size(); ++i) bias_[i] = 0.0f;
+}
+
+Result<Tensor> Linear::Forward(const Tensor& input, Device* device) const {
+  if (input.size() != in_features_) {
+    return Status::InvalidArgument(
+        "Linear input size mismatch: " + input.ShapeString());
+  }
+  Tensor out({out_features_});
+  device->Matmul(weights_.data(), input.data(), out.data(),
+                 static_cast<size_t>(out_features_),
+                 static_cast<size_t>(in_features_), 1);
+  device->Add(out.data(), bias_.data(), out.data(),
+              static_cast<size_t>(out_features_));
+  return out;
+}
+
+Result<Tensor> SoftmaxLayer::Forward(const Tensor& input,
+                                     Device* /*device*/) const {
+  DL_ASSIGN_OR_RETURN(Tensor flat, input.Reshape({input.size()}));
+  return ops::Softmax(flat);
+}
+
+Result<Tensor> FlattenLayer::Forward(const Tensor& input,
+                                     Device* /*device*/) const {
+  return input.Reshape({input.size()});
+}
+
+}  // namespace nn
+}  // namespace deeplens

@@ -1,0 +1,133 @@
+// Neural-network layers for the DeepLens inference engine. Layers are
+// inference-only (no autograd) and dispatch their math through a Device so
+// the CPU/AVX/GPU comparison of Figure 8 exercises identical code paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/device.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+namespace nn {
+
+/// \brief Base class. Forward() maps an input tensor to an output tensor
+/// on the given device.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Result<Tensor> Forward(const Tensor& input,
+                                 Device* device) const = 0;
+  virtual std::string name() const = 0;
+  /// Number of parameters (for model summaries).
+  virtual int64_t num_params() const { return 0; }
+};
+
+/// \brief 2-d convolution over CHW tensors, implemented as im2col + the
+/// device's Matmul. Weight shape {out_ch, in_ch, k, k}; bias {out_ch}.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride = 1,
+         int padding = 0);
+
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "conv2d"; }
+  int64_t num_params() const override {
+    return weights_.size() + bias_.size();
+  }
+
+  Tensor& weights() { return weights_; }
+  const Tensor& weights() const { return weights_; }
+  Tensor& bias() { return bias_; }
+
+  /// Fills weights with small deterministic pseudo-random values.
+  void InitRandom(Rng* rng, float scale = 0.1f);
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int padding() const { return padding_; }
+
+ private:
+  int in_channels_, out_channels_, kernel_, stride_, padding_;
+  Tensor weights_;  // {out_ch, in_ch * k * k} stored pre-flattened
+  Tensor bias_;     // {out_ch}
+};
+
+/// \brief In-place ReLU.
+class ReluLayer : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "relu"; }
+};
+
+/// \brief 2-d max pooling over CHW tensors.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int kernel, int stride = -1)
+      : kernel_(kernel), stride_(stride > 0 ? stride : kernel) {}
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  int kernel_, stride_;
+};
+
+/// \brief 2-d average pooling over CHW tensors.
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(int kernel, int stride = -1)
+      : kernel_(kernel), stride_(stride > 0 ? stride : kernel) {}
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "avgpool2d"; }
+
+ private:
+  int kernel_, stride_;
+};
+
+/// \brief Fully connected layer: y = W·x + b. Accepts any input shape and
+/// flattens it. Weight shape {out, in}.
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features);
+
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "linear"; }
+  int64_t num_params() const override {
+    return weights_.size() + bias_.size();
+  }
+
+  Tensor& weights() { return weights_; }
+  Tensor& bias() { return bias_; }
+  void InitRandom(Rng* rng, float scale = 0.1f);
+
+ private:
+  int in_features_, out_features_;
+  Tensor weights_;  // {out, in}
+  Tensor bias_;     // {out}
+};
+
+/// \brief Softmax over the flattened input (rank-1 output).
+class SoftmaxLayer : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "softmax"; }
+};
+
+/// \brief Flattens to rank 1.
+class FlattenLayer : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  std::string name() const override { return "flatten"; }
+};
+
+/// im2col: unrolls conv receptive fields into a {in_ch*k*k, out_h*out_w}
+/// matrix so convolution becomes a matmul. Exposed for tests.
+Tensor Im2Col(const Tensor& input_chw, int kernel, int stride, int padding);
+
+}  // namespace nn
+}  // namespace deeplens

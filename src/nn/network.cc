@@ -1,0 +1,71 @@
+#include "nn/network.h"
+
+#include <atomic>
+
+#include "common/string_util.h"
+
+namespace deeplens {
+namespace nn {
+
+Result<Tensor> Network::Forward(const Tensor& input, Device* device) const {
+  Tensor cur = input;
+  for (const auto& layer : layers_) {
+    DL_ASSIGN_OR_RETURN(cur, layer->Forward(cur, device));
+  }
+  return cur;
+}
+
+int64_t Network::num_params() const {
+  int64_t n = 0;
+  for (const auto& layer : layers_) n += layer->num_params();
+  return n;
+}
+
+std::string Network::Summary() const {
+  std::string out = name_ + " (" + std::to_string(num_params()) + " params)";
+  for (const auto& layer : layers_) {
+    out += "\n  " + layer->name();
+  }
+  return out;
+}
+
+Result<std::vector<Tensor>> ForwardBatch(const Network& net,
+                                         const std::vector<Tensor>& inputs,
+                                         Device* device) {
+  std::vector<Tensor> outputs(inputs.size());
+  if (inputs.empty()) return outputs;
+
+  if (device->kind() == DeviceKind::kGpuSim) {
+    // One launch for the whole batch: the host pays a single transfer of
+    // all inputs; per-item math runs "on device" (parallel, vectorized).
+    size_t transfer_bytes = 0;
+    for (const Tensor& t : inputs) {
+      transfer_bytes += static_cast<size_t>(t.size()) * sizeof(float);
+    }
+    Device* on_device_math = GetDevice(DeviceKind::kCpuVector);
+    std::atomic<bool> failed{false};
+    device->ParallelMap(
+        inputs.size(),
+        [&](size_t i) {
+          auto r = net.Forward(inputs[i], on_device_math);
+          if (r.ok()) {
+            outputs[i] = std::move(r).value();
+          } else {
+            failed = true;
+          }
+        },
+        transfer_bytes);
+    if (failed) {
+      return Status::Internal("batched forward failed on an item");
+    }
+    return outputs;
+  }
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    DL_ASSIGN_OR_RETURN(outputs[i], net.Forward(inputs[i], device));
+  }
+  return outputs;
+}
+
+}  // namespace nn
+}  // namespace deeplens

@@ -1,0 +1,83 @@
+#include "sim/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deeplens {
+namespace sim {
+
+PrecisionRecall MatchDetections(const std::vector<nn::Detection>& detections,
+                                const std::vector<SceneObject>& truth,
+                                nn::ObjectClass cls, float iou_threshold) {
+  std::vector<const nn::Detection*> dets;
+  for (const nn::Detection& d : detections) {
+    if (d.label == cls) dets.push_back(&d);
+  }
+  std::vector<const SceneObject*> gts;
+  for (const SceneObject& o : truth) {
+    if (o.cls == cls) gts.push_back(&o);
+  }
+
+  // Greedy: highest-scoring detections claim ground truths first.
+  std::sort(dets.begin(), dets.end(),
+            [](const nn::Detection* a, const nn::Detection* b) {
+              return a->score > b->score;
+            });
+  std::vector<bool> claimed(gts.size(), false);
+  PrecisionRecall pr;
+  for (const nn::Detection* d : dets) {
+    float best_iou = 0.0f;
+    int best = -1;
+    for (size_t g = 0; g < gts.size(); ++g) {
+      if (claimed[g]) continue;
+      const float iou = d->bbox.Iou(gts[g]->bbox);
+      if (iou > best_iou) {
+        best_iou = iou;
+        best = static_cast<int>(g);
+      }
+    }
+    if (best >= 0 && best_iou >= iou_threshold) {
+      claimed[static_cast<size_t>(best)] = true;
+      ++pr.tp;
+    } else {
+      ++pr.fp;
+    }
+  }
+  for (bool c : claimed) {
+    if (!c) ++pr.fn;
+  }
+  return pr;
+}
+
+PrecisionRecall ScorePairs(const std::vector<std::pair<int, int>>& found,
+                           const std::vector<std::pair<int, int>>& truth) {
+  auto canonical = [](const std::vector<std::pair<int, int>>& pairs) {
+    std::set<std::pair<int, int>> out;
+    for (auto [a, b] : pairs) {
+      out.emplace(std::min(a, b), std::max(a, b));
+    }
+    return out;
+  };
+  const std::set<std::pair<int, int>> f = canonical(found);
+  const std::set<std::pair<int, int>> t = canonical(truth);
+  PrecisionRecall pr;
+  for (const auto& p : f) {
+    if (t.count(p)) {
+      ++pr.tp;
+    } else {
+      ++pr.fp;
+    }
+  }
+  for (const auto& p : t) {
+    if (!f.count(p)) ++pr.fn;
+  }
+  return pr;
+}
+
+double RelativeError(double predicted, double actual) {
+  if (actual == 0.0) return predicted == 0.0 ? 0.0 : 1.0;
+  return std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+}  // namespace sim
+}  // namespace deeplens

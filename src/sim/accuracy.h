@@ -1,0 +1,58 @@
+// Accuracy scoring against ground truth: detection precision/recall
+// (greedy IoU matching), pair-set precision/recall (q1/q6), and scalar
+// error summaries. Used by the Figure 2 and Table 1 reproductions.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "nn/models.h"
+#include "sim/scene.h"
+
+namespace deeplens {
+namespace sim {
+
+/// Standard detection metrics.
+struct PrecisionRecall {
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+
+  double precision() const {
+    return tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+
+  /// Accumulates another frame's counts.
+  void Merge(const PrecisionRecall& o) {
+    tp += o.tp;
+    fp += o.fp;
+    fn += o.fn;
+  }
+};
+
+/// Greedy one-to-one matching of detections to ground-truth objects of
+/// class `cls` at IoU >= `iou_threshold`.
+PrecisionRecall MatchDetections(const std::vector<nn::Detection>& detections,
+                                const std::vector<SceneObject>& truth,
+                                nn::ObjectClass cls,
+                                float iou_threshold = 0.3f);
+
+/// Precision/recall of an unordered pair set against truth (pairs are
+/// canonicalized to (min, max)).
+PrecisionRecall ScorePairs(const std::vector<std::pair<int, int>>& found,
+                           const std::vector<std::pair<int, int>>& truth);
+
+/// Relative error |predicted - actual| / actual.
+double RelativeError(double predicted, double actual);
+
+}  // namespace sim
+}  // namespace deeplens

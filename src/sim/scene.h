@@ -1,0 +1,71 @@
+// Synthetic scene generation. Scenes are composed of objects drawn with
+// their class's canonical color signature (nn/domain.h) over a noisy
+// background, with full ground truth: object identity, class, box, depth,
+// and rendered text. This replaces the paper's real datasets while keeping
+// every accuracy experiment *measurable* (we know the truth exactly).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/domain.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+namespace sim {
+
+/// Projective constant: focal_length × real object height. Pedestrians at
+/// depth d meters render with pixel height kDepthConstant / d. Shared
+/// with TinyDepth so the model's geometry cue matches the camera.
+inline constexpr float kDepthConstant = nn::kFocalTimesHeight;
+
+/// Ground truth for one rendered object.
+struct SceneObject {
+  nn::ObjectClass cls = nn::ObjectClass::kCar;
+  nn::BBox bbox;
+  /// Persistent identity across frames/videos (distinct-count truth).
+  int object_id = -1;
+  /// Metric depth (meters); <= 0 when not meaningful for the class.
+  float depth = -1.0f;
+  /// Digits rendered on the object (jersey number / text block content).
+  std::string text;
+  /// Identity-specific color jitter applied to the class base color, so
+  /// appearance features can re-identify the object.
+  int color_jitter[3] = {0, 0, 0};
+};
+
+/// Ground truth for one frame.
+struct FrameTruth {
+  int frameno = 0;
+  std::vector<SceneObject> objects;
+};
+
+/// Background styles for the different datasets.
+enum class Background {
+  kAsphalt,   // mid gray (traffic scenes)
+  kField,     // desaturated dark green (football)
+  kDocument,  // light gray (PC screenshots / scans)
+};
+
+/// Renders a frame: textured background + each object's body color (and
+/// glyphs for text/player objects). `texture_seed` drives the *static*
+/// background texture — pass the same value for every frame of a video so
+/// inter-frame codecs see a still background (like real road/field
+/// surfaces); `noise_seed` drives per-frame object noise. Deterministic
+/// given both seeds. Passing texture_seed = noise_seed reproduces fully
+/// independent frames (the PC corpus of single images).
+Image RenderScene(int width, int height, Background background,
+                  const std::vector<SceneObject>& objects,
+                  uint64_t noise_seed, int noise_amplitude = 6,
+                  uint64_t texture_seed = 0);
+
+/// Derives the identity color of an object (class base + jitter).
+void ObjectColor(const SceneObject& obj, uint8_t rgb[3]);
+
+/// Draws a digit string centered in `box` (used by the renderer; exposed
+/// for tests). Glyphs are kGlyphBrightness-bright.
+void DrawDigits(Image* img, const nn::BBox& box, const std::string& digits);
+
+}  // namespace sim
+}  // namespace deeplens

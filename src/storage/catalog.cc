@@ -1,0 +1,98 @@
+#include "storage/catalog.h"
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "storage/file_io.h"
+
+namespace deeplens {
+
+std::string Catalog::FilePath() const { return root_ + "/CATALOG"; }
+
+Result<std::unique_ptr<Catalog>> Catalog::Open(const std::string& root) {
+  DL_RETURN_NOT_OK(CreateDirs(root));
+  auto catalog = std::unique_ptr<Catalog>(new Catalog(root));
+  if (FileExists(catalog->FilePath())) {
+    DL_RETURN_NOT_OK(catalog->LoadFromDisk());
+  }
+  return catalog;
+}
+
+Status Catalog::Register(const DatasetInfo& info) {
+  if (info.name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  entries_[info.name] = info;
+  return Persist();
+}
+
+Status Catalog::Unregister(const std::string& name) {
+  entries_.erase(name);
+  return Persist();
+}
+
+Result<DatasetInfo> Catalog::Lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<DatasetInfo> Catalog::List() const {
+  std::vector<DatasetInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, info] : entries_) out.push_back(info);
+  return out;
+}
+
+Status Catalog::Persist() const {
+  ByteBuffer buf;
+  buf.PutVarint(entries_.size());
+  for (const auto& [name, info] : entries_) {
+    buf.PutLengthPrefixed(Slice(name));
+    buf.PutLengthPrefixed(Slice(info.path));
+    buf.PutU8(static_cast<uint8_t>(info.format));
+    buf.PutU32(static_cast<uint32_t>(info.num_items));
+    buf.PutLengthPrefixed(Slice(info.description));
+  }
+  buf.PutU32(Crc32c(Slice(buf.data().data(), buf.size())));
+  return WriteWholeFile(FilePath(), buf.AsSlice());
+}
+
+Status Catalog::LoadFromDisk() {
+  DL_ASSIGN_OR_RETURN(auto data, ReadWholeFile(FilePath()));
+  if (data.size() < 4) return Status::Corruption("catalog file too small");
+  const size_t body = data.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(data[body + i]) << (8 * i);
+  }
+  if (Crc32c(data.data(), body) != stored_crc) {
+    return Status::Corruption("catalog CRC mismatch");
+  }
+  ByteReader reader(Slice(data.data(), body));
+  DL_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  entries_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    DatasetInfo info;
+    DL_ASSIGN_OR_RETURN(Slice name, reader.GetLengthPrefixed());
+    DL_ASSIGN_OR_RETURN(Slice path, reader.GetLengthPrefixed());
+    DL_ASSIGN_OR_RETURN(uint8_t format, reader.GetU8());
+    DL_ASSIGN_OR_RETURN(uint32_t num_items, reader.GetU32());
+    DL_ASSIGN_OR_RETURN(Slice description, reader.GetLengthPrefixed());
+    if (format > 3) return Status::Corruption("catalog: bad format byte");
+    info.name = name.ToString();
+    info.path = path.ToString();
+    info.format = static_cast<VideoFormat>(format);
+    info.num_items = static_cast<int>(num_items);
+    info.description = description.ToString();
+    entries_[info.name] = info;
+  }
+  return Status::OK();
+}
+
+}  // namespace deeplens

@@ -1,0 +1,57 @@
+// Persistent catalog of datasets managed by a DeepLens instance: maps a
+// dataset name to its on-disk path, layout, and cardinality. The catalog
+// is what lets Load("name") abstract the physical format (paper §3.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+
+/// One catalog entry.
+struct DatasetInfo {
+  std::string name;
+  std::string path;
+  VideoFormat format = VideoFormat::kFrameRaw;
+  int num_items = 0;
+  /// Free-form notes ("traffic camera, 1080p", ...).
+  std::string description;
+};
+
+/// \brief Name → dataset registry persisted to a single file under the
+/// database root directory.
+class Catalog {
+ public:
+  /// Loads (or creates) the catalog file at `<root>/CATALOG`.
+  static Result<std::unique_ptr<Catalog>> Open(const std::string& root);
+
+  /// Registers or replaces a dataset entry and persists.
+  Status Register(const DatasetInfo& info);
+
+  /// Removes an entry (the underlying files are not touched).
+  Status Unregister(const std::string& name);
+
+  Result<DatasetInfo> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<DatasetInfo> List() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit Catalog(std::string root) : root_(std::move(root)) {}
+
+  Status Persist() const;
+  Status LoadFromDisk();
+  std::string FilePath() const;
+
+  std::string root_;
+  std::map<std::string, DatasetInfo> entries_;
+};
+
+}  // namespace deeplens

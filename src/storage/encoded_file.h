@@ -1,0 +1,63 @@
+// EncodedFile layout: the whole video is a single sequential DLV1 stream
+// (the paper's H.264/OGG/MPEG4 analog). Maximal compression; any read
+// pays a sequential decode of everything before the target (paper §3.1
+// "Encoded File" — no temporal push-down).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/video_store.h"
+
+namespace deeplens {
+
+class EncodedFileWriter : public VideoWriter {
+ public:
+  static Result<std::unique_ptr<EncodedFileWriter>> Create(
+      const std::string& path, const VideoStoreOptions& options);
+
+  Status AddFrame(const Image& frame) override;
+  Status Finish() override;
+  int frames_written() const override { return encoder_.num_frames(); }
+
+ private:
+  EncodedFileWriter(std::string path, VideoStoreOptions options)
+      : path_(std::move(path)),
+        options_(options),
+        encoder_(codec::VideoCodecOptions{options.quality,
+                                          options.gop_size}) {}
+
+  std::string path_;
+  VideoStoreOptions options_;
+  codec::VideoEncoder encoder_;
+  internal::VideoMeta meta_;
+};
+
+class EncodedFileReader : public VideoReader {
+ public:
+  static Result<std::unique_ptr<EncodedFileReader>> Open(
+      const std::string& path, const internal::VideoMeta& meta);
+
+  int num_frames() const override { return meta_.num_frames; }
+  VideoFormat format() const override { return VideoFormat::kEncoded; }
+  uint64_t storage_bytes() const override {
+    return static_cast<uint64_t>(stream_.size());
+  }
+  Result<Image> ReadFrame(int frameno) override;
+  Status ReadRange(int lo, int hi,
+                   const std::function<bool(int, const Image&)>& visitor)
+      override;
+  uint64_t frames_decoded() const override { return frames_decoded_; }
+
+ private:
+  EncodedFileReader(std::string path, internal::VideoMeta meta)
+      : path_(std::move(path)), meta_(meta) {}
+
+  std::string path_;
+  internal::VideoMeta meta_;
+  std::vector<uint8_t> stream_;
+  uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,161 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace deeplens {
+
+namespace {
+constexpr size_t kWriteBufferSize = 256 * 1024;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+Result<std::unique_ptr<AppendOnlyFile>> AppendOnlyFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open for append", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+  auto file = std::unique_ptr<AppendOnlyFile>(
+      new AppendOnlyFile(fd, static_cast<uint64_t>(st.st_size)));
+  file->buffer_.reserve(kWriteBufferSize);
+  return file;
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  (void)Flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> AppendOnlyFile::Append(const Slice& data) {
+  const uint64_t offset = size_;
+  if (buffer_.size() + data.size() > kWriteBufferSize) {
+    DL_RETURN_NOT_OK(Flush());
+  }
+  if (data.size() >= kWriteBufferSize) {
+    DL_RETURN_NOT_OK(WriteRaw(data.data(), data.size()));
+  } else {
+    buffer_.insert(buffer_.end(), data.data(), data.data() + data.size());
+  }
+  size_ += data.size();
+  return offset;
+}
+
+Status AppendOnlyFile::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  DL_RETURN_NOT_OK(WriteRaw(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status AppendOnlyFile::WriteRaw(const uint8_t* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t r = ::write(fd_, data + written, n - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open for read", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::ReadAt(uint64_t offset, size_t n,
+                                std::vector<uint8_t>* out) const {
+  out->resize(n);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd_, out->data() + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IOError("pread: unexpected end of file");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  DL_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  std::vector<uint8_t> data;
+  DL_RETURN_NOT_OK(file->ReadAt(0, file->size(), &data));
+  return data;
+}
+
+Status WriteWholeFile(const std::string& path, const Slice& data) {
+  const std::string tmp = path + ".tmp";
+  DL_RETURN_NOT_OK(RemoveFileIfExists(tmp));
+  {
+    DL_ASSIGN_OR_RETURN(auto file, AppendOnlyFile::Open(tmp));
+    DL_RETURN_NOT_OK(file->Append(data).status());
+    DL_RETURN_NOT_OK(file->Flush());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace deeplens

@@ -1,0 +1,77 @@
+// Thin POSIX file wrappers used by the storage layer: buffered append
+// writer, positional random reader, and filesystem helpers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace deeplens {
+
+/// \brief Buffered append-only writer.
+class AppendOnlyFile {
+ public:
+  /// Opens (creating or appending to) `path`.
+  static Result<std::unique_ptr<AppendOnlyFile>> Open(
+      const std::string& path);
+  ~AppendOnlyFile();
+
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+
+  /// Appends bytes; returns the file offset the write began at.
+  Result<uint64_t> Append(const Slice& data);
+
+  /// Flushes the user-space buffer to the OS.
+  Status Flush();
+
+  /// Current logical file size (including buffered bytes).
+  uint64_t size() const { return size_; }
+
+ private:
+  AppendOnlyFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  Status WriteRaw(const uint8_t* data, size_t n);
+
+  int fd_;
+  uint64_t size_;
+  std::vector<uint8_t> buffer_;
+};
+
+/// \brief Positional (pread) reader.
+class RandomAccessFile {
+ public:
+  static Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Reads exactly `n` bytes at `offset` into `out` (resized).
+  Status ReadAt(uint64_t offset, size_t n, std::vector<uint8_t>* out) const;
+
+  uint64_t size() const { return size_; }
+
+ private:
+  RandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_;
+  uint64_t size_;
+};
+
+/// Filesystem helpers.
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+Status CreateDirs(const std::string& path);
+/// Reads an entire (small) file.
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path);
+/// Atomically replaces `path` with `data` (write temp + rename).
+Status WriteWholeFile(const std::string& path, const Slice& data);
+
+}  // namespace deeplens

@@ -1,0 +1,102 @@
+#include "storage/frame_file.h"
+
+#include "codec/image_codec.h"
+#include "common/bytes.h"
+
+namespace deeplens {
+
+Result<std::unique_ptr<FrameFileWriter>> FrameFileWriter::Create(
+    const std::string& path, const VideoStoreOptions& options) {
+  if (options.format != VideoFormat::kFrameRaw &&
+      options.format != VideoFormat::kFrameLjpg) {
+    return Status::InvalidArgument("FrameFileWriter: wrong format");
+  }
+  DL_RETURN_NOT_OK(RemoveFileIfExists(path));
+  auto writer = std::unique_ptr<FrameFileWriter>(
+      new FrameFileWriter(path, options));
+  DL_ASSIGN_OR_RETURN(writer->store_, RecordStore::Open(path));
+  writer->meta_.options = options;
+  return writer;
+}
+
+Status FrameFileWriter::AddFrame(const Image& frame) {
+  if (frame.empty()) return Status::InvalidArgument("empty frame");
+  if (next_frame_ == 0) {
+    meta_.width = frame.width();
+    meta_.height = frame.height();
+    meta_.channels = frame.channels();
+  }
+  const std::string key = EncodeKeyU64(static_cast<uint64_t>(next_frame_));
+  std::vector<uint8_t> value =
+      options_.format == VideoFormat::kFrameRaw
+          ? codec::SerializeRawImage(frame)
+          : codec::EncodeImage(frame, options_.quality);
+  DL_RETURN_NOT_OK(store_->Put(Slice(key), Slice(value)));
+  ++next_frame_;
+  return Status::OK();
+}
+
+Status FrameFileWriter::Finish() {
+  meta_.num_frames = next_frame_;
+  DL_RETURN_NOT_OK(store_->Flush());
+  return internal::WriteVideoMeta(path_, meta_);
+}
+
+Result<std::unique_ptr<FrameFileReader>> FrameFileReader::Open(
+    const std::string& path, const internal::VideoMeta& meta) {
+  auto reader = std::unique_ptr<FrameFileReader>(
+      new FrameFileReader(path, meta));
+  DL_ASSIGN_OR_RETURN(reader->store_, RecordStore::Open(path));
+  return reader;
+}
+
+uint64_t FrameFileReader::storage_bytes() const {
+  return store_->Stats().log_bytes;
+}
+
+Result<Image> FrameFileReader::DecodeRecord(const Slice& value) const {
+  if (meta_.options.format == VideoFormat::kFrameRaw) {
+    return codec::DeserializeRawImage(value);
+  }
+  return codec::DecodeImage(value);
+}
+
+Result<Image> FrameFileReader::ReadFrame(int frameno) {
+  if (frameno < 0 || frameno >= meta_.num_frames) {
+    return Status::OutOfRange("frame number out of range");
+  }
+  const std::string key = EncodeKeyU64(static_cast<uint64_t>(frameno));
+  DL_ASSIGN_OR_RETURN(auto value, store_->Get(Slice(key)));
+  ++frames_decoded_;
+  return DecodeRecord(Slice(value));
+}
+
+Status FrameFileReader::ReadRange(
+    int lo, int hi,
+    const std::function<bool(int, const Image&)>& visitor) {
+  lo = std::max(lo, 0);
+  hi = std::min(hi, meta_.num_frames - 1);
+  if (lo > hi) return Status::OK();
+  const std::string lo_key = EncodeKeyU64(static_cast<uint64_t>(lo));
+  const std::string hi_key = EncodeKeyU64(static_cast<uint64_t>(hi));
+  Status decode_status;
+  DL_RETURN_NOT_OK(store_->Scan(
+      Slice(lo_key), Slice(hi_key),
+      [&](const Slice& key, const Slice& value) {
+        auto frameno = DecodeKeyU64(key);
+        if (!frameno.ok()) {
+          decode_status = frameno.status();
+          return false;
+        }
+        auto img = DecodeRecord(value);
+        if (!img.ok()) {
+          decode_status = img.status();
+          return false;
+        }
+        ++frames_decoded_;
+        return visitor(static_cast<int>(frameno.value()), img.value());
+      }));
+  return decode_status;
+}
+
+}  // namespace deeplens

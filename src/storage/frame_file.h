@@ -1,0 +1,61 @@
+// FrameFile layout: each frame is one record in a RecordStore, keyed by
+// big-endian frame number so the store's ordered scan is frame order.
+// Frames are stored raw or intra-coded (LJPG). Supports exact temporal
+// filter push-down (paper §3.1 "Frame File").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/record_store.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+
+class FrameFileWriter : public VideoWriter {
+ public:
+  static Result<std::unique_ptr<FrameFileWriter>> Create(
+      const std::string& path, const VideoStoreOptions& options);
+
+  Status AddFrame(const Image& frame) override;
+  Status Finish() override;
+  int frames_written() const override { return next_frame_; }
+
+ private:
+  FrameFileWriter(std::string path, VideoStoreOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  std::string path_;
+  VideoStoreOptions options_;
+  std::unique_ptr<RecordStore> store_;
+  internal::VideoMeta meta_;
+  int next_frame_ = 0;
+};
+
+class FrameFileReader : public VideoReader {
+ public:
+  static Result<std::unique_ptr<FrameFileReader>> Open(
+      const std::string& path, const internal::VideoMeta& meta);
+
+  int num_frames() const override { return meta_.num_frames; }
+  VideoFormat format() const override { return meta_.options.format; }
+  uint64_t storage_bytes() const override;
+  Result<Image> ReadFrame(int frameno) override;
+  Status ReadRange(int lo, int hi,
+                   const std::function<bool(int, const Image&)>& visitor)
+      override;
+  uint64_t frames_decoded() const override { return frames_decoded_; }
+
+ private:
+  FrameFileReader(std::string path, internal::VideoMeta meta)
+      : path_(std::move(path)), meta_(meta) {}
+
+  Result<Image> DecodeRecord(const Slice& value) const;
+
+  std::string path_;
+  internal::VideoMeta meta_;
+  std::unique_ptr<RecordStore> store_;
+  uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,177 @@
+#include "storage/record_store.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "common/logging.h"
+
+namespace deeplens {
+
+// Log record framing:
+//   u32 crc (over everything after it)
+//   u8  kind (0 = put, 1 = tombstone)
+//   varint key_len, key bytes
+//   varint val_len, val bytes   (puts only)
+namespace {
+constexpr uint8_t kPut = 0;
+constexpr uint8_t kTombstone = 1;
+}  // namespace
+
+RecordStore::RecordStore(std::string path) : path_(std::move(path)) {}
+
+RecordStore::~RecordStore() {
+  if (writer_) (void)writer_->Flush();
+}
+
+Result<std::unique_ptr<RecordStore>> RecordStore::Open(
+    const std::string& path) {
+  auto store = std::unique_ptr<RecordStore>(new RecordStore(path));
+  DL_ASSIGN_OR_RETURN(store->writer_, AppendOnlyFile::Open(path));
+  DL_RETURN_NOT_OK(store->Replay());
+  return store;
+}
+
+Status RecordStore::Replay() {
+  DL_ASSIGN_OR_RETURN(uint64_t file_size, FileSize(path_));
+  if (file_size == 0) return Status::OK();
+  DL_ASSIGN_OR_RETURN(auto data, ReadWholeFile(path_));
+  ByteReader reader{Slice(data)};
+  uint64_t offset = 0;
+  while (!reader.AtEnd()) {
+    const uint64_t record_offset = offset;
+    auto crc_r = reader.GetU32();
+    if (!crc_r.ok()) break;  // torn tail
+    auto body_r = reader.GetLengthPrefixed();
+    if (!body_r.ok()) break;
+    const Slice body = body_r.value();
+    if (Crc32c(body) != crc_r.value()) {
+      DL_LOG(kWarn) << "record store " << path_
+                    << ": CRC mismatch at offset " << record_offset
+                    << "; truncating replay";
+      break;
+    }
+    ByteReader body_reader(body);
+    DL_ASSIGN_OR_RETURN(uint8_t kind, body_reader.GetU8());
+    DL_ASSIGN_OR_RETURN(Slice key, body_reader.GetLengthPrefixed());
+    if (kind == kPut) {
+      index_[key.ToString()] = record_offset;
+    } else if (kind == kTombstone) {
+      index_.erase(key.ToString());
+    } else {
+      return Status::Corruption("unknown log record kind");
+    }
+    ++num_log_records_;
+    offset = static_cast<uint64_t>(data.size()) -
+             static_cast<uint64_t>(reader.remaining());
+  }
+  return Status::OK();
+}
+
+Status RecordStore::Put(const Slice& key, const Slice& value) {
+  ByteBuffer body;
+  body.PutU8(kPut);
+  body.PutLengthPrefixed(key);
+  body.PutLengthPrefixed(value);
+  ByteBuffer framed;
+  framed.PutU32(Crc32c(body.AsSlice()));
+  framed.PutLengthPrefixed(body.AsSlice());
+  DL_ASSIGN_OR_RETURN(uint64_t offset, writer_->Append(framed.AsSlice()));
+  index_[key.ToString()] = offset;
+  ++num_log_records_;
+  return Status::OK();
+}
+
+Status RecordStore::Delete(const Slice& key) {
+  ByteBuffer body;
+  body.PutU8(kTombstone);
+  body.PutLengthPrefixed(key);
+  ByteBuffer framed;
+  framed.PutU32(Crc32c(body.AsSlice()));
+  framed.PutLengthPrefixed(body.AsSlice());
+  DL_RETURN_NOT_OK(writer_->Append(framed.AsSlice()).status());
+  index_.erase(key.ToString());
+  ++num_log_records_;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RecordStore::ReadValueAt(
+    uint64_t offset) const {
+  // Reads go through a pread handle; reopen it if the log grew past what
+  // the current handle has seen (appends after open).
+  if (!reader_ || offset >= reader_valid_up_to_) {
+    DL_RETURN_NOT_OK(writer_ ? writer_->Flush() : Status::OK());
+    DL_ASSIGN_OR_RETURN(reader_, RandomAccessFile::Open(path_));
+    reader_valid_up_to_ = reader_->size();
+  }
+  // Record header: u32 crc + varint body_len. Read a generous prefix to
+  // decode the varint, then the body.
+  std::vector<uint8_t> header;
+  const size_t header_probe =
+      static_cast<size_t>(std::min<uint64_t>(16, reader_->size() - offset));
+  DL_RETURN_NOT_OK(reader_->ReadAt(offset, header_probe, &header));
+  ByteReader hr{Slice(header)};
+  DL_ASSIGN_OR_RETURN(uint32_t crc, hr.GetU32());
+  DL_ASSIGN_OR_RETURN(uint64_t body_len, hr.GetVarint());
+  const uint64_t body_offset =
+      offset + (header_probe - hr.remaining());
+  std::vector<uint8_t> body;
+  DL_RETURN_NOT_OK(
+      reader_->ReadAt(body_offset, static_cast<size_t>(body_len), &body));
+  if (Crc32c(Slice(body)) != crc) {
+    return Status::Corruption("record CRC mismatch on read");
+  }
+  ByteReader body_reader((Slice(body)));
+  DL_ASSIGN_OR_RETURN(uint8_t kind, body_reader.GetU8());
+  if (kind != kPut) return Status::Corruption("expected a put record");
+  DL_ASSIGN_OR_RETURN(Slice key, body_reader.GetLengthPrefixed());
+  (void)key;
+  DL_ASSIGN_OR_RETURN(Slice value, body_reader.GetLengthPrefixed());
+  return value.ToBytes();
+}
+
+Result<std::vector<uint8_t>> RecordStore::Get(const Slice& key) const {
+  auto it = index_.find(key.ToString());
+  if (it == index_.end()) {
+    return Status::NotFound("key not in record store");
+  }
+  return ReadValueAt(it->second);
+}
+
+bool RecordStore::Contains(const Slice& key) const {
+  return index_.find(key.ToString()) != index_.end();
+}
+
+Status RecordStore::Scan(
+    const Slice& lo, const Slice& hi,
+    const std::function<bool(const Slice&, const Slice&)>& visitor) const {
+  auto it = index_.lower_bound(lo.ToString());
+  const std::string hi_str = hi.ToString();
+  for (; it != index_.end(); ++it) {
+    if (Slice(it->first).Compare(Slice(hi_str)) > 0) break;
+    DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(it->second));
+    if (!visitor(Slice(it->first), Slice(value))) break;
+  }
+  return Status::OK();
+}
+
+Status RecordStore::ScanAll(
+    const std::function<bool(const Slice&, const Slice&)>& visitor) const {
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(it->second));
+    if (!visitor(Slice(it->first), Slice(value))) break;
+  }
+  return Status::OK();
+}
+
+Status RecordStore::Flush() { return writer_->Flush(); }
+
+RecordStoreStats RecordStore::Stats() const {
+  RecordStoreStats s;
+  s.num_records = index_.size();
+  s.log_bytes = writer_ ? writer_->size() : 0;
+  s.num_log_records = num_log_records_;
+  return s;
+}
+
+}  // namespace deeplens

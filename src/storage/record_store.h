@@ -1,0 +1,89 @@
+// Log-structured persistent key-value record store — DeepLens' stand-in
+// for the paper's BerkeleyDB. Records are appended to a data log with CRC
+// framing; an in-memory ordered index maps keys to log offsets and is
+// rebuilt by scanning the log on open (crash-safe: torn tails are ignored).
+// Keys are ordered byte strings, so range scans (temporal predicates)
+// stream in key order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/file_io.h"
+
+namespace deeplens {
+
+/// Store statistics used by benchmarks and the storage advisor.
+struct RecordStoreStats {
+  uint64_t num_records = 0;      // live keys
+  uint64_t log_bytes = 0;        // on-disk size including dead versions
+  uint64_t num_log_records = 0;  // total log entries scanned/written
+};
+
+/// \brief Ordered persistent KV store. Last write per key wins; deletes
+/// are tombstones. Single-writer, not thread-safe (DeepLens queries are
+/// single-threaded at the storage layer).
+class RecordStore {
+ public:
+  /// Opens (or creates) the store backing file at `path`, replaying the
+  /// log to rebuild the key index.
+  static Result<std::unique_ptr<RecordStore>> Open(const std::string& path);
+
+  ~RecordStore();
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+
+  /// Inserts or overwrites `key`.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Reads the latest value for `key`; NotFound if absent or deleted.
+  Result<std::vector<uint8_t>> Get(const Slice& key) const;
+
+  bool Contains(const Slice& key) const;
+
+  /// Writes a tombstone. OK even if the key does not exist.
+  Status Delete(const Slice& key);
+
+  /// Visits live records with lo <= key <= hi in key order. Return false
+  /// from the visitor to stop early.
+  Status Scan(const Slice& lo, const Slice& hi,
+              const std::function<bool(const Slice& key,
+                                       const Slice& value)>& visitor) const;
+
+  /// Visits every live record in key order.
+  Status ScanAll(const std::function<bool(const Slice& key,
+                                          const Slice& value)>& visitor) const;
+
+  /// Flushes buffered writes to the OS.
+  Status Flush();
+
+  RecordStoreStats Stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit RecordStore(std::string path);
+
+  Status Replay();
+  Result<std::vector<uint8_t>> ReadValueAt(uint64_t offset) const;
+
+  // In-memory key index: key → offset of the latest log record. Deleted
+  // keys are removed from the map entirely.
+  // (std::map keeps this simple and ordered; the B+Tree in index/ serves
+  // query-level indexing where bulk scans matter.)
+  std::map<std::string, uint64_t> index_;
+
+  std::string path_;
+  std::unique_ptr<AppendOnlyFile> writer_;
+  mutable std::unique_ptr<RandomAccessFile> reader_;
+  mutable uint64_t reader_valid_up_to_ = 0;
+  uint64_t num_log_records_ = 0;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,123 @@
+#include "storage/segmented_file.h"
+
+#include "common/bytes.h"
+
+namespace deeplens {
+
+Result<std::unique_ptr<SegmentedFileWriter>> SegmentedFileWriter::Create(
+    const std::string& path, const VideoStoreOptions& options) {
+  if (options.format != VideoFormat::kSegmented) {
+    return Status::InvalidArgument("SegmentedFileWriter: wrong format");
+  }
+  if (options.clip_frames < 1) {
+    return Status::InvalidArgument("clip_frames must be >= 1");
+  }
+  DL_RETURN_NOT_OK(RemoveFileIfExists(path));
+  auto writer = std::unique_ptr<SegmentedFileWriter>(
+      new SegmentedFileWriter(path, options));
+  DL_ASSIGN_OR_RETURN(writer->store_, RecordStore::Open(path));
+  writer->meta_.options = options;
+  return writer;
+}
+
+Status SegmentedFileWriter::AddFrame(const Image& frame) {
+  if (frame.empty()) return Status::InvalidArgument("empty frame");
+  if (next_frame_ == 0) {
+    meta_.width = frame.width();
+    meta_.height = frame.height();
+    meta_.channels = frame.channels();
+  }
+  pending_clip_.push_back(frame);
+  ++next_frame_;
+  if (static_cast<int>(pending_clip_.size()) >= options_.clip_frames) {
+    return FlushClip();
+  }
+  return Status::OK();
+}
+
+Status SegmentedFileWriter::FlushClip() {
+  if (pending_clip_.empty()) return Status::OK();
+  const int clip_start =
+      next_frame_ - static_cast<int>(pending_clip_.size());
+  // Each clip is an independent stream: GOP == clip length so every clip
+  // starts with its own keyframe.
+  codec::VideoCodecOptions codec_options;
+  codec_options.quality = options_.quality;
+  codec_options.gop_size = options_.clip_frames;
+  DL_ASSIGN_OR_RETURN(std::vector<uint8_t> stream,
+                      codec::EncodeVideo(pending_clip_, codec_options));
+  const std::string key =
+      EncodeKeyU64(static_cast<uint64_t>(clip_start));
+  DL_RETURN_NOT_OK(store_->Put(Slice(key), Slice(stream)));
+  pending_clip_.clear();
+  return Status::OK();
+}
+
+Status SegmentedFileWriter::Finish() {
+  DL_RETURN_NOT_OK(FlushClip());
+  meta_.num_frames = next_frame_;
+  DL_RETURN_NOT_OK(store_->Flush());
+  return internal::WriteVideoMeta(path_, meta_);
+}
+
+Result<std::unique_ptr<SegmentedFileReader>> SegmentedFileReader::Open(
+    const std::string& path, const internal::VideoMeta& meta) {
+  auto reader = std::unique_ptr<SegmentedFileReader>(
+      new SegmentedFileReader(path, meta));
+  DL_ASSIGN_OR_RETURN(reader->store_, RecordStore::Open(path));
+  return reader;
+}
+
+uint64_t SegmentedFileReader::storage_bytes() const {
+  return store_->Stats().log_bytes;
+}
+
+Result<Image> SegmentedFileReader::ReadFrame(int frameno) {
+  if (frameno < 0 || frameno >= meta_.num_frames) {
+    return Status::OutOfRange("frame number out of range");
+  }
+  const int clip =
+      (frameno / meta_.options.clip_frames) * meta_.options.clip_frames;
+  const std::string key = EncodeKeyU64(static_cast<uint64_t>(clip));
+  DL_ASSIGN_OR_RETURN(auto stream, store_->Get(Slice(key)));
+  codec::VideoDecoder decoder{Slice(stream)};
+  DL_RETURN_NOT_OK(decoder.Init());
+  DL_ASSIGN_OR_RETURN(Image img, decoder.SeekDecode(frameno - clip));
+  frames_decoded_ += static_cast<uint64_t>(decoder.frames_decoded());
+  return img;
+}
+
+Status SegmentedFileReader::ReadRange(
+    int lo, int hi,
+    const std::function<bool(int, const Image&)>& visitor) {
+  lo = std::max(lo, 0);
+  hi = std::min(hi, meta_.num_frames - 1);
+  if (lo > hi) return Status::OK();
+  const int clip_frames = meta_.options.clip_frames;
+  bool stop = false;
+  for (int clip = (lo / clip_frames) * clip_frames; clip <= hi && !stop;
+       clip += clip_frames) {
+    const std::string key = EncodeKeyU64(static_cast<uint64_t>(clip));
+    DL_ASSIGN_OR_RETURN(auto stream, store_->Get(Slice(key)));
+    codec::VideoDecoder decoder{Slice(stream)};
+    DL_RETURN_NOT_OK(decoder.Init());
+    // Decode the clip from its head; only the in-range frames are
+    // emitted (the waste is bounded by one clip — the "coarse" part of
+    // coarse-grained push-down).
+    for (int i = 0; i < decoder.num_frames(); ++i) {
+      const int frameno = clip + i;
+      if (frameno > hi) break;
+      DL_ASSIGN_OR_RETURN(Image img, decoder.NextFrame());
+      ++frames_decoded_;
+      if (frameno >= lo) {
+        if (!visitor(frameno, img)) {
+          stop = true;
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace deeplens

@@ -1,0 +1,63 @@
+// SegmentedFile layout: the video is cut into fixed-length clips; each
+// clip is an independent DLV1 stream stored as a record keyed by its start
+// frame. Temporal predicates seek to the covering clip and decode only
+// that clip from its head — the hybrid of paper §3.1 ("Segmented File").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/record_store.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+
+class SegmentedFileWriter : public VideoWriter {
+ public:
+  static Result<std::unique_ptr<SegmentedFileWriter>> Create(
+      const std::string& path, const VideoStoreOptions& options);
+
+  Status AddFrame(const Image& frame) override;
+  Status Finish() override;
+  int frames_written() const override { return next_frame_; }
+
+ private:
+  SegmentedFileWriter(std::string path, VideoStoreOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  Status FlushClip();
+
+  std::string path_;
+  VideoStoreOptions options_;
+  std::unique_ptr<RecordStore> store_;
+  internal::VideoMeta meta_;
+  std::vector<Image> pending_clip_;
+  int next_frame_ = 0;
+};
+
+class SegmentedFileReader : public VideoReader {
+ public:
+  static Result<std::unique_ptr<SegmentedFileReader>> Open(
+      const std::string& path, const internal::VideoMeta& meta);
+
+  int num_frames() const override { return meta_.num_frames; }
+  VideoFormat format() const override { return VideoFormat::kSegmented; }
+  uint64_t storage_bytes() const override;
+  Result<Image> ReadFrame(int frameno) override;
+  Status ReadRange(int lo, int hi,
+                   const std::function<bool(int, const Image&)>& visitor)
+      override;
+  uint64_t frames_decoded() const override { return frames_decoded_; }
+
+ private:
+  SegmentedFileReader(std::string path, internal::VideoMeta meta)
+      : path_(std::move(path)), meta_(meta) {}
+
+  std::string path_;
+  internal::VideoMeta meta_;
+  std::unique_ptr<RecordStore> store_;
+  uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace deeplens

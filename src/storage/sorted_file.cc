@@ -1,0 +1,153 @@
+#include "storage/sorted_file.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+
+namespace deeplens {
+
+// File layout:
+//   records: [varint key_len, key, varint val_len, val]*
+//   footer:  varint anchor_count, [varint key_len, key, u64 offset]*,
+//            u64 num_records, u64 data_end, u32 footer_crc, u64 footer_len
+// The footer is read by seeking to the end.
+namespace {
+constexpr uint64_t kIndexInterval = 64;
+}
+
+Result<std::unique_ptr<SortedFileWriter>> SortedFileWriter::Create(
+    const std::string& path) {
+  DL_RETURN_NOT_OK(RemoveFileIfExists(path));
+  auto writer = std::unique_ptr<SortedFileWriter>(new SortedFileWriter());
+  DL_ASSIGN_OR_RETURN(writer->file_, AppendOnlyFile::Open(path));
+  return writer;
+}
+
+Status SortedFileWriter::Add(const Slice& key, const Slice& value) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (num_records_ > 0 && key.Compare(Slice(last_key_)) < 0) {
+    return Status::InvalidArgument(
+        "SortedFileWriter keys must be non-decreasing");
+  }
+  if (num_records_ % kIndexInterval == 0) {
+    anchors_.emplace_back(key.ToString(), file_->size());
+  }
+  ByteBuffer rec;
+  rec.PutLengthPrefixed(key);
+  rec.PutLengthPrefixed(value);
+  DL_RETURN_NOT_OK(file_->Append(rec.AsSlice()).status());
+  last_key_ = key.ToString();
+  ++num_records_;
+  return Status::OK();
+}
+
+Status SortedFileWriter::Finish() {
+  if (finished_) return Status::OK();
+  const uint64_t data_end = file_->size();
+  ByteBuffer footer;
+  footer.PutVarint(anchors_.size());
+  for (const auto& [key, offset] : anchors_) {
+    footer.PutLengthPrefixed(Slice(key));
+    footer.PutU64(offset);
+  }
+  footer.PutU64(num_records_);
+  footer.PutU64(data_end);
+  const uint32_t crc = Crc32c(footer.AsSlice());
+  ByteBuffer tail;
+  tail.PutBytes(footer.data().data(), footer.size());
+  tail.PutU32(crc);
+  tail.PutU64(footer.size());
+  DL_RETURN_NOT_OK(file_->Append(tail.AsSlice()).status());
+  DL_RETURN_NOT_OK(file_->Flush());
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SortedFileReader>> SortedFileReader::Open(
+    const std::string& path) {
+  auto reader = std::unique_ptr<SortedFileReader>(new SortedFileReader());
+  DL_ASSIGN_OR_RETURN(reader->file_, RandomAccessFile::Open(path));
+  reader->file_bytes_ = reader->file_->size();
+  if (reader->file_bytes_ < 12) {
+    return Status::Corruption("sorted file too small for a footer");
+  }
+  // Tail: u32 crc + u64 footer_len.
+  std::vector<uint8_t> tail;
+  DL_RETURN_NOT_OK(
+      reader->file_->ReadAt(reader->file_bytes_ - 12, 12, &tail));
+  ByteReader tail_reader((Slice(tail)));
+  DL_ASSIGN_OR_RETURN(uint32_t crc, tail_reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint64_t footer_len, tail_reader.GetU64());
+  if (footer_len + 12 > reader->file_bytes_) {
+    return Status::Corruption("sorted file footer length out of range");
+  }
+  std::vector<uint8_t> footer;
+  DL_RETURN_NOT_OK(reader->file_->ReadAt(
+      reader->file_bytes_ - 12 - footer_len,
+      static_cast<size_t>(footer_len), &footer));
+  if (Crc32c(Slice(footer)) != crc) {
+    return Status::Corruption("sorted file footer CRC mismatch");
+  }
+  ByteReader fr((Slice(footer)));
+  DL_ASSIGN_OR_RETURN(uint64_t anchor_count, fr.GetVarint());
+  reader->anchors_.reserve(static_cast<size_t>(anchor_count));
+  for (uint64_t i = 0; i < anchor_count; ++i) {
+    DL_ASSIGN_OR_RETURN(Slice key, fr.GetLengthPrefixed());
+    DL_ASSIGN_OR_RETURN(uint64_t offset, fr.GetU64());
+    reader->anchors_.emplace_back(key.ToString(), offset);
+  }
+  DL_ASSIGN_OR_RETURN(reader->num_records_, fr.GetU64());
+  DL_ASSIGN_OR_RETURN(reader->data_end_, fr.GetU64());
+  return reader;
+}
+
+Status SortedFileReader::Scan(
+    const Slice& lo, const Slice& hi,
+    const std::function<bool(const Slice&, const Slice&)>& visitor) const {
+  // Find the last anchor with key <= lo; start scanning there.
+  uint64_t start = 0;
+  {
+    size_t a = 0, b = anchors_.size();
+    while (a < b) {
+      const size_t mid = (a + b) / 2;
+      if (Slice(anchors_[mid].first).Compare(lo) <= 0) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    if (a > 0) start = anchors_[a - 1].second;
+  }
+  if (anchors_.empty()) return Status::OK();
+
+  // Stream from `start` to data_end_, decoding records.
+  std::vector<uint8_t> data;
+  DL_RETURN_NOT_OK(file_->ReadAt(start,
+                                 static_cast<size_t>(data_end_ - start),
+                                 &data));
+  ByteReader reader((Slice(data)));
+  while (!reader.AtEnd()) {
+    DL_ASSIGN_OR_RETURN(Slice key, reader.GetLengthPrefixed());
+    DL_ASSIGN_OR_RETURN(Slice value, reader.GetLengthPrefixed());
+    if (key.Compare(hi) > 0) break;
+    if (key.Compare(lo) >= 0) {
+      if (!visitor(key, value)) break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SortedFileReader::Get(const Slice& key) const {
+  std::vector<uint8_t> out;
+  bool found = false;
+  DL_RETURN_NOT_OK(Scan(key, key, [&](const Slice& /*k*/, const Slice& v) {
+    out = v.ToBytes();
+    found = true;
+    return false;
+  }));
+  if (!found) return Status::NotFound("key not in sorted file");
+  return out;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,70 @@
+// Immutable sorted-run file: records bulk-written in key order with a
+// sparse in-memory index (one anchor every N records). This is the "Sorted
+// File" physical design from paper §3.1/§3.2 — the cheapest structure for
+// temporal predicates when data arrives ordered (frame numbers).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/file_io.h"
+
+namespace deeplens {
+
+/// \brief Writes a sorted run. Keys MUST be appended in non-decreasing
+/// order; Finish() seals the file.
+class SortedFileWriter {
+ public:
+  static Result<std::unique_ptr<SortedFileWriter>> Create(
+      const std::string& path);
+
+  /// Appends a record; returns InvalidArgument if out of order.
+  Status Add(const Slice& key, const Slice& value);
+
+  /// Seals the run (writes the footer with the sparse index).
+  Status Finish();
+
+ private:
+  SortedFileWriter() = default;
+
+  std::unique_ptr<AppendOnlyFile> file_;
+  std::string last_key_;
+  uint64_t num_records_ = 0;
+  // Sparse index: (key, offset) anchors every kIndexInterval records.
+  std::vector<std::pair<std::string, uint64_t>> anchors_;
+  bool finished_ = false;
+};
+
+/// \brief Reads a sealed sorted run.
+class SortedFileReader {
+ public:
+  static Result<std::unique_ptr<SortedFileReader>> Open(
+      const std::string& path);
+
+  /// Visits records with lo <= key <= hi in order; binary-searches the
+  /// sparse index to find the starting block, then scans forward.
+  Status Scan(const Slice& lo, const Slice& hi,
+              const std::function<bool(const Slice&, const Slice&)>&
+                  visitor) const;
+
+  /// Convenience point lookup (first record with exactly `key`).
+  Result<std::vector<uint8_t>> Get(const Slice& key) const;
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  SortedFileReader() = default;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::vector<std::pair<std::string, uint64_t>> anchors_;
+  uint64_t num_records_ = 0;
+  uint64_t data_end_ = 0;  // offset where records stop and the footer starts
+  uint64_t file_bytes_ = 0;
+};
+
+}  // namespace deeplens

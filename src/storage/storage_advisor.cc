@@ -1,0 +1,130 @@
+#include "storage/storage_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace deeplens {
+
+uint64_t StorageAdvisor::PredictStorage(const WorkloadProfile& profile,
+                                        VideoFormat format) const {
+  const double raw_total = static_cast<double>(profile.raw_frame_bytes) *
+                           profile.num_frames;
+  switch (format) {
+    case VideoFormat::kFrameRaw:
+      return static_cast<uint64_t>(raw_total);
+    case VideoFormat::kFrameLjpg:
+      return static_cast<uint64_t>(raw_total / constants_.intra_ratio);
+    case VideoFormat::kEncoded:
+      return static_cast<uint64_t>(raw_total / constants_.inter_ratio);
+    case VideoFormat::kSegmented:
+      // Each clip restarts with a keyframe; with clips of c frames the
+      // ratio degrades towards intra as c shrinks. Modeled at the default
+      // clip length here; Recommend() refines per clip length.
+      return static_cast<uint64_t>(raw_total / constants_.inter_ratio *
+                                   1.15);
+  }
+  return static_cast<uint64_t>(raw_total);
+}
+
+double StorageAdvisor::PredictQuerySeconds(
+    const WorkloadProfile& profile, const VideoStoreOptions& options) const {
+  const double touched =
+      profile.temporal_selectivity * profile.num_frames;
+  switch (options.format) {
+    case VideoFormat::kFrameRaw:
+      // Exact push-down: only touched frames are read.
+      return touched * constants_.raw_read_sec;
+    case VideoFormat::kFrameLjpg:
+      return touched * constants_.intra_decode_sec;
+    case VideoFormat::kEncoded: {
+      // Sequential codec: a range query decodes everything up to the end
+      // of the range — on average half the video plus the range.
+      const double prefix =
+          profile.range_queries
+              ? 0.5 * profile.num_frames + touched * 0.5
+              : static_cast<double>(profile.num_frames);
+      return prefix * constants_.inter_decode_sec;
+    }
+    case VideoFormat::kSegmented: {
+      // Coarse push-down: waste is at most one clip per range end.
+      const double waste = options.clip_frames;
+      return (touched + waste) * constants_.inter_decode_sec;
+    }
+  }
+  return 0.0;
+}
+
+StorageAdvice StorageAdvisor::Recommend(
+    const WorkloadProfile& profile, uint64_t storage_budget_bytes) const {
+  StorageAdvice best;
+  double best_cost = std::numeric_limits<double>::max();
+  bool found = false;
+
+  auto consider = [&](const VideoStoreOptions& options,
+                      uint64_t storage, const std::string& why) {
+    if (storage_budget_bytes > 0 && storage > storage_budget_bytes) return;
+    const double per_query = PredictQuerySeconds(profile, options);
+    const double total = per_query * std::max(1.0, profile.expected_queries);
+    if (total < best_cost) {
+      best_cost = total;
+      best.options = options;
+      best.predicted_storage_bytes = storage;
+      best.predicted_query_seconds = per_query;
+      best.rationale = why;
+      found = true;
+    }
+  };
+
+  {
+    VideoStoreOptions o;
+    o.format = VideoFormat::kFrameRaw;
+    consider(o, PredictStorage(profile, o.format),
+             "frame file (raw): cheapest reads, exact temporal push-down");
+  }
+  {
+    VideoStoreOptions o;
+    o.format = VideoFormat::kFrameLjpg;
+    consider(o, PredictStorage(profile, o.format),
+             "frame file (intra-coded): push-down with moderate storage");
+  }
+  {
+    VideoStoreOptions o;
+    o.format = VideoFormat::kEncoded;
+    consider(o, PredictStorage(profile, o.format),
+             "encoded file: best compression, pays sequential decode");
+  }
+  for (int clip = 8; clip <= 256; clip *= 2) {
+    VideoStoreOptions o;
+    o.format = VideoFormat::kSegmented;
+    o.clip_frames = clip;
+    o.gop_size = clip;
+    // Keyframe overhead grows as clips shrink: every clip carries one
+    // intra frame whose compressed size ~ intra_ratio vs inter_ratio.
+    const double raw_total =
+        static_cast<double>(profile.raw_frame_bytes) * profile.num_frames;
+    const double intra_share = 1.0 / clip;
+    const double ratio =
+        1.0 / (intra_share / constants_.intra_ratio +
+               (1.0 - intra_share) / constants_.inter_ratio);
+    consider(o, static_cast<uint64_t>(raw_total / ratio),
+             StringFormat("segmented file (clip=%d): coarse push-down with "
+                          "near-encoded compression",
+                          clip));
+  }
+
+  if (!found) {
+    // Budget unsatisfiable: fall back to the smallest layout.
+    best.options.format = VideoFormat::kEncoded;
+    best.predicted_storage_bytes =
+        PredictStorage(profile, VideoFormat::kEncoded);
+    best.predicted_query_seconds =
+        PredictQuerySeconds(profile, best.options);
+    best.rationale =
+        "storage budget below any layout; choosing the most compact";
+  }
+  return best;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,76 @@
+// Storage advisor (paper §3, "Future Work: Storage Advisor"): given a
+// workload profile and an optional storage budget / latency SLO, pick the
+// physical layout analytically. The cost model mirrors the behaviour of
+// the three layouts: frame files pay storage for random access; encoded
+// files pay sequential decode for any access; segmented files interpolate
+// with clip-granularity waste.
+#pragma once
+
+#include <string>
+
+#include "storage/video_store.h"
+
+namespace deeplens {
+
+/// Describes the expected access pattern for a stored video.
+struct WorkloadProfile {
+  int num_frames = 0;
+  /// Bytes of one raw (decoded) frame.
+  uint64_t raw_frame_bytes = 0;
+  /// Fraction of frames a typical query touches, in (0, 1].
+  double temporal_selectivity = 1.0;
+  /// Expected number of (range) queries over the video's lifetime.
+  double expected_queries = 1.0;
+  /// True if queries are mostly contiguous time windows (as opposed to
+  /// random point lookups).
+  bool range_queries = true;
+};
+
+/// Calibration constants; defaults measured on the reference machine but
+/// overridable from micro-benchmarks.
+struct CostConstants {
+  /// Decode cost per frame for intra-coded records, seconds.
+  double intra_decode_sec = 2.0e-4;
+  /// Decode cost per frame inside a DLV1 stream, seconds.
+  double inter_decode_sec = 1.6e-4;
+  /// Read+deserialize cost per raw frame, seconds.
+  double raw_read_sec = 3.0e-5;
+  /// Compression ratio of intra coding vs raw.
+  double intra_ratio = 8.0;
+  /// Compression ratio of DLV1 (inter) coding vs raw.
+  double inter_ratio = 30.0;
+};
+
+/// Advisor output: the layout plus its predicted costs.
+struct StorageAdvice {
+  VideoStoreOptions options;
+  uint64_t predicted_storage_bytes = 0;
+  double predicted_query_seconds = 0.0;
+  std::string rationale;
+};
+
+/// \brief Analytical advisor.
+class StorageAdvisor {
+ public:
+  explicit StorageAdvisor(CostConstants constants = CostConstants())
+      : constants_(constants) {}
+
+  /// Predicted on-disk footprint for a layout.
+  uint64_t PredictStorage(const WorkloadProfile& profile,
+                          VideoFormat format) const;
+
+  /// Predicted cost (seconds) of one query with the profile's selectivity.
+  double PredictQuerySeconds(const WorkloadProfile& profile,
+                             const VideoStoreOptions& options) const;
+
+  /// Picks the layout minimizing total query time subject to the storage
+  /// budget (0 = unconstrained). Clip length for segmented layouts is
+  /// swept over powers of two.
+  StorageAdvice Recommend(const WorkloadProfile& profile,
+                          uint64_t storage_budget_bytes = 0) const;
+
+ private:
+  CostConstants constants_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,133 @@
+#include "storage/video_store.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "storage/encoded_file.h"
+#include "storage/frame_file.h"
+#include "storage/segmented_file.h"
+
+namespace deeplens {
+
+const char* VideoFormatName(VideoFormat format) {
+  switch (format) {
+    case VideoFormat::kFrameRaw:
+      return "frame-raw";
+    case VideoFormat::kFrameLjpg:
+      return "frame-ljpg";
+    case VideoFormat::kEncoded:
+      return "encoded";
+    case VideoFormat::kSegmented:
+      return "segmented";
+  }
+  return "?";
+}
+
+namespace internal {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0xD1AE7A01;
+std::string MetaPath(const std::string& path) { return path + ".meta"; }
+}  // namespace
+
+Status WriteVideoMeta(const std::string& path, const VideoMeta& meta) {
+  ByteBuffer buf;
+  buf.PutU32(kMetaMagic);
+  buf.PutU8(static_cast<uint8_t>(meta.options.format));
+  buf.PutU8(static_cast<uint8_t>(meta.options.quality));
+  buf.PutU32(static_cast<uint32_t>(meta.options.gop_size));
+  buf.PutU32(static_cast<uint32_t>(meta.options.clip_frames));
+  buf.PutU32(static_cast<uint32_t>(meta.num_frames));
+  buf.PutU32(static_cast<uint32_t>(meta.width));
+  buf.PutU32(static_cast<uint32_t>(meta.height));
+  buf.PutU32(static_cast<uint32_t>(meta.channels));
+  buf.PutU32(Crc32c(Slice(buf.data().data(), buf.size())));
+  return WriteWholeFile(MetaPath(path), buf.AsSlice());
+}
+
+Result<VideoMeta> ReadVideoMeta(const std::string& path) {
+  DL_ASSIGN_OR_RETURN(auto data, ReadWholeFile(MetaPath(path)));
+  if (data.size() < 4) return Status::Corruption("video meta too small");
+  const uint32_t stored_crc =
+      static_cast<uint32_t>(data[data.size() - 4]) |
+      (static_cast<uint32_t>(data[data.size() - 3]) << 8) |
+      (static_cast<uint32_t>(data[data.size() - 2]) << 16) |
+      (static_cast<uint32_t>(data[data.size() - 1]) << 24);
+  if (Crc32c(data.data(), data.size() - 4) != stored_crc) {
+    return Status::Corruption("video meta CRC mismatch");
+  }
+  ByteReader reader(Slice(data.data(), data.size() - 4));
+  DL_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kMetaMagic) return Status::Corruption("bad video meta magic");
+  VideoMeta meta;
+  DL_ASSIGN_OR_RETURN(uint8_t format, reader.GetU8());
+  DL_ASSIGN_OR_RETURN(uint8_t quality, reader.GetU8());
+  if (format > 3 || quality > 2) {
+    return Status::Corruption("bad video meta enum value");
+  }
+  meta.options.format = static_cast<VideoFormat>(format);
+  meta.options.quality = static_cast<codec::Quality>(quality);
+  DL_ASSIGN_OR_RETURN(uint32_t gop, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t clip, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t nframes, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t w, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t h, reader.GetU32());
+  DL_ASSIGN_OR_RETURN(uint32_t c, reader.GetU32());
+  meta.options.gop_size = static_cast<int>(gop);
+  meta.options.clip_frames = static_cast<int>(clip);
+  meta.num_frames = static_cast<int>(nframes);
+  meta.width = static_cast<int>(w);
+  meta.height = static_cast<int>(h);
+  meta.channels = static_cast<int>(c);
+  return meta;
+}
+
+}  // namespace internal
+
+Result<std::unique_ptr<VideoWriter>> CreateVideoWriter(
+    const std::string& path, const VideoStoreOptions& options) {
+  switch (options.format) {
+    case VideoFormat::kFrameRaw:
+    case VideoFormat::kFrameLjpg: {
+      DL_ASSIGN_OR_RETURN(auto writer,
+                          FrameFileWriter::Create(path, options));
+      return std::unique_ptr<VideoWriter>(std::move(writer));
+    }
+    case VideoFormat::kEncoded: {
+      DL_ASSIGN_OR_RETURN(auto writer,
+                          EncodedFileWriter::Create(path, options));
+      return std::unique_ptr<VideoWriter>(std::move(writer));
+    }
+    case VideoFormat::kSegmented: {
+      DL_ASSIGN_OR_RETURN(auto writer,
+                          SegmentedFileWriter::Create(path, options));
+      return std::unique_ptr<VideoWriter>(std::move(writer));
+    }
+  }
+  return Status::InvalidArgument("unknown video format");
+}
+
+Result<std::unique_ptr<VideoReader>> OpenVideo(const std::string& path) {
+  DL_ASSIGN_OR_RETURN(internal::VideoMeta meta,
+                      internal::ReadVideoMeta(path));
+  switch (meta.options.format) {
+    case VideoFormat::kFrameRaw:
+    case VideoFormat::kFrameLjpg: {
+      DL_ASSIGN_OR_RETURN(auto reader, FrameFileReader::Open(path, meta));
+      return std::unique_ptr<VideoReader>(std::move(reader));
+    }
+    case VideoFormat::kEncoded: {
+      DL_ASSIGN_OR_RETURN(auto reader, EncodedFileReader::Open(path, meta));
+      return std::unique_ptr<VideoReader>(std::move(reader));
+    }
+    case VideoFormat::kSegmented: {
+      DL_ASSIGN_OR_RETURN(auto reader,
+                          SegmentedFileReader::Open(path, meta));
+      return std::unique_ptr<VideoReader>(std::move(reader));
+    }
+  }
+  return Status::Corruption("unknown stored video format");
+}
+
+}  // namespace deeplens

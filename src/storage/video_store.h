@@ -1,0 +1,99 @@
+// Video storage facade over the three physical layouts of paper §3.1:
+//   * FrameFile    — one record per frame (raw pixels or intra-coded),
+//                    sorted by frame number → exact temporal push-down.
+//   * EncodedFile  — one sequential DLV1 stream → maximal compression, no
+//                    random access (reads scan from the start).
+//   * SegmentedFile— fixed-length clips, each DLV1-encoded, keyed by start
+//                    frame → coarse-grained temporal push-down.
+// Writers persist a sidecar meta file so OpenVideo() can dispatch on the
+// stored format without the caller knowing it (the "loader abstracts the
+// encoding scheme", §3.1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "codec/video_codec.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+
+/// Physical layout of a stored video.
+enum class VideoFormat : int {
+  kFrameRaw = 0,   // FrameFile, raw pixels ("RAW" in Figure 2/3)
+  kFrameLjpg = 1,  // FrameFile, intra-coded frames ("JPEG" in Figure 3)
+  kEncoded = 2,    // EncodedFile ("H.264" analog)
+  kSegmented = 3,  // SegmentedFile (hybrid)
+};
+
+const char* VideoFormatName(VideoFormat format);
+
+/// Layout + codec parameters chosen at write time.
+struct VideoStoreOptions {
+  VideoFormat format = VideoFormat::kFrameRaw;
+  codec::Quality quality = codec::Quality::kHigh;
+  /// Keyframe interval inside DLV1 streams.
+  int gop_size = 32;
+  /// Frames per clip for kSegmented.
+  int clip_frames = 32;
+};
+
+/// \brief Write-side interface: feed frames in order, then Finish().
+class VideoWriter {
+ public:
+  virtual ~VideoWriter() = default;
+  virtual Status AddFrame(const Image& frame) = 0;
+  virtual Status Finish() = 0;
+  virtual int frames_written() const = 0;
+};
+
+/// \brief Read-side interface.
+class VideoReader {
+ public:
+  virtual ~VideoReader() = default;
+
+  virtual int num_frames() const = 0;
+  virtual VideoFormat format() const = 0;
+
+  /// Total bytes on disk (data + metadata).
+  virtual uint64_t storage_bytes() const = 0;
+
+  /// Random access to one frame. For kEncoded this costs a sequential
+  /// decode from the stream start.
+  virtual Result<Image> ReadFrame(int frameno) = 0;
+
+  /// Visits frames lo..hi (inclusive, clamped) in order. The amount of
+  /// decode work *outside* [lo, hi] depends on the layout — that is
+  /// exactly the Figure 3 experiment. Return false to stop.
+  virtual Status ReadRange(
+      int lo, int hi,
+      const std::function<bool(int frameno, const Image&)>& visitor) = 0;
+
+  /// Decoded frames (including skipped prefix frames) since open; lets
+  /// benchmarks report wasted decode work.
+  virtual uint64_t frames_decoded() const = 0;
+};
+
+/// Creates a writer for `path` with the requested layout.
+Result<std::unique_ptr<VideoWriter>> CreateVideoWriter(
+    const std::string& path, const VideoStoreOptions& options);
+
+/// Opens a stored video, dispatching on the persisted meta file.
+Result<std::unique_ptr<VideoReader>> OpenVideo(const std::string& path);
+
+namespace internal {
+/// Sidecar metadata persisted by writers (path + ".meta").
+struct VideoMeta {
+  VideoStoreOptions options;
+  int num_frames = 0;
+  int width = 0;
+  int height = 0;
+  int channels = 3;
+};
+Status WriteVideoMeta(const std::string& path, const VideoMeta& meta);
+Result<VideoMeta> ReadVideoMeta(const std::string& path);
+}  // namespace internal
+
+}  // namespace deeplens

@@ -1,0 +1,182 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace deeplens {
+
+namespace {
+int64_t Volume(const std::vector<int64_t>& shape) {
+  int64_t v = 1;
+  for (int64_t d : shape) v *= d;
+  return v;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      size_(Volume(shape_)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(size_), 0.0f)) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)),
+      size_(Volume(shape_)),
+      data_(std::make_shared<std::vector<float>>(std::move(data))) {
+  // Callers are expected to pass matching sizes; enforce to avoid UB.
+  if (static_cast<int64_t>(data_->size()) != size_) {
+    data_->resize(static_cast<size_t>(size_), 0.0f);
+  }
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_->begin(), t.data_->end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  return Tensor({n}, std::move(values));
+}
+
+Result<Tensor> Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  if (Volume(new_shape) != size_) {
+    return Status::InvalidArgument(
+        StringFormat("reshape volume mismatch: %lld vs %lld",
+                     static_cast<long long>(Volume(new_shape)),
+                     static_cast<long long>(size_)));
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.size_ = size_;
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.size_ = size_;
+  out.data_ = data_ ? std::make_shared<std::vector<float>>(*data_)
+                    : nullptr;
+  return out;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (int64_t i = 0; i < size_; ++i) {
+    if (std::fabs((*this)[i] - other[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+size_t Tensor::Offset(std::initializer_list<int64_t> idx) const {
+  size_t off = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    off = off * static_cast<size_t>(shape_[d]) + static_cast<size_t>(i);
+    ++d;
+  }
+  return off;
+}
+
+Image::Image(int width, int height, int channels)
+    : width_(width),
+      height_(height),
+      channels_(channels),
+      data_(static_cast<size_t>(width) * height * channels, 0) {}
+
+Image Image::Crop(int x0, int y0, int x1, int y1) const {
+  x0 = std::clamp(x0, 0, width_);
+  x1 = std::clamp(x1, x0, width_);
+  y0 = std::clamp(y0, 0, height_);
+  y1 = std::clamp(y1, y0, height_);
+  Image out(x1 - x0, y1 - y0, channels_);
+  const size_t row_bytes = static_cast<size_t>(out.width_) * channels_;
+  for (int y = y0; y < y1; ++y) {
+    const uint8_t* src =
+        data_.data() +
+        (static_cast<size_t>(y) * width_ + x0) * channels_;
+    uint8_t* dst = out.data_.data() +
+                   static_cast<size_t>(y - y0) * row_bytes;
+    std::memcpy(dst, src, row_bytes);
+  }
+  return out;
+}
+
+Image Image::Resize(int new_width, int new_height) const {
+  if (new_width <= 0 || new_height <= 0 || empty()) {
+    return Image(std::max(new_width, 0), std::max(new_height, 0), channels_);
+  }
+  Image out(new_width, new_height, channels_);
+  for (int y = 0; y < new_height; ++y) {
+    const int sy = static_cast<int>(
+        (static_cast<int64_t>(y) * height_) / new_height);
+    for (int x = 0; x < new_width; ++x) {
+      const int sx = static_cast<int>(
+          (static_cast<int64_t>(x) * width_) / new_width);
+      for (int c = 0; c < channels_; ++c) {
+        out.At(x, y, c) = At(sx, sy, c);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Image::ToTensorCHW() const {
+  Tensor t({channels_, height_, width_});
+  float* dst = t.data();
+  for (int c = 0; c < channels_; ++c) {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        *dst++ = static_cast<float>(At(x, y, c)) / 255.0f;
+      }
+    }
+  }
+  return t;
+}
+
+Image Image::FromTensorCHW(const Tensor& t) {
+  if (t.rank() != 3) return Image();
+  const int c = static_cast<int>(t.dim(0));
+  const int h = static_cast<int>(t.dim(1));
+  const int w = static_cast<int>(t.dim(2));
+  Image img(w, h, c);
+  for (int ci = 0; ci < c; ++ci) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float v = t.At(ci, y, x) * 255.0f;
+        img.At(x, y, ci) = static_cast<uint8_t>(
+            std::clamp(v, 0.0f, 255.0f));
+      }
+    }
+  }
+  return img;
+}
+
+double Image::MeanAbsDiff(const Image& a, const Image& b) {
+  if (!a.SameShape(b) || a.empty()) return 255.0;
+  uint64_t total = 0;
+  const size_t n = a.data_.size();
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(
+        std::abs(static_cast<int>(a.data_[i]) - static_cast<int>(b.data_[i])));
+  }
+  return static_cast<double>(total) / static_cast<double>(n);
+}
+
+}  // namespace deeplens

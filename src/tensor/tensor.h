@@ -1,0 +1,138 @@
+// Dense tensors. `Tensor` is a contiguous float32 n-d array (used for
+// features and neural-network activations); `Image` is a uint8 H×W×C
+// raster (used for frames and patches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deeplens {
+
+/// \brief Contiguous row-major float32 tensor with shared ownership of the
+/// underlying buffer. Copies are shallow; use Clone() for a deep copy.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Wraps existing data; data.size() must equal the shape volume.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// 1-d tensor from values.
+  static Tensor FromVector(std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t i) const { return shape_[i]; }
+  size_t rank() const { return shape_.size(); }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float* data() { return data_ ? data_->data() : nullptr; }
+  const float* data() const { return data_ ? data_->data() : nullptr; }
+
+  float& operator[](int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const {
+    return (*data_)[static_cast<size_t>(i)];
+  }
+
+  /// Element access for rank-2/3/4 tensors (debug-checked in tests).
+  float& At(int64_t i, int64_t j) { return (*data_)[Offset({i, j})]; }
+  float At(int64_t i, int64_t j) const { return (*data_)[Offset({i, j})]; }
+  float& At(int64_t i, int64_t j, int64_t k) {
+    return (*data_)[Offset({i, j, k})];
+  }
+  float At(int64_t i, int64_t j, int64_t k) const {
+    return (*data_)[Offset({i, j, k})];
+  }
+  float& At(int64_t i, int64_t j, int64_t k, int64_t l) {
+    return (*data_)[Offset({i, j, k, l})];
+  }
+  float At(int64_t i, int64_t j, int64_t k, int64_t l) const {
+    return (*data_)[Offset({i, j, k, l})];
+  }
+
+  /// Returns a tensor sharing this buffer with a new shape of equal volume.
+  Result<Tensor> Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// True if shapes are equal and all elements are within `atol`.
+  bool AllClose(const Tensor& other, float atol = 1e-5f) const;
+
+  std::string ShapeString() const;
+
+ private:
+  size_t Offset(std::initializer_list<int64_t> idx) const;
+
+  std::vector<int64_t> shape_;
+  int64_t size_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// \brief Interleaved uint8 raster image, row-major H×W×C. This is the
+/// canonical representation of video frames and pixel patches.
+class Image {
+ public:
+  Image() = default;
+  /// Allocates a zeroed image.
+  Image(int width, int height, int channels);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  size_t size_bytes() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  std::vector<uint8_t>& bytes() { return data_; }
+  const std::vector<uint8_t>& bytes() const { return data_; }
+
+  uint8_t& At(int x, int y, int c) {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+  uint8_t At(int x, int y, int c) const {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+
+  /// Copies the rectangle [x0,x1)×[y0,y1) into a new image. Coordinates are
+  /// clamped to bounds.
+  Image Crop(int x0, int y0, int x1, int y1) const;
+
+  /// Nearest-neighbour resize.
+  Image Resize(int new_width, int new_height) const;
+
+  /// Converts to a float tensor of shape {C, H, W}, scaled to [0, 1].
+  Tensor ToTensorCHW() const;
+  /// Inverse of ToTensorCHW (values clamped to [0, 255]).
+  static Image FromTensorCHW(const Tensor& t);
+
+  /// Mean absolute per-pixel difference; used to quantify codec loss.
+  static double MeanAbsDiff(const Image& a, const Image& b);
+
+  bool SameShape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace deeplens

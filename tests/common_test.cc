@@ -1,0 +1,313 @@
+// Unit tests for common/: Status, Result, byte serialization, checksums,
+// RNG determinism, string helpers, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace deeplens {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, CopiesShareState) {
+  Status a = Status::IOError("disk on fire");
+  Status b = a;
+  EXPECT_TRUE(b.IsIOError());
+  EXPECT_EQ(b.message(), "disk on fire");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UseMacros(int x) {
+  DL_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return half + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = UseMacros(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  auto err = UseMacros(7);
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(SliceTest, ComparisonIsLexicographic) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("") == Slice(""));
+}
+
+TEST(SliceTest, StartsWithAndPrefixRemoval) {
+  Slice s("hello world");
+  EXPECT_TRUE(s.StartsWith(Slice("hello")));
+  EXPECT_FALSE(s.StartsWith(Slice("world")));
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteBuffer buf;
+  buf.PutU8(0xAB);
+  buf.PutU16(0xBEEF);
+  buf.PutU32(0xDEADBEEF);
+  buf.PutU64(0x0123456789ABCDEFull);
+  buf.PutF32(3.25f);
+  buf.PutF64(-1.5e300);
+  ByteReader r(buf.AsSlice());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xBEEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_FLOAT_EQ(r.GetF32().value(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.GetF64().value(), -1.5e300);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, UnderflowIsCorruption) {
+  ByteBuffer buf;
+  buf.PutU8(1);
+  ByteReader r(buf.AsSlice());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  ByteBuffer buf;
+  buf.PutVarint(GetParam());
+  ByteReader r(buf.AsSlice());
+  EXPECT_EQ(r.GetVarint().value(), GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull,
+                      16384ull, (1ull << 32), ~0ull));
+
+class SignedVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintRoundTrip, EncodesAndDecodes) {
+  ByteBuffer buf;
+  buf.PutSignedVarint(GetParam());
+  ByteReader r(buf.AsSlice());
+  EXPECT_EQ(r.GetSignedVarint().value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SignedVarintRoundTrip,
+    ::testing::Values(0, 1, -1, 63, -64, 64, -65, 1000000, -1000000,
+                      INT64_MAX, INT64_MIN));
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  ByteBuffer buf;
+  buf.PutLengthPrefixed(Slice("hello"));
+  buf.PutLengthPrefixed(Slice(""));
+  buf.PutLengthPrefixed(Slice("world!"));
+  ByteReader r(buf.AsSlice());
+  EXPECT_EQ(r.GetLengthPrefixed().value().ToString(), "hello");
+  EXPECT_EQ(r.GetLengthPrefixed().value().ToString(), "");
+  EXPECT_EQ(r.GetLengthPrefixed().value().ToString(), "world!");
+}
+
+TEST(KeyEncodingTest, U64OrderPreserved) {
+  std::vector<uint64_t> values = {0, 1, 255, 256, 1ull << 40, ~0ull};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(EncodeKeyU64(values[i]), EncodeKeyU64(values[i + 1]));
+  }
+  EXPECT_EQ(DecodeKeyU64(Slice(EncodeKeyU64(1ull << 40))).value(),
+            1ull << 40);
+}
+
+TEST(KeyEncodingTest, I64OrderPreservedAcrossSign) {
+  std::vector<int64_t> values = {INT64_MIN, -1000, -1, 0, 1, 1000,
+                                 INT64_MAX};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(EncodeKeyI64(values[i]), EncodeKeyI64(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+  for (int64_t v : values) {
+    EXPECT_EQ(DecodeKeyI64(Slice(EncodeKeyI64(v))).value(), v);
+  }
+}
+
+TEST(KeyEncodingTest, F64OrderPreservedAcrossSign) {
+  std::vector<double> values = {-1e300, -2.5, -1e-10, 0.0,
+                                1e-10,  1.0,  2.5,    1e300};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(EncodeKeyF64(values[i]), EncodeKeyF64(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+  for (double v : values) {
+    EXPECT_EQ(DecodeKeyF64(Slice(EncodeKeyF64(v))).value(), v);
+  }
+}
+
+TEST(ChecksumTest, Crc32cKnownValue) {
+  // CRC32C("123456789") is the classic check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(ChecksumTest, DetectsCorruption) {
+  std::string data = "the quick brown fox";
+  const uint32_t good = Crc32c(data.data(), data.size());
+  data[3] ^= 1;
+  EXPECT_NE(Crc32c(data.data(), data.size()), good);
+}
+
+TEST(ChecksumTest, Fnv1aSpreadsBits) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "key" + std::to_string(i);
+    hashes.insert(Fnv1a64(key.data(), key.size()));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings(parts, ","), "a,b,,c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLowerAscii("MiXeD123"), "mixed123");
+  EXPECT_TRUE(StartsWith("deeplens", "deep"));
+  EXPECT_TRUE(EndsWith("deeplens", "lens"));
+  EXPECT_FALSE(EndsWith("x", "lens"));
+}
+
+TEST(StringUtilTest, FormatAndHumanBytes) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3ull * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& f : futs) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace deeplens

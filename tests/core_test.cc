@@ -1,0 +1,380 @@
+// Unit tests for core/: MetaValue/MetaDict, Patch serialization, the type
+// system, the Database facade (views, indexes, ingest), the Query builder,
+// and the planner's access-path / join-strategy decisions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/benchmark_queries.h"
+#include "core/database.h"
+#include "core/planner.h"
+#include "core/query.h"
+
+namespace deeplens {
+namespace {
+
+TEST(MetaValueTest, TypesAndAccessors) {
+  EXPECT_EQ(MetaValue().type(), ValueType::kNull);
+  EXPECT_EQ(MetaValue(5).type(), ValueType::kInt);
+  EXPECT_EQ(MetaValue(2.5).type(), ValueType::kFloat);
+  EXPECT_EQ(MetaValue("s").type(), ValueType::kString);
+  EXPECT_EQ(MetaValue(true).type(), ValueType::kBool);
+  EXPECT_EQ(MetaValue(int64_t{7}).AsInt().value(), 7);
+  EXPECT_TRUE(MetaValue(7).AsString().status().IsTypeError());
+  EXPECT_DOUBLE_EQ(MetaValue(7).AsNumeric().value(), 7.0);
+}
+
+TEST(MetaValueTest, ComparisonTotalOrder) {
+  EXPECT_LT(MetaValue(1).Compare(MetaValue(2)), 0);
+  EXPECT_EQ(MetaValue(2).Compare(MetaValue(2.0)), 0);  // numeric coercion
+  EXPECT_GT(MetaValue(2.5).Compare(MetaValue(2)), 0);
+  EXPECT_LT(MetaValue("a").Compare(MetaValue("b")), 0);
+  EXPECT_EQ(MetaValue("x").Compare(MetaValue("x")), 0);
+  EXPECT_LT(MetaValue(false).Compare(MetaValue(true)), 0);
+  // Cross-type: ordered by type tag, deterministic.
+  EXPECT_NE(MetaValue(1).Compare(MetaValue("1")), 0);
+}
+
+TEST(MetaValueTest, IndexKeysPreserveOrder) {
+  EXPECT_LT(MetaValue(-5).ToIndexKey(), MetaValue(3).ToIndexKey());
+  EXPECT_LT(MetaValue(3).ToIndexKey(), MetaValue(3.5).ToIndexKey());
+  EXPECT_LT(MetaValue("abc").ToIndexKey(), MetaValue("abd").ToIndexKey());
+  // Ints and floats interleave in one numeric key space.
+  EXPECT_EQ(MetaValue(2).ToIndexKey(), MetaValue(2.0).ToIndexKey());
+}
+
+TEST(MetaValueTest, SerializationRoundTrip) {
+  for (const MetaValue& v :
+       {MetaValue(), MetaValue(-42), MetaValue(3.75), MetaValue("hello"),
+        MetaValue(true)}) {
+    ByteBuffer buf;
+    v.SerializeInto(&buf);
+    ByteReader reader(buf.AsSlice());
+    auto back = MetaValue::Deserialize(&reader);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->Compare(v), 0);
+    EXPECT_EQ(back->type(), v.type());
+  }
+}
+
+TEST(MetaDictTest, SetGetSerialize) {
+  MetaDict dict;
+  dict.Set("a", 1);
+  dict.Set("b", "two");
+  dict.Set("a", 10);  // overwrite
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Get("a").AsInt().value(), 10);
+  EXPECT_TRUE(dict.Get("missing").is_null());
+  ByteBuffer buf;
+  dict.SerializeInto(&buf);
+  ByteReader reader(buf.AsSlice());
+  auto back = MetaDict::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Get("b").ToDisplayString(), "'two'");
+}
+
+TEST(PatchTest, SerializationRoundTripFull) {
+  Patch p;
+  p.set_id(77);
+  p.set_ref(ImgRef{"traffic", 123, 55});
+  p.set_bbox(nn::BBox{1, 2, 30, 40});
+  p.mutable_meta().Set("label", "car");
+  p.mutable_meta().Set("score", 0.87);
+  Image pixels(8, 6, 3);
+  pixels.At(3, 3, 1) = 200;
+  p.set_pixels(pixels);
+  p.set_features(Tensor::FromVector({1.5f, -2.5f, 3.5f}));
+
+  ByteBuffer buf;
+  p.SerializeInto(&buf);
+  ByteReader reader(buf.AsSlice());
+  auto back = Patch::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id(), 77u);
+  EXPECT_EQ(back->ref().dataset, "traffic");
+  EXPECT_EQ(back->ref().frameno, 123);
+  EXPECT_EQ(back->ref().parent, 55u);
+  EXPECT_EQ(back->bbox().x1, 30);
+  EXPECT_EQ(*back->meta().Get("label").AsString().value(), "car");
+  EXPECT_EQ(back->pixels().At(3, 3, 1), 200);
+  EXPECT_FLOAT_EQ(back->features()[1], -2.5f);
+}
+
+TEST(PatchTest, SerializationWithoutPayloads) {
+  Patch p;
+  p.set_id(1);
+  ByteBuffer buf;
+  p.SerializeInto(&buf);
+  ByteReader reader(buf.AsSlice());
+  auto back = Patch::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->has_pixels());
+  EXPECT_FALSE(back->has_features());
+}
+
+TEST(SchemaTest, ConsumerValidation) {
+  PatchSchema producer;
+  producer.AddAttribute("label", ValueType::kString)
+      .AddAttribute("score", ValueType::kFloat);
+  PatchSchema consumer;
+  consumer.AddAttribute("label", ValueType::kString);
+  EXPECT_TRUE(producer.ValidateConsumer(consumer).ok());
+  consumer.AddAttribute("depth", ValueType::kFloat);
+  EXPECT_TRUE(producer.ValidateConsumer(consumer).IsTypeError());
+}
+
+TEST(SchemaTest, ResolutionConstraint) {
+  PatchSchema producer;
+  producer.SetResolution(64, 64);
+  PatchSchema consumer;
+  consumer.SetResolution(32, 32);
+  EXPECT_TRUE(producer.ValidateConsumer(consumer).IsTypeError());
+  consumer.SetResolution(64, 64);
+  EXPECT_TRUE(producer.ValidateConsumer(consumer).ok());
+}
+
+TEST(SchemaTest, JoinMergesAttributes) {
+  PatchSchema a, b;
+  a.AddAttribute("x", ValueType::kInt);
+  b.AddAttribute("y", ValueType::kString);
+  auto joined = PatchSchema::Join(a, b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->HasAttribute("x"));
+  EXPECT_TRUE(joined->HasAttribute("y"));
+  PatchSchema conflicting;
+  conflicting.AddAttribute("x", ValueType::kString);
+  EXPECT_TRUE(PatchSchema::Join(a, conflicting).status().IsTypeError());
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("dl_core_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::filesystem::remove_all(root_);
+    auto db = Database::Open(root_);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  PatchCollection LabeledPatches() {
+    PatchCollection out;
+    for (int i = 0; i < 100; ++i) {
+      Patch p;
+      p.set_id(static_cast<PatchId>(i + 1));
+      p.set_bbox(nn::BBox{i % 10, i / 10, i % 10 + 5, i / 10 + 5});
+      p.mutable_meta().Set(meta_keys::kLabel,
+                           i % 3 == 0 ? "car" : "person");
+      p.mutable_meta().Set(meta_keys::kFrameNo, int64_t{i / 4});
+      p.mutable_meta().Set(meta_keys::kScore, 0.5 + 0.005 * i);
+      p.set_features(Tensor::FromVector(
+          {static_cast<float>(i % 7), static_cast<float>(i % 11)}));
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  std::string root_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, ViewsRegisterAndFetch) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  auto view = db_->GetView("v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->patches.size(), 100u);
+  EXPECT_TRUE(db_->GetView("missing").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, IndexLifecycle) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  auto stats = db_->BuildIndex("v", IndexKind::kHash, meta_keys::kLabel);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_entries, 100u);
+  ASSERT_TRUE(
+      db_->BuildIndex("v", IndexKind::kBPlusTree, meta_keys::kFrameNo).ok());
+  ASSERT_TRUE(db_->BuildIndex("v", IndexKind::kBallTree).ok());
+  ASSERT_TRUE(db_->BuildIndex("v", IndexKind::kRTree).ok());
+  auto view = db_->GetView("v");
+  EXPECT_EQ((*view)->hash_indexes.size(), 1u);
+  EXPECT_NE((*view)->feature_index, nullptr);
+  ASSERT_TRUE(db_->DropIndexes("v").ok());
+  EXPECT_EQ((*view)->hash_indexes.size(), 0u);
+  EXPECT_EQ((*view)->feature_index, nullptr);
+}
+
+TEST_F(DatabaseTest, IndexValidation) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  EXPECT_TRUE(db_->BuildIndex("v", IndexKind::kHash, "")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->BuildIndex("nope", IndexKind::kHash, "k")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(DatabaseTest, PersistAndReloadView) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  ASSERT_TRUE(db_->PersistView("v").ok());
+  EXPECT_TRUE(db_->HasPersistedView("v"));
+  // Clobber the in-memory copy, then reload from disk.
+  ASSERT_TRUE(db_->RegisterView("v", PatchCollection{}).ok());
+  ASSERT_TRUE(db_->LoadPersistedView("v").ok());
+  auto view = db_->GetView("v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->patches.size(), 100u);
+  EXPECT_TRUE((*view)->patches[5].has_features());
+}
+
+TEST_F(DatabaseTest, VideoIngestAndLoad) {
+  std::vector<Image> frames;
+  for (int f = 0; f < 10; ++f) {
+    Image img(16, 12, 3);
+    for (auto& b : img.bytes()) b = static_cast<uint8_t>(f * 10);
+    frames.push_back(img);
+  }
+  VideoStoreOptions options;
+  options.format = VideoFormat::kSegmented;
+  options.clip_frames = 4;
+  ASSERT_TRUE(db_->IngestVideo("clip", FramesFromVector(frames), options,
+                               "test clip")
+                  .ok());
+  auto reader = db_->LoadVideo("clip");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_frames(), 10);
+  auto frame = (*reader)->ReadFrame(7);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_NEAR(frame->At(3, 3, 0), 70, 4);
+  EXPECT_TRUE(db_->LoadVideo("missing").status().IsNotFound());
+  EXPECT_TRUE(db_->catalog()->Contains("clip"));
+}
+
+TEST_F(DatabaseTest, QueryFullScanVsIndexSameResult) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  auto without_index = Query(db_.get(), "v")
+                           .Where(Eq(Attr(meta_keys::kLabel), Lit("car")))
+                           .Count();
+  ASSERT_TRUE(without_index.ok());
+  ASSERT_TRUE(db_->BuildIndex("v", IndexKind::kHash, meta_keys::kLabel).ok());
+  auto with_index = Query(db_.get(), "v")
+                        .Where(Eq(Attr(meta_keys::kLabel), Lit("car")))
+                        .Count();
+  ASSERT_TRUE(with_index.ok());
+  EXPECT_EQ(*without_index, *with_index);
+  EXPECT_EQ(*with_index, 34u);  // i % 3 == 0 for 0..99
+}
+
+TEST_F(DatabaseTest, QueryPlansReflectIndexes) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  auto plan = Query(db_.get(), "v")
+                  .Where(Eq(Attr(meta_keys::kLabel), Lit("car")))
+                  .Explain();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->path, AccessPath::kFullScan);
+  ASSERT_TRUE(db_->BuildIndex("v", IndexKind::kHash, meta_keys::kLabel).ok());
+  plan = Query(db_.get(), "v")
+             .Where(Eq(Attr(meta_keys::kLabel), Lit("car")))
+             .Explain();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->path, AccessPath::kHashLookup);
+}
+
+TEST_F(DatabaseTest, QueryRangeUsesBTree) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  ASSERT_TRUE(
+      db_->BuildIndex("v", IndexKind::kBPlusTree, meta_keys::kFrameNo).ok());
+  Query query(db_.get(), "v");
+  query.Where(Le(Attr(meta_keys::kFrameNo), Lit(int64_t{5})));
+  auto plan = query.Explain();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->path, AccessPath::kBTreeRange);
+  auto count = query.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 24u);  // frames 0..5, 4 patches each
+}
+
+TEST_F(DatabaseTest, QueryConjunctionUsesIndexPlusResidual) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  ASSERT_TRUE(db_->BuildIndex("v", IndexKind::kHash, meta_keys::kLabel).ok());
+  Query query(db_.get(), "v");
+  query.Where(Eq(Attr(meta_keys::kLabel), Lit("car")));
+  query.Where(Ge(Attr(meta_keys::kScore), Lit(0.8)));
+  auto result = query.Execute();
+  ASSERT_TRUE(result.ok());
+  for (const Patch& p : *result) {
+    EXPECT_EQ(*p.meta().Get(meta_keys::kLabel).AsString().value(), "car");
+    EXPECT_GE(p.meta().Get(meta_keys::kScore).AsNumeric().value(), 0.8);
+  }
+}
+
+TEST_F(DatabaseTest, QuerySchemaValidationRejectsBadLabel) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  Query query(db_.get(), "v");
+  query.CheckSchema(DetectorSchema());
+  query.Where(Eq(Attr(meta_keys::kLabel), Lit("unicorn")));
+  EXPECT_TRUE(query.Count().status().IsTypeError());
+}
+
+TEST_F(DatabaseTest, QueryTerminals) {
+  ASSERT_TRUE(db_->RegisterView("v", LabeledPatches()).ok());
+  auto distinct = Query(db_.get(), "v").CountDistinct(meta_keys::kFrameNo);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(*distinct, 25u);
+  auto groups = Query(db_.get(), "v").GroupCount(meta_keys::kLabel);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)["'car'"], 34u);
+  auto first = Query(db_.get(), "v")
+                   .Where(Eq(Attr(meta_keys::kLabel), Lit("person")))
+                   .FirstBy(meta_keys::kFrameNo);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((**first).id(), 2u);  // i=1 is the first person
+  auto limited = Query(db_.get(), "v").Limit(7).Execute();
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 7u);
+}
+
+TEST(PlannerTest, SimJoinCostModelPrefersIndexForLargeInputs) {
+  // Large symmetric join in low dimension: ball-tree should win.
+  EXPECT_EQ(Planner::ChooseSimilarityJoin(20000, 20000, 3, false),
+            SimJoinStrategy::kBallTree);
+  // Tiny join: the dense kernel's fixed overhead is not worth paying and
+  // tree construction dominates; nested loop or all-pairs must win.
+  EXPECT_NE(Planner::ChooseSimilarityJoin(5, 5, 8, false),
+            SimJoinStrategy::kBallTree);
+}
+
+TEST(PlannerTest, CostsGrowWithSizeAndDim) {
+  for (auto strategy :
+       {SimJoinStrategy::kNestedLoop, SimJoinStrategy::kBallTree,
+        SimJoinStrategy::kAllPairs}) {
+    EXPECT_LT(Planner::EstimateSimJoinCost(strategy, 100, 100, 8),
+              Planner::EstimateSimJoinCost(strategy, 1000, 1000, 8));
+    EXPECT_LE(Planner::EstimateSimJoinCost(strategy, 500, 500, 4),
+              Planner::EstimateSimJoinCost(strategy, 500, 500, 64));
+  }
+}
+
+TEST(PlannerTest, GpuDiscountsDenseKernel) {
+  // Pick sizes where the ball-tree wins on CPU in a moderate dimension;
+  // the GPU's dense-kernel discount should flip at least one of them.
+  bool flipped = false;
+  for (size_t n : {500, 1000, 3000, 8000, 20000}) {
+    auto cpu = Planner::ChooseSimilarityJoin(n, n, 8, false);
+    auto gpu = Planner::ChooseSimilarityJoin(n, n, 8, true);
+    if (cpu == SimJoinStrategy::kBallTree &&
+        gpu == SimJoinStrategy::kAllPairs) {
+      flipped = true;
+    }
+  }
+  EXPECT_TRUE(flipped);
+}
+
+}  // namespace
+}  // namespace deeplens

@@ -1,0 +1,473 @@
+// Unit + property tests for index/: every structure is validated against a
+// brute-force reference on randomized workloads (parameterized sizes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "index/balltree.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/lsh.h"
+#include "index/rtree.h"
+#include "index/sorted_file_index.h"
+#include "tensor/ops.h"
+
+namespace deeplens {
+namespace {
+
+TEST(HashIndexTest, InsertLookup) {
+  HashIndex index;
+  index.Insert(Slice("a"), 1);
+  index.Insert(Slice("b"), 2);
+  index.Insert(Slice("a"), 3);
+  std::vector<RowId> rows;
+  index.Lookup(Slice("a"), &rows);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<RowId>{1, 3}));
+  EXPECT_TRUE(index.Contains(Slice("b")));
+  EXPECT_FALSE(index.Contains(Slice("c")));
+}
+
+TEST(HashIndexTest, EraseRemovesAllDuplicates) {
+  HashIndex index;
+  index.Insert(Slice("k"), 1);
+  index.Insert(Slice("k"), 2);
+  index.Insert(Slice("other"), 3);
+  EXPECT_EQ(index.Erase(Slice("k")), 2u);
+  EXPECT_FALSE(index.Contains(Slice("k")));
+  EXPECT_TRUE(index.Contains(Slice("other")));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(HashIndexTest, ErasedKeysStayDeadAfterGrowth) {
+  HashIndex index;
+  index.Insert(Slice("dead"), 1);
+  index.Erase(Slice("dead"));
+  // Force several growth/rehash cycles.
+  for (int i = 0; i < 500; ++i) {
+    index.Insert(Slice("live" + std::to_string(i)),
+                 static_cast<RowId>(i));
+  }
+  EXPECT_FALSE(index.Contains(Slice("dead")));
+}
+
+class HashIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashIndexProperty, MatchesReferenceMultimap) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  HashIndex index;
+  std::multimap<std::string, RowId> reference;
+  for (int i = 0; i < GetParam(); ++i) {
+    std::string key = "k" + std::to_string(rng.NextU64Below(50));
+    index.Insert(Slice(key), static_cast<RowId>(i));
+    reference.emplace(key, static_cast<RowId>(i));
+  }
+  for (int k = 0; k < 50; ++k) {
+    std::string key = "k" + std::to_string(k);
+    std::vector<RowId> got;
+    index.Lookup(Slice(key), &got);
+    std::sort(got.begin(), got.end());
+    std::vector<RowId> want;
+    auto [lo, hi] = reference.equal_range(key);
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HashIndexProperty,
+                         ::testing::Values(10, 100, 1000, 5000));
+
+TEST(BPlusTreeTest, OrderedRangeScan) {
+  BPlusTree tree(4);  // tiny fanout exercises splits
+  for (int i = 99; i >= 0; --i) {
+    tree.Insert(Slice(EncodeKeyU64(static_cast<uint64_t>(i))),
+                static_cast<RowId>(i));
+  }
+  std::vector<RowId> rows;
+  tree.RangeScan(Slice(EncodeKeyU64(10)), Slice(EncodeKeyU64(20)), &rows);
+  ASSERT_EQ(rows.size(), 11u);
+  for (int i = 0; i <= 10; ++i) EXPECT_EQ(rows[i], static_cast<RowId>(10 + i));
+}
+
+TEST(BPlusTreeTest, DuplicateKeys) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 30; ++i) tree.Insert(Slice("same"), static_cast<RowId>(i));
+  std::vector<RowId> rows;
+  tree.Lookup(Slice("same"), &rows);
+  EXPECT_EQ(rows.size(), 30u);
+}
+
+TEST(BPlusTreeTest, ForEachVisitsInKeyOrder) {
+  BPlusTree tree(4);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(Slice(EncodeKeyU64(rng.NextU64Below(1000))),
+                static_cast<RowId>(i));
+  }
+  std::string prev;
+  uint64_t count = 0;
+  tree.ForEach([&](const Slice& key, RowId) {
+    EXPECT_GE(key.ToString(), prev);
+    prev = key.ToString();
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 200u);
+}
+
+TEST(BPlusTreeTest, EarlyTerminationFromVisitor) {
+  BPlusTree tree;
+  for (int i = 0; i < 10; ++i) {
+    tree.Insert(Slice(EncodeKeyU64(static_cast<uint64_t>(i))),
+                static_cast<RowId>(i));
+  }
+  uint64_t count = 0;
+  tree.ForEach([&](const Slice&, RowId) { return ++count < 3; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree tree(8);
+  for (int i = 0; i < 10000; ++i) {
+    tree.Insert(Slice(EncodeKeyU64(static_cast<uint64_t>(i))),
+                static_cast<RowId>(i));
+  }
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_LE(tree.height(), 8u);
+  EXPECT_EQ(tree.Stats().num_entries, 10000u);
+}
+
+class BPlusTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeProperty, RangeScansMatchReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77);
+  BPlusTree tree(8);
+  std::multimap<std::string, RowId> reference;
+  for (int i = 0; i < GetParam(); ++i) {
+    std::string key = EncodeKeyU64(rng.NextU64Below(500));
+    tree.Insert(Slice(key), static_cast<RowId>(i));
+    reference.emplace(key, static_cast<RowId>(i));
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    uint64_t a = rng.NextU64Below(500);
+    uint64_t b = rng.NextU64Below(500);
+    if (a > b) std::swap(a, b);
+    const std::string lo = EncodeKeyU64(a), hi = EncodeKeyU64(b);
+    std::vector<RowId> got;
+    tree.RangeScan(Slice(lo), Slice(hi), &got);
+    std::vector<RowId> want;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      want.push_back(it->second);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BPlusTreeProperty,
+                         ::testing::Values(10, 100, 1000, 4000));
+
+TEST(SortedFileIndexTest, BuildThenQuery) {
+  SortedFileIndex index;
+  for (int i = 9; i >= 0; --i) {
+    index.Append(Slice(EncodeKeyU64(static_cast<uint64_t>(i * 2))),
+                 static_cast<RowId>(i));
+  }
+  EXPECT_FALSE(index.built());
+  index.Build();
+  EXPECT_TRUE(index.built());
+  std::vector<RowId> rows;
+  index.Lookup(Slice(EncodeKeyU64(6)), &rows);
+  EXPECT_EQ(rows, (std::vector<RowId>{3}));
+  rows.clear();
+  index.RangeScan(Slice(EncodeKeyU64(5)), Slice(EncodeKeyU64(11)), &rows);
+  EXPECT_EQ(rows, (std::vector<RowId>{3, 4, 5}));
+}
+
+TEST(SortedFileIndexTest, EmptyAndMissing) {
+  SortedFileIndex index;
+  index.Build();
+  std::vector<RowId> rows;
+  index.Lookup(Slice("x"), &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+// --- R-Tree ------------------------------------------------------------
+
+Rect RandomRect(Rng* rng, float extent = 100.0f) {
+  const float x0 = static_cast<float>(rng->NextUniform(0, extent));
+  const float y0 = static_cast<float>(rng->NextUniform(0, extent));
+  return Rect{x0, y0, x0 + static_cast<float>(rng->NextUniform(1, 10)),
+              y0 + static_cast<float>(rng->NextUniform(1, 10))};
+}
+
+TEST(RectTest, GeometryPredicates) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 15, 15};
+  Rect c{11, 11, 12, 12};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Rect{2, 2, 3, 3}));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_TRUE(a.ContainsPoint(10, 10));
+  EXPECT_FLOAT_EQ(a.Union(c).Area(), 144.0f);
+  EXPECT_FLOAT_EQ(a.Enlargement(Rect{0, 0, 10, 12}), 20.0f);
+}
+
+class RTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeProperty, IntersectionMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13);
+  RTree tree(8);
+  std::vector<Rect> rects;
+  for (int i = 0; i < GetParam(); ++i) {
+    Rect r = RandomRect(&rng);
+    tree.Insert(r, static_cast<RowId>(i));
+    rects.push_back(r);
+  }
+  EXPECT_EQ(tree.size(), static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const Rect query = RandomRect(&rng);
+    std::vector<RowId> got;
+    tree.SearchIntersects(query, &got);
+    std::set<RowId> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Intersects(query)) want.insert(static_cast<RowId>(i));
+    }
+    EXPECT_EQ(std::set<RowId>(got.begin(), got.end()), want);
+  }
+}
+
+TEST_P(RTreeProperty, ContainmentMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17);
+  RTree tree(8);
+  std::vector<Rect> rects;
+  for (int i = 0; i < GetParam(); ++i) {
+    Rect r = RandomRect(&rng);
+    tree.Insert(r, static_cast<RowId>(i));
+    rects.push_back(r);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    Rect query = RandomRect(&rng);
+    query.x1 += 20;
+    query.y1 += 20;
+    std::vector<RowId> got;
+    tree.SearchContained(query, &got);
+    std::set<RowId> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (query.Contains(rects[i])) want.insert(static_cast<RowId>(i));
+    }
+    EXPECT_EQ(std::set<RowId>(got.begin(), got.end()), want);
+  }
+}
+
+TEST_P(RTreeProperty, PointQueriesMatchBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 19);
+  RTree tree(8);
+  std::vector<Rect> rects;
+  for (int i = 0; i < GetParam(); ++i) {
+    Rect r = RandomRect(&rng);
+    tree.Insert(r, static_cast<RowId>(i));
+    rects.push_back(r);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const float x = static_cast<float>(rng.NextUniform(0, 100));
+    const float y = static_cast<float>(rng.NextUniform(0, 100));
+    std::vector<RowId> got;
+    tree.SearchPoint(x, y, &got);
+    std::set<RowId> want;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].ContainsPoint(x, y)) want.insert(static_cast<RowId>(i));
+    }
+    EXPECT_EQ(std::set<RowId>(got.begin(), got.end()), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeProperty,
+                         ::testing::Values(1, 10, 100, 1000));
+
+TEST(RTreeTest, HeightGrows) {
+  Rng rng(23);
+  RTree tree(8);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(RandomRect(&rng), static_cast<RowId>(i));
+  }
+  EXPECT_GE(tree.height(), 3u);
+}
+
+// --- Ball-Tree -----------------------------------------------------------
+
+std::vector<float> RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> pts(n * dim);
+  for (auto& v : pts) v = static_cast<float>(rng.NextGaussian());
+  return pts;
+}
+
+struct BallTreeCase {
+  int n;
+  int dim;
+};
+
+class BallTreeProperty : public ::testing::TestWithParam<BallTreeCase> {};
+
+TEST_P(BallTreeProperty, RangeSearchMatchesBruteForce) {
+  const auto [n, dim] = GetParam();
+  auto pts = RandomPoints(static_cast<size_t>(n), static_cast<size_t>(dim),
+                          1234);
+  BallTree tree(8);
+  ASSERT_TRUE(tree.Build(pts, static_cast<size_t>(dim), {}).ok());
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> query(static_cast<size_t>(dim));
+    for (auto& v : query) v = static_cast<float>(rng.NextGaussian());
+    const float radius = static_cast<float>(rng.NextUniform(0.5, 2.5));
+    std::vector<RowId> got;
+    tree.RangeSearch(query.data(), radius, &got);
+    std::set<RowId> want;
+    for (int i = 0; i < n; ++i) {
+      const float d2 = ops::L2SquaredScalar(
+          query.data(), pts.data() + static_cast<size_t>(i) * dim,
+          static_cast<size_t>(dim));
+      if (d2 <= radius * radius) want.insert(static_cast<RowId>(i));
+    }
+    EXPECT_EQ(std::set<RowId>(got.begin(), got.end()), want);
+  }
+}
+
+TEST_P(BallTreeProperty, KnnMatchesBruteForce) {
+  const auto [n, dim] = GetParam();
+  auto pts = RandomPoints(static_cast<size_t>(n), static_cast<size_t>(dim),
+                          4321);
+  BallTree tree(8);
+  ASSERT_TRUE(tree.Build(pts, static_cast<size_t>(dim), {}).ok());
+  std::vector<float> query(static_cast<size_t>(dim), 0.1f);
+  const size_t k = std::min<size_t>(5, static_cast<size_t>(n));
+  std::vector<std::pair<float, RowId>> got;
+  tree.KnnSearch(query.data(), k, &got);
+  ASSERT_EQ(got.size(), k);
+  // Reference: sort all distances.
+  std::vector<std::pair<float, RowId>> all;
+  for (int i = 0; i < n; ++i) {
+    all.emplace_back(
+        std::sqrt(ops::L2SquaredScalar(
+            query.data(), pts.data() + static_cast<size_t>(i) * dim,
+            static_cast<size_t>(dim))),
+        static_cast<RowId>(i));
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(got[i].first, all[i].first, 1e-4f) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BallTreeProperty,
+    ::testing::Values(BallTreeCase{1, 3}, BallTreeCase{50, 3},
+                      BallTreeCase{500, 3}, BallTreeCase{50, 64},
+                      BallTreeCase{500, 64}, BallTreeCase{2000, 16}));
+
+TEST(BallTreeTest, PruningActuallyHappensInLowDim) {
+  // In 3-d with a small radius the tree must evaluate far fewer
+  // distances than brute force.
+  const size_t n = 4000;
+  auto pts = RandomPoints(n, 3, 777);
+  BallTree tree(16);
+  ASSERT_TRUE(tree.Build(pts, 3, {}).ok());
+  tree.ResetCounters();
+  std::vector<float> query = {0.0f, 0.0f, 0.0f};
+  std::vector<RowId> out;
+  tree.RangeSearch(query.data(), 0.1f, &out);
+  EXPECT_LT(tree.distance_evals(), n / 2);
+}
+
+TEST(BallTreeTest, CustomRowIds) {
+  std::vector<float> pts = {0, 0, 10, 10};
+  BallTree tree;
+  ASSERT_TRUE(tree.Build(pts, 2, {111, 222}).ok());
+  std::vector<RowId> out;
+  std::vector<float> query = {0.1f, 0.1f};
+  tree.RangeSearch(query.data(), 1.0f, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 111u);
+}
+
+TEST(BallTreeTest, BuildValidation) {
+  BallTree tree;
+  EXPECT_TRUE(tree.Build({1, 2, 3}, 0, {}).IsInvalidArgument());
+  EXPECT_TRUE(tree.Build({1, 2, 3}, 2, {}).IsInvalidArgument());
+  EXPECT_TRUE(tree.Build({1, 2}, 2, {1, 2}).IsInvalidArgument());
+  EXPECT_TRUE(tree.Build({}, 4, {}).ok());  // empty is fine
+}
+
+TEST(BallTreeTest, DuplicatePointsAllFound) {
+  std::vector<float> pts(10 * 2, 1.5f);  // 10 identical 2-d points
+  BallTree tree(4);
+  ASSERT_TRUE(tree.Build(pts, 2, {}).ok());
+  std::vector<float> query = {1.5f, 1.5f};
+  std::vector<RowId> out;
+  tree.RangeSearch(query.data(), 0.01f, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+// --- LSH ------------------------------------------------------------------
+
+TEST(LshTest, PerfectPrecisionAndUsableRecall) {
+  const size_t n = 500, dim = 16;
+  auto pts = RandomPoints(n, dim, 31);
+  LshOptions options;
+  options.num_tables = 16;
+  options.bits_per_table = 8;
+  LshIndex lsh(options);
+  ASSERT_TRUE(lsh.Build(pts, dim, {}).ok());
+
+  Rng rng(77);
+  int found = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Query = a stored point plus small noise → its base point is a
+    // ground-truth neighbor.
+    const size_t target = rng.NextU64Below(n);
+    std::vector<float> query(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      query[d] = pts[target * dim + d] +
+                 0.01f * static_cast<float>(rng.NextGaussian());
+    }
+    std::vector<RowId> out;
+    lsh.RangeSearch(query.data(), 0.5f, &out);
+    ++total;
+    if (std::find(out.begin(), out.end(), static_cast<RowId>(target)) !=
+        out.end()) {
+      ++found;
+    }
+    // Every reported neighbor must actually be within the radius
+    // (precision 1 by construction: candidates are verified).
+    for (RowId r : out) {
+      const float d2 = ops::L2SquaredScalar(
+          query.data(), pts.data() + static_cast<size_t>(r) * dim, dim);
+      EXPECT_LE(d2, 0.5f * 0.5f + 1e-4f);
+    }
+  }
+  EXPECT_GE(found, total * 3 / 4);  // recall >= 75% with 16 tables
+}
+
+TEST(LshTest, BuildValidation) {
+  LshIndex lsh;
+  EXPECT_TRUE(lsh.Build({1, 2, 3}, 0, {}).IsInvalidArgument());
+  EXPECT_TRUE(lsh.Build({1, 2, 3}, 2, {}).IsInvalidArgument());
+}
+
+TEST(IndexKindTest, Names) {
+  EXPECT_STREQ(IndexKindName(IndexKind::kBallTree), "ball-tree");
+  EXPECT_STREQ(IndexKindName(IndexKind::kRTree), "r-tree");
+}
+
+}  // namespace
+}  // namespace deeplens

@@ -1,0 +1,118 @@
+// Unit tests for lineage/: chains, backtracing, the frame-keyed secondary
+// index, and forward (children) queries.
+#include <gtest/gtest.h>
+
+#include "lineage/lineage.h"
+
+namespace deeplens {
+namespace {
+
+TEST(LineageTest, RecordAndGet) {
+  LineageStore store;
+  store.Record(1, ImgRef{"traffic", 7, kInvalidPatchId});
+  auto ref = store.GetRef(1);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->dataset, "traffic");
+  EXPECT_EQ(ref->frameno, 7);
+  EXPECT_TRUE(store.GetRef(99).status().IsNotFound());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LineageTest, BacktraceFollowsChainToRoot) {
+  LineageStore store;
+  store.Record(1, ImgRef{"traffic", 7, kInvalidPatchId});  // root patch
+  store.Record(2, ImgRef{"", -1, 1});                      // derived
+  store.Record(3, ImgRef{"", -1, 2});                      // derived twice
+  auto root = store.Backtrace(3);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->dataset, "traffic");
+  EXPECT_EQ(root->frameno, 7);
+}
+
+TEST(LineageTest, ChainListsEveryHop) {
+  LineageStore store;
+  store.Record(1, ImgRef{"pc", 3, kInvalidPatchId});
+  store.Record(2, ImgRef{"", -1, 1});
+  store.Record(3, ImgRef{"", -1, 2});
+  auto chain = store.Chain(3);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 3u);
+  EXPECT_EQ(chain->back().dataset, "pc");
+}
+
+TEST(LineageTest, TruncatedChainReturnsBestKnown) {
+  LineageStore store;
+  store.Record(5, ImgRef{"football", 12, 999});  // parent never recorded
+  auto root = store.Backtrace(5);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->dataset, "football");
+  EXPECT_EQ(root->frameno, 12);
+}
+
+TEST(LineageTest, FrameIndexFindsDerivedPatches) {
+  LineageStore store;
+  // Two root patches on frame 4, one on frame 5, plus a derived patch
+  // whose root is frame 4.
+  store.Record(1, ImgRef{"traffic", 4, kInvalidPatchId});
+  store.Record(2, ImgRef{"traffic", 4, kInvalidPatchId});
+  store.Record(3, ImgRef{"traffic", 5, kInvalidPatchId});
+  store.Record(4, ImgRef{"traffic", 4, 1});
+  std::vector<PatchId> out;
+  store.PatchesForFrame("traffic", 4, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<PatchId>{1, 2, 4}));
+}
+
+TEST(LineageTest, FrameRangeQuery) {
+  LineageStore store;
+  for (int f = 0; f < 20; ++f) {
+    store.Record(static_cast<PatchId>(f + 1),
+                 ImgRef{"v", f, kInvalidPatchId});
+  }
+  std::vector<PatchId> out;
+  store.PatchesForFrameRange("v", 5, 9, &out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(LineageTest, DatasetsAreIsolated) {
+  LineageStore store;
+  store.Record(1, ImgRef{"a", 1, kInvalidPatchId});
+  store.Record(2, ImgRef{"b", 1, kInvalidPatchId});
+  std::vector<PatchId> out;
+  store.PatchesForFrame("a", 1, &out);
+  EXPECT_EQ(out, (std::vector<PatchId>{1}));
+}
+
+TEST(LineageTest, ChildrenQuery) {
+  LineageStore store;
+  store.Record(1, ImgRef{"x", 0, kInvalidPatchId});
+  store.Record(2, ImgRef{"", -1, 1});
+  store.Record(3, ImgRef{"", -1, 1});
+  std::vector<PatchId> kids;
+  store.Children(1, &kids);
+  std::sort(kids.begin(), kids.end());
+  EXPECT_EQ(kids, (std::vector<PatchId>{2, 3}));
+  kids.clear();
+  store.Children(2, &kids);
+  EXPECT_TRUE(kids.empty());
+}
+
+TEST(LineageTest, InvalidIdIgnored) {
+  LineageStore store;
+  store.Record(kInvalidPatchId, ImgRef{"x", 0, kInvalidPatchId});
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(LineageTest, DerivedPatchInheritsRootFrameInIndex) {
+  LineageStore store;
+  store.Record(10, ImgRef{"ds", 3, kInvalidPatchId});
+  // Derived patch carries no provenance of its own, only a parent.
+  store.Record(11, ImgRef{"", -1, 10});
+  std::vector<PatchId> out;
+  store.PatchesForFrame("ds", 3, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<PatchId>{10, 11}));
+}
+
+}  // namespace
+}  // namespace deeplens

@@ -1,0 +1,427 @@
+// Unit tests for nn/: devices (including the simulated GPU's overhead
+// accounting), layers (hand-computed convolutions, im2col), networks, and
+// the three model instantiations against synthetic scenes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "nn/device.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+#include "nn/network.h"
+#include "sim/scene.h"
+
+namespace deeplens {
+namespace nn {
+namespace {
+
+class DeviceEquivalence : public ::testing::TestWithParam<DeviceKind> {};
+
+TEST_P(DeviceEquivalence, MatmulMatchesScalarReference) {
+  Device* device = GetDevice(GetParam());
+  Device* reference = GetDevice(DeviceKind::kCpuScalar);
+  const size_t m = 7, k = 11, n = 5;
+  Rng rng(3);
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& x : a) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : b) x = static_cast<float>(rng.NextGaussian());
+  std::vector<float> c_dev(m * n), c_ref(m * n);
+  device->Matmul(a.data(), b.data(), c_dev.data(), m, k, n);
+  reference->Matmul(a.data(), b.data(), c_ref.data(), m, k, n);
+  for (size_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c_dev[i], c_ref[i], 1e-3f);
+  }
+}
+
+TEST_P(DeviceEquivalence, PairwiseL2MatchesScalarReference) {
+  Device* device = GetDevice(GetParam());
+  Device* reference = GetDevice(DeviceKind::kCpuScalar);
+  const size_t na = 9, nb = 6, dim = 17;
+  Rng rng(4);
+  std::vector<float> a(na * dim), b(nb * dim);
+  for (auto& x : a) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : b) x = static_cast<float>(rng.NextGaussian());
+  std::vector<float> d_dev(na * nb), d_ref(na * nb);
+  device->PairwiseL2Squared(a.data(), na, b.data(), nb, dim, d_dev.data());
+  reference->PairwiseL2Squared(a.data(), na, b.data(), nb, dim,
+                               d_ref.data());
+  for (size_t i = 0; i < na * nb; ++i) {
+    EXPECT_NEAR(d_dev[i], d_ref[i], 1e-3f);
+  }
+}
+
+TEST_P(DeviceEquivalence, ParallelMapCoversAllIndices) {
+  Device* device = GetDevice(GetParam());
+  std::vector<std::atomic<int>> hits(128);
+  device->ParallelMap(
+      128, [&](size_t i) { hits[i]++; }, 1024);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceEquivalence,
+                         ::testing::Values(DeviceKind::kCpuScalar,
+                                           DeviceKind::kCpuVector,
+                                           DeviceKind::kGpuSim));
+
+TEST(GpuSimTest, ChargesOverhead) {
+  ConfigureGpuSim(GpuSimOptions{});
+  Device* gpu = GetDevice(DeviceKind::kGpuSim);
+  const uint64_t before = gpu->simulated_overhead_nanos();
+  std::vector<float> x(64, -1.0f);
+  gpu->Relu(x.data(), x.size());
+  EXPECT_GT(gpu->simulated_overhead_nanos(), before);
+  for (float v : x) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GpuSimTest, CpuDevicesHaveNoOverhead) {
+  EXPECT_EQ(GetDevice(DeviceKind::kCpuScalar)->simulated_overhead_nanos(),
+            0u);
+  EXPECT_EQ(GetDevice(DeviceKind::kCpuVector)->simulated_overhead_nanos(),
+            0u);
+}
+
+TEST(DeviceTest, Names) {
+  EXPECT_STREQ(GetDevice(DeviceKind::kCpuScalar)->name(), "cpu");
+  EXPECT_STREQ(GetDevice(DeviceKind::kCpuVector)->name(), "avx");
+  EXPECT_STREQ(GetDevice(DeviceKind::kGpuSim)->name(), "gpu");
+}
+
+TEST(Im2ColTest, UnrollsReceptiveFields) {
+  // 1×3×3 input, 2×2 kernel, stride 1, no padding → 4 columns of 4 taps.
+  Tensor input({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor cols = Im2Col(input, 2, 1, 0);
+  ASSERT_EQ(cols.dim(0), 4);
+  ASSERT_EQ(cols.dim(1), 4);
+  // First output position sees taps {1,2,4,5} (one per kernel slot row).
+  EXPECT_FLOAT_EQ(cols.At(0, 0), 1);
+  EXPECT_FLOAT_EQ(cols.At(1, 0), 2);
+  EXPECT_FLOAT_EQ(cols.At(2, 0), 4);
+  EXPECT_FLOAT_EQ(cols.At(3, 0), 5);
+  // Last position sees {5,6,8,9}.
+  EXPECT_FLOAT_EQ(cols.At(0, 3), 5);
+  EXPECT_FLOAT_EQ(cols.At(3, 3), 9);
+}
+
+TEST(Im2ColTest, PaddingContributesZeros) {
+  Tensor input({1, 1, 1}, {7});
+  Tensor cols = Im2Col(input, 3, 1, 1);
+  ASSERT_EQ(cols.dim(0), 9);
+  ASSERT_EQ(cols.dim(1), 1);
+  float sum = 0;
+  for (int i = 0; i < 9; ++i) sum += cols.At(i, 0);
+  EXPECT_FLOAT_EQ(sum, 7.0f);  // only the center tap is non-zero
+}
+
+TEST(Conv2dTest, IdentityKernelPassesThrough) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  conv.weights().At(0, 4) = 1.0f;  // center tap
+  Tensor input({1, 4, 4});
+  for (int i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  auto out = conv.Forward(input, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->AllClose(input, 1e-4f));
+}
+
+TEST(Conv2dTest, HandComputedConvolution) {
+  // 2×2 all-ones kernel over a 2×2 input without padding = sum + bias.
+  Conv2d conv(1, 1, 2, 1, 0);
+  for (int i = 0; i < 4; ++i) conv.weights().At(0, i) = 1.0f;
+  conv.bias()[0] = 0.5f;
+  Tensor input({1, 2, 2}, {1, 2, 3, 4});
+  auto out = conv.Forward(input, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1);
+  EXPECT_FLOAT_EQ((*out)[0], 10.5f);
+}
+
+TEST(Conv2dTest, StrideDownsamples) {
+  Conv2d conv(1, 1, 2, 2, 0);
+  for (int i = 0; i < 4; ++i) conv.weights().At(0, i) = 0.25f;
+  Tensor input({1, 4, 4});
+  auto out = conv.Forward(input, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dim(1), 2);
+  EXPECT_EQ(out->dim(2), 2);
+}
+
+TEST(Conv2dTest, RejectsBadInput) {
+  Conv2d conv(3, 4, 3, 1, 1);
+  EXPECT_FALSE(
+      conv.Forward(Tensor({2, 8, 8}), GetDevice(DeviceKind::kCpuVector))
+          .ok());
+  EXPECT_FALSE(
+      conv.Forward(Tensor({8}), GetDevice(DeviceKind::kCpuVector)).ok());
+}
+
+TEST(PoolTest, MaxPoolTakesMaxima) {
+  MaxPool2d pool(2);
+  Tensor input({1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 1});
+  auto out = pool.Forward(input, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->At(0, 0, 0), 5);
+  EXPECT_FLOAT_EQ(out->At(0, 0, 1), 8);
+}
+
+TEST(PoolTest, AvgPoolAverages) {
+  AvgPool2d pool(2);
+  Tensor input({1, 2, 2}, {1, 2, 3, 4});
+  auto out = pool.Forward(input, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ((*out)[0], 2.5f);
+}
+
+TEST(LinearTest, ComputesAffine) {
+  Linear fc(2, 2);
+  fc.weights().At(0, 0) = 1;
+  fc.weights().At(0, 1) = 2;
+  fc.weights().At(1, 0) = -1;
+  fc.weights().At(1, 1) = 0;
+  fc.bias()[0] = 0.5f;
+  Tensor input = Tensor::FromVector({3, 4});
+  auto out = fc.Forward(input, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ((*out)[0], 11.5f);
+  EXPECT_FLOAT_EQ((*out)[1], -3.0f);
+}
+
+TEST(NetworkTest, SequentialForwardAndSummary) {
+  Network net("test");
+  net.Add<Linear>(4, 8);
+  net.Add<ReluLayer>();
+  net.Add<Linear>(8, 2);
+  net.Add<SoftmaxLayer>();
+  EXPECT_EQ(net.num_layers(), 4u);
+  EXPECT_EQ(net.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+  auto out = net.Forward(Tensor({4}), GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2);
+  EXPECT_NE(net.Summary().find("linear"), std::string::npos);
+}
+
+class BatchDevices : public ::testing::TestWithParam<DeviceKind> {};
+
+TEST_P(BatchDevices, ForwardBatchMatchesSingle) {
+  Network net("batch");
+  auto* fc = net.Add<Linear>(3, 2);
+  Rng rng(8);
+  fc->InitRandom(&rng, 0.5f);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(Tensor::FromVector(
+        {static_cast<float>(i), 1.0f, -static_cast<float>(i)}));
+  }
+  Device* device = GetDevice(GetParam());
+  auto batch = ForwardBatch(net, inputs, device);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    auto single = net.Forward(inputs[i], GetDevice(DeviceKind::kCpuVector));
+    ASSERT_TRUE(single.ok());
+    EXPECT_TRUE((*batch)[i].AllClose(*single, 1e-4f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, BatchDevices,
+                         ::testing::Values(DeviceKind::kCpuScalar,
+                                           DeviceKind::kCpuVector,
+                                           DeviceKind::kGpuSim));
+
+// --- Models over synthetic scenes ------------------------------------------
+
+sim::SceneObject MakeObject(ObjectClass cls, int x0, int y0, int w, int h,
+                            int id = 1) {
+  sim::SceneObject obj;
+  obj.cls = cls;
+  obj.bbox = BBox{x0, y0, x0 + w, y0 + h};
+  obj.object_id = id;
+  obj.depth = 20.0f;
+  return obj;
+}
+
+TEST(TinySsdTest, DetectsEachClass) {
+  Device* device = GetDevice(DeviceKind::kCpuVector);
+  TinySsdDetector detector;
+  struct Case {
+    ObjectClass cls;
+    sim::Background bg;
+  };
+  for (const auto& c : {Case{ObjectClass::kCar, sim::Background::kAsphalt},
+                        Case{ObjectClass::kPerson, sim::Background::kAsphalt},
+                        Case{ObjectClass::kPlayer, sim::Background::kField}}) {
+    std::vector<sim::SceneObject> objects = {
+        MakeObject(c.cls, 40, 30, 20, 14)};
+    Image frame = sim::RenderScene(128, 72, c.bg, objects, 7);
+    auto dets = detector.Detect(frame, device);
+    ASSERT_TRUE(dets.ok());
+    bool found = false;
+    for (const auto& d : *dets) {
+      if (d.label == c.cls && d.bbox.Iou(objects[0].bbox) >= 0.3f) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "class " << ObjectClassName(c.cls);
+  }
+}
+
+TEST(TinySsdTest, EmptySceneYieldsNoDetections) {
+  Device* device = GetDevice(DeviceKind::kCpuVector);
+  TinySsdDetector detector;
+  Image frame = sim::RenderScene(128, 72, sim::Background::kAsphalt, {}, 9);
+  auto dets = detector.Detect(frame, device);
+  ASSERT_TRUE(dets.ok());
+  EXPECT_TRUE(dets->empty());
+}
+
+TEST(TinySsdTest, RefinedBoxesAreTight) {
+  Device* device = GetDevice(DeviceKind::kCpuVector);
+  TinySsdDetector detector;
+  std::vector<sim::SceneObject> objects = {
+      MakeObject(ObjectClass::kCar, 50, 40, 16, 7)};
+  Image frame =
+      sim::RenderScene(128, 72, sim::Background::kAsphalt, objects, 11);
+  auto dets = detector.Detect(frame, device);
+  ASSERT_TRUE(dets.ok());
+  ASSERT_FALSE(dets->empty());
+  // Refinement should recover the object box closely (IoU >= 0.7, far
+  // better than raw grid-cell quantization).
+  float best = 0;
+  for (const auto& d : *dets) {
+    best = std::max(best, d.bbox.Iou(objects[0].bbox));
+  }
+  EXPECT_GE(best, 0.7f);
+}
+
+TEST(TinySsdTest, RejectsNonRgb) {
+  TinySsdDetector detector;
+  EXPECT_FALSE(
+      detector.Detect(Image(8, 8, 1), GetDevice(DeviceKind::kCpuVector))
+          .ok());
+  EXPECT_FALSE(
+      detector.Detect(Image(), GetDevice(DeviceKind::kCpuVector)).ok());
+}
+
+TEST(TinySsdTest, BatchMatchesSingleFrame) {
+  Device* device = GetDevice(DeviceKind::kCpuVector);
+  TinySsdDetector detector;
+  std::vector<Image> frames;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<sim::SceneObject> objects = {
+        MakeObject(ObjectClass::kCar, 20 + 10 * i, 40, 16, 7)};
+    frames.push_back(
+        sim::RenderScene(128, 72, sim::Background::kAsphalt, objects,
+                         100 + static_cast<uint64_t>(i)));
+  }
+  auto batch = detector.DetectBatch(frames, device);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto single = detector.Detect(frames[i], device);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[i].size(), single->size());
+    for (size_t j = 0; j < single->size(); ++j) {
+      EXPECT_EQ((*batch)[i][j].bbox.x0, (*single)[j].bbox.x0);
+      EXPECT_EQ((*batch)[i][j].label, (*single)[j].label);
+    }
+  }
+}
+
+class OcrDigits : public ::testing::TestWithParam<int> {};
+
+TEST_P(OcrDigits, RecognizesRenderedDigit) {
+  const int digit = GetParam();
+  TinyOcr ocr;
+  // Render the digit at a generous scale on a dark panel.
+  Image panel(30, 30, 3);
+  for (auto& b : panel.bytes()) b = 25;
+  sim::DrawDigits(&panel, BBox{0, 0, 30, 30}, std::to_string(digit));
+  auto got = ocr.RecognizeText(panel, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, std::to_string(digit));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDigits, OcrDigits, ::testing::Range(0, 10));
+
+TEST(TinyOcrTest, RecognizesMultiDigitString) {
+  TinyOcr ocr;
+  Image panel(90, 24, 3);
+  for (auto& b : panel.bytes()) b = 25;
+  sim::DrawDigits(&panel, BBox{2, 2, 88, 22}, "90817");
+  auto got = ocr.RecognizeText(panel, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "90817");
+}
+
+TEST(TinyOcrTest, EmptyPanelYieldsEmptyString) {
+  TinyOcr ocr;
+  Image panel(20, 20, 3);
+  for (auto& b : panel.bytes()) b = 25;
+  auto got = ocr.RecognizeText(panel, GetDevice(DeviceKind::kCpuVector));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(TinyOcrTest, InklessGlyphRejected) {
+  TinyOcr ocr;
+  // No ink at all -> uniform posterior -> below the confidence floor.
+  Image glyph(10, 14, 3);
+  for (auto& b : glyph.bytes()) b = 60;
+  auto digit =
+      ocr.RecognizeDigit(glyph, GetDevice(DeviceKind::kCpuVector));
+  EXPECT_TRUE(digit.status().IsNotFound());
+}
+
+TEST(TinyDepthTest, RecoversDepthFromApparentHeight) {
+  TinyDepth model(kFocalTimesHeight);
+  Device* device = GetDevice(DeviceKind::kCpuVector);
+  for (float depth : {13.0f, 18.0f, 25.0f}) {
+    const int h = static_cast<int>(kFocalTimesHeight / depth);
+    sim::SceneObject ped =
+        MakeObject(ObjectClass::kPerson, 50, 4, std::max(3, h / 3), h);
+    ped.depth = depth;
+    Image frame = sim::RenderScene(128, 72, sim::Background::kAsphalt,
+                                   {ped}, 13);
+    Image crop =
+        frame.Crop(ped.bbox.x0, ped.bbox.y0, ped.bbox.x1, ped.bbox.y1);
+    auto predicted = model.PredictDepth(crop, ped.bbox, 72, device);
+    ASSERT_TRUE(predicted.ok());
+    EXPECT_NEAR(*predicted, depth, depth * 0.15f) << "depth " << depth;
+  }
+}
+
+TEST(TinyDepthTest, RejectsDegenerateInput) {
+  TinyDepth model(kFocalTimesHeight);
+  EXPECT_FALSE(model
+                   .PredictDepth(Image(), BBox{0, 0, 4, 4}, 72,
+                                 GetDevice(DeviceKind::kCpuVector))
+                   .ok());
+  EXPECT_FALSE(model
+                   .PredictDepth(Image(4, 4, 3), BBox{0, 0, 4, 0}, 72,
+                                 GetDevice(DeviceKind::kCpuVector))
+                   .ok());
+}
+
+TEST(DomainTest, BBoxIou) {
+  BBox a{0, 0, 10, 10};
+  BBox b{5, 0, 15, 10};
+  EXPECT_NEAR(a.Iou(b), 50.0f / 150.0f, 1e-5f);
+  EXPECT_EQ(a.Iou(BBox{20, 20, 30, 30}), 0.0f);
+  EXPECT_NEAR(a.Iou(a), 1.0f, 1e-6f);
+}
+
+TEST(DomainTest, GlyphFontShapes) {
+  for (int d = 0; d < 10; ++d) {
+    int ink = 0;
+    for (int y = 0; y < kGlyphHeight; ++y) {
+      for (int x = 0; x < kGlyphWidth; ++x) {
+        if (GlyphPixel(d, x, y)) ++ink;
+      }
+    }
+    EXPECT_GT(ink, 5) << "digit " << d;
+  }
+  EXPECT_FALSE(GlyphPixel(3, -1, 0));
+  EXPECT_FALSE(GlyphPixel(11, 0, 0));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deeplens

@@ -1,0 +1,351 @@
+// Unit tests for sim/: determinism, ground-truth consistency, scene
+// rendering invariants, and accuracy scoring.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/accuracy.h"
+#include "sim/datasets.h"
+#include "sim/scene.h"
+
+namespace deeplens {
+namespace sim {
+namespace {
+
+TEST(SceneTest, RenderIsDeterministic) {
+  SceneObject obj;
+  obj.cls = nn::ObjectClass::kCar;
+  obj.bbox = nn::BBox{10, 10, 30, 18};
+  Image a = RenderScene(64, 48, Background::kAsphalt, {obj}, 5);
+  Image b = RenderScene(64, 48, Background::kAsphalt, {obj}, 5);
+  EXPECT_EQ(Image::MeanAbsDiff(a, b), 0.0);
+  Image c = RenderScene(64, 48, Background::kAsphalt, {obj}, 6);
+  EXPECT_GT(Image::MeanAbsDiff(a, c), 0.0);
+}
+
+TEST(SceneTest, ObjectColorDominatesInsideBox) {
+  SceneObject obj;
+  obj.cls = nn::ObjectClass::kCar;
+  obj.bbox = nn::BBox{10, 10, 30, 20};
+  Image img = RenderScene(64, 48, Background::kAsphalt, {obj}, 5);
+  // Center of the car is red-dominant.
+  EXPECT_GT(img.At(20, 15, 0), img.At(20, 15, 1) + 50);
+  // Outside the car is gray.
+  EXPECT_NEAR(img.At(5, 5, 0), img.At(5, 5, 1), 20);
+}
+
+TEST(SceneTest, IdentityJitterIsStable) {
+  SceneObject a, b;
+  a.cls = b.cls = nn::ObjectClass::kPerson;
+  a.object_id = b.object_id = 42;
+  a.color_jitter[0] = b.color_jitter[0] = 10;
+  uint8_t rgb_a[3], rgb_b[3];
+  ObjectColor(a, rgb_a);
+  ObjectColor(b, rgb_b);
+  EXPECT_EQ(rgb_a[0], rgb_b[0]);
+}
+
+TEST(SceneTest, OcclusionPaintsNearObjectsOnTop) {
+  SceneObject far_obj, near_obj;
+  far_obj.cls = nn::ObjectClass::kCar;  // red
+  far_obj.bbox = nn::BBox{10, 10, 30, 20};
+  far_obj.depth = 40.0f;
+  near_obj.cls = nn::ObjectClass::kPerson;  // green
+  near_obj.bbox = nn::BBox{15, 8, 22, 22};
+  near_obj.depth = 10.0f;
+  Image img = RenderScene(64, 48, Background::kAsphalt,
+                          {near_obj, far_obj}, 5, 0);
+  // Inside the overlap, the near (green) object wins.
+  EXPECT_GT(img.At(18, 15, 1), img.At(18, 15, 0));
+}
+
+TEST(SceneTest, DrawDigitsRendersInk) {
+  Image img(40, 20, 3);
+  for (auto& b : img.bytes()) b = 25;
+  DrawDigits(&img, nn::BBox{0, 0, 40, 20}, "18");
+  int bright = 0;
+  for (auto b : img.bytes()) {
+    if (b >= nn::kGlyphBrightness) ++bright;
+  }
+  EXPECT_GT(bright, 30);
+}
+
+TEST(TrafficCamTest, DeterministicFramesAndTruth) {
+  TrafficCamConfig config;
+  config.num_frames = 50;
+  TrafficCamSim a(config), b(config);
+  for (int f : {0, 13, 49}) {
+    EXPECT_EQ(Image::MeanAbsDiff(a.FrameAt(f), b.FrameAt(f)), 0.0);
+    EXPECT_EQ(a.TruthAt(f).objects.size(), b.TruthAt(f).objects.size());
+  }
+}
+
+TEST(TrafficCamTest, TruthBoxesInsideFrame) {
+  TrafficCamConfig config;
+  config.num_frames = 120;
+  TrafficCamSim sim(config);
+  for (int f = 0; f < config.num_frames; f += 7) {
+    for (const SceneObject& o : sim.TruthAt(f).objects) {
+      EXPECT_GE(o.bbox.x0, 0);
+      EXPECT_GE(o.bbox.y0, 0);
+      EXPECT_LE(o.bbox.x1, config.width);
+      EXPECT_LE(o.bbox.y1, config.height);
+      EXPECT_GT(o.bbox.Area(), 0);
+    }
+  }
+}
+
+TEST(TrafficCamTest, EmptyFramesExist) {
+  TrafficCamConfig config;
+  config.num_frames = 300;
+  TrafficCamSim sim(config);
+  const int with_cars = sim.FramesWithVehicles();
+  EXPECT_GT(with_cars, 0);
+  EXPECT_LT(with_cars, config.num_frames);  // red-light gaps exist
+}
+
+TEST(TrafficCamTest, PedestrianIdsAndDepths) {
+  TrafficCamConfig config;
+  config.num_frames = 200;
+  config.num_pedestrians = 8;
+  TrafficCamSim sim(config);
+  EXPECT_LE(sim.DistinctPedestrians(), 8);
+  EXPECT_GT(sim.DistinctPedestrians(), 0);
+  std::set<int> ids;
+  for (int f = 0; f < config.num_frames; ++f) {
+    for (const SceneObject& o : sim.TruthAt(f).objects) {
+      if (o.cls == nn::ObjectClass::kPerson) {
+        EXPECT_TRUE(TrafficCamSim::IsPedestrianId(o.object_id));
+        EXPECT_GT(o.depth, 0);
+        ids.insert(o.object_id);
+        // Rendered height follows the projective law.
+        const int expected_h =
+            static_cast<int>(kDepthConstant / o.depth);
+        EXPECT_EQ(o.bbox.Height(), expected_h);
+      } else {
+        EXPECT_FALSE(TrafficCamSim::IsPedestrianId(o.object_id));
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), sim.DistinctPedestrians());
+}
+
+TEST(TrafficCamTest, BehindPairsAreConsistentWithDepths) {
+  TrafficCamConfig config;
+  config.num_frames = 150;
+  TrafficCamSim sim(config);
+  for (int f = 0; f < 150; f += 11) {
+    const FrameTruth truth = sim.TruthAt(f);
+    for (auto [behind, front] : sim.BehindPairsAt(f)) {
+      float behind_depth = -1, front_depth = -1;
+      for (const SceneObject& o : truth.objects) {
+        if (o.object_id == behind) behind_depth = o.depth;
+        if (o.object_id == front) front_depth = o.depth;
+      }
+      EXPECT_GT(behind_depth, front_depth + 2.0f);
+    }
+  }
+}
+
+TEST(TrafficCamTest, SharedCarIdsAppearInBothCameras) {
+  TrafficCamConfig cam1, cam2;
+  cam1.num_frames = cam2.num_frames = 100;
+  cam1.seed = 111;
+  cam2.seed = 222;
+  cam1.shared_car_ids = {7001, 7002};
+  cam2.shared_car_ids = {7001, 7002};
+  TrafficCamSim a(cam1), b(cam2);
+  auto ids_of = [](const TrafficCamSim& sim) {
+    std::set<int> ids;
+    for (int f = 0; f < 100; ++f) {
+      for (const SceneObject& o : sim.TruthAt(f).objects) {
+        if (o.cls == nn::ObjectClass::kCar) ids.insert(o.object_id);
+      }
+    }
+    return ids;
+  };
+  auto ids_a = ids_of(a), ids_b = ids_of(b);
+  EXPECT_TRUE(ids_a.count(7001));
+  EXPECT_TRUE(ids_b.count(7001));
+  // Shared identity renders with identical body color in both cameras.
+  SceneObject oa, ob;
+  oa.cls = ob.cls = nn::ObjectClass::kCar;
+  bool found_a = false, found_b = false;
+  for (int f = 0; f < 100 && !(found_a && found_b); ++f) {
+    for (const SceneObject& o : a.TruthAt(f).objects) {
+      if (o.object_id == 7001) {
+        oa = o;
+        found_a = true;
+      }
+    }
+    for (const SceneObject& o : b.TruthAt(f).objects) {
+      if (o.object_id == 7001) {
+        ob = o;
+        found_b = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found_a && found_b);
+  uint8_t rgb_a[3], rgb_b[3];
+  ObjectColor(oa, rgb_a);
+  ObjectColor(ob, rgb_b);
+  EXPECT_EQ(rgb_a[0], rgb_b[0]);
+  EXPECT_EQ(rgb_a[1], rgb_b[1]);
+  EXPECT_EQ(rgb_a[2], rgb_b[2]);
+}
+
+TEST(FootballTest, TrackedPlayerInEveryVideo) {
+  FootballConfig config;
+  config.frames_per_video = 20;
+  FootballSim sim(config);
+  for (int v = 0; v < sim.num_videos(); ++v) {
+    auto trajectory = sim.TrackedTrajectory(v);
+    EXPECT_EQ(trajectory.size(),
+              static_cast<size_t>(config.frames_per_video));
+  }
+}
+
+TEST(FootballTest, JerseysAreUniqueWithinVideo) {
+  FootballConfig config;
+  FootballSim sim(config);
+  for (int v = 0; v < sim.num_videos(); ++v) {
+    const FrameTruth truth = sim.TruthAt(v, 0);
+    std::set<std::string> jerseys;
+    for (const SceneObject& o : truth.objects) {
+      EXPECT_TRUE(jerseys.insert(o.text).second)
+          << "duplicate jersey " << o.text << " in video " << v;
+    }
+  }
+}
+
+TEST(FootballTest, PlayersStayInBounds) {
+  FootballConfig config;
+  config.frames_per_video = 200;  // long enough to bounce repeatedly
+  FootballSim sim(config);
+  for (int f = 0; f < 200; f += 17) {
+    for (const SceneObject& o : sim.TruthAt(2, f).objects) {
+      EXPECT_GE(o.bbox.x0, 0);
+      EXPECT_GE(o.bbox.y0, 0);
+      EXPECT_LE(o.bbox.x1, config.width);
+      EXPECT_LE(o.bbox.y1, config.height);
+    }
+  }
+}
+
+TEST(PcTest, DuplicatePairsAreWellFormed) {
+  PcConfig config;
+  config.num_images = 100;
+  config.num_duplicates = 10;
+  PcSim sim(config);
+  auto pairs = sim.DuplicatePairs();
+  ASSERT_EQ(pairs.size(), 10u);
+  for (auto [base, dup] : pairs) {
+    EXPECT_LT(base, dup);
+    EXPECT_EQ(sim.DuplicateOf(dup), base);
+    EXPECT_EQ(sim.DuplicateOf(base), -1);
+    // Same content dimensions, nearly identical pixels.
+    Image a = sim.ImageAt(base);
+    Image b = sim.ImageAt(dup);
+    ASSERT_TRUE(a.SameShape(b));
+    EXPECT_LT(Image::MeanAbsDiff(a, b), 8.0);
+  }
+}
+
+TEST(PcTest, TargetStringEmbeddedExactlyOnce) {
+  PcConfig config;
+  config.num_images = 120;
+  config.num_text_images = 40;
+  config.num_duplicates = 10;
+  PcSim sim(config);
+  int hits = 0;
+  for (int i = 0; i < sim.num_images(); ++i) {
+    if (sim.TextAt(i) == config.target_string) ++hits;
+  }
+  // The target image itself; a duplicate of it would double-count but the
+  // target index is chosen outside the duplicated range.
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.TextAt(sim.TargetImage()), config.target_string);
+}
+
+TEST(PcTest, ImagesVaryInSize) {
+  PcConfig config;
+  config.num_images = 50;
+  PcSim sim(config);
+  std::set<std::pair<int, int>> sizes;
+  for (int i = 0; i < 50; ++i) {
+    Image img = sim.ImageAt(i);
+    EXPECT_GE(img.width(), config.min_width);
+    EXPECT_LE(img.width(), config.max_width);
+    sizes.insert({img.width(), img.height()});
+  }
+  EXPECT_GT(sizes.size(), 10u);
+}
+
+TEST(AccuracyTest, MatchDetectionsCountsTpFpFn) {
+  std::vector<SceneObject> truth(2);
+  truth[0].cls = nn::ObjectClass::kCar;
+  truth[0].bbox = nn::BBox{0, 0, 10, 10};
+  truth[1].cls = nn::ObjectClass::kCar;
+  truth[1].bbox = nn::BBox{50, 50, 60, 60};
+
+  std::vector<nn::Detection> dets(2);
+  dets[0].label = nn::ObjectClass::kCar;
+  dets[0].bbox = nn::BBox{1, 1, 10, 10};  // matches truth[0]
+  dets[0].score = 0.9f;
+  dets[1].label = nn::ObjectClass::kCar;
+  dets[1].bbox = nn::BBox{80, 80, 90, 90};  // false positive
+  dets[1].score = 0.8f;
+
+  PrecisionRecall pr =
+      MatchDetections(dets, truth, nn::ObjectClass::kCar, 0.3f);
+  EXPECT_EQ(pr.tp, 1);
+  EXPECT_EQ(pr.fp, 1);
+  EXPECT_EQ(pr.fn, 1);
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.5);
+  EXPECT_NEAR(pr.f1(), 0.5, 1e-9);
+}
+
+TEST(AccuracyTest, GreedyMatchingIsOneToOne) {
+  std::vector<SceneObject> truth(1);
+  truth[0].cls = nn::ObjectClass::kPerson;
+  truth[0].bbox = nn::BBox{0, 0, 10, 10};
+  // Two detections on the same object: one TP, one FP.
+  std::vector<nn::Detection> dets(2);
+  for (auto& d : dets) {
+    d.label = nn::ObjectClass::kPerson;
+    d.bbox = nn::BBox{0, 0, 10, 10};
+    d.score = 0.5f;
+  }
+  PrecisionRecall pr =
+      MatchDetections(dets, truth, nn::ObjectClass::kPerson, 0.3f);
+  EXPECT_EQ(pr.tp, 1);
+  EXPECT_EQ(pr.fp, 1);
+  EXPECT_EQ(pr.fn, 0);
+}
+
+TEST(AccuracyTest, ScorePairsCanonicalizesOrder) {
+  PrecisionRecall pr = ScorePairs({{2, 1}, {3, 4}}, {{1, 2}, {5, 6}});
+  EXPECT_EQ(pr.tp, 1);
+  EXPECT_EQ(pr.fp, 1);
+  EXPECT_EQ(pr.fn, 1);
+}
+
+TEST(AccuracyTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5, 0), 1.0);
+}
+
+TEST(AccuracyTest, MergeAccumulates) {
+  PrecisionRecall a{1, 2, 3};
+  PrecisionRecall b{4, 5, 6};
+  a.Merge(b);
+  EXPECT_EQ(a.tp, 5);
+  EXPECT_EQ(a.fp, 7);
+  EXPECT_EQ(a.fn, 9);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace deeplens

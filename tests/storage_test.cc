@@ -1,0 +1,450 @@
+// Unit tests for storage/: file I/O, the record store (including reopen
+// and corruption recovery), sorted runs, the three video layouts, the
+// catalog, and the storage advisor's cost model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "codec/image_codec.h"
+#include "common/rng.h"
+#include "storage/catalog.h"
+#include "storage/encoded_file.h"
+#include "storage/file_io.h"
+#include "storage/frame_file.h"
+#include "storage/record_store.h"
+#include "storage/segmented_file.h"
+#include "storage/sorted_file.h"
+#include "storage/storage_advisor.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dl_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageTest, AppendAndReadBack) {
+  const std::string path = Path("f");
+  {
+    auto file = AppendOnlyFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ((*file)->Append(Slice("hello ")).value(), 0u);
+    EXPECT_EQ((*file)->Append(Slice("world")).value(), 6u);
+    ASSERT_TRUE((*file)->Flush().ok());
+  }
+  auto data = ReadWholeFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Slice(*data).ToString(), "hello world");
+}
+
+TEST_F(StorageTest, RandomAccessReads) {
+  const std::string path = Path("f");
+  ASSERT_TRUE(WriteWholeFile(path, Slice("0123456789")).ok());
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE((*file)->ReadAt(3, 4, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "3456");
+  EXPECT_TRUE((*file)->ReadAt(8, 5, &out).IsIOError());
+}
+
+TEST_F(StorageTest, FileHelpers) {
+  EXPECT_FALSE(FileExists(Path("missing")));
+  ASSERT_TRUE(WriteWholeFile(Path("x"), Slice("abc")).ok());
+  EXPECT_TRUE(FileExists(Path("x")));
+  EXPECT_EQ(FileSize(Path("x")).value(), 3u);
+  ASSERT_TRUE(RemoveFileIfExists(Path("x")).ok());
+  EXPECT_FALSE(FileExists(Path("x")));
+  ASSERT_TRUE(RemoveFileIfExists(Path("x")).ok());  // idempotent
+}
+
+TEST_F(StorageTest, RecordStoreBasicOps) {
+  auto store = RecordStore::Open(Path("rs"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put(Slice("k1"), Slice("v1")).ok());
+  ASSERT_TRUE((*store)->Put(Slice("k2"), Slice("v2")).ok());
+  EXPECT_EQ(Slice((*store)->Get(Slice("k1")).value()).ToString(), "v1");
+  EXPECT_TRUE((*store)->Get(Slice("zz")).status().IsNotFound());
+  EXPECT_TRUE((*store)->Contains(Slice("k2")));
+  // Overwrite wins.
+  ASSERT_TRUE((*store)->Put(Slice("k1"), Slice("v1b")).ok());
+  EXPECT_EQ(Slice((*store)->Get(Slice("k1")).value()).ToString(), "v1b");
+  // Delete.
+  ASSERT_TRUE((*store)->Delete(Slice("k2")).ok());
+  EXPECT_FALSE((*store)->Contains(Slice("k2")));
+  EXPECT_EQ((*store)->Stats().num_records, 1u);
+}
+
+TEST_F(StorageTest, RecordStoreScanIsOrderedAndBounded) {
+  auto store = RecordStore::Open(Path("rs"));
+  ASSERT_TRUE(store.ok());
+  for (int i = 9; i >= 0; --i) {
+    ASSERT_TRUE((*store)
+                    ->Put(Slice(EncodeKeyU64(static_cast<uint64_t>(i))),
+                          Slice("v" + std::to_string(i)))
+                    .ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE((*store)
+                  ->Scan(Slice(EncodeKeyU64(3)), Slice(EncodeKeyU64(7)),
+                         [&](const Slice& key, const Slice&) {
+                           seen.push_back(DecodeKeyU64(key).value());
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{3, 4, 5, 6, 7}));
+}
+
+TEST_F(StorageTest, RecordStoreSurvivesReopen) {
+  const std::string path = Path("rs");
+  {
+    auto store = RecordStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put(Slice("key" + std::to_string(i)),
+                            Slice("value" + std::to_string(i)))
+                      .ok());
+    }
+    ASSERT_TRUE((*store)->Delete(Slice("key50")).ok());
+  }
+  auto store = RecordStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Stats().num_records, 99u);
+  EXPECT_EQ(Slice((*store)->Get(Slice("key7")).value()).ToString(),
+            "value7");
+  EXPECT_TRUE((*store)->Get(Slice("key50")).status().IsNotFound());
+}
+
+TEST_F(StorageTest, RecordStoreIgnoresTornTail) {
+  const std::string path = Path("rs");
+  {
+    auto store = RecordStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(Slice("good"), Slice("data")).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    // Simulate a crash mid-append: garbage tail bytes.
+    auto file = AppendOnlyFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice("\x01\x02\x03")).ok());
+  }
+  auto store = RecordStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(Slice((*store)->Get(Slice("good")).value()).ToString(), "data");
+  EXPECT_EQ((*store)->Stats().num_records, 1u);
+}
+
+TEST_F(StorageTest, RecordStoreLargeValues) {
+  auto store = RecordStore::Open(Path("rs"));
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> big(1 << 20);
+  Rng rng(1);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.NextU64Below(256));
+  ASSERT_TRUE((*store)->Put(Slice("big"), Slice(big)).ok());
+  auto got = (*store)->Get(Slice("big"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST_F(StorageTest, SortedFileRoundTrip) {
+  const std::string path = Path("run");
+  {
+    auto writer = SortedFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE((*writer)
+                      ->Add(Slice(EncodeKeyU64(static_cast<uint64_t>(i))),
+                            Slice("v" + std::to_string(i)))
+                      .ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  auto reader = SortedFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_records(), 500u);
+  EXPECT_EQ(Slice((*reader)->Get(Slice(EncodeKeyU64(123))).value())
+                .ToString(),
+            "v123");
+  int count = 0;
+  ASSERT_TRUE((*reader)
+                  ->Scan(Slice(EncodeKeyU64(100)), Slice(EncodeKeyU64(199)),
+                         [&](const Slice&, const Slice&) {
+                           ++count;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(StorageTest, SortedFileRejectsOutOfOrder) {
+  auto writer = SortedFileWriter::Create(Path("run"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Add(Slice("b"), Slice("1")).ok());
+  EXPECT_TRUE((*writer)->Add(Slice("a"), Slice("2")).IsInvalidArgument());
+  ASSERT_TRUE((*writer)->Add(Slice("b"), Slice("3")).ok());  // equal ok
+}
+
+Image TestFrame(int f, int w = 32, int h = 24) {
+  // Static textured background (same for every frame, like a fixed
+  // camera) plus a frame-dependent moving bright block.
+  Image img(w, h, 3);
+  Rng rng(777);
+  for (auto& b : img.bytes()) {
+    b = static_cast<uint8_t>(100 + rng.NextU64Below(20));
+  }
+  const int x0 = (f * 3) % std::max(1, w - 6);
+  for (int y = 8; y < std::min(h, 14); ++y) {
+    for (int x = x0; x < x0 + 6; ++x) {
+      for (int c = 0; c < 3; ++c) img.At(x, y, c) = 230;
+    }
+  }
+  img.At(f % w, 0, 0) = 255;  // frame-number signature pixel
+  return img;
+}
+
+class VideoLayoutTest : public StorageTest,
+                        public ::testing::WithParamInterface<VideoFormat> {};
+
+TEST_P(VideoLayoutTest, WriteReadRoundTrip) {
+  const std::string path = Path("video");
+  VideoStoreOptions options;
+  options.format = GetParam();
+  options.quality = codec::Quality::kHigh;
+  options.clip_frames = 8;
+  options.gop_size = 8;
+  {
+    auto writer = CreateVideoWriter(path, options);
+    ASSERT_TRUE(writer.ok());
+    for (int f = 0; f < 30; ++f) {
+      ASSERT_TRUE((*writer)->AddFrame(TestFrame(f)).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+    EXPECT_EQ((*writer)->frames_written(), 30);
+  }
+  auto reader = OpenVideo(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_frames(), 30);
+  EXPECT_EQ((*reader)->format(), GetParam());
+  // Random access to a middle frame.
+  auto frame = (*reader)->ReadFrame(17);
+  ASSERT_TRUE(frame.ok());
+  const double mad = Image::MeanAbsDiff(*frame, TestFrame(17));
+  if (GetParam() == VideoFormat::kFrameRaw) {
+    EXPECT_EQ(mad, 0.0);
+  } else {
+    EXPECT_LE(mad, 6.0);
+  }
+  EXPECT_TRUE((*reader)->ReadFrame(30).status().IsOutOfRange());
+  EXPECT_TRUE((*reader)->ReadFrame(-1).status().IsOutOfRange());
+}
+
+TEST_P(VideoLayoutTest, ReadRangeVisitsExactFrames) {
+  const std::string path = Path("video");
+  VideoStoreOptions options;
+  options.format = GetParam();
+  options.clip_frames = 8;
+  options.gop_size = 8;
+  {
+    auto writer = CreateVideoWriter(path, options);
+    ASSERT_TRUE(writer.ok());
+    for (int f = 0; f < 40; ++f) {
+      ASSERT_TRUE((*writer)->AddFrame(TestFrame(f)).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  auto reader = OpenVideo(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<int> visited;
+  ASSERT_TRUE((*reader)
+                  ->ReadRange(13, 22,
+                              [&](int f, const Image&) {
+                                visited.push_back(f);
+                                return true;
+                              })
+                  .ok());
+  std::vector<int> want;
+  for (int f = 13; f <= 22; ++f) want.push_back(f);
+  EXPECT_EQ(visited, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, VideoLayoutTest,
+                         ::testing::Values(VideoFormat::kFrameRaw,
+                                           VideoFormat::kFrameLjpg,
+                                           VideoFormat::kEncoded,
+                                           VideoFormat::kSegmented));
+
+TEST_F(StorageTest, DecodeWorkReflectsLayoutPushdownCapability) {
+  // The Figure 3 mechanism: for a mid-video range read, the frame file
+  // decodes only the range; the segmented file decodes at most one extra
+  // clip; the encoded file decodes the whole prefix.
+  const int kFrames = 60;
+  auto write = [&](VideoFormat format, const std::string& name) {
+    VideoStoreOptions options;
+    options.format = format;
+    options.clip_frames = 10;
+    options.gop_size = 10;
+    auto writer = CreateVideoWriter(Path(name), options);
+    EXPECT_TRUE(writer.ok());
+    for (int f = 0; f < kFrames; ++f) {
+      EXPECT_TRUE((*writer)->AddFrame(TestFrame(f)).ok());
+    }
+    EXPECT_TRUE((*writer)->Finish().ok());
+  };
+  write(VideoFormat::kFrameRaw, "raw");
+  write(VideoFormat::kEncoded, "enc");
+  write(VideoFormat::kSegmented, "seg");
+
+  auto decode_work = [&](const std::string& name) -> uint64_t {
+    auto reader = OpenVideo(Path(name));
+    EXPECT_TRUE(reader.ok());
+    EXPECT_TRUE(
+        (*reader)
+            ->ReadRange(45, 54, [](int, const Image&) { return true; })
+            .ok());
+    return (*reader)->frames_decoded();
+  };
+  EXPECT_EQ(decode_work("raw"), 10u);   // exact push-down
+  EXPECT_EQ(decode_work("seg"), 15u);   // clip 40..49 prefix + range
+  EXPECT_EQ(decode_work("enc"), 55u);   // full prefix 0..54
+}
+
+TEST_F(StorageTest, StorageFootprintOrdering) {
+  const int kFrames = 48;
+  auto bytes_for = [&](VideoFormat format,
+                       const std::string& name) -> uint64_t {
+    VideoStoreOptions options;
+    options.format = format;
+    options.clip_frames = 12;
+    options.gop_size = 12;
+    auto writer = CreateVideoWriter(Path(name), options);
+    EXPECT_TRUE(writer.ok());
+    for (int f = 0; f < kFrames; ++f) {
+      EXPECT_TRUE((*writer)->AddFrame(TestFrame(f, 64, 48)).ok());
+    }
+    EXPECT_TRUE((*writer)->Finish().ok());
+    auto reader = OpenVideo(Path(name));
+    EXPECT_TRUE(reader.ok());
+    return (*reader)->storage_bytes();
+  };
+  const uint64_t raw = bytes_for(VideoFormat::kFrameRaw, "r");
+  const uint64_t intra = bytes_for(VideoFormat::kFrameLjpg, "i");
+  const uint64_t seg = bytes_for(VideoFormat::kSegmented, "s");
+  const uint64_t enc = bytes_for(VideoFormat::kEncoded, "e");
+  EXPECT_LT(intra, raw);
+  EXPECT_LT(seg, intra);
+  EXPECT_LE(enc, seg);
+}
+
+TEST_F(StorageTest, CatalogPersistsAcrossReopen) {
+  {
+    auto catalog = Catalog::Open(dir_.string());
+    ASSERT_TRUE(catalog.ok());
+    DatasetInfo info;
+    info.name = "traffic";
+    info.path = Path("traffic");
+    info.format = VideoFormat::kSegmented;
+    info.num_items = 42;
+    info.description = "test video";
+    ASSERT_TRUE((*catalog)->Register(info).ok());
+  }
+  auto catalog = Catalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+  auto info = (*catalog)->Lookup("traffic");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->format, VideoFormat::kSegmented);
+  EXPECT_EQ(info->num_items, 42);
+  EXPECT_EQ(info->description, "test video");
+  EXPECT_TRUE((*catalog)->Lookup("nope").status().IsNotFound());
+  EXPECT_EQ((*catalog)->List().size(), 1u);
+  ASSERT_TRUE((*catalog)->Unregister("traffic").ok());
+  EXPECT_FALSE((*catalog)->Contains("traffic"));
+}
+
+TEST_F(StorageTest, CatalogRejectsEmptyName) {
+  auto catalog = Catalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_TRUE((*catalog)->Register(DatasetInfo{}).IsInvalidArgument());
+}
+
+// --- Storage advisor -------------------------------------------------------
+
+WorkloadProfile BaseProfile() {
+  WorkloadProfile p;
+  p.num_frames = 10000;
+  p.raw_frame_bytes = 100000;
+  p.temporal_selectivity = 0.05;
+  p.expected_queries = 10;
+  return p;
+}
+
+TEST(StorageAdvisorTest, SelectiveWorkloadAvoidsEncodedFile) {
+  StorageAdvisor advisor;
+  auto advice = advisor.Recommend(BaseProfile());
+  // With highly selective queries the sequential-decode tax dominates.
+  EXPECT_NE(advice.options.format, VideoFormat::kEncoded);
+}
+
+TEST(StorageAdvisorTest, TightBudgetForcesCompression) {
+  StorageAdvisor advisor;
+  WorkloadProfile p = BaseProfile();
+  const uint64_t raw = advisor.PredictStorage(p, VideoFormat::kFrameRaw);
+  auto advice = advisor.Recommend(p, raw / 20);
+  EXPECT_TRUE(advice.options.format == VideoFormat::kEncoded ||
+              advice.options.format == VideoFormat::kSegmented);
+  EXPECT_LE(advice.predicted_storage_bytes, raw / 20);
+}
+
+TEST(StorageAdvisorTest, UnconstrainedWorkloadPrefersCheapestReads) {
+  StorageAdvisor advisor;
+  WorkloadProfile p = BaseProfile();
+  p.temporal_selectivity = 1.0;
+  auto advice = advisor.Recommend(p, 0);
+  // With no storage budget the objective is pure query latency, and raw
+  // frame reads are the cheapest decode path.
+  EXPECT_EQ(advice.options.format, VideoFormat::kFrameRaw);
+  EXPECT_GT(advice.predicted_storage_bytes, 0u);
+}
+
+TEST(StorageAdvisorTest, PredictionsAreMonotonic) {
+  StorageAdvisor advisor;
+  WorkloadProfile p = BaseProfile();
+  EXPECT_GT(advisor.PredictStorage(p, VideoFormat::kFrameRaw),
+            advisor.PredictStorage(p, VideoFormat::kFrameLjpg));
+  EXPECT_GT(advisor.PredictStorage(p, VideoFormat::kFrameLjpg),
+            advisor.PredictStorage(p, VideoFormat::kEncoded));
+  // Query cost grows with selectivity for any layout.
+  VideoStoreOptions o;
+  o.format = VideoFormat::kFrameRaw;
+  WorkloadProfile narrow = p, wide = p;
+  narrow.temporal_selectivity = 0.01;
+  wide.temporal_selectivity = 0.5;
+  EXPECT_LT(advisor.PredictQuerySeconds(narrow, o),
+            advisor.PredictQuerySeconds(wide, o));
+}
+
+TEST(StorageAdvisorTest, UnsatisfiableBudgetFallsBack) {
+  StorageAdvisor advisor;
+  auto advice = advisor.Recommend(BaseProfile(), 1);
+  EXPECT_EQ(advice.options.format, VideoFormat::kEncoded);
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+}  // namespace
+}  // namespace deeplens

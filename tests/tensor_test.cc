@@ -1,0 +1,271 @@
+// Unit tests for tensor/: Tensor semantics, Image operations, and the
+// scalar-vs-vectorized kernel equivalence properties the AVX path relies
+// on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+namespace {
+
+TEST(TensorTest, ZerosAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(TensorTest, AtIndexing) {
+  Tensor t({2, 3});
+  t.At(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  Tensor u({2, 2, 2});
+  u.At(1, 0, 1) = 3.0f;
+  EXPECT_EQ(u[5], 3.0f);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  auto r = t.Reshape({2, 3});
+  ASSERT_TRUE(r.ok());
+  r->At(0, 2) = 99.0f;
+  EXPECT_EQ(t[2], 99.0f);  // same storage
+  EXPECT_TRUE(t.Reshape({7}).status().IsInvalidArgument());
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::Full({4}, 2.0f);
+  Tensor c = t.Clone();
+  c[0] = -1.0f;
+  EXPECT_EQ(t[0], 2.0f);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a = Tensor::FromVector({1.0f, 2.0f});
+  Tensor b = Tensor::FromVector({1.0f, 2.00001f});
+  EXPECT_TRUE(a.AllClose(b, 1e-3f));
+  EXPECT_FALSE(a.AllClose(b, 1e-7f));
+  EXPECT_FALSE(a.AllClose(Tensor::FromVector({1.0f})));
+}
+
+TEST(ImageTest, CropInBounds) {
+  Image img(10, 8, 3);
+  img.At(4, 3, 1) = 200;
+  Image crop = img.Crop(3, 2, 7, 6);
+  EXPECT_EQ(crop.width(), 4);
+  EXPECT_EQ(crop.height(), 4);
+  EXPECT_EQ(crop.At(1, 1, 1), 200);
+}
+
+TEST(ImageTest, CropClampsOutOfBounds) {
+  Image img(10, 8, 3);
+  Image crop = img.Crop(-5, -5, 100, 100);
+  EXPECT_EQ(crop.width(), 10);
+  EXPECT_EQ(crop.height(), 8);
+  Image empty = img.Crop(5, 5, 5, 5);
+  EXPECT_EQ(empty.width(), 0);
+}
+
+TEST(ImageTest, ResizePreservesSolidColor) {
+  Image img(8, 8, 3);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      for (int c = 0; c < 3; ++c) img.At(x, y, c) = 77;
+  Image big = img.Resize(16, 12);
+  EXPECT_EQ(big.width(), 16);
+  EXPECT_EQ(big.height(), 12);
+  EXPECT_EQ(big.At(15, 11, 2), 77);
+}
+
+TEST(ImageTest, TensorRoundTrip) {
+  Image img(4, 3, 3);
+  Rng rng(5);
+  for (auto& b : img.bytes()) b = static_cast<uint8_t>(rng.NextU64Below(256));
+  Tensor t = img.ToTensorCHW();
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(2), 4);
+  Image back = Image::FromTensorCHW(t);
+  EXPECT_EQ(Image::MeanAbsDiff(img, back), 0.0);
+}
+
+TEST(ImageTest, MeanAbsDiffMismatchedShapes) {
+  EXPECT_EQ(Image::MeanAbsDiff(Image(2, 2, 3), Image(3, 3, 3)), 255.0);
+}
+
+// --- Kernel equivalence: vector kernels must agree with scalar ones ----
+
+class KernelEquivalence : public ::testing::TestWithParam<size_t> {
+ protected:
+  std::vector<float> RandomVec(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    return v;
+  }
+};
+
+TEST_P(KernelEquivalence, Add) {
+  const size_t n = GetParam();
+  auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  std::vector<float> s(n), v(n);
+  ops::AddScalarKernel(a.data(), b.data(), s.data(), n);
+  ops::AddVectorKernel(a.data(), b.data(), v.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(s[i], v[i]);
+}
+
+TEST_P(KernelEquivalence, Mul) {
+  const size_t n = GetParam();
+  auto a = RandomVec(n, 3), b = RandomVec(n, 4);
+  std::vector<float> s(n), v(n);
+  ops::MulScalarKernel(a.data(), b.data(), s.data(), n);
+  ops::MulVectorKernel(a.data(), b.data(), v.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(s[i], v[i]);
+}
+
+TEST_P(KernelEquivalence, Relu) {
+  const size_t n = GetParam();
+  auto a = RandomVec(n, 5);
+  auto b = a;
+  ops::ReluScalarKernel(a.data(), n);
+  ops::ReluVectorKernel(b.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_GE(a[i], 0.0f);
+  }
+}
+
+TEST_P(KernelEquivalence, ScaleBias) {
+  const size_t n = GetParam();
+  auto a = RandomVec(n, 6);
+  std::vector<float> s(n), v(n);
+  ops::ScaleBiasScalarKernel(a.data(), 2.5f, -1.0f, s.data(), n);
+  ops::ScaleBiasVectorKernel(a.data(), 2.5f, -1.0f, v.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(s[i], v[i]);
+}
+
+TEST_P(KernelEquivalence, SumAndDot) {
+  const size_t n = GetParam();
+  auto a = RandomVec(n, 7), b = RandomVec(n, 8);
+  EXPECT_NEAR(ops::SumScalar(a.data(), n), ops::SumVector(a.data(), n),
+              1e-3 * std::max<size_t>(n, 1));
+  EXPECT_NEAR(ops::DotScalar(a.data(), b.data(), n),
+              ops::DotVector(a.data(), b.data(), n),
+              1e-3 * std::max<size_t>(n, 1));
+}
+
+TEST_P(KernelEquivalence, L2Squared) {
+  const size_t n = GetParam();
+  auto a = RandomVec(n, 9), b = RandomVec(n, 10);
+  EXPECT_NEAR(ops::L2SquaredScalar(a.data(), b.data(), n),
+              ops::L2SquaredVector(a.data(), b.data(), n),
+              1e-3 * std::max<size_t>(n, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelEquivalence,
+                         ::testing::Values(0, 1, 7, 8, 9, 15, 16, 63, 64,
+                                           100, 1023));
+
+class MatmulSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulSizes, ScalarVectorAgree) {
+  auto [m, k, n] = GetParam();
+  Rng rng(42);
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> b(static_cast<size_t>(k) * n);
+  for (auto& x : a) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : b) x = static_cast<float>(rng.NextGaussian());
+  std::vector<float> cs(static_cast<size_t>(m) * n);
+  std::vector<float> cv(static_cast<size_t>(m) * n);
+  ops::MatmulScalar(a.data(), b.data(), cs.data(), m, k, n);
+  ops::MatmulVector(a.data(), b.data(), cv.data(), m, k, n);
+  for (size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_NEAR(cs[i], cv[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(8, 8, 8), std::make_tuple(5, 17, 9),
+                      std::make_tuple(16, 32, 16),
+                      std::make_tuple(1, 64, 1)));
+
+TEST(OpsTest, MatmulKnownValues) {
+  // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  auto c = ops::Matmul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FLOAT_EQ(c->At(0, 0), 19);
+  EXPECT_FLOAT_EQ(c->At(0, 1), 22);
+  EXPECT_FLOAT_EQ(c->At(1, 0), 43);
+  EXPECT_FLOAT_EQ(c->At(1, 1), 50);
+}
+
+TEST(OpsTest, MatmulShapeMismatch) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_TRUE(ops::Matmul(a, b).status().IsInvalidArgument());
+}
+
+TEST(OpsTest, AddShapeMismatch) {
+  EXPECT_TRUE(ops::Add(Tensor({2}), Tensor({3})).status().IsInvalidArgument());
+}
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  Tensor s = ops::Softmax(t);
+  float sum = 0;
+  for (int64_t i = 0; i < s.size(); ++i) {
+    sum += s[i];
+    EXPECT_GT(s[i], 0.0f);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  EXPECT_GT(s[2], s[1]);
+  EXPECT_GT(s[1], s[0]);
+}
+
+TEST(OpsTest, SoftmaxRowWise) {
+  Tensor t({2, 2}, {0, 10, 10, 0});
+  Tensor s = ops::Softmax(t);
+  EXPECT_GT(s.At(0, 1), 0.99f);
+  EXPECT_GT(s.At(1, 0), 0.99f);
+}
+
+TEST(OpsTest, Argmax) {
+  EXPECT_EQ(ops::Argmax(Tensor::FromVector({1, 5, 3})), 1);
+  EXPECT_EQ(ops::Argmax(Tensor()), -1);
+}
+
+TEST(OpsTest, CosineSimilarity) {
+  std::vector<float> a = {1, 0, 0};
+  std::vector<float> b = {0, 1, 0};
+  std::vector<float> c = {2, 0, 0};
+  EXPECT_NEAR(ops::CosineSimilarity(a.data(), b.data(), 3), 0.0f, 1e-6f);
+  EXPECT_NEAR(ops::CosineSimilarity(a.data(), c.data(), 3), 1.0f, 1e-6f);
+  std::vector<float> zero = {0, 0, 0};
+  EXPECT_EQ(ops::CosineSimilarity(a.data(), zero.data(), 3), 0.0f);
+}
+
+TEST(OpsTest, L2DistanceMatchesHandComputed) {
+  Tensor a = Tensor::FromVector({0, 0});
+  Tensor b = Tensor::FromVector({3, 4});
+  EXPECT_NEAR(ops::L2Distance(a, b), 5.0f, 1e-5f);
+}
+
+TEST(OpsTest, L1Distance) {
+  std::vector<float> a = {1, -2, 3};
+  std::vector<float> b = {0, 0, 0};
+  EXPECT_NEAR(ops::L1Scalar(a.data(), b.data(), 3), 6.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace deeplens
