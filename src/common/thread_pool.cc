@@ -62,7 +62,14 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   while (true) {
     std::packaged_task<void()> task;
     {

@@ -39,6 +39,11 @@ class ThreadPool {
   /// Process-wide shared pool sized to the hardware concurrency.
   static ThreadPool& Global();
 
+  /// True when the calling thread is a pool worker (of any pool). Blocking
+  /// parallel constructs use this to degrade to serial execution instead of
+  /// risking a deadlock on nested waits.
+  static bool InWorker();
+
  private:
   void WorkerLoop();
 

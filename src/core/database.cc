@@ -75,9 +75,14 @@ Status Database::RegisterView(const std::string& name,
   return Status::OK();
 }
 
-Status Database::RegisterView(const std::string& name, PatchIterator* it) {
-  DL_ASSIGN_OR_RETURN(PatchCollection patches, CollectPatches(it));
+Status Database::RegisterView(const std::string& name, BatchIterator* it) {
+  DL_ASSIGN_OR_RETURN(PatchCollection patches, CollectBatchPatches(it));
   return RegisterView(name, std::move(patches));
+}
+
+Status Database::RegisterView(const std::string& name, PatchIterator* it) {
+  auto batched = TupleToBatch(it);
+  return RegisterView(name, batched.get());
 }
 
 Result<ViewCache*> Database::GetView(const std::string& name) {

@@ -72,7 +72,11 @@ class Database {
   /// previous content and its indexes).
   Status RegisterView(const std::string& name, PatchCollection patches);
 
-  /// Drains an iterator into view `name`.
+  /// Drains a batch iterator into view `name` (the native path).
+  Status RegisterView(const std::string& name, BatchIterator* it);
+
+  /// Drains a tuple iterator into view `name` by batching it through the
+  /// vectorized engine.
   Status RegisterView(const std::string& name, PatchIterator* it);
 
   /// Fetches a view; NotFound if absent.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exec/pipeline.h"
+
 namespace deeplens {
 
 const char* AccessPathName(AccessPath path) {
@@ -124,23 +126,19 @@ Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
 
   PatchCollection out;
   if (have_candidates) {
+    // Index-driven path: few candidates, so a single compiled-predicate
+    // pass beats spinning up morsels.
     local.candidates = candidates.size();
+    const CompiledPredicate compiled(predicate);
     for (RowId r : candidates) {
       const Patch& p = view.patches[static_cast<size_t>(r)];
-      PatchTuple t{p};
-      DL_ASSIGN_OR_RETURN(bool pass, predicate->EvalBool(t));
+      DL_ASSIGN_OR_RETURN(bool pass, compiled.EvalOnePatch(p));
       if (pass) out.push_back(p);
     }
   } else {
+    // Full scan: morsel-parallel batch evaluation with ordered merge.
     local.candidates = view.patches.size();
-    for (const Patch& p : view.patches) {
-      if (predicate) {
-        PatchTuple t{p};
-        DL_ASSIGN_OR_RETURN(bool pass, predicate->EvalBool(t));
-        if (!pass) continue;
-      }
-      out.push_back(p);
-    }
+    DL_ASSIGN_OR_RETURN(out, ParallelSelect(view.patches, predicate));
   }
   if (explanation != nullptr) *explanation = local;
   return out;

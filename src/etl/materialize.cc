@@ -17,18 +17,25 @@ Status MaterializedView::Append(const Patch& patch) {
   return store_->Put(Slice(EncodeKeyU64(patch.id())), buf.AsSlice());
 }
 
-Result<uint64_t> MaterializedView::Write(PatchIterator* it) {
+Result<uint64_t> MaterializedView::Write(BatchIterator* it) {
   uint64_t written = 0;
   while (true) {
-    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
-    if (!tuple.has_value()) break;
-    for (const Patch& p : *tuple) {
-      DL_RETURN_NOT_OK(Append(p));
-      ++written;
+    DL_ASSIGN_OR_RETURN(auto batch, it->Next());
+    if (!batch.has_value()) break;
+    for (const PatchTuple& tuple : batch->tuples) {
+      for (const Patch& p : tuple) {
+        DL_RETURN_NOT_OK(Append(p));
+        ++written;
+      }
     }
   }
   DL_RETURN_NOT_OK(store_->Flush());
   return written;
+}
+
+Result<uint64_t> MaterializedView::Write(PatchIterator* it) {
+  auto batched = TupleToBatch(it);
+  return Write(batched.get());
 }
 
 Result<PatchCollection> MaterializedView::LoadAll() const {
@@ -49,19 +56,32 @@ Result<PatchCollection> MaterializedView::LoadAll() const {
   return out;
 }
 
+namespace {
+
+// Emits a load error on every Next(), matching the pre-batch generator.
+class FailedScan : public BatchIterator {
+ public:
+  explicit FailedScan(Status status) : status_(std::move(status)) {}
+  Result<std::optional<PatchBatch>> Next() override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+BatchIteratorPtr MaterializedView::ScanBatches(size_t batch_size) const {
+  // Materialize eagerly: RecordStore scans are callback-driven, patch
+  // decode cost dominates iteration overhead, and an eager snapshot keeps
+  // the iterator self-contained (it neither references the view nor sees
+  // writes made after Scan).
+  auto loaded = LoadAll();
+  if (!loaded.ok()) return std::make_unique<FailedScan>(loaded.status());
+  return MakeBatchVectorSource(std::move(loaded).value(), batch_size);
+}
+
 PatchIteratorPtr MaterializedView::Scan() const {
-  // Materialize eagerly: RecordStore scans are callback-driven, and patch
-  // decode cost dominates iteration overhead anyway.
-  auto loaded = std::make_shared<Result<PatchCollection>>(LoadAll());
-  auto pos = std::make_shared<size_t>(0);
-  return MakeGeneratorSource(
-      [loaded, pos]() -> Result<std::optional<PatchTuple>> {
-        if (!loaded->ok()) return loaded->status();
-        const PatchCollection& patches = loaded->value();
-        if (*pos >= patches.size()) return std::optional<PatchTuple>();
-        PatchTuple t{patches[(*pos)++]};
-        return std::optional<PatchTuple>(std::move(t));
-      });
+  return BatchToTuple(ScanBatches());
 }
 
 }  // namespace deeplens

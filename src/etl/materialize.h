@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/patch.h"
+#include "exec/batch.h"
 #include "exec/operators.h"
 #include "storage/record_store.h"
 
@@ -21,7 +22,11 @@ class MaterializedView {
   static Result<std::unique_ptr<MaterializedView>> Open(
       const std::string& path);
 
-  /// Drains `it` into the store. Returns the number of patches written.
+  /// Drains a batch iterator into the store (the native path). Returns
+  /// the number of patches written.
+  Result<uint64_t> Write(BatchIterator* it);
+
+  /// Drains a tuple iterator by batching it through the vectorized engine.
   Result<uint64_t> Write(PatchIterator* it);
 
   /// Appends a single patch.
@@ -30,7 +35,10 @@ class MaterializedView {
   /// Loads every stored patch (ordered by id).
   Result<PatchCollection> LoadAll() const;
 
-  /// Streaming source over the stored patches.
+  /// Batch source over the stored patches.
+  BatchIteratorPtr ScanBatches(size_t batch_size = kDefaultBatchSize) const;
+
+  /// Tuple source over the stored patches (adapter over ScanBatches).
   PatchIteratorPtr Scan() const;
 
   uint64_t size() const { return store_->Stats().num_records; }

@@ -7,30 +7,72 @@
 
 namespace deeplens {
 
-Result<uint64_t> CountAll(PatchIterator* it) { return Drain(it); }
+Result<uint64_t> CountAll(BatchIterator* it) { return DrainBatches(it); }
 
-Result<uint64_t> CountDistinctKey(PatchIterator* it,
+Result<uint64_t> CountAll(PatchIterator* it) {
+  auto batched = TupleToBatch(it);
+  return CountAll(batched.get());
+}
+
+Result<uint64_t> CountDistinctKey(BatchIterator* it,
                                   const std::string& key) {
   std::unordered_set<std::string> seen;
   while (true) {
-    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
-    if (!tuple.has_value()) break;
-    for (const Patch& p : *tuple) {
-      seen.insert(p.meta().Get(key).ToIndexKey());
+    DL_ASSIGN_OR_RETURN(auto batch, it->Next());
+    if (!batch.has_value()) break;
+    for (const PatchTuple& tuple : batch->tuples) {
+      for (const Patch& p : tuple) {
+        seen.insert(p.meta().Get(key).ToIndexKey());
+      }
     }
   }
   return static_cast<uint64_t>(seen.size());
 }
 
+Result<uint64_t> CountDistinctKey(PatchIterator* it,
+                                  const std::string& key) {
+  auto batched = TupleToBatch(it);
+  return CountDistinctKey(batched.get(), key);
+}
+
 Result<std::map<std::string, uint64_t>> GroupByCount(
-    PatchIterator* it, const std::string& key) {
+    BatchIterator* it, const std::string& key) {
   std::map<std::string, uint64_t> groups;
   while (true) {
-    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
-    if (!tuple.has_value()) break;
-    if (tuple->empty()) continue;
-    const MetaValue& v = (*tuple)[0].meta().Get(key);
-    ++groups[v.ToDisplayString()];
+    DL_ASSIGN_OR_RETURN(auto batch, it->Next());
+    if (!batch.has_value()) break;
+    for (const PatchTuple& tuple : batch->tuples) {
+      if (tuple.empty()) continue;
+      const MetaValue& v = tuple[0].meta().Get(key);
+      ++groups[v.ToDisplayString()];
+    }
+  }
+  return groups;
+}
+
+Result<std::map<std::string, uint64_t>> GroupByCount(
+    PatchIterator* it, const std::string& key) {
+  auto batched = TupleToBatch(it);
+  return GroupByCount(batched.get(), key);
+}
+
+Result<std::map<std::string, double>> GroupByMin(
+    BatchIterator* it, const std::string& group_key,
+    const std::string& value_key) {
+  std::map<std::string, double> groups;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto batch, it->Next());
+    if (!batch.has_value()) break;
+    for (const PatchTuple& tuple : batch->tuples) {
+      if (tuple.empty()) continue;
+      const Patch& p = tuple[0];
+      const MetaValue& g = p.meta().Get(group_key);
+      auto num = p.meta().Get(value_key).AsNumeric();
+      if (!num.ok()) continue;  // missing/typed-out values don't aggregate
+      auto [iter, inserted] =
+          groups.emplace(g.ToDisplayString(), num.value());
+      if (!inserted) iter->second = std::min(iter->second, num.value());
+    }
   }
   return groups;
 }
@@ -38,20 +80,8 @@ Result<std::map<std::string, uint64_t>> GroupByCount(
 Result<std::map<std::string, double>> GroupByMin(
     PatchIterator* it, const std::string& group_key,
     const std::string& value_key) {
-  std::map<std::string, double> groups;
-  while (true) {
-    DL_ASSIGN_OR_RETURN(auto tuple, it->Next());
-    if (!tuple.has_value()) break;
-    if (tuple->empty()) continue;
-    const Patch& p = (*tuple)[0];
-    const MetaValue& g = p.meta().Get(group_key);
-    auto num = p.meta().Get(value_key).AsNumeric();
-    if (!num.ok()) continue;  // missing/typed-out values don't aggregate
-    auto [iter, inserted] =
-        groups.emplace(g.ToDisplayString(), num.value());
-    if (!inserted) iter->second = std::min(iter->second, num.value());
-  }
-  return groups;
+  auto batched = TupleToBatch(it);
+  return GroupByMin(batched.get(), group_key, value_key);
 }
 
 namespace {
@@ -77,9 +107,29 @@ class UnionFind {
 
 }  // namespace
 
+namespace {
+
+Result<DedupResult> SimilarityDedupCore(PatchCollection patches,
+                                        const DedupOptions& options);
+
+}  // namespace
+
 Result<DedupResult> SimilarityDedup(PatchIterator* it,
                                     const DedupOptions& options) {
   DL_ASSIGN_OR_RETURN(PatchCollection patches, CollectPatches(it));
+  return SimilarityDedupCore(std::move(patches), options);
+}
+
+Result<DedupResult> SimilarityDedup(BatchIterator* it,
+                                    const DedupOptions& options) {
+  DL_ASSIGN_OR_RETURN(PatchCollection patches, CollectBatchPatches(it));
+  return SimilarityDedupCore(std::move(patches), options);
+}
+
+namespace {
+
+Result<DedupResult> SimilarityDedupCore(PatchCollection patches,
+                                        const DedupOptions& options) {
   DedupResult result;
   if (patches.empty()) return result;
 
@@ -152,15 +202,32 @@ Result<DedupResult> SimilarityDedup(PatchIterator* it,
   return result;
 }
 
-Result<std::vector<PatchTuple>> SortByKey(PatchIterator* it,
-                                          const std::string& key) {
-  DL_ASSIGN_OR_RETURN(std::vector<PatchTuple> tuples, Collect(it));
+}  // namespace
+
+namespace {
+
+std::vector<PatchTuple> SortTuplesByKey(std::vector<PatchTuple> tuples,
+                                        const std::string& key) {
   std::stable_sort(tuples.begin(), tuples.end(),
                    [&key](const PatchTuple& a, const PatchTuple& b) {
                      if (a.empty() || b.empty()) return b.empty() < a.empty();
                      return a[0].meta().Get(key) < b[0].meta().Get(key);
                    });
   return tuples;
+}
+
+}  // namespace
+
+Result<std::vector<PatchTuple>> SortByKey(PatchIterator* it,
+                                          const std::string& key) {
+  DL_ASSIGN_OR_RETURN(std::vector<PatchTuple> tuples, Collect(it));
+  return SortTuplesByKey(std::move(tuples), key);
+}
+
+Result<std::vector<PatchTuple>> SortByKey(BatchIterator* it,
+                                          const std::string& key) {
+  DL_ASSIGN_OR_RETURN(std::vector<PatchTuple> tuples, CollectBatches(it));
+  return SortTuplesByKey(std::move(tuples), key);
 }
 
 }  // namespace deeplens

@@ -8,23 +8,34 @@
 #include <string>
 #include <vector>
 
+#include "exec/batch.h"
 #include "exec/operators.h"
 #include "nn/device.h"
 
 namespace deeplens {
 
+// Each aggregate has a batch-at-a-time core (BatchIterator overload); the
+// tuple-iterator form batches its input through the vectorized engine.
+
 /// Counts tuples.
 Result<uint64_t> CountAll(PatchIterator* it);
+Result<uint64_t> CountAll(BatchIterator* it);
 
 /// Count of distinct values of `key` (exact, hash-based).
 Result<uint64_t> CountDistinctKey(PatchIterator* it, const std::string& key);
+Result<uint64_t> CountDistinctKey(BatchIterator* it, const std::string& key);
 
 /// Group-by `key` → count, ordered by key.
 Result<std::map<std::string, uint64_t>> GroupByCount(PatchIterator* it,
                                                      const std::string& key);
+Result<std::map<std::string, uint64_t>> GroupByCount(BatchIterator* it,
+                                                     const std::string& key);
 
 /// Per-group minimum of a numeric attribute (e.g. first frame per label).
 Result<std::map<std::string, double>> GroupByMin(PatchIterator* it,
+                                                 const std::string& group_key,
+                                                 const std::string& value_key);
+Result<std::map<std::string, double>> GroupByMin(BatchIterator* it,
                                                  const std::string& group_key,
                                                  const std::string& value_key);
 
@@ -53,9 +64,13 @@ struct DedupResult {
 /// Collapses near-duplicates into clusters (q4's distinct qualifier).
 Result<DedupResult> SimilarityDedup(PatchIterator* it,
                                     const DedupOptions& options);
+Result<DedupResult> SimilarityDedup(BatchIterator* it,
+                                    const DedupOptions& options);
 
 /// Sorts a materialized tuple stream by a metadata key (ascending).
 Result<std::vector<PatchTuple>> SortByKey(PatchIterator* it,
+                                          const std::string& key);
+Result<std::vector<PatchTuple>> SortByKey(BatchIterator* it,
                                           const std::string& key);
 
 }  // namespace deeplens

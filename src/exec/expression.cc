@@ -14,6 +14,43 @@ Result<bool> Expr::EvalBool(const PatchTuple& tuple) const {
                            ToString());
 }
 
+Status Expr::EvalBatch(const PatchTuple* rows, size_t n,
+                       MetaValue* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    DL_ASSIGN_OR_RETURN(out[i], Eval(rows[i]));
+  }
+  return Status::OK();
+}
+
+Status Expr::EvalBoolBatch(const PatchTuple* rows, size_t n,
+                           uint8_t* out) const {
+  std::vector<MetaValue> scratch(n);
+  const Status st = EvalBatch(rows, n, scratch.data());
+  if (!st.ok()) {
+    // EvalBatch stopped at the first row whose Eval failed — but a row
+    // before it may have produced a non-bool value, and the scalar
+    // EvalBool loop would surface *that* TypeError first. Re-run
+    // row-at-a-time so the earliest failing row wins either way.
+    for (size_t i = 0; i < n; ++i) {
+      DL_ASSIGN_OR_RETURN(bool pass, EvalBool(rows[i]));
+      out[i] = pass ? 1 : 0;
+    }
+    return st;  // every row passed scalar eval: report the batch error
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const MetaValue& v = scratch[i];
+    if (v.is_null()) {
+      out[i] = 0;
+    } else if (v.type() == ValueType::kBool) {
+      out[i] = v.AsBool().value() ? 1 : 0;
+    } else {
+      return Status::TypeError("predicate did not evaluate to bool: " +
+                               ToString());
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 
 Status CheckSlot(size_t slot, const PatchTuple& tuple) {
@@ -58,6 +95,7 @@ class LitExpr : public Expr {
   explicit LitExpr(MetaValue v) : v_(std::move(v)) {}
   Result<MetaValue> Eval(const PatchTuple&) const override { return v_; }
   std::string ToString() const override { return v_.ToDisplayString(); }
+  const MetaValue& value() const { return v_; }
 
  private:
   MetaValue v_;
@@ -141,6 +179,45 @@ class CmpExpr : public Expr {
         attr->slot() < schemas.size()) {
       DL_ASSIGN_OR_RETURN(MetaValue v, lit->Eval({}));
       return schemas[attr->slot()].ValidatePredicate(attr->key(), v);
+    }
+    return Status::OK();
+  }
+
+  Status EvalBatch(const PatchTuple* rows, size_t n,
+                   MetaValue* out) const override {
+    // Fused loop for the attr-vs-literal shape: one metadata lookup and one
+    // comparison per row, no virtual dispatch, no MetaValue temporaries.
+    const auto* attr = dynamic_cast<const AttrExpr*>(a_.get());
+    const auto* lit = dynamic_cast<const LitExpr*>(b_.get());
+    bool swapped = false;
+    if (attr == nullptr || lit == nullptr) {
+      attr = dynamic_cast<const AttrExpr*>(b_.get());
+      lit = dynamic_cast<const LitExpr*>(a_.get());
+      swapped = true;
+    }
+    if (attr == nullptr || lit == nullptr) {
+      return Expr::EvalBatch(rows, n, out);
+    }
+    const MetaValue& litv = lit->value();
+    const size_t slot = attr->slot();
+    const std::string& key = attr->key();
+    for (size_t i = 0; i < n; ++i) {
+      DL_RETURN_NOT_OK(CheckSlot(slot, rows[i]));
+      const MetaValue& v = rows[i][slot].meta().Get(key);
+      if (v.is_null() || litv.is_null()) {
+        out[i] = MetaValue();
+        continue;
+      }
+      int c = v.Compare(litv);
+      if (swapped) c = -c;
+      switch (kind_) {
+        case CmpKind::kEq: out[i] = MetaValue(c == 0); break;
+        case CmpKind::kNe: out[i] = MetaValue(c != 0); break;
+        case CmpKind::kLt: out[i] = MetaValue(c < 0); break;
+        case CmpKind::kLe: out[i] = MetaValue(c <= 0); break;
+        case CmpKind::kGt: out[i] = MetaValue(c > 0); break;
+        case CmpKind::kGe: out[i] = MetaValue(c >= 0); break;
+      }
     }
     return Status::OK();
   }
@@ -370,6 +447,117 @@ ExprPtr FeatureDistance(size_t slot_a, size_t slot_b) {
 }
 ExprPtr BoxIou(size_t slot_a, size_t slot_b) {
   return std::make_shared<BoxIouExpr>(slot_a, slot_b);
+}
+
+// --- CompiledPredicate ----------------------------------------------------
+
+namespace {
+
+// Appends `expr`'s top-level conjuncts to `out` in left-to-right order.
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  ExprPtr left, right;
+  if (expr->AsConjunction(&left, &right)) {
+    FlattenConjuncts(left, out);
+    FlattenConjuncts(right, out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+}  // namespace
+
+CompiledPredicate::CompiledPredicate(ExprPtr pred) {
+  if (!pred) return;
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  steps_.reserve(conjuncts.size());
+  for (const ExprPtr& c : conjuncts) {
+    Step step;
+    if (!c->AsAttrCmpLit(&step.op, &step.slot, &step.key, &step.value)) {
+      step.fallback = c;
+    }
+    steps_.push_back(std::move(step));
+  }
+}
+
+bool CompiledPredicate::StepPasses(const Step& step, const MetaValue& attr) {
+  if (attr.is_null() || step.value.is_null()) return false;
+  const int c = attr.Compare(step.value);
+  switch (step.op) {
+    case -2: return c < 0;
+    case -1: return c <= 0;
+    case 0: return c == 0;
+    case 1: return c >= 0;
+    case 2: return c > 0;
+  }
+  return false;
+}
+
+Status CompiledPredicate::EvalTupleRows(const PatchTuple* rows, size_t n,
+                                        uint8_t* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const PatchTuple& row = rows[i];
+    uint8_t pass = 1;
+    for (const Step& step : steps_) {
+      if (step.fallback) {
+        DL_ASSIGN_OR_RETURN(bool ok, step.fallback->EvalBool(row));
+        if (!ok) {
+          pass = 0;
+          break;
+        }
+        continue;
+      }
+      DL_RETURN_NOT_OK(CheckSlot(step.slot, row));
+      if (!StepPasses(step, row[step.slot].meta().Get(step.key))) {
+        pass = 0;
+        break;
+      }
+    }
+    out[i] = pass;
+  }
+  return Status::OK();
+}
+
+Status CompiledPredicate::EvalPatchRows(const Patch* rows, size_t n,
+                                        uint8_t* out) const {
+  PatchTuple scratch;  // materialized lazily, only for fallback conjuncts
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t pass = 1;
+    scratch.clear();
+    for (const Step& step : steps_) {
+      if (step.fallback) {
+        if (scratch.empty()) scratch.push_back(rows[i]);
+        DL_ASSIGN_OR_RETURN(bool ok, step.fallback->EvalBool(scratch));
+        if (!ok) {
+          pass = 0;
+          break;
+        }
+        continue;
+      }
+      if (step.slot != 0) {
+        return Status::OutOfRange("expression references tuple slot " +
+                                  std::to_string(step.slot) + " of 1");
+      }
+      if (!StepPasses(step, rows[i].meta().Get(step.key))) {
+        pass = 0;
+        break;
+      }
+    }
+    out[i] = pass;
+  }
+  return Status::OK();
+}
+
+Result<bool> CompiledPredicate::EvalOne(const PatchTuple& row) const {
+  uint8_t out = 0;
+  DL_RETURN_NOT_OK(EvalTupleRows(&row, 1, &out));
+  return out != 0;
+}
+
+Result<bool> CompiledPredicate::EvalOnePatch(const Patch& row) const {
+  uint8_t out = 0;
+  DL_RETURN_NOT_OK(EvalPatchRows(&row, 1, &out));
+  return out != 0;
 }
 
 }  // namespace deeplens

@@ -25,6 +25,17 @@ class Expr {
   virtual Result<MetaValue> Eval(const PatchTuple& tuple) const = 0;
   virtual std::string ToString() const = 0;
 
+  /// Batch entry point: fills out[i] = Eval(rows[i]) for i < n, stopping at
+  /// the first row that errors. The default loops over Eval; comparison
+  /// nodes override it with fused loops that skip per-tuple virtual
+  /// dispatch and MetaValue temporaries for attr-vs-literal forms.
+  virtual Status EvalBatch(const PatchTuple* rows, size_t n,
+                           MetaValue* out) const;
+
+  /// Batch predicate evaluation, row-wise identical to EvalBool (null →
+  /// false, non-bool → TypeError). out[i] is 1 for passing rows, else 0.
+  Status EvalBoolBatch(const PatchTuple* rows, size_t n, uint8_t* out) const;
+
   /// Static type/domain validation against per-slot schemas (paper §4.2).
   virtual Status Validate(const std::vector<PatchSchema>& schemas) const {
     (void)schemas;
@@ -92,5 +103,57 @@ ExprPtr MulE(ExprPtr a, ExprPtr b);
 ExprPtr FeatureDistance(size_t slot_a, size_t slot_b);
 /// IoU between the bounding boxes of two tuple slots.
 ExprPtr BoxIou(size_t slot_a, size_t slot_b);
+
+// --- Batch predicate compilation ----------------------------------------
+
+/// \brief A predicate lowered to a flat conjunct list for batch execution.
+///
+/// Attr-vs-literal comparisons (the planner-sargable AsAttrCmpLit shape)
+/// are evaluated directly against the metadata dictionaries — no virtual
+/// dispatch, no MetaValue temporaries per row. Conjuncts that don't match
+/// that shape keep their expression tree and are evaluated per row.
+/// Conjuncts preserve their original left-to-right order, so short-circuit
+/// behaviour — including which error surfaces first — matches
+/// Expr::EvalBool exactly.
+///
+/// Compiled predicates are immutable after construction and safe to share
+/// across threads (the morsel driver evaluates one per worker).
+class CompiledPredicate {
+ public:
+  /// Always-true predicate (no-op filter).
+  CompiledPredicate() = default;
+  /// Compiles `pred`; a null pred means always-true.
+  explicit CompiledPredicate(ExprPtr pred);
+
+  bool always_true() const { return steps_.empty(); }
+
+  /// Row-wise evaluation over tuples: out[i] = 1 iff rows[i] passes.
+  Status EvalTupleRows(const PatchTuple* rows, size_t n, uint8_t* out) const;
+
+  /// Row-wise evaluation over bare patches treated as 1-tuples, without
+  /// materializing the tuples (late materialization for scans). Rows
+  /// rejected by a fast conjunct are never copied.
+  Status EvalPatchRows(const Patch* rows, size_t n, uint8_t* out) const;
+
+  /// Single-row conveniences.
+  Result<bool> EvalOne(const PatchTuple& row) const;
+  Result<bool> EvalOnePatch(const Patch& row) const;
+
+ private:
+  struct Step {
+    // Fast conjunct: attr(slot, key) <op> value with op one of
+    // -2 '<', -1 '<=', 0 '==', 1 '>=', 2 '>'.
+    int op = 0;
+    size_t slot = 0;
+    std::string key;
+    MetaValue value;
+    // Non-null → this conjunct is tree-evaluated instead.
+    ExprPtr fallback;
+  };
+
+  static bool StepPasses(const Step& step, const MetaValue& attr);
+
+  std::vector<Step> steps_;  // empty = always true
+};
 
 }  // namespace deeplens

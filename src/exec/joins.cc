@@ -10,21 +10,12 @@ namespace deeplens {
 
 namespace {
 
-Result<PatchCollection> Materialize(PatchIterator* it) {
-  return CollectPatches(it);
-}
-
 PatchTuple Concat(const Patch& a, const Patch& b) {
   PatchTuple t;
   t.reserve(2);
   t.push_back(a);
   t.push_back(b);
   return t;
-}
-
-Result<bool> PassesResidual(const ExprPtr& residual, const PatchTuple& t) {
-  if (!residual) return true;
-  return residual->EvalBool(t);
 }
 
 // Gathers the feature matrix of a collection; fails if any patch lacks
@@ -48,24 +39,59 @@ Result<size_t> FeatureDim(const PatchCollection& patches) {
   return dim;
 }
 
+// Accumulates candidate pair tuples and flushes them through a compiled
+// predicate batch-at-a-time, keeping only passing tuples in `out`.
+class PairBatcher {
+ public:
+  PairBatcher(const CompiledPredicate* predicate,
+              std::vector<PatchTuple>* out)
+      : predicate_(predicate), out_(out) {}
+
+  Status Add(PatchTuple tuple) {
+    pending_.push_back(std::move(tuple));
+    if (pending_.size() >= kDefaultBatchSize) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (pending_.empty()) return Status::OK();
+    const size_t n = pending_.size();
+    selection_.resize(n);
+    DL_RETURN_NOT_OK(
+        predicate_->EvalTupleRows(pending_.data(), n, selection_.data()));
+    for (size_t i = 0; i < n; ++i) {
+      if (selection_[i]) out_->push_back(std::move(pending_[i]));
+    }
+    pending_.clear();
+    return Status::OK();
+  }
+
+ private:
+  const CompiledPredicate* predicate_;
+  std::vector<PatchTuple>* out_;
+  std::vector<PatchTuple> pending_;
+  std::vector<uint8_t> selection_;
+};
+
 }  // namespace
 
-Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
-                                               PatchIterator* right,
+// --- Nested-loop ------------------------------------------------------------
+
+Result<std::vector<PatchTuple>> NestedLoopJoin(PatchCollection lhs,
+                                               PatchCollection rhs,
                                                const ExprPtr& predicate,
                                                JoinStats* stats) {
-  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
-  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+  const CompiledPredicate compiled(predicate);
   std::vector<PatchTuple> out;
+  PairBatcher batcher(&compiled, &out);
   uint64_t examined = 0;
   for (const Patch& a : lhs) {
     for (const Patch& b : rhs) {
       ++examined;
-      PatchTuple t = Concat(a, b);
-      DL_ASSIGN_OR_RETURN(bool pass, predicate->EvalBool(t));
-      if (pass) out.push_back(std::move(t));
+      DL_RETURN_NOT_OK(batcher.Add(Concat(a, b)));
     }
   }
+  DL_RETURN_NOT_OK(batcher.Flush());
   if (stats != nullptr) {
     stats->pairs_examined = examined;
     stats->tuples_emitted = out.size();
@@ -73,12 +99,31 @@ Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
   return out;
 }
 
-Result<std::vector<PatchTuple>> HashEqualityJoin(
-    PatchIterator* left, PatchIterator* right, const std::string& key,
-    const ExprPtr& residual, JoinStats* stats) {
-  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
-  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
+Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
+                                               PatchIterator* right,
+                                               const ExprPtr& predicate,
+                                               JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectPatches(right));
+  return NestedLoopJoin(std::move(lhs), std::move(rhs), predicate, stats);
+}
 
+Result<std::vector<PatchTuple>> NestedLoopJoin(BatchIterator* left,
+                                               BatchIterator* right,
+                                               const ExprPtr& predicate,
+                                               JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectBatchPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectBatchPatches(right));
+  return NestedLoopJoin(std::move(lhs), std::move(rhs), predicate, stats);
+}
+
+// --- Hash equality ----------------------------------------------------------
+
+Result<std::vector<PatchTuple>> HashEqualityJoin(PatchCollection lhs,
+                                                 PatchCollection rhs,
+                                                 const std::string& key,
+                                                 const ExprPtr& residual,
+                                                 JoinStats* stats) {
   Stopwatch build_timer;
   HashIndex index;
   for (size_t i = 0; i < rhs.size(); ++i) {
@@ -87,7 +132,9 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(
   }
   const double build_ms = build_timer.ElapsedMillis();
 
+  const CompiledPredicate compiled(residual);
   std::vector<PatchTuple> out;
+  PairBatcher batcher(&compiled, &out);
   uint64_t examined = 0;
   std::vector<RowId> matches;
   for (const Patch& a : lhs) {
@@ -95,11 +142,10 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(
     index.Lookup(Slice(a.meta().Get(key).ToIndexKey()), &matches);
     for (RowId r : matches) {
       ++examined;
-      PatchTuple t = Concat(a, rhs[static_cast<size_t>(r)]);
-      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
-      if (pass) out.push_back(std::move(t));
+      DL_RETURN_NOT_OK(batcher.Add(Concat(a, rhs[static_cast<size_t>(r)])));
     }
   }
+  DL_RETURN_NOT_OK(batcher.Flush());
   if (stats != nullptr) {
     stats->pairs_examined = examined;
     stats->tuples_emitted = out.size();
@@ -108,13 +154,30 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(
   return out;
 }
 
+Result<std::vector<PatchTuple>> HashEqualityJoin(
+    PatchIterator* left, PatchIterator* right, const std::string& key,
+    const ExprPtr& residual, JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectPatches(right));
+  return HashEqualityJoin(std::move(lhs), std::move(rhs), key, residual,
+                          stats);
+}
+
+Result<std::vector<PatchTuple>> HashEqualityJoin(
+    BatchIterator* left, BatchIterator* right, const std::string& key,
+    const ExprPtr& residual, JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectBatchPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectBatchPatches(right));
+  return HashEqualityJoin(std::move(lhs), std::move(rhs), key, residual,
+                          stats);
+}
+
+// --- Ball-tree similarity ---------------------------------------------------
+
 Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
-    PatchIterator* left, PatchIterator* right,
+    PatchCollection lhs, PatchCollection rhs,
     const SimilarityJoinOptions& options, const ExprPtr& residual,
     JoinStats* stats) {
-  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
-  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
-
   // Index the smaller relation (paper §5), probe with the other; emitted
   // tuples always keep (left, right) order.
   const bool index_right =
@@ -139,7 +202,9 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
   DL_RETURN_NOT_OK(tree.Build(std::move(points), dim, {}));
   const double build_ms = build_timer.ElapsedMillis();
 
+  const CompiledPredicate compiled(residual);
   std::vector<PatchTuple> out;
+  PairBatcher batcher(&compiled, &out);
   std::vector<RowId> matches;
   for (const Patch& probe : probes) {
     matches.clear();
@@ -148,11 +213,11 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
     for (RowId r : matches) {
       const Patch& hit = indexed[static_cast<size_t>(r)];
       if (options.skip_identical_ids && probe.id() == hit.id()) continue;
-      PatchTuple t = index_right ? Concat(probe, hit) : Concat(hit, probe);
-      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
-      if (pass) out.push_back(std::move(t));
+      DL_RETURN_NOT_OK(batcher.Add(index_right ? Concat(probe, hit)
+                                               : Concat(hit, probe)));
     }
   }
+  DL_RETURN_NOT_OK(batcher.Flush());
   if (stats != nullptr) {
     stats->pairs_examined = tree.distance_evals();
     stats->tuples_emitted = out.size();
@@ -161,11 +226,31 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
   return out;
 }
 
+Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
+    PatchIterator* left, PatchIterator* right,
+    const SimilarityJoinOptions& options, const ExprPtr& residual,
+    JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectPatches(right));
+  return BallTreeSimilarityJoin(std::move(lhs), std::move(rhs), options,
+                                residual, stats);
+}
+
+Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
+    BatchIterator* left, BatchIterator* right,
+    const SimilarityJoinOptions& options, const ExprPtr& residual,
+    JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectBatchPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectBatchPatches(right));
+  return BallTreeSimilarityJoin(std::move(lhs), std::move(rhs), options,
+                                residual, stats);
+}
+
+// --- All-pairs (device kernel) ----------------------------------------------
+
 Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
-    PatchIterator* left, PatchIterator* right, float max_distance,
+    PatchCollection lhs, PatchCollection rhs, float max_distance,
     nn::Device* device, const ExprPtr& residual, JoinStats* stats) {
-  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
-  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
   if (lhs.empty() || rhs.empty()) return std::vector<PatchTuple>{};
 
   DL_ASSIGN_OR_RETURN(size_t dim, FeatureDim(lhs));
@@ -190,16 +275,17 @@ Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
                             d2.data());
 
   const float threshold2 = max_distance * max_distance;
+  const CompiledPredicate compiled(residual);
   std::vector<PatchTuple> out;
+  PairBatcher batcher(&compiled, &out);
   for (size_t i = 0; i < lhs.size(); ++i) {
     for (size_t j = 0; j < rhs.size(); ++j) {
       if (d2[i * rhs.size() + j] > threshold2) continue;
       if (lhs[i].id() == rhs[j].id()) continue;
-      PatchTuple t = Concat(lhs[i], rhs[j]);
-      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
-      if (pass) out.push_back(std::move(t));
+      DL_RETURN_NOT_OK(batcher.Add(Concat(lhs[i], rhs[j])));
     }
   }
+  DL_RETURN_NOT_OK(batcher.Flush());
   if (stats != nullptr) {
     stats->pairs_examined = lhs.size() * rhs.size();
     stats->tuples_emitted = out.size();
@@ -207,13 +293,30 @@ Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
   return out;
 }
 
-Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchIterator* left,
-                                                 PatchIterator* right,
+Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
+    PatchIterator* left, PatchIterator* right, float max_distance,
+    nn::Device* device, const ExprPtr& residual, JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectPatches(right));
+  return AllPairsSimilarityJoin(std::move(lhs), std::move(rhs), max_distance,
+                                device, residual, stats);
+}
+
+Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
+    BatchIterator* left, BatchIterator* right, float max_distance,
+    nn::Device* device, const ExprPtr& residual, JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectBatchPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectBatchPatches(right));
+  return AllPairsSimilarityJoin(std::move(lhs), std::move(rhs), max_distance,
+                                device, residual, stats);
+}
+
+// --- R-tree spatial ---------------------------------------------------------
+
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchCollection lhs,
+                                                 PatchCollection rhs,
                                                  const ExprPtr& residual,
                                                  JoinStats* stats) {
-  DL_ASSIGN_OR_RETURN(PatchCollection lhs, Materialize(left));
-  DL_ASSIGN_OR_RETURN(PatchCollection rhs, Materialize(right));
-
   Stopwatch build_timer;
   RTree tree;
   for (size_t i = 0; i < rhs.size(); ++i) {
@@ -224,7 +327,9 @@ Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchIterator* left,
   }
   const double build_ms = build_timer.ElapsedMillis();
 
+  const CompiledPredicate compiled(residual);
   std::vector<PatchTuple> out;
+  PairBatcher batcher(&compiled, &out);
   uint64_t examined = 0;
   std::vector<RowId> matches;
   for (const Patch& a : lhs) {
@@ -236,17 +341,34 @@ Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchIterator* left,
         &matches);
     for (RowId r : matches) {
       ++examined;
-      PatchTuple t = Concat(a, rhs[static_cast<size_t>(r)]);
-      DL_ASSIGN_OR_RETURN(bool pass, PassesResidual(residual, t));
-      if (pass) out.push_back(std::move(t));
+      DL_RETURN_NOT_OK(batcher.Add(Concat(a, rhs[static_cast<size_t>(r)])));
     }
   }
+  DL_RETURN_NOT_OK(batcher.Flush());
   if (stats != nullptr) {
     stats->pairs_examined = examined;
     stats->tuples_emitted = out.size();
     stats->index_build_millis = build_ms;
   }
   return out;
+}
+
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchIterator* left,
+                                                 PatchIterator* right,
+                                                 const ExprPtr& residual,
+                                                 JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectPatches(right));
+  return RTreeSpatialJoin(std::move(lhs), std::move(rhs), residual, stats);
+}
+
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(BatchIterator* left,
+                                                 BatchIterator* right,
+                                                 const ExprPtr& residual,
+                                                 JoinStats* stats) {
+  DL_ASSIGN_OR_RETURN(PatchCollection lhs, CollectBatchPatches(left));
+  DL_ASSIGN_OR_RETURN(PatchCollection rhs, CollectBatchPatches(right));
+  return RTreeSpatialJoin(std::move(lhs), std::move(rhs), residual, stats);
 }
 
 }  // namespace deeplens

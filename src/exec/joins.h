@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "exec/batch.h"
 #include "exec/operators.h"
 #include "index/balltree.h"
 #include "index/hash_index.h"
@@ -22,11 +23,25 @@ struct JoinStats {
   double index_build_millis = 0.0;
 };
 
+// Every join materializes both sides, so each comes in three flavours
+// sharing one batch-at-a-time core: tuple-iterator sources (legacy API),
+// batch-iterator sources, and pre-materialized collections. Pair
+// predicates/residuals are evaluated through CompiledPredicate, batch-wise
+// where the join examines pairs in bulk.
+
 /// \brief Nested-loop θ-join: every pair is tested against `predicate`.
 /// The baseline all plans are compared to (Figure 4's "no index" bars).
 /// Materializes both sides.
 Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
                                                PatchIterator* right,
+                                               const ExprPtr& predicate,
+                                               JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> NestedLoopJoin(BatchIterator* left,
+                                               BatchIterator* right,
+                                               const ExprPtr& predicate,
+                                               JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> NestedLoopJoin(PatchCollection left,
+                                               PatchCollection right,
                                                const ExprPtr& predicate,
                                                JoinStats* stats = nullptr);
 
@@ -35,6 +50,12 @@ Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
 /// filters matched pairs.
 Result<std::vector<PatchTuple>> HashEqualityJoin(
     PatchIterator* left, PatchIterator* right, const std::string& key,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> HashEqualityJoin(
+    BatchIterator* left, BatchIterator* right, const std::string& key,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> HashEqualityJoin(
+    PatchCollection left, PatchCollection right, const std::string& key,
     const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
 
 /// \brief On-the-fly Ball-Tree similarity join (paper §5 "On-The-Fly
@@ -52,6 +73,14 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
     PatchIterator* left, PatchIterator* right,
     const SimilarityJoinOptions& options, const ExprPtr& residual = nullptr,
     JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
+    BatchIterator* left, BatchIterator* right,
+    const SimilarityJoinOptions& options, const ExprPtr& residual = nullptr,
+    JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
+    PatchCollection left, PatchCollection right,
+    const SimilarityJoinOptions& options, const ExprPtr& residual = nullptr,
+    JoinStats* stats = nullptr);
 
 /// \brief All-pairs similarity join on a Device: computes the full
 /// pairwise distance matrix with the device's matching kernel (the GPU /
@@ -60,12 +89,26 @@ Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
     PatchIterator* left, PatchIterator* right, float max_distance,
     nn::Device* device, const ExprPtr& residual = nullptr,
     JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
+    BatchIterator* left, BatchIterator* right, float max_distance,
+    nn::Device* device, const ExprPtr& residual = nullptr,
+    JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
+    PatchCollection left, PatchCollection right, float max_distance,
+    nn::Device* device, const ExprPtr& residual = nullptr,
+    JoinStats* stats = nullptr);
 
 /// \brief R-Tree spatial join: emits pairs whose bounding boxes intersect
 /// (containment/intersection queries of §3.2). Builds the R-Tree over the
 /// right side.
 Result<std::vector<PatchTuple>> RTreeSpatialJoin(
     PatchIterator* left, PatchIterator* right,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(
+    BatchIterator* left, BatchIterator* right,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(
+    PatchCollection left, PatchCollection right,
     const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
 
 }  // namespace deeplens

@@ -1,6 +1,14 @@
-// Volcano-style iterators over Tuple<Patch> (paper §2.2, §5). Every
+// Tuple-at-a-time iterator API over Tuple<Patch> (paper §2.2, §5). Every
 // operator is closed algebra: patch tuples in, patch tuples out. Sources
 // wrap materialized collections or storage scans; Select/Map/Limit stream.
+//
+// Since the vectorized refactor the streaming operators returned by
+// MakeFilter/MakeMap/MakeLimit/MakeUnion/MakeProject are thin adapters over
+// the batch-at-a-time engine in exec/batch.h: tuples are gathered into
+// PatchBatches, processed batch-wise, and handed back one at a time. The
+// original single-tuple implementations remain available as MakeVolcano* —
+// they are the reference the batch engine is tested against and the
+// baseline the pipeline benchmark compares to.
 #pragma once
 
 #include <functional>
@@ -59,6 +67,21 @@ struct ProjectSpec {
   std::vector<std::string> keep_meta_keys;
 };
 PatchIteratorPtr MakeProject(PatchIteratorPtr child, ProjectSpec spec);
+
+/// Applies a projection to one patch in place (shared by the tuple and
+/// batch engines).
+void ApplyProjectSpec(const ProjectSpec& spec, Patch* patch);
+
+// --- Reference tuple-at-a-time implementations -----------------------------
+// The pre-vectorization Volcano operators: one virtual Next() per tuple,
+// no batching. Kept as the equivalence-test oracle and benchmark baseline.
+
+PatchIteratorPtr MakeVolcanoFilter(PatchIteratorPtr child, ExprPtr predicate);
+PatchIteratorPtr MakeVolcanoMap(
+    PatchIteratorPtr child, std::function<Result<PatchTuple>(PatchTuple)> fn);
+PatchIteratorPtr MakeVolcanoLimit(PatchIteratorPtr child, size_t limit);
+PatchIteratorPtr MakeVolcanoUnion(std::vector<PatchIteratorPtr> children);
+PatchIteratorPtr MakeVolcanoProject(PatchIteratorPtr child, ProjectSpec spec);
 
 // --- Drain helpers ---------------------------------------------------------
 

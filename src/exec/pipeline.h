@@ -1,0 +1,101 @@
+// Morsel-driven parallel pipeline driver (the batch engine's scheduler).
+//
+// A BatchPipeline is a compiled chain of embarrassingly-parallel stages —
+// Filter / Map / Project — that can either be bound lazily over any
+// BatchIterator (serial, streaming) or run morsel-parallel over a
+// materialized input: the input is split into contiguous morsels, each
+// morsel is processed batch-at-a-time by a ThreadPool::Global() worker, and
+// the per-morsel outputs are merged back in input order, so results are
+// deterministic regardless of scheduling.
+//
+// Filters over bare patch collections are evaluated against the source
+// rows in place (late materialization): rows the predicate rejects are
+// never copied, which is where most of the batch engine's scan speedup
+// comes from.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/batch.h"
+#include "exec/expression.h"
+#include "exec/operators.h"
+
+namespace deeplens {
+
+struct MorselOptions {
+  /// Floor for the auto-computed morsel size. Each morsel is processed as
+  /// one unit per stage (no finer sub-batching), so this only guards
+  /// against morsels too small to amortize scheduling overhead.
+  size_t batch_size = kDefaultBatchSize;
+  /// Rows per scheduled work unit; 0 = auto (≈ input / (4 × workers),
+  /// never below batch_size).
+  size_t morsel_size = 0;
+  /// Worker cap; 0 = the global pool's width, 1 = force serial.
+  size_t num_threads = 0;
+};
+
+struct PipelineStats {
+  uint64_t input_rows = 0;
+  uint64_t output_rows = 0;
+  uint64_t morsels = 0;
+  double millis = 0.0;
+};
+
+/// \brief Compiled chain of filter/map/project stages.
+///
+/// Map functions must be thread-safe: the morsel driver invokes them
+/// concurrently from pool workers. Order-sensitive operators (Limit) are
+/// deliberately not expressible here — wrap the pipeline's output instead.
+class BatchPipeline {
+ public:
+  BatchPipeline& Filter(ExprPtr predicate);
+  BatchPipeline& Map(std::function<Result<PatchTuple>(PatchTuple)> fn);
+  BatchPipeline& Project(ProjectSpec spec);
+
+  size_t num_stages() const { return stages_.size(); }
+
+  /// Lazy serial composition over an arbitrary batch source.
+  BatchIteratorPtr Bind(BatchIteratorPtr source) const;
+
+  /// Morsel-parallel execution over materialized tuple rows; the output
+  /// preserves input order (ordered merge by morsel index). Errors report
+  /// the earliest failing morsel.
+  Result<std::vector<PatchTuple>> Run(const std::vector<PatchTuple>& rows,
+                                      const MorselOptions& options = {},
+                                      PipelineStats* stats = nullptr) const;
+
+  /// Same, over bare patches treated as 1-tuple rows. A leading Filter
+  /// stage runs against `rows` in place, so rejected rows are never
+  /// copied. Every output tuple must still be a 1-tuple (maps that widen
+  /// tuples are an error on this path).
+  Result<PatchCollection> RunOnPatches(const PatchCollection& rows,
+                                       const MorselOptions& options = {},
+                                       PipelineStats* stats = nullptr) const;
+
+ private:
+  struct Stage {
+    enum class Kind { kFilter, kMap, kProject };
+    Kind kind = Kind::kFilter;
+    CompiledPredicate predicate;   // kFilter (compiled once, shared)
+    ExprPtr predicate_expr;        // kFilter (for Bind)
+    std::function<Result<PatchTuple>(PatchTuple)> map_fn;  // kMap
+    ProjectSpec project;           // kProject
+  };
+
+  // Applies stages [first_stage..] to `working` in place.
+  Status RunStagesOnTuples(std::vector<PatchTuple>* working,
+                           size_t first_stage) const;
+
+  std::vector<Stage> stages_;
+};
+
+/// Morsel-parallel predicate scan over a collection: the planner's
+/// full-scan fast path. A null predicate copies everything.
+Result<PatchCollection> ParallelSelect(const PatchCollection& rows,
+                                       const ExprPtr& predicate,
+                                       const MorselOptions& options = {},
+                                       PipelineStats* stats = nullptr);
+
+}  // namespace deeplens

@@ -416,5 +416,23 @@ TEST_F(MaterializeTest, ScanStreamsAllPatches) {
   EXPECT_EQ(Drain(scan.get()).value(), 7u);
 }
 
+TEST_F(MaterializeTest, ScanSnapshotsAtCallTimeAndOutlivesView) {
+  auto view = MaterializedView::Open(path_);
+  ASSERT_TRUE(view.ok());
+  for (PatchId id = 1; id <= 3; ++id) {
+    Patch p;
+    p.set_id(id);
+    ASSERT_TRUE((*view)->Append(p).ok());
+  }
+  auto scan = (*view)->Scan();
+  // Writes after Scan() must not leak into the snapshot, and the iterator
+  // must stay valid after the view is destroyed.
+  Patch late;
+  late.set_id(4);
+  ASSERT_TRUE((*view)->Append(late).ok());
+  view->reset();
+  EXPECT_EQ(Drain(scan.get()).value(), 3u);
+}
+
 }  // namespace
 }  // namespace deeplens

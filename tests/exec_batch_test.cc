@@ -1,0 +1,528 @@
+// Unit tests for the vectorized execution layer: batch operators must be
+// byte-identical to the legacy Volcano tuple iterators on randomized
+// inputs, the tuple<->batch adapters must preserve stream contents and
+// error ordering, and the morsel-parallel pipeline driver must be
+// deterministic (ordered merge) and equal to serial execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "exec/batch.h"
+#include "exec/expression.h"
+#include "exec/operators.h"
+#include "exec/pipeline.h"
+
+namespace deeplens {
+namespace {
+
+Patch RandomPatch(Rng* rng, PatchId id) {
+  Patch p;
+  p.set_id(id);
+  const int frameno = static_cast<int>(rng->NextInt(0, 50));
+  p.set_ref(ImgRef{"ds", frameno, kInvalidPatchId});
+  p.set_bbox(nn::BBox{static_cast<int>(rng->NextInt(0, 10)),
+                      static_cast<int>(rng->NextInt(0, 10)),
+                      static_cast<int>(rng->NextInt(11, 30)),
+                      static_cast<int>(rng->NextInt(11, 30))});
+  static const char* kLabels[] = {"car", "person", "bus", "bike"};
+  p.mutable_meta().Set(meta_keys::kLabel,
+                       kLabels[rng->NextU64Below(4)]);
+  p.mutable_meta().Set(meta_keys::kFrameNo, int64_t{frameno});
+  p.mutable_meta().Set(meta_keys::kScore, rng->NextDouble());
+  p.mutable_meta().Set(meta_keys::kPatchId, static_cast<int64_t>(id));
+  if (rng->NextBool(0.5)) {
+    std::vector<float> f(8);
+    for (auto& v : f) v = rng->NextFloat();
+    p.set_features(Tensor::FromVector(std::move(f)));
+  }
+  return p;
+}
+
+PatchCollection RandomCollection(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  PatchCollection out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(RandomPatch(&rng, static_cast<PatchId>(i + 1)));
+  }
+  return out;
+}
+
+std::string BytesOfTuple(const PatchTuple& tuple) {
+  ByteBuffer buf;
+  for (const Patch& p : tuple) p.SerializeInto(&buf);
+  const std::vector<uint8_t>& raw = buf.data();
+  return std::string(raw.begin(), raw.end());
+}
+
+// PatchTuple and PatchCollection are the same underlying type, so the two
+// stream flavours need distinct names: a vector of tuples serializes each
+// tuple, a collection serializes each patch as a 1-tuple.
+std::vector<std::string> BytesOf(const std::vector<PatchTuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const PatchTuple& t : tuples) out.push_back(BytesOfTuple(t));
+  return out;
+}
+
+std::vector<std::string> BytesOfPatches(const PatchCollection& patches) {
+  std::vector<std::string> out;
+  out.reserve(patches.size());
+  for (const Patch& p : patches) out.push_back(BytesOfTuple(PatchTuple{p}));
+  return out;
+}
+
+ExprPtr TestPredicate(int which) {
+  switch (which % 5) {
+    case 0:
+      return Eq(Attr("label"), Lit("car"));
+    case 1:
+      return Ge(Attr("score"), Lit(0.5));
+    case 2:
+      return And(Eq(Attr("label"), Lit("person")),
+                 Lt(Attr("frameno"), Lit(int64_t{25})));
+    case 3:
+      // Not index-sargable: exercises the fallback conjunct path.
+      return Or(Eq(Attr("label"), Lit("bus")), Gt(Attr("score"), Lit(0.9)));
+    default:
+      return And(Ge(Attr("frameno"), Lit(int64_t{10})),
+                 And(Le(Attr("frameno"), Lit(int64_t{40})),
+                     Ne(Attr("label"), Lit("bike"))));
+  }
+}
+
+// --- Batch operators vs. Volcano reference ---------------------------------
+
+TEST(BatchOperatorTest, FilterMatchesVolcanoOnRandomInputs) {
+  for (int round = 0; round < 5; ++round) {
+    const size_t n = 1 + (round * 997) % 3000;  // crosses batch boundaries
+    PatchCollection input = RandomCollection(100 + round, n);
+    ExprPtr pred = TestPredicate(round);
+
+    auto volcano = MakeVolcanoFilter(MakeVectorSource(input), pred);
+    auto expected = Collect(volcano.get());
+    ASSERT_TRUE(expected.ok());
+
+    auto batch = MakeBatchFilter(MakeBatchVectorSource(input), pred);
+    auto actual = CollectBatches(batch.get());
+    ASSERT_TRUE(actual.ok());
+
+    EXPECT_EQ(BytesOf(*actual), BytesOf(*expected)) << "round " << round;
+  }
+}
+
+TEST(BatchOperatorTest, MapMatchesVolcanoOnRandomInputs) {
+  auto annotate = [](PatchTuple t) -> Result<PatchTuple> {
+    t[0].mutable_meta().Set(
+        "doubled", t[0].meta().Get("frameno").AsInt().value() * 2);
+    return t;
+  };
+  PatchCollection input = RandomCollection(7, 2500);
+
+  auto volcano = MakeVolcanoMap(MakeVectorSource(input), annotate);
+  auto expected = Collect(volcano.get());
+  ASSERT_TRUE(expected.ok());
+
+  auto batch = MakeBatchMap(MakeBatchVectorSource(input), annotate);
+  auto actual = CollectBatches(batch.get());
+  ASSERT_TRUE(actual.ok());
+
+  EXPECT_EQ(BytesOf(*actual), BytesOf(*expected));
+}
+
+TEST(BatchOperatorTest, LimitMatchesVolcanoAcrossBoundaries) {
+  PatchCollection input = RandomCollection(11, 2100);
+  for (size_t limit : {size_t{0}, size_t{1}, size_t{1023}, size_t{1024},
+                       size_t{1025}, size_t{2100}, size_t{5000}}) {
+    auto volcano = MakeVolcanoLimit(MakeVectorSource(input), limit);
+    auto expected = Collect(volcano.get());
+    ASSERT_TRUE(expected.ok());
+
+    auto batch = MakeBatchLimit(MakeBatchVectorSource(input), limit);
+    auto actual = CollectBatches(batch.get());
+    ASSERT_TRUE(actual.ok());
+
+    EXPECT_EQ(BytesOf(*actual), BytesOf(*expected)) << "limit " << limit;
+  }
+}
+
+TEST(BatchOperatorTest, UnionMatchesVolcano) {
+  PatchCollection a = RandomCollection(21, 1500);
+  PatchCollection b = RandomCollection(22, 3);
+  PatchCollection c;  // empty child
+  PatchCollection d = RandomCollection(23, 1100);
+
+  std::vector<PatchIteratorPtr> tuple_children;
+  tuple_children.push_back(MakeVectorSource(a));
+  tuple_children.push_back(MakeVectorSource(b));
+  tuple_children.push_back(MakeVectorSource(c));
+  tuple_children.push_back(MakeVectorSource(d));
+  auto volcano = MakeVolcanoUnion(std::move(tuple_children));
+  auto expected = Collect(volcano.get());
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<BatchIteratorPtr> batch_children;
+  batch_children.push_back(MakeBatchVectorSource(a));
+  batch_children.push_back(MakeBatchVectorSource(b));
+  batch_children.push_back(MakeBatchVectorSource(c));
+  batch_children.push_back(MakeBatchVectorSource(d));
+  auto batch = MakeBatchUnion(std::move(batch_children));
+  auto actual = CollectBatches(batch.get());
+  ASSERT_TRUE(actual.ok());
+
+  EXPECT_EQ(BytesOf(*actual), BytesOf(*expected));
+}
+
+TEST(BatchOperatorTest, ProjectMatchesVolcano) {
+  PatchCollection input = RandomCollection(31, 1800);
+  ProjectSpec specs[3];
+  specs[0].keep_pixels = false;
+  specs[0].keep_features = false;
+  specs[1].keep_meta_keys = {"label", "score"};
+  specs[2].keep_features = false;
+  specs[2].keep_meta_keys = {"frameno"};
+
+  for (const ProjectSpec& spec : specs) {
+    auto volcano = MakeVolcanoProject(MakeVectorSource(input), spec);
+    auto expected = Collect(volcano.get());
+    ASSERT_TRUE(expected.ok());
+
+    auto batch = MakeBatchProject(MakeBatchVectorSource(input), spec);
+    auto actual = CollectBatches(batch.get());
+    ASSERT_TRUE(actual.ok());
+
+    EXPECT_EQ(BytesOf(*actual), BytesOf(*expected));
+  }
+}
+
+TEST(BatchOperatorTest, PublicTupleApiMatchesVolcanoPipeline) {
+  // MakeFilter/MakeMap now run on the batch engine; a composed pipeline
+  // must still be indistinguishable from the Volcano chain.
+  PatchCollection input = RandomCollection(41, 2700);
+  ExprPtr pred = TestPredicate(2);
+  auto annotate = [](PatchTuple t) -> Result<PatchTuple> {
+    t[0].mutable_meta().Set("seen", true);
+    return t;
+  };
+
+  auto volcano = MakeVolcanoLimit(
+      MakeVolcanoMap(MakeVolcanoFilter(MakeVectorSource(input), pred),
+                     annotate),
+      500);
+  auto expected = Collect(volcano.get());
+  ASSERT_TRUE(expected.ok());
+
+  auto modern = MakeLimit(
+      MakeMap(MakeFilter(MakeVectorSource(input), pred), annotate), 500);
+  auto actual = Collect(modern.get());
+  ASSERT_TRUE(actual.ok());
+
+  EXPECT_EQ(BytesOf(*actual), BytesOf(*expected));
+}
+
+// --- Adapters ---------------------------------------------------------------
+
+TEST(BatchAdapterTest, RoundTripPreservesStream) {
+  PatchCollection input = RandomCollection(51, 2050);
+  auto round_tripped = TupleToBatch(
+      BatchToTuple(TupleToBatch(MakeVectorSource(input), 100)), 77);
+  auto actual = CollectBatchPatches(round_tripped.get());
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(BytesOfPatches(*actual), BytesOfPatches(input));
+}
+
+TEST(BatchAdapterTest, LimitDoesNotOverPullGenerator) {
+  // The batching adapter under a limit must pull exactly `limit` tuples,
+  // like the Volcano limit did — not a full batch.
+  int pulls = 0;
+  auto gen = MakeGeneratorSource(
+      [&pulls]() -> Result<std::optional<PatchTuple>> {
+        ++pulls;
+        Patch p;
+        p.set_id(static_cast<PatchId>(pulls));
+        return std::optional<PatchTuple>(PatchTuple{std::move(p)});
+      });
+  auto limit = MakeLimit(std::move(gen), 3);
+  EXPECT_EQ(Drain(limit.get()).value(), 3u);
+  EXPECT_EQ(pulls, 3);
+}
+
+TEST(BatchAdapterTest, MidStreamErrorIsDeliveredAfterBufferedTuples) {
+  // A child erroring on tuple 4 must still deliver tuples 1-3 first, in
+  // both the batch view and the tuple view of the adapted stream.
+  int calls = 0;
+  auto make_gen = [&calls]() {
+    calls = 0;
+    return MakeGeneratorSource(
+        [&calls]() -> Result<std::optional<PatchTuple>> {
+          if (++calls >= 4) return Status::IOError("stream broke");
+          Patch p;
+          p.set_id(static_cast<PatchId>(calls));
+          return std::optional<PatchTuple>(PatchTuple{std::move(p)});
+        });
+  };
+
+  auto batched = TupleToBatch(make_gen(), 64);
+  auto first = batched->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((*first)->size(), 3u);
+  auto second = batched->Next();
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsIOError());
+  // And the stream stays terminated afterwards.
+  auto third = batched->Next();
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->has_value());
+
+  auto tuple_view = BatchToTuple(TupleToBatch(make_gen(), 64));
+  for (int i = 1; i <= 3; ++i) {
+    auto t = tuple_view->Next();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t->has_value());
+    EXPECT_EQ((**t)[0].id(), static_cast<PatchId>(i));
+  }
+  auto err = tuple_view->Next();
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsIOError());
+}
+
+TEST(BatchAdapterTest, FilterDeliversPassingTuplesBeforePredicateError) {
+  // Rows 1 and 3 pass, row 2 is filtered, row 4 makes the predicate
+  // error ("flag" holds an int). Both engines must yield [1, 3] and only
+  // then the error — and a limit satisfied by those tuples must make the
+  // whole query succeed, exactly as with the Volcano operators.
+  auto make_input = []() {
+    PatchCollection out;
+    for (int i = 1; i <= 4; ++i) {
+      Patch p;
+      p.set_id(static_cast<PatchId>(i));
+      if (i == 4) {
+        p.mutable_meta().Set("flag", int64_t{5});
+      } else {
+        p.mutable_meta().Set("flag", i != 2);
+      }
+      out.push_back(std::move(p));
+    }
+    return out;
+  };
+  ExprPtr pred = Attr("flag");
+
+  for (bool volcano : {true, false}) {
+    auto filter = volcano
+                      ? MakeVolcanoFilter(MakeVectorSource(make_input()), pred)
+                      : MakeFilter(MakeVectorSource(make_input()), pred);
+    std::vector<PatchId> seen;
+    Status error;
+    while (true) {
+      auto t = filter->Next();
+      if (!t.ok()) {
+        error = t.status();
+        break;
+      }
+      if (!t->has_value()) break;
+      seen.push_back((**t)[0].id());
+    }
+    EXPECT_EQ(seen, (std::vector<PatchId>{1, 3})) << "volcano=" << volcano;
+    EXPECT_TRUE(error.IsTypeError()) << "volcano=" << volcano;
+  }
+
+  // Limit short-circuits before the poisoned row is ever a problem.
+  auto limited = MakeLimit(MakeFilter(MakeVectorSource(make_input()), pred), 2);
+  auto rows = CollectPatches(limited.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(BatchAdapterTest, MapDeliversMappedTuplesBeforeError) {
+  PatchCollection input = RandomCollection(55, 10);
+  auto poisoned = [](PatchTuple t) -> Result<PatchTuple> {
+    if (t[0].id() == 7) return Status::Internal("poisoned");
+    return t;
+  };
+  auto map = MakeMap(MakeVectorSource(input), poisoned);
+  size_t seen = 0;
+  Status error;
+  while (true) {
+    auto t = map->Next();
+    if (!t.ok()) {
+      error = t.status();
+      break;
+    }
+    if (!t->has_value()) break;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 6u);  // ids 1-6 delivered before id 7 errors
+  EXPECT_EQ(error.code(), StatusCode::kInternal);
+}
+
+// --- EvalBatch / CompiledPredicate ------------------------------------------
+
+TEST(EvalBatchTest, MatchesScalarEvalRowWise) {
+  PatchCollection input = RandomCollection(61, 512);
+  std::vector<PatchTuple> rows;
+  for (const Patch& p : input) rows.push_back(PatchTuple{p});
+
+  for (int which = 0; which < 5; ++which) {
+    ExprPtr pred = TestPredicate(which);
+    std::vector<MetaValue> batch_out(rows.size());
+    ASSERT_TRUE(
+        pred->EvalBatch(rows.data(), rows.size(), batch_out.data()).ok());
+    std::vector<uint8_t> bool_out(rows.size());
+    ASSERT_TRUE(
+        pred->EvalBoolBatch(rows.data(), rows.size(), bool_out.data()).ok());
+
+    for (size_t i = 0; i < rows.size(); ++i) {
+      auto scalar = pred->Eval(rows[i]);
+      ASSERT_TRUE(scalar.ok());
+      EXPECT_EQ(batch_out[i].Compare(*scalar), 0) << "row " << i;
+      auto scalar_bool = pred->EvalBool(rows[i]);
+      ASSERT_TRUE(scalar_bool.ok());
+      EXPECT_EQ(bool_out[i] != 0, *scalar_bool) << "row " << i;
+    }
+  }
+}
+
+TEST(CompiledPredicateTest, MatchesEvalBoolOnTuplesAndPatches) {
+  PatchCollection input = RandomCollection(71, 800);
+  std::vector<PatchTuple> rows;
+  for (const Patch& p : input) rows.push_back(PatchTuple{p});
+
+  for (int which = 0; which < 5; ++which) {
+    ExprPtr pred = TestPredicate(which);
+    const CompiledPredicate compiled(pred);
+
+    std::vector<uint8_t> on_tuples(rows.size());
+    ASSERT_TRUE(
+        compiled.EvalTupleRows(rows.data(), rows.size(), on_tuples.data())
+            .ok());
+    std::vector<uint8_t> on_patches(input.size());
+    ASSERT_TRUE(
+        compiled.EvalPatchRows(input.data(), input.size(), on_patches.data())
+            .ok());
+
+    for (size_t i = 0; i < rows.size(); ++i) {
+      auto scalar = pred->EvalBool(rows[i]);
+      ASSERT_TRUE(scalar.ok());
+      EXPECT_EQ(on_tuples[i] != 0, *scalar) << "row " << i;
+      EXPECT_EQ(on_patches[i] != 0, *scalar) << "row " << i;
+    }
+  }
+}
+
+TEST(CompiledPredicateTest, NullPredicatePassesEverything) {
+  const CompiledPredicate compiled;
+  EXPECT_TRUE(compiled.always_true());
+  Patch p;
+  EXPECT_TRUE(compiled.EvalOnePatch(p).value());
+}
+
+// --- Morsel pipeline --------------------------------------------------------
+
+TEST(BatchPipelineTest, ParallelRunMatchesSerialAndVolcano) {
+  PatchCollection input = RandomCollection(81, 10000);
+  ExprPtr pred = TestPredicate(0);
+  auto annotate = [](PatchTuple t) -> Result<PatchTuple> {
+    t[0].mutable_meta().Set(
+        "flag", t[0].meta().Get("frameno").AsInt().value() + 1);
+    return t;
+  };
+
+  auto volcano = MakeVolcanoMap(
+      MakeVolcanoFilter(MakeVectorSource(input), pred), annotate);
+  auto expected = CollectPatches(volcano.get());
+  ASSERT_TRUE(expected.ok());
+
+  BatchPipeline pipeline;
+  pipeline.Filter(pred).Map(annotate);
+
+  // Serial (forced single thread).
+  MorselOptions serial;
+  serial.num_threads = 1;
+  auto serial_out = pipeline.RunOnPatches(input, serial);
+  ASSERT_TRUE(serial_out.ok());
+  EXPECT_EQ(BytesOfPatches(*serial_out), BytesOfPatches(*expected));
+
+  // Parallel, multiple morsel geometries: ordered merge must make every
+  // run identical to the reference regardless of scheduling.
+  for (size_t morsel_size : {size_t{0}, size_t{128}, size_t{1024},
+                             size_t{4096}, size_t{100000}}) {
+    MorselOptions options;
+    options.morsel_size = morsel_size;
+    PipelineStats stats;
+    auto out = pipeline.RunOnPatches(input, options, &stats);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(BytesOfPatches(*out), BytesOfPatches(*expected))
+        << "morsel_size " << morsel_size;
+    EXPECT_EQ(stats.input_rows, input.size());
+    EXPECT_EQ(stats.output_rows, expected->size());
+  }
+}
+
+TEST(BatchPipelineTest, RepeatedParallelRunsAreDeterministic) {
+  PatchCollection input = RandomCollection(91, 8000);
+  BatchPipeline pipeline;
+  pipeline.Filter(TestPredicate(4));
+
+  auto first = pipeline.RunOnPatches(input);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 4; ++i) {
+    auto again = pipeline.RunOnPatches(input);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(BytesOfPatches(*again), BytesOfPatches(*first)) << "run " << i;
+  }
+}
+
+TEST(BatchPipelineTest, BindComposesSameResultAsRun) {
+  PatchCollection input = RandomCollection(95, 3000);
+  ProjectSpec spec;
+  spec.keep_meta_keys = {"label"};
+  BatchPipeline pipeline;
+  pipeline.Filter(TestPredicate(1)).Project(spec);
+
+  auto run_out = pipeline.RunOnPatches(input);
+  ASSERT_TRUE(run_out.ok());
+
+  auto bound = pipeline.Bind(MakeBatchVectorSource(input));
+  auto bind_out = CollectBatchPatches(bound.get());
+  ASSERT_TRUE(bind_out.ok());
+
+  EXPECT_EQ(BytesOfPatches(*bind_out), BytesOfPatches(*run_out));
+}
+
+TEST(BatchPipelineTest, MapErrorsPropagate) {
+  PatchCollection input = RandomCollection(97, 5000);
+  BatchPipeline pipeline;
+  pipeline.Map([](PatchTuple t) -> Result<PatchTuple> {
+    if (t[0].id() == 4321) return Status::Internal("poisoned tuple");
+    return t;
+  });
+  auto out = pipeline.RunOnPatches(input);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST(ParallelSelectTest, MatchesSequentialFilter) {
+  PatchCollection input = RandomCollection(99, 6000);
+  for (int which = 0; which < 5; ++which) {
+    ExprPtr pred = TestPredicate(which);
+    auto volcano = MakeVolcanoFilter(MakeVectorSource(input), pred);
+    auto expected = CollectPatches(volcano.get());
+    ASSERT_TRUE(expected.ok());
+
+    auto actual = ParallelSelect(input, pred);
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(BytesOfPatches(*actual), BytesOfPatches(*expected)) << "pred " << which;
+  }
+  // Null predicate: identity copy.
+  auto all = ParallelSelect(input, nullptr);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(BytesOfPatches(*all), BytesOfPatches(input));
+}
+
+}  // namespace
+}  // namespace deeplens
