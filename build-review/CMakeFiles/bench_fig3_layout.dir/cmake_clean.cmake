@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_layout.dir/bench/bench_fig3_layout.cc.o"
+  "CMakeFiles/bench_fig3_layout.dir/bench/bench_fig3_layout.cc.o.d"
+  "bench_fig3_layout"
+  "bench_fig3_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_indexes.dir/bench/bench_fig4_indexes.cc.o"
+  "CMakeFiles/bench_fig4_indexes.dir/bench/bench_fig4_indexes.cc.o.d"
+  "bench_fig4_indexes"
+  "bench_fig4_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_balltree.dir/bench/bench_fig7_balltree.cc.o"
+  "CMakeFiles/bench_fig7_balltree.dir/bench/bench_fig7_balltree.cc.o.d"
+  "bench_fig7_balltree"
+  "bench_fig7_balltree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_balltree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

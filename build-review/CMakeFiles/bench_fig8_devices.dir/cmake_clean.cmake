@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_devices.dir/bench/bench_fig8_devices.cc.o"
+  "CMakeFiles/bench_fig8_devices.dir/bench/bench_fig8_devices.cc.o.d"
+  "bench_fig8_devices"
+  "bench_fig8_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pipeline_batch.dir/bench/bench_micro_pipeline_batch.cc.o"
+  "CMakeFiles/bench_micro_pipeline_batch.dir/bench/bench_micro_pipeline_batch.cc.o.d"
+  "bench_micro_pipeline_batch"
+  "bench_micro_pipeline_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pipeline_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

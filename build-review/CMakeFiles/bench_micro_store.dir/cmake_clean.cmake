@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_store.dir/bench/bench_micro_store.cc.o"
+  "CMakeFiles/bench_micro_store.dir/bench/bench_micro_store.cc.o.d"
+  "bench_micro_store"
+  "bench_micro_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_plans.dir/bench/bench_tab1_plans.cc.o"
+  "CMakeFiles/bench_tab1_plans.dir/bench/bench_tab1_plans.cc.o.d"
+  "bench_tab1_plans"
+  "bench_tab1_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

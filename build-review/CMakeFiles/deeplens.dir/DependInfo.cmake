@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/dct.cc" "CMakeFiles/deeplens.dir/src/codec/dct.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/codec/dct.cc.o.d"
+  "/root/repo/src/codec/entropy.cc" "CMakeFiles/deeplens.dir/src/codec/entropy.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/codec/entropy.cc.o.d"
+  "/root/repo/src/codec/image_codec.cc" "CMakeFiles/deeplens.dir/src/codec/image_codec.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/codec/image_codec.cc.o.d"
+  "/root/repo/src/codec/quant.cc" "CMakeFiles/deeplens.dir/src/codec/quant.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/codec/quant.cc.o.d"
+  "/root/repo/src/codec/video_codec.cc" "CMakeFiles/deeplens.dir/src/codec/video_codec.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/codec/video_codec.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "CMakeFiles/deeplens.dir/src/common/bytes.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/common/bytes.cc.o.d"
+  "/root/repo/src/common/checksum.cc" "CMakeFiles/deeplens.dir/src/common/checksum.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/common/checksum.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/deeplens.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/deeplens.dir/src/common/status.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/deeplens.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/deeplens.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/benchmark_queries.cc" "CMakeFiles/deeplens.dir/src/core/benchmark_queries.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/benchmark_queries.cc.o.d"
+  "/root/repo/src/core/database.cc" "CMakeFiles/deeplens.dir/src/core/database.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/database.cc.o.d"
+  "/root/repo/src/core/patch.cc" "CMakeFiles/deeplens.dir/src/core/patch.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/patch.cc.o.d"
+  "/root/repo/src/core/planner.cc" "CMakeFiles/deeplens.dir/src/core/planner.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/planner.cc.o.d"
+  "/root/repo/src/core/query.cc" "CMakeFiles/deeplens.dir/src/core/query.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/query.cc.o.d"
+  "/root/repo/src/core/types.cc" "CMakeFiles/deeplens.dir/src/core/types.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/types.cc.o.d"
+  "/root/repo/src/core/value.cc" "CMakeFiles/deeplens.dir/src/core/value.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/core/value.cc.o.d"
+  "/root/repo/src/etl/generators.cc" "CMakeFiles/deeplens.dir/src/etl/generators.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/etl/generators.cc.o.d"
+  "/root/repo/src/etl/materialize.cc" "CMakeFiles/deeplens.dir/src/etl/materialize.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/etl/materialize.cc.o.d"
+  "/root/repo/src/etl/transformers.cc" "CMakeFiles/deeplens.dir/src/etl/transformers.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/etl/transformers.cc.o.d"
+  "/root/repo/src/exec/aggregates.cc" "CMakeFiles/deeplens.dir/src/exec/aggregates.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/aggregates.cc.o.d"
+  "/root/repo/src/exec/batch.cc" "CMakeFiles/deeplens.dir/src/exec/batch.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/batch.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "CMakeFiles/deeplens.dir/src/exec/expression.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/expression.cc.o.d"
+  "/root/repo/src/exec/expression_patterns.cc" "CMakeFiles/deeplens.dir/src/exec/expression_patterns.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/expression_patterns.cc.o.d"
+  "/root/repo/src/exec/joins.cc" "CMakeFiles/deeplens.dir/src/exec/joins.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/joins.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "CMakeFiles/deeplens.dir/src/exec/operators.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/operators.cc.o.d"
+  "/root/repo/src/exec/pipeline.cc" "CMakeFiles/deeplens.dir/src/exec/pipeline.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/exec/pipeline.cc.o.d"
+  "/root/repo/src/index/balltree.cc" "CMakeFiles/deeplens.dir/src/index/balltree.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/balltree.cc.o.d"
+  "/root/repo/src/index/btree.cc" "CMakeFiles/deeplens.dir/src/index/btree.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/btree.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "CMakeFiles/deeplens.dir/src/index/hash_index.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/hash_index.cc.o.d"
+  "/root/repo/src/index/index.cc" "CMakeFiles/deeplens.dir/src/index/index.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/index.cc.o.d"
+  "/root/repo/src/index/lsh.cc" "CMakeFiles/deeplens.dir/src/index/lsh.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/lsh.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "CMakeFiles/deeplens.dir/src/index/rtree.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/rtree.cc.o.d"
+  "/root/repo/src/index/sorted_file_index.cc" "CMakeFiles/deeplens.dir/src/index/sorted_file_index.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/index/sorted_file_index.cc.o.d"
+  "/root/repo/src/lineage/lineage.cc" "CMakeFiles/deeplens.dir/src/lineage/lineage.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/lineage/lineage.cc.o.d"
+  "/root/repo/src/nn/device.cc" "CMakeFiles/deeplens.dir/src/nn/device.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/nn/device.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "CMakeFiles/deeplens.dir/src/nn/layers.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/nn/layers.cc.o.d"
+  "/root/repo/src/nn/models.cc" "CMakeFiles/deeplens.dir/src/nn/models.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/nn/models.cc.o.d"
+  "/root/repo/src/nn/network.cc" "CMakeFiles/deeplens.dir/src/nn/network.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/nn/network.cc.o.d"
+  "/root/repo/src/sim/accuracy.cc" "CMakeFiles/deeplens.dir/src/sim/accuracy.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/sim/accuracy.cc.o.d"
+  "/root/repo/src/sim/datasets.cc" "CMakeFiles/deeplens.dir/src/sim/datasets.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/sim/datasets.cc.o.d"
+  "/root/repo/src/sim/scene.cc" "CMakeFiles/deeplens.dir/src/sim/scene.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/sim/scene.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "CMakeFiles/deeplens.dir/src/storage/catalog.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/encoded_file.cc" "CMakeFiles/deeplens.dir/src/storage/encoded_file.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/encoded_file.cc.o.d"
+  "/root/repo/src/storage/file_io.cc" "CMakeFiles/deeplens.dir/src/storage/file_io.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/file_io.cc.o.d"
+  "/root/repo/src/storage/frame_file.cc" "CMakeFiles/deeplens.dir/src/storage/frame_file.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/frame_file.cc.o.d"
+  "/root/repo/src/storage/record_store.cc" "CMakeFiles/deeplens.dir/src/storage/record_store.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/record_store.cc.o.d"
+  "/root/repo/src/storage/segmented_file.cc" "CMakeFiles/deeplens.dir/src/storage/segmented_file.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/segmented_file.cc.o.d"
+  "/root/repo/src/storage/sorted_file.cc" "CMakeFiles/deeplens.dir/src/storage/sorted_file.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/sorted_file.cc.o.d"
+  "/root/repo/src/storage/storage_advisor.cc" "CMakeFiles/deeplens.dir/src/storage/storage_advisor.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/storage_advisor.cc.o.d"
+  "/root/repo/src/storage/video_store.cc" "CMakeFiles/deeplens.dir/src/storage/video_store.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/storage/video_store.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/deeplens.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/deeplens.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/deeplens.dir/src/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cross_camera.dir/examples/cross_camera.cc.o"
+  "CMakeFiles/example_cross_camera.dir/examples/cross_camera.cc.o.d"
+  "example_cross_camera"
+  "example_cross_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cross_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ocr_search.dir/examples/ocr_search.cc.o"
+  "CMakeFiles/example_ocr_search.dir/examples/ocr_search.cc.o.d"
+  "example_ocr_search"
+  "example_ocr_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ocr_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

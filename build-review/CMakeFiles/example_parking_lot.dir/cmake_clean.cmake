@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parking_lot.dir/examples/parking_lot.cc.o"
+  "CMakeFiles/example_parking_lot.dir/examples/parking_lot.cc.o.d"
+  "example_parking_lot"
+  "example_parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

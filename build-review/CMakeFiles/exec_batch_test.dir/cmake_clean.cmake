@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_batch_test.dir/tests/exec_batch_test.cc.o"
+  "CMakeFiles/exec_batch_test.dir/tests/exec_batch_test.cc.o.d"
+  "exec_batch_test"
+  "exec_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

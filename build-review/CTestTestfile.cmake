@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(codec_test "/root/repo/build-review/codec_test")
+set_tests_properties(codec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build-review/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build-review/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(etl_test "/root/repo/build-review/etl_test")
+set_tests_properties(etl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(exec_batch_test "/root/repo/build-review/exec_batch_test")
+set_tests_properties(exec_batch_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(exec_test "/root/repo/build-review/exec_test")
+set_tests_properties(exec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build-review/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build-review/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(lineage_test "/root/repo/build-review/lineage_test")
+set_tests_properties(lineage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build-review/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build-review/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build-review/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(tensor_test "/root/repo/build-review/tensor_test")
+set_tests_properties(tensor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("googletest-build")
