@@ -1,17 +1,23 @@
 // Microbenchmark: tuple-at-a-time Volcano pipeline vs. batch-at-a-time
-// execution vs. the morsel-parallel driver, on a filter+map pipeline over
-// a 100k-patch synthetic view. This is the speedup the vectorized refactor
-// claims; results are checked for equality across engines before timing is
-// reported.
+// execution vs. the morsel-parallel driver, on (1) a filter+map pipeline
+// over a 100k-patch synthetic view and (2) a hash join + group-by
+// aggregate, serial vs. morsel-parallel. Results are checked for equality
+// across engines before timing is reported, and all timings are emitted
+// to BENCH_pipeline.json for the perf trajectory.
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "exec/aggregates.h"
 #include "exec/batch.h"
 #include "exec/expression.h"
+#include "exec/joins.h"
 #include "exec/operators.h"
 #include "exec/pipeline.h"
 
@@ -78,6 +84,51 @@ Timing Measure(const Fn& run) {
     timing.checksum = Checksum(out);
   }
   return timing;
+}
+
+// Times a join/aggregate runner that reports (rows_out, checksum) itself.
+template <typename Fn>
+Timing MeasureCounted(const Fn& run) {
+  Timing timing;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch timer;
+    const std::pair<uint64_t, uint64_t> out = run();
+    const double ms = timer.ElapsedMillis();
+    timing.best_ms = ms < timing.best_ms ? ms : timing.best_ms;
+    timing.rows_out = out.first;
+    timing.checksum = out.second;
+  }
+  return timing;
+}
+
+struct JsonCase {
+  const char* name;
+  Timing timing;
+};
+
+void WriteJson(const std::vector<JsonCase>& cases, size_t rows,
+               size_t join_left, size_t join_right) {
+  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not open BENCH_pipeline.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_pipeline_batch\",\n");
+  std::fprintf(f, "  \"scan_rows\": %zu,\n", rows);
+  std::fprintf(f, "  \"join_rows\": [%zu, %zu],\n", join_left, join_right);
+  std::fprintf(f, "  \"workers\": %zu,\n  \"cases\": [\n",
+               ThreadPool::Global().num_threads());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ms\": %.3f, \"rows_out\": %" PRIu64
+                 "}%s\n",
+                 cases[i].name, cases[i].timing.best_ms,
+                 cases[i].timing.rows_out,
+                 i + 1 == cases.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_pipeline.json (%zu cases)\n", cases.size());
 }
 
 int Run() {
@@ -151,6 +202,88 @@ int Run() {
               tuple_t.rows_out,
               100.0 * static_cast<double>(tuple_t.rows_out) /
                   static_cast<double>(n));
+
+  // --- Join + pre-merge aggregate: serial core vs morsel-parallel ------
+  const size_t join_left = n / 2;
+  const size_t join_right = n / 8;
+  const PatchCollection left_view = SyntheticView(join_left);
+  const PatchCollection right_view = SyntheticView(join_right);
+  const ExprPtr join_residual =
+      Lt(Attr(0, meta_keys::kScore), Attr(1, meta_keys::kScore));
+
+  auto join_checksum = [](const std::vector<PatchTuple>& tuples) {
+    uint64_t sum = 0;
+    for (const PatchTuple& t : tuples) sum += t[0].id() * 31 + t[1].id();
+    return std::make_pair(static_cast<uint64_t>(tuples.size()), sum);
+  };
+  MorselOptions serial_opts;
+  serial_opts.num_threads = 1;
+  const Timing join_serial_t = MeasureCounted([&]() {
+    auto out = HashEqualityJoin(left_view, right_view, meta_keys::kFrameNo,
+                                join_residual, nullptr, serial_opts);
+    DL_CHECK_OK(out.status());
+    return join_checksum(*out);
+  });
+  const Timing join_parallel_t = MeasureCounted([&]() {
+    auto out = HashEqualityJoin(left_view, right_view, meta_keys::kFrameNo,
+                                join_residual);
+    DL_CHECK_OK(out.status());
+    return join_checksum(*out);
+  });
+
+  auto group_checksum = [](const std::map<std::string, uint64_t>& groups) {
+    uint64_t sum = 0;
+    for (const auto& [k, v] : groups) sum += k.size() * 131 + v;
+    return std::make_pair(static_cast<uint64_t>(groups.size()), sum);
+  };
+  const Timing agg_serial_t = MeasureCounted([&]() {
+    auto out = ParallelGroupByCount(view, meta_keys::kLabel, predicate,
+                                    serial_opts);
+    DL_CHECK_OK(out.status());
+    return group_checksum(*out);
+  });
+  const Timing agg_parallel_t = MeasureCounted([&]() {
+    auto out = ParallelGroupByCount(view, meta_keys::kLabel, predicate);
+    DL_CHECK_OK(out.status());
+    return group_checksum(*out);
+  });
+
+  if (join_serial_t.rows_out != join_parallel_t.rows_out ||
+      join_serial_t.checksum != join_parallel_t.checksum ||
+      agg_serial_t.rows_out != agg_parallel_t.rows_out ||
+      agg_serial_t.checksum != agg_parallel_t.checksum) {
+    std::printf("PARALLEL MISMATCH: join %" PRIu64 "/%" PRIu64
+                " vs %" PRIu64 "/%" PRIu64 ", agg %" PRIu64 "/%" PRIu64
+                " vs %" PRIu64 "/%" PRIu64 "\n",
+                join_serial_t.rows_out, join_serial_t.checksum,
+                join_parallel_t.rows_out, join_parallel_t.checksum,
+                agg_serial_t.rows_out, agg_serial_t.checksum,
+                agg_parallel_t.rows_out, agg_parallel_t.checksum);
+    return 1;
+  }
+
+  std::printf("\nhash join %zu x %zu on frameno (+score residual), "
+              "group-by over %zu rows:\n",
+              join_left, join_right, n);
+  std::printf("%-24s %10.2f %8.2fx\n", "join (serial)", join_serial_t.best_ms,
+              1.0);
+  std::printf("%-24s %10.2f %8.2fx\n", "join (parallel)",
+              join_parallel_t.best_ms,
+              join_serial_t.best_ms / join_parallel_t.best_ms);
+  std::printf("%-24s %10.2f %8.2fx\n", "group-by (serial)",
+              agg_serial_t.best_ms, 1.0);
+  std::printf("%-24s %10.2f %8.2fx\n", "group-by (parallel)",
+              agg_parallel_t.best_ms,
+              agg_serial_t.best_ms / agg_parallel_t.best_ms);
+
+  WriteJson({{"filter_map_tuple", tuple_t},
+             {"filter_map_batch_serial", batch_t},
+             {"filter_map_batch_parallel", parallel_t},
+             {"hash_join_serial", join_serial_t},
+             {"hash_join_parallel", join_parallel_t},
+             {"group_by_serial", agg_serial_t},
+             {"group_by_parallel", agg_parallel_t}},
+            n, join_left, join_right);
 
   const double speedup = par_rate / tuple_rate;
   if (speedup < 2.0) {

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full ctest suite.
+# Tier-1 verification: configure, build, run the full ctest suite, then
+# rebuild the parallel-execution tests under ThreadSanitizer so data races
+# in the morsel-parallel paths fail the build.
 # Usage: scripts/ci.sh [build-dir]
+#   DEEPLENS_SKIP_TSAN=1 skips the (slow) sanitizer stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,5 +11,18 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-cd "$BUILD_DIR"
-ctest --output-on-failure -j"$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${DEEPLENS_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+    -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread \
+    -DDEEPLENS_BUILD_BENCHES=OFF \
+    -DDEEPLENS_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_DIR" -j"$(nproc)" \
+    --target exec_parallel_test exec_batch_test
+  (cd "$TSAN_DIR" && ctest --output-on-failure \
+    -R '^(exec_parallel_test|exec_batch_test)$')
+fi

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace deeplens {
 
@@ -58,7 +59,17 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  // DEEPLENS_NUM_THREADS overrides the pool width (1 = fully serial
+  // execution everywhere); the default keeps at least two workers so the
+  // parallel paths stay exercised even on single-core machines.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("DEEPLENS_NUM_THREADS")) {
+      const long parsed = std::atol(env);
+      if (parsed >= 1) return static_cast<size_t>(parsed);
+    }
+    return static_cast<size_t>(
+        std::max(2u, std::thread::hardware_concurrency()));
+  }());
   return pool;
 }
 

@@ -36,7 +36,9 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn, size_t grain = 1);
 
-  /// Process-wide shared pool sized to the hardware concurrency.
+  /// Process-wide shared pool sized to the hardware concurrency (minimum
+  /// 2 workers); the DEEPLENS_NUM_THREADS environment variable overrides
+  /// the width, with 1 forcing serial execution everywhere.
   static ThreadPool& Global();
 
   /// True when the calling thread is a pool worker (of any pool). Blocking

@@ -1,7 +1,9 @@
 #include "core/planner.h"
 
 #include <cmath>
+#include <unordered_set>
 
+#include "exec/aggregates.h"
 #include "exec/pipeline.h"
 
 namespace deeplens {
@@ -78,51 +80,59 @@ PlanExplanation Planner::PlanScan(const ViewCache& view,
   return plan;
 }
 
+namespace {
+
+// Fetches the candidate row ids for an index-backed plan; returns false
+// when the plan is a full scan (no index consulted).
+bool CollectIndexCandidates(const ViewCache& view, const ExprPtr& predicate,
+                            const PlanExplanation& plan,
+                            std::vector<RowId>* candidates) {
+  if (plan.path != AccessPath::kHashLookup &&
+      plan.path != AccessPath::kBTreeLookup &&
+      plan.path != AccessPath::kBTreeRange) {
+    return false;
+  }
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(predicate, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    if (plan.path == AccessPath::kHashLookup ||
+        plan.path == AccessPath::kBTreeLookup) {
+      auto eq = MatchAttrEqLit(c);
+      if (!eq.has_value() || eq->key != plan.index_key) continue;
+      const std::string key = eq->value.ToIndexKey();
+      if (plan.path == AccessPath::kHashLookup) {
+        view.hash_indexes.at(plan.index_key).Lookup(Slice(key), candidates);
+      } else {
+        view.btree_indexes.at(plan.index_key).Lookup(Slice(key), candidates);
+      }
+      return true;
+    }
+    auto range = MatchAttrRange(c);
+    if (range.has_value() && range->key == plan.index_key) {
+      const BPlusTree& tree = view.btree_indexes.at(plan.index_key);
+      const std::string lo =
+          range->lo.has_value() ? range->lo->ToIndexKey() : std::string();
+      if (range->hi.has_value()) {
+        tree.RangeScan(Slice(lo), Slice(range->hi->ToIndexKey()), candidates);
+      } else {
+        tree.ScanFrom(Slice(lo), candidates);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
                                              const ExprPtr& predicate,
                                              PlanExplanation* explanation) {
   PlanExplanation local = PlanScan(view, predicate);
 
   std::vector<RowId> candidates;
-  bool have_candidates = false;
-
-  if (local.path == AccessPath::kHashLookup ||
-      local.path == AccessPath::kBTreeLookup ||
-      local.path == AccessPath::kBTreeRange) {
-    std::vector<ExprPtr> conjuncts;
-    CollectConjuncts(predicate, &conjuncts);
-    for (const ExprPtr& c : conjuncts) {
-      if (local.path == AccessPath::kHashLookup ||
-          local.path == AccessPath::kBTreeLookup) {
-        auto eq = MatchAttrEqLit(c);
-        if (!eq.has_value() || eq->key != local.index_key) continue;
-        const std::string key = eq->value.ToIndexKey();
-        if (local.path == AccessPath::kHashLookup) {
-          view.hash_indexes.at(local.index_key)
-              .Lookup(Slice(key), &candidates);
-        } else {
-          view.btree_indexes.at(local.index_key)
-              .Lookup(Slice(key), &candidates);
-        }
-        have_candidates = true;
-        break;
-      }
-      auto range = MatchAttrRange(c);
-      if (range.has_value() && range->key == local.index_key) {
-        const BPlusTree& tree = view.btree_indexes.at(local.index_key);
-        const std::string lo =
-            range->lo.has_value() ? range->lo->ToIndexKey() : std::string();
-        if (range->hi.has_value()) {
-          tree.RangeScan(Slice(lo), Slice(range->hi->ToIndexKey()),
-                         &candidates);
-        } else {
-          tree.ScanFrom(Slice(lo), &candidates);
-        }
-        have_candidates = true;
-        break;
-      }
-    }
-  }
+  const bool have_candidates =
+      CollectIndexCandidates(view, predicate, local, &candidates);
 
   PatchCollection out;
   if (have_candidates) {
@@ -142,6 +152,94 @@ Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
   }
   if (explanation != nullptr) *explanation = local;
   return out;
+}
+
+namespace {
+
+// Shared skeleton of the aggregate scans: index-backed plans fold the
+// surviving candidates into `state` and finalize; full scans delegate to
+// a pre-merge parallel aggregate. `accumulate` is (State*, const Patch&),
+// `finalize` is State -> Result<Out>, `full_scan` is () -> Result<Out>.
+template <typename State, typename AccumulateFn, typename FinalizeFn,
+          typename FullScanFn>
+auto ExecuteAggregateScan(const ViewCache& view, const ExprPtr& predicate,
+                          PlanExplanation* explanation, State state,
+                          const AccumulateFn& accumulate,
+                          const FinalizeFn& finalize,
+                          const FullScanFn& full_scan)
+    -> decltype(full_scan()) {
+  PlanExplanation local = Planner::PlanScan(view, predicate);
+  std::vector<RowId> candidates;
+  if (CollectIndexCandidates(view, predicate, local, &candidates)) {
+    local.candidates = candidates.size();
+    const CompiledPredicate compiled(predicate);
+    for (RowId r : candidates) {
+      const Patch& p = view.patches[static_cast<size_t>(r)];
+      DL_ASSIGN_OR_RETURN(bool pass, compiled.EvalOnePatch(p));
+      if (pass) accumulate(&state, p);
+    }
+    if (explanation != nullptr) *explanation = local;
+    return finalize(std::move(state));
+  }
+  local.candidates = view.patches.size();
+  if (explanation != nullptr) *explanation = local;
+  return full_scan();
+}
+
+}  // namespace
+
+Result<uint64_t> Planner::ExecuteScanCount(const ViewCache& view,
+                                           const ExprPtr& predicate,
+                                           PlanExplanation* explanation) {
+  return ExecuteAggregateScan(
+      view, predicate, explanation, uint64_t{0},
+      [](uint64_t* count, const Patch&) { ++*count; },
+      [](uint64_t count) -> Result<uint64_t> { return count; },
+      [&] { return ParallelCount(view.patches, predicate); });
+}
+
+Result<uint64_t> Planner::ExecuteScanCountDistinct(
+    const ViewCache& view, const std::string& key, const ExprPtr& predicate,
+    PlanExplanation* explanation) {
+  return ExecuteAggregateScan(
+      view, predicate, explanation, std::unordered_set<std::string>{},
+      [&](std::unordered_set<std::string>* seen, const Patch& p) {
+        seen->insert(p.meta().Get(key).ToIndexKey());
+      },
+      [](std::unordered_set<std::string> seen) -> Result<uint64_t> {
+        return static_cast<uint64_t>(seen.size());
+      },
+      [&] { return ParallelCountDistinctKey(view.patches, key, predicate); });
+}
+
+Result<std::map<std::string, uint64_t>> Planner::ExecuteScanGroupCount(
+    const ViewCache& view, const std::string& key, const ExprPtr& predicate,
+    PlanExplanation* explanation) {
+  using Groups = std::map<std::string, uint64_t>;
+  return ExecuteAggregateScan(
+      view, predicate, explanation, Groups{},
+      [&](Groups* groups, const Patch& p) {
+        ++(*groups)[p.meta().Get(key).ToDisplayString()];
+      },
+      [](Groups groups) -> Result<Groups> { return groups; },
+      [&] { return ParallelGroupByCount(view.patches, key, predicate); });
+}
+
+Result<std::optional<Patch>> Planner::ExecuteScanMinBy(
+    const ViewCache& view, const std::string& order_key,
+    const ExprPtr& predicate, PlanExplanation* explanation) {
+  using Best = std::optional<Patch>;
+  return ExecuteAggregateScan(
+      view, predicate, explanation, Best{},
+      [&](Best* best, const Patch& p) {
+        if (!best->has_value() ||
+            p.meta().Get(order_key).Compare(
+                (*best)->meta().Get(order_key)) < 0) {
+          *best = p;
+        }
+      },
+      [](Best best) -> Result<Best> { return best; },
+      [&] { return ParallelMinBy(view.patches, order_key, predicate); });
 }
 
 double Planner::EstimateSimJoinCost(SimJoinStrategy strategy,

@@ -5,6 +5,8 @@
 // benchmarks can report which plan ran.
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 
 #include "core/database.h"
@@ -52,6 +54,33 @@ class Planner {
   static Result<PatchCollection> ExecuteScan(const ViewCache& view,
                                              const ExprPtr& predicate,
                                              PlanExplanation* explanation);
+
+  // --- Aggregate scans (pre-merge pushdown) -----------------------------
+  // The aggregate analogues of ExecuteScan: index-driven plans aggregate
+  // over the candidate rows directly, and full scans run the aggregation
+  // below the morsel driver's merge (exec/aggregates.h), so neither path
+  // materializes the surviving patches just to reduce them.
+
+  /// COUNT(*) of the rows matching `predicate`.
+  static Result<uint64_t> ExecuteScanCount(const ViewCache& view,
+                                           const ExprPtr& predicate,
+                                           PlanExplanation* explanation);
+
+  /// COUNT(DISTINCT key) of the rows matching `predicate`.
+  static Result<uint64_t> ExecuteScanCountDistinct(
+      const ViewCache& view, const std::string& key, const ExprPtr& predicate,
+      PlanExplanation* explanation);
+
+  /// Group-by `key` → count of the rows matching `predicate`.
+  static Result<std::map<std::string, uint64_t>> ExecuteScanGroupCount(
+      const ViewCache& view, const std::string& key, const ExprPtr& predicate,
+      PlanExplanation* explanation);
+
+  /// Earliest matching row with the minimal `order_key` value (the
+  /// Query::FirstBy argmin).
+  static Result<std::optional<Patch>> ExecuteScanMinBy(
+      const ViewCache& view, const std::string& order_key,
+      const ExprPtr& predicate, PlanExplanation* explanation);
 
   /// Cost-model choice of similarity-join strategy. The Ball-Tree wins
   /// when the indexed side is large and dimensionality moderate; dense

@@ -25,10 +25,15 @@ Query& Query::Limit(size_t limit) {
 
 ExprPtr Query::CombinedPredicate() const { return predicate_; }
 
-Result<PatchCollection> Query::Run(PlanExplanation* explanation) {
+Status Query::ValidatePredicate() const {
   if (schema_.has_value() && predicate_) {
     DL_RETURN_NOT_OK(predicate_->Validate({*schema_}));
   }
+  return Status::OK();
+}
+
+Result<PatchCollection> Query::Run(PlanExplanation* explanation) {
+  DL_RETURN_NOT_OK(ValidatePredicate());
   DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
   DL_ASSIGN_OR_RETURN(PatchCollection out,
                       Planner::ExecuteScan(*view, predicate_, explanation));
@@ -40,41 +45,67 @@ Result<PatchCollection> Query::Run(PlanExplanation* explanation) {
 
 Result<PatchCollection> Query::Execute() { return Run(nullptr); }
 
+// The aggregate terminals push the reduction into the scan
+// (Planner::ExecuteScan* → exec/aggregates.h), so full scans aggregate
+// below the morsel driver's merge and never materialize survivors. A
+// Limit() changes which rows the aggregate sees, so limited queries keep
+// the materializing path.
+
 Result<uint64_t> Query::Count() {
-  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
-  return static_cast<uint64_t>(out.size());
+  if (limit_.has_value()) {
+    DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+    return static_cast<uint64_t>(out.size());
+  }
+  DL_RETURN_NOT_OK(ValidatePredicate());
+  DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
+  return Planner::ExecuteScanCount(*view, predicate_, nullptr);
 }
 
 Result<uint64_t> Query::CountDistinct(const std::string& key) {
-  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
-  std::unordered_set<std::string> seen;
-  for (const Patch& p : out) {
-    seen.insert(p.meta().Get(key).ToIndexKey());
+  if (limit_.has_value()) {
+    DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+    std::unordered_set<std::string> seen;
+    for (const Patch& p : out) {
+      seen.insert(p.meta().Get(key).ToIndexKey());
+    }
+    return static_cast<uint64_t>(seen.size());
   }
-  return static_cast<uint64_t>(seen.size());
+  DL_RETURN_NOT_OK(ValidatePredicate());
+  DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
+  return Planner::ExecuteScanCountDistinct(*view, key, predicate_, nullptr);
 }
 
 Result<std::map<std::string, uint64_t>> Query::GroupCount(
     const std::string& key) {
-  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
-  std::map<std::string, uint64_t> groups;
-  for (const Patch& p : out) {
-    ++groups[p.meta().Get(key).ToDisplayString()];
+  if (limit_.has_value()) {
+    DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+    std::map<std::string, uint64_t> groups;
+    for (const Patch& p : out) {
+      ++groups[p.meta().Get(key).ToDisplayString()];
+    }
+    return groups;
   }
-  return groups;
+  DL_RETURN_NOT_OK(ValidatePredicate());
+  DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
+  return Planner::ExecuteScanGroupCount(*view, key, predicate_, nullptr);
 }
 
 Result<std::optional<Patch>> Query::FirstBy(const std::string& order_key) {
-  DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
-  const Patch* best = nullptr;
-  for (const Patch& p : out) {
-    if (best == nullptr ||
-        p.meta().Get(order_key) < best->meta().Get(order_key)) {
-      best = &p;
+  if (limit_.has_value()) {
+    DL_ASSIGN_OR_RETURN(PatchCollection out, Run(nullptr));
+    const Patch* best = nullptr;
+    for (const Patch& p : out) {
+      if (best == nullptr ||
+          p.meta().Get(order_key) < best->meta().Get(order_key)) {
+        best = &p;
+      }
     }
+    if (best == nullptr) return std::optional<Patch>();
+    return std::optional<Patch>(*best);
   }
-  if (best == nullptr) return std::optional<Patch>();
-  return std::optional<Patch>(*best);
+  DL_RETURN_NOT_OK(ValidatePredicate());
+  DL_ASSIGN_OR_RETURN(ViewCache * view, db_->GetView(view_));
+  return Planner::ExecuteScanMinBy(*view, order_key, predicate_, nullptr);
 }
 
 Result<PlanExplanation> Query::Explain() {

@@ -36,6 +36,9 @@ class Query {
   /// Runs the plan and returns matching patches.
   Result<PatchCollection> Execute();
 
+  // Aggregate terminals are pushed into the scan: on a full-scan plan the
+  // reduction runs below the morsel driver's ordered merge (per-worker
+  // partial aggregates), so matching patches are never materialized.
   Result<uint64_t> Count();
   Result<uint64_t> CountDistinct(const std::string& key);
   Result<std::map<std::string, uint64_t>> GroupCount(const std::string& key);
@@ -49,6 +52,7 @@ class Query {
 
  private:
   Result<PatchCollection> Run(PlanExplanation* explanation);
+  Status ValidatePredicate() const;
   ExprPtr CombinedPredicate() const;
 
   Database* db_;

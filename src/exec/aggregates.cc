@@ -1,6 +1,7 @@
 #include "exec/aggregates.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "index/balltree.h"
@@ -56,9 +57,28 @@ Result<std::map<std::string, uint64_t>> GroupByCount(
   return GroupByCount(batched.get(), key);
 }
 
-Result<std::map<std::string, double>> GroupByMin(
+namespace {
+
+// Folds `value` into `slot` under the chosen reduction.
+void FoldNumeric(NumericAgg agg, double value, bool fresh, double* slot) {
+  switch (agg) {
+    case NumericAgg::kSum:
+      *slot = fresh ? value : *slot + value;
+      break;
+    case NumericAgg::kMin:
+      *slot = fresh ? value : std::min(*slot, value);
+      break;
+    case NumericAgg::kMax:
+      *slot = fresh ? value : std::max(*slot, value);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::map<std::string, double>> GroupByNumeric(
     BatchIterator* it, const std::string& group_key,
-    const std::string& value_key) {
+    const std::string& value_key, NumericAgg agg) {
   std::map<std::string, double> groups;
   while (true) {
     DL_ASSIGN_OR_RETURN(auto batch, it->Next());
@@ -69,12 +89,24 @@ Result<std::map<std::string, double>> GroupByMin(
       const MetaValue& g = p.meta().Get(group_key);
       auto num = p.meta().Get(value_key).AsNumeric();
       if (!num.ok()) continue;  // missing/typed-out values don't aggregate
-      auto [iter, inserted] =
-          groups.emplace(g.ToDisplayString(), num.value());
-      if (!inserted) iter->second = std::min(iter->second, num.value());
+      auto [iter, inserted] = groups.emplace(g.ToDisplayString(), 0.0);
+      FoldNumeric(agg, num.value(), inserted, &iter->second);
     }
   }
   return groups;
+}
+
+Result<std::map<std::string, double>> GroupByNumeric(
+    PatchIterator* it, const std::string& group_key,
+    const std::string& value_key, NumericAgg agg) {
+  auto batched = TupleToBatch(it);
+  return GroupByNumeric(batched.get(), group_key, value_key, agg);
+}
+
+Result<std::map<std::string, double>> GroupByMin(
+    BatchIterator* it, const std::string& group_key,
+    const std::string& value_key) {
+  return GroupByNumeric(it, group_key, value_key, NumericAgg::kMin);
 }
 
 Result<std::map<std::string, double>> GroupByMin(
@@ -82,6 +114,167 @@ Result<std::map<std::string, double>> GroupByMin(
     const std::string& value_key) {
   auto batched = TupleToBatch(it);
   return GroupByMin(batched.get(), group_key, value_key);
+}
+
+Result<std::map<std::string, double>> GroupByMax(
+    BatchIterator* it, const std::string& group_key,
+    const std::string& value_key) {
+  return GroupByNumeric(it, group_key, value_key, NumericAgg::kMax);
+}
+
+Result<std::map<std::string, double>> GroupBySum(
+    BatchIterator* it, const std::string& group_key,
+    const std::string& value_key) {
+  return GroupByNumeric(it, group_key, value_key, NumericAgg::kSum);
+}
+
+// --- Pre-merge parallel aggregation ----------------------------------------
+
+namespace {
+
+// Morsel-parallel scan driver for aggregation: evaluates `predicate`
+// against [lo, hi) of the source rows in place and calls
+// update(&partials[m], row_index) for every surviving row, in row order
+// within each morsel. Partials are indexed by morsel, so callers combine
+// them deterministically in morsel order. `update` stays a deduced
+// template parameter so the per-row call inlines (it sits in the hottest
+// aggregation loop).
+template <typename Partial, typename UpdateFn>
+Result<std::vector<Partial>> AggregateMorsels(const PatchCollection& rows,
+                                              const ExprPtr& predicate,
+                                              const MorselOptions& options,
+                                              const UpdateFn& update) {
+  const CompiledPredicate compiled(predicate);
+  const MorselPlan plan = PlanMorsels(rows.size(), options);
+  std::vector<Partial> partials(plan.num_morsels);
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      rows.size(), plan, [&](size_t m, size_t lo, size_t hi) -> Status {
+        Partial* partial = &partials[m];
+        if (compiled.always_true()) {
+          for (size_t i = lo; i < hi; ++i) update(partial, i);
+          return Status::OK();
+        }
+        std::vector<uint8_t> selection(hi - lo);
+        DL_RETURN_NOT_OK(compiled.EvalPatchRows(rows.data() + lo, hi - lo,
+                                                selection.data()));
+        for (size_t i = 0; i < hi - lo; ++i) {
+          if (selection[i]) update(partial, lo + i);
+        }
+        return Status::OK();
+      }));
+  return partials;
+}
+
+}  // namespace
+
+Result<uint64_t> ParallelCount(const PatchCollection& rows,
+                               const ExprPtr& predicate,
+                               const MorselOptions& options) {
+  DL_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> partials,
+      (AggregateMorsels<uint64_t>(
+          rows, predicate, options,
+          [](uint64_t* count, size_t) { ++*count; })));
+  uint64_t total = 0;
+  for (uint64_t c : partials) total += c;
+  return total;
+}
+
+Result<uint64_t> ParallelCountDistinctKey(const PatchCollection& rows,
+                                          const std::string& key,
+                                          const ExprPtr& predicate,
+                                          const MorselOptions& options) {
+  using Partial = std::unordered_set<std::string>;
+  DL_ASSIGN_OR_RETURN(
+      std::vector<Partial> partials,
+      (AggregateMorsels<Partial>(rows, predicate, options,
+                                 [&](Partial* seen, size_t i) {
+                                   seen->insert(
+                                       rows[i].meta().Get(key).ToIndexKey());
+                                 })));
+  std::unordered_set<std::string> seen;
+  for (Partial& partial : partials) {
+    seen.merge(partial);
+  }
+  return static_cast<uint64_t>(seen.size());
+}
+
+Result<std::map<std::string, uint64_t>> ParallelGroupByCount(
+    const PatchCollection& rows, const std::string& key,
+    const ExprPtr& predicate, const MorselOptions& options) {
+  using Partial = std::unordered_map<std::string, uint64_t>;
+  DL_ASSIGN_OR_RETURN(
+      std::vector<Partial> partials,
+      (AggregateMorsels<Partial>(
+          rows, predicate, options, [&](Partial* groups, size_t i) {
+            ++(*groups)[rows[i].meta().Get(key).ToDisplayString()];
+          })));
+  std::map<std::string, uint64_t> groups;
+  for (const Partial& partial : partials) {
+    for (const auto& [group, count] : partial) groups[group] += count;
+  }
+  return groups;
+}
+
+Result<std::map<std::string, double>> ParallelGroupByNumeric(
+    const PatchCollection& rows, const std::string& group_key,
+    const std::string& value_key, NumericAgg agg, const ExprPtr& predicate,
+    const MorselOptions& options) {
+  using Partial = std::unordered_map<std::string, double>;
+  DL_ASSIGN_OR_RETURN(
+      std::vector<Partial> partials,
+      (AggregateMorsels<Partial>(
+          rows, predicate, options, [&](Partial* groups, size_t i) {
+            const Patch& p = rows[i];
+            auto num = p.meta().Get(value_key).AsNumeric();
+            if (!num.ok()) return;  // non-numeric values don't aggregate
+            auto [iter, inserted] = groups->emplace(
+                p.meta().Get(group_key).ToDisplayString(), 0.0);
+            FoldNumeric(agg, num.value(), inserted, &iter->second);
+          })));
+  std::map<std::string, double> groups;
+  for (const Partial& partial : partials) {
+    for (const auto& [group, value] : partial) {
+      auto [iter, inserted] = groups.emplace(group, 0.0);
+      FoldNumeric(agg, value, inserted, &iter->second);
+    }
+  }
+  return groups;
+}
+
+Result<std::optional<Patch>> ParallelMinBy(const PatchCollection& rows,
+                                           const std::string& order_key,
+                                           const ExprPtr& predicate,
+                                           const MorselOptions& options) {
+  struct Partial {
+    bool has = false;
+    MetaValue key;
+    size_t row = 0;
+  };
+  DL_ASSIGN_OR_RETURN(
+      std::vector<Partial> partials,
+      (AggregateMorsels<Partial>(
+          rows, predicate, options, [&](Partial* best, size_t i) {
+            const MetaValue& k = rows[i].meta().Get(order_key);
+            // Strict less keeps the earliest row per morsel; rows are
+            // visited in input order within a morsel.
+            if (!best->has || k.Compare(best->key) < 0) {
+              best->has = true;
+              best->key = k;
+              best->row = i;
+            }
+          })));
+  const Partial* best = nullptr;
+  for (const Partial& partial : partials) {
+    // Morsels are combined in index order, so on ties the earlier
+    // (lower-row) morsel wins — exactly the serial scan's answer.
+    if (!partial.has) continue;
+    if (best == nullptr || partial.key.Compare(best->key) < 0) {
+      best = &partial;
+    }
+  }
+  if (best == nullptr) return std::optional<Patch>();
+  return std::optional<Patch>(rows[best->row]);
 }
 
 namespace {

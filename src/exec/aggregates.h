@@ -5,17 +5,22 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exec/batch.h"
 #include "exec/operators.h"
+#include "exec/pipeline.h"
 #include "nn/device.h"
 
 namespace deeplens {
 
 // Each aggregate has a batch-at-a-time core (BatchIterator overload); the
 // tuple-iterator form batches its input through the vectorized engine.
+// The Parallel* family below additionally pushes predicate evaluation and
+// partial aggregation into the morsel workers ("pre-merge aggregation"),
+// so scan-fed aggregate queries never materialize intermediate survivors.
 
 /// Counts tuples.
 Result<uint64_t> CountAll(PatchIterator* it);
@@ -31,6 +36,20 @@ Result<std::map<std::string, uint64_t>> GroupByCount(PatchIterator* it,
 Result<std::map<std::string, uint64_t>> GroupByCount(BatchIterator* it,
                                                      const std::string& key);
 
+/// Which numeric reduction a group-by computes per group. Rows whose
+/// `value_key` is missing or non-numeric don't aggregate (and don't
+/// create their group).
+enum class NumericAgg { kSum, kMin, kMax };
+
+/// Group-by `group_key` → numeric reduction of `value_key`, ordered by
+/// group.
+Result<std::map<std::string, double>> GroupByNumeric(
+    BatchIterator* it, const std::string& group_key,
+    const std::string& value_key, NumericAgg agg);
+Result<std::map<std::string, double>> GroupByNumeric(
+    PatchIterator* it, const std::string& group_key,
+    const std::string& value_key, NumericAgg agg);
+
 /// Per-group minimum of a numeric attribute (e.g. first frame per label).
 Result<std::map<std::string, double>> GroupByMin(PatchIterator* it,
                                                  const std::string& group_key,
@@ -38,6 +57,58 @@ Result<std::map<std::string, double>> GroupByMin(PatchIterator* it,
 Result<std::map<std::string, double>> GroupByMin(BatchIterator* it,
                                                  const std::string& group_key,
                                                  const std::string& value_key);
+
+/// Per-group maximum / sum, same conventions as GroupByMin.
+Result<std::map<std::string, double>> GroupByMax(BatchIterator* it,
+                                                 const std::string& group_key,
+                                                 const std::string& value_key);
+Result<std::map<std::string, double>> GroupBySum(BatchIterator* it,
+                                                 const std::string& group_key,
+                                                 const std::string& value_key);
+
+// --- Pre-merge parallel aggregation (the morsel-driver fast path) ---------
+//
+// Each function evaluates `predicate` (null = keep everything) against the
+// source rows inside the morsel workers — late materialization, survivors
+// are never copied — accumulates per-morsel partials, and combines the
+// partials in morsel-index order. Count/Min/Max/GroupBy combine
+// associatively, so results are identical to a serial scan for any morsel
+// geometry. kSum adds each morsel's partial in morsel order: deterministic
+// run-to-run for a fixed geometry, exact for integer-valued doubles, but
+// floating-point sums may round differently than a serial left-to-right
+// scan.
+
+/// COUNT(*) over the rows passing `predicate`.
+Result<uint64_t> ParallelCount(const PatchCollection& rows,
+                               const ExprPtr& predicate = nullptr,
+                               const MorselOptions& options = {});
+
+/// COUNT(DISTINCT key) over the rows passing `predicate`.
+Result<uint64_t> ParallelCountDistinctKey(const PatchCollection& rows,
+                                          const std::string& key,
+                                          const ExprPtr& predicate = nullptr,
+                                          const MorselOptions& options = {});
+
+/// Group-by `key` → count over the rows passing `predicate`.
+Result<std::map<std::string, uint64_t>> ParallelGroupByCount(
+    const PatchCollection& rows, const std::string& key,
+    const ExprPtr& predicate = nullptr, const MorselOptions& options = {});
+
+/// Group-by `group_key` → numeric reduction of `value_key` over the rows
+/// passing `predicate`.
+Result<std::map<std::string, double>> ParallelGroupByNumeric(
+    const PatchCollection& rows, const std::string& group_key,
+    const std::string& value_key, NumericAgg agg,
+    const ExprPtr& predicate = nullptr, const MorselOptions& options = {});
+
+/// The earliest surviving row with the minimal `order_key` value (ties
+/// break to the earliest input row — Query::FirstBy's argmin, pushed below
+/// the merge). Missing keys compare as nulls, which order before every
+/// typed value.
+Result<std::optional<Patch>> ParallelMinBy(const PatchCollection& rows,
+                                           const std::string& order_key,
+                                           const ExprPtr& predicate = nullptr,
+                                           const MorselOptions& options = {});
 
 /// \brief Similarity dedup options. Two patches are duplicates when their
 /// feature distance is <= max_distance; dedup is single-linkage clustering

@@ -1,6 +1,7 @@
 #include "exec/joins.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
@@ -73,25 +74,96 @@ class PairBatcher {
   std::vector<uint8_t> selection_;
 };
 
+// Concatenates per-morsel outputs in morsel-index order — the ordered
+// merge restoring probe order after a parallel dispatch.
+std::vector<PatchTuple> MergePartials(
+    std::vector<std::vector<PatchTuple>>* partials) {
+  std::vector<PatchTuple> out;
+  size_t total = 0;
+  for (const auto& partial : *partials) total += partial.size();
+  out.reserve(total);
+  for (auto& partial : *partials) {
+    for (PatchTuple& t : partial) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+// Morsel-parallel probe driver shared by the join cores. `probe_row` is
+// called for every probe-side row, in row order within a morsel, and adds
+// candidate tuples to the morsel's PairBatcher (which applies the residual
+// batch-wise). Per-morsel outputs are merged in morsel order, so the
+// result is byte-identical to running the same probes serially.
+Result<std::vector<PatchTuple>> MorselProbeJoin(
+    size_t probe_rows, const CompiledPredicate& residual,
+    const MorselOptions& options, uint64_t* pairs_examined,
+    const std::function<Status(size_t, std::vector<RowId>*, PairBatcher*,
+                               uint64_t*)>& probe_row) {
+  const MorselPlan plan = PlanMorsels(probe_rows, options);
+  std::vector<std::vector<PatchTuple>> partials(plan.num_morsels);
+  std::atomic<uint64_t> examined{0};
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      probe_rows, plan, [&](size_t m, size_t lo, size_t hi) -> Status {
+        PairBatcher batcher(&residual, &partials[m]);
+        std::vector<RowId> matches;  // per-worker probe scratch
+        uint64_t local = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          DL_RETURN_NOT_OK(probe_row(i, &matches, &batcher, &local));
+        }
+        DL_RETURN_NOT_OK(batcher.Flush());
+        examined.fetch_add(local, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  if (pairs_examined != nullptr) {
+    *pairs_examined = examined.load(std::memory_order_relaxed);
+  }
+  return MergePartials(&partials);
+}
+
+// Materializes (left_row, right_row) candidate pairs as concatenated
+// tuples and applies the residual, morsel-parallel over the pair list with
+// ordered merge. Used by join paths that cannot emit during the probe
+// (e.g. a hash join that probed with the right side and re-sorted pairs
+// into canonical left-major order).
+Result<std::vector<PatchTuple>> EmitPairsParallel(
+    const PatchCollection& lhs, const PatchCollection& rhs,
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const CompiledPredicate& residual, const MorselOptions& options) {
+  const MorselPlan plan = PlanMorsels(pairs.size(), options);
+  std::vector<std::vector<PatchTuple>> partials(plan.num_morsels);
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      pairs.size(), plan, [&](size_t m, size_t lo, size_t hi) -> Status {
+        PairBatcher batcher(&residual, &partials[m]);
+        for (size_t i = lo; i < hi; ++i) {
+          DL_RETURN_NOT_OK(batcher.Add(
+              Concat(lhs[pairs[i].first], rhs[pairs[i].second])));
+        }
+        return batcher.Flush();
+      }));
+  return MergePartials(&partials);
+}
+
 }  // namespace
 
 // --- Nested-loop ------------------------------------------------------------
 
-Result<std::vector<PatchTuple>> NestedLoopJoin(PatchCollection lhs,
-                                               PatchCollection rhs,
+Result<std::vector<PatchTuple>> NestedLoopJoin(const PatchCollection& lhs,
+                                               const PatchCollection& rhs,
                                                const ExprPtr& predicate,
-                                               JoinStats* stats) {
+                                               JoinStats* stats,
+                                               const MorselOptions& options) {
   const CompiledPredicate compiled(predicate);
-  std::vector<PatchTuple> out;
-  PairBatcher batcher(&compiled, &out);
   uint64_t examined = 0;
-  for (const Patch& a : lhs) {
-    for (const Patch& b : rhs) {
-      ++examined;
-      DL_RETURN_NOT_OK(batcher.Add(Concat(a, b)));
-    }
-  }
-  DL_RETURN_NOT_OK(batcher.Flush());
+  DL_ASSIGN_OR_RETURN(
+      std::vector<PatchTuple> out,
+      MorselProbeJoin(lhs.size(), compiled, options, &examined,
+                      [&](size_t i, std::vector<RowId>*, PairBatcher* batcher,
+                          uint64_t* local) -> Status {
+                        for (const Patch& b : rhs) {
+                          ++*local;
+                          DL_RETURN_NOT_OK(batcher->Add(Concat(lhs[i], b)));
+                        }
+                        return Status::OK();
+                      }));
   if (stats != nullptr) {
     stats->pairs_examined = examined;
     stats->tuples_emitted = out.size();
@@ -119,33 +191,82 @@ Result<std::vector<PatchTuple>> NestedLoopJoin(BatchIterator* left,
 
 // --- Hash equality ----------------------------------------------------------
 
-Result<std::vector<PatchTuple>> HashEqualityJoin(PatchCollection lhs,
-                                                 PatchCollection rhs,
+Result<std::vector<PatchTuple>> HashEqualityJoin(const PatchCollection& lhs,
+                                                 const PatchCollection& rhs,
                                                  const std::string& key,
                                                  const ExprPtr& residual,
-                                                 JoinStats* stats) {
+                                                 JoinStats* stats,
+                                                 const MorselOptions& options) {
+  // Single-pass shared build over the smaller input; the larger side is
+  // probed morsel-parallel so the parallelism scales with the probe work.
+  const bool build_right = rhs.size() <= lhs.size();
+  const PatchCollection& build = build_right ? rhs : lhs;
+
   Stopwatch build_timer;
   HashIndex index;
-  for (size_t i = 0; i < rhs.size(); ++i) {
-    index.Insert(Slice(rhs[i].meta().Get(key).ToIndexKey()),
-                 static_cast<RowId>(i));
+  for (size_t i = 0; i < build.size(); ++i) {
+    const MetaValue& k = build[i].meta().Get(key);
+    // SQL equality: NULL keys never match, so they never enter the table
+    // — mirroring how Eq(attr, attr) evaluates through the expression
+    // engine (null-propagating, EvalBool → false).
+    if (k.is_null()) continue;
+    index.Insert(Slice(k.ToIndexKey()), static_cast<RowId>(i));
   }
   const double build_ms = build_timer.ElapsedMillis();
 
   const CompiledPredicate compiled(residual);
   std::vector<PatchTuple> out;
-  PairBatcher batcher(&compiled, &out);
   uint64_t examined = 0;
-  std::vector<RowId> matches;
-  for (const Patch& a : lhs) {
-    matches.clear();
-    index.Lookup(Slice(a.meta().Get(key).ToIndexKey()), &matches);
-    for (RowId r : matches) {
-      ++examined;
-      DL_RETURN_NOT_OK(batcher.Add(Concat(a, rhs[static_cast<size_t>(r)])));
+  if (build_right) {
+    // Probing with the left yields canonical order directly: left rows in
+    // input order, matches per row in lookup order.
+    DL_ASSIGN_OR_RETURN(
+        out, MorselProbeJoin(
+                 lhs.size(), compiled, options, &examined,
+                 [&](size_t i, std::vector<RowId>* matches,
+                     PairBatcher* batcher, uint64_t* local) -> Status {
+                   const MetaValue& k = lhs[i].meta().Get(key);
+                   if (k.is_null()) return Status::OK();
+                   matches->clear();
+                   index.Lookup(Slice(k.ToIndexKey()), matches);
+                   for (RowId r : *matches) {
+                     ++*local;
+                     DL_RETURN_NOT_OK(batcher->Add(
+                         Concat(lhs[i], rhs[static_cast<size_t>(r)])));
+                   }
+                   return Status::OK();
+                 }));
+  } else {
+    // Built over the left: probe with the right, collect (left, right)
+    // row-id pairs per morsel, then restore the canonical left-major
+    // order (left ascending, right ascending — lookups return insertion
+    // order) before materializing in parallel.
+    const MorselPlan plan = PlanMorsels(rhs.size(), options);
+    std::vector<std::vector<std::pair<size_t, size_t>>> pair_partials(
+        plan.num_morsels);
+    DL_RETURN_NOT_OK(DispatchMorsels(
+        rhs.size(), plan, [&](size_t m, size_t lo, size_t hi) -> Status {
+          std::vector<RowId> matches;
+          for (size_t j = lo; j < hi; ++j) {
+            const MetaValue& k = rhs[j].meta().Get(key);
+            if (k.is_null()) continue;
+            matches.clear();
+            index.Lookup(Slice(k.ToIndexKey()), &matches);
+            for (RowId l : matches) {
+              pair_partials[m].emplace_back(static_cast<size_t>(l), j);
+            }
+          }
+          return Status::OK();
+        }));
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (auto& partial : pair_partials) {
+      pairs.insert(pairs.end(), partial.begin(), partial.end());
     }
+    std::sort(pairs.begin(), pairs.end());
+    examined = pairs.size();
+    DL_ASSIGN_OR_RETURN(out,
+                        EmitPairsParallel(lhs, rhs, pairs, compiled, options));
   }
-  DL_RETURN_NOT_OK(batcher.Flush());
   if (stats != nullptr) {
     stats->pairs_examined = examined;
     stats->tuples_emitted = out.size();
@@ -175,9 +296,9 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(
 // --- Ball-tree similarity ---------------------------------------------------
 
 Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
-    PatchCollection lhs, PatchCollection rhs,
+    const PatchCollection& lhs, const PatchCollection& rhs,
     const SimilarityJoinOptions& options, const ExprPtr& residual,
-    JoinStats* stats) {
+    JoinStats* stats, const MorselOptions& morsels) {
   // Index the smaller relation (paper §5), probe with the other; emitted
   // tuples always keep (left, right) order.
   const bool index_right =
@@ -203,21 +324,27 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
   const double build_ms = build_timer.ElapsedMillis();
 
   const CompiledPredicate compiled(residual);
-  std::vector<PatchTuple> out;
-  PairBatcher batcher(&compiled, &out);
-  std::vector<RowId> matches;
-  for (const Patch& probe : probes) {
-    matches.clear();
-    tree.RangeSearch(probe.features().data(), options.max_distance,
-                     &matches);
-    for (RowId r : matches) {
-      const Patch& hit = indexed[static_cast<size_t>(r)];
-      if (options.skip_identical_ids && probe.id() == hit.id()) continue;
-      DL_RETURN_NOT_OK(batcher.Add(index_right ? Concat(probe, hit)
-                                               : Concat(hit, probe)));
-    }
-  }
-  DL_RETURN_NOT_OK(batcher.Flush());
+  DL_ASSIGN_OR_RETURN(
+      std::vector<PatchTuple> out,
+      MorselProbeJoin(probes.size(), compiled, morsels, nullptr,
+                      [&](size_t i, std::vector<RowId>* matches,
+                          PairBatcher* batcher, uint64_t*) -> Status {
+                        const Patch& probe = probes[i];
+                        matches->clear();
+                        tree.RangeSearch(probe.features().data(),
+                                         options.max_distance, matches);
+                        for (RowId r : *matches) {
+                          const Patch& hit = indexed[static_cast<size_t>(r)];
+                          if (options.skip_identical_ids &&
+                              probe.id() == hit.id()) {
+                            continue;
+                          }
+                          DL_RETURN_NOT_OK(
+                              batcher->Add(index_right ? Concat(probe, hit)
+                                                       : Concat(hit, probe)));
+                        }
+                        return Status::OK();
+                      }));
   if (stats != nullptr) {
     stats->pairs_examined = tree.distance_evals();
     stats->tuples_emitted = out.size();
@@ -249,7 +376,7 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
 // --- All-pairs (device kernel) ----------------------------------------------
 
 Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
-    PatchCollection lhs, PatchCollection rhs, float max_distance,
+    const PatchCollection& lhs, const PatchCollection& rhs, float max_distance,
     nn::Device* device, const ExprPtr& residual, JoinStats* stats) {
   if (lhs.empty() || rhs.empty()) return std::vector<PatchTuple>{};
 
@@ -313,10 +440,11 @@ Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
 
 // --- R-tree spatial ---------------------------------------------------------
 
-Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchCollection lhs,
-                                                 PatchCollection rhs,
+Result<std::vector<PatchTuple>> RTreeSpatialJoin(const PatchCollection& lhs,
+                                                 const PatchCollection& rhs,
                                                  const ExprPtr& residual,
-                                                 JoinStats* stats) {
+                                                 JoinStats* stats,
+                                                 const MorselOptions& options) {
   Stopwatch build_timer;
   RTree tree;
   for (size_t i = 0; i < rhs.size(); ++i) {
@@ -328,23 +456,27 @@ Result<std::vector<PatchTuple>> RTreeSpatialJoin(PatchCollection lhs,
   const double build_ms = build_timer.ElapsedMillis();
 
   const CompiledPredicate compiled(residual);
-  std::vector<PatchTuple> out;
-  PairBatcher batcher(&compiled, &out);
   uint64_t examined = 0;
-  std::vector<RowId> matches;
-  for (const Patch& a : lhs) {
-    matches.clear();
-    const nn::BBox& box = a.bbox();
-    tree.SearchIntersects(
-        Rect{static_cast<float>(box.x0), static_cast<float>(box.y0),
-             static_cast<float>(box.x1), static_cast<float>(box.y1)},
-        &matches);
-    for (RowId r : matches) {
-      ++examined;
-      DL_RETURN_NOT_OK(batcher.Add(Concat(a, rhs[static_cast<size_t>(r)])));
-    }
-  }
-  DL_RETURN_NOT_OK(batcher.Flush());
+  DL_ASSIGN_OR_RETURN(
+      std::vector<PatchTuple> out,
+      MorselProbeJoin(lhs.size(), compiled, options, &examined,
+                      [&](size_t i, std::vector<RowId>* matches,
+                          PairBatcher* batcher, uint64_t* local) -> Status {
+                        matches->clear();
+                        const nn::BBox& box = lhs[i].bbox();
+                        tree.SearchIntersects(
+                            Rect{static_cast<float>(box.x0),
+                                 static_cast<float>(box.y0),
+                                 static_cast<float>(box.x1),
+                                 static_cast<float>(box.y1)},
+                            matches);
+                        for (RowId r : *matches) {
+                          ++*local;
+                          DL_RETURN_NOT_OK(batcher->Add(
+                              Concat(lhs[i], rhs[static_cast<size_t>(r)])));
+                        }
+                        return Status::OK();
+                      }));
   if (stats != nullptr) {
     stats->pairs_examined = examined;
     stats->tuples_emitted = out.size();

@@ -9,6 +9,7 @@
 
 #include "exec/batch.h"
 #include "exec/operators.h"
+#include "exec/pipeline.h"
 #include "index/balltree.h"
 #include "index/hash_index.h"
 #include "index/rtree.h"
@@ -28,10 +29,17 @@ struct JoinStats {
 // batch-iterator sources, and pre-materialized collections. Pair
 // predicates/residuals are evaluated through CompiledPredicate, batch-wise
 // where the join examines pairs in bulk.
+//
+// The probe phases are morsel-parallel (exec/pipeline.h): any index is
+// built once, single-threaded, then probe morsels run on pool workers with
+// per-worker output batches that are merged back in probe order. Output is
+// therefore byte-identical to single-threaded execution regardless of
+// scheduling; pass MorselOptions{.num_threads = 1} to force the serial
+// core (the differential tests do).
 
 /// \brief Nested-loop θ-join: every pair is tested against `predicate`.
 /// The baseline all plans are compared to (Figure 4's "no index" bars).
-/// Materializes both sides.
+/// Materializes both sides; outer-loop morsels run in parallel.
 Result<std::vector<PatchTuple>> NestedLoopJoin(PatchIterator* left,
                                                PatchIterator* right,
                                                const ExprPtr& predicate,
@@ -40,14 +48,18 @@ Result<std::vector<PatchTuple>> NestedLoopJoin(BatchIterator* left,
                                                BatchIterator* right,
                                                const ExprPtr& predicate,
                                                JoinStats* stats = nullptr);
-Result<std::vector<PatchTuple>> NestedLoopJoin(PatchCollection left,
-                                               PatchCollection right,
-                                               const ExprPtr& predicate,
-                                               JoinStats* stats = nullptr);
+Result<std::vector<PatchTuple>> NestedLoopJoin(
+    const PatchCollection& left, const PatchCollection& right,
+    const ExprPtr& predicate,
+    JoinStats* stats = nullptr, const MorselOptions& options = {});
 
-/// \brief Hash equality join on a metadata key: builds a HashIndex over
-/// the right side, probes with the left. An optional `residual` predicate
-/// filters matched pairs.
+/// \brief Hash equality join on a metadata key: one shared single-pass
+/// HashIndex build over the smaller input, then a morsel-parallel probe
+/// with the other. An optional `residual` predicate filters matched pairs.
+/// NULL keys never match (SQL equality, like Eq(attr, attr) through the
+/// expression engine). Output order is canonical regardless of build
+/// side: left input order, with each left row's matches in right input
+/// order.
 Result<std::vector<PatchTuple>> HashEqualityJoin(
     PatchIterator* left, PatchIterator* right, const std::string& key,
     const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
@@ -55,8 +67,10 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(
     BatchIterator* left, BatchIterator* right, const std::string& key,
     const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
 Result<std::vector<PatchTuple>> HashEqualityJoin(
-    PatchCollection left, PatchCollection right, const std::string& key,
-    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+    const PatchCollection& left, const PatchCollection& right,
+    const std::string& key,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr,
+    const MorselOptions& options = {});
 
 /// \brief On-the-fly Ball-Tree similarity join (paper §5 "On-The-Fly
 /// Index Similarity Join"): loads the smaller relation into an in-memory
@@ -78,9 +92,9 @@ Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
     const SimilarityJoinOptions& options, const ExprPtr& residual = nullptr,
     JoinStats* stats = nullptr);
 Result<std::vector<PatchTuple>> BallTreeSimilarityJoin(
-    PatchCollection left, PatchCollection right,
+    const PatchCollection& left, const PatchCollection& right,
     const SimilarityJoinOptions& options, const ExprPtr& residual = nullptr,
-    JoinStats* stats = nullptr);
+    JoinStats* stats = nullptr, const MorselOptions& morsels = {});
 
 /// \brief All-pairs similarity join on a Device: computes the full
 /// pairwise distance matrix with the device's matching kernel (the GPU /
@@ -94,7 +108,8 @@ Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
     nn::Device* device, const ExprPtr& residual = nullptr,
     JoinStats* stats = nullptr);
 Result<std::vector<PatchTuple>> AllPairsSimilarityJoin(
-    PatchCollection left, PatchCollection right, float max_distance,
+    const PatchCollection& left, const PatchCollection& right,
+    float max_distance,
     nn::Device* device, const ExprPtr& residual = nullptr,
     JoinStats* stats = nullptr);
 
@@ -108,7 +123,8 @@ Result<std::vector<PatchTuple>> RTreeSpatialJoin(
     BatchIterator* left, BatchIterator* right,
     const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
 Result<std::vector<PatchTuple>> RTreeSpatialJoin(
-    PatchCollection left, PatchCollection right,
-    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);
+    const PatchCollection& left, const PatchCollection& right,
+    const ExprPtr& residual = nullptr, JoinStats* stats = nullptr,
+    const MorselOptions& options = {});
 
 }  // namespace deeplens

@@ -7,14 +7,6 @@
 
 namespace deeplens {
 
-namespace {
-
-struct MorselPlan {
-  size_t morsel_size = 0;
-  size_t num_morsels = 0;
-  bool parallel = false;
-};
-
 MorselPlan PlanMorsels(size_t n, const MorselOptions& options) {
   MorselPlan plan;
   ThreadPool& pool = ThreadPool::Global();
@@ -41,8 +33,6 @@ MorselPlan PlanMorsels(size_t n, const MorselOptions& options) {
   return plan;
 }
 
-// Runs worker(m, lo, hi) for every morsel, parallel when the plan allows,
-// and returns the error of the earliest failing morsel.
 Status DispatchMorsels(size_t n, const MorselPlan& plan,
                        const std::function<Status(size_t, size_t, size_t)>&
                            worker) {
@@ -63,8 +53,6 @@ Status DispatchMorsels(size_t n, const MorselPlan& plan,
   }
   return Status::OK();
 }
-
-}  // namespace
 
 BatchPipeline& BatchPipeline::Filter(ExprPtr predicate) {
   Stage stage;

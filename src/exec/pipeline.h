@@ -43,6 +43,29 @@ struct PipelineStats {
   double millis = 0.0;
 };
 
+/// \brief Morsel geometry resolved against the global pool: how many
+/// contiguous work units an input of `n` rows splits into and whether they
+/// may run on pool workers. Shared by the pipeline driver, the parallel
+/// join probes (exec/joins.cc) and pre-merge aggregation
+/// (exec/aggregates.cc) so every parallel operator slices inputs the same
+/// way.
+struct MorselPlan {
+  size_t morsel_size = 0;
+  size_t num_morsels = 0;
+  bool parallel = false;
+};
+
+MorselPlan PlanMorsels(size_t n, const MorselOptions& options);
+
+/// Runs worker(morsel_index, lo, hi) over every morsel of an n-row input,
+/// on the global pool when the plan allows, serially otherwise. Each
+/// worker owns its morsel's output slot, so merging per-morsel results in
+/// morsel-index order yields a deterministic, input-ordered stream.
+/// Returns the error of the earliest failing morsel.
+Status DispatchMorsels(
+    size_t n, const MorselPlan& plan,
+    const std::function<Status(size_t, size_t, size_t)>& worker);
+
 /// \brief Compiled chain of filter/map/project stages.
 ///
 /// Map functions must be thread-safe: the morsel driver invokes them

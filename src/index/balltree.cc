@@ -149,18 +149,21 @@ void BallTree::RangeSearch(const float* query, float radius,
                            std::vector<RowId>* out) const {
   if (nodes_.empty()) return;
   const float r2 = radius * radius;
+  // Count locally and fold in once: concurrent searches then contend on
+  // the shared counter once per query instead of once per distance.
+  uint64_t evals = 0;
   std::vector<int32_t> stack{0};
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<size_t>(stack.back())];
     stack.pop_back();
     const float* c = centroids_.data() + static_cast<size_t>(node.centroid) * dim_;
     const float dc = std::sqrt(ops::L2SquaredVector(query, c, dim_));
-    ++distance_evals_;
+    ++evals;
     // Prune: the closest any member can be is dc - radius_of_ball.
     if (dc - node.radius > radius) continue;
     if (node.left < 0) {
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        ++distance_evals_;
+        ++evals;
         if (ops::L2SquaredVector(query, PointAt(i), dim_) <= r2) {
           out->push_back(rows_[perm_[i]]);
         }
@@ -170,6 +173,7 @@ void BallTree::RangeSearch(const float* query, float radius,
       stack.push_back(node.right);
     }
   }
+  distance_evals_.fetch_add(evals, std::memory_order_relaxed);
 }
 
 void BallTree::KnnSearch(const float* query, size_t k,
@@ -178,17 +182,18 @@ void BallTree::KnnSearch(const float* query, size_t k,
   if (nodes_.empty() || k == 0) return;
   // Max-heap of the best k candidates (top = worst of the best).
   std::priority_queue<std::pair<float, RowId>> best;
+  uint64_t evals = 0;
   std::vector<int32_t> stack{0};
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<size_t>(stack.back())];
     stack.pop_back();
     const float* c = centroids_.data() + static_cast<size_t>(node.centroid) * dim_;
     const float dc = std::sqrt(ops::L2SquaredVector(query, c, dim_));
-    ++distance_evals_;
+    ++evals;
     if (best.size() == k && dc - node.radius > best.top().first) continue;
     if (node.left < 0) {
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        ++distance_evals_;
+        ++evals;
         const float d =
             std::sqrt(ops::L2SquaredVector(query, PointAt(i), dim_));
         if (best.size() < k) {
@@ -203,6 +208,7 @@ void BallTree::KnnSearch(const float* query, size_t k,
       stack.push_back(node.right);
     }
   }
+  distance_evals_.fetch_add(evals, std::memory_order_relaxed);
   out->resize(best.size());
   for (size_t i = best.size(); i-- > 0;) {
     (*out)[i] = best.top();

@@ -4,6 +4,7 @@
 // high-dimensional image-feature matching (§3.2, Figures 4/5/7).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -39,9 +40,16 @@ class BallTree {
                  std::vector<std::pair<float, RowId>>* out) const;
 
   /// Number of point-distance evaluations performed since construction;
-  /// exposed so tests can verify pruning actually happens.
-  uint64_t distance_evals() const { return distance_evals_; }
-  void ResetCounters() { distance_evals_ = 0; }
+  /// exposed so tests can verify pruning actually happens. Searches are
+  /// const and safe to issue concurrently (the morsel-parallel join probe
+  /// does); each search folds its evaluation count in atomically when it
+  /// finishes.
+  uint64_t distance_evals() const {
+    return distance_evals_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    distance_evals_.store(0, std::memory_order_relaxed);
+  }
 
   IndexStats Stats() const;
   uint64_t height() const;
@@ -70,7 +78,7 @@ class BallTree {
   std::vector<Node> nodes_;       // nodes_[0] is the root (if any)
   std::vector<float> centroids_;  // one dim_-vector per node
   uint64_t max_depth_ = 0;
-  mutable uint64_t distance_evals_ = 0;
+  mutable std::atomic<uint64_t> distance_evals_{0};
 };
 
 }  // namespace deeplens

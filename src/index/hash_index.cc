@@ -1,5 +1,7 @@
 #include "index/hash_index.h"
 
+#include <algorithm>
+
 #include "common/checksum.h"
 
 namespace deeplens {
@@ -27,12 +29,16 @@ void HashIndex::Insert(const Slice& key, RowId row) {
 }
 
 void HashIndex::Lookup(const Slice& key, std::vector<RowId>* out) const {
+  const size_t first = out->size();
   int32_t cur = buckets_[BucketFor(key)];
   while (cur >= 0) {
     const Entry& e = entries_[static_cast<size_t>(cur)];
     if (Slice(e.key) == key) out->push_back(e.row);
     cur = e.next;
   }
+  // Chains are LIFO; reverse so callers see insertion order (scan and
+  // join outputs then follow input order, matching the full-scan paths).
+  std::reverse(out->begin() + static_cast<ptrdiff_t>(first), out->end());
 }
 
 bool HashIndex::Contains(const Slice& key) const {

@@ -20,7 +20,8 @@ class HashIndex {
   /// Inserts a (key, row) pair; duplicate keys accumulate.
   void Insert(const Slice& key, RowId row);
 
-  /// Appends all rows whose key equals `key` to `out`.
+  /// Appends all rows whose key equals `key` to `out`, in insertion
+  /// order.
   void Lookup(const Slice& key, std::vector<RowId>* out) const;
 
   /// True if at least one entry has this key.

@@ -5,6 +5,7 @@
 // deterministic (ordered merge) and equal to serial execution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <vector>
@@ -419,6 +420,102 @@ TEST(CompiledPredicateTest, NullPredicatePassesEverything) {
   EXPECT_TRUE(compiled.always_true());
   Patch p;
   EXPECT_TRUE(compiled.EvalOnePatch(p).value());
+}
+
+TEST(CompiledPredicateTest, EmptyConjunctListSelectsEveryRow) {
+  // A null expression compiles to the empty conjunct list; row-wise
+  // evaluation must select everything on both entry points, including
+  // over an empty input.
+  const CompiledPredicate compiled(nullptr);
+  ASSERT_TRUE(compiled.always_true());
+
+  PatchCollection input = RandomCollection(111, 300);
+  std::vector<PatchTuple> rows;
+  for (const Patch& p : input) rows.push_back(PatchTuple{p});
+  std::vector<uint8_t> selection(rows.size(), 0);
+  ASSERT_TRUE(
+      compiled.EvalTupleRows(rows.data(), rows.size(), selection.data()).ok());
+  EXPECT_EQ(std::count(selection.begin(), selection.end(), 1),
+            static_cast<ptrdiff_t>(rows.size()));
+  std::fill(selection.begin(), selection.end(), 0);
+  ASSERT_TRUE(
+      compiled.EvalPatchRows(input.data(), input.size(), selection.data())
+          .ok());
+  EXPECT_EQ(std::count(selection.begin(), selection.end(), 1),
+            static_cast<ptrdiff_t>(input.size()));
+  EXPECT_TRUE(compiled.EvalTupleRows(nullptr, 0, nullptr).ok());
+}
+
+TEST(CompiledPredicateTest, AllFalseBatchCompactsToEmpty) {
+  PatchCollection input = RandomCollection(113, 2048);
+  const ExprPtr never = Lt(Attr("score"), Lit(-5.0));  // scores are in [0,1)
+  const CompiledPredicate compiled(never);
+  std::vector<uint8_t> selection(input.size(), 1);
+  ASSERT_TRUE(
+      compiled.EvalPatchRows(input.data(), input.size(), selection.data())
+          .ok());
+  EXPECT_EQ(std::count(selection.begin(), selection.end(), 0),
+            static_cast<ptrdiff_t>(input.size()));
+
+  // End-to-end: the batch filter must drain to an empty stream, and the
+  // morsel driver must report zero output rows.
+  auto filtered = MakeBatchFilter(MakeBatchVectorSource(input), never);
+  auto drained = CollectBatches(filtered.get());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained->empty());
+  PipelineStats stats;
+  auto selected = ParallelSelect(input, never, {}, &stats);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+  EXPECT_EQ(stats.output_rows, 0u);
+}
+
+TEST(CompiledPredicateTest, BatchSizeOneMatchesDefaultGeometry) {
+  // Forcing 1-tuple batches through the adapter and 1-row morsels through
+  // the driver must not change any result.
+  PatchCollection input = RandomCollection(115, 257);
+  for (int which = 0; which < 5; ++which) {
+    ExprPtr pred = TestPredicate(which);
+    auto reference = MakeVolcanoFilter(MakeVectorSource(input), pred);
+    auto expected = CollectPatches(reference.get());
+    ASSERT_TRUE(expected.ok());
+
+    auto one_by_one = MakeBatchFilter(
+        TupleToBatch(MakeVectorSource(input), /*batch_size=*/1), pred);
+    auto actual = CollectBatchPatches(one_by_one.get());
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(BytesOfPatches(*actual), BytesOfPatches(*expected))
+        << "pred " << which;
+
+    MorselOptions options;
+    options.batch_size = 1;
+    options.morsel_size = 1;
+    auto parallel = ParallelSelect(input, pred, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(BytesOfPatches(*parallel), BytesOfPatches(*expected))
+        << "pred " << which;
+  }
+}
+
+TEST(CompiledPredicateTest, LastPartialBatchIsFullyEvaluated) {
+  // Input sizes straddling the batch boundary: the final short batch must
+  // be evaluated row-for-row like every full batch before it.
+  for (size_t n : {kDefaultBatchSize - 1, kDefaultBatchSize,
+                   kDefaultBatchSize + 1, 2 * kDefaultBatchSize + 17}) {
+    PatchCollection input = RandomCollection(117, n);
+    // Make the very last row the only survivor so a dropped tail is loud.
+    ExprPtr pred = Eq(Attr("pid"), Lit(static_cast<int64_t>(n)));
+    auto filtered = MakeBatchFilter(MakeBatchVectorSource(input), pred);
+    auto out = CollectBatchPatches(filtered.get());
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), 1u) << "n " << n;
+    EXPECT_EQ((*out)[0].id(), static_cast<PatchId>(n)) << "n " << n;
+
+    auto parallel = ParallelSelect(input, pred);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->size(), 1u) << "n " << n;
+    EXPECT_EQ((*parallel)[0].id(), static_cast<PatchId>(n)) << "n " << n;
+  }
 }
 
 // --- Morsel pipeline --------------------------------------------------------

@@ -1,0 +1,546 @@
+// Differential harness for the morsel-parallel join and pre-merge
+// aggregation paths. Every parallel operator must produce byte-identical
+// results to (a) its own single-threaded core (MorselOptions.num_threads
+// = 1) and (b) a tuple-at-a-time oracle built from the MakeVolcano*
+// operators, across randomized inputs that vary batch geometry, key skew,
+// NULL density, and the empty/one-row edge shapes — plus determinism
+// under repetition for the ordered merge. The rounds below cover well
+// over 100 distinct randomized inputs (24 hash-join pairs, 8 nested-loop
+// pairs, 8 ball-tree inputs, 96 aggregate rounds, plus the edge-shape and
+// planner sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/database.h"
+#include "core/planner.h"
+#include "exec/aggregates.h"
+#include "exec/batch.h"
+#include "exec/expression.h"
+#include "exec/joins.h"
+#include "exec/operators.h"
+#include "exec/pipeline.h"
+
+namespace deeplens {
+namespace {
+
+// --- Randomized inputs ------------------------------------------------------
+
+struct InputSpec {
+  uint64_t seed = 1;
+  size_t n = 0;
+  /// Join/group key cardinality; small values force heavy duplication.
+  int num_keys = 8;
+  /// Probability mass concentrated on key 0 (skewed-key workloads).
+  double skew = 0.0;
+  /// Fraction of rows with the "k"/"g"/"v" columns entirely absent
+  /// (reads surface as typed NULLs).
+  double null_fraction = 0.0;
+  /// Fraction of keyed rows whose "k" is an int64 instead of a string —
+  /// exercises the type-tagged key encoding.
+  double int_key_fraction = 0.0;
+  bool with_features = false;
+};
+
+PatchCollection MakeInput(const InputSpec& spec) {
+  Rng rng(spec.seed);
+  PatchCollection out;
+  out.reserve(spec.n);
+  for (size_t i = 0; i < spec.n; ++i) {
+    Patch p;
+    p.set_id(static_cast<PatchId>(i + 1));
+    p.set_ref(ImgRef{"diff", static_cast<int64_t>(i), kInvalidPatchId});
+    p.set_bbox(nn::BBox{0, 0, 8, 8});
+    p.mutable_meta().Set(meta_keys::kScore, rng.NextDouble());
+    if (!rng.NextBool(spec.null_fraction)) {
+      const int key = rng.NextBool(spec.skew)
+                          ? 0
+                          : static_cast<int>(rng.NextU64Below(
+                                static_cast<uint64_t>(spec.num_keys)));
+      if (rng.NextBool(spec.int_key_fraction)) {
+        p.mutable_meta().Set("k", int64_t{key});
+      } else {
+        p.mutable_meta().Set("k", "k" + std::to_string(key));
+      }
+      p.mutable_meta().Set("g", "g" + std::to_string(key % 5));
+      p.mutable_meta().Set("v", rng.NextInt(-1000, 1000));
+    }
+    if (spec.with_features) {
+      std::vector<float> f(6);
+      for (auto& v : f) v = rng.NextFloat();
+      p.set_features(Tensor::FromVector(std::move(f)));
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::string BytesOfTuple(const PatchTuple& tuple) {
+  ByteBuffer buf;
+  for (const Patch& p : tuple) p.SerializeInto(&buf);
+  const std::vector<uint8_t>& raw = buf.data();
+  return std::string(raw.begin(), raw.end());
+}
+
+std::vector<std::string> BytesOf(const std::vector<PatchTuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const PatchTuple& t : tuples) out.push_back(BytesOfTuple(t));
+  return out;
+}
+
+// --- Volcano oracles --------------------------------------------------------
+
+// Enumerates the full cross product (left-major, both sides ascending) as
+// 2-tuples; feeding it through MakeVolcanoFilter is the θ-join oracle.
+PatchIteratorPtr MakePairSource(const PatchCollection& lhs,
+                                const PatchCollection& rhs) {
+  auto i = std::make_shared<size_t>(0);
+  auto j = std::make_shared<size_t>(0);
+  return MakeGeneratorSource(
+      [&lhs, &rhs, i, j]() -> Result<std::optional<PatchTuple>> {
+        if (rhs.empty() || *i >= lhs.size()) {
+          return std::optional<PatchTuple>();
+        }
+        PatchTuple t{lhs[*i], rhs[*j]};
+        if (++*j == rhs.size()) {
+          *j = 0;
+          ++*i;
+        }
+        return std::optional<PatchTuple>(std::move(t));
+      });
+}
+
+Result<std::vector<PatchTuple>> OracleJoin(const PatchCollection& lhs,
+                                           const PatchCollection& rhs,
+                                           const ExprPtr& predicate) {
+  auto plan = MakeVolcanoFilter(MakePairSource(lhs, rhs), predicate);
+  return Collect(plan.get());
+}
+
+// Filters through the Volcano oracle, returning the surviving patches in
+// input order (the reference row stream every aggregate oracle reduces).
+PatchCollection OracleSurvivors(const PatchCollection& rows,
+                                const ExprPtr& predicate) {
+  auto plan = predicate ? MakeVolcanoFilter(MakeVectorSource(rows), predicate)
+                        : MakeVectorSource(rows);
+  auto out = CollectPatches(plan.get());
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? std::move(out).value() : PatchCollection{};
+}
+
+// Rotating predicate pool for the aggregate rounds; index 0 is the null
+// (keep-everything) predicate and index 4 is unsatisfiable (all-false).
+ExprPtr ScanPredicate(int which) {
+  switch (which % 6) {
+    case 0:
+      return nullptr;
+    case 1:
+      return Ge(Attr(meta_keys::kScore), Lit(0.5));
+    case 2:
+      return Eq(Attr("g"), Lit("g1"));
+    case 3:
+      // NULL-sensitive: rows missing "v" evaluate NULL < 0 by type tag.
+      return Lt(Attr("v"), Lit(int64_t{0}));
+    case 4:
+      return Lt(Attr(meta_keys::kScore), Lit(-1.0));  // all-false
+    default:
+      return Or(Eq(Attr("k"), Lit("k0")), Gt(Attr(meta_keys::kScore),
+                                             Lit(0.9)));
+  }
+}
+
+// Join residuals (evaluated over the concatenated 2-tuple).
+ExprPtr JoinResidual(int which) {
+  switch (which % 3) {
+    case 0:
+      return nullptr;
+    case 1:
+      return Lt(Attr(0, meta_keys::kScore), Attr(1, meta_keys::kScore));
+    default:
+      return Ne(Attr(0, "g"), Attr(1, "g"));
+  }
+}
+
+// --- Hash equality join -----------------------------------------------------
+
+TEST(ParallelHashJoinTest, MatchesSerialCoreAndVolcanoOracle) {
+  // 24 randomized input pairs: both build sides (left smaller / right
+  // smaller / equal), heavy skew, NULL-heavy keys, mixed-type keys.
+  const size_t sizes[][2] = {{0, 0},   {0, 40},  {40, 0},  {1, 1},
+                             {1, 200}, {200, 1}, {37, 37}, {250, 900},
+                             {900, 250}, {513, 514}, {1200, 300}, {64, 2048}};
+  int round = 0;
+  for (const auto& sz : sizes) {
+    for (int variant = 0; variant < 2; ++variant, ++round) {
+      InputSpec left_spec;
+      left_spec.seed = 1000 + static_cast<uint64_t>(round);
+      left_spec.n = sz[0];
+      left_spec.num_keys = variant == 0 ? 11 : 3;
+      left_spec.skew = variant == 0 ? 0.0 : 0.6;
+      left_spec.null_fraction = variant == 0 ? 0.0 : 0.3;
+      left_spec.int_key_fraction = variant == 0 ? 0.0 : 0.25;
+      InputSpec right_spec = left_spec;
+      right_spec.seed += 7777;
+      right_spec.n = sz[1];
+      const PatchCollection lhs = MakeInput(left_spec);
+      const PatchCollection rhs = MakeInput(right_spec);
+      const ExprPtr residual = JoinResidual(round);
+
+      const ExprPtr key_eq = Eq(Attr(0, "k"), Attr(1, "k"));
+      auto expected = OracleJoin(
+          lhs, rhs, residual ? And(key_eq, residual) : key_eq);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+      MorselOptions serial;
+      serial.num_threads = 1;
+      auto serial_out = HashEqualityJoin(lhs, rhs, "k", residual, nullptr,
+                                         serial);
+      ASSERT_TRUE(serial_out.ok()) << serial_out.status().ToString();
+      EXPECT_EQ(BytesOf(*serial_out), BytesOf(*expected))
+          << "serial, round " << round;
+
+      for (size_t morsel_size : {size_t{0}, size_t{13}, size_t{256}}) {
+        MorselOptions options;
+        options.morsel_size = morsel_size;
+        JoinStats stats;
+        auto parallel_out =
+            HashEqualityJoin(lhs, rhs, "k", residual, &stats, options);
+        ASSERT_TRUE(parallel_out.ok()) << parallel_out.status().ToString();
+        EXPECT_EQ(BytesOf(*parallel_out), BytesOf(*expected))
+            << "round " << round << " morsel_size " << morsel_size;
+        EXPECT_EQ(stats.tuples_emitted, expected->size());
+      }
+    }
+  }
+}
+
+TEST(ParallelHashJoinTest, RepeatedRunsAreDeterministic) {
+  InputSpec spec;
+  spec.seed = 42;
+  spec.n = 1500;
+  spec.num_keys = 4;
+  spec.skew = 0.5;
+  const PatchCollection lhs = MakeInput(spec);
+  spec.seed = 43;
+  spec.n = 600;
+  const PatchCollection rhs = MakeInput(spec);
+
+  auto first = HashEqualityJoin(lhs, rhs, "k", JoinResidual(1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->size(), 0u);
+  for (int rep = 0; rep < 4; ++rep) {
+    auto again = HashEqualityJoin(lhs, rhs, "k", JoinResidual(1));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(BytesOf(*again), BytesOf(*first)) << "rep " << rep;
+  }
+}
+
+// --- Nested-loop θ-join -----------------------------------------------------
+
+TEST(ParallelNestedLoopJoinTest, MatchesSerialCoreAndVolcanoOracle) {
+  const size_t sizes[][2] = {{0, 25}, {1, 1}, {30, 90}, {128, 17},
+                             {75, 75}, {300, 40}, {2, 500}, {41, 0}};
+  int round = 0;
+  for (const auto& sz : sizes) {
+    InputSpec spec;
+    spec.seed = 5000 + static_cast<uint64_t>(round);
+    spec.n = sz[0];
+    spec.null_fraction = 0.2;
+    const PatchCollection lhs = MakeInput(spec);
+    spec.seed += 333;
+    spec.n = sz[1];
+    const PatchCollection rhs = MakeInput(spec);
+    const ExprPtr pred = Lt(Attr(0, meta_keys::kScore),
+                            Attr(1, meta_keys::kScore));
+
+    auto expected = OracleJoin(lhs, rhs, pred);
+    ASSERT_TRUE(expected.ok());
+
+    MorselOptions serial;
+    serial.num_threads = 1;
+    auto serial_out = NestedLoopJoin(lhs, rhs, pred, nullptr, serial);
+    ASSERT_TRUE(serial_out.ok());
+    EXPECT_EQ(BytesOf(*serial_out), BytesOf(*expected)) << "round " << round;
+
+    MorselOptions tiny;
+    tiny.batch_size = 1;
+    tiny.morsel_size = 1;  // one outer row per morsel
+    for (const MorselOptions& options : {MorselOptions{}, tiny}) {
+      JoinStats stats;
+      auto parallel_out = NestedLoopJoin(lhs, rhs, pred, &stats, options);
+      ASSERT_TRUE(parallel_out.ok());
+      EXPECT_EQ(BytesOf(*parallel_out), BytesOf(*expected))
+          << "round " << round;
+      EXPECT_EQ(stats.pairs_examined,
+                static_cast<uint64_t>(lhs.size()) * rhs.size());
+    }
+    ++round;
+  }
+}
+
+// --- Ball-tree similarity join ----------------------------------------------
+
+TEST(ParallelBallTreeJoinTest, MatchesSerialCoreAndOracleAsMultiset) {
+  // The tree probe emits matches in traversal order, so the oracle
+  // comparison is order-normalized; serial-vs-parallel stays byte-exact
+  // (ordered merge) and is checked unsorted.
+  for (int round = 0; round < 8; ++round) {
+    InputSpec spec;
+    spec.seed = 9000 + static_cast<uint64_t>(round);
+    spec.n = static_cast<size_t>(40 + round * 55);
+    spec.with_features = true;
+    const PatchCollection lhs = MakeInput(spec);
+    spec.seed += 11;
+    spec.n = static_cast<size_t>(25 + round * 70);
+    const PatchCollection rhs = MakeInput(spec);
+
+    SimilarityJoinOptions join_options;
+    join_options.max_distance = 0.55f;
+
+    MorselOptions serial;
+    serial.num_threads = 1;
+    auto serial_out =
+        BallTreeSimilarityJoin(lhs, rhs, join_options, nullptr, nullptr,
+                               serial);
+    ASSERT_TRUE(serial_out.ok()) << serial_out.status().ToString();
+    auto parallel_out =
+        BallTreeSimilarityJoin(lhs, rhs, join_options, nullptr, nullptr);
+    ASSERT_TRUE(parallel_out.ok());
+    EXPECT_EQ(BytesOf(*parallel_out), BytesOf(*serial_out))
+        << "round " << round;
+
+    // Oracle: brute-force pairs within the threshold, skipping id-equal
+    // pairs, as a multiset.
+    const ExprPtr pred = Le(FeatureDistance(0, 1), Lit(0.55));
+    auto oracle = OracleJoin(lhs, rhs, pred);
+    ASSERT_TRUE(oracle.ok());
+    std::vector<std::string> expected;
+    for (const PatchTuple& t : *oracle) {
+      if (t[0].id() == t[1].id()) continue;
+      expected.push_back(BytesOfTuple(t));
+    }
+    std::vector<std::string> actual = BytesOf(*parallel_out);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "round " << round;
+  }
+}
+
+// --- Pre-merge aggregation --------------------------------------------------
+
+TEST(ParallelAggregateTest, MatchesVolcanoOracleOnRandomizedInputs) {
+  // 16 input shapes × 6 predicates = 96 randomized aggregate rounds, each
+  // checking all six parallel aggregates against reductions of the
+  // Volcano-filtered survivor stream.
+  const size_t sizes[] = {0, 1, 2, 63, 64, 65, 500, 1000,
+                          1023, 1024, 1025, 2000, 3000, 4096, 5000, 8000};
+  int round = 0;
+  for (size_t n : sizes) {
+    for (int which = 0; which < 6; ++which, ++round) {
+      InputSpec spec;
+      spec.seed = 20000 + static_cast<uint64_t>(round);
+      spec.n = n;
+      spec.num_keys = 6;
+      spec.skew = (round % 3 == 0) ? 0.7 : 0.0;
+      spec.null_fraction = (round % 2 == 0) ? 0.35 : 0.0;
+      const PatchCollection rows = MakeInput(spec);
+      const ExprPtr pred = ScanPredicate(which);
+      const PatchCollection survivors = OracleSurvivors(rows, pred);
+
+      MorselOptions tiny;
+      tiny.batch_size = 1;
+      tiny.morsel_size = 7;
+      for (const MorselOptions& options : {MorselOptions{}, tiny}) {
+        // COUNT(*)
+        auto count = ParallelCount(rows, pred, options);
+        ASSERT_TRUE(count.ok()) << count.status().ToString();
+        EXPECT_EQ(*count, survivors.size()) << "round " << round;
+
+        // COUNT(DISTINCT k)
+        std::unordered_set<std::string> distinct;
+        for (const Patch& p : survivors) {
+          distinct.insert(p.meta().Get("k").ToIndexKey());
+        }
+        auto distinct_count = ParallelCountDistinctKey(rows, "k", pred,
+                                                       options);
+        ASSERT_TRUE(distinct_count.ok());
+        EXPECT_EQ(*distinct_count, distinct.size()) << "round " << round;
+
+        // GROUP BY g → COUNT
+        std::map<std::string, uint64_t> group_counts;
+        for (const Patch& p : survivors) {
+          ++group_counts[p.meta().Get("g").ToDisplayString()];
+        }
+        auto groups = ParallelGroupByCount(rows, "g", pred, options);
+        ASSERT_TRUE(groups.ok());
+        EXPECT_EQ(*groups, group_counts) << "round " << round;
+
+        // GROUP BY g → SUM/MIN/MAX(v). "v" is integer-valued, so the
+        // doubles are exact and the parallel sum must equal the serial
+        // one bit-for-bit.
+        for (NumericAgg agg :
+             {NumericAgg::kSum, NumericAgg::kMin, NumericAgg::kMax}) {
+          std::map<std::string, double> expected_num;
+          for (const Patch& p : survivors) {
+            auto num = p.meta().Get("v").AsNumeric();
+            if (!num.ok()) continue;
+            auto [iter, inserted] = expected_num.emplace(
+                p.meta().Get("g").ToDisplayString(), num.value());
+            if (inserted) continue;
+            if (agg == NumericAgg::kSum) iter->second += num.value();
+            if (agg == NumericAgg::kMin) {
+              iter->second = std::min(iter->second, num.value());
+            }
+            if (agg == NumericAgg::kMax) {
+              iter->second = std::max(iter->second, num.value());
+            }
+          }
+          auto numeric =
+              ParallelGroupByNumeric(rows, "g", "v", agg, pred, options);
+          ASSERT_TRUE(numeric.ok());
+          EXPECT_EQ(*numeric, expected_num)
+              << "round " << round << " agg " << static_cast<int>(agg);
+        }
+
+        // FirstBy-style argmin over "v" (earliest row wins ties).
+        const Patch* best = nullptr;
+        for (const Patch& p : survivors) {
+          if (best == nullptr ||
+              p.meta().Get("v").Compare(best->meta().Get("v")) < 0) {
+            best = &p;
+          }
+        }
+        auto min_by = ParallelMinBy(rows, "v", pred, options);
+        ASSERT_TRUE(min_by.ok());
+        ASSERT_EQ(min_by->has_value(), best != nullptr) << "round " << round;
+        if (best != nullptr) {
+          EXPECT_EQ(BytesOfTuple(PatchTuple{**min_by}),
+                    BytesOfTuple(PatchTuple{*best}))
+              << "round " << round;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelAggregateTest, RepeatedRunsAreDeterministic) {
+  InputSpec spec;
+  spec.seed = 77;
+  spec.n = 6000;
+  spec.num_keys = 9;
+  spec.null_fraction = 0.1;
+  const PatchCollection rows = MakeInput(spec);
+  const ExprPtr pred = ScanPredicate(1);
+
+  auto first_groups = ParallelGroupByCount(rows, "g", pred);
+  auto first_sum =
+      ParallelGroupByNumeric(rows, "g", "v", NumericAgg::kSum, pred);
+  auto first_min = ParallelMinBy(rows, "v", pred);
+  ASSERT_TRUE(first_groups.ok() && first_sum.ok() && first_min.ok());
+  for (int rep = 0; rep < 4; ++rep) {
+    auto groups = ParallelGroupByCount(rows, "g", pred);
+    auto sum = ParallelGroupByNumeric(rows, "g", "v", NumericAgg::kSum, pred);
+    auto min_by = ParallelMinBy(rows, "v", pred);
+    ASSERT_TRUE(groups.ok() && sum.ok() && min_by.ok());
+    EXPECT_EQ(*groups, *first_groups) << "rep " << rep;
+    EXPECT_EQ(*sum, *first_sum) << "rep " << rep;
+    EXPECT_EQ(BytesOfTuple(PatchTuple{**min_by}),
+              BytesOfTuple(PatchTuple{**first_min}))
+        << "rep " << rep;
+  }
+}
+
+TEST(ParallelAggregateTest, PredicateErrorsPropagateFromWorkers) {
+  PatchCollection rows;
+  for (int i = 0; i < 4000; ++i) {
+    Patch p;
+    p.set_id(static_cast<PatchId>(i + 1));
+    // Row 3170 carries a string where the predicate expects a flag.
+    p.mutable_meta().Set("flag", i == 3170 ? MetaValue("oops")
+                                           : MetaValue(i % 2 == 0));
+    rows.push_back(std::move(p));
+  }
+  auto count = ParallelCount(rows, Attr("flag"));
+  ASSERT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsTypeError());
+}
+
+// --- Planner pushdown -------------------------------------------------------
+
+TEST(PlannerAggregatePushdownTest, FullScanAndIndexPathsAgree) {
+  InputSpec spec;
+  spec.seed = 321;
+  spec.n = 2500;
+  spec.num_keys = 7;
+  spec.null_fraction = 0.15;
+
+  ViewCache unindexed;
+  unindexed.patches = MakeInput(spec);
+  ViewCache indexed;
+  indexed.patches = unindexed.patches;
+  HashIndex& g_index = indexed.hash_indexes["g"];
+  for (size_t i = 0; i < indexed.patches.size(); ++i) {
+    g_index.Insert(Slice(indexed.patches[i].meta().Get("g").ToIndexKey()),
+                   static_cast<RowId>(i));
+  }
+
+  // Sargable predicate: the indexed view takes the hash-lookup path, the
+  // bare view the parallel full scan; every aggregate must agree, and
+  // both must match reducing the materialized scan.
+  const ExprPtr pred =
+      And(Eq(Attr("g"), Lit("g2")), Ge(Attr(meta_keys::kScore), Lit(0.25)));
+  for (const ViewCache* view : {&unindexed, &indexed}) {
+    PlanExplanation plan;
+    auto scan = Planner::ExecuteScan(*view, pred, &plan);
+    ASSERT_TRUE(scan.ok());
+    if (view == &indexed) {
+      EXPECT_EQ(plan.path, AccessPath::kHashLookup);
+    } else {
+      EXPECT_EQ(plan.path, AccessPath::kFullScan);
+    }
+
+    auto count = Planner::ExecuteScanCount(*view, pred, nullptr);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, scan->size());
+
+    std::unordered_set<std::string> distinct;
+    std::map<std::string, uint64_t> group_counts;
+    const Patch* best = nullptr;
+    for (const Patch& p : *scan) {
+      distinct.insert(p.meta().Get("k").ToIndexKey());
+      ++group_counts[p.meta().Get("k").ToDisplayString()];
+      if (best == nullptr ||
+          p.meta().Get("v").Compare(best->meta().Get("v")) < 0) {
+        best = &p;
+      }
+    }
+    auto distinct_count =
+        Planner::ExecuteScanCountDistinct(*view, "k", pred, nullptr);
+    ASSERT_TRUE(distinct_count.ok());
+    EXPECT_EQ(*distinct_count, distinct.size());
+
+    auto groups = Planner::ExecuteScanGroupCount(*view, "k", pred, nullptr);
+    ASSERT_TRUE(groups.ok());
+    EXPECT_EQ(*groups, group_counts);
+
+    auto min_by = Planner::ExecuteScanMinBy(*view, "v", pred, nullptr);
+    ASSERT_TRUE(min_by.ok());
+    ASSERT_EQ(min_by->has_value(), best != nullptr);
+    if (best != nullptr) {
+      EXPECT_EQ(BytesOfTuple(PatchTuple{**min_by}),
+                BytesOfTuple(PatchTuple{*best}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deeplens
