@@ -1,0 +1,272 @@
+// Microbenchmark: the inference & decode cache subsystem on repeated
+// workloads — (1) a repeated NN-UDF query over a panel view (the paper's
+// §7.4 "inference dominates query time" scenario) and (2) repeated
+// random frame reads over an encoded video (§3.1 decode cost). Results
+// are verified identical across cached/uncached engines before timing is
+// reported, all timings are written to BENCH_cache.json, and the run
+// fails unless the warm (cache-hit) pass is at least 3x faster than the
+// cold (cache-miss) pass for both workloads.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/cache_config.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "core/query.h"
+#include "exec/nn_udf.h"
+#include "sim/scene.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+namespace bench {
+namespace {
+
+constexpr int kPanels = 240;
+constexpr int kFrames = 160;
+constexpr int kRandomReads = 80;
+constexpr int kWarmReps = 3;
+constexpr double kRequiredSpeedup = 3.0;
+
+PatchCollection PanelView(int n) {
+  Rng rng(0xcafe0001);
+  PatchCollection patches;
+  patches.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Every panel gets unique background noise so fingerprints are
+    // distinct — the cold pass must run one inference per patch (with
+    // identical panels, intra-query sharing alone would serve them).
+    Image panel(64, 64, 3);
+    for (auto& b : panel.bytes()) {
+      b = static_cast<uint8_t>(10 + rng.NextU64Below(20));
+    }
+    if (rng.NextU64Below(100) < 70) {
+      // Multi-digit strings: OCR segments and classifies each glyph.
+      const std::string digits =
+          std::to_string(100 + rng.NextU64Below(900));
+      sim::DrawDigits(&panel, nn::BBox{4, 20, 60, 44}, digits);
+    }
+    Patch p;
+    p.set_id(static_cast<PatchId>(i + 1));
+    p.set_ref(ImgRef{"panels", i, kInvalidPatchId});
+    p.set_pixels(std::move(panel));
+    p.set_bbox(nn::BBox{0, 0, 64, 64});
+    p.mutable_meta().Set(meta_keys::kFrameNo, int64_t{i});
+    patches.push_back(std::move(p));
+  }
+  return patches;
+}
+
+std::vector<Image> VideoFrames(int n) {
+  std::vector<Image> frames;
+  frames.reserve(n);
+  for (int f = 0; f < n; ++f) {
+    Image img(64, 48, 3);
+    for (int y = 0; y < 48; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        img.At(x, y, 0) = static_cast<uint8_t>((x * 3 + f * 2) & 0xff);
+        img.At(x, y, 1) = static_cast<uint8_t>((y * 5 + f) & 0xff);
+        img.At(x, y, 2) = 40;
+      }
+    }
+    const int bx = (f * 3) % 60;
+    for (int dy = 0; dy < 4; ++dy) {
+      for (int dx = 0; dx < 4; ++dx) {
+        img.At(bx + dx, 20 + dy, 0) = 255;
+      }
+    }
+    frames.push_back(std::move(img));
+  }
+  return frames;
+}
+
+struct CaseTiming {
+  const char* name;
+  double ms = 0.0;
+  uint64_t rows_out = 0;
+};
+
+void WriteJson(const std::vector<CaseTiming>& cases, double infer_speedup,
+               double decode_speedup, double infer_hit_rate,
+               double decode_hit_rate) {
+  std::FILE* f = std::fopen("BENCH_cache.json", "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not open BENCH_cache.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_cache\",\n");
+  std::fprintf(f, "  \"panels\": %d,\n  \"frames\": %d,\n", kPanels,
+               kFrames);
+  std::fprintf(f, "  \"workers\": %zu,\n",
+               ThreadPool::Global().num_threads());
+  std::fprintf(f, "  \"inference_warm_speedup\": %.2f,\n", infer_speedup);
+  std::fprintf(f, "  \"decode_warm_speedup\": %.2f,\n", decode_speedup);
+  std::fprintf(f, "  \"inference_hit_rate\": %.3f,\n", infer_hit_rate);
+  std::fprintf(f, "  \"decode_hit_rate\": %.3f,\n", decode_hit_rate);
+  std::fprintf(f, "  \"cases\": [\n");
+  for (size_t i = 0; i < cases.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ms\": %.3f, \"rows_out\": "
+                 "%" PRIu64 "}%s\n",
+                 cases[i].name, cases[i].ms, cases[i].rows_out,
+                 i + 1 == cases.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_cache.json (%zu cases)\n", cases.size());
+}
+
+int Run() {
+  PrintHeader("micro: inference & decode caches (cold vs warm)",
+              "the §3.1/§7.4 reuse argument; no paper figure");
+
+  ScratchDir scratch("dl_bench_cache");
+  auto db_or = Database::Open(scratch.path() + "/db");
+  DL_CHECK_OK(db_or.status());
+  Database* db = db_or->get();
+  CacheConfig config;
+  config.budget_bytes = 256 << 20;  // ample: this bench measures hits
+  db->ConfigureCaches(config);
+
+  // --- 1. Repeated NN-UDF query --------------------------------------
+  DL_CHECK_OK(db->RegisterView("panels", PanelView(kPanels)));
+
+  // Depth first (the conv feature extractor is the compute-bound model),
+  // then OCR on the rows that pass — both memoized when a cache is given.
+  // Count() keeps the aggregate path (no survivor materialization), so
+  // the timing isolates inference vs cache lookups.
+  auto run_query = [&](InferenceCache* cache) -> std::pair<double, uint64_t> {
+    Query query(db, "panels");
+    query.Where(Gt(DepthUdf(0, db->depth_model(), 240, cache), Lit(1.0)));
+    query.Where(Ne(OcrTextUdf(0, db->ocr(), cache), Lit("")));
+    Stopwatch timer;
+    auto count = query.Count();
+    DL_CHECK_OK(count.status());
+    return {timer.ElapsedMillis(), *count};
+  };
+
+  const auto [uncached_ms, uncached_rows] = run_query(nullptr);
+  const auto [cold_ms, cold_rows] = run_query(db->inference_cache());
+  double warm_ms = 1e300;
+  uint64_t warm_rows = 0;
+  for (int rep = 0; rep < kWarmReps; ++rep) {
+    const auto [ms, rows] = run_query(db->inference_cache());
+    warm_ms = ms < warm_ms ? ms : warm_ms;
+    warm_rows = rows;
+  }
+  if (uncached_rows != cold_rows || cold_rows != warm_rows) {
+    std::printf("CACHE MISMATCH: uncached=%" PRIu64 " cold=%" PRIu64
+                " warm=%" PRIu64 "\n",
+                uncached_rows, cold_rows, warm_rows);
+    return 1;
+  }
+  const CacheStats infer_stats = db->inference_cache()->Stats();
+  const double infer_speedup = cold_ms / warm_ms;
+
+  std::printf("repeated depth+OCR UDF query over %d panels (matches: %" PRIu64
+              "):\n",
+              kPanels, cold_rows);
+  std::printf("%-24s %10.2f ms\n", "uncached", uncached_ms);
+  std::printf("%-24s %10.2f ms\n", "cold (miss+fill)", cold_ms);
+  std::printf("%-24s %10.2f ms %8.1fx\n", "warm (hits)", warm_ms,
+              infer_speedup);
+  std::printf("inference cache: %.1f%% hit rate, %" PRIu64
+              " entries, %" PRIu64 " KB\n",
+              100.0 * infer_stats.HitRate(), infer_stats.entries,
+              infer_stats.bytes >> 10);
+
+  // --- 2. Repeated random reads over an encoded video -----------------
+  const std::string video_path = scratch.path() + "/video";
+  {
+    VideoStoreOptions options;
+    options.format = VideoFormat::kEncoded;
+    options.gop_size = 20;
+    auto writer = CreateVideoWriter(video_path, options);
+    DL_CHECK_OK(writer.status());
+    for (const Image& f : VideoFrames(kFrames)) {
+      DL_CHECK_OK((*writer)->AddFrame(f));
+    }
+    DL_CHECK_OK((*writer)->Finish());
+  }
+  std::vector<int> read_order;
+  {
+    Rng rng(0xdec0ded);
+    for (int i = 0; i < kRandomReads; ++i) {
+      read_order.push_back(static_cast<int>(rng.NextU64Below(kFrames)));
+    }
+  }
+  auto run_reads = [&](VideoReader* reader) -> std::pair<double, uint64_t> {
+    Stopwatch timer;
+    uint64_t bytes = 0;
+    for (int f : read_order) {
+      auto img = reader->ReadFrame(f);
+      DL_CHECK_OK(img.status());
+      bytes += img->size_bytes();
+    }
+    return {timer.ElapsedMillis(), bytes};
+  };
+
+  auto uncached_reader = OpenVideo(video_path);
+  DL_CHECK_OK(uncached_reader.status());
+  const auto [dec_uncached_ms, dec_uncached_bytes] =
+      run_reads(uncached_reader->get());
+
+  auto cached_reader = OpenVideo(video_path, db->segment_cache());
+  DL_CHECK_OK(cached_reader.status());
+  const auto [dec_cold_ms, dec_cold_bytes] = run_reads(cached_reader->get());
+  double dec_warm_ms = 1e300;
+  uint64_t dec_warm_bytes = 0;
+  for (int rep = 0; rep < kWarmReps; ++rep) {
+    const auto [ms, bytes] = run_reads(cached_reader->get());
+    dec_warm_ms = ms < dec_warm_ms ? ms : dec_warm_ms;
+    dec_warm_bytes = bytes;
+  }
+  if (dec_uncached_bytes != dec_cold_bytes ||
+      dec_cold_bytes != dec_warm_bytes) {
+    std::printf("DECODE MISMATCH: uncached=%" PRIu64 " cold=%" PRIu64
+                " warm=%" PRIu64 "\n",
+                dec_uncached_bytes, dec_cold_bytes, dec_warm_bytes);
+    return 1;
+  }
+  const CacheStats seg_stats = db->segment_cache()->Stats();
+  const double decode_speedup = dec_cold_ms / dec_warm_ms;
+
+  std::printf("\n%d random ReadFrame()s over a %d-frame encoded video "
+              "(gop 20):\n",
+              kRandomReads, kFrames);
+  std::printf("%-24s %10.2f ms\n", "uncached", dec_uncached_ms);
+  std::printf("%-24s %10.2f ms\n", "cold (miss+fill)", dec_cold_ms);
+  std::printf("%-24s %10.2f ms %8.1fx\n", "warm (hits)", dec_warm_ms,
+              decode_speedup);
+  std::printf("segment cache: %.1f%% hit rate, %" PRIu64 " segments, %" PRIu64
+              " KB\n",
+              100.0 * seg_stats.HitRate(), seg_stats.entries,
+              seg_stats.bytes >> 10);
+
+  WriteJson({{"ocr_udf_query_uncached", uncached_ms, uncached_rows},
+             {"ocr_udf_query_cold", cold_ms, cold_rows},
+             {"ocr_udf_query_warm", warm_ms, warm_rows},
+             {"encoded_reads_uncached", dec_uncached_ms, dec_uncached_bytes},
+             {"encoded_reads_cold", dec_cold_ms, dec_cold_bytes},
+             {"encoded_reads_warm", dec_warm_ms, dec_warm_bytes}},
+            infer_speedup, decode_speedup, infer_stats.HitRate(),
+            seg_stats.HitRate());
+
+  if (infer_speedup < kRequiredSpeedup || decode_speedup < kRequiredSpeedup) {
+    std::printf("\nFAIL: warm speedup below %.1fx target (inference %.2fx, "
+                "decode %.2fx)\n",
+                kRequiredSpeedup, infer_speedup, decode_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deeplens
+
+int main() { return deeplens::bench::Run(); }

@@ -1,0 +1,33 @@
+#include "cache/cache_config.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/env.h"
+
+namespace deeplens {
+
+CacheConfig CacheConfig::FromEnv() {
+  CacheConfig config;
+  // Cap at 1 TB: anything above that is almost certainly a typo'd value,
+  // and the validated parser treats out-of-range as garbage.
+  const uint64_t mb = PositiveIntFromEnv(
+      "DEEPLENS_CACHE_MB", kDefaultBudgetBytes >> 20,
+      /*max_value=*/1ull << 20, /*allow_zero=*/true);
+  config.budget_bytes = static_cast<size_t>(mb) << 20;
+  return config;
+}
+
+size_t CacheConfig::ResolvedShards() const {
+  if (shards > 0) return shards;
+  // Mirrors ThreadPool::Global()'s sizing without instantiating the pool
+  // (opening a Database must not spin up worker threads as a side
+  // effect).
+  const uint64_t width = PositiveIntFromEnv(
+      "DEEPLENS_NUM_THREADS",
+      std::max<uint64_t>(2, std::thread::hardware_concurrency()),
+      /*max_value=*/4096);
+  return 2 * static_cast<size_t>(width);
+}
+
+}  // namespace deeplens

@@ -1,0 +1,31 @@
+// Sizing knobs for the Database-owned caches. The single environment
+// knob DEEPLENS_CACHE_MB sets the *total* byte budget, split evenly
+// between the inference cache and the decoded-segment cache; 0 disables
+// both. Shard counts default to the global thread pool width so morsel
+// workers rarely contend on a shard mutex.
+#pragma once
+
+#include <cstddef>
+
+namespace deeplens {
+
+struct CacheConfig {
+  /// Total budget in bytes across both caches. 0 = caching disabled.
+  size_t budget_bytes = kDefaultBudgetBytes;
+  /// Mutex shards per cache; 0 = auto (2× the global pool width).
+  size_t shards = 0;
+
+  static constexpr size_t kDefaultBudgetBytes = 64ull << 20;  // 64 MB
+
+  /// Reads DEEPLENS_CACHE_MB (validated like DEEPLENS_NUM_THREADS:
+  /// garbage / negative values fall back to the 64 MB default; an
+  /// explicit 0 disables caching).
+  static CacheConfig FromEnv();
+
+  size_t inference_budget() const { return budget_bytes / 2; }
+  size_t segment_budget() const { return budget_bytes - budget_bytes / 2; }
+  /// The resolved shard count (applies the auto rule).
+  size_t ResolvedShards() const;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,99 @@
+#include "cache/inference_cache.h"
+
+#include "nn/device.h"
+
+namespace deeplens {
+
+namespace {
+
+struct ByteSizeVisitor {
+  size_t operator()(const std::string& s) const { return s.size(); }
+  size_t operator()(double) const { return sizeof(double); }
+  size_t operator()(const Tensor& t) const {
+    return static_cast<size_t>(t.size()) * sizeof(float) +
+           t.shape().size() * sizeof(int64_t);
+  }
+  size_t operator()(const std::vector<nn::Detection>& d) const {
+    return d.size() * sizeof(nn::Detection);
+  }
+};
+
+}  // namespace
+
+size_t InferenceValue::ByteSize() const {
+  return sizeof(InferenceValue) + std::visit(ByteSizeVisitor{}, payload);
+}
+
+std::string InferenceCache::KeyFor(const std::string& model,
+                                   uint64_t fingerprint, uint64_t variant) {
+  std::string key;
+  key.reserve(model.size() + 34);
+  key += model;
+  key += '#';
+  key += std::to_string(fingerprint);
+  if (variant != 0) {
+    key += '@';
+    key += std::to_string(variant);
+  }
+  return key;
+}
+
+std::string InferenceCache::ModelOnDevice(const char* model,
+                                          nn::Device* device) {
+  std::string key(model);
+  key += '@';
+  key += device != nullptr ? device->name() : "default";
+  return key;
+}
+
+void InferenceCache::Put(const std::string& key, InferenceValue value) {
+  const size_t charge = value.ByteSize();
+  cache_.Put(key, std::make_shared<const InferenceValue>(std::move(value)),
+             charge);
+}
+
+Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
+                                  const Image& pixels, uint64_t fingerprint,
+                                  nn::Device* device,
+                                  InferenceCache* cache) {
+  std::string key;
+  if (cache != nullptr && cache->enabled() && fingerprint != 0) {
+    key = InferenceCache::KeyFor(
+        InferenceCache::ModelOnDevice(model_names::kOcr, device),
+        fingerprint);
+    if (auto hit = cache->Get(key)) {
+      return std::get<std::string>(hit->payload);
+    }
+  }
+  DL_ASSIGN_OR_RETURN(std::string text, ocr.RecognizeText(pixels, device));
+  if (!key.empty()) {
+    cache->Put(key, InferenceValue{text});
+  }
+  return text;
+}
+
+Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
+                           const nn::BBox& bbox, int frame_h,
+                           uint64_t fingerprint, nn::Device* device,
+                           InferenceCache* cache) {
+  std::string key;
+  if (cache != nullptr && cache->enabled() && fingerprint != 0) {
+    // The geometry cue depends on the source-frame height, so it is part
+    // of the key (the bbox is already folded into the fingerprint).
+    key = InferenceCache::KeyFor(
+        InferenceCache::ModelOnDevice(model_names::kDepth, device),
+        fingerprint, static_cast<uint64_t>(frame_h));
+    if (auto hit = cache->Get(key)) {
+      return std::get<double>(hit->payload);
+    }
+  }
+  DL_ASSIGN_OR_RETURN(float depth,
+                      model.PredictDepth(pixels, bbox, frame_h, device));
+  const double value = static_cast<double>(depth);
+  if (!key.empty()) {
+    cache->Put(key, InferenceValue{value});
+  }
+  return value;
+}
+
+}  // namespace deeplens

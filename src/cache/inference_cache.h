@@ -1,0 +1,104 @@
+// InferenceCache: sharded, byte-budgeted memoization of NN UDF outputs,
+// keyed by (model name, patch/frame fingerprint). The paper's §7.4
+// observation is that inference dominates visual query time; repeated
+// queries over the same view should therefore pay one inference per
+// distinct patch, not one per query. Morsel workers consult the shared
+// shards concurrently (per-shard mutexes; values returned by shared_ptr
+// so no lock is held during use).
+//
+// The typed Cached* wrappers are the integration points: call sites hand
+// them a model, the pixels, and an optional cache; a null or disabled
+// cache degrades to a plain inference call, which is what the
+// differential tests exploit to prove cache-on == cache-off.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cache/sharded_lru.h"
+#include "core/patch.h"
+#include "nn/models.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+
+/// Canonical model names used in cache keys and plan explanations.
+namespace model_names {
+inline constexpr const char* kDetector = "tiny-ssd";
+inline constexpr const char* kOcr = "tiny-ocr";
+inline constexpr const char* kDepth = "tiny-depth";
+}  // namespace model_names
+
+/// One memoized inference output. Which alternative is active is
+/// determined by the model that produced it.
+struct InferenceValue {
+  std::variant<std::string, double, Tensor, std::vector<nn::Detection>>
+      payload;
+
+  /// Approximate heap footprint, charged against the cache budget.
+  size_t ByteSize() const;
+};
+
+class InferenceCache {
+ public:
+  /// `budget_bytes` = 0 disables the cache (all lookups miss, inserts
+  /// are dropped, no locks taken).
+  InferenceCache(size_t budget_bytes, size_t num_shards)
+      : cache_(budget_bytes, num_shards) {}
+
+  bool enabled() const { return cache_.enabled(); }
+
+  /// Cache key for `model` applied to content with `fingerprint`.
+  /// `variant` distinguishes runs of the same model under different
+  /// parameters (e.g. the frame height fed to the depth head). Fold the
+  /// device into `model` (ModelOnDevice) — backends are only
+  /// tolerance-equal, so their outputs must not share entries.
+  static std::string KeyFor(const std::string& model, uint64_t fingerprint,
+                            uint64_t variant = 0);
+
+  /// "model@device" key prefix for device-dependent outputs.
+  static std::string ModelOnDevice(const char* model, nn::Device* device);
+
+  std::shared_ptr<const InferenceValue> Get(const std::string& key) {
+    return cache_.Get(key);
+  }
+  void Put(const std::string& key, InferenceValue value);
+
+  void Clear() { cache_.Clear(); }
+  CacheStats Stats() const { return cache_.Stats(); }
+
+ private:
+  ShardedLruCache<InferenceValue> cache_;
+};
+
+// --- Memoized inference entry points ------------------------------------
+// Each consults `cache` first (when non-null and enabled) and stores the
+// result on a miss. Results are bit-identical to the direct model call:
+// the cache stores outputs, it never approximates them. The execution
+// device is part of the key — kernels on different backends are only
+// tolerance-equal, so a scalar-device result must never answer a
+// vector-device query. Pass `fingerprint` = 0 when no cache is attached
+// to skip hashing entirely (callers: compute it only for an enabled
+// cache).
+
+/// OCR over patch pixels. `fingerprint` is Patch::Fingerprint() (or
+/// ImageFingerprint for bare crops).
+Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
+                                  const Image& pixels, uint64_t fingerprint,
+                                  nn::Device* device, InferenceCache* cache);
+
+/// Monocular depth over patch pixels + box geometry.
+Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
+                           const nn::BBox& bbox, int frame_h,
+                           uint64_t fingerprint, nn::Device* device,
+                           InferenceCache* cache);
+
+/// Fingerprint for cache use: 0 (no hashing at all) when no enabled
+/// cache is attached, so the cache-disabled configuration pays nothing.
+inline uint64_t CacheFingerprint(const Patch& p, InferenceCache* cache) {
+  return cache != nullptr && cache->enabled() ? p.Fingerprint() : 0;
+}
+
+}  // namespace deeplens

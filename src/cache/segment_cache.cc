@@ -1,0 +1,34 @@
+#include "cache/segment_cache.h"
+
+namespace deeplens {
+
+std::string SegmentCache::StreamId(const std::string& path,
+                                   uint64_t size_bytes, uint32_t crc) {
+  return path + "#" + std::to_string(size_bytes) + "#" +
+         std::to_string(crc);
+}
+
+std::string SegmentCache::KeyFor(const std::string& stream_id,
+                                 int start_frame) {
+  return stream_id + "@" + std::to_string(start_frame);
+}
+
+std::shared_ptr<const SegmentCache::Segment> SegmentCache::Get(
+    const std::string& stream_id, int start_frame) {
+  return cache_.Get(KeyFor(stream_id, start_frame));
+}
+
+void SegmentCache::Put(const std::string& stream_id, int start_frame,
+                       Segment frames) {
+  Put(stream_id, start_frame,
+      std::make_shared<const Segment>(std::move(frames)));
+}
+
+void SegmentCache::Put(const std::string& stream_id, int start_frame,
+                       std::shared_ptr<const Segment> frames) {
+  size_t charge = sizeof(Segment);
+  for (const Image& f : *frames) charge += f.size_bytes() + sizeof(Image);
+  cache_.Put(KeyFor(stream_id, start_frame), std::move(frames), charge);
+}
+
+}  // namespace deeplens

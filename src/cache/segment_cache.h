@@ -1,0 +1,61 @@
+// SegmentCache: memoization of decoded group-of-pictures segments, so
+// random reads over DLV1 streams decode each GOP once instead of
+// replaying the stream per read (paper §3.1: the Encoded File layout's
+// whole cost is redundant sequential decode). Modeled on pod5's
+// chunked-record reads: the unit of caching is the codec's natural
+// chunk — a GOP (EncodedFile) or a clip (SegmentedFile) — keyed by
+// (stream identity, start frame).
+//
+// Stream identity includes the file's byte size and a CRC so a rewritten
+// file at the same path can never serve stale frames.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/sharded_lru.h"
+#include "tensor/tensor.h"
+
+namespace deeplens {
+
+class SegmentCache {
+ public:
+  /// A decoded run of consecutive frames starting at the keyed frameno.
+  using Segment = std::vector<Image>;
+
+  /// `budget_bytes` = 0 disables the cache. Segments are large (a whole
+  /// decoded GOP/clip) and must fit inside one shard's slice of the
+  /// budget, so the shard count is capped low — readers are few compared
+  /// to morsel workers, and a finer split would silently reject every
+  /// realistic segment.
+  SegmentCache(size_t budget_bytes, size_t num_shards)
+      : cache_(budget_bytes, std::min<size_t>(num_shards, kMaxShards)) {}
+
+  static constexpr size_t kMaxShards = 4;
+
+  bool enabled() const { return cache_.enabled(); }
+
+  /// Builds a collision-safe stream identity for a stored stream.
+  static std::string StreamId(const std::string& path, uint64_t size_bytes,
+                              uint32_t crc);
+
+  std::shared_ptr<const Segment> Get(const std::string& stream_id,
+                                     int start_frame);
+  void Put(const std::string& stream_id, int start_frame, Segment frames);
+  /// Shared-ownership insert: lets a reader keep using the segment it
+  /// just decoded without re-fetching (and regardless of later eviction).
+  void Put(const std::string& stream_id, int start_frame,
+           std::shared_ptr<const Segment> frames);
+
+  void Clear() { cache_.Clear(); }
+  CacheStats Stats() const { return cache_.Stats(); }
+
+ private:
+  static std::string KeyFor(const std::string& stream_id, int start_frame);
+
+  ShardedLruCache<Segment> cache_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,187 @@
+// Sharded, thread-safe, byte-budgeted LRU cache — the core of the
+// inference / decode memoization subsystem (paper §3.1 decode cost,
+// §7.4 inference reuse: repeated visual queries should be lookup-bound,
+// not compute-bound).
+//
+// The byte budget is split evenly across shards; each shard owns its own
+// mutex, hash map, and recency list, so morsel workers hitting different
+// shards never contend. A budget of 0 disables the cache entirely: Get
+// always misses, Put is a no-op, and neither takes a lock.
+//
+// Values are held as shared_ptr<const V>: readers keep entries alive even
+// if a concurrent insert evicts them, so no lock is held while a caller
+// uses a cached value.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+
+namespace deeplens {
+
+/// Aggregate counters over all shards of a cache. Point-in-time snapshot;
+/// counters from different shards are read under their own locks, so the
+/// totals are consistent per shard but not globally atomic.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Inserts refused because one entry alone exceeded a shard's budget.
+  uint64_t rejected = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t shards = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double HitRate() const {
+    const uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// \brief Generic sharded LRU core. `V` is the cached value type; the
+/// caller supplies an explicit byte charge per entry (the key's bytes are
+/// added on top so budget accounting tracks real footprint).
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `budget_bytes` = 0 disables the cache. `num_shards` is clamped to
+  /// [1, 256]; size it to the thread pool (see DefaultCacheShards()).
+  ShardedLruCache(size_t budget_bytes, size_t num_shards)
+      : budget_bytes_(budget_bytes) {
+    if (num_shards < 1) num_shards = 1;
+    if (num_shards > 256) num_shards = 256;
+    if (budget_bytes == 0) return;  // disabled: no shards allocated
+    shards_.reserve(num_shards);
+    const size_t per_shard = (budget_bytes + num_shards - 1) / num_shards;
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->budget = per_shard;
+    }
+  }
+
+  bool enabled() const { return !shards_.empty(); }
+  size_t budget_bytes() const { return budget_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Returns the cached value or nullptr on miss.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    if (!enabled()) return nullptr;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    // Move to the front of the recency list.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, charging `charge` + key bytes against
+  /// the shard budget and evicting least-recently-used entries as needed.
+  /// An entry larger than a whole shard's budget is rejected outright so
+  /// one oversized value cannot flush the shard.
+  void Put(const std::string& key, std::shared_ptr<const V> value,
+           size_t charge) {
+    if (!enabled()) return;
+    Shard& shard = ShardFor(key);
+    const size_t total = charge + key.size() + kEntryOverhead;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (total > shard.budget) {
+      ++shard.rejected;
+      return;
+    }
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->charge;
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+    }
+    shard.lru.push_front(Entry{key, std::move(value), total});
+    shard.map[key] = shard.lru.begin();
+    shard.bytes += total;
+    ++shard.insertions;
+    while (shard.bytes > shard.budget && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Drops every entry (stats counters are preserved).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->map.clear();
+      shard->bytes = 0;
+    }
+  }
+
+  CacheStats Stats() const {
+    CacheStats stats;
+    stats.budget_bytes = budget_bytes_;
+    stats.shards = shards_.size();
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      stats.hits += shard->hits;
+      stats.misses += shard->misses;
+      stats.insertions += shard->insertions;
+      stats.evictions += shard->evictions;
+      stats.rejected += shard->rejected;
+      stats.entries += shard->lru.size();
+      stats.bytes += shard->bytes;
+    }
+    return stats;
+  }
+
+ private:
+  // Fixed bookkeeping charge per entry (list/map node overhead), so even
+  // zero-byte payloads cannot grow the cache unboundedly.
+  static constexpr size_t kEntryOverhead = 64;
+
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    size_t charge = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string,
+                       typename std::list<Entry>::iterator>
+        map;
+    size_t budget = 0;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t rejected = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    const uint64_t h = Fnv1a64(key.data(), key.size());
+    return *shards_[h % shards_.size()];
+  }
+
+  size_t budget_bytes_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace deeplens

@@ -1,0 +1,34 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace deeplens {
+
+uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
+                            uint64_t max_value, bool allow_zero) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  // strtoll tolerates leading whitespace and '+'; a knob must be a bare
+  // decimal number (optionally negative, rejected below), nothing else.
+  const bool bare_decimal =
+      (env[0] >= '0' && env[0] <= '9') ||
+      (env[0] == '-' && env[1] >= '0' && env[1] <= '9');
+  const bool numeric =
+      bare_decimal && end != env && end != nullptr && *end == '\0';
+  if (!numeric || errno == ERANGE || parsed < 0 ||
+      (parsed == 0 && !allow_zero) ||
+      static_cast<unsigned long long>(parsed) > max_value) {
+    DL_LOG(kWarn) << name << "='" << env
+                  << "' is not a valid value; using default " << fallback;
+    return fallback;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace deeplens

@@ -1,0 +1,22 @@
+// Validated parsing of the DEEPLENS_* environment tuning knobs. Every
+// knob that sizes a resource (thread pool width, cache budget) goes
+// through PositiveIntFromEnv so zero, negative, overflowing, or garbage
+// values fall back to a sane default instead of silently misconfiguring
+// the process.
+#pragma once
+
+#include <cstdint>
+
+namespace deeplens {
+
+/// Parses environment variable `name` as a strictly positive decimal
+/// integer. Returns `fallback` when the variable is unset. Malformed
+/// values — empty, non-numeric, trailing garbage, zero, negative, or
+/// greater than `max_value` — are rejected with a warning log and also
+/// fall back. `allow_zero` admits 0 as a valid value (used by knobs where
+/// 0 means "disabled").
+uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
+                            uint64_t max_value = UINT64_MAX,
+                            bool allow_zero = false);
+
+}  // namespace deeplens

@@ -1,7 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace deeplens {
 
@@ -61,15 +62,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 ThreadPool& ThreadPool::Global() {
   // DEEPLENS_NUM_THREADS overrides the pool width (1 = fully serial
   // execution everywhere); the default keeps at least two workers so the
-  // parallel paths stay exercised even on single-core machines.
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("DEEPLENS_NUM_THREADS")) {
-      const long parsed = std::atol(env);
-      if (parsed >= 1) return static_cast<size_t>(parsed);
-    }
-    return static_cast<size_t>(
-        std::max(2u, std::thread::hardware_concurrency()));
-  }());
+  // parallel paths stay exercised even on single-core machines. Zero,
+  // negative, or garbage values fall back to the hardware default rather
+  // than constructing a pool with no workers.
+  static ThreadPool pool(static_cast<size_t>(PositiveIntFromEnv(
+      "DEEPLENS_NUM_THREADS",
+      std::max<uint64_t>(2, std::thread::hardware_concurrency()),
+      /*max_value=*/4096)));
   return pool;
 }
 

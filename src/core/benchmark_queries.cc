@@ -81,19 +81,22 @@ Status BenchmarkWorkload::RunEtl(nn::Device* device, EtlTimings* timings) {
     if (dev->kind() == nn::DeviceKind::kGpuSim) {
       dev = nn::GetDevice(nn::DeviceKind::kCpuVector);
     }
+    InferenceCache* cache = db_->inference_cache();
     auto with_depth = MakeMap(
         std::move(featurized),
-        [depth_model, frame_h, dev](PatchTuple tuple) -> Result<PatchTuple> {
+        [depth_model, frame_h, dev,
+         cache](PatchTuple tuple) -> Result<PatchTuple> {
           for (Patch& p : tuple) {
             auto label = p.meta().Get(meta_keys::kLabel).AsString();
             if (!label.ok() || **label != "person" || !p.has_pixels()) {
               continue;
             }
-            DL_ASSIGN_OR_RETURN(float d,
-                                depth_model->PredictDepth(
-                                    p.pixels(), p.bbox(), frame_h, dev));
-            p.mutable_meta().Set(meta_keys::kDepth,
-                                 static_cast<double>(d));
+            DL_ASSIGN_OR_RETURN(double d,
+                                CachedDepth(*depth_model, p.pixels(),
+                                            p.bbox(), frame_h,
+                                            CacheFingerprint(p, cache),
+                                            dev, cache));
+            p.mutable_meta().Set(meta_keys::kDepth, d);
           }
           return tuple;
         });
@@ -146,8 +149,11 @@ Status BenchmarkWorkload::RunEtl(nn::Device* device, EtlTimings* timings) {
     PatchCollection jerseys;
     for (const Patch& player : players_view->patches) {
       if (!player.has_pixels()) continue;
-      DL_ASSIGN_OR_RETURN(std::string text,
-                          db_->ocr()->RecognizeText(player.pixels(), dev));
+      DL_ASSIGN_OR_RETURN(
+          std::string text,
+          CachedOcrText(*db_->ocr(), player.pixels(),
+                        CacheFingerprint(player, db_->inference_cache()),
+                        dev, db_->inference_cache()));
       if (text.empty()) continue;
       Patch jersey;
       jersey.set_id(db_->id_counter()->fetch_add(1));

@@ -6,7 +6,28 @@
 namespace deeplens {
 
 Database::Database(std::string root)
-    : root_(std::move(root)), depth_(nn::kFocalTimesHeight) {}
+    : root_(std::move(root)), depth_(nn::kFocalTimesHeight) {
+  ConfigureCaches(CacheConfig::FromEnv());
+}
+
+void Database::ConfigureCaches(const CacheConfig& config) {
+  if (inference_cache_) {
+    // Raw-pointer holders (expressions, EtlOptions) keep the object
+    // alive via the retired list, but its entries are dropped now so a
+    // shrink actually releases memory — stragglers just miss.
+    inference_cache_->Clear();
+    retired_inference_caches_.push_back(std::move(inference_cache_));
+  }
+  if (segment_cache_) segment_cache_->Clear();
+  cache_config_ = config;
+  const size_t shards = config.ResolvedShards();
+  inference_cache_ =
+      std::make_unique<InferenceCache>(config.inference_budget(), shards);
+  // Readers from LoadVideo() co-own the old instance; dropping our
+  // reference here retires it once the last reader goes away.
+  segment_cache_ =
+      std::make_shared<SegmentCache>(config.segment_budget(), shards);
+}
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& root) {
   auto db = std::unique_ptr<Database>(new Database(root));
@@ -32,6 +53,7 @@ EtlOptions Database::MakeEtlOptions(const std::string& dataset_name,
   options.dataset_name = dataset_name;
   options.lineage = &lineage_;
   options.id_counter = &id_counter_;
+  options.inference_cache = inference_cache_.get();
   return options;
 }
 
@@ -60,8 +82,13 @@ Status Database::IngestVideo(const std::string& name, FrameIterator frames,
 Result<std::shared_ptr<VideoReader>> Database::LoadVideo(
     const std::string& name) {
   DL_ASSIGN_OR_RETURN(DatasetInfo info, catalog_->Lookup(name));
-  DL_ASSIGN_OR_RETURN(auto reader, OpenVideo(info.path));
-  return std::shared_ptr<VideoReader>(std::move(reader));
+  DL_ASSIGN_OR_RETURN(auto reader,
+                      OpenVideo(info.path, segment_cache_.get()));
+  // The deleter co-owns the segment cache so the reader's raw pointer
+  // stays valid however long the caller keeps the reader.
+  std::shared_ptr<SegmentCache> cache = segment_cache_;
+  return std::shared_ptr<VideoReader>(
+      reader.release(), [cache](VideoReader* r) { delete r; });
 }
 
 Status Database::RegisterView(const std::string& name,

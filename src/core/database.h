@@ -8,7 +8,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "cache/cache_config.h"
+#include "cache/inference_cache.h"
+#include "cache/segment_cache.h"
 #include "etl/generators.h"
 #include "etl/materialize.h"
 #include "etl/transformers.h"
@@ -46,6 +50,20 @@ class Database {
   Catalog* catalog() { return catalog_.get(); }
   LineageStore* lineage() { return &lineage_; }
   std::atomic<uint64_t>* id_counter() { return &id_counter_; }
+
+  // --- Caches (inference memoization + decoded segments) ---------------
+  // Sized by DEEPLENS_CACHE_MB (total budget split between the two;
+  // 0 disables caching). Both are shared by every query/ETL run against
+  // this database; morsel workers hit the shards concurrently.
+  InferenceCache* inference_cache() { return inference_cache_.get(); }
+  SegmentCache* segment_cache() { return segment_cache_.get(); }
+  const CacheConfig& cache_config() const { return cache_config_; }
+
+  /// Re-sizes both caches (drops all cached entries; stats counters on
+  /// the new instances start from zero). Readers
+  /// obtained from LoadVideo() before this call keep using the retired
+  /// segment cache they co-own; reopen them to pick up the new one.
+  void ConfigureCaches(const CacheConfig& config);
 
   // --- Model zoo -------------------------------------------------------
   const nn::TinySsdDetector* detector() const { return &detector_; }
@@ -112,6 +130,16 @@ class Database {
   std::unique_ptr<Catalog> catalog_;
   LineageStore lineage_;
   std::atomic<uint64_t> id_counter_{1};
+
+  CacheConfig cache_config_;
+  // shared_ptr: readers returned by LoadVideo() co-own the segment cache
+  // (captured in their deleter), so they stay safe past ConfigureCaches()
+  // and even past the Database itself.
+  std::shared_ptr<SegmentCache> segment_cache_;
+  std::unique_ptr<InferenceCache> inference_cache_;
+  // Inference caches replaced by ConfigureCaches(); kept alive because
+  // expressions and EtlOptions hold raw pointers into them.
+  std::vector<std::unique_ptr<InferenceCache>> retired_inference_caches_;
 
   nn::TinySsdDetector detector_;
   nn::TinyOcr ocr_;

@@ -3,8 +3,75 @@
 #include <cstring>
 
 #include "codec/image_codec.h"
+#include "common/checksum.h"
 
 namespace deeplens {
+
+uint64_t ImageFingerprint(const Image& img) {
+  const int32_t dims[3] = {img.width(), img.height(), img.channels()};
+  uint64_t h = Fnv1a64(dims, sizeof(dims));
+  if (!img.empty()) {
+    h = Fnv1a64(img.data(), img.size_bytes(), h);
+  }
+  return h;
+}
+
+Patch::Patch(const Patch& o)
+    : id_(o.id_),
+      ref_(o.ref_),
+      pixels_(o.pixels_),
+      features_(o.features_),
+      bbox_(o.bbox_),
+      meta_(o.meta_),
+      fingerprint_memo_(
+          o.fingerprint_memo_.load(std::memory_order_relaxed)) {}
+
+Patch& Patch::operator=(const Patch& o) {
+  id_ = o.id_;
+  ref_ = o.ref_;
+  pixels_ = o.pixels_;
+  features_ = o.features_;
+  bbox_ = o.bbox_;
+  meta_ = o.meta_;
+  fingerprint_memo_.store(
+      o.fingerprint_memo_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+Patch::Patch(Patch&& o) noexcept
+    : id_(o.id_),
+      ref_(std::move(o.ref_)),
+      pixels_(std::move(o.pixels_)),
+      features_(std::move(o.features_)),
+      bbox_(o.bbox_),
+      meta_(std::move(o.meta_)),
+      fingerprint_memo_(
+          o.fingerprint_memo_.load(std::memory_order_relaxed)) {}
+
+Patch& Patch::operator=(Patch&& o) noexcept {
+  id_ = o.id_;
+  ref_ = std::move(o.ref_);
+  pixels_ = std::move(o.pixels_);
+  features_ = std::move(o.features_);
+  bbox_ = o.bbox_;
+  meta_ = std::move(o.meta_);
+  fingerprint_memo_.store(
+      o.fingerprint_memo_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+uint64_t Patch::Fingerprint() const {
+  const uint64_t memo = fingerprint_memo_.load(std::memory_order_relaxed);
+  if (memo != 0) return memo;
+  uint64_t h = ImageFingerprint(pixels_);
+  const int32_t box[4] = {bbox_.x0, bbox_.y0, bbox_.x1, bbox_.y1};
+  h = Fnv1a64(box, sizeof(box), h);
+  if (h == 0) h = 0x9e3779b97f4a7c15ull;  // keep 0 free as the sentinel
+  fingerprint_memo_.store(h, std::memory_order_relaxed);
+  return h;
+}
 
 // Layout: id, ref{dataset, frameno, parent}, bbox, meta, pixel?, feature?
 void Patch::SerializeInto(ByteBuffer* out) const {

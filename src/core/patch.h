@@ -6,6 +6,7 @@
 // patches it was derived from.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -42,6 +43,12 @@ struct ImgRef {
 class Patch {
  public:
   Patch() = default;
+  // Hand-written only because of the fingerprint memo (std::atomic is
+  // not copyable); behaves exactly like the defaulted operations.
+  Patch(const Patch& o);
+  Patch& operator=(const Patch& o);
+  Patch(Patch&& o) noexcept;
+  Patch& operator=(Patch&& o) noexcept;
 
   PatchId id() const { return id_; }
   void set_id(PatchId id) { id_ = id; }
@@ -53,7 +60,10 @@ class Patch {
   /// Pixel content (may be empty when only features are kept — the
   /// "pre-compressed to features" representation of §1).
   const Image& pixels() const { return pixels_; }
-  void set_pixels(Image img) { pixels_ = std::move(img); }
+  void set_pixels(Image img) {
+    pixels_ = std::move(img);
+    fingerprint_memo_.store(0, std::memory_order_relaxed);
+  }
   bool has_pixels() const { return !pixels_.empty(); }
 
   /// Feature vector (may be empty before a Transformer runs).
@@ -63,10 +73,27 @@ class Patch {
 
   /// Location of this patch in the source frame.
   const nn::BBox& bbox() const { return bbox_; }
-  void set_bbox(nn::BBox b) { bbox_ = b; }
+  void set_bbox(nn::BBox b) {
+    bbox_ = b;
+    fingerprint_memo_.store(0, std::memory_order_relaxed);
+  }
 
   const MetaDict& meta() const { return meta_; }
   MetaDict& mutable_meta() { return meta_; }
+
+  /// Stable 64-bit content fingerprint: FNV-1a over the pixel bytes,
+  /// image geometry (width/height/channels), and the bounding box — the
+  /// inputs a model actually consumes. Deliberately independent of id,
+  /// lineage, features, and the metadata dictionary, which operators
+  /// rewrite without changing what inference would see. This is the
+  /// cache-key primitive of the inference cache (cache/inference_cache.h).
+  ///
+  /// Memoized: the first call hashes the pixels, later calls are a
+  /// relaxed atomic load (the batch expression path asks once per UDF
+  /// conjunct per query). set_pixels/set_bbox invalidate the memo;
+  /// concurrent calls from morsel workers benignly recompute the same
+  /// value.
+  uint64_t Fingerprint() const;
 
   /// Serialization for materialization. Pixel payloads are stored raw;
   /// use Transformer-level compression for smaller footprints.
@@ -80,7 +107,14 @@ class Patch {
   Tensor features_;
   nn::BBox bbox_;
   MetaDict meta_;
+  // 0 = not yet computed (a real fingerprint of 0 is remapped).
+  mutable std::atomic<uint64_t> fingerprint_memo_{0};
 };
+
+/// FNV-1a fingerprint of a bare image (geometry + pixel bytes); the
+/// frame-level analogue of Patch::Fingerprint, used to memoize detector
+/// runs over whole frames.
+uint64_t ImageFingerprint(const Image& img);
 
 /// Operators consume/produce tuples of patches (paper §2.2:
 /// Operator(Iterator<Tuple<Patch>> in, Iterator<Tuple<Patch>> out)).

@@ -34,6 +34,44 @@ const char* SimJoinStrategyName(SimJoinStrategy strategy) {
   return "?";
 }
 
+namespace {
+
+// Reports the NN UDFs a predicate will run per evaluated row — and
+// whether the inference cache memoizes them — so Explain() stays honest
+// about the plan's compute/cache interaction.
+PlanExplanation AnnotateUdfUse(PlanExplanation plan,
+                               const ExprPtr& predicate) {
+  if (!predicate) return plan;
+  predicate->CollectUdfUse(&plan.udfs);
+  if (plan.udfs.empty()) return plan;
+  bool all_cached = true;
+  for (const UdfUse& u : plan.udfs) {
+    if (u.cached) {
+      plan.uses_inference_cache = true;
+    } else {
+      all_cached = false;
+    }
+  }
+  const bool mixed = plan.uses_inference_cache && !all_cached;
+  std::string list;
+  for (const UdfUse& u : plan.udfs) {
+    if (!list.empty()) list += ",";
+    list += u.model;
+    // Per-model markers only when the models disagree; the trailing
+    // clause covers the uniform cases.
+    if (mixed) list += u.cached ? "(cached)" : "(uncached)";
+  }
+  plan.description +=
+      "; nn-udfs per row: " + list +
+      (!plan.uses_inference_cache
+           ? " (uncached)"
+           : all_cached ? " (memoized by inference cache)"
+                        : " (partially memoized by inference cache)");
+  return plan;
+}
+
+}  // namespace
+
 PlanExplanation Planner::PlanScan(const ViewCache& view,
                                   const ExprPtr& predicate) {
   PlanExplanation plan;
@@ -55,14 +93,14 @@ PlanExplanation Planner::PlanScan(const ViewCache& view,
         plan.index_key = eq->key;
         plan.description =
             "hash index lookup on '" + eq->key + "', residual filter";
-        return plan;
+        return AnnotateUdfUse(std::move(plan), predicate);
       }
       if (view.btree_indexes.count(eq->key)) {
         plan.path = AccessPath::kBTreeLookup;
         plan.index_key = eq->key;
         plan.description =
             "b+tree lookup on '" + eq->key + "', residual filter";
-        return plan;
+        return AnnotateUdfUse(std::move(plan), predicate);
       }
     }
   }
@@ -74,10 +112,10 @@ PlanExplanation Planner::PlanScan(const ViewCache& view,
       plan.index_key = range->key;
       plan.description =
           "b+tree range scan on '" + range->key + "', residual filter";
-      return plan;
+      return AnnotateUdfUse(std::move(plan), predicate);
     }
   }
-  return plan;
+  return AnnotateUdfUse(std::move(plan), predicate);
 }
 
 namespace {

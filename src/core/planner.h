@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/database.h"
 #include "exec/expression_patterns.h"
@@ -30,6 +31,12 @@ struct PlanExplanation {
   std::string index_key;
   std::string description;
   uint64_t candidates = 0;  // tuples fetched before residual filtering
+  /// NN UDFs the predicate runs per evaluated row, in conjunct order,
+  /// each flagged with whether an InferenceCache memoizes it — so
+  /// Explain() reports the plan's expected cache interaction honestly.
+  std::vector<UdfUse> udfs;
+  /// True when at least one UDF will be served by the inference cache.
+  bool uses_inference_cache = false;
 };
 
 /// Similarity-join strategies (paper §5/§7.4).

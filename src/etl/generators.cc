@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "cache/inference_cache.h"
+
 namespace deeplens {
 
 namespace {
@@ -34,6 +36,51 @@ nn::Device* PerTupleDeviceOf(const EtlOptions& options) {
 
 void RecordLineage(const EtlOptions& options, const Patch& patch) {
   if (options.lineage != nullptr) options.lineage->Record(patch);
+}
+
+// Detector over a frame batch with per-frame memoization: cached frames
+// are served by fingerprint, only the misses go through one DetectBatch
+// launch (so the GPU batching amortization is preserved for cold frames).
+Result<std::vector<std::vector<nn::Detection>>> DetectBatchCached(
+    const nn::TinySsdDetector* detector, const std::vector<Image>& frames,
+    const EtlOptions& options) {
+  InferenceCache* cache = options.inference_cache;
+  nn::Device* device = DeviceOf(options);
+  if (cache == nullptr || !cache->enabled()) {
+    return detector->DetectBatch(frames, device);
+  }
+  std::vector<std::vector<nn::Detection>> out(frames.size());
+  std::vector<std::string> keys(frames.size());
+  std::vector<size_t> miss_indices;
+  const std::string model =
+      InferenceCache::ModelOnDevice(model_names::kDetector, device);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    keys[i] = InferenceCache::KeyFor(model, ImageFingerprint(frames[i]));
+    if (auto hit = cache->Get(keys[i])) {
+      out[i] = std::get<std::vector<nn::Detection>>(hit->payload);
+    } else {
+      miss_indices.push_back(i);
+    }
+  }
+  if (miss_indices.size() == frames.size()) {
+    // All cold (the common first pass): run the batch directly, no frame
+    // copies.
+    DL_ASSIGN_OR_RETURN(out, detector->DetectBatch(frames, device));
+    for (size_t i = 0; i < frames.size(); ++i) {
+      cache->Put(keys[i], InferenceValue{out[i]});
+    }
+  } else if (!miss_indices.empty()) {
+    std::vector<Image> miss_frames;
+    miss_frames.reserve(miss_indices.size());
+    for (size_t i : miss_indices) miss_frames.push_back(frames[i]);
+    DL_ASSIGN_OR_RETURN(auto fresh,
+                        detector->DetectBatch(miss_frames, device));
+    for (size_t m = 0; m < miss_indices.size(); ++m) {
+      cache->Put(keys[miss_indices[m]], InferenceValue{fresh[m]});
+      out[miss_indices[m]] = std::move(fresh[m]);
+    }
+  }
+  return out;
 }
 
 // Base class for generators that buffer a batch of frames, process them,
@@ -124,7 +171,7 @@ class ObjectDetectorGenerator : public BatchedGenerator {
     frames.reserve(batch.size());
     for (const auto& [frameno, frame] : batch) frames.push_back(frame);
     DL_ASSIGN_OR_RETURN(auto detections,
-                        detector_->DetectBatch(frames, DeviceOf(options())));
+                        DetectBatchCached(detector_, frames, options()));
     for (size_t i = 0; i < batch.size(); ++i) {
       const int frameno = batch[i].first;
       const Image& frame = batch[i].second;
@@ -173,7 +220,7 @@ class OcrGenerator : public BatchedGenerator {
     frames.reserve(batch.size());
     for (const auto& [frameno, frame] : batch) frames.push_back(frame);
     DL_ASSIGN_OR_RETURN(auto detections,
-                        detector_->DetectBatch(frames, DeviceOf(options())));
+                        DetectBatchCached(detector_, frames, options()));
     for (size_t i = 0; i < batch.size(); ++i) {
       const int frameno = batch[i].first;
       const Image& frame = batch[i].second;
@@ -181,9 +228,14 @@ class OcrGenerator : public BatchedGenerator {
         if (d.label != nn::ObjectClass::kText) continue;
         const Image crop =
             frame.Crop(d.bbox.x0, d.bbox.y0, d.bbox.x1, d.bbox.y1);
+        InferenceCache* cache = options().inference_cache;
         DL_ASSIGN_OR_RETURN(
             std::string text,
-            ocr_->RecognizeText(crop, PerTupleDeviceOf(options())));
+            CachedOcrText(*ocr_, crop,
+                          cache != nullptr && cache->enabled()
+                              ? ImageFingerprint(crop)
+                              : 0,
+                          PerTupleDeviceOf(options()), cache));
         if (text.empty()) continue;
         Patch p;
         p.set_id(AllocateId(options()));

@@ -20,6 +20,8 @@
 
 namespace deeplens {
 
+class InferenceCache;
+
 /// Pull-based frame source: yields (frameno, frame) until nullopt.
 using FrameIterator =
     std::function<Result<std::optional<std::pair<int, Image>>>()>;
@@ -34,6 +36,10 @@ struct EtlOptions {
   std::atomic<uint64_t>* id_counter = nullptr;
   /// Frames per inference batch (amortizes GPU launch overhead).
   int batch_size = 8;
+  /// When set, generator-side detector/OCR runs are memoized by frame
+  /// fingerprint, so re-running ETL over unchanged frames is
+  /// lookup-bound (Database::MakeEtlOptions wires the database's cache).
+  InferenceCache* inference_cache = nullptr;
   /// Keep the cropped pixels on detection patches (needed by downstream
   /// transformers; drop to save memory when only metadata is queried).
   bool crop_pixels = true;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "cache/inference_cache.h"
+
 namespace deeplens {
 
 Tensor ColorHistogramFeature(const Image& patch,
@@ -91,23 +93,25 @@ PatchIteratorPtr MakeColorHistogramTransformer(
 
 PatchIteratorPtr MakeDepthTransformer(PatchIteratorPtr child,
                                       const nn::TinyDepth* model,
-                                      int frame_height, nn::Device* device) {
+                                      int frame_height, nn::Device* device,
+                                      InferenceCache* cache) {
   nn::Device* dev = device != nullptr
                         ? device
                         : nn::GetDevice(nn::DeviceKind::kCpuVector);
   return MakeMap(
       std::move(child),
-      [model, frame_height, dev](PatchTuple tuple) -> Result<PatchTuple> {
+      [model, frame_height, dev,
+       cache](PatchTuple tuple) -> Result<PatchTuple> {
         for (Patch& p : tuple) {
           if (!p.has_pixels()) {
             return Status::InvalidArgument(
                 "DepthTransformer needs pixel data");
           }
           DL_ASSIGN_OR_RETURN(
-              float depth,
-              model->PredictDepth(p.pixels(), p.bbox(), frame_height, dev));
-          p.mutable_meta().Set(meta_keys::kDepth,
-                               static_cast<double>(depth));
+              double depth,
+              CachedDepth(*model, p.pixels(), p.bbox(), frame_height,
+                          CacheFingerprint(p, cache), dev, cache));
+          p.mutable_meta().Set(meta_keys::kDepth, depth);
         }
         return tuple;
       });
@@ -115,17 +119,20 @@ PatchIteratorPtr MakeDepthTransformer(PatchIteratorPtr child,
 
 PatchIteratorPtr MakeOcrTransformer(PatchIteratorPtr child,
                                     const nn::TinyOcr* ocr,
-                                    nn::Device* device) {
+                                    nn::Device* device,
+                                    InferenceCache* cache) {
   nn::Device* dev = device != nullptr
                         ? device
                         : nn::GetDevice(nn::DeviceKind::kCpuVector);
   return MakeMap(std::move(child),
-                 [ocr, dev](PatchTuple tuple) -> Result<PatchTuple> {
+                 [ocr, dev, cache](PatchTuple tuple) -> Result<PatchTuple> {
                    for (Patch& p : tuple) {
                      if (!p.has_pixels()) continue;
                      DL_ASSIGN_OR_RETURN(
                          std::string text,
-                         ocr->RecognizeText(p.pixels(), dev));
+                         CachedOcrText(*ocr, p.pixels(),
+                                       CacheFingerprint(p, cache), dev,
+                                       cache));
                      if (!text.empty()) {
                        p.mutable_meta().Set(meta_keys::kText, text);
                      }

@@ -9,6 +9,8 @@
 
 namespace deeplens {
 
+class InferenceCache;
+
 /// Color-histogram featurization.
 struct ColorHistogramOptions {
   /// Histogram bins per channel → 3*bins feature dims.
@@ -30,16 +32,20 @@ PatchIteratorPtr MakeColorHistogramTransformer(
 
 /// Runs TinyDepth and stores the prediction under meta key "depth".
 /// `frame_height` is the source-frame height used by the geometry cue.
+/// With `cache`, predictions are memoized by patch fingerprint.
 PatchIteratorPtr MakeDepthTransformer(PatchIteratorPtr child,
                                       const nn::TinyDepth* model,
                                       int frame_height,
-                                      nn::Device* device = nullptr);
+                                      nn::Device* device = nullptr,
+                                      InferenceCache* cache = nullptr);
 
 /// Runs TinyOCR on the patch pixels and stores the string under "text"
-/// (empty results set no key).
+/// (empty results set no key). With `cache`, recognitions are memoized
+/// by patch fingerprint.
 PatchIteratorPtr MakeOcrTransformer(PatchIteratorPtr child,
                                     const nn::TinyOcr* ocr,
-                                    nn::Device* device = nullptr);
+                                    nn::Device* device = nullptr,
+                                    InferenceCache* cache = nullptr);
 
 /// Resamples patch pixels to a fixed resolution (most networks require
 /// fixed inputs — §4.2).

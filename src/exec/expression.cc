@@ -249,6 +249,11 @@ class CmpExpr : public Expr {
     return true;
   }
 
+  void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    a_->CollectUdfUse(out);
+    b_->CollectUdfUse(out);
+  }
+
  private:
   CmpKind kind_;
   ExprPtr a_, b_;
@@ -291,6 +296,11 @@ class BoolExpr : public Expr {
     *left = a_;
     *right = b_;
     return true;
+  }
+
+  void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    a_->CollectUdfUse(out);
+    if (b_) b_->CollectUdfUse(out);
   }
 
  private:
@@ -337,6 +347,11 @@ class ArithExpr : public Expr {
   Status Validate(const std::vector<PatchSchema>& schemas) const override {
     DL_RETURN_NOT_OK(a_->Validate(schemas));
     return b_->Validate(schemas);
+  }
+
+  void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    a_->CollectUdfUse(out);
+    b_->CollectUdfUse(out);
   }
 
  private:
@@ -478,6 +493,12 @@ CompiledPredicate::CompiledPredicate(ExprPtr pred) {
     }
     steps_.push_back(std::move(step));
   }
+  std::vector<UdfUse> udfs;
+  pred->CollectUdfUse(&udfs);
+  for (const UdfUse& u : udfs) {
+    // Priming only pays off when a cache will consume the fingerprint.
+    if (u.cached) has_nn_udf_ = true;
+  }
 }
 
 bool CompiledPredicate::StepPasses(const Step& step, const MetaValue& attr) {
@@ -523,10 +544,23 @@ Status CompiledPredicate::EvalPatchRows(const Patch* rows, size_t n,
   PatchTuple scratch;  // materialized lazily, only for fallback conjuncts
   for (size_t i = 0; i < n; ++i) {
     uint8_t pass = 1;
-    scratch.clear();
+    bool materialized = false;
     for (const Step& step : steps_) {
       if (step.fallback) {
-        if (scratch.empty()) scratch.push_back(rows[i]);
+        if (!materialized) {
+          // Prime the fingerprint on the source row first: the memo is
+          // carried into the copy AND persists in the view, so repeated
+          // NN-UDF queries never re-hash the pixels.
+          if (has_nn_udf_) rows[i].Fingerprint();
+          // Assign into the existing slot where possible: same-shape
+          // image buffers are reused instead of reallocated per row.
+          if (scratch.empty()) {
+            scratch.push_back(rows[i]);
+          } else {
+            scratch[0] = rows[i];
+          }
+          materialized = true;
+        }
         DL_ASSIGN_OR_RETURN(bool ok, step.fallback->EvalBool(scratch));
         if (!ok) {
           pass = 0;

@@ -16,6 +16,15 @@ namespace deeplens {
 class Expr;
 using ExprPtr = std::shared_ptr<Expr>;
 
+/// One NN UDF occurrence inside an expression tree: which model the
+/// predicate will run at evaluation time and whether an InferenceCache
+/// will memoize it. Collected by the planner so Explain() reports the
+/// expected cache interaction of a plan.
+struct UdfUse {
+  std::string model;
+  bool cached = false;
+};
+
 /// \brief Expression node. Eval returns a MetaValue; predicates are
 /// expressions evaluating to bool.
 class Expr {
@@ -53,6 +62,10 @@ class Expr {
     (void)right;
     return false;
   }
+
+  /// Appends every NN UDF this node (or any descendant) would run at
+  /// evaluation time. Compound nodes recurse; leaves default to none.
+  virtual void CollectUdfUse(std::vector<UdfUse>* out) const { (void)out; }
 
   /// If this node compares attr(slot, key) against a literal, fills the
   /// normalized comparison (op: -2 '<', -1 '<=', 0 '==', 1 '>=', 2 '>',
@@ -154,6 +167,12 @@ class CompiledPredicate {
   static bool StepPasses(const Step& step, const MetaValue& attr);
 
   std::vector<Step> steps_;  // empty = always true
+  // True when a conjunct runs a *cache-backed* NN UDF. EvalPatchRows
+  // then primes the source row's fingerprint memo before materializing
+  // the scratch tuple, so the memo persists in the view across repeated
+  // queries instead of dying with the per-row copy. (Uncached UDFs never
+  // hash, so priming for them would be pure waste.)
+  bool has_nn_udf_ = false;
 };
 
 }  // namespace deeplens

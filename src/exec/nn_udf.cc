@@ -1,0 +1,109 @@
+#include "exec/nn_udf.h"
+
+namespace deeplens {
+
+namespace {
+
+Status CheckUdfSlot(size_t slot, const PatchTuple& tuple) {
+  if (slot >= tuple.size()) {
+    return Status::OutOfRange("NN UDF references tuple slot " +
+                              std::to_string(slot) + " of " +
+                              std::to_string(tuple.size()));
+  }
+  return Status::OK();
+}
+
+nn::Device* ResolveDevice(nn::Device* device) {
+  // Per-tuple inference is a small kernel: default to the vectorized CPU
+  // path (a simulated-GPU launch per row would dominate — paper §7.4.2).
+  return device != nullptr ? device
+                           : nn::GetDevice(nn::DeviceKind::kCpuVector);
+}
+
+class OcrTextUdfExpr : public Expr {
+ public:
+  OcrTextUdfExpr(size_t slot, const nn::TinyOcr* ocr, InferenceCache* cache,
+                 nn::Device* device)
+      : slot_(slot), ocr_(ocr), cache_(cache), device_(ResolveDevice(device)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_RETURN_NOT_OK(CheckUdfSlot(slot_, tuple));
+    const Patch& p = tuple[slot_];
+    if (!p.has_pixels()) return MetaValue();
+    DL_ASSIGN_OR_RETURN(std::string text,
+                        CachedOcrText(*ocr_, p.pixels(),
+                                      CacheFingerprint(p, cache_), device_,
+                                      cache_));
+    return MetaValue(std::move(text));
+  }
+
+  std::string ToString() const override {
+    return "ocr($" + std::to_string(slot_) + ")";
+  }
+
+  void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    out->push_back(
+        UdfUse{model_names::kOcr, cache_ != nullptr && cache_->enabled()});
+  }
+
+ private:
+  size_t slot_;
+  const nn::TinyOcr* ocr_;
+  InferenceCache* cache_;
+  nn::Device* device_;
+};
+
+class DepthUdfExpr : public Expr {
+ public:
+  DepthUdfExpr(size_t slot, const nn::TinyDepth* model, int frame_height,
+               InferenceCache* cache, nn::Device* device)
+      : slot_(slot),
+        model_(model),
+        frame_height_(frame_height),
+        cache_(cache),
+        device_(ResolveDevice(device)) {}
+
+  Result<MetaValue> Eval(const PatchTuple& tuple) const override {
+    DL_RETURN_NOT_OK(CheckUdfSlot(slot_, tuple));
+    const Patch& p = tuple[slot_];
+    if (!p.has_pixels()) return MetaValue();
+    DL_ASSIGN_OR_RETURN(double depth,
+                        CachedDepth(*model_, p.pixels(), p.bbox(),
+                                    frame_height_,
+                                    CacheFingerprint(p, cache_), device_,
+                                    cache_));
+    return MetaValue(depth);
+  }
+
+  std::string ToString() const override {
+    return "depth($" + std::to_string(slot_) +
+           ", h=" + std::to_string(frame_height_) + ")";
+  }
+
+  void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    out->push_back(
+        UdfUse{model_names::kDepth, cache_ != nullptr && cache_->enabled()});
+  }
+
+ private:
+  size_t slot_;
+  const nn::TinyDepth* model_;
+  int frame_height_;
+  InferenceCache* cache_;
+  nn::Device* device_;
+};
+
+}  // namespace
+
+ExprPtr OcrTextUdf(size_t slot, const nn::TinyOcr* ocr,
+                   InferenceCache* cache, nn::Device* device) {
+  return std::make_shared<OcrTextUdfExpr>(slot, ocr, cache, device);
+}
+
+ExprPtr DepthUdf(size_t slot, const nn::TinyDepth* model, int frame_height,
+                 InferenceCache* cache, nn::Device* device) {
+  return std::make_shared<DepthUdfExpr>(slot, model, frame_height, cache,
+                                        device);
+}
+
+}  // namespace deeplens

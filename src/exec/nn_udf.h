@@ -1,0 +1,35 @@
+// NN UDF expression nodes: run a model over a tuple slot's pixels at
+// predicate-evaluation time (the paper's §2.2 UDF operators surfaced in
+// the expression language). These are the expensive expressions the
+// inference cache exists for — a repeated query re-evaluates the same
+// UDF over the same patches, and with a cache attached every morsel
+// worker shares the memoized results instead of re-running the network.
+//
+// Both UDFs evaluate to null on patches without pixel data (so predicates
+// treat them as non-matching, mirroring absent metadata keys), and are
+// safe to evaluate concurrently from morsel workers.
+#pragma once
+
+#include "cache/inference_cache.h"
+#include "exec/expression.h"
+#include "nn/device.h"
+#include "nn/models.h"
+
+namespace deeplens {
+
+/// OCR over the pixels of tuple slot `slot`; evaluates to the recognized
+/// string ("" when nothing legible). With `cache`, results are memoized
+/// under (tiny-ocr, Patch::Fingerprint).
+ExprPtr OcrTextUdf(size_t slot, const nn::TinyOcr* ocr,
+                   InferenceCache* cache = nullptr,
+                   nn::Device* device = nullptr);
+
+/// Monocular depth (meters) of the patch in tuple slot `slot`, using its
+/// bbox and the source-frame height `frame_height` for the geometry cue;
+/// evaluates to a double. With `cache`, results are memoized under
+/// (tiny-depth, Patch::Fingerprint, frame_height).
+ExprPtr DepthUdf(size_t slot, const nn::TinyDepth* model, int frame_height,
+                 InferenceCache* cache = nullptr,
+                 nn::Device* device = nullptr);
+
+}  // namespace deeplens

@@ -1,5 +1,8 @@
 #include "storage/encoded_file.h"
 
+#include <algorithm>
+
+#include "common/checksum.h"
 #include "storage/file_io.h"
 
 namespace deeplens {
@@ -33,16 +36,75 @@ Status EncodedFileWriter::Finish() {
 }
 
 Result<std::unique_ptr<EncodedFileReader>> EncodedFileReader::Open(
-    const std::string& path, const internal::VideoMeta& meta) {
+    const std::string& path, const internal::VideoMeta& meta,
+    SegmentCache* segment_cache) {
   auto reader = std::unique_ptr<EncodedFileReader>(
       new EncodedFileReader(path, meta));
   DL_ASSIGN_OR_RETURN(reader->stream_, ReadWholeFile(path));
+  if (segment_cache != nullptr && segment_cache->enabled()) {
+    reader->segment_cache_ = segment_cache;
+    // Identity includes size + CRC of the encoded bytes so a rewritten
+    // file at the same path can never serve stale cached frames.
+    reader->stream_id_ = SegmentCache::StreamId(
+        path, reader->stream_.size(),
+        Crc32c(reader->stream_.data(), reader->stream_.size()));
+  }
   return reader;
+}
+
+int EncodedFileReader::GopSize() const {
+  return std::max(1, meta_.options.gop_size);
+}
+
+Result<std::vector<std::shared_ptr<const SegmentCache::Segment>>>
+EncodedFileReader::CachedSegments(int lo_gop_start, int hi_gop_start) {
+  const int gop = GopSize();
+  std::vector<std::shared_ptr<const SegmentCache::Segment>> segments;
+  segments.reserve(static_cast<size_t>((hi_gop_start - lo_gop_start) / gop) +
+                   1);
+  bool all_resident = true;
+  for (int start = lo_gop_start; start <= hi_gop_start; start += gop) {
+    segments.push_back(segment_cache_->Get(stream_id_, start));
+    if (segments.back() == nullptr) all_resident = false;
+  }
+  if (all_resident) return segments;
+  // At least one GOP is cold. The codec is strictly sequential with no
+  // byte-level GOP index, so decode the prefix once and memoize every
+  // completed GOP on the way — after this, reads anywhere in [0, hi]
+  // are lookup-bound.
+  codec::VideoDecoder decoder{Slice(stream_)};
+  DL_RETURN_NOT_OK(decoder.Init());
+  SegmentCache::Segment current;
+  current.reserve(static_cast<size_t>(gop));
+  const int hi_frame = std::min(meta_.num_frames - 1, hi_gop_start + gop - 1);
+  for (int f = 0; f <= hi_frame; ++f) {
+    DL_ASSIGN_OR_RETURN(Image img, decoder.NextFrame());
+    ++frames_decoded_;
+    current.push_back(std::move(img));
+    if ((f + 1) % gop == 0 || f == meta_.num_frames - 1) {
+      const int start = f + 1 - static_cast<int>(current.size());
+      auto segment = std::make_shared<const SegmentCache::Segment>(
+          std::move(current));
+      segment_cache_->Put(stream_id_, start, segment);
+      if (start >= lo_gop_start && start <= hi_gop_start) {
+        segments[static_cast<size_t>((start - lo_gop_start) / gop)] =
+            std::move(segment);
+      }
+      current.clear();
+    }
+  }
+  return segments;
 }
 
 Result<Image> EncodedFileReader::ReadFrame(int frameno) {
   if (frameno < 0 || frameno >= meta_.num_frames) {
     return Status::OutOfRange("frame number out of range");
+  }
+  if (segment_cache_ != nullptr) {
+    const int gop_start = (frameno / GopSize()) * GopSize();
+    DL_ASSIGN_OR_RETURN(auto segments,
+                        CachedSegments(gop_start, gop_start));
+    return (*segments[0])[static_cast<size_t>(frameno - gop_start)];
   }
   // Sequential codec: every random read decodes from the stream start.
   codec::VideoDecoder decoder{Slice(stream_)};
@@ -58,6 +120,17 @@ Status EncodedFileReader::ReadRange(
   lo = std::max(lo, 0);
   hi = std::min(hi, meta_.num_frames - 1);
   if (lo > hi) return Status::OK();
+  if (segment_cache_ != nullptr) {
+    const int gop = GopSize();
+    const int lo_start = (lo / gop) * gop;
+    const int hi_start = (hi / gop) * gop;
+    DL_ASSIGN_OR_RETURN(auto segments, CachedSegments(lo_start, hi_start));
+    for (int f = lo; f <= hi; ++f) {
+      const auto& segment = segments[static_cast<size_t>((f - lo_start) / gop)];
+      if (!visitor(f, (*segment)[static_cast<size_t>(f % gop)])) break;
+    }
+    return Status::OK();
+  }
   codec::VideoDecoder decoder{Slice(stream_)};
   DL_RETURN_NOT_OK(decoder.Init());
   // The prefix [0, lo) must be decoded and discarded — this is the cost

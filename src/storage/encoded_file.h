@@ -2,12 +2,18 @@
 // (the paper's H.264/OGG/MPEG4 analog). Maximal compression; any read
 // pays a sequential decode of everything before the target (paper §3.1
 // "Encoded File" — no temporal push-down).
+//
+// With a SegmentCache attached, decoded GOPs are memoized: a miss still
+// pays the sequential decode of the prefix (the codec has no byte-level
+// GOP index), but every completed GOP along the way is cached, so
+// repeated random reads become lookup-bound instead of decode-bound.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/segment_cache.h"
 #include "storage/video_store.h"
 
 namespace deeplens {
@@ -36,8 +42,11 @@ class EncodedFileWriter : public VideoWriter {
 
 class EncodedFileReader : public VideoReader {
  public:
+  /// `segment_cache` (optional) memoizes decoded GOPs across reads and
+  /// readers; null preserves the uncached decode-per-read behavior.
   static Result<std::unique_ptr<EncodedFileReader>> Open(
-      const std::string& path, const internal::VideoMeta& meta);
+      const std::string& path, const internal::VideoMeta& meta,
+      SegmentCache* segment_cache = nullptr);
 
   int num_frames() const override { return meta_.num_frames; }
   VideoFormat format() const override { return VideoFormat::kEncoded; }
@@ -54,10 +63,20 @@ class EncodedFileReader : public VideoReader {
   EncodedFileReader(std::string path, internal::VideoMeta meta)
       : path_(std::move(path)), meta_(meta) {}
 
+  int GopSize() const;
+  /// Returns decoded segments covering the GOPs whose start frames span
+  /// [lo_gop_start, hi_gop_start]. Serves from the cache when every GOP
+  /// is resident; otherwise decodes the stream prefix once, memoizing
+  /// every completed GOP along the way.
+  Result<std::vector<std::shared_ptr<const SegmentCache::Segment>>>
+  CachedSegments(int lo_gop_start, int hi_gop_start);
+
   std::string path_;
   internal::VideoMeta meta_;
   std::vector<uint8_t> stream_;
   uint64_t frames_decoded_ = 0;
+  SegmentCache* segment_cache_ = nullptr;
+  std::string stream_id_;
 };
 
 }  // namespace deeplens

@@ -1,6 +1,7 @@
 #include "storage/segmented_file.h"
 
 #include "common/bytes.h"
+#include "common/checksum.h"
 
 namespace deeplens {
 
@@ -61,11 +62,50 @@ Status SegmentedFileWriter::Finish() {
 }
 
 Result<std::unique_ptr<SegmentedFileReader>> SegmentedFileReader::Open(
-    const std::string& path, const internal::VideoMeta& meta) {
+    const std::string& path, const internal::VideoMeta& meta,
+    SegmentCache* segment_cache) {
   auto reader = std::unique_ptr<SegmentedFileReader>(
       new SegmentedFileReader(path, meta));
   DL_ASSIGN_OR_RETURN(reader->store_, RecordStore::Open(path));
+  if (segment_cache != nullptr && segment_cache->enabled()) {
+    reader->segment_cache_ = segment_cache;
+  }
   return reader;
+}
+
+Result<std::shared_ptr<const SegmentCache::Segment>>
+SegmentedFileReader::CachedClip(int clip_start) {
+  // Identity is derived from the clip's encoded bytes (size + CRC), so a
+  // cache shared across re-opens can never serve a rewritten store's
+  // stale frames. It is computed once per clip per reader — warm hits
+  // skip both the record fetch and the hash.
+  auto id_it = clip_stream_ids_.find(clip_start);
+  if (id_it != clip_stream_ids_.end()) {
+    if (auto hit = segment_cache_->Get(id_it->second, clip_start)) {
+      return hit;
+    }
+  }
+  const std::string key = EncodeKeyU64(static_cast<uint64_t>(clip_start));
+  DL_ASSIGN_OR_RETURN(auto stream, store_->Get(Slice(key)));
+  const std::string stream_id = SegmentCache::StreamId(
+      path_, stream.size(), Crc32c(stream.data(), stream.size()));
+  clip_stream_ids_[clip_start] = stream_id;
+  if (auto hit = segment_cache_->Get(stream_id, clip_start)) return hit;
+  codec::VideoDecoder decoder{Slice(stream)};
+  DL_RETURN_NOT_OK(decoder.Init());
+  SegmentCache::Segment frames;
+  frames.reserve(static_cast<size_t>(decoder.num_frames()));
+  // Decode the whole clip (clips are short — options.clip_frames), so
+  // the cached segment can serve any frame of it.
+  for (int i = 0; i < decoder.num_frames(); ++i) {
+    DL_ASSIGN_OR_RETURN(Image img, decoder.NextFrame());
+    ++frames_decoded_;
+    frames.push_back(std::move(img));
+  }
+  auto segment =
+      std::make_shared<const SegmentCache::Segment>(std::move(frames));
+  segment_cache_->Put(stream_id, clip_start, segment);
+  return segment;
 }
 
 uint64_t SegmentedFileReader::storage_bytes() const {
@@ -78,6 +118,10 @@ Result<Image> SegmentedFileReader::ReadFrame(int frameno) {
   }
   const int clip =
       (frameno / meta_.options.clip_frames) * meta_.options.clip_frames;
+  if (segment_cache_ != nullptr) {
+    DL_ASSIGN_OR_RETURN(auto segment, CachedClip(clip));
+    return (*segment)[static_cast<size_t>(frameno - clip)];
+  }
   const std::string key = EncodeKeyU64(static_cast<uint64_t>(clip));
   DL_ASSIGN_OR_RETURN(auto stream, store_->Get(Slice(key)));
   codec::VideoDecoder decoder{Slice(stream)};
@@ -97,6 +141,18 @@ Status SegmentedFileReader::ReadRange(
   bool stop = false;
   for (int clip = (lo / clip_frames) * clip_frames; clip <= hi && !stop;
        clip += clip_frames) {
+    if (segment_cache_ != nullptr) {
+      DL_ASSIGN_OR_RETURN(auto segment, CachedClip(clip));
+      for (size_t i = 0; i < segment->size(); ++i) {
+        const int frameno = clip + static_cast<int>(i);
+        if (frameno > hi) break;
+        if (frameno >= lo && !visitor(frameno, (*segment)[i])) {
+          stop = true;
+          break;
+        }
+      }
+      continue;
+    }
     const std::string key = EncodeKeyU64(static_cast<uint64_t>(clip));
     DL_ASSIGN_OR_RETURN(auto stream, store_->Get(Slice(key)));
     codec::VideoDecoder decoder{Slice(stream)};

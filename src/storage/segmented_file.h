@@ -4,10 +4,12 @@
 // that clip from its head — the hybrid of paper §3.1 ("Segmented File").
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/segment_cache.h"
 #include "storage/record_store.h"
 #include "storage/video_store.h"
 
@@ -38,8 +40,12 @@ class SegmentedFileWriter : public VideoWriter {
 
 class SegmentedFileReader : public VideoReader {
  public:
+  /// `segment_cache` (optional) memoizes whole decoded clips, keyed by
+  /// the clip record's bytes (size + CRC), so repeated reads of a clip
+  /// decode it once.
   static Result<std::unique_ptr<SegmentedFileReader>> Open(
-      const std::string& path, const internal::VideoMeta& meta);
+      const std::string& path, const internal::VideoMeta& meta,
+      SegmentCache* segment_cache = nullptr);
 
   int num_frames() const override { return meta_.num_frames; }
   VideoFormat format() const override { return VideoFormat::kSegmented; }
@@ -54,10 +60,21 @@ class SegmentedFileReader : public VideoReader {
   SegmentedFileReader(std::string path, internal::VideoMeta meta)
       : path_(std::move(path)), meta_(meta) {}
 
+  /// Fetches the clip starting at `clip_start` decoded in full, via the
+  /// cache when attached (decoding and memoizing on a miss).
+  Result<std::shared_ptr<const SegmentCache::Segment>> CachedClip(
+      int clip_start);
+
   std::string path_;
   internal::VideoMeta meta_;
   std::unique_ptr<RecordStore> store_;
   uint64_t frames_decoded_ = 0;
+  SegmentCache* segment_cache_ = nullptr;
+  // Clip identity (record size + CRC) computed once per clip per reader,
+  // so warm hits don't re-fetch and re-hash the compressed record.
+  // Readers are single-threaded (like frames_decoded_), so a plain map
+  // suffices.
+  std::map<int, std::string> clip_stream_ids_;
 };
 
 }  // namespace deeplens

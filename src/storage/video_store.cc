@@ -108,7 +108,8 @@ Result<std::unique_ptr<VideoWriter>> CreateVideoWriter(
   return Status::InvalidArgument("unknown video format");
 }
 
-Result<std::unique_ptr<VideoReader>> OpenVideo(const std::string& path) {
+Result<std::unique_ptr<VideoReader>> OpenVideo(const std::string& path,
+                                               SegmentCache* segment_cache) {
   DL_ASSIGN_OR_RETURN(internal::VideoMeta meta,
                       internal::ReadVideoMeta(path));
   switch (meta.options.format) {
@@ -118,12 +119,13 @@ Result<std::unique_ptr<VideoReader>> OpenVideo(const std::string& path) {
       return std::unique_ptr<VideoReader>(std::move(reader));
     }
     case VideoFormat::kEncoded: {
-      DL_ASSIGN_OR_RETURN(auto reader, EncodedFileReader::Open(path, meta));
+      DL_ASSIGN_OR_RETURN(
+          auto reader, EncodedFileReader::Open(path, meta, segment_cache));
       return std::unique_ptr<VideoReader>(std::move(reader));
     }
     case VideoFormat::kSegmented: {
-      DL_ASSIGN_OR_RETURN(auto reader,
-                          SegmentedFileReader::Open(path, meta));
+      DL_ASSIGN_OR_RETURN(
+          auto reader, SegmentedFileReader::Open(path, meta, segment_cache));
       return std::unique_ptr<VideoReader>(std::move(reader));
     }
   }

@@ -20,6 +20,8 @@
 
 namespace deeplens {
 
+class SegmentCache;
+
 /// Physical layout of a stored video.
 enum class VideoFormat : int {
   kFrameRaw = 0,   // FrameFile, raw pixels ("RAW" in Figure 2/3)
@@ -80,8 +82,13 @@ class VideoReader {
 Result<std::unique_ptr<VideoWriter>> CreateVideoWriter(
     const std::string& path, const VideoStoreOptions& options);
 
-/// Opens a stored video, dispatching on the persisted meta file.
-Result<std::unique_ptr<VideoReader>> OpenVideo(const std::string& path);
+/// Opens a stored video, dispatching on the persisted meta file. When a
+/// SegmentCache is supplied, the inter-frame layouts (kEncoded,
+/// kSegmented) memoize decoded GOPs/clips through it; the per-frame
+/// layouts ignore it (their records decode independently, so there is no
+/// redundant decode work to save).
+Result<std::unique_ptr<VideoReader>> OpenVideo(
+    const std::string& path, SegmentCache* segment_cache = nullptr);
 
 namespace internal {
 /// Sidecar metadata persisted by writers (path + ".meta").
