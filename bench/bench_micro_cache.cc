@@ -1,11 +1,15 @@
 // Microbenchmark: the inference & decode cache subsystem on repeated
 // workloads — (1) a repeated NN-UDF query over a panel view (the paper's
-// §7.4 "inference dominates query time" scenario) and (2) repeated
-// random frame reads over an encoded video (§3.1 decode cost). Results
-// are verified identical across cached/uncached engines before timing is
+// §7.4 "inference dominates query time" scenario), (2) repeated random
+// frame reads over an encoded video (§3.1 decode cost), and (3) a
+// process-restart phase: the same NN-UDF query against a *fresh*
+// Database whose persistent inference cache (DEEPLENS_CACHE_DIR) was
+// filled by a previous Database instance — the paper's materialized-
+// UDF-view durability argument. Results are verified identical across
+// cached/uncached engines (and across the restart) before timing is
 // reported, all timings are written to BENCH_cache.json, and the run
 // fails unless the warm (cache-hit) pass is at least 3x faster than the
-// cold (cache-miss) pass for both workloads.
+// cold (cache-miss) pass for all three workloads.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -91,8 +95,8 @@ struct CaseTiming {
 };
 
 void WriteJson(const std::vector<CaseTiming>& cases, double infer_speedup,
-               double decode_speedup, double infer_hit_rate,
-               double decode_hit_rate) {
+               double decode_speedup, double restart_speedup,
+               double infer_hit_rate, double decode_hit_rate) {
   std::FILE* f = std::fopen("BENCH_cache.json", "w");
   if (f == nullptr) {
     std::printf("WARNING: could not open BENCH_cache.json for writing\n");
@@ -105,6 +109,7 @@ void WriteJson(const std::vector<CaseTiming>& cases, double infer_speedup,
                ThreadPool::Global().num_threads());
   std::fprintf(f, "  \"inference_warm_speedup\": %.2f,\n", infer_speedup);
   std::fprintf(f, "  \"decode_warm_speedup\": %.2f,\n", decode_speedup);
+  std::fprintf(f, "  \"restart_warm_speedup\": %.2f,\n", restart_speedup);
   std::fprintf(f, "  \"inference_hit_rate\": %.3f,\n", infer_hit_rate);
   std::fprintf(f, "  \"decode_hit_rate\": %.3f,\n", decode_hit_rate);
   std::fprintf(f, "  \"cases\": [\n");
@@ -235,6 +240,102 @@ int Run() {
   const CacheStats seg_stats = db->segment_cache()->Stats();
   const double decode_speedup = dec_cold_ms / dec_warm_ms;
 
+  // --- 3. Restart: persistent inference cache across Database opens ----
+  // A fresh Database pointed at the same DEEPLENS_CACHE_DIR must serve
+  // the whole query from the spilled/warm-loaded materialized UDF views
+  // instead of re-running inference. The query stacks several UDF
+  // conjuncts (five depth variants + OCR): a restarted process must
+  // re-hash each patch once either way, so the win to measure is the
+  // inference it *doesn't* re-run.
+  const std::string cache_dir = scratch.path() + "/pcache";
+  CacheConfig persistent_config;
+  persistent_config.budget_bytes = 256 << 20;
+  persistent_config.cache_dir = cache_dir;
+
+  auto restart_query = [](Database* db) -> std::pair<double, uint64_t> {
+    Query query(db, "panels");
+    InferenceCache* cache = db->inference_cache();
+    query.Where(Gt(DepthUdf(0, db->depth_model(), 240, cache), Lit(1.0)));
+    query.Where(Gt(DepthUdf(0, db->depth_model(), 480, cache), Lit(1.0)));
+    query.Where(Gt(DepthUdf(0, db->depth_model(), 720, cache), Lit(1.0)));
+    query.Where(Gt(DepthUdf(0, db->depth_model(), 960, cache), Lit(1.0)));
+    query.Where(Gt(DepthUdf(0, db->depth_model(), 1200, cache), Lit(1.0)));
+    query.Where(Ne(OcrTextUdf(0, db->ocr(), cache), Lit("")));
+    Stopwatch timer;
+    auto count = query.Count();
+    DL_CHECK_OK(count.status());
+    return {timer.ElapsedMillis(), *count};
+  };
+
+  // Cache-off baseline for the differential (budget 0 disables caching).
+  uint64_t restart_plain_rows = 0;
+  {
+    auto db_p = Database::Open(scratch.path() + "/db_restart_plain");
+    DL_CHECK_OK(db_p.status());
+    CacheConfig off;
+    off.budget_bytes = 0;
+    (*db_p)->ConfigureCaches(off);
+    DL_CHECK_OK((*db_p)->RegisterView("panels", PanelView(kPanels)));
+    restart_plain_rows = restart_query(db_p->get()).second;
+  }
+
+  double restart_cold_ms = 0.0;
+  uint64_t restart_cold_rows = 0;
+  {
+    auto db_a = Database::Open(scratch.path() + "/db_restart_a");
+    DL_CHECK_OK(db_a.status());
+    (*db_a)->ConfigureCaches(persistent_config);
+    DL_CHECK_OK((*db_a)->RegisterView("panels", PanelView(kPanels)));
+    const auto [ms, rows] = restart_query(db_a->get());
+    restart_cold_ms = ms;
+    restart_cold_rows = rows;
+    // Database teardown spills the resident working set to the log.
+  }
+
+  // Best of kWarmReps *independent* restarts: every rep opens a fresh
+  // Database and registers a fresh view, so nothing in-process (patch
+  // fingerprint memoization, warm allocator) carries over — each rep is
+  // an honest restart, the min just removes scheduler noise.
+  double restart_open_ms = 0.0;
+  double restart_warm_ms = 1e300;
+  uint64_t restart_warm_rows = 0;
+  CacheStats restart_stats;
+  for (int rep = 0; rep < kWarmReps; ++rep) {
+    Stopwatch open_timer;
+    auto db_b = Database::Open(scratch.path() + "/db_restart_b");
+    DL_CHECK_OK(db_b.status());
+    (*db_b)->ConfigureCaches(persistent_config);  // warm-loads the log
+    const double open_ms = open_timer.ElapsedMillis();
+    DL_CHECK_OK((*db_b)->RegisterView("panels", PanelView(kPanels)));
+    const auto [ms, rows] = restart_query(db_b->get());
+    restart_warm_rows = rows;
+    if (ms < restart_warm_ms) {
+      restart_warm_ms = ms;
+      restart_open_ms = open_ms;
+      restart_stats = (*db_b)->inference_cache()->Stats();
+    }
+  }
+  if (restart_cold_rows != restart_plain_rows ||
+      restart_warm_rows != restart_plain_rows) {
+    std::printf("RESTART MISMATCH: uncached=%" PRIu64 " cold=%" PRIu64
+                " warm-restart=%" PRIu64 "\n",
+                restart_plain_rows, restart_cold_rows, restart_warm_rows);
+    return 1;
+  }
+  const double restart_speedup = restart_cold_ms / restart_warm_ms;
+
+  std::printf("\nsame query, fresh Database over a persistent cache dir:\n");
+  std::printf("%-24s %10.2f ms\n", "cold (fill + spill)", restart_cold_ms);
+  std::printf("%-24s %10.2f ms\n", "reopen (warm-load)", restart_open_ms);
+  std::printf("%-24s %10.2f ms %8.1fx\n", "warm restart", restart_warm_ms,
+              restart_speedup);
+  std::printf("provenance: %" PRIu64 " memory hits, %" PRIu64
+              " disk hits, %" PRIu64 " warm-loaded, %" PRIu64
+              " spilled, log %" PRIu64 " KB\n",
+              restart_stats.hits, restart_stats.disk_hits,
+              restart_stats.warm_loaded, restart_stats.spilled,
+              restart_stats.disk_bytes >> 10);
+
   std::printf("\n%d random ReadFrame()s over a %d-frame encoded video "
               "(gop 20):\n",
               kRandomReads, kFrames);
@@ -252,14 +353,19 @@ int Run() {
              {"ocr_udf_query_warm", warm_ms, warm_rows},
              {"encoded_reads_uncached", dec_uncached_ms, dec_uncached_bytes},
              {"encoded_reads_cold", dec_cold_ms, dec_cold_bytes},
-             {"encoded_reads_warm", dec_warm_ms, dec_warm_bytes}},
-            infer_speedup, decode_speedup, infer_stats.HitRate(),
-            seg_stats.HitRate());
+             {"encoded_reads_warm", dec_warm_ms, dec_warm_bytes},
+             {"restart_query_cold", restart_cold_ms, restart_cold_rows},
+             {"restart_reopen_warmload", restart_open_ms, 0},
+             {"restart_query_warm", restart_warm_ms, restart_warm_rows}},
+            infer_speedup, decode_speedup, restart_speedup,
+            infer_stats.HitRate(), seg_stats.HitRate());
 
-  if (infer_speedup < kRequiredSpeedup || decode_speedup < kRequiredSpeedup) {
+  if (infer_speedup < kRequiredSpeedup || decode_speedup < kRequiredSpeedup ||
+      restart_speedup < kRequiredSpeedup) {
     std::printf("\nFAIL: warm speedup below %.1fx target (inference %.2fx, "
-                "decode %.2fx)\n",
-                kRequiredSpeedup, infer_speedup, decode_speedup);
+                "decode %.2fx, restart %.2fx)\n",
+                kRequiredSpeedup, infer_speedup, decode_speedup,
+                restart_speedup);
     return 1;
   }
   return 0;

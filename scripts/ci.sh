@@ -13,8 +13,9 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
 
-# Cache perf gate: fails unless warm repeated-query latency beats cold by
-# >= 3x for both the inference and the decoded-segment cache. Writes
+# Cache perf gate: fails unless warm latency beats cold by >= 3x for the
+# inference cache, the decoded-segment cache, AND the warm-restart phase
+# (fresh Database over a persistent DEEPLENS_CACHE_DIR spill log). Writes
 # BENCH_cache.json into the repo root.
 "$BUILD_DIR"/bench_micro_cache
 
@@ -27,7 +28,7 @@ if [[ "${DEEPLENS_SKIP_TSAN:-0}" != "1" ]]; then
     -DDEEPLENS_BUILD_BENCHES=OFF \
     -DDEEPLENS_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j"$(nproc)" \
-    --target exec_parallel_test exec_batch_test cache_test
+    --target exec_parallel_test exec_batch_test cache_test persistence_test
   (cd "$TSAN_DIR" && ctest --output-on-failure \
-    -R '^(exec_parallel_test|exec_batch_test|cache_test)$')
+    -R '^(exec_parallel_test|exec_batch_test|cache_test|persistence_test)$')
 fi

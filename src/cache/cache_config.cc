@@ -15,6 +15,7 @@ CacheConfig CacheConfig::FromEnv() {
       "DEEPLENS_CACHE_MB", kDefaultBudgetBytes >> 20,
       /*max_value=*/1ull << 20, /*allow_zero=*/true);
   config.budget_bytes = static_cast<size_t>(mb) << 20;
+  config.cache_dir = PathFromEnv("DEEPLENS_CACHE_DIR");
   return config;
 }
 

@@ -1,11 +1,14 @@
-// Sizing knobs for the Database-owned caches. The single environment
-// knob DEEPLENS_CACHE_MB sets the *total* byte budget, split evenly
-// between the inference cache and the decoded-segment cache; 0 disables
-// both. Shard counts default to the global thread pool width so morsel
-// workers rarely contend on a shard mutex.
+// Sizing knobs for the Database-owned caches. The environment knob
+// DEEPLENS_CACHE_MB sets the *total* byte budget, split evenly between
+// the inference cache and the decoded-segment cache; 0 disables both.
+// DEEPLENS_CACHE_DIR names a directory for the persistent inference
+// cache's spill log (unset = volatile-only caching, the pre-persistence
+// behavior). Shard counts default to the global thread pool width so
+// morsel workers rarely contend on a shard mutex.
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace deeplens {
 
@@ -14,12 +17,16 @@ struct CacheConfig {
   size_t budget_bytes = kDefaultBudgetBytes;
   /// Mutex shards per cache; 0 = auto (2× the global pool width).
   size_t shards = 0;
+  /// Directory for the inference cache's persistent spill log. Empty =
+  /// in-memory only (NN UDF results die with the process).
+  std::string cache_dir;
 
   static constexpr size_t kDefaultBudgetBytes = 64ull << 20;  // 64 MB
 
   /// Reads DEEPLENS_CACHE_MB (validated like DEEPLENS_NUM_THREADS:
   /// garbage / negative values fall back to the 64 MB default; an
-  /// explicit 0 disables caching).
+  /// explicit 0 disables caching) and DEEPLENS_CACHE_DIR (validated
+  /// path; blank/control-character values fall back to unset).
   static CacheConfig FromEnv();
 
   size_t inference_budget() const { return budget_bytes / 2; }

@@ -1,0 +1,24 @@
+// Unambiguous cache-key composition. Cache keys concatenate
+// caller-supplied components (model names, device names, file paths)
+// with '#'/'@' separators; a component that itself contains a separator
+// must not be able to alias another key — especially now that inference
+// keys are durable on disk, where a collision would silently serve one
+// stream's results for another. Free-form components are therefore
+// length-prefixed ("<decimal length>:<bytes>"), which makes any
+// concatenation of parts uniquely decodable regardless of content.
+#pragma once
+
+#include <string>
+
+namespace deeplens {
+
+/// Appends `part` to `key` as "<decimal length>:<bytes>". Numeric
+/// components (fingerprints, sizes, CRCs) don't need this — decimal
+/// digits can never contain a separator — only free-form strings do.
+inline void AppendKeyPart(std::string* key, const std::string& part) {
+  *key += std::to_string(part.size());
+  *key += ':';
+  *key += part;
+}
+
+}  // namespace deeplens

@@ -6,6 +6,12 @@
 // shards concurrently (per-shard mutexes; values returned by shared_ptr
 // so no lock is held during use).
 //
+// Get/Put/Stats are virtual so the persistence layer
+// (cache/persistent_cache.h) can layer a RecordStore-backed spill log
+// under the same pointer every call site already holds — the paper's
+// materialized-UDF-view idea: inference results are expensive views that
+// should survive the process.
+//
 // The typed Cached* wrappers are the integration points: call sites hand
 // them a model, the pixels, and an optional cache; a null or disabled
 // cache degrades to a plain inference call, which is what the
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "cache/sharded_lru.h"
+#include "common/bytes.h"
 #include "core/patch.h"
 #include "nn/models.h"
 #include "tensor/tensor.h"
@@ -37,8 +44,25 @@ struct InferenceValue {
   std::variant<std::string, double, Tensor, std::vector<nn::Detection>>
       payload;
 
-  /// Approximate heap footprint, charged against the cache budget.
+  /// Approximate total footprint (object + heap), charged against the
+  /// cache budget. Heap-bearing payloads are charged by *capacity*, not
+  /// size, so budget accounting tracks what the allocator really holds.
   size_t ByteSize() const;
+
+  /// Appends the versioned wire encoding (used by the persistent spill
+  /// log): u8 format version, u8 payload tag, then the payload. All four
+  /// variant alternatives round-trip exactly.
+  void SerializeInto(ByteBuffer* buf) const;
+
+  /// Decodes a value produced by SerializeInto. Unknown versions or
+  /// tags, truncated input, and implausible tensor shapes return
+  /// Corruption — a persistent cache treats that as a miss, never as a
+  /// wrong answer.
+  static Result<InferenceValue> Parse(const Slice& data);
+
+  /// Bumped whenever the wire encoding changes shape; Parse rejects
+  /// anything else, so stale spill logs invalidate themselves.
+  static constexpr uint8_t kFormatVersion = 1;
 };
 
 class InferenceCache {
@@ -47,29 +71,46 @@ class InferenceCache {
   /// are dropped, no locks taken).
   InferenceCache(size_t budget_bytes, size_t num_shards)
       : cache_(budget_bytes, num_shards) {}
+  virtual ~InferenceCache() = default;
 
   bool enabled() const { return cache_.enabled(); }
 
+  /// True when lookups can be served from (and survive to) disk.
+  virtual bool persistent() const { return false; }
+
   /// Cache key for `model` applied to content with `fingerprint`.
   /// `variant` distinguishes runs of the same model under different
-  /// parameters (e.g. the frame height fed to the depth head). Fold the
-  /// device into `model` (ModelOnDevice) — backends are only
-  /// tolerance-equal, so their outputs must not share entries.
+  /// parameters (e.g. the frame height fed to the depth head) and is
+  /// always encoded — including 0 — so a parameter that happens to be
+  /// zero can never alias a differently-parameterized call. The model
+  /// component is length-prefixed: keys are durable on disk, so a model
+  /// string containing '#'/'@' must not be able to collide with another
+  /// key. Fold the device into `model` (ModelOnDevice) — backends are
+  /// only tolerance-equal, so their outputs must not share entries.
   static std::string KeyFor(const std::string& model, uint64_t fingerprint,
                             uint64_t variant = 0);
 
-  /// "model@device" key prefix for device-dependent outputs.
+  /// Device-qualified model identity for device-dependent outputs. Both
+  /// components are length-prefixed, so no (model, device) pair can
+  /// alias another.
   static std::string ModelOnDevice(const char* model, nn::Device* device);
 
-  std::shared_ptr<const InferenceValue> Get(const std::string& key) {
+  virtual std::shared_ptr<const InferenceValue> Get(const std::string& key) {
     return cache_.Get(key);
   }
-  void Put(const std::string& key, InferenceValue value);
+  virtual void Put(const std::string& key, InferenceValue value);
 
-  void Clear() { cache_.Clear(); }
-  CacheStats Stats() const { return cache_.Stats(); }
+  virtual void Clear() { cache_.Clear(); }
 
- private:
+  /// Called by the Database when this instance is replaced: releases
+  /// entries (and, for persistent caches, spills them and closes the
+  /// log so a successor can reopen it). Raw-pointer holders keep using
+  /// the retired object safely; lookups just miss.
+  virtual void Retire() { Clear(); }
+
+  virtual CacheStats Stats() const { return cache_.Stats(); }
+
+ protected:
   ShardedLruCache<InferenceValue> cache_;
 };
 

@@ -1,0 +1,119 @@
+// PersistentInferenceCache: the paper's materialized-UDF-view idea made
+// durable. NN UDF results are expensive materialized views; a purely
+// in-memory cache re-runs every inference after a restart. This layer
+// keeps the sharded in-memory LRU as the hot tier and writes entries
+// through to a crash-safe, CRC-framed RecordStore log (the same
+// chunked-log machinery that backs the storage layer):
+//
+//   - inserts land in memory; entries the LRU evicts — and oversized
+//     values memory rejects outright — are spilled to the log,
+//   - an in-memory miss consults the log before giving up (a disk hit
+//     is promoted back into memory),
+//   - Retire()/destruction spill every resident entry and flush, so a
+//     clean shutdown persists the whole working set,
+//   - open warm-loads entries from the log until the memory budget is
+//     full, so the first post-restart query is lookup-bound.
+//
+// Invalidation is structural: keys embed the device-qualified model
+// identity, so results from another model/device/backend can never be
+// served; values carry a format version, so a stale log degrades to
+// misses, never to wrong answers. Torn log tails are dropped by the
+// RecordStore's CRC framing on replay.
+//
+// Thread-safety: the memory tier keeps its per-shard mutexes; the
+// single-writer RecordStore is guarded by one store mutex, taken only
+// on the (rare, already I/O-bound) miss/spill paths and never while a
+// shard lock is held.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cache/inference_cache.h"
+#include "storage/record_store.h"
+
+namespace deeplens {
+
+class PersistentInferenceCache : public InferenceCache {
+ public:
+  /// Spill log file created under the cache directory.
+  static constexpr const char* kLogFileName = "inference.dlog";
+  /// Advisory lock file guarding the single-writer log.
+  static constexpr const char* kLockFileName = "inference.lock";
+
+  /// Opens (creating as needed) the spill log under directory `dir`,
+  /// replays it, and warm-loads entries into memory until `budget_bytes`
+  /// is reached. `budget_bytes` = 0 still persists nothing and serves
+  /// nothing (a disabled cache stays disabled). The log is single-writer
+  /// (RecordStore offsets are private to the writer): an exclusive flock
+  /// on the lock file guards it, and a second opener — same or another
+  /// process — gets AlreadyExists instead of silently corrupting the
+  /// shared tail (Database then degrades that opener to volatile
+  /// caching).
+  static Result<std::unique_ptr<PersistentInferenceCache>> Open(
+      const std::string& dir, size_t budget_bytes, size_t num_shards);
+
+  ~PersistentInferenceCache() override;
+
+  bool persistent() const override { return true; }
+
+  /// Memory first; on miss, the spill log (promoting a disk hit back
+  /// into the memory tier).
+  std::shared_ptr<const InferenceValue> Get(const std::string& key) override;
+
+  /// Inserts into memory. Values memory refuses (oversized for a shard)
+  /// go straight to the log instead of being dropped.
+  void Put(const std::string& key, InferenceValue value) override;
+
+  /// Spills every memory-resident entry to the log and flushes it.
+  Status Persist();
+
+  /// Persist(), then close the log (so a successor instance can reopen
+  /// it) and drop the memory tier. Lookups miss from here on.
+  void Retire() override;
+
+  /// Memory-tier stats plus disk provenance (disk_hits/disk_misses/
+  /// spilled/warm_loaded and the spill log's record/byte counts).
+  CacheStats Stats() const override;
+
+  const std::string& log_path() const { return log_path_; }
+
+ private:
+  PersistentInferenceCache(size_t budget_bytes, size_t num_shards,
+                           std::string log_path)
+      : InferenceCache(budget_bytes, num_shards),
+        log_path_(std::move(log_path)) {}
+
+  /// Serializes and appends one entry. Caller holds store_mu_.
+  void SpillLocked(const std::string& key, const InferenceValue& value);
+
+  /// Loads the log's live records (the store's index already keeps only
+  /// the latest version per key; ScanAll visits them in key order) into
+  /// the memory tier until the budget is full — when the log outgrows
+  /// the budget, the remainder stays disk-only and is served via the
+  /// miss path. Called once from Open, before the eviction hook is
+  /// installed, so warm-loading can never churn the log it is reading.
+  void WarmLoad();
+
+  std::string log_path_;
+
+  // Fast-path hint: false until the log has ever held a record, letting
+  // the (morsel-parallel) miss path skip the global store mutex on a
+  // fresh cache dir — the one case where every single miss would
+  // otherwise serialize on a guaranteed-empty probe. Conservative: once
+  // true it stays true (tombstoning may re-empty the log; misses then
+  // just pay the probe).
+  std::atomic<bool> log_has_records_{false};
+
+  mutable std::mutex store_mu_;
+  std::unique_ptr<RecordStore> store_;  // null after Retire()
+  int lock_fd_ = -1;                    // held while store_ is open
+  uint64_t disk_hits_ = 0;
+  uint64_t disk_misses_ = 0;
+  uint64_t spilled_ = 0;
+  uint64_t warm_loaded_ = 0;
+};
+
+}  // namespace deeplens

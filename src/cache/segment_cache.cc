@@ -1,15 +1,25 @@
 #include "cache/segment_cache.h"
 
+#include "cache/cache_key.h"
+
 namespace deeplens {
 
 std::string SegmentCache::StreamId(const std::string& path,
                                    uint64_t size_bytes, uint32_t crc) {
-  return path + "#" + std::to_string(size_bytes) + "#" +
-         std::to_string(crc);
+  std::string id;
+  id.reserve(path.size() + 40);
+  AppendKeyPart(&id, path);
+  id += '#';
+  id += std::to_string(size_bytes);
+  id += '#';
+  id += std::to_string(crc);
+  return id;
 }
 
 std::string SegmentCache::KeyFor(const std::string& stream_id,
                                  int start_frame) {
+  // The stream id's free-form component (the path) is length-prefixed by
+  // StreamId, so appending the numeric frame stays unambiguous.
   return stream_id + "@" + std::to_string(start_frame);
 }
 
@@ -18,17 +28,23 @@ std::shared_ptr<const SegmentCache::Segment> SegmentCache::Get(
   return cache_.Get(KeyFor(stream_id, start_frame));
 }
 
-void SegmentCache::Put(const std::string& stream_id, int start_frame,
+bool SegmentCache::Put(const std::string& stream_id, int start_frame,
                        Segment frames) {
-  Put(stream_id, start_frame,
-      std::make_shared<const Segment>(std::move(frames)));
+  return Put(stream_id, start_frame,
+             std::make_shared<const Segment>(std::move(frames)));
 }
 
-void SegmentCache::Put(const std::string& stream_id, int start_frame,
+bool SegmentCache::Put(const std::string& stream_id, int start_frame,
                        std::shared_ptr<const Segment> frames) {
   size_t charge = sizeof(Segment);
   for (const Image& f : *frames) charge += f.size_bytes() + sizeof(Image);
-  cache_.Put(KeyFor(stream_id, start_frame), std::move(frames), charge);
+  return cache_.Put(KeyFor(stream_id, start_frame), std::move(frames),
+                    charge);
+}
+
+bool SegmentCache::Contains(const std::string& stream_id,
+                            int start_frame) const {
+  return cache_.Contains(KeyFor(stream_id, start_frame));
 }
 
 }  // namespace deeplens

@@ -37,17 +37,27 @@ class SegmentCache {
 
   bool enabled() const { return cache_.enabled(); }
 
-  /// Builds a collision-safe stream identity for a stored stream.
+  /// Builds a collision-safe stream identity for a stored stream. The
+  /// path component is length-prefixed so a path containing '#'/'@' can
+  /// never alias another stream's identity (or, once keys reach a spill
+  /// log, another stream's durable entries).
   static std::string StreamId(const std::string& path, uint64_t size_bytes,
                               uint32_t crc);
 
   std::shared_ptr<const Segment> Get(const std::string& stream_id,
                                      int start_frame);
-  void Put(const std::string& stream_id, int start_frame, Segment frames);
+  bool Put(const std::string& stream_id, int start_frame, Segment frames);
   /// Shared-ownership insert: lets a reader keep using the segment it
   /// just decoded without re-fetching (and regardless of later eviction).
-  void Put(const std::string& stream_id, int start_frame,
+  /// Returns false when the segment was not admitted (cache disabled, or
+  /// the segment alone exceeds a shard's budget slice) so readers can
+  /// keep a fallback reference instead of re-decoding forever.
+  bool Put(const std::string& stream_id, int start_frame,
            std::shared_ptr<const Segment> frames);
+
+  /// Residency probe: no stats, no recency update. Lets the decode loop
+  /// skip re-inserting GOPs that are already resident.
+  bool Contains(const std::string& stream_id, int start_frame) const;
 
   void Clear() { cache_.Clear(); }
   CacheStats Stats() const { return cache_.Stats(); }

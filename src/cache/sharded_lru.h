@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,10 +42,28 @@ struct CacheStats {
   uint64_t budget_bytes = 0;
   uint64_t shards = 0;
 
+  // --- Persistence provenance (zero for purely in-memory caches) -------
+  // `hits` above are memory hits; a lookup that misses memory but is
+  // served from the spill log counts one `misses` AND one `disk_hits`,
+  // so memory-vs-disk provenance is always reconstructible.
+  uint64_t disk_hits = 0;    // in-memory misses answered by the spill log
+  uint64_t disk_misses = 0;  // spill-log probes that found nothing usable
+  uint64_t spilled = 0;      // entries written through to the spill log
+  uint64_t warm_loaded = 0;  // entries preloaded from the log on open
+  uint64_t disk_entries = 0;  // live records in the spill log
+  uint64_t disk_bytes = 0;    // spill log size (incl. dead versions)
+
   uint64_t lookups() const { return hits + misses; }
   double HitRate() const {
     const uint64_t n = lookups();
     return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  /// Hit rate counting disk-served lookups as hits.
+  double CombinedHitRate() const {
+    const uint64_t n = lookups();
+    return n == 0 ? 0.0
+                  : static_cast<double>(hits + disk_hits) /
+                        static_cast<double>(n);
   }
 };
 
@@ -73,6 +92,17 @@ class ShardedLruCache {
   size_t budget_bytes() const { return budget_bytes_; }
   size_t num_shards() const { return shards_.size(); }
 
+  /// Called once per evicted entry, after the shard lock has been
+  /// released (so the callback may take its own locks, e.g. around a
+  /// spill log). Entries dropped by Clear() are invalidations, not
+  /// evictions, and do not fire the callback. Not thread-safe against
+  /// concurrent cache operations: install before the cache is shared.
+  using EvictionCallback = std::function<void(
+      const std::string& key, std::shared_ptr<const V> value, size_t charge)>;
+  void SetEvictionCallback(EvictionCallback cb) {
+    eviction_cb_ = std::move(cb);
+  }
+
   /// Returns the cached value or nullptr on miss.
   std::shared_ptr<const V> Get(const std::string& key) {
     if (!enabled()) return nullptr;
@@ -92,33 +122,73 @@ class ShardedLruCache {
   /// Inserts (or replaces) `key`, charging `charge` + key bytes against
   /// the shard budget and evicting least-recently-used entries as needed.
   /// An entry larger than a whole shard's budget is rejected outright so
-  /// one oversized value cannot flush the shard.
-  void Put(const std::string& key, std::shared_ptr<const V> value,
+  /// one oversized value cannot flush the shard. Returns true iff the
+  /// entry is resident afterwards (false: disabled or rejected), so
+  /// write-through layers can persist what memory refused to hold.
+  bool Put(const std::string& key, std::shared_ptr<const V> value,
            size_t charge) {
-    if (!enabled()) return;
+    if (!enabled()) return false;
     Shard& shard = ShardFor(key);
     const size_t total = charge + key.size() + kEntryOverhead;
+    std::vector<Entry> victims;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (total > shard.budget) {
+        ++shard.rejected;
+        return false;
+      }
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        shard.bytes -= it->second->charge;
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+      }
+      shard.lru.push_front(Entry{key, std::move(value), total});
+      shard.map[key] = shard.lru.begin();
+      shard.bytes += total;
+      ++shard.insertions;
+      while (shard.bytes > shard.budget && shard.lru.size() > 1) {
+        Entry& victim = shard.lru.back();
+        shard.bytes -= victim.charge;
+        shard.map.erase(victim.key);
+        if (eviction_cb_) victims.push_back(std::move(victim));
+        shard.lru.pop_back();
+        ++shard.evictions;
+      }
+    }
+    // Outside the shard lock: the callback may do I/O or take other
+    // locks without blocking concurrent hits on this shard.
+    for (Entry& v : victims) {
+      eviction_cb_(v.key, std::move(v.value), v.charge);
+    }
+    return true;
+  }
+
+  /// True if `key` is resident. Touches neither the recency order nor
+  /// the hit/miss counters — a pure residency probe for callers deciding
+  /// whether a (re-)insert is worthwhile.
+  bool Contains(const std::string& key) const {
+    if (!enabled()) return false;
+    const Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (total > shard.budget) {
-      ++shard.rejected;
-      return;
-    }
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      shard.bytes -= it->second->charge;
-      shard.lru.erase(it->second);
-      shard.map.erase(it);
-    }
-    shard.lru.push_front(Entry{key, std::move(value), total});
-    shard.map[key] = shard.lru.begin();
-    shard.bytes += total;
-    ++shard.insertions;
-    while (shard.bytes > shard.budget && shard.lru.size() > 1) {
-      const Entry& victim = shard.lru.back();
-      shard.bytes -= victim.charge;
-      shard.map.erase(victim.key);
-      shard.lru.pop_back();
-      ++shard.evictions;
+    return shard.map.find(key) != shard.map.end();
+  }
+
+  /// Visits a snapshot of every resident entry (most-recent first within
+  /// each shard). Entries are copied out under the shard lock and the
+  /// visitor runs after it is released, so the visitor may take locks of
+  /// its own (e.g. a spill log's) without ordering hazards.
+  void ForEach(const std::function<void(const std::string& key,
+                                        const std::shared_ptr<const V>& value,
+                                        size_t charge)>& fn) const {
+    for (const auto& shard : shards_) {
+      std::vector<Entry> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        snapshot.reserve(shard->lru.size());
+        for (const Entry& e : shard->lru) snapshot.push_back(e);
+      }
+      for (const Entry& e : snapshot) fn(e.key, e.value, e.charge);
     }
   }
 
@@ -179,9 +249,14 @@ class ShardedLruCache {
     const uint64_t h = Fnv1a64(key.data(), key.size());
     return *shards_[h % shards_.size()];
   }
+  const Shard& ShardFor(const std::string& key) const {
+    const uint64_t h = Fnv1a64(key.data(), key.size());
+    return *shards_[h % shards_.size()];
+  }
 
   size_t budget_bytes_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  EvictionCallback eviction_cb_;
 };
 
 }  // namespace deeplens

@@ -31,4 +31,31 @@ uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
   return static_cast<uint64_t>(parsed);
 }
 
+std::string PathFromEnv(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const std::string value(env);
+  bool all_space = true;
+  bool has_control = false;
+  for (unsigned char c : value) {
+    if (c != ' ' && c != '\t') all_space = false;
+    if (c < 0x20 || c == 0x7f) has_control = true;
+  }
+  if (value.empty() || all_space || has_control) {
+    // Echo the rejected value with control bytes masked — the raw bytes
+    // of a value rejected *for* containing control characters must not
+    // reach the terminal (escape injection / log forgery).
+    std::string shown = value;
+    for (char& c : shown) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u < 0x20 || u == 0x7f) c = '?';
+    }
+    DL_LOG(kWarn) << name << "='" << shown
+                  << "' is not a usable path; using default '" << fallback
+                  << "'";
+    return fallback;
+  }
+  return value;
+}
+
 }  // namespace deeplens

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace deeplens {
 
@@ -18,5 +19,11 @@ namespace deeplens {
 uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
                             uint64_t max_value = UINT64_MAX,
                             bool allow_zero = false);
+
+/// Parses environment variable `name` as a filesystem path. Returns
+/// `fallback` when unset. Values that are empty, whitespace-only, or
+/// contain control characters are rejected with a warning and fall back:
+/// a blank path knob is a misconfiguration, never a request for "here".
+std::string PathFromEnv(const char* name, const std::string& fallback = "");
 
 }  // namespace deeplens

@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include "cache/persistent_cache.h"
 #include "common/clock.h"
 #include "common/logging.h"
 
@@ -13,16 +14,31 @@ Database::Database(std::string root)
 void Database::ConfigureCaches(const CacheConfig& config) {
   if (inference_cache_) {
     // Raw-pointer holders (expressions, EtlOptions) keep the object
-    // alive via the retired list, but its entries are dropped now so a
-    // shrink actually releases memory — stragglers just miss.
-    inference_cache_->Clear();
+    // alive via the retired list, but Retire() drops its entries now so
+    // a shrink actually releases memory — stragglers just miss. A
+    // persistent instance also spills its working set and closes its
+    // log here, so the successor can reopen the same spill file.
+    inference_cache_->Retire();
     retired_inference_caches_.push_back(std::move(inference_cache_));
   }
   if (segment_cache_) segment_cache_->Clear();
   cache_config_ = config;
   const size_t shards = config.ResolvedShards();
-  inference_cache_ =
-      std::make_unique<InferenceCache>(config.inference_budget(), shards);
+  if (!config.cache_dir.empty()) {
+    auto persistent = PersistentInferenceCache::Open(
+        config.cache_dir, config.inference_budget(), shards);
+    if (persistent.ok()) {
+      inference_cache_ = std::move(*persistent);
+    } else {
+      DL_LOG(kWarn) << "persistent inference cache at '" << config.cache_dir
+                    << "' unavailable (" << persistent.status().ToString()
+                    << "); falling back to in-memory caching";
+    }
+  }
+  if (!inference_cache_) {
+    inference_cache_ =
+        std::make_unique<InferenceCache>(config.inference_budget(), shards);
+  }
   // Readers from LoadVideo() co-own the old instance; dropping our
   // reference here retires it once the last reader goes away.
   segment_cache_ =

@@ -53,14 +53,20 @@ class Database {
 
   // --- Caches (inference memoization + decoded segments) ---------------
   // Sized by DEEPLENS_CACHE_MB (total budget split between the two;
-  // 0 disables caching). Both are shared by every query/ETL run against
-  // this database; morsel workers hit the shards concurrently.
+  // 0 disables caching). With DEEPLENS_CACHE_DIR set, the inference
+  // cache is persistent: NN UDF results spill to a crash-safe RecordStore
+  // log in that directory, survive restarts, and warm-load on open (the
+  // paper's materialized-UDF-view idea). Both caches are shared by every
+  // query/ETL run against this database; morsel workers hit the shards
+  // concurrently.
   InferenceCache* inference_cache() { return inference_cache_.get(); }
   SegmentCache* segment_cache() { return segment_cache_.get(); }
   const CacheConfig& cache_config() const { return cache_config_; }
 
   /// Re-sizes both caches (drops all cached entries; stats counters on
-  /// the new instances start from zero). Readers
+  /// the new instances start from zero). A retiring persistent inference
+  /// cache spills its working set and closes its log first, so the new
+  /// instance reopens the same spill file and warm-loads from it. Readers
   /// obtained from LoadVideo() before this call keep using the retired
   /// segment cache they co-own; reopen them to pick up the new one.
   void ConfigureCaches(const CacheConfig& config);

@@ -45,12 +45,14 @@ PlanExplanation AnnotateUdfUse(PlanExplanation plan,
   predicate->CollectUdfUse(&plan.udfs);
   if (plan.udfs.empty()) return plan;
   bool all_cached = true;
+  bool all_persistent = true;
   for (const UdfUse& u : plan.udfs) {
     if (u.cached) {
       plan.uses_inference_cache = true;
     } else {
       all_cached = false;
     }
+    if (!u.persistent) all_persistent = false;
   }
   const bool mixed = plan.uses_inference_cache && !all_cached;
   std::string list;
@@ -61,12 +63,18 @@ PlanExplanation AnnotateUdfUse(PlanExplanation plan,
     // clause covers the uniform cases.
     if (mixed) list += u.cached ? "(cached)" : "(uncached)";
   }
+  // "persistent" is reported only when every UDF's results survive a
+  // restart — memory-vs-disk hit provenance for the run itself lives in
+  // CacheStats.
   plan.description +=
       "; nn-udfs per row: " + list +
       (!plan.uses_inference_cache
            ? " (uncached)"
-           : all_cached ? " (memoized by inference cache)"
-                        : " (partially memoized by inference cache)");
+           : !all_cached
+                 ? " (partially memoized by inference cache)"
+                 : all_persistent
+                       ? " (memoized by persistent inference cache)"
+                       : " (memoized by inference cache)");
   return plan;
 }
 

@@ -56,8 +56,15 @@ Result<std::vector<std::vector<nn::Detection>>> DetectBatchCached(
       InferenceCache::ModelOnDevice(model_names::kDetector, device);
   for (size_t i = 0; i < frames.size(); ++i) {
     keys[i] = InferenceCache::KeyFor(model, ImageFingerprint(frames[i]));
-    if (auto hit = cache->Get(keys[i])) {
-      out[i] = std::get<std::vector<nn::Detection>>(hit->payload);
+    const auto hit = cache->Get(keys[i]);
+    // Wrong-typed hit (a persistent log written by a build that changed
+    // the payload type without bumping the format version): recompute
+    // instead of crash.
+    const auto* dets =
+        hit ? std::get_if<std::vector<nn::Detection>>(&hit->payload)
+            : nullptr;
+    if (dets != nullptr) {
+      out[i] = *dets;
     } else {
       miss_indices.push_back(i);
     }

@@ -23,6 +23,9 @@ using ExprPtr = std::shared_ptr<Expr>;
 struct UdfUse {
   std::string model;
   bool cached = false;
+  /// True when the memoizing cache also persists results to disk (they
+  /// survive process restarts).
+  bool persistent = false;
 };
 
 /// \brief Expression node. Eval returns a MetaValue; predicates are

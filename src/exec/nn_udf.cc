@@ -42,8 +42,9 @@ class OcrTextUdfExpr : public Expr {
   }
 
   void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    const bool cached = cache_ != nullptr && cache_->enabled();
     out->push_back(
-        UdfUse{model_names::kOcr, cache_ != nullptr && cache_->enabled()});
+        UdfUse{model_names::kOcr, cached, cached && cache_->persistent()});
   }
 
  private:
@@ -81,8 +82,9 @@ class DepthUdfExpr : public Expr {
   }
 
   void CollectUdfUse(std::vector<UdfUse>* out) const override {
+    const bool cached = cache_ != nullptr && cache_->enabled();
     out->push_back(
-        UdfUse{model_names::kDepth, cache_ != nullptr && cache_->enabled()});
+        UdfUse{model_names::kDepth, cached, cached && cache_->persistent()});
   }
 
  private:

@@ -63,35 +63,91 @@ EncodedFileReader::CachedSegments(int lo_gop_start, int hi_gop_start) {
   segments.reserve(static_cast<size_t>((hi_gop_start - lo_gop_start) / gop) +
                    1);
   bool all_resident = true;
+  // Which requested GOPs the *shared cache* holds (as opposed to being
+  // fallback-served or decoded below) — drives the pin decision without
+  // re-probing the cache on the warm path.
+  std::vector<char> in_cache;
+  in_cache.reserve(segments.capacity());
   for (int start = lo_gop_start; start <= hi_gop_start; start += gop) {
-    segments.push_back(segment_cache_->Get(stream_id_, start));
+    auto segment = segment_cache_->Get(stream_id_, start);
+    in_cache.push_back(segment != nullptr ? 1 : 0);
+    if (segment == nullptr && start == fallback_start_) {
+      // The shared cache refused this GOP (oversized for a shard slice)
+      // but this reader decoded it last time — serve the private copy
+      // instead of re-decoding the whole prefix.
+      segment = fallback_segment_;
+    }
+    segments.push_back(std::move(segment));
     if (segments.back() == nullptr) all_resident = false;
   }
-  if (all_resident) return segments;
-  // At least one GOP is cold. The codec is strictly sequential with no
-  // byte-level GOP index, so decode the prefix once and memoize every
-  // completed GOP on the way — after this, reads anywhere in [0, hi]
-  // are lookup-bound.
-  codec::VideoDecoder decoder{Slice(stream_)};
-  DL_RETURN_NOT_OK(decoder.Init());
-  SegmentCache::Segment current;
-  current.reserve(static_cast<size_t>(gop));
-  const int hi_frame = std::min(meta_.num_frames - 1, hi_gop_start + gop - 1);
-  for (int f = 0; f <= hi_frame; ++f) {
-    DL_ASSIGN_OR_RETURN(Image img, decoder.NextFrame());
-    ++frames_decoded_;
-    current.push_back(std::move(img));
-    if ((f + 1) % gop == 0 || f == meta_.num_frames - 1) {
-      const int start = f + 1 - static_cast<int>(current.size());
-      auto segment = std::make_shared<const SegmentCache::Segment>(
-          std::move(current));
-      segment_cache_->Put(stream_id_, start, segment);
-      if (start >= lo_gop_start && start <= hi_gop_start) {
-        segments[static_cast<size_t>((start - lo_gop_start) / gop)] =
-            std::move(segment);
+  if (!all_resident) {
+    // At least one GOP is cold. The codec is strictly sequential with no
+    // byte-level GOP index, so decode the prefix once and memoize every
+    // completed GOP on the way — after this, reads anywhere in [0, hi]
+    // are lookup-bound.
+    codec::VideoDecoder decoder{Slice(stream_)};
+    DL_RETURN_NOT_OK(decoder.Init());
+    SegmentCache::Segment current;
+    current.reserve(static_cast<size_t>(gop));
+    const int hi_frame =
+        std::min(meta_.num_frames - 1, hi_gop_start + gop - 1);
+    for (int f = 0; f <= hi_frame; ++f) {
+      DL_ASSIGN_OR_RETURN(Image img, decoder.NextFrame());
+      ++frames_decoded_;
+      current.push_back(std::move(img));
+      if ((f + 1) % gop == 0 || f == meta_.num_frames - 1) {
+        const int start = f + 1 - static_cast<int>(current.size());
+        const size_t idx = static_cast<size_t>((start - lo_gop_start) / gop);
+        const bool in_range = start >= lo_gop_start && start <= hi_gop_start;
+        // Re-inserting a resident GOP buys nothing and churns the LRU
+        // (erase + push per decode); only the cold ones are admitted.
+        const bool resident = in_range
+                                  ? segments[idx] != nullptr
+                                  : segment_cache_->Contains(stream_id_, start);
+        auto segment = std::make_shared<const SegmentCache::Segment>(
+            std::move(current));
+        if (!resident) {
+          const bool admitted =
+              segment_cache_->Put(stream_id_, start, segment);
+          if (in_range) in_cache[idx] = admitted ? 1 : 0;
+        }
+        if (in_range && segments[idx] == nullptr) {
+          segments[idx] = std::move(segment);
+        }
+        current.clear();
       }
-      current.clear();
     }
+  }
+  // Pin a private copy of the hi-most requested GOP the shared cache
+  // does not hold (oversized for a shard slice, or fallback-served this
+  // call): that is the case where the next read of that GOP would
+  // otherwise re-decode the whole prefix — and with one oversized GOP
+  // in a repeated range read, pinning it makes the next identical call
+  // fully resident. When the cache holds every requested GOP, an
+  // existing pin of a *different* GOP is left alone — a read of a
+  // normal GOP must not evict the private copy of an oversized one
+  // (alternating reads would then re-decode the full prefix every
+  // time) — and the pin is dropped only once the cache actually holds
+  // the pinned GOP, since keeping it would just duplicate
+  // budget-tracked memory in every open reader.
+  int pin_start = -1;
+  size_t pin_idx = 0;
+  for (size_t i = in_cache.size(); i-- > 0;) {
+    if (!in_cache[i]) {
+      pin_idx = i;
+      pin_start = lo_gop_start + static_cast<int>(i) * gop;
+      break;
+    }
+  }
+  if (pin_start >= 0) {
+    fallback_segment_ = segments[pin_idx];
+    fallback_start_ = pin_start;
+  } else if (fallback_start_ >= 0 &&
+             segment_cache_->Contains(stream_id_, fallback_start_)) {
+    // The pinned GOP (outside this request) finally made it into the
+    // shared cache; drop the duplicate private copy.
+    fallback_segment_.reset();
+    fallback_start_ = -1;
   }
   return segments;
 }

@@ -77,6 +77,15 @@ class EncodedFileReader : public VideoReader {
   uint64_t frames_decoded_ = 0;
   SegmentCache* segment_cache_ = nullptr;
   std::string stream_id_;
+  // Private copy of the last GOP this reader touched, held only while
+  // the shared cache does not hold that GOP (too large for a shard
+  // budget slice, Put rejected): it serves repeated reads of the GOP —
+  // without it, every warm read of an oversized GOP would re-decode
+  // from frame 0, which is slower than running with no cache at all.
+  // Cleared as soon as the cache holds the GOP, so readers never pin
+  // duplicate budget-tracked memory.
+  std::shared_ptr<const SegmentCache::Segment> fallback_segment_;
+  int fallback_start_ = -1;
 };
 
 }  // namespace deeplens

@@ -1,0 +1,860 @@
+// Tests for the persistent inference cache (materialized UDF views on
+// RecordStore) and the cache-layer bugfix sweep that made keys safe to
+// put on disk: value serialization round-trips, spill/warm-load across
+// reopen, the restart differential (cold run == warm-restart run,
+// byte-identical), torn-tail crash recovery, stale-spill invalidation,
+// delimiter-proof cache keys, the oversized-GOP fallback path, and heap-
+// aware budget accounting. The contention tests run under ThreadSanitizer
+// in CI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "cache/cache_config.h"
+#include "cache/inference_cache.h"
+#include "cache/persistent_cache.h"
+#include "cache/segment_cache.h"
+#include "common/bytes.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "core/database.h"
+#include "core/query.h"
+#include "exec/nn_udf.h"
+#include "nn/device.h"
+#include "sim/scene.h"
+#include "storage/record_store.h"
+#include "storage/video_store.h"
+
+namespace deeplens {
+namespace {
+
+// --- InferenceValue wire format ------------------------------------------
+
+std::vector<uint8_t> Encode(const InferenceValue& value) {
+  ByteBuffer buf;
+  value.SerializeInto(&buf);
+  return buf.data();
+}
+
+TEST(InferenceValueWireTest, AllFourVariantsRoundTrip) {
+  {
+    auto parsed = InferenceValue::Parse(
+        Slice(Encode(InferenceValue{std::string("plate-774")})));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(std::get<std::string>(parsed->payload), "plate-774");
+  }
+  {
+    auto parsed =
+        InferenceValue::Parse(Slice(Encode(InferenceValue{12.3125})));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(std::get<double>(parsed->payload), 12.3125);
+  }
+  {
+    Tensor t({2, 3}, {1.0f, -2.5f, 3.0f, 0.0f, 4.25f, -0.125f});
+    auto parsed = InferenceValue::Parse(Slice(Encode(InferenceValue{t})));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const Tensor& back = std::get<Tensor>(parsed->payload);
+    ASSERT_EQ(back.shape(), t.shape());
+    for (int64_t i = 0; i < t.size(); ++i) {
+      EXPECT_EQ(back[i], t[i]) << "element " << i;  // exact, not AllClose
+    }
+  }
+  {
+    std::vector<nn::Detection> dets(2);
+    dets[0] = nn::Detection{nn::BBox{1, 2, 30, 40}, nn::ObjectClass::kPerson,
+                            0.875f};
+    dets[1] = nn::Detection{nn::BBox{-3, 0, 7, 9}, nn::ObjectClass::kText,
+                            0.0625f};
+    auto parsed =
+        InferenceValue::Parse(Slice(Encode(InferenceValue{dets})));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const auto& back = std::get<std::vector<nn::Detection>>(parsed->payload);
+    ASSERT_EQ(back.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_EQ(back[i].bbox.x0, dets[i].bbox.x0);
+      EXPECT_EQ(back[i].bbox.y0, dets[i].bbox.y0);
+      EXPECT_EQ(back[i].bbox.x1, dets[i].bbox.x1);
+      EXPECT_EQ(back[i].bbox.y1, dets[i].bbox.y1);
+      EXPECT_EQ(back[i].label, dets[i].label);
+      EXPECT_EQ(back[i].score, dets[i].score);
+    }
+  }
+  // Empty payloads are legal values, not corruption.
+  {
+    auto parsed = InferenceValue::Parse(
+        Slice(Encode(InferenceValue{std::string()})));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(std::get<std::string>(parsed->payload), "");
+  }
+  {
+    // Rank-0 is ambiguous between the default empty tensor (0 elements)
+    // and a scalar (1 element); the explicit count disambiguates both.
+    auto parsed =
+        InferenceValue::Parse(Slice(Encode(InferenceValue{Tensor()})));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(std::get<Tensor>(parsed->payload).size(), 0);
+    EXPECT_EQ(std::get<Tensor>(parsed->payload).rank(), 0u);
+
+    Tensor scalar(std::vector<int64_t>{});  // rank 0, one element
+    scalar[0] = 6.5f;
+    auto scalar_parsed =
+        InferenceValue::Parse(Slice(Encode(InferenceValue{scalar})));
+    ASSERT_TRUE(scalar_parsed.ok()) << scalar_parsed.status().ToString();
+    const Tensor& back = std::get<Tensor>(scalar_parsed->payload);
+    EXPECT_EQ(back.rank(), 0u);
+    ASSERT_EQ(back.size(), 1);
+    EXPECT_EQ(back[0], 6.5f);
+  }
+  {
+    auto parsed = InferenceValue::Parse(
+        Slice(Encode(InferenceValue{std::vector<nn::Detection>{}})));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(
+        std::get<std::vector<nn::Detection>>(parsed->payload).empty());
+  }
+}
+
+TEST(InferenceValueWireTest, RejectsVersionTagAndTruncationCorruption) {
+  std::vector<uint8_t> good = Encode(InferenceValue{std::string("abc")});
+
+  std::vector<uint8_t> bad_version = good;
+  bad_version[0] = InferenceValue::kFormatVersion + 1;
+  EXPECT_FALSE(InferenceValue::Parse(Slice(bad_version)).ok());
+
+  std::vector<uint8_t> bad_tag = good;
+  bad_tag[1] = 0x7e;
+  EXPECT_FALSE(InferenceValue::Parse(Slice(bad_tag)).ok());
+
+  for (size_t n = 0; n < good.size(); ++n) {
+    EXPECT_FALSE(
+        InferenceValue::Parse(Slice(good.data(), n)).ok())
+        << "prefix length " << n << " parsed";
+  }
+
+  std::vector<uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(InferenceValue::Parse(Slice(trailing)).ok());
+
+  // A tensor whose declared shape promises more data than the record
+  // holds must be corruption, not an allocation.
+  ByteBuffer huge;
+  huge.PutU8(InferenceValue::kFormatVersion);
+  huge.PutU8(2);           // tensor tag
+  huge.PutVarint(2);       // rank
+  huge.PutI64(1 << 20);    // dims promise 2^40 elements
+  huge.PutI64(1 << 20);
+  EXPECT_FALSE(InferenceValue::Parse(huge.AsSlice()).ok());
+
+  // Dims crafted so the running element product wraps uint64 back to 0
+  // must not smuggle an implausible shape past the size cap.
+  ByteBuffer wrap;
+  wrap.PutU8(InferenceValue::kFormatVersion);
+  wrap.PutU8(2);
+  wrap.PutVarint(2);
+  wrap.PutI64(int64_t{1} << 30);
+  wrap.PutI64(int64_t{1} << 34);  // 2^30 * 2^34 == 2^64 ≡ 0 (mod 2^64)
+  EXPECT_FALSE(InferenceValue::Parse(wrap.AsSlice()).ok());
+}
+
+// --- Heap-aware budget accounting ----------------------------------------
+
+TEST(InferenceValueByteSizeTest, ChargesHeapCapacityNotJustSize) {
+  const InferenceValue scalar{1.0};
+  EXPECT_GE(scalar.ByteSize(), sizeof(InferenceValue));
+
+  std::string big(200, 'x');
+  EXPECT_GE(InferenceValue{big}.ByteSize(), sizeof(InferenceValue) + 200);
+
+  // A vector that reserved far more than it holds is charged for what
+  // the allocator actually committed (moved in, so capacity survives).
+  std::vector<nn::Detection> dets;
+  dets.reserve(32);
+  dets.resize(2);
+  InferenceValue det_value;
+  det_value.payload = std::move(dets);
+  EXPECT_GE(det_value.ByteSize(),
+            sizeof(InferenceValue) + 32 * sizeof(nn::Detection));
+
+  Tensor t = Tensor::FromVector(std::vector<float>(64, 1.0f));
+  EXPECT_GE(InferenceValue{t}.ByteSize(),
+            sizeof(InferenceValue) + 64 * sizeof(float));
+}
+
+// --- Delimiter-proof cache keys ------------------------------------------
+
+TEST(CacheKeyTest, AdversarialComponentsNeverCollide) {
+  // Under the old raw-concatenation scheme, components containing the
+  // '#'/'@' separators could alias other keys; now every free-form
+  // component is length-prefixed. Exhaustive distinctness over tricky
+  // component sets documents the property.
+  std::set<std::string> inference_keys;
+  size_t expected = 0;
+  for (const char* model : {"m", "m#1", "m@1", "1:m", "m#1@2", ""}) {
+    for (uint64_t fp : {1ull, 12ull}) {
+      for (uint64_t variant : {0ull, 1ull}) {
+        inference_keys.insert(InferenceCache::KeyFor(model, fp, variant));
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(inference_keys.size(), expected);
+
+  std::set<std::string> stream_ids;
+  expected = 0;
+  for (const char* path : {"v", "v#1", "v@2", "1:v", "v#1#2"}) {
+    for (uint64_t size : {1ull, 12ull}) {
+      for (uint32_t crc : {2u, 22u}) {
+        stream_ids.insert(SegmentCache::StreamId(path, size, crc));
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(stream_ids.size(), expected);
+
+  // A model literally named like a device-qualified identity must not
+  // alias the real (model, device) pair.
+  nn::Device* device = nn::GetDevice(nn::DeviceKind::kCpuVector);
+  const std::string composite =
+      std::string("m@") + device->name();
+  EXPECT_NE(InferenceCache::KeyFor(
+                InferenceCache::ModelOnDevice("m", device), 7),
+            InferenceCache::KeyFor(composite, 7));
+}
+
+TEST(CacheKeyTest, VariantZeroIsEncodedNotDropped) {
+  // frame_h == 0 is a real parameter value: it must produce the same key
+  // as the default (both ARE variant 0) and a different key from any
+  // other variant — the old encoding dropped the suffix for 0, so a
+  // zero-parameter call aliased the bare key of any other caller.
+  EXPECT_EQ(InferenceCache::KeyFor("m", 1), InferenceCache::KeyFor("m", 1, 0));
+  EXPECT_NE(InferenceCache::KeyFor("m", 1, 0),
+            InferenceCache::KeyFor("m", 1, 1));
+  EXPECT_NE(InferenceCache::KeyFor("m", 1, 0).find("@0"), std::string::npos);
+}
+
+// --- PersistentInferenceCache --------------------------------------------
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dl_persist_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static Result<std::unique_ptr<PersistentInferenceCache>> OpenCache(
+      const std::string& dir, size_t budget, size_t shards) {
+    return PersistentInferenceCache::Open(dir, budget, shards);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, SpillsOnCleanShutdownAndWarmLoadsOnReopen) {
+  const std::string cache_dir = Path("cache");
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    for (int i = 0; i < 20; ++i) {
+      (*cache)->Put(InferenceCache::KeyFor("m", i),
+                    InferenceValue{std::string("value-") + std::to_string(i)});
+    }
+    // Destructor spills the resident working set and flushes the log.
+  }
+  auto cache = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_EQ((*cache)->Stats().warm_loaded, 20u);
+  for (int i = 0; i < 20; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+    ASSERT_NE(hit, nullptr) << "key " << i;
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              "value-" + std::to_string(i));
+  }
+  const CacheStats stats = (*cache)->Stats();
+  EXPECT_EQ(stats.hits, 20u);  // warm-loaded entries serve from memory
+  EXPECT_GT(stats.disk_entries, 0u);
+}
+
+TEST_F(PersistenceTest, EvictedEntriesAreServedFromDisk) {
+  // One shard with a tiny budget: inserting many entries constantly
+  // evicts, and every eviction must write through to the log.
+  auto cache = OpenCache(Path("cache"), 4 << 10, 1);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  const int kEntries = 64;
+  for (int i = 0; i < kEntries; ++i) {
+    (*cache)->Put(InferenceCache::KeyFor("m", i),
+                  InferenceValue{std::string("value-") + std::to_string(i)});
+  }
+  CacheStats stats = (*cache)->Stats();
+  ASSERT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.spilled, 0u);
+  // Every entry ever inserted is still retrievable: from memory if
+  // resident, else from the spill log.
+  for (int i = 0; i < kEntries; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+    ASSERT_NE(hit, nullptr) << "key " << i;
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              "value-" + std::to_string(i));
+  }
+  stats = (*cache)->Stats();
+  EXPECT_GT(stats.disk_hits, 0u);
+}
+
+TEST_F(PersistenceTest, OversizedValuesBypassMemoryStraightToDisk) {
+  auto cache = OpenCache(Path("cache"), 2 << 10, 1);
+  ASSERT_TRUE(cache.ok());
+  const std::string big(8 << 10, 'x');  // larger than the whole budget
+  (*cache)->Put(InferenceCache::KeyFor("m", 1), InferenceValue{big});
+  CacheStats stats = (*cache)->Stats();
+  EXPECT_GT(stats.rejected, 0u);
+  EXPECT_GT(stats.spilled, 0u);
+  // Memory refused it, the log serves it... every time, since promotion
+  // is also rejected.
+  for (int rep = 0; rep < 2; ++rep) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", 1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(std::get<std::string>(hit->payload), big);
+  }
+  EXPECT_GE((*cache)->Stats().disk_hits, 2u);
+}
+
+TEST_F(PersistenceTest, SecondWriterOnSameLogIsRefused) {
+  const std::string cache_dir = Path("cache");
+  auto first = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(first.ok());
+  (*first)->Put(InferenceCache::KeyFor("m", 1),
+                InferenceValue{std::string("v")});
+
+  // The RecordStore log is single-writer: a second opener — this same
+  // process or another — must be refused, not allowed to interleave
+  // appends and corrupt the shared tail.
+  auto second = OpenCache(cache_dir, 1 << 20, 2);
+  EXPECT_FALSE(second.ok());
+
+  // A Database pointed at the locked dir degrades to volatile caching
+  // rather than failing to open.
+  auto db = Database::Open(Path("db"));
+  ASSERT_TRUE(db.ok());
+  CacheConfig config;
+  config.budget_bytes = 8 << 20;
+  config.cache_dir = cache_dir;
+  (*db)->ConfigureCaches(config);
+  EXPECT_FALSE((*db)->inference_cache()->persistent());
+
+  // Releasing the first writer frees the log for a successor.
+  first->reset();
+  auto third = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ((*third)->Stats().warm_loaded, 1u);
+}
+
+TEST_F(PersistenceTest, TornLogTailIsDroppedNotFatal) {
+  const std::string cache_dir = Path("cache");
+  std::string log_path;
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok());
+    log_path = (*cache)->log_path();
+    for (int i = 0; i < 10; ++i) {
+      (*cache)->Put(InferenceCache::KeyFor("m", i),
+                    InferenceValue{std::string("v") + std::to_string(i)});
+    }
+  }
+  // Simulate a crash mid-append: garbage at the tail of the log.
+  {
+    std::FILE* f = std::fopen(log_path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x13torn-write\xff\xfe";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  auto cache = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_EQ((*cache)->Stats().warm_loaded, 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+    ASSERT_NE(hit, nullptr) << "key " << i;
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              "v" + std::to_string(i));
+  }
+}
+
+TEST_F(PersistenceTest, TruncatedFinalRecordLosesOnlyThatRecord) {
+  const std::string cache_dir = Path("cache");
+  std::string log_path;
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok());
+    log_path = (*cache)->log_path();
+    for (int i = 0; i < 10; ++i) {
+      (*cache)->Put(InferenceCache::KeyFor("m", i),
+                    InferenceValue{std::string("v") + std::to_string(i)});
+    }
+  }
+  const auto full_size = std::filesystem::file_size(log_path);
+  std::filesystem::resize_file(log_path, full_size - 3);
+  auto cache = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  // Exactly the torn final record is gone; everything before it reads.
+  EXPECT_EQ((*cache)->Stats().warm_loaded, 9u);
+}
+
+TEST_F(PersistenceTest, StaleSpillsAreInvalidatedNotMisread) {
+  const std::string cache_dir = Path("cache");
+  nn::Device* scalar = nn::GetDevice(nn::DeviceKind::kCpuScalar);
+  nn::Device* vector = nn::GetDevice(nn::DeviceKind::kCpuVector);
+  const std::string scalar_key = InferenceCache::KeyFor(
+      InferenceCache::ModelOnDevice(model_names::kOcr, scalar), 42);
+  const std::string vector_key = InferenceCache::KeyFor(
+      InferenceCache::ModelOnDevice(model_names::kOcr, vector), 42);
+  const std::string versioned_key = InferenceCache::KeyFor("m", 7);
+  std::string log_path;
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok());
+    log_path = (*cache)->log_path();
+    (*cache)->Put(scalar_key, InferenceValue{std::string("scalar-text")});
+  }
+  // A future format version lands in the same log (e.g. written by a
+  // newer build before a rollback).
+  {
+    auto store = RecordStore::Open(log_path);
+    ASSERT_TRUE(store.ok());
+    ByteBuffer future;
+    future.PutU8(InferenceValue::kFormatVersion + 1);
+    future.PutU8(0);
+    future.PutLengthPrefixed(Slice(std::string("from-the-future")));
+    ASSERT_TRUE((*store)->Put(Slice(versioned_key), future.AsSlice()).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto cache = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(cache.ok());
+  // Device identity is part of the key: results produced on the scalar
+  // backend can never answer a vector-backend probe.
+  EXPECT_EQ((*cache)->Get(vector_key), nullptr);
+  ASSERT_NE((*cache)->Get(scalar_key), nullptr);
+  // The alien-versioned record is a miss (and gets dropped), never a
+  // misparse.
+  EXPECT_EQ((*cache)->Get(versioned_key), nullptr);
+  EXPECT_GT((*cache)->Stats().disk_misses, 0u);
+}
+
+// --- Restart differential over real NN UDF queries -----------------------
+
+Image DigitPanel(int digit) {
+  Image panel(30, 30, 3);
+  for (auto& b : panel.bytes()) b = 25;
+  sim::DrawDigits(&panel, nn::BBox{0, 0, 30, 30}, std::to_string(digit));
+  return panel;
+}
+
+PatchCollection PanelViewForSeed(uint64_t seed, int n) {
+  Rng rng(seed);
+  PatchCollection patches;
+  patches.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Patch p;
+    p.set_id(static_cast<PatchId>(i + 1));
+    p.set_ref(ImgRef{"panels", i, kInvalidPatchId});
+    if (rng.NextU64Below(100) < 60) {
+      p.set_pixels(DigitPanel(static_cast<int>(rng.NextU64Below(10))));
+    } else {
+      Image noise(30, 30, 3);
+      for (auto& b : noise.bytes()) {
+        b = static_cast<uint8_t>(rng.NextU64Below(40));
+      }
+      p.set_pixels(std::move(noise));
+    }
+    p.set_bbox(nn::BBox{0, 0, 30, 30});
+    p.mutable_meta().Set(meta_keys::kFrameNo, int64_t{i});
+    patches.push_back(std::move(p));
+  }
+  return patches;
+}
+
+std::vector<uint8_t> SerializeAll(const PatchCollection& patches) {
+  ByteBuffer buf;
+  buf.PutU64(patches.size());
+  for (const Patch& p : patches) p.SerializeInto(&buf);
+  return buf.data();
+}
+
+TEST_F(PersistenceTest, RestartRunIsByteIdenticalAndInferenceFree) {
+  const std::string cache_dir = Path("cache");
+  const uint64_t kSeed = 0xbeef;
+  const int kPanels = 30;
+
+  auto run = [&](const std::string& db_root, bool use_cache,
+                 CacheStats* stats_out) -> std::vector<uint8_t> {
+    auto db = Database::Open(Path(db_root));
+    DL_CHECK_OK(db.status());
+    if (use_cache) {
+      CacheConfig config;
+      config.budget_bytes = 16 << 20;
+      config.cache_dir = cache_dir;
+      (*db)->ConfigureCaches(config);
+    }
+    DL_CHECK_OK(
+        (*db)->RegisterView("panels", PanelViewForSeed(kSeed, kPanels)));
+    Query query(db->get(), "panels");
+    InferenceCache* cache =
+        use_cache ? (*db)->inference_cache() : nullptr;
+    query.Where(Gt(DepthUdf(0, (*db)->depth_model(), 240, cache), Lit(1.0)));
+    query.Where(Ne(OcrTextUdf(0, (*db)->ocr(), cache), Lit("")));
+    auto result = query.Execute();
+    DL_CHECK_OK(result.status());
+    if (stats_out != nullptr) *stats_out = (*db)->inference_cache()->Stats();
+    return SerializeAll(*result);
+  };
+
+  const std::vector<uint8_t> plain = run("db_plain", false, nullptr);
+  CacheStats cold_stats;
+  const std::vector<uint8_t> cold = run("db_cold", true, &cold_stats);
+  EXPECT_GT(cold_stats.insertions, 0u);
+
+  CacheStats warm_stats;
+  const std::vector<uint8_t> warm = run("db_warm", true, &warm_stats);
+
+  // The differential: cache-off, cold persistent, and warm-restart
+  // persistent runs are byte-identical.
+  EXPECT_EQ(cold, plain);
+  EXPECT_EQ(warm, plain);
+
+  // And the restart really was served by the persisted views: every
+  // lookup hit (memory after warm-load, or disk), and no new entries
+  // were inserted by fresh inference (insertions == what the warm load
+  // itself put in memory).
+  EXPECT_GT(warm_stats.warm_loaded, 0u);
+  EXPECT_GT(warm_stats.hits + warm_stats.disk_hits, 0u);
+  EXPECT_EQ(warm_stats.insertions, warm_stats.warm_loaded);
+  EXPECT_EQ(warm_stats.misses, warm_stats.disk_hits);
+}
+
+TEST_F(PersistenceTest, ExplainReportsPersistentProvenance) {
+  auto db = Database::Open(Path("db"));
+  ASSERT_TRUE(db.ok());
+  CacheConfig config;
+  config.budget_bytes = 8 << 20;
+  config.cache_dir = Path("cache");
+  (*db)->ConfigureCaches(config);
+  ASSERT_TRUE((*db)->inference_cache()->persistent());
+  ASSERT_TRUE(
+      (*db)->RegisterView("panels", PanelViewForSeed(1, 4)).ok());
+
+  Query query(db->get(), "panels");
+  query.Where(Eq(OcrTextUdf(0, (*db)->ocr(), (*db)->inference_cache()),
+                 Lit("7")));
+  auto plan = query.Explain();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->udfs.size(), 1u);
+  EXPECT_TRUE(plan->udfs[0].cached);
+  EXPECT_TRUE(plan->udfs[0].persistent);
+  EXPECT_NE(plan->description.find("persistent inference cache"),
+            std::string::npos);
+
+  // Volatile configuration keeps the old wording (and flag).
+  CacheConfig volatile_config;
+  volatile_config.budget_bytes = 8 << 20;
+  (*db)->ConfigureCaches(volatile_config);
+  EXPECT_FALSE((*db)->inference_cache()->persistent());
+  Query vquery(db->get(), "panels");
+  vquery.Where(Eq(OcrTextUdf(0, (*db)->ocr(), (*db)->inference_cache()),
+                  Lit("7")));
+  auto vplan = vquery.Explain();
+  ASSERT_TRUE(vplan.ok());
+  EXPECT_FALSE(vplan->udfs[0].persistent);
+  EXPECT_EQ(vplan->description.find("persistent"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, CacheDirEnvKnobIsValidated) {
+  struct EnvGuard {
+    explicit EnvGuard(const char* name) : name_(name) {
+      const char* old = std::getenv(name);
+      had_value_ = old != nullptr;
+      if (had_value_) saved_ = old;
+    }
+    ~EnvGuard() {
+      if (had_value_) {
+        ::setenv(name_, saved_.c_str(), 1);
+      } else {
+        ::unsetenv(name_);
+      }
+    }
+    const char* name_;
+    std::string saved_;
+    bool had_value_ = false;
+  } guard("DEEPLENS_CACHE_DIR");
+
+  ::unsetenv("DEEPLENS_CACHE_DIR");
+  EXPECT_EQ(CacheConfig::FromEnv().cache_dir, "");
+
+  ::setenv("DEEPLENS_CACHE_DIR", Path("cache").c_str(), 1);
+  EXPECT_EQ(CacheConfig::FromEnv().cache_dir, Path("cache"));
+
+  for (const char* bad : {"", "   ", "\t", "a\nb"}) {
+    ::setenv("DEEPLENS_CACHE_DIR", bad, 1);
+    EXPECT_EQ(CacheConfig::FromEnv().cache_dir, "") << "value: '" << bad
+                                                    << "'";
+  }
+}
+
+TEST_F(PersistenceTest, WrongTypedLiveRecordIsOverwrittenOnRespill) {
+  // A log written by a build that changed a payload type without bumping
+  // the format version parses fine but holds the wrong alternative. The
+  // Cached* wrappers recompute on such hits; the recomputed value must
+  // overwrite the stale record (not be skipped as "already live"), or
+  // every restart re-runs inference for that key forever.
+  const std::string cache_dir = Path("cache");
+  const uint64_t kFp = 42;
+  nn::Device* device = nn::GetDevice(nn::DeviceKind::kCpuVector);
+  const std::string key = InferenceCache::KeyFor(
+      InferenceCache::ModelOnDevice(model_names::kOcr, device), kFp);
+  {
+    std::filesystem::create_directories(cache_dir);
+    auto store = RecordStore::Open(cache_dir + "/" +
+                                   PersistentInferenceCache::kLogFileName);
+    ASSERT_TRUE(store.ok());
+    ByteBuffer wrong_type;
+    InferenceValue{3.5}.SerializeInto(&wrong_type);  // double under an OCR key
+    ASSERT_TRUE((*store)->Put(Slice(key), wrong_type.AsSlice()).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  nn::TinyOcr ocr;
+  const Image panel = DigitPanel(7);
+  std::string recognized;
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ((*cache)->Stats().warm_loaded, 1u);  // wrong-typed but parseable
+    auto text = CachedOcrText(ocr, panel, kFp, device, cache->get());
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    recognized = *text;  // recomputed despite the (wrong-typed) hit
+    // Shutdown respills; the divergent record must be overwritten.
+  }
+  auto cache = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(cache.ok());
+  auto hit = (*cache)->Get(key);
+  ASSERT_NE(hit, nullptr);
+  const std::string* text = std::get_if<std::string>(&hit->payload);
+  ASSERT_NE(text, nullptr) << "stale wrong-typed record survived the respill";
+  EXPECT_EQ(*text, recognized);
+}
+
+// --- Oversized-GOP fallback (decode cache pathology) ---------------------
+
+std::vector<Image> FlatFrames(int n, int w, int h) {
+  std::vector<Image> frames;
+  frames.reserve(n);
+  for (int f = 0; f < n; ++f) {
+    Image img(w, h, 3);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        img.At(x, y, 0) = static_cast<uint8_t>((x + f * 3) & 0xff);
+        img.At(x, y, 1) = static_cast<uint8_t>((y * 2) & 0xff);
+        img.At(x, y, 2) = 60;
+      }
+    }
+    frames.push_back(std::move(img));
+  }
+  return frames;
+}
+
+void WriteEncoded(const std::string& path, const std::vector<Image>& frames,
+                  int gop) {
+  VideoStoreOptions options;
+  options.format = VideoFormat::kEncoded;
+  options.gop_size = gop;
+  auto writer = CreateVideoWriter(path, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const Image& f : frames) ASSERT_TRUE((*writer)->AddFrame(f).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+TEST_F(PersistenceTest, OversizedGopServedByFallbackSlotNotRedecode) {
+  // 8-frame GOPs of 64x48 RGB decode to ~74 KB — far over a 32 KB cache,
+  // so every Put is rejected. Without the fallback slot every warm read
+  // re-decodes from frame 0 (slower than no cache at all).
+  const std::vector<Image> frames = FlatFrames(24, 64, 48);
+  WriteEncoded(Path("v"), frames, /*gop=*/8);
+  SegmentCache cache(32 << 10, 1);
+  auto reader = OpenVideo(Path("v"), &cache);
+  auto plain = OpenVideo(Path("v"));
+  ASSERT_TRUE(reader.ok() && plain.ok());
+
+  auto a = (*reader)->ReadFrame(20);  // GOP 2: decodes frames 0..23
+  ASSERT_TRUE(a.ok());
+  const uint64_t after_first = (*reader)->frames_decoded();
+  EXPECT_EQ(after_first, 24u);
+  EXPECT_GT(cache.Stats().rejected, 0u);
+
+  // Repeated reads within the same GOP are served by the reader's
+  // fallback slot: zero additional decodes.
+  for (int f : {20, 21, 16, 23, 20}) {
+    auto img = (*reader)->ReadFrame(f);
+    auto ref = (*plain)->ReadFrame(f);
+    ASSERT_TRUE(img.ok() && ref.ok());
+    EXPECT_EQ(img->bytes(), ref->bytes()) << "frame " << f;
+  }
+  EXPECT_EQ((*reader)->frames_decoded(), after_first);
+
+  // Moving to another GOP re-decodes once, then that GOP is the new
+  // fallback.
+  ASSERT_TRUE((*reader)->ReadFrame(3).ok());
+  const uint64_t after_switch = (*reader)->frames_decoded();
+  EXPECT_EQ(after_switch, after_first + 8);
+  ASSERT_TRUE((*reader)->ReadFrame(5).ok());
+  EXPECT_EQ((*reader)->frames_decoded(), after_switch);
+
+  // Regression: a range read whose hi GOP is served from the fallback
+  // slot while earlier GOPs are cold (forcing a prefix decode) must not
+  // un-pin the fallback — the decode loop once mistook the
+  // fallback-served GOP for cache-resident and dropped the private copy,
+  // reintroducing the full re-decode on the next read.
+  ASSERT_TRUE((*reader)->ReadFrame(12).ok());  // decode 0..15, pin GOP 1
+  const uint64_t after_pin = (*reader)->frames_decoded();
+  EXPECT_EQ(after_pin, after_switch + 16);
+  int visited = 0;
+  ASSERT_TRUE((*reader)
+                  ->ReadRange(4, 15,
+                              [&](int, const Image&) {
+                                ++visited;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(visited, 12);
+  const uint64_t after_range = (*reader)->frames_decoded();
+  EXPECT_EQ(after_range, after_pin + 16);  // GOP 0 was cold again
+  ASSERT_TRUE((*reader)->ReadFrame(13).ok());  // GOP 1 must still be pinned
+  EXPECT_EQ((*reader)->frames_decoded(), after_range);
+}
+
+TEST_F(PersistenceTest, ReadingNormalGopsKeepsOversizedGopPinned) {
+  // 20 frames with gop 16: GOP 0 decodes to ~37 KB (rejected by a 16 KB
+  // shard), the 4-frame tail GOP to ~10 KB (admitted). Alternating reads
+  // between them must not drop the oversized GOP's private pin — that
+  // would re-decode the whole prefix on every other read.
+  const std::vector<Image> frames = FlatFrames(20, 32, 24);
+  WriteEncoded(Path("v"), frames, /*gop=*/16);
+  SegmentCache cache(16 << 10, 1);
+  auto reader = OpenVideo(Path("v"), &cache);
+  ASSERT_TRUE(reader.ok());
+
+  ASSERT_TRUE((*reader)->ReadFrame(2).ok());  // decode GOP 0, pin it
+  const uint64_t base = (*reader)->frames_decoded();
+  EXPECT_EQ(base, 16u);
+  EXPECT_GT(cache.Stats().rejected, 0u);
+
+  ASSERT_TRUE((*reader)->ReadFrame(18).ok());  // decode 0..19, tail cached
+  const uint64_t after_tail = (*reader)->frames_decoded();
+  EXPECT_EQ(after_tail, base + 20);
+
+  // Tail GOP is resident; reading it must not evict GOP 0's pin.
+  ASSERT_TRUE((*reader)->ReadFrame(17).ok());
+  ASSERT_TRUE((*reader)->ReadFrame(3).ok());  // served by the pin
+  ASSERT_TRUE((*reader)->ReadFrame(19).ok());
+  ASSERT_TRUE((*reader)->ReadFrame(1).ok());
+  EXPECT_EQ((*reader)->frames_decoded(), after_tail);
+}
+
+TEST_F(PersistenceTest, RepeatedRangeReadOverOversizedGopIsLookupBound) {
+  // A repeated range read spanning one oversized GOP (rejected by the
+  // cache) and one admitted GOP: the pin must land on the *missing* GOP,
+  // not blindly on the range's hi GOP, or every warm repetition would
+  // re-decode the whole prefix.
+  const std::vector<Image> frames = FlatFrames(20, 32, 24);
+  WriteEncoded(Path("v"), frames, /*gop=*/16);
+  SegmentCache cache(16 << 10, 1);
+  auto reader = OpenVideo(Path("v"), &cache);
+  ASSERT_TRUE(reader.ok());
+
+  auto read_all = [&]() {
+    int n = 0;
+    ASSERT_TRUE((*reader)
+                    ->ReadRange(0, 19,
+                                [&](int, const Image&) {
+                                  ++n;
+                                  return true;
+                                })
+                    .ok());
+    EXPECT_EQ(n, 20);
+  };
+  read_all();
+  const uint64_t cold = (*reader)->frames_decoded();
+  EXPECT_EQ(cold, 20u);
+  EXPECT_GT(cache.Stats().rejected, 0u);  // the 16-frame GOP was refused
+  read_all();
+  read_all();
+  EXPECT_EQ((*reader)->frames_decoded(), cold);
+}
+
+TEST_F(PersistenceTest, ResidentGopsAreNotReinsertedDuringPrefixDecode) {
+  const std::vector<Image> frames = FlatFrames(24, 32, 24);
+  WriteEncoded(Path("v"), frames, /*gop=*/8);
+  SegmentCache cache(8 << 20, 1);
+  auto reader = OpenVideo(Path("v"), &cache);
+  ASSERT_TRUE(reader.ok());
+
+  ASSERT_TRUE((*reader)->ReadFrame(3).ok());  // decodes + inserts GOP 0
+  EXPECT_EQ(cache.Stats().insertions, 1u);
+  // Reading GOP 2 decodes the prefix again but must not re-insert the
+  // already-resident GOP 0.
+  ASSERT_TRUE((*reader)->ReadFrame(20).ok());
+  EXPECT_EQ(cache.Stats().insertions, 3u);  // +GOP 1, +GOP 2 only
+}
+
+// --- Contention (runs under ThreadSanitizer in CI) -----------------------
+
+TEST_F(PersistenceTest, ConcurrentSpillPromoteStaysConsistent) {
+  // Small budget so evictions (spill path) and disk promotes interleave
+  // with memory hits across threads.
+  auto cache = OpenCache(Path("cache"), 8 << 10, 4);
+  ASSERT_TRUE(cache.ok());
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+      for (int i = 0; i < 1500; ++i) {
+        const uint64_t fp = rng.NextU64Below(96);
+        const std::string key = InferenceCache::KeyFor("m", fp);
+        if (auto hit = (*cache)->Get(key)) {
+          // Any hit — memory or promoted from the spill log — must carry
+          // the payload its key implies.
+          EXPECT_EQ(std::get<std::string>(hit->payload),
+                    std::to_string(fp));
+        } else {
+          (*cache)->Put(key, InferenceValue{std::to_string(fp)});
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const CacheStats stats = (*cache)->Stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.spilled, 0u);
+
+  // After a reopen, whatever persisted still round-trips correctly.
+  cache->reset();
+  auto reopened = OpenCache(Path("cache"), 1 << 20, 4);
+  ASSERT_TRUE(reopened.ok());
+  for (uint64_t fp = 0; fp < 96; ++fp) {
+    auto hit = (*reopened)->Get(InferenceCache::KeyFor("m", fp));
+    if (hit != nullptr) {
+      EXPECT_EQ(std::get<std::string>(hit->payload), std::to_string(fp));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deeplens
