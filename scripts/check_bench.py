@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the `bench` CI stage.
+
+Compares the speedup metrics of freshly emitted BENCH_cache.json /
+BENCH_pipeline.json (written into the repo root by bench_micro_cache and
+bench_micro_pipeline_batch) against the committed baselines in
+bench/baselines/, and fails when any metric regresses by more than 20%.
+
+Metrics are *ratios* (warm-vs-cold speedups, parallel-vs-tuple speedups,
+TinyLFU-vs-LRU advantage), not absolute timings, so they transfer across
+machines; the baselines are deliberately conservative floors from a
+blessed run (see the `_note` field in each baseline file) and the 20%
+margin absorbs scheduler noise on top of that.
+
+Exit codes: 0 = no regression, 1 = regression or malformed input.
+"""
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TOLERANCE = 0.8  # fail when fresh < 0.8 * baseline (>20% regression)
+
+
+def load(path: pathlib.Path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        print(f"check_bench: missing {path} (did the bench stage run?)")
+        return None
+    except json.JSONDecodeError as e:
+        print(f"check_bench: {path} is not valid JSON: {e}")
+        return None
+
+
+def case_ms(doc, name):
+    for case in doc.get("cases", []):
+        if case.get("name") == name:
+            return case.get("ms")
+    return None
+
+
+def cache_metrics(doc):
+    """Every top-level ratio metric the cache bench emits."""
+    return {
+        k: v
+        for k, v in doc.items()
+        if isinstance(v, (int, float))
+        and ("_speedup" in k or "_advantage" in k)
+    }
+
+
+def pipeline_metrics(doc):
+    """Speedups derived from the pipeline bench's case timings."""
+    metrics = {}
+    tuple_ms = case_ms(doc, "filter_map_tuple")
+    for engine in ("filter_map_batch_serial", "filter_map_batch_parallel"):
+        ms = case_ms(doc, engine)
+        if tuple_ms and ms:
+            metrics[f"{engine}_speedup"] = tuple_ms / ms
+    return metrics
+
+
+def check(fresh_name, extract):
+    fresh_doc = load(REPO_ROOT / fresh_name)
+    base_doc = load(REPO_ROOT / "bench" / "baselines" / fresh_name)
+    if fresh_doc is None or base_doc is None:
+        return [f"{fresh_name}: unreadable input"]
+    fresh = extract(fresh_doc)
+    baseline = {
+        k: v for k, v in base_doc.items()
+        if isinstance(v, (int, float)) and not k.startswith("_")
+    }
+    failures = []
+    for metric, floor in sorted(baseline.items()):
+        got = fresh.get(metric)
+        if got is None:
+            # A vanished metric is gate erosion, not a free pass.
+            failures.append(
+                f"{fresh_name}: metric '{metric}' missing from fresh run")
+            continue
+        status = "ok"
+        if got < floor * TOLERANCE:
+            status = "REGRESSION"
+            failures.append(
+                f"{fresh_name}: {metric} = {got:.2f} < "
+                f"{TOLERANCE:.0%} of baseline {floor:.2f}")
+        print(f"  {fresh_name:<20} {metric:<38} "
+              f"{got:8.2f}  (baseline {floor:.2f})  {status}")
+    for metric in sorted(set(fresh) - set(baseline)):
+        print(f"  {fresh_name:<20} {metric:<38} "
+              f"{fresh[metric]:8.2f}  (no baseline — not gated)")
+    return failures
+
+
+def main():
+    print("bench regression gate (fail below "
+          f"{TOLERANCE:.0%} of baseline):")
+    failures = []
+    failures += check("BENCH_cache.json", cache_metrics)
+    failures += check("BENCH_pipeline.json", pipeline_metrics)
+    if failures:
+        print("\ncheck_bench: FAILED")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\ncheck_bench: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

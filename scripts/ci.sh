@@ -1,34 +1,129 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full ctest suite, then
-# rebuild the parallel-execution tests under ThreadSanitizer so data races
-# in the morsel-parallel paths fail the build.
+# Staged CI pipeline. Stages (in default order):
+#
+#   configure — cmake -B $BUILD_DIR
+#   build     — compile everything
+#   test      — full ctest suite
+#   bench     — bench_micro_cache + bench_micro_pipeline_batch, then the
+#               regression gate (scripts/check_bench.py vs bench/baselines/)
+#   tsan      — ThreadSanitizer build of the `parallel`-labeled suites
+#   asan      — AddressSanitizer+UBSan build of the `parallel`- and
+#               `persistence`-labeled suites
+#
 # Usage: scripts/ci.sh [build-dir]
-#   DEEPLENS_SKIP_TSAN=1 skips the (slow) sanitizer stage.
-set -euo pipefail
+#   DEEPLENS_CI_STAGES   comma/space-separated subset to run, in the
+#                        order given (default: all of the above). Stages
+#                        assume their prerequisites have run at some
+#                        point (e.g. `test` needs a configured+built
+#                        tree); tsan/asan configure their own build dirs
+#                        and are self-contained.
+#   DEEPLENS_SKIP_TSAN=1 drops the tsan stage (back-compat knob).
+# A per-stage timing summary is printed at the end; the first failing
+# stage aborts the pipeline with its name on stderr.
+# -E so the ERR trap fires inside stage functions too (a plain `if !
+# stage_x` guard would suppress errexit within the function and let a
+# failing middle command slide).
+set -eEuo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+NPROC="$(nproc)"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+STAGES="${DEEPLENS_CI_STAGES:-configure build test bench tsan asan}"
+STAGES="${STAGES//,/ }"
+if [[ "${DEEPLENS_SKIP_TSAN:-0}" == "1" ]]; then
+  STAGES="$(printf '%s\n' $STAGES | grep -vx tsan | tr '\n' ' ' || true)"
+fi
 
-# Cache perf gate: fails unless warm latency beats cold by >= 3x for the
-# inference cache, the decoded-segment cache, AND the warm-restart phase
-# (fresh Database over a persistent DEEPLENS_CACHE_DIR spill log). Writes
-# BENCH_cache.json into the repo root.
-"$BUILD_DIR"/bench_micro_cache
+stage_configure() {
+  cmake -B "$BUILD_DIR" -S .
+}
 
-if [[ "${DEEPLENS_SKIP_TSAN:-0}" != "1" ]]; then
-  TSAN_DIR="${BUILD_DIR}-tsan"
-  cmake -B "$TSAN_DIR" -S . \
+stage_build() {
+  cmake --build "$BUILD_DIR" -j"$NPROC"
+}
+
+stage_test() {
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j"$NPROC")
+}
+
+stage_bench() {
+  # Cache perf gate: warm >= 3x cold for the inference cache, the
+  # decoded-segment cache, and the warm-restart phase, plus TinyLFU >= 2x
+  # LRU on the hot set under scan traffic. Writes BENCH_cache.json.
+  "$BUILD_DIR"/bench_micro_cache
+  # Pipeline gate: batch+parallel vs tuple baseline. Writes
+  # BENCH_pipeline.json.
+  "$BUILD_DIR"/bench_micro_pipeline_batch
+  # Regression gate: fresh speedups must stay within 20% of the
+  # committed baselines.
+  python3 scripts/check_bench.py
+}
+
+stage_tsan() {
+  local dir="${BUILD_DIR}-tsan"
+  cmake -B "$dir" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS=-fsanitize=thread \
     -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread \
     -DDEEPLENS_BUILD_BENCHES=OFF \
     -DDEEPLENS_BUILD_EXAMPLES=OFF
-  cmake --build "$TSAN_DIR" -j"$(nproc)" \
+  cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test
-  (cd "$TSAN_DIR" && ctest --output-on-failure \
-    -R '^(exec_parallel_test|exec_batch_test|cache_test|persistence_test)$')
-fi
+  (cd "$dir" && ctest --output-on-failure -L parallel)
+}
+
+stage_asan() {
+  local dir="${BUILD_DIR}-asan"
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    -DDEEPLENS_BUILD_BENCHES=OFF \
+    -DDEEPLENS_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j"$NPROC" \
+    --target exec_parallel_test exec_batch_test cache_test persistence_test \
+             storage_test
+  (cd "$dir" && ctest --output-on-failure -L 'parallel|persistence')
+}
+
+declare -a RAN_NAMES=() RAN_SECS=()
+
+print_summary() {
+  if [[ ${#RAN_NAMES[@]} -eq 0 ]]; then return; fi
+  echo
+  echo "=== stage timing ==="
+  local i
+  for i in "${!RAN_NAMES[@]}"; do
+    printf '  %-10s %5ss\n' "${RAN_NAMES[$i]}" "${RAN_SECS[$i]}"
+  done
+}
+
+for stage in $STAGES; do
+  if ! declare -F "stage_${stage}" > /dev/null; then
+    echo "ci.sh: unknown stage '${stage}' (valid: configure build test" \
+         "bench tsan asan)" >&2
+    exit 2
+  fi
+done
+
+CURRENT_STAGE=""
+on_error() {
+  echo "ci.sh: stage '${CURRENT_STAGE}' FAILED" >&2
+  print_summary
+}
+trap on_error ERR
+
+for stage in $STAGES; do
+  CURRENT_STAGE="$stage"
+  echo
+  echo "=== stage: ${stage} ==="
+  t0=$SECONDS
+  "stage_${stage}"
+  RAN_NAMES+=("$stage")
+  RAN_SECS+=($((SECONDS - t0)))
+done
+
+print_summary
+echo
+echo "ci.sh: all stages passed (${RAN_NAMES[*]})"

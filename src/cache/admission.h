@@ -1,0 +1,22 @@
+// The cache admission policy enum, split into its own header so config
+// surfaces (cache_config.h, env plumbing) can name the policy without
+// compiling the templated cache implementation.
+#pragma once
+
+namespace deeplens {
+
+/// Admission policy for a would-evict insert. Eviction order is always
+/// LRU; this only decides whether a new entry may displace residents.
+enum class CacheAdmission {
+  /// Admit every insert (a cold scan can flush the working set).
+  kLru,
+  /// Admit only candidates whose sketch-estimated access frequency beats
+  /// the eviction victim's (scan-resistant).
+  kTinyLfu,
+};
+
+inline const char* CacheAdmissionName(CacheAdmission admission) {
+  return admission == CacheAdmission::kTinyLfu ? "tinylfu" : "lru";
+}
+
+}  // namespace deeplens

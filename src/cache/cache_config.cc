@@ -16,6 +16,10 @@ CacheConfig CacheConfig::FromEnv() {
       /*max_value=*/1ull << 20, /*allow_zero=*/true);
   config.budget_bytes = static_cast<size_t>(mb) << 20;
   config.cache_dir = PathFromEnv("DEEPLENS_CACHE_DIR");
+  config.admission = ChoiceFromEnv("DEEPLENS_CACHE_ADMISSION",
+                                   {"lru", "tinylfu"}, "tinylfu") == "lru"
+                         ? CacheAdmission::kLru
+                         : CacheAdmission::kTinyLfu;
   return config;
 }
 

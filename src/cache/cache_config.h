@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <string>
 
+#include "cache/admission.h"
+
 namespace deeplens {
 
 struct CacheConfig {
@@ -20,13 +22,19 @@ struct CacheConfig {
   /// Directory for the inference cache's persistent spill log. Empty =
   /// in-memory only (NN UDF results die with the process).
   std::string cache_dir;
+  /// Admission policy for both caches. TinyLFU (the default) refuses
+  /// would-evict inserts colder than their eviction victim, so scan
+  /// traffic cannot flush the hot working set; kLru admits everything.
+  CacheAdmission admission = CacheAdmission::kTinyLfu;
 
   static constexpr size_t kDefaultBudgetBytes = 64ull << 20;  // 64 MB
 
   /// Reads DEEPLENS_CACHE_MB (validated like DEEPLENS_NUM_THREADS:
   /// garbage / negative values fall back to the 64 MB default; an
-  /// explicit 0 disables caching) and DEEPLENS_CACHE_DIR (validated
-  /// path; blank/control-character values fall back to unset).
+  /// explicit 0 disables caching), DEEPLENS_CACHE_DIR (validated path;
+  /// blank/control-character values fall back to unset), and
+  /// DEEPLENS_CACHE_ADMISSION (`lru` | `tinylfu`, case-insensitive;
+  /// anything else warns and falls back to tinylfu).
   static CacheConfig FromEnv();
 
   size_t inference_budget() const { return budget_bytes / 2; }

@@ -1,0 +1,120 @@
+// 4-bit count-min sketch with periodic halving — the frequency
+// "doorkeeper" behind TinyLFU admission (Einziger et al., "TinyLFU: A
+// Highly Efficient Cache Admission Policy"). The cache records every
+// access; on a would-evict insert it asks the sketch whether the
+// candidate has been touched more often than the eviction victim, and
+// refuses the insert otherwise. One cold scan over a view can therefore
+// no longer flush a hot inference working set: every scan key carries an
+// estimated frequency of ~1 and loses to any key that has ever been
+// re-read.
+//
+// Counters saturate at 15 (4 bits) and every counter is halved once the
+// number of recorded accesses reaches a multiple of the sketch size (the
+// "sample period"), so the estimate tracks recent popularity instead of
+// all-time popularity and a formerly-hot key can age out.
+//
+// Not thread-safe: each ShardedLruCache shard owns one sketch and
+// touches it only under the shard mutex it already holds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deeplens {
+
+class FrequencySketch {
+ public:
+  /// Sizes the sketch for roughly `est_entries` resident cache entries.
+  /// The counter table is 16 counters per estimated entry, rounded up to
+  /// a power of two and clamped to [64, 2^18] counters (a 2^18-counter
+  /// sketch is 128 KB — the ceiling for one shard of a huge cache). The
+  /// sample period is 10 accesses per estimated entry (Caffeine's
+  /// ratio): with 4 counter-increments per access that works out to ~2.5
+  /// increments per counter per period, so unrelated uniform traffic
+  /// cannot saturate the table between halvings and a genuinely cold key
+  /// keeps a near-zero estimate.
+  explicit FrequencySketch(size_t est_entries) {
+    size_t counters = 64;
+    while (counters < est_entries * kCountersPerEntry &&
+           counters < kMaxCounters) {
+      counters <<= 1;
+    }
+    table_.assign(counters / kCountersPerWord, 0);
+    index_mask_ = counters - 1;
+    sample_period_ = kSampleFactor * counters / kCountersPerEntry;
+  }
+
+  /// Records one access to the key hashed to `hash`. Each of the four
+  /// derived counters is incremented (saturating at 15); once the sample
+  /// period elapses, every counter in the table is halved.
+  void Increment(uint64_t hash) {
+    for (int i = 0; i < kHashes; ++i) {
+      const size_t idx = IndexOf(hash, i);
+      const uint64_t nibble = NibbleAt(idx);
+      if (nibble < kMaxCount) {
+        table_[idx / kCountersPerWord] +=
+            uint64_t{1} << (4 * (idx % kCountersPerWord));
+      }
+    }
+    if (++accesses_ >= sample_period_) Halve();
+  }
+
+  /// Estimated access count for `hash`: the minimum over its four
+  /// counters (the count-min bound — overestimates are possible under
+  /// collision, underestimates only through halving).
+  uint32_t Estimate(uint64_t hash) const {
+    uint32_t est = kMaxCount;
+    for (int i = 0; i < kHashes; ++i) {
+      const uint32_t nibble =
+          static_cast<uint32_t>(NibbleAt(IndexOf(hash, i)));
+      if (nibble < est) est = nibble;
+    }
+    return est;
+  }
+
+  size_t num_counters() const { return index_mask_ + 1; }
+  uint64_t halvings() const { return halvings_; }
+
+ private:
+  static constexpr int kHashes = 4;
+  static constexpr uint64_t kMaxCount = 15;  // 4-bit saturating counters
+  static constexpr size_t kCountersPerWord = 16;
+  static constexpr size_t kCountersPerEntry = 16;
+  static constexpr size_t kMaxCounters = size_t{1} << 18;
+  static constexpr size_t kSampleFactor = 10;  // accesses per entry
+
+  // One multiplicative remix per probe; the odd constants are from
+  // splitmix64 / Murmur3 finalizers, so the four indexes are pairwise
+  // near-independent even for sequential input hashes.
+  size_t IndexOf(uint64_t hash, int i) const {
+    static constexpr uint64_t kSeeds[kHashes] = {
+        0x9e3779b97f4a7c15ull, 0xbf58476d1ce4e5b9ull, 0x94d049bb133111ebull,
+        0xff51afd7ed558ccdull};
+    uint64_t h = (hash + kSeeds[i]) * kSeeds[i];
+    h ^= h >> 32;
+    return static_cast<size_t>(h) & index_mask_;
+  }
+
+  uint64_t NibbleAt(size_t idx) const {
+    return (table_[idx / kCountersPerWord] >>
+            (4 * (idx % kCountersPerWord))) &
+           0xf;
+  }
+
+  void Halve() {
+    for (uint64_t& word : table_) {
+      word = (word >> 1) & 0x7777777777777777ull;
+    }
+    accesses_ /= 2;
+    ++halvings_;
+  }
+
+  std::vector<uint64_t> table_;
+  size_t index_mask_ = 0;
+  size_t sample_period_ = 0;
+  size_t accesses_ = 0;
+  uint64_t halvings_ = 0;
+};
+
+}  // namespace deeplens

@@ -68,9 +68,12 @@ struct InferenceValue {
 class InferenceCache {
  public:
   /// `budget_bytes` = 0 disables the cache (all lookups miss, inserts
-  /// are dropped, no locks taken).
-  InferenceCache(size_t budget_bytes, size_t num_shards)
-      : cache_(budget_bytes, num_shards) {}
+  /// are dropped, no locks taken). Admission defaults to TinyLFU so a
+  /// cold scan cannot flush hot inference results; pass
+  /// CacheAdmission::kLru for the classic admit-everything behavior.
+  InferenceCache(size_t budget_bytes, size_t num_shards,
+                 CacheAdmission admission = CacheAdmission::kTinyLfu)
+      : cache_(budget_bytes, num_shards, admission) {}
   virtual ~InferenceCache() = default;
 
   bool enabled() const { return cache_.enabled(); }

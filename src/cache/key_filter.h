@@ -1,0 +1,74 @@
+// Lock-free resident-key filter for the persistent inference cache: a
+// fixed-size atomic Bloom filter over the keys the spill log is known to
+// hold. A memory miss first asks the filter; "definitely absent" skips
+// the global store mutex entirely, so morsel workers running a cold
+// (never-cached) workload against a warm log never serialize on
+// guaranteed-miss probes. Bloom semantics are exactly what the fast path
+// needs: false positives just pay the mutex probe they would have paid
+// anyway, and false negatives are impossible, so a spilled entry can
+// never be hidden.
+//
+// Keys are only ever added (spills); tombstoned keys stay set, which is
+// conservative and safe. Concurrency: Add uses relaxed fetch_or and
+// MightContain relaxed loads — the filter is a hint whose worst-case
+// staleness (a reader missing a just-spilled key) degrades to one
+// recompute, the same outcome as losing the race without a filter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace deeplens {
+
+class KeyFilter {
+ public:
+  /// `bits` is rounded up to a power of two; the default (2^20 bits =
+  /// 128 KB) keeps the false-positive rate under ~1% out to several
+  /// hundred thousand spilled keys.
+  explicit KeyFilter(size_t bits = size_t{1} << 20) {
+    size_t n = 64;
+    while (n < bits) n <<= 1;
+    bit_mask_ = n - 1;
+    words_ = std::make_unique<std::atomic<uint64_t>[]>(n / 64);
+    for (size_t i = 0; i < n / 64; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void Add(uint64_t hash) {
+    for (int i = 0; i < kProbes; ++i) {
+      const size_t bit = BitOf(hash, i);
+      words_[bit / 64].fetch_or(uint64_t{1} << (bit % 64),
+                                std::memory_order_relaxed);
+    }
+  }
+
+  bool MightContain(uint64_t hash) const {
+    for (int i = 0; i < kProbes; ++i) {
+      const size_t bit = BitOf(hash, i);
+      if ((words_[bit / 64].load(std::memory_order_relaxed) &
+           (uint64_t{1} << (bit % 64))) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kProbes = 3;
+
+  size_t BitOf(uint64_t hash, int i) const {
+    static constexpr uint64_t kSeeds[kProbes] = {
+        0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull};
+    uint64_t h = (hash ^ kSeeds[i]) * kSeeds[i];
+    h ^= h >> 29;
+    return static_cast<size_t>(h) & bit_mask_;
+  }
+
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  size_t bit_mask_ = 0;
+};
+
+}  // namespace deeplens

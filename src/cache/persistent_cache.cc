@@ -8,12 +8,20 @@
 #include <cstring>
 #include <utility>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "storage/file_io.h"
 
 namespace deeplens {
 
 namespace {
+
+// The filter hashes with the same FNV the cache shards use; the filter
+// remixes internally, so sharing the input hash is harmless. Takes a
+// Slice so log-index keys hash in place, without a std::string copy.
+uint64_t KeyHash(const Slice& key) {
+  return Fnv1a64(key.data(), key.size());
+}
 
 // Acquires an exclusive, non-blocking advisory lock. flock locks follow
 // the open file description, so this also refuses a second opener inside
@@ -32,10 +40,11 @@ int AcquireLockFile(const std::string& path) {
 
 Result<std::unique_ptr<PersistentInferenceCache>>
 PersistentInferenceCache::Open(const std::string& dir, size_t budget_bytes,
-                               size_t num_shards) {
+                               size_t num_shards,
+                               CacheAdmission admission) {
   DL_RETURN_NOT_OK(CreateDirs(dir));
   auto cache = std::unique_ptr<PersistentInferenceCache>(
-      new PersistentInferenceCache(budget_bytes, num_shards,
+      new PersistentInferenceCache(budget_bytes, num_shards, admission,
                                    dir + "/" + kLogFileName));
   cache->lock_fd_ = AcquireLockFile(dir + "/" + kLockFileName);
   if (cache->lock_fd_ < 0) {
@@ -45,8 +54,27 @@ PersistentInferenceCache::Open(const std::string& dir, size_t budget_bytes,
         "); the log is single-writer");
   }
   DL_ASSIGN_OR_RETURN(cache->store_, RecordStore::Open(cache->log_path()));
-  cache->log_has_records_.store(cache->store_->Stats().num_records > 0,
-                                std::memory_order_release);
+  // Compact before warm-loading: churny predecessors (eviction/overwrite
+  // traffic, divergent respills) leave dead versions behind, and folding
+  // them out now means the warm load scans — and the resident-key filter
+  // indexes — a minimal log. A failed compaction is survivable (the old
+  // log is intact), so it only warns.
+  if (ShouldCompact(cache->store_->Stats())) {
+    const RecordStoreStats before = cache->store_->Stats();
+    const Status status = cache->store_->Compact();
+    if (status.ok()) {
+      DL_LOG(kInfo) << "inference spill log " << cache->log_path()
+                    << ": compacted " << before.log_bytes << " -> "
+                    << cache->store_->Stats().log_bytes << " bytes ("
+                    << before.dead_bytes() << " dead)";
+    } else {
+      DL_LOG(kWarn) << "inference spill log " << cache->log_path()
+                    << ": compaction failed: " << status.ToString();
+    }
+  }
+  cache->store_->ForEachKey([&](const Slice& key) {
+    cache->resident_keys_.Add(KeyHash(key));
+  });
   if (cache->enabled()) cache->WarmLoad();
   // Installed after the warm load: replaying the log must never evict
   // back into the log it is reading.
@@ -64,7 +92,7 @@ PersistentInferenceCache::~PersistentInferenceCache() { Retire(); }
 
 void PersistentInferenceCache::WarmLoad() {
   const size_t budget = cache_.budget_bytes();
-  size_t loaded_bytes = 0;
+  size_t attempted_bytes = 0;
   uint64_t loaded = 0;
   uint64_t dropped = 0;
   (void)store_->ScanAll([&](const Slice& key, const Slice& value) {
@@ -76,13 +104,18 @@ void PersistentInferenceCache::WarmLoad() {
       return true;
     }
     const size_t charge = parsed->ByteSize();
+    attempted_bytes += charge;
     if (cache_.Put(key.ToString(),
                    std::make_shared<const InferenceValue>(std::move(*parsed)),
                    charge)) {
-      loaded_bytes += charge;
       ++loaded;
     }
-    return loaded_bytes < budget;  // stop once the hot tier is full
+    // Stop once a budget's worth of entries has been *offered*, whether
+    // or not memory kept each one: under TinyLFU admission a full shard
+    // refuses further loads (every estimate is 0 right after open), and
+    // counting only accepted bytes would keep this scan parsing an
+    // arbitrarily large log long after the hot tier stopped filling.
+    return attempted_bytes < budget;
   });
   warm_loaded_ = loaded;
   if (dropped > 0) {
@@ -95,9 +128,14 @@ std::shared_ptr<const InferenceValue> PersistentInferenceCache::Get(
     const std::string& key) {
   if (auto hit = cache_.Get(key)) return hit;
   if (!enabled()) return nullptr;
-  // Nothing was ever spilled: don't serialize concurrent workers on the
-  // store mutex for a guaranteed miss (the common cold first run).
-  if (!log_has_records_.load(std::memory_order_acquire)) return nullptr;
+  // Known absent from the log (no false negatives): don't serialize
+  // concurrent workers on the store mutex for a guaranteed miss. Covers
+  // both the empty-log cold first run and, via the replay-built filter,
+  // never-spilled keys against an arbitrarily large warm log.
+  if (!resident_keys_.MightContain(KeyHash(key))) {
+    filter_skips_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   InferenceValue value;
   {
     std::lock_guard<std::mutex> lock(store_mu_);
@@ -161,7 +199,18 @@ void PersistentInferenceCache::SpillLocked(const std::string& key,
     return;
   }
   ++spilled_;
-  log_has_records_.store(true, std::memory_order_release);
+  resident_keys_.Add(KeyHash(key));
+}
+
+Status PersistentInferenceCache::Compact() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_ == nullptr) return Status::OK();
+  const RecordStoreStats before = store_->Stats();
+  DL_RETURN_NOT_OK(store_->Compact());
+  DL_LOG(kInfo) << "inference spill log " << log_path() << ": compacted "
+                << before.log_bytes << " -> " << store_->Stats().log_bytes
+                << " bytes";
+  return Status::OK();
 }
 
 Status PersistentInferenceCache::Persist() {
@@ -197,10 +246,12 @@ CacheStats PersistentInferenceCache::Stats() const {
   stats.disk_misses = disk_misses_;
   stats.spilled = spilled_;
   stats.warm_loaded = warm_loaded_;
+  stats.filter_skips = filter_skips_.load(std::memory_order_relaxed);
   if (store_ != nullptr) {
     const RecordStoreStats rs = store_->Stats();
     stats.disk_entries = rs.num_records;
     stats.disk_bytes = rs.log_bytes;
+    stats.disk_live_bytes = rs.live_bytes;
   }
   return stats;
 }

@@ -5,14 +5,20 @@
 // through to a crash-safe, CRC-framed RecordStore log (the same
 // chunked-log machinery that backs the storage layer):
 //
-//   - inserts land in memory; entries the LRU evicts — and oversized
-//     values memory rejects outright — are spilled to the log,
+//   - inserts land in memory; entries the LRU evicts — and values memory
+//     refuses to hold (oversized for a shard, or denied by the TinyLFU
+//     admission filter) — are spilled to the log,
 //   - an in-memory miss consults the log before giving up (a disk hit
-//     is promoted back into memory),
+//     is promoted back into memory, admission permitting; a denied
+//     promotion still serves the caller from disk),
+//   - a resident-key Bloom filter built during replay answers "known
+//     absent" memory misses without touching the store mutex,
 //   - Retire()/destruction spill every resident entry and flush, so a
 //     clean shutdown persists the whole working set,
-//   - open warm-loads entries from the log until the memory budget is
-//     full, so the first post-restart query is lookup-bound.
+//   - open compacts the log when dead versions outweigh live bytes
+//     (rewrite to a temp log + atomic rename; see RecordStore::Compact),
+//     then warm-loads entries until the memory budget is full, so the
+//     first post-restart query is lookup-bound.
 //
 // Invalidation is structural: keys embed the device-qualified model
 // identity, so results from another model/device/backend can never be
@@ -32,6 +38,7 @@
 #include <string>
 
 #include "cache/inference_cache.h"
+#include "cache/key_filter.h"
 #include "storage/record_store.h"
 
 namespace deeplens {
@@ -44,8 +51,9 @@ class PersistentInferenceCache : public InferenceCache {
   static constexpr const char* kLockFileName = "inference.lock";
 
   /// Opens (creating as needed) the spill log under directory `dir`,
-  /// replays it, and warm-loads entries into memory until `budget_bytes`
-  /// is reached. `budget_bytes` = 0 still persists nothing and serves
+  /// replays it — compacting first when dead bytes have outgrown live
+  /// bytes — and warm-loads entries into memory until `budget_bytes` is
+  /// reached. `budget_bytes` = 0 still persists nothing and serves
   /// nothing (a disabled cache stays disabled). The log is single-writer
   /// (RecordStore offsets are private to the writer): an exclusive flock
   /// on the lock file guards it, and a second opener — same or another
@@ -53,18 +61,42 @@ class PersistentInferenceCache : public InferenceCache {
   /// shared tail (Database then degrades that opener to volatile
   /// caching).
   static Result<std::unique_ptr<PersistentInferenceCache>> Open(
-      const std::string& dir, size_t budget_bytes, size_t num_shards);
+      const std::string& dir, size_t budget_bytes, size_t num_shards,
+      CacheAdmission admission = CacheAdmission::kTinyLfu);
+
+  /// Auto-compaction trigger, checked at Open(): rewrite when the log
+  /// holds at least as many dead bytes as live ones (so the log never
+  /// stays above 2x its live payload across restarts) and the dead
+  /// weight is worth an I/O pass at all.
+  static constexpr uint64_t kCompactMinDeadBytes = 4096;
+  static bool ShouldCompact(const RecordStoreStats& stats) {
+    return stats.dead_bytes() >= kCompactMinDeadBytes &&
+           stats.dead_bytes() >= stats.live_bytes;
+  }
+
+  /// Rewrites the spill log to hold only the newest version of each live
+  /// key (temp log + atomic rename; crash-safe — an interrupted run
+  /// leaves the old log intact and its temp file is discarded on the
+  /// next Open). Runs automatically at Open() when ShouldCompact(); this
+  /// entry point exists for tests and operational tooling. No-op after
+  /// Retire().
+  Status Compact();
 
   ~PersistentInferenceCache() override;
 
   bool persistent() const override { return true; }
 
-  /// Memory first; on miss, the spill log (promoting a disk hit back
-  /// into the memory tier).
+  /// Memory first; on miss, the resident-key filter and then the spill
+  /// log (promoting a disk hit back into the memory tier when admission
+  /// allows — a denied promotion still serves the caller from disk).
+  /// Keys the filter knows are absent never touch the store mutex.
   std::shared_ptr<const InferenceValue> Get(const std::string& key) override;
 
-  /// Inserts into memory. Values memory refuses (oversized for a shard)
-  /// go straight to the log instead of being dropped.
+  /// Inserts into memory. Values memory refuses — oversized for a shard,
+  /// or colder than their would-be eviction victim under TinyLFU — go
+  /// straight to the log instead of being dropped: an admission-denied
+  /// inference result is still an expensive materialized view, and the
+  /// next miss on it must find it on disk.
   void Put(const std::string& key, InferenceValue value) override;
 
   /// Spills every memory-resident entry to the log and flushes it.
@@ -82,8 +114,8 @@ class PersistentInferenceCache : public InferenceCache {
 
  private:
   PersistentInferenceCache(size_t budget_bytes, size_t num_shards,
-                           std::string log_path)
-      : InferenceCache(budget_bytes, num_shards),
+                           CacheAdmission admission, std::string log_path)
+      : InferenceCache(budget_bytes, num_shards, admission),
         log_path_(std::move(log_path)) {}
 
   /// Serializes and appends one entry. Caller holds store_mu_.
@@ -99,13 +131,14 @@ class PersistentInferenceCache : public InferenceCache {
 
   std::string log_path_;
 
-  // Fast-path hint: false until the log has ever held a record, letting
-  // the (morsel-parallel) miss path skip the global store mutex on a
-  // fresh cache dir — the one case where every single miss would
-  // otherwise serialize on a guaranteed-empty probe. Conservative: once
-  // true it stays true (tombstoning may re-empty the log; misses then
-  // just pay the probe).
-  std::atomic<bool> log_has_records_{false};
+  // Resident-key filter over everything the log holds (seeded from the
+  // replay index, extended on every spill): a memory miss whose key is
+  // "definitely absent" returns without touching store_mu_, so the
+  // (morsel-parallel) miss path of a never-cached workload can't
+  // serialize on guaranteed-miss probes. Subsumes the old empty-log
+  // boolean hint — an empty log is just an empty filter.
+  KeyFilter resident_keys_;
+  std::atomic<uint64_t> filter_skips_{0};
 
   mutable std::mutex store_mu_;
   std::unique_ptr<RecordStore> store_;  // null after Retire()

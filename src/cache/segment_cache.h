@@ -29,9 +29,12 @@ class SegmentCache {
   /// decoded GOP/clip) and must fit inside one shard's slice of the
   /// budget, so the shard count is capped low — readers are few compared
   /// to morsel workers, and a finer split would silently reject every
-  /// realistic segment.
-  SegmentCache(size_t budget_bytes, size_t num_shards)
-      : cache_(budget_bytes, std::min<size_t>(num_shards, kMaxShards)) {}
+  /// realistic segment. Admission defaults to TinyLFU (a one-pass sweep
+  /// over a long video cannot flush the hot GOPs).
+  SegmentCache(size_t budget_bytes, size_t num_shards,
+               CacheAdmission admission = CacheAdmission::kTinyLfu)
+      : cache_(budget_bytes, std::min<size_t>(num_shards, kMaxShards),
+               admission) {}
 
   static constexpr size_t kMaxShards = 4;
 

@@ -8,6 +8,14 @@
 // shards never contend. A budget of 0 disables the cache entirely: Get
 // always misses, Put is a no-op, and neither takes a lock.
 //
+// Eviction is LRU; *admission* is pluggable. Under CacheAdmission::
+// kTinyLfu (the default for the Database-owned caches) each shard keeps a
+// 4-bit count-min frequency sketch of every access, and an insert that
+// would force an eviction is refused when the candidate's estimated
+// frequency does not beat the eviction victim's — so a one-pass cold scan
+// cannot flush a hot working set. CacheAdmission::kLru admits every
+// insert (the classic behavior).
+//
 // Values are held as shared_ptr<const V>: readers keep entries alive even
 // if a concurrent insert evicts them, so no lock is held while a caller
 // uses a cached value.
@@ -23,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "cache/admission.h"
+#include "cache/frequency_sketch.h"
 #include "common/checksum.h"
 
 namespace deeplens {
@@ -37,6 +47,9 @@ struct CacheStats {
   uint64_t evictions = 0;
   /// Inserts refused because one entry alone exceeded a shard's budget.
   uint64_t rejected = 0;
+  /// Would-evict inserts refused by the TinyLFU admission filter because
+  /// the candidate's estimated frequency did not beat the victim's.
+  uint64_t admission_denied = 0;
   uint64_t entries = 0;
   uint64_t bytes = 0;
   uint64_t budget_bytes = 0;
@@ -52,6 +65,11 @@ struct CacheStats {
   uint64_t warm_loaded = 0;  // entries preloaded from the log on open
   uint64_t disk_entries = 0;  // live records in the spill log
   uint64_t disk_bytes = 0;    // spill log size (incl. dead versions)
+  uint64_t disk_live_bytes = 0;  // bytes of the newest version of live keys
+  // Memory misses the resident-key filter answered "known absent" without
+  // touching the store mutex (they are counted in `misses`, not in
+  // `disk_misses` — no spill-log probe ever happened).
+  uint64_t filter_skips = 0;
 
   uint64_t lookups() const { return hits + misses; }
   double HitRate() const {
@@ -75,8 +93,12 @@ class ShardedLruCache {
  public:
   /// `budget_bytes` = 0 disables the cache. `num_shards` is clamped to
   /// [1, 256]; size it to the thread pool (see DefaultCacheShards()).
-  ShardedLruCache(size_t budget_bytes, size_t num_shards)
-      : budget_bytes_(budget_bytes) {
+  /// `admission` defaults to TinyLFU — callers that need the classic
+  /// admit-everything behavior (tests of LRU semantics, workloads known
+  /// to be scan-free) pass CacheAdmission::kLru explicitly.
+  ShardedLruCache(size_t budget_bytes, size_t num_shards,
+                  CacheAdmission admission = CacheAdmission::kTinyLfu)
+      : budget_bytes_(budget_bytes), admission_(admission) {
     if (num_shards < 1) num_shards = 1;
     if (num_shards > 256) num_shards = 256;
     if (budget_bytes == 0) return;  // disabled: no shards allocated
@@ -85,12 +107,20 @@ class ShardedLruCache {
     for (size_t i = 0; i < num_shards; ++i) {
       shards_.push_back(std::make_unique<Shard>());
       shards_.back()->budget = per_shard;
+      if (admission_ == CacheAdmission::kTinyLfu) {
+        // Size the sketch for the entry count this shard can plausibly
+        // hold: assume small entries (the sketch only needs enough
+        // counters that distinct keys rarely collide).
+        shards_.back()->sketch = std::make_unique<FrequencySketch>(
+            per_shard / kSketchBytesPerEntry + 1);
+      }
     }
   }
 
   bool enabled() const { return !shards_.empty(); }
   size_t budget_bytes() const { return budget_bytes_; }
   size_t num_shards() const { return shards_.size(); }
+  CacheAdmission admission() const { return admission_; }
 
   /// Called once per evicted entry, after the shard lock has been
   /// released (so the callback may take its own locks, e.g. around a
@@ -106,8 +136,13 @@ class ShardedLruCache {
   /// Returns the cached value or nullptr on miss.
   std::shared_ptr<const V> Get(const std::string& key) {
     if (!enabled()) return nullptr;
-    Shard& shard = ShardFor(key);
+    const uint64_t hash = HashKey(key);
+    Shard& shard = ShardAt(hash);
     std::lock_guard<std::mutex> lock(shard.mu);
+    // Every lookup — hit or miss — is an access the admission filter
+    // should know about: repeated misses are how a genuinely re-read key
+    // earns its way past a resident victim.
+    if (shard.sketch) shard.sketch->Increment(hash);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       ++shard.misses;
@@ -128,7 +163,8 @@ class ShardedLruCache {
   bool Put(const std::string& key, std::shared_ptr<const V> value,
            size_t charge) {
     if (!enabled()) return false;
-    Shard& shard = ShardFor(key);
+    const uint64_t hash = HashKey(key);
+    Shard& shard = ShardAt(hash);
     const size_t total = charge + key.size() + kEntryOverhead;
     std::vector<Entry> victims;
     {
@@ -139,11 +175,30 @@ class ShardedLruCache {
       }
       auto it = shard.map.find(key);
       if (it != shard.map.end()) {
+        // Replacing a resident key is a value refresh, never subject to
+        // admission: the key already proved its worth by being resident.
         shard.bytes -= it->second->charge;
         shard.lru.erase(it->second);
         shard.map.erase(it);
+      } else if (shard.sketch && shard.bytes + total > shard.budget &&
+                 !shard.lru.empty()) {
+        // Would-evict insert under TinyLFU: the candidate must be hotter
+        // than the LRU victim it wants to displace, or it is refused and
+        // the resident working set survives the scan. The comparison
+        // uses the candidate's *pre-insert* frequency (its misses, via
+        // Get) — counting this write as an access first would hand every
+        // one-shot scan key a head start over decayed resident victims.
+        const Entry& victim = shard.lru.back();
+        if (shard.sketch->Estimate(hash) <=
+            shard.sketch->Estimate(victim.hash)) {
+          ++shard.admission_denied;
+          return false;
+        }
       }
-      shard.lru.push_front(Entry{key, std::move(value), total});
+      // An admitted write is an access: without this, a key seen only
+      // through the miss→compute→Put path would keep frequency 0.
+      if (shard.sketch) shard.sketch->Increment(hash);
+      shard.lru.push_front(Entry{key, hash, std::move(value), total});
       shard.map[key] = shard.lru.begin();
       shard.bytes += total;
       ++shard.insertions;
@@ -213,6 +268,7 @@ class ShardedLruCache {
       stats.insertions += shard->insertions;
       stats.evictions += shard->evictions;
       stats.rejected += shard->rejected;
+      stats.admission_denied += shard->admission_denied;
       stats.entries += shard->lru.size();
       stats.bytes += shard->bytes;
     }
@@ -224,8 +280,14 @@ class ShardedLruCache {
   // zero-byte payloads cannot grow the cache unboundedly.
   static constexpr size_t kEntryOverhead = 64;
 
+  // Rough per-entry footprint used only to size the admission sketch
+  // (counter count, not correctness): assuming entries this small gives
+  // the sketch headroom when real entries are bigger.
+  static constexpr size_t kSketchBytesPerEntry = 256;
+
   struct Entry {
     std::string key;
+    uint64_t hash = 0;  // HashKey(key), kept so victims aren't rehashed
     std::shared_ptr<const V> value;
     size_t charge = 0;
   };
@@ -236,6 +298,7 @@ class ShardedLruCache {
     std::unordered_map<std::string,
                        typename std::list<Entry>::iterator>
         map;
+    std::unique_ptr<FrequencySketch> sketch;  // null under kLru
     size_t budget = 0;
     size_t bytes = 0;
     uint64_t hits = 0;
@@ -243,18 +306,19 @@ class ShardedLruCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     uint64_t rejected = 0;
+    uint64_t admission_denied = 0;
   };
 
-  Shard& ShardFor(const std::string& key) {
-    const uint64_t h = Fnv1a64(key.data(), key.size());
-    return *shards_[h % shards_.size()];
+  static uint64_t HashKey(const std::string& key) {
+    return Fnv1a64(key.data(), key.size());
   }
+  Shard& ShardAt(uint64_t hash) { return *shards_[hash % shards_.size()]; }
   const Shard& ShardFor(const std::string& key) const {
-    const uint64_t h = Fnv1a64(key.data(), key.size());
-    return *shards_[h % shards_.size()];
+    return *shards_[HashKey(key) % shards_.size()];
   }
 
   size_t budget_bytes_ = 0;
+  CacheAdmission admission_ = CacheAdmission::kTinyLfu;
   std::vector<std::unique_ptr<Shard>> shards_;
   EvictionCallback eviction_cb_;
 };

@@ -31,6 +31,35 @@ uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
   return static_cast<uint64_t>(parsed);
 }
 
+std::string ChoiceFromEnv(const char* name,
+                          std::initializer_list<const char*> choices,
+                          const char* fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  std::string value(env);
+  for (char& c : value) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  for (const char* choice : choices) {
+    if (value == choice) return choice;
+  }
+  std::string allowed;
+  for (const char* choice : choices) {
+    if (!allowed.empty()) allowed += "|";
+    allowed += choice;
+  }
+  // Mask control bytes before echoing (same escape-injection hygiene as
+  // PathFromEnv).
+  std::string shown(env);
+  for (char& c : shown) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) c = '?';
+  }
+  DL_LOG(kWarn) << name << "='" << shown << "' is not one of {" << allowed
+                << "}; using default '" << fallback << "'";
+  return fallback;
+}
+
 std::string PathFromEnv(const char* name, const std::string& fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;

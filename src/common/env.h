@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 
 namespace deeplens {
@@ -25,5 +26,15 @@ uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
 /// contain control characters are rejected with a warning and fall back:
 /// a blank path knob is a misconfiguration, never a request for "here".
 std::string PathFromEnv(const char* name, const std::string& fallback = "");
+
+/// Parses environment variable `name` as one of a closed set of choices
+/// (matched ASCII-case-insensitively; the canonical lowercase spelling is
+/// returned). Unset returns `fallback`; a value outside the set is
+/// rejected with a warning listing the valid choices and falls back —
+/// a policy knob must never silently degrade to a default because of a
+/// typo the operator can't see.
+std::string ChoiceFromEnv(const char* name,
+                          std::initializer_list<const char*> choices,
+                          const char* fallback);
 
 }  // namespace deeplens

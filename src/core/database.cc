@@ -26,7 +26,8 @@ void Database::ConfigureCaches(const CacheConfig& config) {
   const size_t shards = config.ResolvedShards();
   if (!config.cache_dir.empty()) {
     auto persistent = PersistentInferenceCache::Open(
-        config.cache_dir, config.inference_budget(), shards);
+        config.cache_dir, config.inference_budget(), shards,
+        config.admission);
     if (persistent.ok()) {
       inference_cache_ = std::move(*persistent);
     } else {
@@ -36,13 +37,13 @@ void Database::ConfigureCaches(const CacheConfig& config) {
     }
   }
   if (!inference_cache_) {
-    inference_cache_ =
-        std::make_unique<InferenceCache>(config.inference_budget(), shards);
+    inference_cache_ = std::make_unique<InferenceCache>(
+        config.inference_budget(), shards, config.admission);
   }
   // Readers from LoadVideo() co-own the old instance; dropping our
   // reference here retires it once the last reader goes away.
-  segment_cache_ =
-      std::make_shared<SegmentCache>(config.segment_budget(), shards);
+  segment_cache_ = std::make_shared<SegmentCache>(config.segment_budget(),
+                                                  shards, config.admission);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& root) {

@@ -60,6 +60,14 @@ Status AppendOnlyFile::Flush() {
   return Status::OK();
 }
 
+Status AppendOnlyFile::Sync() {
+  DL_RETURN_NOT_OK(Flush());
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status AppendOnlyFile::WriteRaw(const uint8_t* data, size_t n) {
   size_t written = 0;
   while (written < n) {

@@ -29,6 +29,10 @@ class AppendOnlyFile {
   /// Flushes the user-space buffer to the OS.
   Status Flush();
 
+  /// Flush(), then fsync(2): the bytes survive power loss, not just a
+  /// process crash. Used before an atomic-rename commit point.
+  Status Sync();
+
   /// Current logical file size (including buffered bytes).
   uint64_t size() const { return size_; }
 

@@ -1,6 +1,12 @@
 #include "storage/record_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 
 #include "common/bytes.h"
 #include "common/checksum.h"
@@ -26,6 +32,10 @@ RecordStore::~RecordStore() {
 
 Result<std::unique_ptr<RecordStore>> RecordStore::Open(
     const std::string& path) {
+  // A temp log left behind by a compaction that crashed before its
+  // rename is garbage: the original log it was replacing is still
+  // complete, so just discard the partial copy.
+  DL_RETURN_NOT_OK(RemoveFileIfExists(path + kCompactSuffix));
   auto store = std::unique_ptr<RecordStore>(new RecordStore(path));
   DL_ASSIGN_OR_RETURN(store->writer_, AppendOnlyFile::Open(path));
   DL_RETURN_NOT_OK(store->Replay());
@@ -54,35 +64,65 @@ Status RecordStore::Replay() {
     ByteReader body_reader(body);
     DL_ASSIGN_OR_RETURN(uint8_t kind, body_reader.GetU8());
     DL_ASSIGN_OR_RETURN(Slice key, body_reader.GetLengthPrefixed());
+    offset = static_cast<uint64_t>(data.size()) -
+             static_cast<uint64_t>(reader.remaining());
     if (kind == kPut) {
-      index_[key.ToString()] = record_offset;
+      Erase(key.ToString());
+      index_[key.ToString()] =
+          IndexEntry{record_offset, offset - record_offset};
+      live_bytes_ += offset - record_offset;
     } else if (kind == kTombstone) {
-      index_.erase(key.ToString());
+      Erase(key.ToString());
     } else {
       return Status::Corruption("unknown log record kind");
     }
     ++num_log_records_;
-    offset = static_cast<uint64_t>(data.size()) -
-             static_cast<uint64_t>(reader.remaining());
   }
   return Status::OK();
 }
 
-Status RecordStore::Put(const Slice& key, const Slice& value) {
+void RecordStore::Erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  live_bytes_ -= it->second.bytes;
+  index_.erase(it);
+}
+
+namespace {
+
+// Builds the CRC-framed log bytes for one put record.
+void FramePut(const Slice& key, const Slice& value, ByteBuffer* framed) {
   ByteBuffer body;
   body.PutU8(kPut);
   body.PutLengthPrefixed(key);
   body.PutLengthPrefixed(value);
+  framed->PutU32(Crc32c(body.AsSlice()));
+  framed->PutLengthPrefixed(body.AsSlice());
+}
+
+}  // namespace
+
+Status RecordStore::Put(const Slice& key, const Slice& value) {
+  if (writer_ == nullptr) {
+    return Status::IOError("record store '" + path_ +
+                           "': writer unavailable after a failed reopen");
+  }
   ByteBuffer framed;
-  framed.PutU32(Crc32c(body.AsSlice()));
-  framed.PutLengthPrefixed(body.AsSlice());
+  FramePut(key, value, &framed);
   DL_ASSIGN_OR_RETURN(uint64_t offset, writer_->Append(framed.AsSlice()));
-  index_[key.ToString()] = offset;
+  Erase(key.ToString());
+  index_[key.ToString()] =
+      IndexEntry{offset, static_cast<uint64_t>(framed.data().size())};
+  live_bytes_ += framed.data().size();
   ++num_log_records_;
   return Status::OK();
 }
 
 Status RecordStore::Delete(const Slice& key) {
+  if (writer_ == nullptr) {
+    return Status::IOError("record store '" + path_ +
+                           "': writer unavailable after a failed reopen");
+  }
   ByteBuffer body;
   body.PutU8(kTombstone);
   body.PutLengthPrefixed(key);
@@ -90,7 +130,7 @@ Status RecordStore::Delete(const Slice& key) {
   framed.PutU32(Crc32c(body.AsSlice()));
   framed.PutLengthPrefixed(body.AsSlice());
   DL_RETURN_NOT_OK(writer_->Append(framed.AsSlice()).status());
-  index_.erase(key.ToString());
+  Erase(key.ToString());
   ++num_log_records_;
   return Status::OK();
 }
@@ -135,7 +175,7 @@ Result<std::vector<uint8_t>> RecordStore::Get(const Slice& key) const {
   if (it == index_.end()) {
     return Status::NotFound("key not in record store");
   }
-  return ReadValueAt(it->second);
+  return ReadValueAt(it->second.offset);
 }
 
 bool RecordStore::Contains(const Slice& key) const {
@@ -149,7 +189,7 @@ Status RecordStore::Scan(
   const std::string hi_str = hi.ToString();
   for (; it != index_.end(); ++it) {
     if (Slice(it->first).Compare(Slice(hi_str)) > 0) break;
-    DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(it->second));
+    DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(it->second.offset));
     if (!visitor(Slice(it->first), Slice(value))) break;
   }
   return Status::OK();
@@ -158,18 +198,112 @@ Status RecordStore::Scan(
 Status RecordStore::ScanAll(
     const std::function<bool(const Slice&, const Slice&)>& visitor) const {
   for (auto it = index_.begin(); it != index_.end(); ++it) {
-    DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(it->second));
+    DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(it->second.offset));
     if (!visitor(Slice(it->first), Slice(value))) break;
   }
   return Status::OK();
 }
 
-Status RecordStore::Flush() { return writer_->Flush(); }
+void RecordStore::ForEachKey(
+    const std::function<void(const Slice&)>& visitor) const {
+  for (const auto& [key, entry] : index_) {
+    (void)entry;
+    visitor(Slice(key));
+  }
+}
+
+namespace {
+
+// fsyncs the directory holding `path`, making a just-renamed entry
+// durable (rename(2) alone only orders the change in the page cache).
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir '" + dir + "': " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync dir '" + dir + "': " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RecordStore::Compact() {
+  const std::string tmp_path = path_ + kCompactSuffix;
+  DL_RETURN_NOT_OK(RemoveFileIfExists(tmp_path));
+  std::map<std::string, IndexEntry> new_index;
+  uint64_t new_live_bytes = 0;
+  {
+    DL_ASSIGN_OR_RETURN(auto tmp, AppendOnlyFile::Open(tmp_path));
+    // Stream live records oldest-offset-agnostic, in key order: the old
+    // log stays untouched (and readable through reader_) until the whole
+    // replacement exists on disk.
+    for (const auto& [key, entry] : index_) {
+      DL_ASSIGN_OR_RETURN(auto value, ReadValueAt(entry.offset));
+      ByteBuffer framed;
+      FramePut(Slice(key), Slice(value), &framed);
+      DL_ASSIGN_OR_RETURN(uint64_t offset, tmp->Append(framed.AsSlice()));
+      new_index[key] =
+          IndexEntry{offset, static_cast<uint64_t>(framed.data().size())};
+      new_live_bytes += framed.data().size();
+    }
+    // The rename destroys the only complete copy of the data, so the
+    // replacement must be durable — not merely in the page cache —
+    // before the commit point, or power loss after the rename could
+    // lose both versions.
+    DL_RETURN_NOT_OK(tmp->Sync());
+  }
+  // Point of no return: close our handles on the old log, then swap the
+  // files. rename(2) is atomic, so a crash before it leaves the complete
+  // old log (plus a temp file Open() discards) and a crash after it
+  // leaves the complete new log.
+  writer_.reset();
+  reader_.reset();
+  reader_valid_up_to_ = 0;
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    const Status rename_status = Status::IOError(
+        "rename '" + tmp_path + "' -> '" + path_ + "': " +
+        std::strerror(errno));
+    // Stay usable on the old log rather than wedging the store. If even
+    // the reopen fails, writer_ stays null and writes report IOError
+    // until a later reopen succeeds; reads (old index, old file) are
+    // unaffected.
+    auto reopened = AppendOnlyFile::Open(path_);
+    if (reopened.ok()) writer_ = std::move(*reopened);
+    return rename_status;
+  }
+  // The file on disk is now the compacted log: swap the index first so
+  // reads stay correct even if reopening the writer below fails.
+  index_ = std::move(new_index);
+  live_bytes_ = new_live_bytes;
+  num_log_records_ = index_.size();
+  DL_RETURN_NOT_OK(SyncParentDir(path_));
+  DL_ASSIGN_OR_RETURN(writer_, AppendOnlyFile::Open(path_));
+  return Status::OK();
+}
+
+Status RecordStore::Flush() {
+  if (writer_ == nullptr) {
+    return Status::IOError("record store '" + path_ +
+                           "': writer unavailable after a failed reopen");
+  }
+  return writer_->Flush();
+}
 
 RecordStoreStats RecordStore::Stats() const {
   RecordStoreStats s;
   s.num_records = index_.size();
   s.log_bytes = writer_ ? writer_->size() : 0;
+  s.live_bytes = live_bytes_;
   s.num_log_records = num_log_records_;
   return s;
 }

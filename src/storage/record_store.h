@@ -23,7 +23,14 @@ namespace deeplens {
 struct RecordStoreStats {
   uint64_t num_records = 0;      // live keys
   uint64_t log_bytes = 0;        // on-disk size including dead versions
+  uint64_t live_bytes = 0;       // bytes of the newest version of live keys
   uint64_t num_log_records = 0;  // total log entries scanned/written
+
+  /// Bytes held by overwritten versions, tombstones, and torn tails —
+  /// everything Compact() would reclaim.
+  uint64_t dead_bytes() const {
+    return log_bytes > live_bytes ? log_bytes - live_bytes : 0;
+  }
 };
 
 /// \brief Ordered persistent KV store. Last write per key wins; deletes
@@ -61,6 +68,22 @@ class RecordStore {
   Status ScanAll(const std::function<bool(const Slice& key,
                                           const Slice& value)>& visitor) const;
 
+  /// Visits every live key in key order without touching the data log —
+  /// a pure index walk (used to build resident-key filters cheaply).
+  void ForEachKey(const std::function<void(const Slice& key)>& visitor) const;
+
+  /// Rewrites the log so it holds exactly one record — the newest
+  /// version — per live key, reclaiming overwritten versions, tombstones,
+  /// and torn tails. The new log is written to `path() + ".compact"` and
+  /// atomically renamed over the old one, so a crash at any point leaves
+  /// either the complete old log or the complete new one, never a mix
+  /// (Open() discards a stale temp file from an interrupted run). The
+  /// store stays open and usable afterwards.
+  Status Compact();
+
+  /// Suffix of the temporary file Compact() writes before the rename.
+  static constexpr const char* kCompactSuffix = ".compact";
+
   /// Flushes buffered writes to the OS.
   Status Flush();
 
@@ -72,18 +95,28 @@ class RecordStore {
 
   Status Replay();
   Result<std::vector<uint8_t>> ReadValueAt(uint64_t offset) const;
+  /// Drops `key` from the index, keeping live_bytes_ in step.
+  void Erase(const std::string& key);
 
-  // In-memory key index: key → offset of the latest log record. Deleted
-  // keys are removed from the map entirely.
+  /// Latest log record for a live key: where it starts and how many log
+  /// bytes it occupies (frame included, for dead-byte accounting).
+  struct IndexEntry {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+  };
+
+  // In-memory key index: key → latest log record. Deleted keys are
+  // removed from the map entirely.
   // (std::map keeps this simple and ordered; the B+Tree in index/ serves
   // query-level indexing where bulk scans matter.)
-  std::map<std::string, uint64_t> index_;
+  std::map<std::string, IndexEntry> index_;
 
   std::string path_;
   std::unique_ptr<AppendOnlyFile> writer_;
   mutable std::unique_ptr<RandomAccessFile> reader_;
   mutable uint64_t reader_valid_up_to_ = 0;
   uint64_t num_log_records_ = 0;
+  uint64_t live_bytes_ = 0;
 };
 
 }  // namespace deeplens

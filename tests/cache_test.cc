@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "cache/cache_config.h"
+#include "cache/frequency_sketch.h"
 #include "cache/inference_cache.h"
 #include "cache/segment_cache.h"
 #include "cache/sharded_lru.h"
@@ -60,8 +61,9 @@ TEST(ShardedLruCacheTest, ReplaceSameKeyKeepsOneEntry) {
 
 TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
   // One shard; each entry charges 36 + 1 (key) + 64 (overhead) = 101
-  // bytes, so a 210-byte budget holds exactly two entries.
-  StringCache cache(210, 1);
+  // bytes, so a 210-byte budget holds exactly two entries. Strict LRU
+  // admission: under TinyLFU the one-shot candidate "c" would be denied.
+  StringCache cache(210, 1, CacheAdmission::kLru);
   PutStr(&cache, "a", "va", 36);
   PutStr(&cache, "b", "vb", 36);
   ASSERT_NE(cache.Get("a"), nullptr);  // a becomes most-recent
@@ -72,10 +74,126 @@ TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.Stats().evictions, 1u);
 }
 
+// --- TinyLFU admission ---------------------------------------------------
+
+TEST(TinyLfuAdmissionTest, ColdCandidateCannotDisplaceHotVictim) {
+  // Same two-entry geometry as EvictsLeastRecentlyUsed, TinyLFU policy.
+  StringCache cache(210, 1);
+  EXPECT_EQ(cache.admission(), CacheAdmission::kTinyLfu);
+  PutStr(&cache, "a", "va", 36);
+  PutStr(&cache, "b", "vb", 36);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NE(cache.Get("a"), nullptr);  // both keys are demonstrably hot
+    ASSERT_NE(cache.Get("b"), nullptr);
+  }
+  PutStr(&cache, "c", "vc", 36);  // one-shot candidate: frequency 1
+  EXPECT_EQ(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("b"), nullptr);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GE(stats.admission_denied, 1u);
+}
+
+TEST(TinyLfuAdmissionTest, RepeatedlyRequestedCandidateEarnsAdmission) {
+  StringCache cache(210, 1);
+  PutStr(&cache, "a", "va", 36);
+  PutStr(&cache, "b", "vb", 36);
+  ASSERT_NE(cache.Get("a"), nullptr);  // "a" is hot; "b" stays cold
+  ASSERT_NE(cache.Get("a"), nullptr);
+  // A genuinely re-requested key accrues frequency through its misses
+  // and eventually beats the cold victim at the LRU tail.
+  for (int attempt = 0; attempt < 8 && cache.Get("c") == nullptr;
+       ++attempt) {
+    PutStr(&cache, "c", "vc", 36);
+  }
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);   // the hot key survived
+  EXPECT_EQ(cache.Get("b"), nullptr);   // the cold one was displaced
+  EXPECT_GT(cache.Stats().evictions, 0u);
+}
+
+TEST(TinyLfuAdmissionTest, ReplacingResidentKeyIsNeverDenied) {
+  StringCache cache(210, 1);
+  PutStr(&cache, "a", "va", 36);
+  PutStr(&cache, "b", "vb", 36);
+  PutStr(&cache, "a", "new", 36);  // refresh, not admission
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.Stats().admission_denied, 0u);
+}
+
+TEST(TinyLfuAdmissionTest, ScanResistanceDifferential) {
+  // The ISSUE-5 workload: a hot working set re-read every round,
+  // interleaved with one-shot cold scan keys that would collectively
+  // flush the cache. TinyLFU must keep the hot hit rate >= ~0.8; plain
+  // LRU must show the flush.
+  auto run = [](CacheAdmission admission) {
+    StringCache cache(4 << 10, 1, admission);
+    const int kHot = 24;            // ~24 * (64+5+64) > half the budget
+    const int kColdPerRound = 96;   // each round's scan exceeds budget
+    const int kRounds = 10;
+    // Warm the hot set (two passes so frequencies accrue).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int k = 0; k < kHot; ++k) {
+        const std::string key = "hot" + std::to_string(k);
+        if (cache.Get(key) == nullptr) PutStr(&cache, key, "v", 64);
+      }
+    }
+    uint64_t hot_lookups = 0, hot_hits = 0;
+    int cold_seq = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kColdPerRound; ++i) {
+        const std::string key = "cold" + std::to_string(cold_seq++);
+        if (cache.Get(key) == nullptr) PutStr(&cache, key, "v", 64);
+      }
+      for (int k = 0; k < kHot; ++k) {
+        const std::string key = "hot" + std::to_string(k);
+        ++hot_lookups;
+        if (cache.Get(key) != nullptr) {
+          ++hot_hits;
+        } else {
+          PutStr(&cache, key, "v", 64);
+        }
+      }
+    }
+    return static_cast<double>(hot_hits) / static_cast<double>(hot_lookups);
+  };
+  const double tinylfu_rate = run(CacheAdmission::kTinyLfu);
+  const double lru_rate = run(CacheAdmission::kLru);
+  EXPECT_GE(tinylfu_rate, 0.8) << "scan traffic flushed the hot set";
+  EXPECT_LT(lru_rate, 0.5) << "LRU unexpectedly scan-resistant";
+  EXPECT_GT(tinylfu_rate, lru_rate);
+}
+
+TEST(FrequencySketchTest, EstimateTracksIncrementsAndSaturates) {
+  FrequencySketch sketch(64);
+  EXPECT_EQ(sketch.Estimate(0x1234), 0u);
+  for (int i = 0; i < 3; ++i) sketch.Increment(0x1234);
+  EXPECT_GE(sketch.Estimate(0x1234), 3u);  // count-min never undercounts
+  for (int i = 0; i < 100; ++i) sketch.Increment(0x1234);
+  EXPECT_EQ(sketch.Estimate(0x1234), 15u);  // 4-bit saturation
+}
+
+TEST(FrequencySketchTest, PeriodicHalvingAgesOutFormerlyHotKeys) {
+  FrequencySketch sketch(16);  // clamped to 64 counters, period 640
+  for (int i = 0; i < 20; ++i) sketch.Increment(0xfeed);
+  const uint32_t before = sketch.Estimate(0xfeed);
+  ASSERT_EQ(before, 15u);
+  // A long run of other traffic crosses the sample period (repeatedly)
+  // and halves the saturated counter toward zero.
+  for (uint64_t h = 0; h < 2000; ++h) sketch.Increment(h * 2654435761u);
+  EXPECT_GT(sketch.halvings(), 0u);
+  EXPECT_LT(sketch.Estimate(0xfeed), before);
+}
+
 TEST(ShardedLruCacheTest, ByteBudgetHonored) {
   const size_t budget = 4096;
   const size_t shards = 4;
-  StringCache cache(budget, shards);
+  // LRU: a one-shot insert storm must churn through (under TinyLFU it
+  // would be admission-denied once the shards fill — covered below).
+  StringCache cache(budget, shards, CacheAdmission::kLru);
   Rng rng(7);
   for (int i = 0; i < 500; ++i) {
     PutStr(&cache, "key" + std::to_string(i), std::string(100, 'x'), 100);
@@ -86,6 +204,25 @@ TEST(ShardedLruCacheTest, ByteBudgetHonored) {
   EXPECT_LE(stats.bytes, budget + shards);
   EXPECT_GT(stats.evictions, 0u);
   EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(ShardedLruCacheTest, ByteBudgetHonoredUnderTinyLfu) {
+  // The budget invariant holds under TinyLFU too, whatever mix of
+  // admissions and denials the sketch produces.
+  const size_t budget = 4096;
+  const size_t shards = 4;
+  StringCache cache(budget, shards);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(rng.NextU64Below(150));
+    if (cache.Get(key) == nullptr) {
+      PutStr(&cache, key, std::string(100, 'x'), 100);
+    }
+  }
+  const CacheStats stats = cache.Stats();
+  EXPECT_LE(stats.bytes, budget + shards);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_GT(stats.insertions, 0u);
 }
 
 TEST(ShardedLruCacheTest, OversizedEntryRejected) {
@@ -255,6 +392,49 @@ TEST(EnvKnobTest, CacheMbKnob) {
   guard.Set("-4");
   EXPECT_EQ(CacheConfig::FromEnv().budget_bytes,
             CacheConfig::kDefaultBudgetBytes);
+}
+
+TEST(EnvKnobTest, ChoiceKnobMatchesCaseInsensitivelyAndRejectsGarbage) {
+  EnvGuard guard("DEEPLENS_TEST_KNOB");
+  guard.Unset();
+  EXPECT_EQ(ChoiceFromEnv("DEEPLENS_TEST_KNOB", {"aa", "bb"}, "aa"), "aa");
+  guard.Set("bb");
+  EXPECT_EQ(ChoiceFromEnv("DEEPLENS_TEST_KNOB", {"aa", "bb"}, "aa"), "bb");
+  guard.Set("BB");  // canonical lowercase spelling comes back
+  EXPECT_EQ(ChoiceFromEnv("DEEPLENS_TEST_KNOB", {"aa", "bb"}, "aa"), "bb");
+  for (const char* bad : {"", " ", "cc", "bb ", " bb", "b", "aabb"}) {
+    guard.Set(bad);
+    EXPECT_EQ(ChoiceFromEnv("DEEPLENS_TEST_KNOB", {"aa", "bb"}, "aa"), "aa")
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(EnvKnobTest, CacheAdmissionKnobMatrix) {
+  EnvGuard guard("DEEPLENS_CACHE_ADMISSION");
+  // Unset: scan-resistant admission is the default.
+  guard.Unset();
+  EXPECT_EQ(CacheConfig::FromEnv().admission, CacheAdmission::kTinyLfu);
+  // The two valid spellings, case-insensitively.
+  for (const char* v : {"lru", "LRU", "Lru"}) {
+    guard.Set(v);
+    EXPECT_EQ(CacheConfig::FromEnv().admission, CacheAdmission::kLru)
+        << "value: '" << v << "'";
+  }
+  for (const char* v : {"tinylfu", "TinyLFU", "TINYLFU"}) {
+    guard.Set(v);
+    EXPECT_EQ(CacheConfig::FromEnv().admission, CacheAdmission::kTinyLfu)
+        << "value: '" << v << "'";
+  }
+  // Garbage falls back to the default rather than silently picking LRU.
+  for (const char* bad : {"", "  ", "fifo", "lru,tinylfu", "tiny-lfu", "1"}) {
+    guard.Set(bad);
+    EXPECT_EQ(CacheConfig::FromEnv().admission, CacheAdmission::kTinyLfu)
+        << "value: '" << bad << "'";
+  }
+  // The parsed policy is what a cache built from the config runs.
+  guard.Set("lru");
+  StringCache from_env(1 << 10, 1, CacheConfig::FromEnv().admission);
+  EXPECT_EQ(from_env.admission(), CacheAdmission::kLru);
 }
 
 // --- InferenceCache ------------------------------------------------------

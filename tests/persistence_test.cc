@@ -253,8 +253,9 @@ class PersistenceTest : public ::testing::Test {
   }
 
   static Result<std::unique_ptr<PersistentInferenceCache>> OpenCache(
-      const std::string& dir, size_t budget, size_t shards) {
-    return PersistentInferenceCache::Open(dir, budget, shards);
+      const std::string& dir, size_t budget, size_t shards,
+      CacheAdmission admission = CacheAdmission::kTinyLfu) {
+    return PersistentInferenceCache::Open(dir, budget, shards, admission);
   }
 
   std::filesystem::path dir_;
@@ -287,8 +288,10 @@ TEST_F(PersistenceTest, SpillsOnCleanShutdownAndWarmLoadsOnReopen) {
 
 TEST_F(PersistenceTest, EvictedEntriesAreServedFromDisk) {
   // One shard with a tiny budget: inserting many entries constantly
-  // evicts, and every eviction must write through to the log.
-  auto cache = OpenCache(Path("cache"), 4 << 10, 1);
+  // evicts, and every eviction must write through to the log. LRU
+  // admission — under TinyLFU this one-shot insert storm would be
+  // admission-denied (and spill directly) instead of evicting.
+  auto cache = OpenCache(Path("cache"), 4 << 10, 1, CacheAdmission::kLru);
   ASSERT_TRUE(cache.ok()) << cache.status().ToString();
   const int kEntries = 64;
   for (int i = 0; i < kEntries; ++i) {
@@ -810,6 +813,220 @@ TEST_F(PersistenceTest, ResidentGopsAreNotReinsertedDuringPrefixDecode) {
   // already-resident GOP 0.
   ASSERT_TRUE((*reader)->ReadFrame(20).ok());
   EXPECT_EQ(cache.Stats().insertions, 3u);  // +GOP 1, +GOP 2 only
+}
+
+// --- Admission through the persistent tiers ------------------------------
+
+TEST_F(PersistenceTest, AdmissionDeniedEntriesSpillAndMissesConsultDisk) {
+  // TinyLFU + a hot resident working set: a one-shot cold Put must be
+  // denied residency, yet the value is an expensive materialized view —
+  // it must land on disk, and the next memory miss on it must be served
+  // from the log (ISSUE 5: "an admission-denied miss must still consult
+  // the disk log").
+  auto cache = OpenCache(Path("cache"), 4 << 10, 1);
+  ASSERT_TRUE(cache.ok());
+  const int kHot = 20;
+  for (int i = 0; i < kHot; ++i) {
+    (*cache)->Put(InferenceCache::KeyFor("hot", i),
+                  InferenceValue{std::string("hot-") + std::to_string(i)});
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = 0; i < kHot; ++i) {
+      ASSERT_NE((*cache)->Get(InferenceCache::KeyFor("hot", i)), nullptr);
+    }
+  }
+  // Cold one-shot inserts while the shard is full of hot entries.
+  const int kCold = 40;
+  for (int i = 0; i < kCold; ++i) {
+    (*cache)->Put(InferenceCache::KeyFor("cold", i),
+                  InferenceValue{std::string("cold-") + std::to_string(i)});
+  }
+  CacheStats stats = (*cache)->Stats();
+  EXPECT_GT(stats.admission_denied, 0u);
+  EXPECT_GT(stats.spilled, 0u);
+  // The hot set survived the cold storm...
+  for (int i = 0; i < kHot; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("hot", i));
+    ASSERT_NE(hit, nullptr) << "hot key " << i << " was flushed";
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              "hot-" + std::to_string(i));
+  }
+  // ...and every denied cold entry is still served, from the spill log.
+  const uint64_t disk_hits_before = stats.disk_hits;
+  for (int i = 0; i < kCold; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("cold", i));
+    ASSERT_NE(hit, nullptr) << "cold key " << i << " lost by admission";
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              "cold-" + std::to_string(i));
+  }
+  EXPECT_GT((*cache)->Stats().disk_hits, disk_hits_before);
+}
+
+TEST_F(PersistenceTest, ResidentKeyFilterSkipsStoreForAbsentKeys) {
+  const std::string cache_dir = Path("cache");
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok());
+    for (int i = 0; i < 16; ++i) {
+      (*cache)->Put(InferenceCache::KeyFor("m", i),
+                    InferenceValue{std::string("v") + std::to_string(i)});
+    }
+  }
+  // Reopen over a non-empty log. Keys the filter knows are absent must
+  // resolve as misses without a spill-log probe: the lookups count as
+  // filter_skips, never as disk_misses.
+  auto cache = OpenCache(cache_dir, 1 << 20, 2);
+  ASSERT_TRUE(cache.ok());
+  ASSERT_GT((*cache)->Stats().disk_entries, 0u);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ((*cache)->Get(InferenceCache::KeyFor("absent", i)), nullptr);
+  }
+  CacheStats stats = (*cache)->Stats();
+  EXPECT_EQ(stats.disk_misses, 0u);
+  // Bloom false positives may eat a few skips, but the overwhelming
+  // majority of absent probes must shortcut past the store mutex.
+  EXPECT_GE(stats.filter_skips, 250u);
+  // No false negatives: every key the log holds is still reachable.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_NE((*cache)->Get(InferenceCache::KeyFor("m", i)), nullptr);
+  }
+}
+
+// --- Spill-log compaction ------------------------------------------------
+
+TEST_F(PersistenceTest, CompactRewritesLogToLiveRecordsOnly) {
+  const std::string cache_dir = Path("cache");
+  auto cache = OpenCache(cache_dir, 1 << 20, 1);
+  ASSERT_TRUE(cache.ok());
+  // Build up dead versions: overwrite every key several times with
+  // different bytes and force each version to disk.
+  for (int version = 0; version < 6; ++version) {
+    for (int i = 0; i < 24; ++i) {
+      (*cache)->Put(InferenceCache::KeyFor("m", i),
+                    InferenceValue{std::string(200, 'a' + (version % 26)) +
+                                   std::to_string(i)});
+    }
+    ASSERT_TRUE((*cache)->Persist().ok());
+  }
+  CacheStats before = (*cache)->Stats();
+  ASSERT_GT(before.disk_bytes, before.disk_live_bytes)
+      << "overwrites produced no dead versions";
+  ASSERT_TRUE((*cache)->Compact().ok());
+  CacheStats after = (*cache)->Stats();
+  EXPECT_LT(after.disk_bytes, before.disk_bytes);
+  EXPECT_EQ(after.disk_bytes, after.disk_live_bytes);
+  EXPECT_EQ(after.disk_entries, before.disk_entries);
+  // The store stays open and serves every key with its newest value.
+  for (int i = 0; i < 24; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              std::string(200, 'a' + (5 % 26)) + std::to_string(i));
+  }
+}
+
+TEST_F(PersistenceTest, ChurnAndReopenCyclesStayWithinTwiceLiveBytes) {
+  // The ISSUE-5 acceptance bound: ten overwrite/reopen cycles must not
+  // let the append-only log outgrow 2x its live payload — Open()'s
+  // auto-compaction has to keep folding dead versions away.
+  const std::string cache_dir = Path("cache");
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    auto cache = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    for (int i = 0; i < 32; ++i) {
+      // Different bytes every cycle, so each cycle's spill really
+      // appends a divergent version of all 32 keys.
+      (*cache)->Put(
+          InferenceCache::KeyFor("m", i),
+          InferenceValue{std::string(300, 'a' + (cycle % 26)) +
+                         std::to_string(i)});
+    }
+    cache->reset();  // spills + flushes
+    const uint64_t log_size = std::filesystem::file_size(
+        cache_dir + "/" + PersistentInferenceCache::kLogFileName);
+    // Reopen to read live-byte accounting (and trigger compaction).
+    auto reopened = OpenCache(cache_dir, 1 << 20, 2);
+    ASSERT_TRUE(reopened.ok());
+    const CacheStats stats = (*reopened)->Stats();
+    EXPECT_LE(stats.disk_bytes,
+              2 * stats.disk_live_bytes +
+                  PersistentInferenceCache::kCompactMinDeadBytes)
+        << "cycle " << cycle << ": pre-compaction log was " << log_size;
+    // Values always resolve to the cycle's newest version.
+    auto hit = (*reopened)->Get(InferenceCache::KeyFor("m", 7));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              std::string(300, 'a' + (cycle % 26)) + "7");
+  }
+}
+
+TEST_F(PersistenceTest, ReopenedCacheIsByteIdenticalAfterCompaction) {
+  const std::string cache_dir = Path("cache");
+  std::vector<std::vector<uint8_t>> expected;
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 1);
+    ASSERT_TRUE(cache.ok());
+    for (int version = 0; version < 4; ++version) {
+      for (int i = 0; i < 16; ++i) {
+        Tensor t({4}, {static_cast<float>(version), static_cast<float>(i),
+                       1.5f, -2.25f});
+        (*cache)->Put(InferenceCache::KeyFor("m", i), InferenceValue{t});
+      }
+      ASSERT_TRUE((*cache)->Persist().ok());
+    }
+    for (int i = 0; i < 16; ++i) {
+      auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+      ASSERT_NE(hit, nullptr);
+      ByteBuffer buf;
+      hit->SerializeInto(&buf);
+      expected.push_back(buf.data());
+    }
+    ASSERT_TRUE((*cache)->Compact().ok());
+  }
+  auto cache = OpenCache(cache_dir, 1 << 20, 1);
+  ASSERT_TRUE(cache.ok());
+  for (int i = 0; i < 16; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+    ASSERT_NE(hit, nullptr) << "key " << i << " lost by compaction";
+    ByteBuffer buf;
+    hit->SerializeInto(&buf);
+    EXPECT_EQ(buf.data(), expected[static_cast<size_t>(i)]) << "key " << i;
+  }
+}
+
+TEST_F(PersistenceTest, CrashMidCompactionLeavesReadableLog) {
+  const std::string cache_dir = Path("cache");
+  {
+    auto cache = OpenCache(cache_dir, 1 << 20, 1);
+    ASSERT_TRUE(cache.ok());
+    for (int i = 0; i < 12; ++i) {
+      (*cache)->Put(InferenceCache::KeyFor("m", i),
+                    InferenceValue{std::string("v") + std::to_string(i)});
+    }
+  }
+  // Simulate a compaction that died before its rename: a partial temp
+  // log (torn garbage) sitting next to the intact original. The rename
+  // protocol means the original is still the authoritative log; Open
+  // must discard the temp and serve everything.
+  const std::string log_path =
+      cache_dir + "/" + PersistentInferenceCache::kLogFileName;
+  const std::string tmp_path = log_path + RecordStore::kCompactSuffix;
+  {
+    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "half-written compaction victim";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  auto cache = OpenCache(cache_dir, 1 << 20, 1);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_FALSE(std::filesystem::exists(tmp_path));
+  for (int i = 0; i < 12; ++i) {
+    auto hit = (*cache)->Get(InferenceCache::KeyFor("m", i));
+    ASSERT_NE(hit, nullptr) << "key " << i;
+    EXPECT_EQ(std::get<std::string>(hit->payload),
+              "v" + std::to_string(i));
+  }
 }
 
 // --- Contention (runs under ThreadSanitizer in CI) -----------------------
