@@ -4,8 +4,10 @@
 // aggregate, serial vs. morsel-parallel. Results are checked for equality
 // across engines before timing is reported, and all timings are emitted
 // to BENCH_pipeline.json for the perf trajectory.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,6 +62,31 @@ Result<PatchTuple> Annotate(PatchTuple t) {
   return t;
 }
 
+// Rewrites the join keys of a synthetic view to follow a Zipf-ish
+// distribution (P(k) ∝ 1/(k+1)) over [0, num_keys): a few hot framenos
+// hold most of the rows. Key range matters for comparability — every key
+// still matches the uniform left side, so the skewed join examines the
+// same number of candidate pairs as the uniform one; only their spread
+// across radix partitions changes.
+PatchCollection WithZipfKeys(PatchCollection rows, size_t num_keys) {
+  Rng rng(0x5eedca11);
+  std::vector<double> cdf(num_keys);
+  double total = 0.0;
+  for (size_t k = 0; k < num_keys; ++k) {
+    total += 1.0 / static_cast<double>(k + 1);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  for (Patch& p : rows) {
+    const double u = rng.NextDouble();
+    const size_t key = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    p.mutable_meta().Set(meta_keys::kFrameNo,
+                         static_cast<int64_t>(std::min(key, num_keys - 1)));
+  }
+  return rows;
+}
+
 uint64_t Checksum(const PatchCollection& rows) {
   uint64_t sum = 0;
   for (const Patch& p : rows) sum += p.id();
@@ -104,6 +131,7 @@ Timing MeasureCounted(const Fn& run) {
 struct JsonCase {
   const char* name;
   Timing timing;
+  size_t workers;  // resolved worker count the case actually ran with
 };
 
 void WriteJson(const std::vector<JsonCase>& cases, size_t rows,
@@ -121,9 +149,9 @@ void WriteJson(const std::vector<JsonCase>& cases, size_t rows,
   for (size_t i = 0; i < cases.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ms\": %.3f, \"rows_out\": %" PRIu64
-                 "}%s\n",
+                 ", \"workers\": %zu}%s\n",
                  cases[i].name, cases[i].timing.best_ms,
-                 cases[i].timing.rows_out,
+                 cases[i].timing.rows_out, cases[i].workers,
                  i + 1 == cases.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -165,11 +193,15 @@ int Run() {
     return std::move(out).value();
   });
 
-  // 3. Batch + morsel-parallel across the global pool.
+  // 3. Batch + morsel-parallel. Worker counts are pinned per case (the
+  // pool may be wider) so recorded timings stay comparable across
+  // machines and pool configurations.
+  MorselOptions two_workers;
+  two_workers.num_threads = 2;
   const Timing parallel_t = Measure([&]() {
     BatchPipeline pipeline;
     pipeline.Filter(predicate).Map(Annotate);
-    auto out = pipeline.RunOnPatches(view);
+    auto out = pipeline.RunOnPatches(view, two_workers);
     DL_CHECK_OK(out.status());
     return std::move(out).value();
   });
@@ -218,6 +250,8 @@ int Run() {
   };
   MorselOptions serial_opts;
   serial_opts.num_threads = 1;
+  MorselOptions four_workers;
+  four_workers.num_threads = 4;
   const Timing join_serial_t = MeasureCounted([&]() {
     auto out = HashEqualityJoin(left_view, right_view, meta_keys::kFrameNo,
                                 join_residual, nullptr, serial_opts);
@@ -226,7 +260,32 @@ int Run() {
   });
   const Timing join_parallel_t = MeasureCounted([&]() {
     auto out = HashEqualityJoin(left_view, right_view, meta_keys::kFrameNo,
-                                join_residual);
+                                join_residual, nullptr, two_workers);
+    DL_CHECK_OK(out.status());
+    return join_checksum(*out);
+  });
+  const Timing join_parallel_4w_t = MeasureCounted([&]() {
+    auto out = HashEqualityJoin(left_view, right_view, meta_keys::kFrameNo,
+                                join_residual, nullptr, four_workers);
+    DL_CHECK_OK(out.status());
+    return join_checksum(*out);
+  });
+
+  // Skewed-key join: same left side and the same number of candidate
+  // pairs, but the right side's keys follow a Zipf distribution, so a few
+  // radix partitions hold most of the probe work. Measures that the
+  // chunk-level probe dispatch actually balances skew.
+  const size_t num_join_keys = (join_right + 15) / 16;
+  const PatchCollection skew_right = WithZipfKeys(right_view, num_join_keys);
+  const Timing join_skew_serial_t = MeasureCounted([&]() {
+    auto out = HashEqualityJoin(left_view, skew_right, meta_keys::kFrameNo,
+                                join_residual, nullptr, serial_opts);
+    DL_CHECK_OK(out.status());
+    return join_checksum(*out);
+  });
+  const Timing join_skew_t = MeasureCounted([&]() {
+    auto out = HashEqualityJoin(left_view, skew_right, meta_keys::kFrameNo,
+                                join_residual, nullptr, two_workers);
     DL_CHECK_OK(out.status());
     return join_checksum(*out);
   });
@@ -243,22 +302,44 @@ int Run() {
     return group_checksum(*out);
   });
   const Timing agg_parallel_t = MeasureCounted([&]() {
-    auto out = ParallelGroupByCount(view, meta_keys::kLabel, predicate);
+    auto out = ParallelGroupByCount(view, meta_keys::kLabel, predicate,
+                                    two_workers);
+    DL_CHECK_OK(out.status());
+    return group_checksum(*out);
+  });
+  const Timing agg_parallel_4w_t = MeasureCounted([&]() {
+    auto out = ParallelGroupByCount(view, meta_keys::kLabel, predicate,
+                                    four_workers);
     DL_CHECK_OK(out.status());
     return group_checksum(*out);
   });
 
-  if (join_serial_t.rows_out != join_parallel_t.rows_out ||
+  const bool join_mismatch =
+      join_serial_t.rows_out != join_parallel_t.rows_out ||
       join_serial_t.checksum != join_parallel_t.checksum ||
+      join_serial_t.rows_out != join_parallel_4w_t.rows_out ||
+      join_serial_t.checksum != join_parallel_4w_t.checksum ||
+      join_skew_serial_t.rows_out != join_skew_t.rows_out ||
+      join_skew_serial_t.checksum != join_skew_t.checksum;
+  const bool agg_mismatch =
       agg_serial_t.rows_out != agg_parallel_t.rows_out ||
-      agg_serial_t.checksum != agg_parallel_t.checksum) {
+      agg_serial_t.checksum != agg_parallel_t.checksum ||
+      agg_serial_t.rows_out != agg_parallel_4w_t.rows_out ||
+      agg_serial_t.checksum != agg_parallel_4w_t.checksum;
+  if (join_mismatch || agg_mismatch) {
     std::printf("PARALLEL MISMATCH: join %" PRIu64 "/%" PRIu64
-                " vs %" PRIu64 "/%" PRIu64 ", agg %" PRIu64 "/%" PRIu64
+                " vs %" PRIu64 "/%" PRIu64 " vs %" PRIu64 "/%" PRIu64
+                " (skew %" PRIu64 "/%" PRIu64 " vs %" PRIu64 "/%" PRIu64
+                "), agg %" PRIu64 "/%" PRIu64 " vs %" PRIu64 "/%" PRIu64
                 " vs %" PRIu64 "/%" PRIu64 "\n",
                 join_serial_t.rows_out, join_serial_t.checksum,
                 join_parallel_t.rows_out, join_parallel_t.checksum,
+                join_parallel_4w_t.rows_out, join_parallel_4w_t.checksum,
+                join_skew_serial_t.rows_out, join_skew_serial_t.checksum,
+                join_skew_t.rows_out, join_skew_t.checksum,
                 agg_serial_t.rows_out, agg_serial_t.checksum,
-                agg_parallel_t.rows_out, agg_parallel_t.checksum);
+                agg_parallel_t.rows_out, agg_parallel_t.checksum,
+                agg_parallel_4w_t.rows_out, agg_parallel_4w_t.checksum);
     return 1;
   }
 
@@ -267,22 +348,41 @@ int Run() {
               join_left, join_right, n);
   std::printf("%-24s %10.2f %8.2fx\n", "join (serial)", join_serial_t.best_ms,
               1.0);
-  std::printf("%-24s %10.2f %8.2fx\n", "join (parallel)",
+  std::printf("%-24s %10.2f %8.2fx\n", "join (parallel 2w)",
               join_parallel_t.best_ms,
               join_serial_t.best_ms / join_parallel_t.best_ms);
+  std::printf("%-24s %10.2f %8.2fx\n", "join (parallel 4w)",
+              join_parallel_4w_t.best_ms,
+              join_serial_t.best_ms / join_parallel_4w_t.best_ms);
+  std::printf("%-24s %10.2f %8.2fx  (zipf keys, serial %.2f ms)\n",
+              "join (skew 2w)", join_skew_t.best_ms,
+              join_skew_serial_t.best_ms / join_skew_t.best_ms,
+              join_skew_serial_t.best_ms);
   std::printf("%-24s %10.2f %8.2fx\n", "group-by (serial)",
               agg_serial_t.best_ms, 1.0);
-  std::printf("%-24s %10.2f %8.2fx\n", "group-by (parallel)",
+  std::printf("%-24s %10.2f %8.2fx\n", "group-by (parallel 2w)",
               agg_parallel_t.best_ms,
               agg_serial_t.best_ms / agg_parallel_t.best_ms);
+  std::printf("%-24s %10.2f %8.2fx\n", "group-by (parallel 4w)",
+              agg_parallel_4w_t.best_ms,
+              agg_serial_t.best_ms / agg_parallel_4w_t.best_ms);
 
-  WriteJson({{"filter_map_tuple", tuple_t},
-             {"filter_map_batch_serial", batch_t},
-             {"filter_map_batch_parallel", parallel_t},
-             {"hash_join_serial", join_serial_t},
-             {"hash_join_parallel", join_parallel_t},
-             {"group_by_serial", agg_serial_t},
-             {"group_by_parallel", agg_parallel_t}},
+  const auto resolved = [](size_t requested) {
+    MorselOptions o;
+    o.num_threads = requested;
+    return ResolveMorselWorkers(o);
+  };
+  WriteJson({{"filter_map_tuple", tuple_t, 1},
+             {"filter_map_batch_serial", batch_t, 1},
+             {"filter_map_batch_parallel", parallel_t, resolved(2)},
+             {"hash_join_serial", join_serial_t, 1},
+             {"hash_join_parallel", join_parallel_t, resolved(2)},
+             {"hash_join_parallel_4w", join_parallel_4w_t, resolved(4)},
+             {"hash_join_skew_serial", join_skew_serial_t, 1},
+             {"hash_join_parallel_skew", join_skew_t, resolved(2)},
+             {"group_by_serial", agg_serial_t, 1},
+             {"group_by_parallel", agg_parallel_t, resolved(2)},
+             {"group_by_parallel_4w", agg_parallel_4w_t, resolved(4)}},
             n, join_left, join_right);
 
   const double speedup = par_rate / tuple_rate;
@@ -298,4 +398,11 @@ int Run() {
 }  // namespace bench
 }  // namespace deeplens
 
-int main() { return deeplens::bench::Run(); }
+int main() {
+  // A 4-worker pool must exist before ThreadPool::Global() is first
+  // touched for the 4-worker cases to be real; an explicit
+  // DEEPLENS_NUM_THREADS from the operator still wins (no overwrite), and
+  // the per-case "workers" fields record what each case actually got.
+  setenv("DEEPLENS_NUM_THREADS", "4", /*overwrite=*/0);
+  return deeplens::bench::Run();
+}

@@ -63,9 +63,11 @@ int main() {
   std::printf("camera 1: %zu car patches; camera 2: %zu car patches\n",
               cars1.size(), cars2.size());
 
-  // Ask the planner which join strategy fits these relation sizes.
+  // Ask the planner which join strategy fits these relation sizes at the
+  // pool's actual width (parallel build + probe discount the ball-tree).
   const auto strategy = Planner::ChooseSimilarityJoin(
-      cars1.size(), cars2.size(), 60, /*gpu_available=*/false);
+      cars1.size(), cars2.size(), 60, /*gpu_available=*/false,
+      ResolveMorselWorkers({}));
   std::printf("planner suggests: %s join\n", SimJoinStrategyName(strategy));
 
   // On-the-fly Ball-Tree similarity join (paper §5).

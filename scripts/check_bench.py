@@ -60,6 +60,29 @@ def pipeline_metrics(doc):
         ms = case_ms(doc, engine)
         if tuple_ms and ms:
             metrics[f"{engine}_speedup"] = tuple_ms / ms
+
+    # Parallel-vs-serial ratios for the radix join and partitioned
+    # aggregation. parallel_join_speedup carries a >= 1.0 floor in the
+    # baseline: parallel losing to serial (the pre-radix state of the
+    # world) fails CI instead of sitting silently in the JSON.
+    ratios = (
+        ("parallel_join_speedup", "hash_join_serial", "hash_join_parallel"),
+        ("parallel_join_speedup_4w", "hash_join_serial",
+         "hash_join_parallel_4w"),
+        ("parallel_group_by_speedup", "group_by_serial", "group_by_parallel"),
+        ("parallel_group_by_speedup_4w", "group_by_serial",
+         "group_by_parallel_4w"),
+        # Skew tax: uniform-parallel over skew-parallel. A floor of ~0.67
+        # encodes "Zipf-skewed keys may cost at most 1.5x the uniform
+        # join"; below that, partition skew handling has regressed.
+        ("join_skew_uniform_ratio", "hash_join_parallel",
+         "hash_join_parallel_skew"),
+    )
+    for metric, num_case, den_case in ratios:
+        num_ms = case_ms(doc, num_case)
+        den_ms = case_ms(doc, den_case)
+        if num_ms and den_ms:
+            metrics[metric] = num_ms / den_ms
     return metrics
 
 

@@ -31,6 +31,17 @@ uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
   return static_cast<uint64_t>(parsed);
 }
 
+uint64_t PowerOfTwoFromEnv(const char* name, uint64_t fallback,
+                           uint64_t max_value) {
+  const uint64_t parsed = PositiveIntFromEnv(name, fallback, max_value);
+  if (parsed == fallback || (parsed & (parsed - 1)) == 0) return parsed;
+  uint64_t clamped = 1;
+  while (clamped * 2 <= parsed) clamped *= 2;
+  DL_LOG(kWarn) << name << "=" << parsed
+                << " is not a power of two; clamping down to " << clamped;
+  return clamped;
+}
+
 std::string ChoiceFromEnv(const char* name,
                           std::initializer_list<const char*> choices,
                           const char* fallback) {

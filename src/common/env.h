@@ -21,6 +21,17 @@ uint64_t PositiveIntFromEnv(const char* name, uint64_t fallback,
                             uint64_t max_value = UINT64_MAX,
                             bool allow_zero = false);
 
+/// Parses environment variable `name` as a strictly positive power of
+/// two, via the PositiveIntFromEnv validation path. Values that parse but
+/// are not powers of two are clamped *down* to the nearest power of two
+/// with a warning (a partition-count knob rounded down still honors the
+/// operator's intent; rounding up could double memory). Garbage, zero,
+/// negative, or out-of-range values fall back like PositiveIntFromEnv
+/// does. `fallback` is returned verbatim when the variable is unset or
+/// rejected — callers using 0 as "auto/heuristic" get that back.
+uint64_t PowerOfTwoFromEnv(const char* name, uint64_t fallback,
+                           uint64_t max_value = UINT64_MAX);
+
 /// Parses environment variable `name` as a filesystem path. Returns
 /// `fallback` when unset. Values that are empty, whitespace-only, or
 /// contain control characters are rejected with a warning and fall back:

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "core/planner.h"
 
 namespace deeplens {
 namespace bench {
@@ -521,7 +522,10 @@ Result<QueryRun> BenchmarkWorkload::RunQ6(bool optimized) {
                         HashEqualityJoin(left.get(), right.get(),
                                          meta_keys::kFrameNo, residual,
                                          &stats));
-    run.plan = "hash index join on frameno + residual depth predicate";
+    // Explain which join core ran (radix vs shared-build) with its phase
+    // breakdown, same as scan plans report their access path.
+    run.plan =
+        Planner::ExplainJoin(meta_keys::kFrameNo, residual, stats).description;
   } else {
     auto left = MakeVectorSource(view->patches);
     auto right = MakeVectorSource(view->patches);

@@ -1,6 +1,8 @@
 #include "core/planner.h"
 
 #include <cmath>
+#include <iomanip>
+#include <sstream>
 #include <unordered_set>
 
 #include "exec/aggregates.h"
@@ -288,27 +290,55 @@ Result<std::optional<Patch>> Planner::ExecuteScanMinBy(
       [&] { return ParallelMinBy(view.patches, order_key, predicate); });
 }
 
+PlanExplanation Planner::ExplainJoin(const std::string& key,
+                                     const ExprPtr& residual,
+                                     const JoinStats& stats) {
+  PlanExplanation plan;
+  plan.index_key = key;
+  plan.candidates = stats.pairs_examined;
+  std::ostringstream desc;
+  desc << std::fixed << std::setprecision(2);
+  if (stats.partitions_used > 0) {
+    desc << "radix hash join on '" << key << "': " << stats.partitions_used
+         << " partitions, max skew " << stats.max_partition_skew
+         << "x; phase ms partition=" << stats.partition_millis
+         << " build=" << stats.index_build_millis
+         << " probe=" << stats.probe_millis
+         << " merge=" << stats.merge_millis;
+  } else {
+    desc << "shared-build hash join on '" << key
+         << "' (serial core); build ms=" << stats.index_build_millis;
+  }
+  plan.description = desc.str();
+  return AnnotateUdfUse(std::move(plan), residual);
+}
+
 double Planner::EstimateSimJoinCost(SimJoinStrategy strategy,
                                     size_t left_size, size_t right_size,
-                                    size_t dim) {
+                                    size_t dim, size_t workers) {
   const double n = static_cast<double>(left_size);
   const double m = static_cast<double>(right_size);
   const double d = static_cast<double>(dim);
+  const double w = static_cast<double>(std::max<size_t>(1, workers));
   switch (strategy) {
     case SimJoinStrategy::kNestedLoop:
-      // Every pair pays a full distance plus iterator overhead.
-      return n * m * (d + 8.0);
+      // Every pair pays a full distance plus iterator overhead; the outer
+      // loop is morsel-parallel.
+      return n * m * (d + 8.0) / w;
     case SimJoinStrategy::kBallTree: {
       // Build: a fixed setup constant plus m log m centroid work; probe:
       // n log m with an effectiveness factor that degrades with
       // dimensionality (the curse of dimensionality behind Figure 7's
-      // non-linearity).
+      // non-linearity). Build and probe both run on pool workers (the
+      // build parallelizes over subtrees), so they scale with w; only the
+      // setup constant doesn't.
       const double logm = std::log2(std::max(2.0, m));
       const double prune = std::min(1.0, 0.15 + d / 96.0);
-      return 2e3 + m * logm * d + n * (logm + prune * m) * d * 0.5;
+      return 2e3 + (m * logm * d + n * (logm + prune * m) * d * 0.5) / w;
     }
     case SimJoinStrategy::kAllPairs:
-      // Dense kernel: great constants, quadratic growth.
+      // Dense kernel: great constants, quadratic growth. Device-bound,
+      // not pool-bound — extra pool workers don't help it.
       return n * m * d * 0.25 + 5e4;  // fixed launch/setup overhead
   }
   return 0.0;
@@ -316,12 +346,14 @@ double Planner::EstimateSimJoinCost(SimJoinStrategy strategy,
 
 SimJoinStrategy Planner::ChooseSimilarityJoin(size_t left_size,
                                               size_t right_size, size_t dim,
-                                              bool gpu_available) {
+                                              bool gpu_available,
+                                              size_t workers) {
   SimJoinStrategy best = SimJoinStrategy::kNestedLoop;
-  double best_cost = EstimateSimJoinCost(best, left_size, right_size, dim);
+  double best_cost =
+      EstimateSimJoinCost(best, left_size, right_size, dim, workers);
   for (SimJoinStrategy s :
        {SimJoinStrategy::kBallTree, SimJoinStrategy::kAllPairs}) {
-    double cost = EstimateSimJoinCost(s, left_size, right_size, dim);
+    double cost = EstimateSimJoinCost(s, left_size, right_size, dim, workers);
     // A GPU discounts the dense kernel but not tree traversal.
     if (s == SimJoinStrategy::kAllPairs && gpu_available) cost *= 0.3;
     if (cost < best_cost) {

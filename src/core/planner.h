@@ -12,6 +12,7 @@
 
 #include "core/database.h"
 #include "exec/expression_patterns.h"
+#include "exec/joins.h"
 
 namespace deeplens {
 
@@ -89,20 +90,34 @@ class Planner {
       const ViewCache& view, const std::string& order_key,
       const ExprPtr& predicate, PlanExplanation* explanation);
 
+  /// Explains an executed equality join from its stats: which core ran
+  /// (radix vs shared-build), the per-phase timing breakdown, partition
+  /// fan-out and skew — with the residual's NN-UDF/cache usage annotated
+  /// like every other plan. Lets benchmarks and queries report *why* a
+  /// parallel join was fast or slow without rebuilding the bench.
+  static PlanExplanation ExplainJoin(const std::string& key,
+                                     const ExprPtr& residual,
+                                     const JoinStats& stats);
+
   /// Cost-model choice of similarity-join strategy. The Ball-Tree wins
   /// when the indexed side is large and dimensionality moderate; dense
   /// all-pairs wins on small inputs (index build overhead) or on a GPU
   /// with very large batches (paper §7.4.1-2: non-linear, data-dependent
   /// costs make this genuinely hard).
+  /// `workers` discounts the pool-parallel strategies (tree build and
+  /// probe are both morsel-parallel now; the dense device kernel is not
+  /// pool-bound). The default of 1 keeps the historical single-threaded
+  /// estimate; pass the live worker count for a plan-time choice.
   static SimJoinStrategy ChooseSimilarityJoin(size_t left_size,
                                               size_t right_size, size_t dim,
-                                              bool gpu_available);
+                                              bool gpu_available,
+                                              size_t workers = 1);
 
   /// Estimated cost (abstract units) used by ChooseSimilarityJoin;
   /// exposed for the cost-model tests and Figure 7 analysis.
   static double EstimateSimJoinCost(SimJoinStrategy strategy,
                                     size_t left_size, size_t right_size,
-                                    size_t dim);
+                                    size_t dim, size_t workers = 1);
 };
 
 }  // namespace deeplens

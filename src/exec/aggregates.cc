@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+#include "exec/radix.h"
 #include "index/balltree.h"
 
 namespace deeplens {
@@ -165,6 +167,85 @@ Result<std::vector<Partial>> AggregateMorsels(const PatchCollection& rows,
   return partials;
 }
 
+// Below this many partial entries (summed across morsels) the single
+// merge loop is faster than partitioning it; the gate keeps the tiny
+// group-count cases (a handful of labels) on the serial merge.
+constexpr size_t kPartitionedMergeMinEntries = 4096;
+
+// Partition-wise parallel merge of per-morsel hash-table partials: group
+// keys are scattered into hash partitions (each group lands wholly in one
+// partition), then every partition folds its groups across morsels *in
+// morsel order* — exactly the serial merge's fold order per group, so
+// floating-point sums stay bit-identical. `fold(slot, fresh, value)`
+// combines one partial value into the group's slot.
+template <typename V, typename FoldFn>
+Result<std::map<std::string, V>> MergeGroupPartials(
+    const std::vector<std::unordered_map<std::string, V>>& partials,
+    const MorselOptions& options, const FoldFn& fold) {
+  size_t entries = 0;
+  for (const auto& partial : partials) entries += partial.size();
+  const size_t workers = ResolveMorselWorkers(options);
+  if (workers <= 1 || ThreadPool::InWorker() ||
+      entries < kPartitionedMergeMinEntries) {
+    std::map<std::string, V> groups;
+    for (const auto& partial : partials) {
+      for (const auto& [group, value] : partial) {
+        auto [iter, inserted] = groups.emplace(group, V{});
+        fold(&iter->second, inserted, value);
+      }
+    }
+    return groups;
+  }
+
+  size_t log2_parts = 0;
+  while ((size_t{1} << log2_parts) < workers * 2 && log2_parts < 6) {
+    ++log2_parts;
+  }
+  const size_t num_parts = size_t{1} << log2_parts;
+
+  // Scatter each morsel's entries into per-partition buckets (parallel
+  // over morsels)...
+  std::vector<std::vector<std::vector<std::pair<std::string, V>>>> buckets(
+      partials.size());
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      partials.size(), PlanUnitTasks(partials.size(), options),
+      [&](size_t, size_t lo, size_t hi) -> Status {
+        for (size_t m = lo; m < hi; ++m) {
+          buckets[m].resize(num_parts);
+          for (const auto& [group, value] : partials[m]) {
+            const size_t p =
+                RadixPartitionOf(RadixHashKey(group), log2_parts);
+            buckets[m][p].emplace_back(group, value);
+          }
+        }
+        return Status::OK();
+      }));
+
+  // ...then fold each partition across morsels in morsel order (parallel
+  // over partitions; zero shared state).
+  std::vector<std::map<std::string, V>> part_groups(num_parts);
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      num_parts, PlanUnitTasks(num_parts, options),
+      [&](size_t, size_t lo, size_t hi) -> Status {
+        for (size_t p = lo; p < hi; ++p) {
+          std::map<std::string, V>& groups = part_groups[p];
+          for (auto& morsel : buckets) {
+            for (auto& [group, value] : morsel[p]) {
+              auto [iter, inserted] = groups.emplace(std::move(group), V{});
+              fold(&iter->second, inserted, value);
+            }
+          }
+        }
+        return Status::OK();
+      }));
+
+  std::map<std::string, V> groups;
+  for (std::map<std::string, V>& part : part_groups) {
+    groups.merge(part);
+  }
+  return groups;
+}
+
 }  // namespace
 
 Result<uint64_t> ParallelCount(const PatchCollection& rows,
@@ -192,11 +273,53 @@ Result<uint64_t> ParallelCountDistinctKey(const PatchCollection& rows,
                                    seen->insert(
                                        rows[i].meta().Get(key).ToIndexKey());
                                  })));
-  std::unordered_set<std::string> seen;
-  for (Partial& partial : partials) {
-    seen.merge(partial);
+  size_t entries = 0;
+  for (const Partial& partial : partials) entries += partial.size();
+  const size_t workers = ResolveMorselWorkers(options);
+  if (workers <= 1 || ThreadPool::InWorker() ||
+      entries < kPartitionedMergeMinEntries) {
+    std::unordered_set<std::string> seen;
+    for (Partial& partial : partials) {
+      seen.merge(partial);
+    }
+    return static_cast<uint64_t>(seen.size());
   }
-  return static_cast<uint64_t>(seen.size());
+  // Partition-wise distinct union: every key lands in exactly one hash
+  // partition, so per-partition set sizes sum to the global count.
+  size_t log2_parts = 0;
+  while ((size_t{1} << log2_parts) < workers * 2 && log2_parts < 6) {
+    ++log2_parts;
+  }
+  const size_t num_parts = size_t{1} << log2_parts;
+  std::vector<std::vector<std::vector<std::string>>> buckets(partials.size());
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      partials.size(), PlanUnitTasks(partials.size(), options),
+      [&](size_t, size_t lo, size_t hi) -> Status {
+        for (size_t m = lo; m < hi; ++m) {
+          buckets[m].resize(num_parts);
+          for (const std::string& k : partials[m]) {
+            buckets[m][RadixPartitionOf(RadixHashKey(k), log2_parts)]
+                .push_back(k);
+          }
+        }
+        return Status::OK();
+      }));
+  std::vector<uint64_t> part_counts(num_parts, 0);
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      num_parts, PlanUnitTasks(num_parts, options),
+      [&](size_t, size_t lo, size_t hi) -> Status {
+        for (size_t p = lo; p < hi; ++p) {
+          std::unordered_set<std::string> seen;
+          for (auto& morsel : buckets) {
+            for (std::string& k : morsel[p]) seen.insert(std::move(k));
+          }
+          part_counts[p] = seen.size();
+        }
+        return Status::OK();
+      }));
+  uint64_t total = 0;
+  for (uint64_t c : part_counts) total += c;
+  return total;
 }
 
 Result<std::map<std::string, uint64_t>> ParallelGroupByCount(
@@ -209,11 +332,9 @@ Result<std::map<std::string, uint64_t>> ParallelGroupByCount(
           rows, predicate, options, [&](Partial* groups, size_t i) {
             ++(*groups)[rows[i].meta().Get(key).ToDisplayString()];
           })));
-  std::map<std::string, uint64_t> groups;
-  for (const Partial& partial : partials) {
-    for (const auto& [group, count] : partial) groups[group] += count;
-  }
-  return groups;
+  return MergeGroupPartials<uint64_t>(
+      partials, options,
+      [](uint64_t* slot, bool, uint64_t count) { *slot += count; });
 }
 
 Result<std::map<std::string, double>> ParallelGroupByNumeric(
@@ -232,14 +353,10 @@ Result<std::map<std::string, double>> ParallelGroupByNumeric(
                 p.meta().Get(group_key).ToDisplayString(), 0.0);
             FoldNumeric(agg, num.value(), inserted, &iter->second);
           })));
-  std::map<std::string, double> groups;
-  for (const Partial& partial : partials) {
-    for (const auto& [group, value] : partial) {
-      auto [iter, inserted] = groups.emplace(group, 0.0);
-      FoldNumeric(agg, value, inserted, &iter->second);
-    }
-  }
-  return groups;
+  return MergeGroupPartials<double>(
+      partials, options, [agg](double* slot, bool fresh, double value) {
+        FoldNumeric(agg, value, fresh, slot);
+      });
 }
 
 Result<std::optional<Patch>> ParallelMinBy(const PatchCollection& rows,

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
+#include "exec/radix.h"
 
 namespace deeplens {
 
@@ -142,6 +144,187 @@ Result<std::vector<PatchTuple>> EmitPairsParallel(
   return MergePartials(&partials);
 }
 
+// --- Radix hash-join core ---------------------------------------------------
+
+// Below this combined input size the partition pass costs more than the
+// shared-build core's whole run; the radix path is only entered above it
+// (or when DEEPLENS_JOIN_PARTITIONS explicitly forces it).
+constexpr size_t kRadixMinRows = 4096;
+
+// One schedulable slice of a partition's probe rows. Build work is
+// per-partition, but probe parallelism is chunk-level so a single hot
+// partition (key skew) doesn't serialize the whole pass.
+struct ProbeChunk {
+  uint32_t part = 0;
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+};
+
+Result<std::vector<PatchTuple>> RadixHashJoin(
+    const PatchCollection& lhs, const PatchCollection& rhs,
+    const std::string& key, const CompiledPredicate& residual,
+    size_t num_parts, JoinStats* stats, const MorselOptions& options) {
+  const bool build_right = rhs.size() <= lhs.size();
+  const PatchCollection& build = build_right ? rhs : lhs;
+  const PatchCollection& probe = build_right ? lhs : rhs;
+
+  size_t log2_parts = 0;
+  while ((size_t{1} << log2_parts) < num_parts) ++log2_parts;
+  num_parts = size_t{1} << log2_parts;
+
+  // Phase 1: partition both inputs by key hash (morsel-parallel; NULL
+  // keys dropped). Keys are encoded and hashed exactly once here — the
+  // build and probe phases below reuse RadixRow::hash/key.
+  Stopwatch partition_timer;
+  RadixPartitions build_parts;
+  RadixPartitions probe_parts;
+  DL_RETURN_NOT_OK(
+      RadixPartitionByKey(build, key, log2_parts, options, &build_parts));
+  DL_RETURN_NOT_OK(
+      RadixPartitionByKey(probe, key, log2_parts, options, &probe_parts));
+  const double partition_ms = partition_timer.ElapsedMillis();
+
+  // Phase 2: per-partition local tables, zero shared state.
+  Stopwatch build_timer;
+  std::vector<LocalKeyTable> tables(num_parts);
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      num_parts, PlanUnitTasks(num_parts, options),
+      [&](size_t, size_t lo, size_t hi) -> Status {
+        for (size_t p = lo; p < hi; ++p) tables[p].Build(build_parts.parts[p]);
+        return Status::OK();
+      }));
+  const double build_ms = build_timer.ElapsedMillis();
+
+  // Phase 3: chunked probe. Within a chunk, probe rows ascend and each
+  // row's matches ascend, so chunk outputs concatenated in (partition,
+  // chunk) order list every left row's survivors in right-ascending
+  // order — which is all the stitch below needs.
+  Stopwatch probe_timer;
+  const size_t workers = ResolveMorselWorkers(options);
+  const size_t chunk_rows =
+      std::max<size_t>(kDefaultBatchSize,
+                       (probe_parts.rows_kept + workers * 16 - 1) /
+                           std::max<size_t>(1, workers * 16));
+  std::vector<ProbeChunk> chunks;  // canonical (partition, chunk) order
+  for (size_t p = 0; p < num_parts; ++p) {
+    const size_t rows = probe_parts.parts[p].size();
+    for (size_t lo = 0; lo < rows; lo += chunk_rows) {
+      chunks.push_back(ProbeChunk{static_cast<uint32_t>(p),
+                                  static_cast<uint32_t>(lo),
+                                  static_cast<uint32_t>(
+                                      std::min(rows, lo + chunk_rows))});
+    }
+  }
+  // Dispatch order interleaves partitions round-robin (every partition's
+  // first chunk, then every second chunk, ...): the pool schedules
+  // contiguous task ranges statically, so a skewed partition's chunks
+  // must not sit next to each other or one worker inherits the whole hot
+  // key range. Output slots stay canonical — scheduling order can't
+  // affect results.
+  std::vector<uint32_t> dispatch(chunks.size());
+  for (uint32_t i = 0; i < chunks.size(); ++i) dispatch[i] = i;
+  std::stable_sort(dispatch.begin(), dispatch.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return chunks[a].lo / chunk_rows <
+                            chunks[b].lo / chunk_rows;
+                   });
+
+  struct ChunkOut {
+    std::vector<PatchTuple> tuples;
+    std::vector<uint32_t> left_rows;  // left row id per surviving tuple
+  };
+  std::vector<ChunkOut> outs(chunks.size());
+  std::atomic<uint64_t> examined{0};
+  const bool no_residual = residual.always_true();
+  DL_RETURN_NOT_OK(DispatchMorsels(
+      chunks.size(), PlanUnitTasks(chunks.size(), options),
+      [&](size_t, size_t task_lo, size_t task_hi) -> Status {
+        std::vector<uint32_t> matches;
+        // Residual scratch: a 2-slot tuple whose patches are *assigned*
+        // per candidate rather than constructed, so a failing pair never
+        // pays tuple materialization — only the survivors are Concat'd.
+        PatchTuple scratch(2);
+        uint64_t local = 0;
+        for (size_t t = task_lo; t < task_hi; ++t) {
+          const size_t c = dispatch[t];
+          const ProbeChunk& chunk = chunks[c];
+          ChunkOut& out = outs[c];
+          const std::vector<RadixRow>& rows = probe_parts.parts[chunk.part];
+          const LocalKeyTable& table = tables[chunk.part];
+          for (size_t i = chunk.lo; i < chunk.hi; ++i) {
+            const RadixRow& pr = rows[i];
+            matches.clear();
+            table.Lookup(pr.hash, pr.key, &matches);
+            if (matches.empty()) continue;
+            const size_t probe_row = pr.row;
+            if (!no_residual) {
+              scratch[build_right ? 0 : 1] = probe[probe_row];
+            }
+            for (uint32_t b : matches) {
+              ++local;
+              const size_t l = build_right ? probe_row : b;
+              const size_t r = build_right ? b : probe_row;
+              if (!no_residual) {
+                scratch[build_right ? 1 : 0] = build[b];
+                DL_ASSIGN_OR_RETURN(bool pass, residual.EvalOne(scratch));
+                if (!pass) continue;
+              }
+              out.tuples.push_back(Concat(lhs[l], rhs[r]));
+              out.left_rows.push_back(static_cast<uint32_t>(l));
+            }
+          }
+        }
+        examined.fetch_add(local, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  const double probe_ms = probe_timer.ElapsedMillis();
+
+  // Phase 4: stitch back to canonical left-major order without a sort.
+  // Every left row's matches live in exactly one partition (its key
+  // hashes to one partition; NULL keys joined nothing), and they appear
+  // right-ascending across that partition's chunks — so counting
+  // survivors per left row, prefix-summing, and scattering chunk outputs
+  // in (partition, chunk) order reproduces the exact serial output in
+  // O(|lhs| + |output|).
+  Stopwatch merge_timer;
+  size_t total = 0;
+  for (const ChunkOut& o : outs) total += o.tuples.size();
+  std::vector<size_t> offsets(lhs.size() + 1, 0);
+  for (const ChunkOut& o : outs) {
+    for (uint32_t l : o.left_rows) ++offsets[l + 1];
+  }
+  for (size_t i = 1; i <= lhs.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<PatchTuple> result(total);
+  for (ChunkOut& o : outs) {
+    for (size_t i = 0; i < o.tuples.size(); ++i) {
+      result[offsets[o.left_rows[i]]++] = std::move(o.tuples[i]);
+    }
+  }
+  const double merge_ms = merge_timer.ElapsedMillis();
+
+  if (stats != nullptr) {
+    stats->pairs_examined = examined.load(std::memory_order_relaxed);
+    stats->tuples_emitted = result.size();
+    stats->index_build_millis = build_ms;
+    stats->partition_millis = partition_ms;
+    stats->probe_millis = probe_ms;
+    stats->merge_millis = merge_ms;
+    stats->partitions_used = num_parts;
+    const double avg =
+        static_cast<double>(build_parts.rows_kept + probe_parts.rows_kept) /
+        static_cast<double>(num_parts);
+    if (avg > 0) {
+      size_t max_rows = 0;
+      for (size_t p = 0; p < num_parts; ++p) {
+        max_rows = std::max(max_rows, build_parts.parts[p].size() +
+                                          probe_parts.parts[p].size());
+      }
+      stats->max_partition_skew = static_cast<double>(max_rows) / avg;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 // --- Nested-loop ------------------------------------------------------------
@@ -197,6 +380,25 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(const PatchCollection& lhs,
                                                  const ExprPtr& residual,
                                                  JoinStats* stats,
                                                  const MorselOptions& options) {
+  const CompiledPredicate compiled(residual);
+
+  // The radix core wins when the probe work is large enough to amortize
+  // its partition pass; the shared-build core below stays the serial /
+  // small-join path. An explicit DEEPLENS_JOIN_PARTITIONS override forces
+  // radix on any parallel plan (the differential tests rely on this to
+  // exercise it at small sizes).
+  const size_t workers = ResolveMorselWorkers(options);
+  const uint64_t part_override = JoinPartitionOverride();
+  const bool parallel_plan = workers > 1 && !ThreadPool::InWorker();
+  if (parallel_plan &&
+      (part_override > 0 || lhs.size() + rhs.size() >= kRadixMinRows)) {
+    const size_t parts =
+        part_override > 0
+            ? static_cast<size_t>(part_override)
+            : ChooseJoinPartitions(std::min(lhs.size(), rhs.size()), workers);
+    return RadixHashJoin(lhs, rhs, key, compiled, parts, stats, options);
+  }
+
   // Single-pass shared build over the smaller input; the larger side is
   // probed morsel-parallel so the parallelism scales with the probe work.
   const bool build_right = rhs.size() <= lhs.size();
@@ -214,7 +416,6 @@ Result<std::vector<PatchTuple>> HashEqualityJoin(const PatchCollection& lhs,
   }
   const double build_ms = build_timer.ElapsedMillis();
 
-  const CompiledPredicate compiled(residual);
   std::vector<PatchTuple> out;
   uint64_t examined = 0;
   if (build_right) {

@@ -17,11 +17,26 @@
 
 namespace deeplens {
 
-/// Counters the benchmarks report (pairs examined vs emitted).
+/// Counters the benchmarks report (pairs examined vs emitted), plus the
+/// radix join's per-phase breakdown so a parallel-join regression is
+/// diagnosable from query output (Explain) instead of a bench rebuild.
 struct JoinStats {
   uint64_t pairs_examined = 0;
   uint64_t tuples_emitted = 0;
+  /// Index/table build time. On the radix path this is the per-partition
+  /// table-build phase; on the shared-build core, the single index build.
   double index_build_millis = 0.0;
+  /// Radix-only phases; all zero when the shared-build core ran.
+  double partition_millis = 0.0;
+  double probe_millis = 0.0;
+  double merge_millis = 0.0;
+  /// Partitions the radix pass fanned out to (0 = shared-build core).
+  uint64_t partitions_used = 0;
+  /// max partition size / mean partition size over both inputs' non-NULL
+  /// rows; 1.0 is perfectly uniform. Large values mean key skew
+  /// concentrated work in few partitions (probe chunking still balances
+  /// it, but the partition pass can't).
+  double max_partition_skew = 0.0;
 };
 
 // Every join materializes both sides, so each comes in three flavours
@@ -53,13 +68,28 @@ Result<std::vector<PatchTuple>> NestedLoopJoin(
     const ExprPtr& predicate,
     JoinStats* stats = nullptr, const MorselOptions& options = {});
 
-/// \brief Hash equality join on a metadata key: one shared single-pass
-/// HashIndex build over the smaller input, then a morsel-parallel probe
-/// with the other. An optional `residual` predicate filters matched pairs.
-/// NULL keys never match (SQL equality, like Eq(attr, attr) through the
-/// expression engine). Output order is canonical regardless of build
-/// side: left input order, with each left row's matches in right input
-/// order.
+/// \brief Hash equality join on a metadata key. Two cores behind one
+/// interface:
+///
+/// - Radix-partitioned (the parallel path): both inputs are hashed into
+///   2^k partitions (k from worker count and build cardinality, or the
+///   DEEPLENS_JOIN_PARTITIONS override), each partition gets its own
+///   local build table with zero shared state, probes run chunk-parallel
+///   within partitions, and the output is stitched back into canonical
+///   order by a counts/prefix-sum/scatter pass keyed on the left row id —
+///   no global sort. Chosen when the morsel plan is parallel and the
+///   combined input is large enough (or the partition override is set).
+/// - Shared-build (the serial core): one single-pass HashIndex over the
+///   smaller input, morsel-parallel probe. Small joins and forced-serial
+///   runs (`MorselOptions{.num_threads = 1}`) take this path, so tiny
+///   joins never pay the partition pass.
+///
+/// An optional `residual` predicate filters matched pairs. NULL keys
+/// never match (SQL equality, like Eq(attr, attr) through the expression
+/// engine). Output order is canonical on both cores regardless of build
+/// side — left input order, with each left row's matches in right input
+/// order — so results are byte-identical across cores, worker counts and
+/// partition counts.
 Result<std::vector<PatchTuple>> HashEqualityJoin(
     PatchIterator* left, PatchIterator* right, const std::string& key,
     const ExprPtr& residual = nullptr, JoinStats* stats = nullptr);

@@ -33,6 +33,23 @@ MorselPlan PlanMorsels(size_t n, const MorselOptions& options) {
   return plan;
 }
 
+size_t ResolveMorselWorkers(const MorselOptions& options) {
+  ThreadPool& pool = ThreadPool::Global();
+  size_t threads = options.num_threads == 0
+                       ? pool.num_threads()
+                       : std::min(options.num_threads, pool.num_threads());
+  return threads == 0 ? 1 : threads;
+}
+
+MorselPlan PlanUnitTasks(size_t n, const MorselOptions& options) {
+  MorselPlan plan;
+  plan.morsel_size = 1;
+  plan.num_morsels = n;
+  plan.parallel = ResolveMorselWorkers(options) > 1 && n > 1 &&
+                  !ThreadPool::InWorker();
+  return plan;
+}
+
 Status DispatchMorsels(size_t n, const MorselPlan& plan,
                        const std::function<Status(size_t, size_t, size_t)>&
                            worker) {

@@ -57,6 +57,19 @@ struct MorselPlan {
 
 MorselPlan PlanMorsels(size_t n, const MorselOptions& options);
 
+/// Effective worker count `options` resolves to against the global pool
+/// (>= 1; 1 means forced-serial). The radix join uses this to size its
+/// partition fan-out, and the bench harness to report per-case worker
+/// counts.
+size_t ResolveMorselWorkers(const MorselOptions& options);
+
+/// Plan for dispatching `n` explicitly pre-sliced work units (e.g. one
+/// radix partition, or one probe chunk of a partition) rather than
+/// contiguous row ranges: every unit is its own morsel. Parallel under
+/// the same rules as PlanMorsels (worker cap, nested-invocation
+/// degradation).
+MorselPlan PlanUnitTasks(size_t n, const MorselOptions& options);
+
 /// Runs worker(morsel_index, lo, hi) over every morsel of an n-row input,
 /// on the global pool when the plan allows, serially otherwise. Each
 /// worker owns its morsel's output slot, so merging per-morsel results in

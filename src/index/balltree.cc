@@ -4,9 +4,18 @@
 #include <cmath>
 #include <queue>
 
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace deeplens {
+
+namespace {
+
+// Below this many points the split work per level is too small to
+// amortize dispatching subtree tasks to pool workers.
+constexpr uint32_t kParallelBuildMinPoints = 2048;
+
+}  // namespace
 
 BallTree::BallTree(int leaf_size)
     : leaf_size_(leaf_size < 2 ? 2 : leaf_size) {}
@@ -31,35 +40,99 @@ Status BallTree::Build(std::vector<float> points, size_t dim,
   rows_ = std::move(rows);
   perm_.resize(n);
   for (size_t i = 0; i < n; ++i) perm_[i] = static_cast<uint32_t>(i);
-  nodes_.clear();
-  centroids_.clear();
   max_depth_ = 0;
   distance_evals_ = 0;
-  if (n > 0) {
-    BuildRec(0, static_cast<uint32_t>(n), 1);
+  nodes_.clear();
+  centroids_.clear();
+  if (n == 0) return Status::OK();
+
+  // Every node's slot is known up front (pre-order layout, see header),
+  // so both the serial and parallel builds write into preallocated
+  // storage and produce identical bytes.
+  const uint32_t total = NodeCountFor(static_cast<uint32_t>(n),
+                                      static_cast<uint32_t>(leaf_size_));
+  nodes_.assign(total, Node{});
+  centroids_.assign(static_cast<size_t>(total) * dim_, 0.0f);
+
+  ThreadPool& pool = ThreadPool::Global();
+  const bool parallel = n >= kParallelBuildMinPoints &&
+                        pool.num_threads() > 1 && !ThreadPool::InWorker();
+  if (!parallel) {
+    uint64_t depth = 0;
+    BuildAt(0, 0, static_cast<uint32_t>(n), 1, &depth);
+    max_depth_ = depth;
+    return Status::OK();
   }
+
+  // Parallel build: split the top levels serially (each split must finish
+  // permuting its range before its children can start), collecting
+  // subtree tasks until there are enough to keep the pool busy, then
+  // build the subtrees concurrently — each writes a disjoint node /
+  // centroid / perm range.
+  struct SubtreeTask {
+    int32_t node = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    int depth = 1;
+  };
+  std::vector<SubtreeTask> tasks{{0, 0, static_cast<uint32_t>(n), 1}};
+  uint64_t descend_depth = 1;
+  const size_t target_tasks = pool.num_threads() * 4;
+  bool split_any = true;
+  while (tasks.size() < target_tasks && split_any) {
+    split_any = false;
+    std::vector<SubtreeTask> next;
+    next.reserve(tasks.size() * 2);
+    for (const SubtreeTask& t : tasks) {
+      if (t.end - t.begin <= static_cast<uint32_t>(leaf_size_)) {
+        next.push_back(t);
+        continue;
+      }
+      descend_depth = std::max<uint64_t>(descend_depth,
+                                         static_cast<uint64_t>(t.depth));
+      FillNodeGeometry(t.node, t.begin, t.end);
+      const uint32_t split = SplitInternal(t.node, t.begin, t.end);
+      const Node& node = nodes_[static_cast<size_t>(t.node)];
+      next.push_back(SubtreeTask{node.left, t.begin, split, t.depth + 1});
+      next.push_back(SubtreeTask{node.right, split, t.end, t.depth + 1});
+      split_any = true;
+    }
+    tasks.swap(next);
+  }
+  std::vector<uint64_t> depths(tasks.size(), 0);
+  pool.ParallelFor(
+      0, tasks.size(),
+      [&](size_t i) {
+        BuildAt(tasks[i].node, tasks[i].begin, tasks[i].end, tasks[i].depth,
+                &depths[i]);
+      },
+      1);
+  max_depth_ = descend_depth;
+  for (uint64_t d : depths) max_depth_ = std::max(max_depth_, d);
   return Status::OK();
 }
 
-int32_t BallTree::BuildRec(uint32_t begin, uint32_t end, int depth) {
-  max_depth_ = std::max<uint64_t>(max_depth_, static_cast<uint64_t>(depth));
-  const int32_t node_idx = static_cast<int32_t>(nodes_.size());
-  nodes_.push_back(Node{});
-  const uint32_t centroid_off =
-      static_cast<uint32_t>(centroids_.size() / dim_);
-  centroids_.resize(centroids_.size() + dim_, 0.0f);
+uint32_t BallTree::NodeCountFor(uint32_t count, uint32_t leaf_size) {
+  if (count <= leaf_size) return 1;
+  // The median split is a pure function of count (the degenerate guards
+  // in SplitInternal can't fire for count >= 3, and internal nodes always
+  // have count > leaf_size >= 2).
+  const uint32_t mid = count / 2;
+  return 1 + NodeCountFor(mid, leaf_size) +
+         NodeCountFor(count - mid, leaf_size);
+}
 
-  // Centroid = mean of the points in range.
-  {
-    float* c = centroids_.data() + static_cast<size_t>(centroid_off) * dim_;
-    for (uint32_t i = begin; i < end; ++i) {
-      const float* p = PointAt(i);
-      for (size_t d = 0; d < dim_; ++d) c[d] += p[d];
-    }
-    const float inv = 1.0f / static_cast<float>(end - begin);
-    for (size_t d = 0; d < dim_; ++d) c[d] *= inv;
+void BallTree::FillNodeGeometry(int32_t node_idx, uint32_t begin,
+                                uint32_t end) {
+  // Centroid = mean of the points in range; stored at offset node_idx
+  // (one centroid per node, pre-order).
+  float* c = centroids_.data() + static_cast<size_t>(node_idx) * dim_;
+  for (uint32_t i = begin; i < end; ++i) {
+    const float* p = PointAt(i);
+    for (size_t d = 0; d < dim_; ++d) c[d] += p[d];
   }
-  const float* c = centroids_.data() + static_cast<size_t>(centroid_off) * dim_;
+  const float inv = 1.0f / static_cast<float>(end - begin);
+  for (size_t d = 0; d < dim_; ++d) c[d] *= inv;
 
   // Covering radius.
   float r2max = 0.0f;
@@ -71,11 +144,12 @@ int32_t BallTree::BuildRec(uint32_t begin, uint32_t end, int depth) {
   node.begin = begin;
   node.end = end;
   node.radius = std::sqrt(r2max);
-  node.centroid = centroid_off;
+  node.centroid = static_cast<uint32_t>(node_idx);
+}
 
-  if (end - begin <= static_cast<uint32_t>(leaf_size_)) {
-    return node_idx;  // leaf
-  }
+uint32_t BallTree::SplitInternal(int32_t node_idx, uint32_t begin,
+                                 uint32_t end) {
+  const float* c = centroids_.data() + static_cast<size_t>(node_idx) * dim_;
 
   // Split direction: the vector between the two approximately-farthest
   // points (standard ball-tree construction). Pick p1 far from centroid,
@@ -134,15 +208,29 @@ int32_t BallTree::BuildRec(uint32_t begin, uint32_t end, int depth) {
   std::copy(rearranged.begin(), rearranged.end(), perm_.begin() + begin);
 
   // Degenerate split guard (all projections equal): force a halfway cut.
+  // Dead for count >= 3 (mid is in [1, count-1]), which NodeCountFor's
+  // pure-function-of-count invariant relies on.
   uint32_t split = begin + mid;
   if (split == begin) split = begin + 1;
   if (split == end) split = end - 1;
 
-  const int32_t left = BuildRec(begin, split, depth + 1);
-  const int32_t right = BuildRec(split, end, depth + 1);
-  nodes_[static_cast<size_t>(node_idx)].left = left;
-  nodes_[static_cast<size_t>(node_idx)].right = right;
-  return node_idx;
+  Node& node = nodes_[static_cast<size_t>(node_idx)];
+  node.left = node_idx + 1;
+  node.right = node_idx + 1 +
+               static_cast<int32_t>(NodeCountFor(
+                   split - begin, static_cast<uint32_t>(leaf_size_)));
+  return split;
+}
+
+void BallTree::BuildAt(int32_t node_idx, uint32_t begin, uint32_t end,
+                       int depth, uint64_t* max_depth) {
+  *max_depth = std::max<uint64_t>(*max_depth, static_cast<uint64_t>(depth));
+  FillNodeGeometry(node_idx, begin, end);
+  if (end - begin <= static_cast<uint32_t>(leaf_size_)) return;  // leaf
+  const uint32_t split = SplitInternal(node_idx, begin, end);
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  BuildAt(node.left, begin, split, depth + 1, max_depth);
+  BuildAt(node.right, split, end, depth + 1, max_depth);
 }
 
 void BallTree::RangeSearch(const float* query, float radius,

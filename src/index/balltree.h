@@ -65,7 +65,25 @@ class BallTree {
     uint32_t centroid = 0;  // offset into centroids_ (units of dim_)
   };
 
-  int32_t BuildRec(uint32_t begin, uint32_t end, int depth);
+  // The tree is laid out pre-order with every node's slot computed up
+  // front: a range of `count` points always produces NodeCountFor(count)
+  // nodes (the median split is a pure function of count), so a node at
+  // index i has its left child at i+1 and its right child at
+  // i+1+NodeCountFor(left_count), and its centroid lives at offset i.
+  // That makes subtree builds independent writers into disjoint
+  // preallocated ranges — the parallel build dispatches subtrees to pool
+  // workers and still produces a byte-identical layout to the serial one.
+  static uint32_t NodeCountFor(uint32_t count, uint32_t leaf_size);
+  // Fills node geometry (range, centroid, covering radius) for the node
+  // at `node_idx` over perm_[begin, end).
+  void FillNodeGeometry(int32_t node_idx, uint32_t begin, uint32_t end);
+  // Splits an internal node: picks the far-pair axis, permutes the range
+  // around the median projection, links the children's preallocated
+  // indexes, and returns the split point.
+  uint32_t SplitInternal(int32_t node_idx, uint32_t begin, uint32_t end);
+  // Serial recursive build of the subtree rooted at node_idx.
+  void BuildAt(int32_t node_idx, uint32_t begin, uint32_t end, int depth,
+               uint64_t* max_depth);
   const float* PointAt(uint32_t perm_idx) const {
     return points_.data() + static_cast<size_t>(perm_[perm_idx]) * dim_;
   }

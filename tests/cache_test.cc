@@ -372,6 +372,48 @@ TEST(EnvKnobTest, GarbageZeroNegativeAndOverflowRejected) {
   EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_TEST_KNOB", 5, /*max_value=*/8), 5u);
 }
 
+TEST(EnvKnobTest, PowerOfTwoKnobClampsAndRejectsLikeNumThreads) {
+  // Same rejection matrix as the DEEPLENS_NUM_THREADS knob above: every
+  // garbage spelling falls back, so a typo in DEEPLENS_JOIN_PARTITIONS
+  // degrades to the partition-count heuristic instead of crashing or
+  // silently doing something surprising.
+  EnvGuard guard("DEEPLENS_TEST_KNOB");
+  for (const char* bad :
+       {"0", "-3", "abc", "12abc", "", " 4", "99999999999999999999999"}) {
+    guard.Set(bad);
+    EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 5), 5u)
+        << "value: '" << bad << "'";
+  }
+
+  // Exact powers of two pass through untouched.
+  for (const char* good : {"1", "2", "64", "1024"}) {
+    guard.Set(good);
+    EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 5),
+              std::strtoull(good, nullptr, 10))
+        << "value: '" << good << "'";
+  }
+
+  // Non-powers clamp DOWN to the nearest power of two (with a warning)
+  // rather than being rejected — the operator asked for roughly that
+  // much parallelism and should get it.
+  guard.Set("6");
+  EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 5), 4u);
+  guard.Set("1000");
+  EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 5), 512u);
+
+  // Values above max_value are rejected by the underlying positive-int
+  // parse before any clamping happens.
+  guard.Set("4096");
+  EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 5, /*max_value=*/256),
+            5u);
+
+  // Unset → fallback verbatim, even when the fallback itself is not a
+  // power of two (0-as-auto callers rely on this).
+  guard.Unset();
+  EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 0), 0u);
+  EXPECT_EQ(PowerOfTwoFromEnv("DEEPLENS_TEST_KNOB", 5), 5u);
+}
+
 TEST(EnvKnobTest, ZeroAllowedWhenOptedIn) {
   EnvGuard guard("DEEPLENS_TEST_KNOB");
   guard.Set("0");

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
@@ -244,6 +245,151 @@ TEST(ParallelHashJoinTest, RepeatedRunsAreDeterministic) {
   }
 }
 
+// --- Radix-partitioned hash join --------------------------------------------
+
+// Restores (or clears) an env var on scope exit so the radix override
+// cannot leak into other tests. Mirrors the guard in cache_test.cc.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void Set(const char* value) { ::setenv(name_, value, 1); }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(RadixHashJoinTest, EnvForcedRadixMatchesOracleAcrossPartitionEdges) {
+  // DEEPLENS_JOIN_PARTITIONS forces the radix core onto inputs far below
+  // its natural row threshold, so the oracle stays affordable. Partition
+  // counts cover the degenerate edges: 1 (everything in one partition)
+  // and 256 (more partitions than rows — most partitions empty).
+  struct Variant {
+    const char* label;
+    InputSpec spec;
+  };
+  std::vector<Variant> variants;
+  {
+    InputSpec uniform;
+    uniform.n = 180;
+    uniform.num_keys = 13;
+    variants.push_back({"uniform", uniform});
+    InputSpec skewed = uniform;
+    skewed.skew = 0.85;
+    skewed.num_keys = 4;
+    variants.push_back({"skewed", skewed});
+    InputSpec null_heavy = uniform;
+    null_heavy.null_fraction = 0.6;
+    variants.push_back({"null_heavy", null_heavy});
+    InputSpec all_dup = uniform;
+    all_dup.num_keys = 1;  // every keyed row joins every keyed row
+    all_dup.n = 120;
+    variants.push_back({"all_duplicate", all_dup});
+  }
+
+  EnvGuard guard("DEEPLENS_JOIN_PARTITIONS");
+  int round = 0;
+  for (const Variant& v : variants) {
+    InputSpec left_spec = v.spec;
+    left_spec.seed = 42000 + static_cast<uint64_t>(round);
+    InputSpec right_spec = left_spec;
+    right_spec.seed += 991;
+    right_spec.n = left_spec.n / 2 + 1;
+    const PatchCollection lhs = MakeInput(left_spec);
+    const PatchCollection rhs = MakeInput(right_spec);
+    const ExprPtr residual = JoinResidual(round);
+
+    const ExprPtr key_eq = Eq(Attr(0, "k"), Attr(1, "k"));
+    auto expected =
+        OracleJoin(lhs, rhs, residual ? And(key_eq, residual) : key_eq);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    for (const char* parts : {"1", "4", "256"}) {
+      guard.Set(parts);
+      JoinStats stats;
+      auto radix_out = HashEqualityJoin(lhs, rhs, "k", residual, &stats);
+      ASSERT_TRUE(radix_out.ok()) << radix_out.status().ToString();
+      EXPECT_EQ(BytesOf(*radix_out), BytesOf(*expected))
+          << v.label << " partitions " << parts;
+      EXPECT_EQ(stats.partitions_used, std::strtoull(parts, nullptr, 10))
+          << v.label;
+      EXPECT_EQ(stats.tuples_emitted, expected->size()) << v.label;
+    }
+    ++round;
+  }
+}
+
+TEST(RadixHashJoinTest, NaturalThresholdMatchesSerialCore) {
+  // Above kRadixMinRows combined input the radix core engages without the
+  // env override; the serial core (oracle-validated above) is the
+  // reference. Skew concentrates ~half of each side on one key.
+  InputSpec spec;
+  spec.seed = 4242;
+  spec.n = 3000;
+  spec.num_keys = 64;
+  spec.skew = 0.5;
+  spec.null_fraction = 0.1;
+  const PatchCollection lhs = MakeInput(spec);
+  spec.seed = 4243;
+  spec.n = 1500;
+  const PatchCollection rhs = MakeInput(spec);
+  const ExprPtr residual = JoinResidual(1);
+
+  MorselOptions serial;
+  serial.num_threads = 1;
+  JoinStats serial_stats;
+  auto serial_out =
+      HashEqualityJoin(lhs, rhs, "k", residual, &serial_stats, serial);
+  ASSERT_TRUE(serial_out.ok());
+  EXPECT_EQ(serial_stats.partitions_used, 0u) << "serial plan must not radix";
+
+  JoinStats stats;
+  auto radix_out = HashEqualityJoin(lhs, rhs, "k", residual, &stats);
+  ASSERT_TRUE(radix_out.ok());
+  EXPECT_EQ(BytesOf(*radix_out), BytesOf(*serial_out));
+  EXPECT_GT(stats.partitions_used, 0u)
+      << "combined input above threshold must take the radix core";
+  EXPECT_GE(stats.max_partition_skew, 1.0);
+}
+
+TEST(RadixHashJoinTest, RepeatedRunsAreDeterministic) {
+  // The chunked probe dispatches work in a scheduling-dependent order;
+  // the canonical-slot stitch must erase that from the output.
+  EnvGuard guard("DEEPLENS_JOIN_PARTITIONS");
+  guard.Set("8");
+  InputSpec spec;
+  spec.seed = 606;
+  spec.n = 900;
+  spec.num_keys = 5;
+  spec.skew = 0.6;
+  spec.null_fraction = 0.2;
+  const PatchCollection lhs = MakeInput(spec);
+  spec.seed = 607;
+  spec.n = 400;
+  const PatchCollection rhs = MakeInput(spec);
+
+  auto first = HashEqualityJoin(lhs, rhs, "k", JoinResidual(1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->size(), 0u);
+  for (int rep = 0; rep < 4; ++rep) {
+    auto again = HashEqualityJoin(lhs, rhs, "k", JoinResidual(1));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(BytesOf(*again), BytesOf(*first)) << "rep " << rep;
+  }
+}
+
 // --- Nested-loop θ-join -----------------------------------------------------
 
 TEST(ParallelNestedLoopJoinTest, MatchesSerialCoreAndVolcanoOracle) {
@@ -429,6 +575,46 @@ TEST(ParallelAggregateTest, MatchesVolcanoOracleOnRandomizedInputs) {
         }
       }
     }
+  }
+}
+
+TEST(ParallelAggregateTest, PartitionedMergeHighCardinalityMatchesSerial) {
+  // Enough distinct groups that the summed per-morsel partials clear the
+  // partitioned-merge gate (kPartitionedMergeMinEntries), forcing the
+  // radix scatter + partition-wise fold instead of the serial map merge.
+  Rng rng(0xcafe);
+  PatchCollection rows;
+  rows.reserve(12000);
+  for (size_t i = 0; i < 12000; ++i) {
+    Patch p;
+    p.set_id(static_cast<PatchId>(i + 1));
+    p.set_ref(ImgRef{"hicard", static_cast<int64_t>(i), kInvalidPatchId});
+    p.set_bbox(nn::BBox{0, 0, 8, 8});
+    p.mutable_meta().Set("g", "grp" + std::to_string(rng.NextU64Below(6000)));
+    p.mutable_meta().Set("v", rng.NextInt(-1000, 1000));
+    rows.push_back(std::move(p));
+  }
+
+  MorselOptions serial;
+  serial.num_threads = 1;
+  auto serial_counts = ParallelGroupByCount(rows, "g", nullptr, serial);
+  auto serial_sums =
+      ParallelGroupByNumeric(rows, "g", "v", NumericAgg::kSum, nullptr,
+                             serial);
+  auto serial_distinct =
+      ParallelCountDistinctKey(rows, "g", nullptr, serial);
+  ASSERT_TRUE(serial_counts.ok() && serial_sums.ok() && serial_distinct.ok());
+  EXPECT_GT(serial_counts->size(), 4096u)
+      << "cardinality must clear the partitioned-merge gate";
+
+  for (int rep = 0; rep < 3; ++rep) {
+    auto counts = ParallelGroupByCount(rows, "g");
+    auto sums = ParallelGroupByNumeric(rows, "g", "v", NumericAgg::kSum);
+    auto distinct = ParallelCountDistinctKey(rows, "g");
+    ASSERT_TRUE(counts.ok() && sums.ok() && distinct.ok());
+    EXPECT_EQ(*counts, *serial_counts) << "rep " << rep;
+    EXPECT_EQ(*sums, *serial_sums) << "rep " << rep;
+    EXPECT_EQ(*distinct, *serial_distinct) << "rep " << rep;
   }
 }
 
