@@ -5,14 +5,18 @@
 // across engines before timing is reported, and all timings are emitted
 // to BENCH_pipeline.json for the perf trajectory.
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "cache/inference_cache.h"
+#include "cache/inflight.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -22,6 +26,10 @@
 #include "exec/joins.h"
 #include "exec/operators.h"
 #include "exec/pipeline.h"
+#include "exec/scheduler.h"
+#include "nn/device.h"
+#include "nn/models.h"
+#include "sim/scene.h"
 
 namespace deeplens {
 namespace bench {
@@ -135,7 +143,8 @@ struct JsonCase {
 };
 
 void WriteJson(const std::vector<JsonCase>& cases, size_t rows,
-               size_t join_left, size_t join_right) {
+               size_t join_left, size_t join_right,
+               double serving_dedup_rate) {
   std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
   if (f == nullptr) {
     std::printf("WARNING: could not open BENCH_pipeline.json for writing\n");
@@ -144,6 +153,7 @@ void WriteJson(const std::vector<JsonCase>& cases, size_t rows,
   std::fprintf(f, "{\n  \"bench\": \"micro_pipeline_batch\",\n");
   std::fprintf(f, "  \"scan_rows\": %zu,\n", rows);
   std::fprintf(f, "  \"join_rows\": [%zu, %zu],\n", join_left, join_right);
+  std::fprintf(f, "  \"serving_dedup_rate\": %.4f,\n", serving_dedup_rate);
   std::fprintf(f, "  \"workers\": %zu,\n  \"cases\": [\n",
                ThreadPool::Global().num_threads());
   for (size_t i = 0; i < cases.size(); ++i) {
@@ -367,6 +377,199 @@ int Run() {
               agg_parallel_4w_t.best_ms,
               agg_serial_t.best_ms / agg_parallel_4w_t.best_ms);
 
+  // --- Serving phase: concurrent sessions through the fair-share -------
+  // --- scheduler: throughput scaling, tail-latency isolation, dedup ----
+  constexpr size_t kServeRows = 20000;  // ~20 morsels/unit at batch 1024
+  constexpr int kServeUnits = 16;
+  constexpr int kServeSessions = 4;
+  const PatchCollection serve_view = SyntheticView(kServeRows);
+  MorselOptions serve_opts;
+  serve_opts.num_threads = 4;
+  auto serve_unit = [&]() -> uint64_t {
+    BatchPipeline pipeline;
+    pipeline.Filter(predicate).Map(Annotate);
+    auto out = pipeline.RunOnPatches(serve_view, serve_opts);
+    DL_CHECK_OK(out.status());
+    return out->size();
+  };
+
+  // Aggregate throughput: the same 16 work units, issued by one session
+  // vs spread over four concurrent sessions. The gate is a *floor* on
+  // concurrent/solo: the serving layer's locking and interleaving must
+  // not make concurrency lose; on multi-core machines the ratio rises
+  // above 1 for free.
+  Timing serving_solo_t;
+  Timing serving_concurrent_t;
+  uint64_t solo_rows = 0;
+  std::atomic<uint64_t> concurrent_rows{0};
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch solo_timer;
+    {
+      ScopedSchedulingContext scope(SchedulingContext{"solo", 1});
+      solo_rows = 0;
+      for (int u = 0; u < kServeUnits; ++u) solo_rows += serve_unit();
+    }
+    const double solo_ms = solo_timer.ElapsedMillis();
+    serving_solo_t.best_ms = std::min(serving_solo_t.best_ms, solo_ms);
+    serving_solo_t.rows_out = solo_rows;
+
+    concurrent_rows = 0;
+    std::vector<std::thread> sessions;
+    Stopwatch concurrent_timer;
+    for (int s = 0; s < kServeSessions; ++s) {
+      sessions.emplace_back([&, s]() {
+        ScopedSchedulingContext scope(
+            SchedulingContext{"tenant" + std::to_string(s), 1});
+        uint64_t rows = 0;
+        for (int u = 0; u < kServeUnits / kServeSessions; ++u) {
+          rows += serve_unit();
+        }
+        concurrent_rows += rows;
+      });
+    }
+    for (auto& t : sessions) t.join();
+    const double conc_ms = concurrent_timer.ElapsedMillis();
+    serving_concurrent_t.best_ms =
+        std::min(serving_concurrent_t.best_ms, conc_ms);
+    serving_concurrent_t.rows_out = concurrent_rows.load();
+  }
+  if (serving_solo_t.rows_out != serving_concurrent_t.rows_out) {
+    std::printf("SERVING MISMATCH: solo rows %" PRIu64
+                " != concurrent rows %" PRIu64 "\n",
+                serving_solo_t.rows_out, serving_concurrent_t.rows_out);
+    return 1;
+  }
+
+  // Tail-latency isolation: p95 of a short query alone vs under a
+  // long-running scan that keeps ~100 morsels queued. Stride scheduling
+  // caps how far the short query's morsels sink behind the scan's; FIFO
+  // dispatch would push loaded p95 toward the full scan duration.
+  constexpr size_t kShortRows = 6000;  // ~6 morsels: parallel, but short
+  constexpr int kShortIters = 40;
+  const PatchCollection short_view = SyntheticView(kShortRows);
+  auto short_query = [&]() {
+    BatchPipeline pipeline;
+    pipeline.Filter(predicate).Map(Annotate);
+    auto out = pipeline.RunOnPatches(short_view, serve_opts);
+    DL_CHECK_OK(out.status());
+    return out->size();
+  };
+  auto p95_of = [](std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() * 95 / 100];
+  };
+  std::vector<double> solo_lat;
+  {
+    ScopedSchedulingContext scope(SchedulingContext{"dash", 1});
+    for (int i = 0; i < kShortIters; ++i) {
+      Stopwatch timer;
+      short_query();
+      solo_lat.push_back(timer.ElapsedMillis());
+    }
+  }
+  std::atomic<bool> stop_scan{false};
+  std::thread long_scan([&]() {
+    ScopedSchedulingContext scope(SchedulingContext{"batch", 1});
+    while (!stop_scan.load(std::memory_order_relaxed)) {
+      BatchPipeline pipeline;
+      pipeline.Filter(predicate).Map(Annotate);
+      DL_CHECK_OK(pipeline.RunOnPatches(view, serve_opts).status());
+    }
+  });
+  std::vector<double> loaded_lat;
+  {
+    ScopedSchedulingContext scope(SchedulingContext{"dash", 1});
+    for (int i = 0; i < kShortIters; ++i) {
+      Stopwatch timer;
+      short_query();
+      loaded_lat.push_back(timer.ElapsedMillis());
+    }
+  }
+  stop_scan = true;
+  long_scan.join();
+  Timing short_solo_t;
+  short_solo_t.best_ms = p95_of(solo_lat);
+  short_solo_t.rows_out = kShortIters;
+  Timing short_loaded_t;
+  short_loaded_t.best_ms = p95_of(loaded_lat);
+  short_loaded_t.rows_out = kShortIters;
+
+  // In-flight dedup: 4 sessions race the same OCR predicate over the
+  // same panels. With the singleflight table wired into the cache, each
+  // distinct panel is inferred exactly once (one leader); everyone else
+  // joins the flight or hits the cache behind it.
+  constexpr int kDedupPanels = 32;
+  constexpr int kDedupSessions = 4;
+  const PatchCollection panels = [&]() {
+    Rng rng(0xd11b0001);
+    PatchCollection out;
+    for (int i = 0; i < kDedupPanels; ++i) {
+      Image panel(64, 64, 3);
+      for (auto& b : panel.bytes()) {
+        b = static_cast<uint8_t>(10 + rng.NextU64Below(20));
+      }
+      sim::DrawDigits(&panel, nn::BBox{4, 20, 60, 44},
+                      std::to_string(100 + rng.NextU64Below(900)));
+      Patch p;
+      p.set_id(static_cast<PatchId>(i + 1));
+      p.set_ref(ImgRef{"panels", i, kInvalidPatchId});
+      p.set_pixels(std::move(panel));
+      p.set_bbox(nn::BBox{0, 0, 64, 64});
+      out.push_back(std::move(p));
+    }
+    return out;
+  }();
+  InferenceCache dedup_cache(8 << 20, /*num_shards=*/2, CacheAdmission::kLru);
+  InflightTable inflight;
+  dedup_cache.set_inflight(&inflight);
+  nn::TinyOcr serving_ocr;
+  nn::Device* serving_device = nn::GetDevice(nn::DeviceKind::kCpuVector);
+  {
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> racers;
+    for (int s = 0; s < kDedupSessions; ++s) {
+      racers.emplace_back([&, s]() {
+        ++ready;
+        while (!go.load(std::memory_order_acquire)) {}
+        // Each session walks the panels from a different offset so the
+        // flights overlap instead of forming a convoy.
+        for (int i = 0; i < kDedupPanels; ++i) {
+          const Patch& p =
+              panels[static_cast<size_t>((i + s * 8) % kDedupPanels)];
+          auto text = CachedOcrText(serving_ocr, p.pixels(), p.Fingerprint(),
+                                    serving_device, &dedup_cache);
+          DL_CHECK_OK(text.status());
+        }
+      });
+    }
+    while (ready.load() < kDedupSessions) {}
+    go.store(true, std::memory_order_release);
+    for (auto& t : racers) t.join();
+  }
+  const InflightStats dedup_stats = inflight.Stats();
+  const uint64_t dedup_evals =
+      static_cast<uint64_t>(kDedupSessions) * kDedupPanels;
+  const double serving_dedup_rate =
+      1.0 - static_cast<double>(dedup_stats.leaders) /
+                static_cast<double>(dedup_evals);
+
+  std::printf("\nserving: %d work units (%zu rows each), 1 vs %d sessions; "
+              "short query %zu rows under 100k scan:\n",
+              kServeUnits, kServeRows, kServeSessions, kShortRows);
+  std::printf("%-24s %10.2f\n", "serving (1 session)", serving_solo_t.best_ms);
+  std::printf("%-24s %10.2f %8.2fx\n", "serving (4 sessions)",
+              serving_concurrent_t.best_ms,
+              serving_solo_t.best_ms / serving_concurrent_t.best_ms);
+  std::printf("%-24s %10.2f\n", "short p95 (solo)", short_solo_t.best_ms);
+  std::printf("%-24s %10.2f %8.2fx slower\n", "short p95 (under scan)",
+              short_loaded_t.best_ms,
+              short_loaded_t.best_ms / short_solo_t.best_ms);
+  std::printf("%-24s %9.1f%%  (%" PRIu64 " leaders / %" PRIu64
+              " evals, %" PRIu64 " joined in-flight)\n",
+              "inference dedup", 100.0 * serving_dedup_rate,
+              dedup_stats.leaders, dedup_evals, dedup_stats.joined);
+
   const auto resolved = [](size_t requested) {
     MorselOptions o;
     o.num_threads = requested;
@@ -382,8 +585,12 @@ int Run() {
              {"hash_join_parallel_skew", join_skew_t, resolved(2)},
              {"group_by_serial", agg_serial_t, 1},
              {"group_by_parallel", agg_parallel_t, resolved(2)},
-             {"group_by_parallel_4w", agg_parallel_4w_t, resolved(4)}},
-            n, join_left, join_right);
+             {"group_by_parallel_4w", agg_parallel_4w_t, resolved(4)},
+             {"serving_solo_1s", serving_solo_t, resolved(4)},
+             {"serving_concurrent_4s", serving_concurrent_t, resolved(4)},
+             {"serving_short_p95_solo", short_solo_t, resolved(4)},
+             {"serving_short_p95_loaded", short_loaded_t, resolved(4)}},
+            n, join_left, join_right, serving_dedup_rate);
 
   const double speedup = par_rate / tuple_rate;
   if (speedup < 2.0) {

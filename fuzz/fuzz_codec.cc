@@ -1,0 +1,60 @@
+// Fuzz target: the codec bitstream readers — every byte stream a stored
+// video or image hands the decoder at read time. The first input byte
+// selects the decoder (so one corpus explores all three); the rest is
+// the bitstream. Invariants:
+//
+//  1. No decoder crashes, overflows, or trips a sanitizer on any input;
+//     malformed streams are typed errors.
+//  2. Anything a decoder accepts must re-encode and decode again without
+//     error (decoded output is a real image, not a view into the input).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "codec/image_codec.h"
+#include "codec/video_codec.h"
+#include "common/slice.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using deeplens::Image;
+  using deeplens::Slice;
+
+  if (size == 0) return 0;
+  const uint8_t selector = data[0];
+  const Slice stream(data + 1, size - 1);
+
+  switch (selector % 3) {
+    case 0: {
+      auto img = deeplens::codec::DecodeImage(stream);
+      if (!img.ok()) return 0;
+      // Accepted LJPG: re-encoding the decoded image must stay decodable
+      // (the decoder's output obeys the encoder's input contract).
+      const auto bytes =
+          deeplens::codec::EncodeImage(*img, deeplens::codec::Quality::kHigh);
+      if (!deeplens::codec::DecodeImage(Slice(bytes)).ok()) std::abort();
+      break;
+    }
+    case 1: {
+      auto img = deeplens::codec::DeserializeRawImage(stream);
+      if (!img.ok()) return 0;
+      // Raw serialization is lossless: the round trip is byte-exact.
+      const auto bytes = deeplens::codec::SerializeRawImage(*img);
+      auto again = deeplens::codec::DeserializeRawImage(Slice(bytes));
+      if (!again.ok() || again->bytes() != img->bytes()) std::abort();
+      break;
+    }
+    default: {
+      auto frames = deeplens::codec::DecodeVideo(stream);
+      // Decoded frames (if any) must be well-formed enough to re-encode.
+      if (frames.ok() && !frames->empty()) {
+        deeplens::codec::VideoCodecOptions options;
+        options.quality = deeplens::codec::Quality::kLow;
+        if (!deeplens::codec::EncodeVideo(*frames, options).ok()) {
+          std::abort();
+        }
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fuzz target: InferenceValue::Parse — the decoder every persistent
+// cache lookup runs over bytes that may have been torn, truncated, or
+// written by an alien build. Invariants:
+//
+//  1. Parse never crashes, hangs, or trips a sanitizer on any input;
+//     a malformed record is a typed error (treated as a cache miss),
+//     never a wrong answer.
+//  2. Accepted values round-trip losslessly: Parse(bytes) → Serialize →
+//     Parse → Serialize must reproduce the first serialization exactly
+//     (serialize∘parse is idempotent on the accepted set — a value that
+//     parses two different ways would poison the spill log).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cache/inference_cache.h"
+#include "common/bytes.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using deeplens::ByteBuffer;
+  using deeplens::InferenceValue;
+  using deeplens::Slice;
+
+  auto parsed = InferenceValue::Parse(
+      Slice(reinterpret_cast<const char*>(data), size));
+  if (!parsed.ok()) return 0;  // rejected: fine, as long as it was typed
+
+  ByteBuffer first;
+  parsed->SerializeInto(&first);
+  auto reparsed = InferenceValue::Parse(Slice(first.data().data(),
+                                              first.data().size()));
+  if (!reparsed.ok()) {
+    std::fprintf(stderr,
+                 "inference value accepted but its serialization was "
+                 "rejected: %s\n",
+                 reparsed.status().ToString().c_str());
+    std::abort();
+  }
+  ByteBuffer second;
+  reparsed->SerializeInto(&second);
+  if (first.data() != second.data()) {
+    std::fprintf(stderr,
+                 "inference value round-trip not byte-stable "
+                 "(%zu vs %zu bytes)\n",
+                 first.data().size(), second.data().size());
+    std::abort();
+  }
+  // Budget accounting must stay sane on anything that parses.
+  if (parsed->ByteSize() < sizeof(InferenceValue)) std::abort();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Seed-corpus generator for the fuzz battery. Writes small *valid*
+// inputs for each target under <outdir>/{inference,store,codec}/ so the
+// fuzzers start from the accepted grammar and mutate outward — a fuzzer
+// seeded only with noise rarely gets past the first header check.
+//
+// Usage: deeplens_make_corpus <outdir>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/inference_cache.h"
+#include "codec/image_codec.h"
+#include "codec/video_codec.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "storage/record_store.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+void WriteFile(const std::filesystem::path& path,
+               const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+deeplens::Image NoiseImage(int w, int h, int c, uint64_t seed) {
+  deeplens::Rng rng(seed);
+  deeplens::Image img(w, h, c);
+  for (auto& b : img.bytes()) {
+    b = static_cast<uint8_t>(rng.NextU64Below(256));
+  }
+  return img;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using deeplens::ByteBuffer;
+  using deeplens::InferenceValue;
+  using deeplens::Slice;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <outdir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path out(argv[1]);
+  std::filesystem::create_directories(out / "inference");
+  std::filesystem::create_directories(out / "store");
+  std::filesystem::create_directories(out / "codec");
+
+  // --- Inference values: one seed per payload alternative ---------------
+  {
+    std::vector<InferenceValue> values;
+    values.push_back(InferenceValue{std::string("SPEED LIMIT 65")});
+    values.push_back(InferenceValue{12.75});
+    values.push_back(InferenceValue{
+        deeplens::Tensor::FromVector({0.5f, -1.25f, 3.0f, 0.0f})});
+    values.push_back(InferenceValue{std::vector<deeplens::nn::Detection>{
+        {deeplens::nn::BBox{4, 8, 60, 44}, deeplens::nn::ObjectClass::kCar,
+         0.9f},
+        {deeplens::nn::BBox{0, 0, 8, 8}, deeplens::nn::ObjectClass::kPerson,
+         0.4f}}});
+    values.push_back(InferenceValue{std::string()});  // empty string
+    values.push_back(InferenceValue{deeplens::Tensor()});  // empty tensor
+    int i = 0;
+    for (const InferenceValue& v : values) {
+      ByteBuffer buf;
+      v.SerializeInto(&buf);
+      WriteFile(out / "inference" / ("value" + std::to_string(i++)),
+                buf.data());
+    }
+  }
+
+  // --- RecordStore logs: the backing file of a real store ---------------
+  {
+    const auto log = out / "store" / "log0";
+    std::filesystem::remove(log);
+    {
+      auto store = deeplens::RecordStore::Open(log.string());
+      if (!store.ok()) {
+        std::fprintf(stderr, "corpus store: %s\n",
+                     store.status().ToString().c_str());
+        return 1;
+      }
+      (void)(*store)->Put(Slice("alpha"), Slice("first value"));
+      (void)(*store)->Put(Slice("beta"), Slice("second"));
+      (void)(*store)->Put(Slice("alpha"), Slice("overwritten"));
+      (void)(*store)->Delete(Slice("beta"));
+      (void)(*store)->Put(Slice("gamma"), Slice(std::string(300, 'g')));
+      (void)(*store)->Flush();
+    }
+    // A second seed: the same log with a torn tail (half a record).
+    std::ifstream in(log, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream torn(out / "store" / "log1_torn",
+                       std::ios::binary | std::ios::trunc);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() * 3 / 4));
+  }
+
+  // --- Codec streams: selector byte + valid bitstream -------------------
+  {
+    const auto img = NoiseImage(24, 16, 3, 0xc0dec);
+    auto ljpg = deeplens::codec::EncodeImage(
+        img, deeplens::codec::Quality::kMedium);
+    ljpg.insert(ljpg.begin(), 0);  // selector 0: DecodeImage
+    WriteFile(out / "codec" / "ljpg", ljpg);
+
+    auto raw = deeplens::codec::SerializeRawImage(NoiseImage(8, 8, 1, 7));
+    raw.insert(raw.begin(), 1);  // selector 1: DeserializeRawImage
+    WriteFile(out / "codec" / "raw", raw);
+
+    std::vector<deeplens::Image> frames;
+    for (int f = 0; f < 3; ++f) frames.push_back(NoiseImage(16, 16, 3, f));
+    deeplens::codec::VideoCodecOptions options;
+    options.gop_size = 2;  // one keyframe + P-frames in three frames
+    auto video = deeplens::codec::EncodeVideo(frames, options);
+    if (!video.ok()) {
+      std::fprintf(stderr, "corpus video: %s\n",
+                   video.status().ToString().c_str());
+      return 1;
+    }
+    video->insert(video->begin(), 2);  // selector 2: DecodeVideo
+    WriteFile(out / "codec" / "video", *video);
+  }
+
+  std::printf("corpus written under %s\n", out.string().c_str());
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Standalone fallback driver for the fuzz targets.
+//
+// The fuzz targets speak the libFuzzer ABI (LLVMFuzzerTestOneInput).
+// When the toolchain has libFuzzer (clang, -fsanitize=fuzzer), CMake
+// links the real engine and this file is not compiled. On a gcc-only
+// toolchain this driver stands in: it replays every file in the corpus
+// directories given on the command line, then runs a deterministic
+// mutation loop over the corpus (byte flips, truncations, splices,
+// insertions) for a bounded number of runs / wall-clock budget. The
+// point is CI coverage of the decode paths on every toolchain — a
+// coverage-guided engine explores deeper, but the invariants the
+// targets assert (no UB, no wrong answers, lossless round-trips) are
+// checked either way, under whatever sanitizers the build enables.
+//
+// Flags (libFuzzer-compatible subset, unknown -flags are ignored):
+//   -runs=N            mutation iterations after corpus replay (0 = replay
+//                      only; default 2000)
+//   -max_total_time=S  wall-clock budget in seconds (default unlimited)
+//   -seed=N            mutation RNG seed (default 1)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// Small deterministic RNG (xorshift*), independent of the library so the
+// driver has zero dependencies on the code under test.
+struct DriverRng {
+  uint64_t state;
+  explicit DriverRng(uint64_t seed) : state(seed ? seed : 1) {}
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus,
+                            DriverRng* rng) {
+  std::vector<uint8_t> input =
+      corpus.empty() ? std::vector<uint8_t>()
+                     : corpus[rng->Below(corpus.size())];
+  const int rounds = 1 + static_cast<int>(rng->Below(4));
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng->Below(5)) {
+      case 0:  // flip a byte
+        if (!input.empty()) {
+          input[rng->Below(input.size())] ^=
+              static_cast<uint8_t>(1 + rng->Below(255));
+        }
+        break;
+      case 1:  // truncate
+        if (!input.empty()) input.resize(rng->Below(input.size()));
+        break;
+      case 2: {  // insert random bytes
+        const size_t at = rng->Below(input.size() + 1);
+        const size_t count = 1 + rng->Below(8);
+        std::vector<uint8_t> noise(count);
+        for (auto& b : noise) b = static_cast<uint8_t>(rng->Next());
+        input.insert(input.begin() + static_cast<ptrdiff_t>(at),
+                     noise.begin(), noise.end());
+        break;
+      }
+      case 3: {  // splice a window from another corpus entry
+        if (corpus.empty()) break;
+        const auto& other = corpus[rng->Below(corpus.size())];
+        if (other.empty()) break;
+        const size_t from = rng->Below(other.size());
+        const size_t len = 1 + rng->Below(other.size() - from);
+        const size_t at = rng->Below(input.size() + 1);
+        input.insert(input.begin() + static_cast<ptrdiff_t>(at),
+                     other.begin() + static_cast<ptrdiff_t>(from),
+                     other.begin() + static_cast<ptrdiff_t>(from + len));
+        break;
+      }
+      default:  // overwrite a run with one value
+        if (!input.empty()) {
+          const size_t at = rng->Below(input.size());
+          const size_t len = 1 + rng->Below(input.size() - at);
+          std::memset(input.data() + at, static_cast<int>(rng->Next() & 0xff),
+                      len);
+        }
+        break;
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 2000;
+  long long max_seconds = -1;
+  uint64_t seed = 1;
+  std::vector<std::string> corpus_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Unknown libFuzzer flag: ignore so ci.sh invocations work
+      // unchanged against the real engine.
+    } else {
+      corpus_paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) {
+          corpus.push_back(ReadFile(entry.path().string()));
+        }
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      corpus.push_back(ReadFile(path));
+    }
+  }
+
+  // Replay the whole corpus first: every committed seed must stay clean.
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr, "standalone driver: replayed %zu corpus inputs\n",
+               corpus.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  DriverRng rng(seed);
+  long long executed = 0;
+  for (; executed < runs; ++executed) {
+    if (max_seconds >= 0 &&
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - t0)
+                .count() >= max_seconds) {
+      break;
+    }
+    const std::vector<uint8_t> input = Mutate(corpus, &rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr, "standalone driver: %lld mutated runs, done\n",
+               executed);
+  return 0;
+}

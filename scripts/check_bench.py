@@ -83,6 +83,26 @@ def pipeline_metrics(doc):
         den_ms = case_ms(doc, den_case)
         if num_ms and den_ms:
             metrics[metric] = num_ms / den_ms
+
+    # Serving-layer gates. serving_concurrent_ratio: the same work split
+    # over 4 sessions must not lose to one session issuing it serially
+    # (scheduler locking/interleaving overhead); >1 on real multi-core.
+    # serving_isolation_ratio: solo-p95 over under-load-p95 of a short
+    # query while a long scan floods the pool — fair-share interleaving
+    # keeps this bounded; FIFO dispatch would crater it toward 0.
+    solo_ms = case_ms(doc, "serving_solo_1s")
+    conc_ms = case_ms(doc, "serving_concurrent_4s")
+    if solo_ms and conc_ms:
+        metrics["serving_concurrent_ratio"] = solo_ms / conc_ms
+    p95_solo = case_ms(doc, "serving_short_p95_solo")
+    p95_loaded = case_ms(doc, "serving_short_p95_loaded")
+    if p95_solo and p95_loaded:
+        metrics["serving_isolation_ratio"] = p95_solo / p95_loaded
+    # In-flight dedup rate is emitted directly by the bench (fraction of
+    # concurrent identical inferences that did NOT lead a computation).
+    dedup = doc.get("serving_dedup_rate")
+    if isinstance(dedup, (int, float)):
+        metrics["serving_dedup_rate"] = dedup
     return metrics
 
 

@@ -6,6 +6,8 @@
 #   test      — full ctest suite
 #   bench     — bench_micro_cache + bench_micro_pipeline_batch, then the
 #               regression gate (scripts/check_bench.py vs bench/baselines/)
+#   fuzz      — short-budget run of the fuzz battery (fuzz/), each target
+#               seeded from deeplens_make_corpus output
 #   tsan      — ThreadSanitizer build of the `parallel`-labeled suites
 #   asan      — AddressSanitizer+UBSan build of the `parallel`- and
 #               `persistence`-labeled suites
@@ -29,7 +31,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 NPROC="$(nproc)"
 
-STAGES="${DEEPLENS_CI_STAGES:-configure build test bench tsan asan}"
+STAGES="${DEEPLENS_CI_STAGES:-configure build test bench fuzz tsan asan}"
 STAGES="${STAGES//,/ }"
 if [[ "${DEEPLENS_SKIP_TSAN:-0}" == "1" ]]; then
   STAGES="$(printf '%s\n' $STAGES | grep -vx tsan | tr '\n' ' ' || true)"
@@ -60,6 +62,26 @@ stage_bench() {
   python3 scripts/check_bench.py
 }
 
+stage_fuzz() {
+  # Short-budget pass over the fuzz battery: regenerate the seed corpus,
+  # then give each target a bounded run. Under clang this is real
+  # libFuzzer; under gcc the standalone driver replays the corpus and
+  # mutates from it — either way the targets' invariants (typed errors,
+  # lossless round-trips, no UB) are exercised on every commit. Long
+  # exploratory runs stay manual; this stage is a tripwire.
+  cmake --build "$BUILD_DIR" -j"$NPROC" \
+    --target fuzz_inference_value fuzz_record_store fuzz_codec \
+             deeplens_make_corpus
+  local corpus="$BUILD_DIR/fuzz-corpus"
+  rm -rf "$corpus"
+  "$BUILD_DIR"/deeplens_make_corpus "$corpus"
+  "$BUILD_DIR"/fuzz_inference_value -runs=20000 -max_total_time=20 \
+    "$corpus/inference"
+  "$BUILD_DIR"/fuzz_record_store -runs=1500 -max_total_time=30 \
+    "$corpus/store"
+  "$BUILD_DIR"/fuzz_codec -runs=8000 -max_total_time=30 "$corpus/codec"
+}
+
 stage_tsan() {
   local dir="${BUILD_DIR}-tsan"
   cmake -B "$dir" -S . \
@@ -67,9 +89,11 @@ stage_tsan() {
     -DCMAKE_CXX_FLAGS=-fsanitize=thread \
     -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread \
     -DDEEPLENS_BUILD_BENCHES=OFF \
-    -DDEEPLENS_BUILD_EXAMPLES=OFF
+    -DDEEPLENS_BUILD_EXAMPLES=OFF \
+    -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
-    --target exec_parallel_test exec_batch_test cache_test persistence_test
+    --target exec_parallel_test exec_batch_test cache_test persistence_test \
+             serving_test
   (cd "$dir" && ctest --output-on-failure -L parallel)
 }
 
@@ -80,10 +104,11 @@ stage_asan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
     -DDEEPLENS_BUILD_BENCHES=OFF \
-    -DDEEPLENS_BUILD_EXAMPLES=OFF
+    -DDEEPLENS_BUILD_EXAMPLES=OFF \
+    -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             storage_test
+             storage_test serving_test
   (cd "$dir" && ctest --output-on-failure -L 'parallel|persistence')
 }
 
@@ -102,7 +127,7 @@ print_summary() {
 for stage in $STAGES; do
   if ! declare -F "stage_${stage}" > /dev/null; then
     echo "ci.sh: unknown stage '${stage}' (valid: configure build test" \
-         "bench tsan asan)" >&2
+         "bench fuzz tsan asan)" >&2
     exit 2
   fi
 done

@@ -1,6 +1,7 @@
 #include "cache/inference_cache.h"
 
 #include "cache/cache_key.h"
+#include "cache/inflight.h"
 #include "nn/device.h"
 
 namespace deeplens {
@@ -243,6 +244,25 @@ Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
       }
     }
   }
+  if (!key.empty() && cache->inflight() != nullptr) {
+    // Singleflight the miss: under concurrent serving, K identical
+    // misses in flight at once cost one model call. The leader Puts
+    // before the flight resolves, so by the time followers (or late
+    // arrivals) run, the cache answers.
+    DL_ASSIGN_OR_RETURN(
+        auto shared,
+        cache->inflight()->Do(key, [&]() -> Result<InferenceValue> {
+          DL_ASSIGN_OR_RETURN(std::string computed,
+                              ocr.RecognizeText(pixels, device));
+          InferenceValue value{computed};
+          cache->Put(key, value);
+          return value;
+        }));
+    if (const auto* text = std::get_if<std::string>(&shared->payload)) {
+      return *text;
+    }
+    return Status::Internal("in-flight OCR value has non-string payload");
+  }
   DL_ASSIGN_OR_RETURN(std::string text, ocr.RecognizeText(pixels, device));
   if (!key.empty()) {
     cache->Put(key, InferenceValue{text});
@@ -267,6 +287,22 @@ Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
         return *depth;
       }
     }
+  }
+  if (!key.empty() && cache->inflight() != nullptr) {
+    DL_ASSIGN_OR_RETURN(
+        auto shared,
+        cache->inflight()->Do(key, [&]() -> Result<InferenceValue> {
+          DL_ASSIGN_OR_RETURN(
+              float computed,
+              model.PredictDepth(pixels, bbox, frame_h, device));
+          InferenceValue value{static_cast<double>(computed)};
+          cache->Put(key, value);
+          return value;
+        }));
+    if (const double* depth = std::get_if<double>(&shared->payload)) {
+      return *depth;
+    }
+    return Status::Internal("in-flight depth value has non-double payload");
   }
   DL_ASSIGN_OR_RETURN(float depth,
                       model.PredictDepth(pixels, bbox, frame_h, device));

@@ -31,6 +31,8 @@
 
 namespace deeplens {
 
+class InflightTable;  // cache/inflight.h — includes this header back
+
 /// Canonical model names used in cache keys and plan explanations.
 namespace model_names {
 inline constexpr const char* kDetector = "tiny-ssd";
@@ -113,8 +115,20 @@ class InferenceCache {
 
   virtual CacheStats Stats() const { return cache_.Stats(); }
 
+  /// Optional singleflight table (cache/inflight.h): when set, the
+  /// Cached* wrappers run their miss-path inference through it so
+  /// concurrent identical misses pay for one model call instead of K.
+  /// Not owned; the Database owns one table and installs it on every
+  /// inference cache (including per-tenant ones) so in-flight dedup
+  /// works *across* tenants even when their caches are partitioned.
+  InflightTable* inflight() const { return inflight_; }
+  void set_inflight(InflightTable* table) { inflight_ = table; }
+
  protected:
   ShardedLruCache<InferenceValue> cache_;
+
+ private:
+  InflightTable* inflight_ = nullptr;
 };
 
 // --- Memoized inference entry points ------------------------------------

@@ -74,8 +74,12 @@ Status DecodeBlock(ByteReader* reader, int32_t* qcoeffs) {
   int i = 0;
   while (i < count) {
     DL_ASSIGN_OR_RETURN(uint64_t run, reader->GetVarint());
+    // Bound the run *before* narrowing: a 64-bit run can wrap the int
+    // accumulator negative and walk qcoeffs[order[i]] off the block.
+    if (run >= static_cast<uint64_t>(count - i)) {
+      return Status::Corruption("entropy run overflows block");
+    }
     i += static_cast<int>(run);
-    if (i >= count) return Status::Corruption("entropy run overflows block");
     DL_ASSIGN_OR_RETURN(int64_t value, reader->GetSignedVarint());
     qcoeffs[order[i]] = static_cast<int32_t>(value);
     ++i;

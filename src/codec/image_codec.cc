@@ -136,6 +136,16 @@ std::vector<uint8_t> EncodeImage(const Image& img, Quality q) {
   return out.Release();
 }
 
+Status ValidateDecodedImageHeader(uint32_t w, uint32_t h, uint32_t c) {
+  if (w > kMaxDecodeDimension || h > kMaxDecodeDimension) {
+    return Status::Corruption("decoded image dimensions out of range");
+  }
+  if (c < 1 || c > kMaxDecodeChannels) {
+    return Status::Corruption("decoded image channel count out of range");
+  }
+  return Status::OK();
+}
+
 Result<Image> DecodeImage(const Slice& bytes) {
   ByteReader reader(bytes);
   DL_ASSIGN_OR_RETURN(uint16_t magic, reader.GetU16());
@@ -147,6 +157,16 @@ Result<Image> DecodeImage(const Slice& bytes) {
   DL_ASSIGN_OR_RETURN(uint8_t c, reader.GetU8());
   DL_ASSIGN_OR_RETURN(uint8_t q, reader.GetU8());
   if (q > 2) return Status::Corruption("bad quality byte");
+  DL_RETURN_NOT_OK(ValidateDecodedImageHeader(w, h, c));
+  // Every 8×8 block costs at least one encoded byte, so a genuine stream
+  // can't claim vastly more blocks than it has bytes — reject before the
+  // frame allocation instead of zero-filling gigabytes.
+  const uint64_t min_blocks = static_cast<uint64_t>(BlocksAlong(
+                                  static_cast<int>(w))) *
+                              BlocksAlong(static_cast<int>(h)) * c;
+  if (min_blocks > reader.remaining()) {
+    return Status::Corruption("LJPG stream shorter than its block count");
+  }
   return DecodePlanes(&reader, static_cast<int>(w), static_cast<int>(h),
                       static_cast<int>(c), static_cast<Quality>(q));
 }
@@ -170,6 +190,14 @@ Result<Image> DeserializeRawImage(const Slice& bytes) {
   DL_ASSIGN_OR_RETURN(uint32_t w, reader.GetU32());
   DL_ASSIGN_OR_RETURN(uint32_t h, reader.GetU32());
   DL_ASSIGN_OR_RETURN(uint8_t c, reader.GetU8());
+  DL_RETURN_NOT_OK(ValidateDecodedImageHeader(w, h, c));
+  // Raw is verbatim: the stream must actually hold the pixels the header
+  // promises. Checked before the allocation so a truncated record costs
+  // nothing.
+  const uint64_t pixel_bytes = static_cast<uint64_t>(w) * h * c;
+  if (pixel_bytes > reader.remaining()) {
+    return Status::Corruption("RAW image record shorter than its header");
+  }
   Image img(static_cast<int>(w), static_cast<int>(h), static_cast<int>(c));
   DL_ASSIGN_OR_RETURN(Slice pixels, reader.GetBytes(img.size_bytes()));
   std::memcpy(img.data(), pixels.data(), img.size_bytes());

@@ -41,5 +41,18 @@ void EncodePlanesInto(const Image& img, Quality q, ByteBuffer* out);
 Result<Image> DecodePlanes(ByteReader* reader, int width, int height,
                            int channels, Quality q);
 
+/// Plausibility bounds on decoded image headers. The header fields come
+/// from untrusted bytes (spill logs, fuzzed streams); the decoder must
+/// reject implausible dimensions *before* allocating the frame, or a
+/// 14-byte stream can demand a petabyte image.
+inline constexpr uint32_t kMaxDecodeDimension = 1u << 15;  // 32768 px/side
+inline constexpr uint32_t kMaxDecodeChannels = 4;
+
+/// Returns Corruption unless (w, h, c) describes an image the decoders
+/// are willing to allocate: every side ≤ kMaxDecodeDimension, channel
+/// count in [1, kMaxDecodeChannels]. Zero-area images are allowed (their
+/// allocation is empty).
+Status ValidateDecodedImageHeader(uint32_t w, uint32_t h, uint32_t c);
+
 }  // namespace codec
 }  // namespace deeplens

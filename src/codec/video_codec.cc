@@ -83,6 +83,15 @@ Status VideoDecoder::Init() {
   if (q > 2) return Status::Corruption("bad quality byte");
   DL_ASSIGN_OR_RETURN(uint32_t gop, reader_.GetU32());
   DL_ASSIGN_OR_RETURN(uint32_t nframes, reader_.GetU32());
+  // Header fields are untrusted bytes: bound them before anything is
+  // sized off them. Each frame record carries at least a 4-byte length
+  // prefix and a kind byte, so a genuine stream can't claim more frames
+  // than remaining/5 — this also bounds DecodeVideo's reserve().
+  DL_RETURN_NOT_OK(ValidateDecodedImageHeader(w, h, c));
+  if (gop < 1) return Status::Corruption("bad DLV1 GOP size");
+  if (nframes > reader_.remaining() / 5) {
+    return Status::Corruption("DLV1 stream shorter than its frame count");
+  }
   width_ = static_cast<int>(w);
   height_ = static_cast<int>(h);
   channels_ = static_cast<int>(c);

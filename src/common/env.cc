@@ -42,6 +42,65 @@ uint64_t PowerOfTwoFromEnv(const char* name, uint64_t fallback,
   return clamped;
 }
 
+std::map<std::string, uint64_t> WeightMapFromEnv(
+    const char* name, uint64_t max_weight,
+    const std::map<std::string, uint64_t>& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const std::string spec(env);
+  std::map<std::string, uint64_t> parsed;
+  // Reject the whole spec on the first malformed entry: a half-applied
+  // priority map silently misweights every tenant the typo'd entry was
+  // meant to govern.
+  const auto reject = [&](const std::string& why) {
+    std::string shown = spec;
+    for (char& c : shown) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u < 0x20 || u == 0x7f) c = '?';
+    }
+    DL_LOG(kWarn) << name << "='" << shown << "' rejected (" << why
+                  << "); using default map (" << fallback.size()
+                  << " entries)";
+    return fallback;
+  };
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) return reject("empty entry");
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      return reject("entry '" + entry + "' is not key=weight");
+    }
+    const std::string key = entry.substr(0, eq);
+    for (unsigned char c : key) {
+      if (c <= ' ' || c == 0x7f || c == '=' || c == ',') {
+        return reject("key contains whitespace/control/reserved bytes");
+      }
+    }
+    const std::string weight_str = entry.substr(eq + 1);
+    uint64_t weight = 0;
+    for (char c : weight_str) {
+      if (c < '0' || c > '9') return reject("weight '" + weight_str +
+                                            "' is not a decimal integer");
+      const uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (weight > (max_weight - digit) / 10) {
+        return reject("weight '" + weight_str + "' exceeds max " +
+                      std::to_string(max_weight));
+      }
+      weight = weight * 10 + digit;
+    }
+    if (weight == 0) return reject("weight 0 for '" + key + "'");
+    if (!parsed.emplace(key, weight).second) {
+      return reject("duplicate key '" + key + "'");
+    }
+  }
+  return parsed;
+}
+
 std::string ChoiceFromEnv(const char* name,
                           std::initializer_list<const char*> choices,
                           const char* fallback) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <map>
 #include <string>
 
 namespace deeplens {
@@ -37,6 +38,19 @@ uint64_t PowerOfTwoFromEnv(const char* name, uint64_t fallback,
 /// contain control characters are rejected with a warning and fall back:
 /// a blank path knob is a misconfiguration, never a request for "here".
 std::string PathFromEnv(const char* name, const std::string& fallback = "");
+
+/// Parses environment variable `name` as a comma-separated `key=weight`
+/// map (e.g. `DEEPLENS_TENANT_PRIORITY=gold=4,free=1`). Keys are
+/// arbitrary non-empty strings without '=', ',', whitespace, or control
+/// characters; weights are decimal integers in [1, max_weight]. The spec
+/// is all-or-nothing: any malformed entry (missing '=', empty key, zero
+/// / negative / garbage / out-of-range weight, duplicate key) rejects
+/// the whole value with a warning and returns `fallback` — a policy map
+/// must never half-apply because one entry has a typo. Unset returns
+/// `fallback`.
+std::map<std::string, uint64_t> WeightMapFromEnv(
+    const char* name, uint64_t max_weight,
+    const std::map<std::string, uint64_t>& fallback = {});
 
 /// Parses environment variable `name` as one of a closed set of choices
 /// (matched ASCII-case-insensitively; the canonical lowercase spelling is

@@ -27,6 +27,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kSaturated:
+      return "Saturated";
   }
   return "Unknown";
 }

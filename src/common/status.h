@@ -25,6 +25,10 @@ enum class StatusCode : int {
   kOutOfRange = 7,
   kTypeError = 8,
   kInternal = 9,
+  /// The serving layer is at its concurrency bound and the admission
+  /// deadline expired — retry later. A load-shedding signal, distinct
+  /// from a real failure: the query itself was never started.
+  kSaturated = 10,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IOError", ...).
@@ -69,6 +73,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Saturated(std::string msg) {
+    return Status(StatusCode::kSaturated, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -83,6 +90,7 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsSaturated() const { return code() == StatusCode::kSaturated; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

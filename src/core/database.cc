@@ -3,12 +3,14 @@
 #include "cache/persistent_cache.h"
 #include "common/clock.h"
 #include "common/logging.h"
+#include "core/session.h"
 
 namespace deeplens {
 
 Database::Database(std::string root)
     : root_(std::move(root)), depth_(nn::kFocalTimesHeight) {
   ConfigureCaches(CacheConfig::FromEnv());
+  ConfigureServing(ServingConfig::FromEnv());
 }
 
 void Database::ConfigureCaches(const CacheConfig& config) {
@@ -40,10 +42,55 @@ void Database::ConfigureCaches(const CacheConfig& config) {
     inference_cache_ = std::make_unique<InferenceCache>(
         config.inference_budget(), shards, config.admission);
   }
+  inference_cache_->set_inflight(&inflight_);
+  {
+    // Tenant partitions were sized against the old budget; retire them
+    // (raw-pointer holders stay safe) and let sessions rebuild lazily.
+    std::lock_guard<std::mutex> lock(tenant_mu_);
+    for (auto& entry : tenant_caches_) {
+      entry.second->Retire();
+      retired_inference_caches_.push_back(std::move(entry.second));
+    }
+    tenant_caches_.clear();
+  }
   // Readers from LoadVideo() co-own the old instance; dropping our
   // reference here retires it once the last reader goes away.
   segment_cache_ = std::make_shared<SegmentCache>(config.segment_budget(),
                                                   shards, config.admission);
+}
+
+void Database::ConfigureServing(const ServingConfig& config) {
+  serving_config_ = config;
+  admission_gate_.Configure(config.max_concurrent_queries,
+                            config.admission_wait_ms);
+  // Budgets re-partition under the new weights: retire existing tenant
+  // partitions so the next CreateSession rebuilds them.
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  for (auto& entry : tenant_caches_) {
+    entry.second->Retire();
+    retired_inference_caches_.push_back(std::move(entry.second));
+  }
+  tenant_caches_.clear();
+}
+
+InferenceCache* Database::TenantInferenceCache(const std::string& tenant) {
+  if (tenant.empty()) return inference_cache_.get();
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  auto it = tenant_caches_.find(tenant);
+  if (it == tenant_caches_.end()) {
+    auto cache = std::make_unique<InferenceCache>(
+        serving_config_.TenantCacheBudget(tenant,
+                                          cache_config_.inference_budget()),
+        cache_config_.ResolvedShards(), cache_config_.admission);
+    cache->set_inflight(&inflight_);
+    it = tenant_caches_.emplace(tenant, std::move(cache)).first;
+  }
+  return it->second.get();
+}
+
+Session Database::CreateSession(const std::string& tenant) {
+  return Session(this, tenant, serving_config_.WeightFor(tenant),
+                 TenantInferenceCache(tenant));
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& root) {

@@ -6,13 +6,16 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/cache_config.h"
 #include "cache/inference_cache.h"
+#include "cache/inflight.h"
 #include "cache/segment_cache.h"
+#include "core/serving.h"
 #include "etl/generators.h"
 #include "etl/materialize.h"
 #include "etl/transformers.h"
@@ -28,6 +31,8 @@
 #include "storage/video_store.h"
 
 namespace deeplens {
+
+class Session;  // core/session.h
 
 /// \brief An in-memory queryable view: a patch collection plus the
 /// indexes built over it. RowIds in the indexes are positions in
@@ -69,7 +74,37 @@ class Database {
   /// instance reopens the same spill file and warm-loads from it. Readers
   /// obtained from LoadVideo() before this call keep using the retired
   /// segment cache they co-own; reopen them to pick up the new one.
+  /// Per-tenant partition caches are retired too (and lazily rebuilt
+  /// against the new budget); recreate sessions to pick them up.
   void ConfigureCaches(const CacheConfig& config);
+
+  // --- Multi-tenant serving (admission + fair share + dedup) ------------
+
+  /// A tenant-scoped handle: queries run through Session::Run are
+  /// admission-controlled, scheduled under the tenant's fair-share
+  /// weight, and cached in the tenant's partition. An empty tenant name
+  /// gives the anonymous session (weight 1, shared cache).
+  Session CreateSession(const std::string& tenant = "");
+
+  /// Replaces the serving policy (admission bound/wait + tenant
+  /// weights). Existing per-tenant caches are retired so budgets
+  /// re-partition under the new weights; sessions created before this
+  /// call keep their old weight and retired cache — recreate them.
+  void ConfigureServing(const ServingConfig& config);
+  const ServingConfig& serving_config() const { return serving_config_; }
+
+  AdmissionGate* admission_gate() { return &admission_gate_; }
+
+  /// The database-wide singleflight table: installed on every inference
+  /// cache (shared and per-tenant) so identical in-flight inferences
+  /// dedup across tenants even when their caches are partitioned.
+  InflightTable* inflight_table() { return &inflight_; }
+
+  /// `tenant`'s partitioned inference cache, created on first use with
+  /// its weight-proportional slice of the configured inference budget
+  /// (the shared cache for the empty tenant). Tenant partitions are
+  /// in-memory: the persistent spill log stays with the shared cache.
+  InferenceCache* TenantInferenceCache(const std::string& tenant);
 
   // --- Model zoo -------------------------------------------------------
   const nn::TinySsdDetector* detector() const { return &detector_; }
@@ -146,6 +181,14 @@ class Database {
   // Inference caches replaced by ConfigureCaches(); kept alive because
   // expressions and EtlOptions hold raw pointers into them.
   std::vector<std::unique_ptr<InferenceCache>> retired_inference_caches_;
+
+  ServingConfig serving_config_;
+  AdmissionGate admission_gate_;
+  InflightTable inflight_;
+  // Per-tenant cache partitions, lazily built; guarded by tenant_mu_
+  // (sessions may be created from concurrent serving threads).
+  std::mutex tenant_mu_;
+  std::map<std::string, std::unique_ptr<InferenceCache>> tenant_caches_;
 
   nn::TinySsdDetector detector_;
   nn::TinyOcr ocr_;

@@ -38,6 +38,13 @@ struct PlanExplanation {
   std::vector<UdfUse> udfs;
   /// True when at least one UDF will be served by the inference cache.
   bool uses_inference_cache = false;
+  /// Fair-share class the query runs under ("tenant 'dash' weight 4");
+  /// filled by Session::Explain, empty for plain Query::Explain.
+  std::string scheduling_class;
+  /// Inferences the serving layer deduplicated by joining an identical
+  /// in-flight computation (database-wide running total; filled by
+  /// Session::Explain).
+  uint64_t inflight_dedup_hits = 0;
 };
 
 /// Similarity-join strategies (paper §5/§7.4).

@@ -1,0 +1,114 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/env.h"
+#include "common/thread_pool.h"
+
+namespace deeplens {
+
+ServingConfig ServingConfig::FromEnv() {
+  ServingConfig config;
+  // Default bound: comfortably above the pool width so short queries
+  // queue behind the gate only under a genuine burst, never in steady
+  // state. 2x width keeps one wave executing while the next decodes /
+  // waits on inference.
+  config.max_concurrent_queries = std::max<uint64_t>(
+      4, 2 * ThreadPool::Global().num_threads());
+  config.max_concurrent_queries = PositiveIntFromEnv(
+      serving_env::kMaxConcurrentQueries, config.max_concurrent_queries,
+      /*max_value=*/1u << 20, /*allow_zero=*/true);
+  config.admission_wait_ms = PositiveIntFromEnv(
+      serving_env::kAdmissionWaitMs, config.admission_wait_ms,
+      /*max_value=*/86400000ull, /*allow_zero=*/true);
+  config.tenant_weights =
+      WeightMapFromEnv(serving_env::kTenantPriority, kMaxWeight);
+  return config;
+}
+
+size_t ServingConfig::TenantCacheBudget(const std::string& tenant,
+                                        size_t total_bytes) const {
+  if (total_bytes == 0) return 0;
+  uint64_t sum = 0;
+  for (const auto& entry : tenant_weights) sum += entry.second;
+  const auto it = tenant_weights.find(tenant);
+  const uint64_t weight = it == tenant_weights.end() ? 1 : it->second;
+  if (it == tenant_weights.end()) sum += 1;
+  if (sum == 0) return total_bytes;
+  const size_t share = static_cast<size_t>(
+      static_cast<uint64_t>(total_bytes) * weight / sum);
+  // A zero budget would disable the tenant's cache outright; clamp to
+  // something that can hold at least a few inference values.
+  return std::max<size_t>(share, 4096);
+}
+
+void AdmissionGate::Configure(uint64_t max_concurrent, uint64_t wait_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_concurrent_ = max_concurrent;
+  wait_ms_ = wait_ms;
+  // A raised limit frees queued waiters immediately.
+  slot_freed_.notify_all();
+}
+
+Result<AdmissionGate::Ticket> AdmissionGate::Admit(
+    const std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (max_concurrent_ == 0) {
+    // Unlimited: count nothing, return an empty ticket. (Counting here
+    // would make a later Configure() race with outstanding tickets.)
+    ++admitted_;
+    return Ticket();
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms_);
+  while (in_flight_ >= max_concurrent_ && max_concurrent_ != 0) {
+    if (wait_ms_ == 0 ||
+        slot_freed_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+      if (in_flight_ < max_concurrent_ || max_concurrent_ == 0) break;
+      ++rejected_;
+      return Status::Saturated(
+          "query pool saturated (" + std::to_string(in_flight_) + "/" +
+          std::to_string(max_concurrent_) + " queries in flight); " +
+          (tenant.empty() ? std::string("anonymous")
+                          : "tenant '" + tenant + "'") +
+          " not admitted within " + std::to_string(wait_ms_) + "ms");
+    }
+  }
+  if (max_concurrent_ == 0) {
+    ++admitted_;
+    return Ticket();
+  }
+  ++in_flight_;
+  ++admitted_;
+  peak_ = std::max(peak_, in_flight_);
+  return Ticket(this);
+}
+
+void AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  slot_freed_.notify_one();
+}
+
+void AdmissionGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->Release();
+    gate_ = nullptr;
+  }
+}
+
+ServingStats AdmissionGate::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServingStats stats;
+  stats.admitted = admitted_;
+  stats.rejected_saturated = rejected_;
+  stats.in_flight = in_flight_;
+  stats.peak_in_flight = peak_;
+  return stats;
+}
+
+}  // namespace deeplens

@@ -1,0 +1,133 @@
+// Multi-tenant serving policy: admission control + tenant weights.
+//
+// The fair-share scheduler (exec/scheduler.h) divides worker time among
+// the queries that are *running*; the admission gate bounds how many
+// run at once, so a burst of queries degrades into an orderly queue (or
+// a typed Saturated rejection) instead of oversubscribing memory and
+// thrashing every tenant at once. Tenant weights govern both layers —
+// a weight-4 tenant gets ~4x the morsel slots of a weight-1 tenant
+// while running, and 4x the partitioned inference-cache bytes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace deeplens {
+
+/// Env knob names (documented here, validated in FromEnv).
+namespace serving_env {
+/// Max concurrently-executing queries per Database (0 = unlimited).
+inline constexpr const char* kMaxConcurrentQueries =
+    "DEEPLENS_MAX_CONCURRENT_QUERIES";
+/// How long admission blocks before returning Saturated, in
+/// milliseconds (0 = fail fast).
+inline constexpr const char* kAdmissionWaitMs = "DEEPLENS_ADMISSION_WAIT_MS";
+/// Comma-separated tenant=weight pairs, weights in [1, 1000]
+/// (e.g. "dash=4,batch=1"). Unlisted tenants get weight 1.
+inline constexpr const char* kTenantPriority = "DEEPLENS_TENANT_PRIORITY";
+}  // namespace serving_env
+
+struct ServingConfig {
+  /// 0 disables admission control entirely (no gate, no queueing).
+  uint64_t max_concurrent_queries = 0;
+
+  /// Budget a queued query waits for a slot before Saturated. 0 = fail
+  /// fast: a full gate rejects immediately.
+  uint64_t admission_wait_ms = 10000;
+
+  /// Fair-share weight per tenant; unlisted tenants weigh 1.
+  std::map<std::string, uint64_t> tenant_weights;
+
+  /// Hard cap on a configured weight (keeps stride arithmetic exact and
+  /// one tenant from starving the rest to rounding error).
+  static constexpr uint64_t kMaxWeight = 1000;
+
+  /// Config from the DEEPLENS_* knobs above, over these defaults.
+  /// Malformed values warn and keep the default (matching every other
+  /// knob in common/env.h); a malformed priority map is rejected whole.
+  static ServingConfig FromEnv();
+
+  uint64_t WeightFor(const std::string& tenant) const {
+    auto it = tenant_weights.find(tenant);
+    return it == tenant_weights.end() ? 1 : it->second;
+  }
+
+  /// `tenant`'s slice of `total_bytes` of cache budget, proportional to
+  /// its weight over the sum of all *configured* weights (+1 for an
+  /// unconfigured tenant, which competes as weight 1 on top — mild
+  /// overcommit only for tenants nobody listed). Never 0 for a nonzero
+  /// total: a tenant always gets at least enough budget to cache.
+  size_t TenantCacheBudget(const std::string& tenant,
+                           size_t total_bytes) const;
+};
+
+/// Point-in-time admission counters.
+struct ServingStats {
+  uint64_t admitted = 0;
+  uint64_t rejected_saturated = 0;
+  uint64_t in_flight = 0;       // instantaneous
+  uint64_t peak_in_flight = 0;  // high-water mark
+};
+
+/// \brief Counting gate bounding concurrently-executing queries.
+///
+/// Admit() blocks up to the configured wait for a slot and returns a
+/// typed Saturated status on timeout — the caller's query never started,
+/// so retrying later is always safe. Release() returns the slot (via
+/// the RAII Ticket). A limit of 0 admits everything without counting.
+class AdmissionGate {
+ public:
+  /// RAII slot: releases on destruction. Empty (moved-from or
+  /// unlimited-gate) tickets release nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+   private:
+    friend class AdmissionGate;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    void Release();
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  void Configure(uint64_t max_concurrent, uint64_t wait_ms);
+
+  /// Blocks until a slot frees (at most the configured wait) or returns
+  /// Status::Saturated. On success the returned Ticket holds the slot.
+  Result<Ticket> Admit(const std::string& tenant);
+
+  ServingStats Stats() const;
+
+ private:
+  void Release();
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  uint64_t max_concurrent_ = 0;  // 0 = unlimited
+  uint64_t wait_ms_ = 10000;
+  uint64_t in_flight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t peak_ = 0;
+};
+
+}  // namespace deeplens

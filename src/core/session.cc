@@ -1,0 +1,21 @@
+#include "core/session.h"
+
+#include "cache/inflight.h"
+
+namespace deeplens {
+
+std::string Session::scheduling_class() const {
+  std::string cls = tenant_.empty() ? std::string("anonymous")
+                                    : "tenant '" + tenant_ + "'";
+  cls += " weight " + std::to_string(weight_);
+  return cls;
+}
+
+Result<PlanExplanation> Session::Explain(Query& query) const {
+  DL_ASSIGN_OR_RETURN(PlanExplanation plan, query.Explain());
+  plan.scheduling_class = scheduling_class();
+  plan.inflight_dedup_hits = db_->inflight_table()->Stats().joined;
+  return plan;
+}
+
+}  // namespace deeplens

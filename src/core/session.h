@@ -1,0 +1,76 @@
+// Session: a tenant's handle on a Database for multi-tenant serving.
+//
+// A Session carries the tenant identity through all three serving
+// layers: Run() admits the query through the database's AdmissionGate
+// (bounded concurrency, typed Saturated on timeout), tags the calling
+// thread with a SchedulingContext so every parallel morsel dispatch
+// inside competes under the tenant's fair-share weight, and
+// inference_cache() hands out the tenant's partitioned slice of the
+// inference-cache budget (so one tenant's churn cannot evict another's
+// hot results — while the shared InflightTable still dedups identical
+// in-flight inferences *across* tenants).
+//
+// Sessions are cheap value handles; create one per logical client.
+// They snapshot the tenant's weight at creation: after
+// Database::ConfigureServing, recreate sessions to pick up new weights
+// and re-partitioned cache budgets.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "exec/scheduler.h"
+
+namespace deeplens {
+
+class Session {
+ public:
+  const std::string& tenant() const { return tenant_; }
+  uint64_t weight() const { return weight_; }
+
+  /// Human-readable fair-share class, as reported by Explain():
+  /// "tenant 'dash' weight 4" (or "anonymous weight 1").
+  std::string scheduling_class() const;
+
+  /// The tenant's partitioned inference cache (the shared database
+  /// cache for anonymous sessions). Build NN UDF expressions against
+  /// this instead of Database::inference_cache() to get isolation.
+  InferenceCache* inference_cache() const { return cache_; }
+
+  /// Runs `fn` as one admitted query: blocks for an execution slot (up
+  /// to the configured admission wait; returns Status::Saturated if the
+  /// pool stays full — the query never started), then executes with
+  /// this session's scheduling context installed, so every morsel the
+  /// query dispatches is weighed under this tenant. `fn` must return
+  /// Status or Result<T>.
+  template <typename Fn>
+  auto Run(Fn&& fn) -> decltype(fn()) {
+    auto ticket = db_->admission_gate()->Admit(tenant_);
+    if (!ticket.ok()) return ticket.status();
+    ScopedSchedulingContext scope(SchedulingContext{tenant_, weight_});
+    return fn();
+  }
+
+  /// Query::Explain() augmented with the serving view: the scheduling
+  /// class this session runs under and the in-flight dedup joins the
+  /// database has served so far.
+  Result<PlanExplanation> Explain(Query& query) const;
+
+ private:
+  friend class Database;
+  Session(Database* db, std::string tenant, uint64_t weight,
+          InferenceCache* cache)
+      : db_(db),
+        tenant_(std::move(tenant)),
+        weight_(weight),
+        cache_(cache) {}
+
+  Database* db_;
+  std::string tenant_;
+  uint64_t weight_;
+  InferenceCache* cache_;
+};
+
+}  // namespace deeplens

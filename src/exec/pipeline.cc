@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/thread_pool.h"
+#include "exec/scheduler.h"
 
 namespace deeplens {
 
@@ -61,7 +62,13 @@ Status DispatchMorsels(size_t n, const MorselPlan& plan,
     morsel_status[m] = worker(m, lo, hi);
   };
   if (plan.parallel) {
-    ThreadPool::Global().ParallelFor(0, plan.num_morsels, run_one, 1);
+    // Through the fair-share scheduler, not straight into the pool FIFO:
+    // concurrent queries' morsels interleave by tenant weight instead of
+    // enqueue order, so a long scan cannot starve a short lookup. The
+    // calling thread's SchedulingContext (installed by Session::Run)
+    // tags the whole task set.
+    MorselScheduler::Global().Run(plan.num_morsels, run_one,
+                                  ScopedSchedulingContext::Current());
   } else {
     for (size_t m = 0; m < plan.num_morsels; ++m) run_one(m);
   }

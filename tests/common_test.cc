@@ -4,11 +4,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <map>
 #include <set>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/checksum.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -42,9 +45,16 @@ TEST(StatusTest, CopiesShareState) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= 9; ++c) {
+  for (int c = 0; c <= 10; ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, SaturatedIsTyped) {
+  Status s = Status::Saturated("pool full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsSaturated());
+  EXPECT_EQ(s.ToString(), "Saturated: pool full");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -307,6 +317,127 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool ran = false;
   pool.ParallelFor(5, 5, [&](size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+// --- Serving env knobs ----------------------------------------------------
+// The tenant priority map is all-or-nothing: one malformed entry rejects
+// the whole spec (a half-applied map silently misweights tenants), and
+// rejection must fall back to the default, never crash or half-parse.
+
+class WeightMapEnvTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "DEEPLENS_TEST_WEIGHT_MAP";
+  void TearDown() override { unsetenv(kVar); }
+
+  std::map<std::string, uint64_t> Parse(const char* value) {
+    setenv(kVar, value, 1);
+    return WeightMapFromEnv(kVar, /*max_weight=*/1000,
+                            {{"fallback", 7}});
+  }
+  bool Rejected(const char* value) {
+    auto parsed = Parse(value);
+    return parsed.size() == 1 && parsed.count("fallback") == 1 &&
+           parsed.at("fallback") == 7;
+  }
+};
+
+TEST_F(WeightMapEnvTest, UnsetUsesFallback) {
+  unsetenv(kVar);
+  const auto parsed =
+      WeightMapFromEnv(kVar, 1000, {{"fallback", 7}});
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.at("fallback"), 7u);
+}
+
+TEST_F(WeightMapEnvTest, ValidSpecParses) {
+  const auto parsed = Parse("dash=4,batch=1,archive=32");
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.at("dash"), 4u);
+  EXPECT_EQ(parsed.at("batch"), 1u);
+  EXPECT_EQ(parsed.at("archive"), 32u);
+}
+
+TEST_F(WeightMapEnvTest, SingleEntryAndMaxWeight) {
+  const auto parsed = Parse("solo=1000");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.at("solo"), 1000u);
+}
+
+TEST_F(WeightMapEnvTest, RejectionMatrix) {
+  EXPECT_TRUE(Rejected(""));                  // empty spec
+  EXPECT_TRUE(Rejected("dash"));              // no '='
+  EXPECT_TRUE(Rejected("=4"));                // empty key
+  EXPECT_TRUE(Rejected("dash="));             // empty weight
+  EXPECT_TRUE(Rejected("dash=4,"));           // trailing comma = empty entry
+  EXPECT_TRUE(Rejected(",dash=4"));           // leading comma
+  EXPECT_TRUE(Rejected("dash=4,,batch=1"));   // empty middle entry
+  EXPECT_TRUE(Rejected("dash=0"));            // zero weight
+  EXPECT_TRUE(Rejected("dash=-4"));           // negative weight
+  EXPECT_TRUE(Rejected("dash=4.5"));          // non-integer weight
+  EXPECT_TRUE(Rejected("dash=1001"));         // exceeds max_weight
+  EXPECT_TRUE(Rejected("dash=99999999999999999999"));  // overflow
+  EXPECT_TRUE(Rejected("dash=4,dash=8"));     // duplicate key
+  EXPECT_TRUE(Rejected("da sh=4"));           // whitespace in key
+  EXPECT_TRUE(Rejected("dash\t=4"));          // control byte in key
+  EXPECT_TRUE(Rejected("dash=4=8"));          // stray '=' lands in weight
+  EXPECT_TRUE(Rejected(" dash=4"));           // leading space in key
+}
+
+TEST_F(WeightMapEnvTest, GoodEntriesDoNotSurviveABadOne) {
+  // All-or-nothing: the valid "dash=4" must not leak through when a
+  // later entry is malformed.
+  const auto parsed = Parse("dash=4,batch=zero");
+  EXPECT_EQ(parsed.count("dash"), 0u);
+  EXPECT_EQ(parsed.at("fallback"), 7u);
+}
+
+class ServingKnobTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("DEEPLENS_MAX_CONCURRENT_QUERIES");
+    unsetenv("DEEPLENS_ADMISSION_WAIT_MS");
+    unsetenv("DEEPLENS_TENANT_PRIORITY");
+  }
+};
+
+TEST_F(ServingKnobTest, MaxConcurrentQueriesMatrix) {
+  const uint64_t kDefault = 6;
+  const struct {
+    const char* value;
+    uint64_t expected;
+  } kCases[] = {
+      {"8", 8},          // plain valid
+      {"0", 0},          // zero allowed: disables the gate
+      {"-3", kDefault},  // negative rejected
+      {"8q", kDefault},  // trailing garbage rejected
+      {"", kDefault},    // empty rejected
+      {" 8", kDefault},  // leading whitespace rejected (bare decimal only)
+      {"0x8", kDefault},
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_MAX_CONCURRENT_QUERIES", c.value, 1);
+    EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_MAX_CONCURRENT_QUERIES", kDefault,
+                                 1u << 20, /*allow_zero=*/true),
+              c.expected)
+        << "value='" << c.value << "'";
+  }
+}
+
+TEST_F(ServingKnobTest, AdmissionWaitMsMatrix) {
+  const uint64_t kDefault = 10000;
+  setenv("DEEPLENS_ADMISSION_WAIT_MS", "0", 1);  // fail-fast is legal
+  EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_ADMISSION_WAIT_MS", kDefault,
+                               86400000ull, /*allow_zero=*/true),
+            0u);
+  setenv("DEEPLENS_ADMISSION_WAIT_MS", "250", 1);
+  EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_ADMISSION_WAIT_MS", kDefault,
+                               86400000ull, /*allow_zero=*/true),
+            250u);
+  // Beyond a day is a typo, not a policy.
+  setenv("DEEPLENS_ADMISSION_WAIT_MS", "86400001", 1);
+  EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_ADMISSION_WAIT_MS", kDefault,
+                               86400000ull, /*allow_zero=*/true),
+            kDefault);
 }
 
 }  // namespace
