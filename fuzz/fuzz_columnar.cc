@@ -1,0 +1,90 @@
+// Fuzz target: the columnar view file decoder — footer catalog parsing
+// plus the per-column chunk decoders, the path that turns arbitrary
+// on-disk bytes back into patches. The input IS the file. Invariants:
+//
+//  1. Open never crashes, never trips a sanitizer, and never allocates
+//     proportionally to a fuzzed length field — corrupt footers and
+//     chunks degrade to typed Corruption, not UB or OOM.
+//  2. Whatever the footer accepted must decode consistently: chunk row
+//     counts match the catalog, ids are strictly ascending within the
+//     footer-declared range, and a second read returns the same rows.
+//  3. Scans with a row filter / projection over accepted files never
+//     return rows a full read would not (the filter can only shrink).
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/patch.h"
+#include "storage/columnar/columnar_file.h"
+#include "storage/columnar/format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using deeplens::Patch;
+  using deeplens::PatchCollection;
+
+  static uint64_t counter = 0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dl_fuzz_columnar_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  }
+
+  auto opened = deeplens::columnar::ColumnarReader::Open(path);
+  if (!opened.ok()) {
+    // Garbage must fail typed, never crash.
+    std::filesystem::remove(path);
+    return 0;
+  }
+  auto reader = *opened;
+
+  // Full read: every accepted chunk either decodes or fails typed.
+  uint64_t decoded_rows = 0;
+  uint64_t last_id = 0;
+  bool any = false;
+  for (size_t c = 0; c < reader->num_chunks(); ++c) {
+    auto rows = reader->ReadChunk(c, deeplens::columnar::ChunkReadOptions{});
+    if (!rows.ok()) continue;  // CRC/decode corruption is acceptable
+    const auto& meta = reader->chunk(c);
+    if (rows->size() != meta.rows) std::abort();
+    for (const Patch& p : *rows) {
+      if (any && p.id() <= last_id) std::abort();  // ascending ids
+      if (p.id() < meta.id_min || p.id() > meta.id_max) std::abort();
+      last_id = p.id();
+      any = true;
+    }
+    decoded_rows += rows->size();
+
+    // Determinism: decoding the same chunk twice agrees.
+    auto again =
+        reader->ReadChunk(c, deeplens::columnar::ChunkReadOptions{});
+    if (!again.ok() || again->size() != rows->size()) std::abort();
+
+    // A filtered + projected read returns a subset of the full read.
+    deeplens::columnar::ChunkReadOptions filtered;
+    filtered.projection.pixels = false;
+    filtered.projection.features = false;
+    filtered.projection.all_meta = false;
+    filtered.projection.meta_keys = {"label"};
+    deeplens::columnar::ColumnPredicate pred;
+    pred.op = 1;  // label >= ""
+    pred.key = "label";
+    pred.value = deeplens::MetaValue(std::string());
+    filtered.row_filter = {pred};
+    auto subset = reader->ReadChunk(c, filtered);
+    if (subset.ok() && subset->size() > rows->size()) std::abort();
+  }
+  if (decoded_rows > reader->total_rows()) std::abort();
+
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "codec/video_codec.h"
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "storage/columnar/columnar_file.h"
 #include "storage/record_store.h"
 #include "tensor/tensor.h"
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out / "inference");
   std::filesystem::create_directories(out / "store");
   std::filesystem::create_directories(out / "codec");
+  std::filesystem::create_directories(out / "columnar");
 
   // --- Inference values: one seed per payload alternative ---------------
   {
@@ -101,6 +103,48 @@ int main(int argc, char** argv) {
                        std::ios::binary | std::ios::trunc);
     torn.write(bytes.data(),
                static_cast<std::streamsize>(bytes.size() * 3 / 4));
+  }
+
+  // --- Columnar view files: a real two-chunk file + a torn tail ---------
+  {
+    const auto file = out / "columnar" / "view0";
+    std::filesystem::remove(file);
+    deeplens::columnar::ColumnarWriterOptions options;
+    options.chunk_rows = 4;
+    auto writer =
+        deeplens::columnar::ColumnarWriter::Open(file.string(), options);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "corpus columnar: %s\n",
+                   writer.status().ToString().c_str());
+      return 1;
+    }
+    for (deeplens::PatchId id = 1; id <= 7; ++id) {
+      deeplens::Patch p;
+      p.set_id(id);
+      p.set_ref(deeplens::ImgRef{"cam", static_cast<int>(id * 3),
+                                 deeplens::kInvalidPatchId});
+      p.set_bbox(deeplens::nn::BBox{0, 0, static_cast<int>(8 + id), 12});
+      p.mutable_meta().Set("label",
+                           std::string(id % 2 == 0 ? "car" : "person"));
+      p.mutable_meta().Set("score", 0.25 * static_cast<double>(id));
+      if (id == 3) p.set_pixels(NoiseImage(5, 4, 3, id));
+      if (id == 5) {
+        p.set_features(deeplens::Tensor::FromVector({1.0f, -2.0f, 0.5f}));
+      }
+      (void)(*writer)->Append(p);
+    }
+    if (!(*writer)->Commit().ok()) {
+      std::fprintf(stderr, "corpus columnar: commit failed\n");
+      return 1;
+    }
+    // Second seed: the same file with a torn footer tail.
+    std::ifstream in(file, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream torn(out / "columnar" / "view1_torn",
+                       std::ios::binary | std::ios::trunc);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() - 9));
   }
 
   // --- Codec streams: selector byte + valid bitstream -------------------

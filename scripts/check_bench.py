@@ -2,8 +2,9 @@
 """Bench regression gate for the `bench` CI stage.
 
 Compares the speedup metrics of freshly emitted BENCH_cache.json /
-BENCH_pipeline.json (written into the repo root by bench_micro_cache and
-bench_micro_pipeline_batch) against the committed baselines in
+BENCH_pipeline.json / BENCH_store.json (written into the repo root by
+bench_micro_cache, bench_micro_pipeline_batch, and bench_micro_store)
+against the committed baselines in
 bench/baselines/, and fails when any metric regresses by more than 20%.
 
 Metrics are *ratios* (warm-vs-cold speedups, parallel-vs-tuple speedups,
@@ -106,6 +107,23 @@ def pipeline_metrics(doc):
     return metrics
 
 
+def store_metrics(doc):
+    """Columnar-vs-legacy ratios emitted by the store bench.
+
+    columnar_scan_speedup is the headline: a 10%-selectivity range scan
+    through the planner's zone-map path vs a legacy full-read-then-filter.
+    zonemap_prune_ratio is deterministic (pinned chunk geometry), so its
+    baseline sits close to the measured value — a drop means chunk
+    selection stopped pruning, not that the machine was slow.
+    """
+    return {
+        k: v
+        for k, v in doc.items()
+        if isinstance(v, (int, float))
+        and ("_speedup" in k or "_ratio" in k)
+    }
+
+
 def check(fresh_name, extract):
     fresh_doc = load(REPO_ROOT / fresh_name)
     base_doc = load(REPO_ROOT / "bench" / "baselines" / fresh_name)
@@ -144,6 +162,7 @@ def main():
     failures = []
     failures += check("BENCH_cache.json", cache_metrics)
     failures += check("BENCH_pipeline.json", pipeline_metrics)
+    failures += check("BENCH_store.json", store_metrics)
     if failures:
         print("\ncheck_bench: FAILED")
         for f in failures:

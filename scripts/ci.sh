@@ -4,8 +4,9 @@
 #   configure — cmake -B $BUILD_DIR
 #   build     — compile everything
 #   test      — full ctest suite
-#   bench     — bench_micro_cache + bench_micro_pipeline_batch, then the
-#               regression gate (scripts/check_bench.py vs bench/baselines/)
+#   bench     — bench_micro_cache + bench_micro_pipeline_batch +
+#               bench_micro_store, then the regression gate
+#               (scripts/check_bench.py vs bench/baselines/)
 #   fuzz      — short-budget run of the fuzz battery (fuzz/), each target
 #               seeded from deeplens_make_corpus output
 #   tsan      — ThreadSanitizer build of the `parallel`-labeled suites
@@ -57,6 +58,9 @@ stage_bench() {
   # Pipeline gate: batch+parallel vs tuple baseline. Writes
   # BENCH_pipeline.json.
   "$BUILD_DIR"/bench_micro_pipeline_batch
+  # Storage gate: pruned columnar scan >= 2x the legacy selective scan
+  # with zone maps pruning >= half the chunks. Writes BENCH_store.json.
+  "$BUILD_DIR"/bench_micro_store
   # Regression gate: fresh speedups must stay within 20% of the
   # committed baselines.
   python3 scripts/check_bench.py
@@ -71,7 +75,7 @@ stage_fuzz() {
   # exploratory runs stay manual; this stage is a tripwire.
   cmake --build "$BUILD_DIR" -j"$NPROC" \
     --target fuzz_inference_value fuzz_record_store fuzz_codec \
-             deeplens_make_corpus
+             fuzz_columnar deeplens_make_corpus
   local corpus="$BUILD_DIR/fuzz-corpus"
   rm -rf "$corpus"
   "$BUILD_DIR"/deeplens_make_corpus "$corpus"
@@ -80,6 +84,8 @@ stage_fuzz() {
   "$BUILD_DIR"/fuzz_record_store -runs=1500 -max_total_time=30 \
     "$corpus/store"
   "$BUILD_DIR"/fuzz_codec -runs=8000 -max_total_time=30 "$corpus/codec"
+  "$BUILD_DIR"/fuzz_columnar -runs=1500 -max_total_time=30 \
+    "$corpus/columnar"
 }
 
 stage_tsan() {
@@ -93,7 +99,7 @@ stage_tsan() {
     -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             serving_test
+             serving_test columnar_test
   (cd "$dir" && ctest --output-on-failure -L parallel)
 }
 
@@ -108,7 +114,7 @@ stage_asan() {
     -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             storage_test serving_test
+             storage_test serving_test columnar_test
   (cd "$dir" && ctest --output-on-failure -L 'parallel|persistence')
 }
 

@@ -159,6 +159,7 @@ Status Database::RegisterView(const std::string& name,
                               PatchCollection patches) {
   ViewCache& view = views_[name];
   view.patches = std::move(patches);
+  view.columnar.reset();
   view.hash_indexes.clear();
   view.btree_indexes.clear();
   view.feature_index.reset();
@@ -186,6 +187,9 @@ Result<ViewCache*> Database::GetView(const std::string& name) {
 
 Status Database::PersistView(const std::string& name) {
   DL_ASSIGN_OR_RETURN(ViewCache * view, GetView(name));
+  // An attached view's rows already live in the file it streams from;
+  // re-persisting from its (empty) resident collection would truncate it.
+  if (view->disk_backed()) return Status::OK();
   DL_RETURN_NOT_OK(RemoveFileIfExists(ViewPath(name)));
   DL_ASSIGN_OR_RETURN(auto mat, MaterializedView::Open(ViewPath(name)));
   for (const Patch& p : view->patches) {
@@ -205,6 +209,24 @@ Status Database::LoadPersistedView(const std::string& name) {
 
 bool Database::HasPersistedView(const std::string& name) const {
   return FileExists(ViewPath(name));
+}
+
+Status Database::AttachPersistedView(const std::string& name) {
+  DL_ASSIGN_OR_RETURN(auto mat, MaterializedView::Open(ViewPath(name)));
+  if (mat->format() == MaterializedView::Format::kLegacy) {
+    // Legacy log files have no chunk catalog to stream from; loading
+    // them resident keeps the attach call working on old databases.
+    return LoadPersistedView(name);
+  }
+  DL_ASSIGN_OR_RETURN(auto reader, mat->OpenReader());
+  ViewCache& view = views_[name];
+  view.patches.clear();
+  view.columnar = std::move(reader);
+  view.hash_indexes.clear();
+  view.btree_indexes.clear();
+  view.feature_index.reset();
+  view.bbox_index.reset();
+  return Status::OK();
 }
 
 Result<IndexStats> Database::BuildIndex(const std::string& view_name,

@@ -34,15 +34,25 @@ namespace deeplens {
 
 class Session;  // core/session.h
 
-/// \brief An in-memory queryable view: a patch collection plus the
-/// indexes built over it. RowIds in the indexes are positions in
-/// `patches`.
+/// \brief A queryable view: a patch collection plus the indexes built
+/// over it. RowIds in the indexes are positions in `patches`.
+///
+/// Resident views hold their rows in `patches`. A view attached from a
+/// columnar file (AttachPersistedView) instead holds a footer snapshot in
+/// `columnar` with `patches` empty: the planner scans it chunk-at-a-time
+/// with zone-map pruning and async decode-ahead rather than from memory.
+/// In-memory indexes only ever cover `patches`, so attached views rely on
+/// zone maps instead of BuildIndex.
 struct ViewCache {
   PatchCollection patches;
+  std::shared_ptr<columnar::ColumnarReader> columnar;  // disk-backed scan
   std::map<std::string, HashIndex> hash_indexes;     // by meta key
   std::map<std::string, BPlusTree> btree_indexes;    // by meta key
   std::unique_ptr<BallTree> feature_index;           // over features
   std::unique_ptr<RTree> bbox_index;                 // over bboxes
+
+  /// True when queries stream from the columnar file instead of RAM.
+  bool disk_backed() const { return columnar != nullptr && patches.empty(); }
 };
 
 /// \brief DeepLens instance rooted at a directory.
@@ -149,6 +159,13 @@ class Database {
   Status PersistView(const std::string& name);
   Status LoadPersistedView(const std::string& name);
   bool HasPersistedView(const std::string& name) const;
+
+  /// Registers persisted view `name` as a disk-backed view: a columnar
+  /// footer snapshot is attached and queries stream chunks (zone-map
+  /// pruned, decode-ahead) instead of materializing the rows in RAM.
+  /// Legacy-format files cannot stream, so they fall back to
+  /// LoadPersistedView's full load.
+  Status AttachPersistedView(const std::string& name);
 
   // --- Index management (paper §3.2) ------------------------------------
 

@@ -7,6 +7,8 @@
 
 #include "exec/aggregates.h"
 #include "exec/pipeline.h"
+#include "storage/columnar/async_loader.h"
+#include "storage/columnar/format.h"
 
 namespace deeplens {
 
@@ -20,6 +22,8 @@ const char* AccessPathName(AccessPath path) {
       return "b+tree-lookup";
     case AccessPath::kBTreeRange:
       return "b+tree-range";
+    case AccessPath::kColumnarScan:
+      return "columnar-scan";
   }
   return "?";
 }
@@ -85,6 +89,34 @@ PlanExplanation AnnotateUdfUse(PlanExplanation plan,
 PlanExplanation Planner::PlanScan(const ViewCache& view,
                                   const ExprPtr& predicate) {
   PlanExplanation plan;
+  if (view.disk_backed()) {
+    // Disk-backed view: no resident rows, no in-memory indexes. The scan
+    // streams chunks, pruned by footer zone maps against the sargable
+    // conjuncts — prune counts are known at plan time, before any I/O.
+    plan.path = AccessPath::kColumnarScan;
+    const columnar::PredicatePushdown down =
+        columnar::ExtractPushdown(predicate);
+    const size_t total = view.columnar->num_chunks();
+    const size_t kept = view.columnar->SelectChunks(down.preds).size();
+    plan.columnar.used = true;
+    plan.columnar.chunks_total = total;
+    plan.columnar.chunks_pruned = total - kept;
+    plan.columnar.sargable_conjuncts = down.preds.size();
+    plan.columnar.fully_sargable = down.fully_sargable;
+    plan.columnar.prefetch_depth = columnar::PrefetchDepthFromEnv();
+    plan.candidates = view.columnar->total_rows();
+    std::ostringstream desc;
+    desc << "columnar chunk scan: zone maps pruned " << (total - kept) << "/"
+         << total << " chunks, " << down.preds.size()
+         << " pushed conjunct(s)";
+    if (predicate != nullptr) {
+      desc << (down.fully_sargable ? " (fully sargable)"
+                                   : " + residual filter");
+    }
+    desc << ", prefetch depth " << plan.columnar.prefetch_depth;
+    plan.description = desc.str();
+    return AnnotateUdfUse(std::move(plan), predicate);
+  }
   plan.description = "full scan (no usable index)";
   if (!predicate) {
     plan.description = "full scan (no predicate)";
@@ -171,12 +203,83 @@ bool CollectIndexCandidates(const ViewCache& view, const ExprPtr& predicate,
   return false;
 }
 
+// Streams the zone-map-surviving chunks of a disk-backed view through the
+// decode-ahead loader and hands every passing row to `row_fn`
+// (Patch&& argument). Sargable conjuncts are applied inside the reader
+// during decode (the same early-elimination the index paths perform);
+// when the pushdown does not cover the whole predicate the residual
+// compiled predicate re-runs over the materialized rows. A consumer that
+// never reads row content (`need_row_content == false`, e.g. COUNT) gets
+// a meta-only projection of the conjunct keys plus `extra_keys` — pixels
+// and features are then never decoded at all. Fills the runtime half of
+// `plan->columnar` from the loader's counters.
+template <typename RowFn>
+Status DriveColumnarScan(const ViewCache& view, const ExprPtr& predicate,
+                         const std::vector<std::string>& extra_keys,
+                         bool need_row_content, PlanExplanation* plan,
+                         const RowFn& row_fn) {
+  const std::shared_ptr<columnar::ColumnarReader> reader = view.columnar;
+  const columnar::PredicatePushdown down =
+      columnar::ExtractPushdown(predicate);
+  std::vector<size_t> chunks = reader->SelectChunks(down.preds);
+
+  columnar::ChunkReadOptions options;
+  options.row_filter = down.preds;
+  if (!need_row_content && down.fully_sargable) {
+    options.projection.pixels = false;
+    options.projection.features = false;
+    options.projection.all_meta = false;
+    options.projection.meta_keys = extra_keys;
+    for (const columnar::ColumnPredicate& p : down.preds) {
+      options.projection.meta_keys.push_back(p.key);
+    }
+  }
+  // Null pred compiles to always-true, so the fully-sargable case pays no
+  // per-row re-check above the reader.
+  const CompiledPredicate residual(down.fully_sargable ? ExprPtr{}
+                                                       : predicate);
+
+  columnar::AsyncChunkLoader loader(reader, std::move(chunks),
+                                    std::move(options));
+  while (true) {
+    DL_ASSIGN_OR_RETURN(auto rows, loader.Next());
+    if (!rows.has_value()) break;
+    for (Patch& p : *rows) {
+      if (!residual.always_true()) {
+        DL_ASSIGN_OR_RETURN(bool pass, residual.EvalOnePatch(p));
+        if (!pass) continue;
+      }
+      row_fn(std::move(p));
+    }
+  }
+
+  const columnar::PrefetchStats pf = loader.stats();
+  plan->columnar.chunks_read = pf.chunks_loaded;
+  plan->columnar.rows_decoded = pf.rows_loaded;
+  plan->columnar.bytes_decoded = pf.bytes_decoded;
+  plan->columnar.prefetch_depth = pf.depth;
+  plan->columnar.prefetch_peak_bytes = pf.peak_queued_bytes;
+  plan->columnar.consumer_waits = pf.consumer_waits;
+  plan->columnar.budget_waits = pf.budget_waits;
+  plan->candidates = pf.rows_loaded;  // fetched before residual filtering
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
                                              const ExprPtr& predicate,
                                              PlanExplanation* explanation) {
   PlanExplanation local = PlanScan(view, predicate);
+
+  if (local.path == AccessPath::kColumnarScan) {
+    PatchCollection out;
+    DL_RETURN_NOT_OK(DriveColumnarScan(
+        view, predicate, /*extra_keys=*/{}, /*need_row_content=*/true,
+        &local, [&](Patch&& p) { out.push_back(std::move(p)); }));
+    if (explanation != nullptr) *explanation = local;
+    return out;
+  }
 
   std::vector<RowId> candidates;
   const bool have_candidates =
@@ -205,18 +308,30 @@ Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
 namespace {
 
 // Shared skeleton of the aggregate scans: index-backed plans fold the
-// surviving candidates into `state` and finalize; full scans delegate to
-// a pre-merge parallel aggregate. `accumulate` is (State*, const Patch&),
-// `finalize` is State -> Result<Out>, `full_scan` is () -> Result<Out>.
+// surviving candidates into `state` and finalize; disk-backed views fold
+// the streamed chunk rows (meta-only projection of `projected_keys` when
+// `need_row_content` is false and the pushdown covers the predicate);
+// full scans delegate to a pre-merge parallel aggregate. `accumulate` is
+// (State*, const Patch&), `finalize` is State -> Result<Out>, `full_scan`
+// is () -> Result<Out>.
 template <typename State, typename AccumulateFn, typename FinalizeFn,
           typename FullScanFn>
 auto ExecuteAggregateScan(const ViewCache& view, const ExprPtr& predicate,
-                          PlanExplanation* explanation, State state,
+                          PlanExplanation* explanation,
+                          const std::vector<std::string>& projected_keys,
+                          bool need_row_content, State state,
                           const AccumulateFn& accumulate,
                           const FinalizeFn& finalize,
                           const FullScanFn& full_scan)
     -> decltype(full_scan()) {
   PlanExplanation local = Planner::PlanScan(view, predicate);
+  if (local.path == AccessPath::kColumnarScan) {
+    DL_RETURN_NOT_OK(DriveColumnarScan(
+        view, predicate, projected_keys, need_row_content, &local,
+        [&](Patch&& p) { accumulate(&state, p); }));
+    if (explanation != nullptr) *explanation = local;
+    return finalize(std::move(state));
+  }
   std::vector<RowId> candidates;
   if (CollectIndexCandidates(view, predicate, local, &candidates)) {
     local.candidates = candidates.size();
@@ -240,7 +355,8 @@ Result<uint64_t> Planner::ExecuteScanCount(const ViewCache& view,
                                            const ExprPtr& predicate,
                                            PlanExplanation* explanation) {
   return ExecuteAggregateScan(
-      view, predicate, explanation, uint64_t{0},
+      view, predicate, explanation, /*projected_keys=*/{},
+      /*need_row_content=*/false, uint64_t{0},
       [](uint64_t* count, const Patch&) { ++*count; },
       [](uint64_t count) -> Result<uint64_t> { return count; },
       [&] { return ParallelCount(view.patches, predicate); });
@@ -250,7 +366,8 @@ Result<uint64_t> Planner::ExecuteScanCountDistinct(
     const ViewCache& view, const std::string& key, const ExprPtr& predicate,
     PlanExplanation* explanation) {
   return ExecuteAggregateScan(
-      view, predicate, explanation, std::unordered_set<std::string>{},
+      view, predicate, explanation, /*projected_keys=*/{key},
+      /*need_row_content=*/false, std::unordered_set<std::string>{},
       [&](std::unordered_set<std::string>* seen, const Patch& p) {
         seen->insert(p.meta().Get(key).ToIndexKey());
       },
@@ -265,7 +382,8 @@ Result<std::map<std::string, uint64_t>> Planner::ExecuteScanGroupCount(
     PlanExplanation* explanation) {
   using Groups = std::map<std::string, uint64_t>;
   return ExecuteAggregateScan(
-      view, predicate, explanation, Groups{},
+      view, predicate, explanation, /*projected_keys=*/{key},
+      /*need_row_content=*/false, Groups{},
       [&](Groups* groups, const Patch& p) {
         ++(*groups)[p.meta().Get(key).ToDisplayString()];
       },
@@ -277,8 +395,10 @@ Result<std::optional<Patch>> Planner::ExecuteScanMinBy(
     const ViewCache& view, const std::string& order_key,
     const ExprPtr& predicate, PlanExplanation* explanation) {
   using Best = std::optional<Patch>;
+  // MinBy returns the whole winning patch, so it needs full row content.
   return ExecuteAggregateScan(
-      view, predicate, explanation, Best{},
+      view, predicate, explanation, /*projected_keys=*/{order_key},
+      /*need_row_content=*/true, Best{},
       [&](Best* best, const Patch& p) {
         if (!best->has_value() ||
             p.meta().Get(order_key).Compare(

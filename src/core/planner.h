@@ -22,9 +22,29 @@ enum class AccessPath {
   kHashLookup = 1,
   kBTreeLookup = 2,
   kBTreeRange = 3,
+  kColumnarScan = 4,  // disk-backed view: zone-map pruned chunk stream
 };
 
 const char* AccessPathName(AccessPath path);
+
+/// Execution report of a columnar chunk scan: how much the zone maps
+/// pruned without I/O, what the decode-ahead loader actually did, and how
+/// far the pushdown reached. Static fields (totals, pruned count, depth)
+/// are known at plan time; the runtime counters fill in after execution.
+struct ColumnarScanStats {
+  bool used = false;
+  uint64_t chunks_total = 0;
+  uint64_t chunks_pruned = 0;       // zone-map rejected: never read/decoded
+  uint64_t chunks_read = 0;
+  uint64_t rows_decoded = 0;        // surviving the pushed row filter
+  uint64_t bytes_decoded = 0;       // ApproxPatchBytes over decoded rows
+  size_t sargable_conjuncts = 0;    // conjuncts pushed into the reader
+  bool fully_sargable = false;      // row filter alone decides membership
+  size_t prefetch_depth = 0;        // resolved DEEPLENS_PREFETCH_DEPTH
+  uint64_t prefetch_peak_bytes = 0; // high-water mark of the decode queue
+  uint64_t consumer_waits = 0;      // consumer stalled on an empty queue
+  uint64_t budget_waits = 0;        // worker stalled on depth/byte budget
+};
 
 /// What the planner decided and why.
 struct PlanExplanation {
@@ -38,6 +58,8 @@ struct PlanExplanation {
   std::vector<UdfUse> udfs;
   /// True when at least one UDF will be served by the inference cache.
   bool uses_inference_cache = false;
+  /// Filled when `path` is kColumnarScan (disk-backed view).
+  ColumnarScanStats columnar;
   /// Fair-share class the query runs under ("tenant 'dash' weight 4");
   /// filled by Session::Explain, empty for plain Query::Explain.
   std::string scheduling_class;

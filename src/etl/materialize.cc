@@ -1,20 +1,137 @@
 #include "etl/materialize.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
 #include "common/bytes.h"
+#include "storage/columnar/async_loader.h"
+#include "storage/columnar/format.h"
+#include "storage/file_io.h"
 
 namespace deeplens {
 
+namespace {
+
+// An existing non-empty file dictates its own format: columnar files
+// start with the columnar magic, anything else is a legacy RecordStore
+// log. Missing/empty files use `requested`.
+Result<MaterializedView::Format> SniffFormat(
+    const std::string& path, MaterializedView::Format requested) {
+  if (!FileExists(path)) return requested;
+  DL_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  if (size == 0) return requested;
+  DL_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  if (size < columnar::kHeaderSize) return MaterializedView::Format::kLegacy;
+  std::vector<uint8_t> head;
+  DL_RETURN_NOT_OK(file->ReadAt(0, columnar::kHeaderSize, &head));
+  uint64_t magic = 0;
+  std::memcpy(&magic, head.data(), sizeof(magic));
+  return magic == columnar::kColumnarMagic
+             ? MaterializedView::Format::kColumnar
+             : MaterializedView::Format::kLegacy;
+}
+
+MaterializedView::Format FormatFromEnv() {
+  return columnar::ViewFormatFromEnv() == "legacy"
+             ? MaterializedView::Format::kLegacy
+             : MaterializedView::Format::kColumnar;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<MaterializedView>> MaterializedView::Open(
     const std::string& path) {
-  DL_ASSIGN_OR_RETURN(auto store, RecordStore::Open(path));
+  return Open(path, FormatFromEnv());
+}
+
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Open(
+    const std::string& path, Format format) {
+  DL_ASSIGN_OR_RETURN(Format actual, SniffFormat(path, format));
+  if (actual == Format::kLegacy) {
+    DL_ASSIGN_OR_RETURN(auto store, RecordStore::Open(path));
+    return std::unique_ptr<MaterializedView>(
+        new MaterializedView(std::move(store)));
+  }
+  DL_ASSIGN_OR_RETURN(auto writer, columnar::ColumnarWriter::Open(path));
   return std::unique_ptr<MaterializedView>(
-      new MaterializedView(std::move(store)));
+      new MaterializedView(path, std::move(writer)));
 }
 
 Status MaterializedView::Append(const Patch& patch) {
-  ByteBuffer buf;
-  patch.SerializeInto(&buf);
-  return store_->Put(Slice(EncodeKeyU64(patch.id())), buf.AsSlice());
+  if (store_ != nullptr) {
+    ByteBuffer buf;
+    patch.SerializeInto(&buf);
+    return store_->Put(Slice(EncodeKeyU64(patch.id())), buf.AsSlice());
+  }
+  // Columnar: the file wants strictly ascending ids. The common ETL case
+  // (fresh ids from the database counter) streams straight into chunks;
+  // out-of-order or overwriting appends park in the pending buffer and
+  // merge at the next sync.
+  if (pending_.empty() &&
+      (!writer_->has_rows() || patch.id() > writer_->last_id())) {
+    return writer_->Append(patch);
+  }
+  pending_[patch.id()] = patch;
+  return Status::OK();
+}
+
+Status MaterializedView::SyncColumnar() const {
+  if (pending_.empty()) return writer_->Commit();
+  if (!writer_->has_rows() ||
+      pending_.begin()->first > writer_->last_id()) {
+    // Everything pending lands after the last stored row: append in order.
+    for (const auto& [id, patch] : pending_) {
+      DL_RETURN_NOT_OK(writer_->Append(patch));
+    }
+    pending_.clear();
+    return writer_->Commit();
+  }
+  // Ids collide or interleave with stored rows: merge-rewrite the whole
+  // file through a temp + atomic rename (the RecordStore::Compact
+  // pattern). Readers holding the old file keep their snapshot via the
+  // open descriptor.
+  DL_RETURN_NOT_OK(writer_->Commit());
+  DL_ASSIGN_OR_RETURN(auto reader, columnar::ColumnarReader::Open(path_));
+  const std::string tmp_path = path_ + ".rewrite";
+  DL_RETURN_NOT_OK(RemoveFileIfExists(tmp_path));
+  {
+    DL_ASSIGN_OR_RETURN(auto rewriter,
+                        columnar::ColumnarWriter::Open(tmp_path));
+    auto it = pending_.begin();
+    columnar::ChunkReadOptions full;
+    for (size_t c = 0; c < reader->num_chunks(); ++c) {
+      DL_ASSIGN_OR_RETURN(PatchCollection rows, reader->ReadChunk(c, full));
+      for (Patch& p : rows) {
+        while (it != pending_.end() && it->first < p.id()) {
+          DL_RETURN_NOT_OK(rewriter->Append(it->second));
+          ++it;
+        }
+        if (it != pending_.end() && it->first == p.id()) {
+          DL_RETURN_NOT_OK(rewriter->Append(it->second));  // overwrite
+          ++it;
+        } else {
+          DL_RETURN_NOT_OK(rewriter->Append(p));
+        }
+      }
+    }
+    for (; it != pending_.end(); ++it) {
+      DL_RETURN_NOT_OK(rewriter->Append(it->second));
+    }
+    DL_RETURN_NOT_OK(rewriter->Commit());
+  }
+  writer_.reset();  // close our handle before swapping the files
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    const Status rename_status = Status::IOError(
+        "rename '" + tmp_path + "' -> '" + path_ + "': " +
+        std::strerror(errno));
+    auto reopened = columnar::ColumnarWriter::Open(path_);
+    if (reopened.ok()) writer_ = std::move(reopened).value();
+    return rename_status;
+  }
+  DL_ASSIGN_OR_RETURN(writer_, columnar::ColumnarWriter::Open(path_));
+  pending_.clear();
+  return Status::OK();
 }
 
 Result<uint64_t> MaterializedView::Write(BatchIterator* it) {
@@ -29,7 +146,7 @@ Result<uint64_t> MaterializedView::Write(BatchIterator* it) {
       }
     }
   }
-  DL_RETURN_NOT_OK(store_->Flush());
+  DL_RETURN_NOT_OK(Flush());
   return written;
 }
 
@@ -39,21 +156,36 @@ Result<uint64_t> MaterializedView::Write(PatchIterator* it) {
 }
 
 Result<PatchCollection> MaterializedView::LoadAll() const {
-  PatchCollection out;
-  Status decode_status;
-  DL_RETURN_NOT_OK(
-      store_->ScanAll([&](const Slice& /*key*/, const Slice& value) {
-        ByteReader reader(value);
-        auto patch = Patch::Deserialize(&reader);
-        if (!patch.ok()) {
-          decode_status = patch.status();
-          return false;
-        }
-        out.push_back(std::move(patch).value());
-        return true;
-      }));
-  DL_RETURN_NOT_OK(decode_status);
-  return out;
+  if (store_ != nullptr) {
+    PatchCollection out;
+    Status decode_status;
+    DL_RETURN_NOT_OK(
+        store_->ScanAll([&](const Slice& /*key*/, const Slice& value) {
+          ByteReader reader(value);
+          auto patch = Patch::Deserialize(&reader);
+          if (!patch.ok()) {
+            decode_status = patch.status();
+            return false;
+          }
+          out.push_back(std::move(patch).value());
+          return true;
+        }));
+    DL_RETURN_NOT_OK(decode_status);
+    return out;
+  }
+  DL_RETURN_NOT_OK(SyncColumnar());
+  DL_ASSIGN_OR_RETURN(auto reader, columnar::ColumnarReader::Open(path_));
+  return reader->ReadAll();
+}
+
+Result<std::shared_ptr<columnar::ColumnarReader>>
+MaterializedView::OpenReader() const {
+  if (store_ != nullptr) {
+    return Status::InvalidArgument(
+        "OpenReader: view '" + store_->path() + "' uses the legacy format");
+  }
+  DL_RETURN_NOT_OK(SyncColumnar());
+  return columnar::ColumnarReader::Open(path_);
 }
 
 namespace {
@@ -68,20 +200,85 @@ class FailedScan : public BatchIterator {
   Status status_;
 };
 
+// Streams a columnar file batch-at-a-time through the decode-ahead
+// loader. Owns its reader snapshot, so it is self-contained like the
+// legacy eager scan: it survives the view and never sees later appends.
+class ColumnarBatchScan : public BatchIterator {
+ public:
+  ColumnarBatchScan(std::shared_ptr<const columnar::ColumnarReader> reader,
+                    size_t batch_size)
+      : reader_(reader), batch_size_(batch_size == 0 ? 1 : batch_size) {
+    std::vector<size_t> all_chunks(reader->num_chunks());
+    for (size_t i = 0; i < all_chunks.size(); ++i) all_chunks[i] = i;
+    loader_ = std::make_unique<columnar::AsyncChunkLoader>(
+        std::move(reader), std::move(all_chunks),
+        columnar::ChunkReadOptions{});
+  }
+
+  Result<std::optional<PatchBatch>> Next() override {
+    PatchBatch batch;
+    batch.reserve(batch_size_);
+    while (batch.size() < batch_size_) {
+      if (pos_ >= buffer_.size()) {
+        DL_ASSIGN_OR_RETURN(auto rows, loader_->Next());
+        if (!rows.has_value()) break;
+        buffer_ = std::move(*rows);
+        pos_ = 0;
+        continue;  // chunk may be empty under a row filter
+      }
+      batch.tuples.push_back(PatchTuple{std::move(buffer_[pos_])});
+      ++pos_;
+    }
+    if (batch.empty()) return std::optional<PatchBatch>{};
+    return std::optional<PatchBatch>(std::move(batch));
+  }
+
+ private:
+  std::shared_ptr<const columnar::ColumnarReader> reader_;
+  std::unique_ptr<columnar::AsyncChunkLoader> loader_;
+  PatchCollection buffer_;
+  size_t pos_ = 0;
+  size_t batch_size_;
+};
+
 }  // namespace
 
 BatchIteratorPtr MaterializedView::ScanBatches(size_t batch_size) const {
-  // Materialize eagerly: RecordStore scans are callback-driven, patch
-  // decode cost dominates iteration overhead, and an eager snapshot keeps
-  // the iterator self-contained (it neither references the view nor sees
-  // writes made after Scan).
-  auto loaded = LoadAll();
-  if (!loaded.ok()) return std::make_unique<FailedScan>(loaded.status());
-  return MakeBatchVectorSource(std::move(loaded).value(), batch_size);
+  if (store_ != nullptr) {
+    // Materialize eagerly: RecordStore scans are callback-driven, patch
+    // decode cost dominates iteration overhead, and an eager snapshot
+    // keeps the iterator self-contained (it neither references the view
+    // nor sees writes made after Scan).
+    auto loaded = LoadAll();
+    if (!loaded.ok()) return std::make_unique<FailedScan>(loaded.status());
+    return MakeBatchVectorSource(std::move(loaded).value(), batch_size);
+  }
+  auto reader = OpenReader();
+  if (!reader.ok()) return std::make_unique<FailedScan>(reader.status());
+  return std::make_unique<ColumnarBatchScan>(std::move(reader).value(),
+                                             batch_size);
 }
 
 PatchIteratorPtr MaterializedView::Scan() const {
   return BatchToTuple(ScanBatches());
+}
+
+uint64_t MaterializedView::size() const {
+  if (store_ != nullptr) return store_->Stats().num_records;
+  if (SyncColumnar().ok()) return writer_->rows();
+  // Sync failed (e.g. I/O error): report the upper bound we know of.
+  return writer_->rows() + pending_.size();
+}
+
+uint64_t MaterializedView::storage_bytes() const {
+  if (store_ != nullptr) return store_->Stats().log_bytes;
+  (void)SyncColumnar();
+  return writer_->file_bytes();
+}
+
+Status MaterializedView::Flush() {
+  if (store_ != nullptr) return store_->Flush();
+  return SyncColumnar();
 }
 
 }  // namespace deeplens

@@ -2,25 +2,48 @@
 // dataflow can be persisted to disk and reloaded, so expensive ETL (neural
 // inference) amortizes across queries — the ETL-vs-Query-time separation
 // of §7.2.
+//
+// Two on-disk formats live behind this one API. New views default to the
+// chunked columnar format (storage/columnar/, switchable with
+// DEEPLENS_VIEW_FORMAT); files written before the columnar format existed
+// are sniffed by their header bytes and keep working through the legacy
+// RecordStore path. Columnar views additionally expose OpenReader() so
+// the planner can scan them with zone-map pruning, projection pushdown,
+// and async decode-ahead instead of a full materialize.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
 #include "core/patch.h"
 #include "exec/batch.h"
 #include "exec/operators.h"
+#include "storage/columnar/columnar_file.h"
 #include "storage/record_store.h"
 
 namespace deeplens {
 
-/// \brief A named, persisted patch collection backed by a RecordStore
-/// (keys are patch ids).
+/// \brief A named, persisted patch collection (keys are patch ids; a
+/// re-appended id overwrites the stored row in either format).
 class MaterializedView {
  public:
-  /// Opens (or creates) the view's backing store.
+  enum class Format { kLegacy, kColumnar };
+
+  /// Opens (or creates) the view's backing file. Existing non-empty files
+  /// keep their on-disk format (sniffed from the header); new files use
+  /// DEEPLENS_VIEW_FORMAT (default columnar).
   static Result<std::unique_ptr<MaterializedView>> Open(
       const std::string& path);
+
+  /// Like Open(path), but new/empty files are created in `format`
+  /// explicitly (benchmarks and differential tests pin both formats).
+  static Result<std::unique_ptr<MaterializedView>> Open(
+      const std::string& path, Format format);
+
+  Format format() const {
+    return store_ != nullptr ? Format::kLegacy : Format::kColumnar;
+  }
 
   /// Drains a batch iterator into the store (the native path). Returns
   /// the number of patches written.
@@ -29,27 +52,50 @@ class MaterializedView {
   /// Drains a tuple iterator by batching it through the vectorized engine.
   Result<uint64_t> Write(PatchIterator* it);
 
-  /// Appends a single patch.
+  /// Appends a single patch (columnar: buffered until Flush/scan when it
+  /// arrives out of id order or overwrites an existing id).
   Status Append(const Patch& patch);
 
   /// Loads every stored patch (ordered by id).
   Result<PatchCollection> LoadAll() const;
 
-  /// Batch source over the stored patches.
+  /// Batch source over the stored patches. The iterator is a snapshot
+  /// taken at call time: it survives the view and never sees later
+  /// appends. Columnar views stream chunk-at-a-time through the async
+  /// decode-ahead loader instead of materializing everything eagerly.
   BatchIteratorPtr ScanBatches(size_t batch_size = kDefaultBatchSize) const;
 
   /// Tuple source over the stored patches (adapter over ScanBatches).
   PatchIteratorPtr Scan() const;
 
-  uint64_t size() const { return store_->Stats().num_records; }
-  uint64_t storage_bytes() const { return store_->Stats().log_bytes; }
-  Status Flush() { return store_->Flush(); }
+  /// Columnar views only: a footer snapshot handle for planner-side
+  /// chunk-pruned scans. InvalidArgument on legacy views.
+  Result<std::shared_ptr<columnar::ColumnarReader>> OpenReader() const;
+
+  uint64_t size() const;
+  uint64_t storage_bytes() const;
+  Status Flush();
 
  private:
   explicit MaterializedView(std::unique_ptr<RecordStore> store)
       : store_(std::move(store)) {}
+  MaterializedView(std::string path,
+                   std::unique_ptr<columnar::ColumnarWriter> writer)
+      : path_(std::move(path)), writer_(std::move(writer)) {}
 
-  std::shared_ptr<RecordStore> store_;
+  /// Columnar: drains the pending reorder/overwrite buffer into the file
+  /// (merge-rewriting when ids collide or interleave) and commits the
+  /// footer, so readers opened afterwards see every append. Const because
+  /// every read path must observe pending appends (mutable backend).
+  Status SyncColumnar() const;
+
+  // Exactly one backend is set.
+  std::shared_ptr<RecordStore> store_;  // legacy
+
+  std::string path_;  // columnar
+  mutable std::unique_ptr<columnar::ColumnarWriter> writer_;
+  // Out-of-order / overwriting appends park here until SyncColumnar().
+  mutable std::map<PatchId, Patch> pending_;
 };
 
 }  // namespace deeplens

@@ -1,0 +1,843 @@
+#include "storage/columnar/columnar_file.h"
+
+#include <cstring>
+#include <map>
+
+#include "codec/image_codec.h"
+#include "common/checksum.h"
+#include "storage/columnar/encoding.h"
+
+namespace deeplens {
+namespace columnar {
+namespace {
+
+inline uint32_t ZigZag32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+inline int32_t UnZigZag32(uint32_t v) {
+  return static_cast<int32_t>(v >> 1) ^ -static_cast<int32_t>(v & 1);
+}
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+inline double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void PutPackedBits(const std::vector<uint8_t>& bits, ByteBuffer* out) {
+  std::vector<uint8_t> packed((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) packed[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  out->PutLengthPrefixed(Slice(packed.data(), packed.size()));
+}
+
+Status GetPackedBits(ByteReader* reader, size_t nbits,
+                     std::vector<uint8_t>* bits) {
+  Slice packed;
+  DL_ASSIGN_OR_RETURN(packed, reader->GetLengthPrefixed());
+  if (packed.size() != (nbits + 7) / 8) {
+    return Status::Corruption("columnar chunk: bitmap size mismatch");
+  }
+  bits->assign(nbits, 0);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(packed.data());
+  for (size_t i = 0; i < nbits; ++i) {
+    (*bits)[i] = (p[i / 8] >> (i % 8)) & 1;
+  }
+  return Status::OK();
+}
+
+void EncodeStringDict(const std::vector<const std::string*>& values,
+                      ByteBuffer* out) {
+  std::map<std::string, uint32_t> dict;
+  for (const std::string* s : values) dict.emplace(*s, 0);
+  uint32_t next = 0;
+  for (auto& [str, code] : dict) code = next++;
+  out->PutVarint(dict.size());
+  for (const auto& [str, code] : dict) out->PutLengthPrefixed(Slice(str));
+  std::vector<uint32_t> codes;
+  codes.reserve(values.size());
+  for (const std::string* s : values) codes.push_back(dict.find(*s)->second);
+  SvbEncodeU32Block(codes.data(), codes.size(), out);
+}
+
+Status DecodeStringDict(ByteReader* reader, size_t expected,
+                        std::vector<std::string>* out) {
+  uint64_t dict_n = 0;
+  DL_ASSIGN_OR_RETURN(dict_n, reader->GetVarint());
+  if (dict_n > reader->remaining()) {
+    return Status::Corruption("columnar chunk: dictionary count overflows");
+  }
+  std::vector<std::string> dict;
+  dict.reserve(static_cast<size_t>(dict_n));
+  for (uint64_t i = 0; i < dict_n; ++i) {
+    Slice s;
+    DL_ASSIGN_OR_RETURN(s, reader->GetLengthPrefixed());
+    dict.push_back(s.ToString());
+  }
+  std::vector<uint32_t> codes;
+  DL_RETURN_NOT_OK(SvbDecodeU32Block(reader, expected, &codes));
+  if (codes.size() != expected) {
+    return Status::Corruption("columnar chunk: dictionary code count");
+  }
+  out->clear();
+  out->reserve(expected);
+  for (uint32_t code : codes) {
+    if (code >= dict.size()) {
+      return Status::Corruption("columnar chunk: dictionary code range");
+    }
+    out->push_back(dict[code]);
+  }
+  return Status::OK();
+}
+
+// Decides the physical encoding of a metadata column: a single non-null
+// value type gets the typed layout, anything else (mixed types, explicit
+// nulls) stores row-serialized MetaValues.
+uint8_t ColumnTag(const std::vector<const MetaValue*>& values) {
+  uint8_t tag = 0;
+  for (const MetaValue* v : values) {
+    if (v->is_null()) return kTagMixed;
+    const uint8_t t = static_cast<uint8_t>(v->type());
+    if (tag == 0) {
+      tag = t;
+    } else if (tag != t) {
+      return kTagMixed;
+    }
+  }
+  return tag == 0 ? kTagMixed : tag;
+}
+
+void EncodeColumnPayload(uint8_t tag,
+                         const std::vector<const MetaValue*>& values,
+                         ByteBuffer* payload) {
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt: {
+      std::vector<uint64_t> zz;
+      zz.reserve(values.size());
+      for (const MetaValue* v : values) {
+        zz.push_back(ZigZag64(v->AsInt().value()));
+      }
+      SvbEncodeU64Block(zz.data(), zz.size(), payload);
+      return;
+    }
+    case ValueType::kFloat: {
+      for (const MetaValue* v : values) {
+        payload->PutU64(DoubleBits(v->AsFloat().value()));
+      }
+      return;
+    }
+    case ValueType::kString: {
+      std::vector<const std::string*> strings;
+      strings.reserve(values.size());
+      for (const MetaValue* v : values) {
+        strings.push_back(v->AsString().value());
+      }
+      EncodeStringDict(strings, payload);
+      return;
+    }
+    case ValueType::kBool: {
+      std::vector<uint8_t> bits;
+      bits.reserve(values.size());
+      for (const MetaValue* v : values) {
+        bits.push_back(v->AsBool().value() ? 1 : 0);
+      }
+      PutPackedBits(bits, payload);
+      return;
+    }
+    default: {  // kTagMixed
+      for (const MetaValue* v : values) v->SerializeInto(payload);
+      return;
+    }
+  }
+}
+
+Status DecodeColumnPayload(uint8_t tag, size_t present_count, Slice payload,
+                           std::vector<MetaValue>* out) {
+  ByteReader reader(payload);
+  out->clear();
+  out->reserve(present_count);
+  switch (tag) {
+    case static_cast<uint8_t>(ValueType::kInt): {
+      std::vector<uint64_t> zz;
+      DL_RETURN_NOT_OK(SvbDecodeU64Block(&reader, present_count, &zz));
+      if (zz.size() != present_count) {
+        return Status::Corruption("columnar chunk: int column count");
+      }
+      for (uint64_t v : zz) out->emplace_back(UnZigZag64(v));
+      break;
+    }
+    case static_cast<uint8_t>(ValueType::kFloat): {
+      for (size_t i = 0; i < present_count; ++i) {
+        uint64_t bits = 0;
+        DL_ASSIGN_OR_RETURN(bits, reader.GetU64());
+        out->emplace_back(BitsDouble(bits));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(ValueType::kString): {
+      std::vector<std::string> strings;
+      DL_RETURN_NOT_OK(DecodeStringDict(&reader, present_count, &strings));
+      for (std::string& s : strings) out->emplace_back(std::move(s));
+      break;
+    }
+    case static_cast<uint8_t>(ValueType::kBool): {
+      std::vector<uint8_t> bits;
+      DL_RETURN_NOT_OK(GetPackedBits(&reader, present_count, &bits));
+      for (uint8_t b : bits) out->emplace_back(b != 0);
+      break;
+    }
+    case kTagMixed: {
+      for (size_t i = 0; i < present_count; ++i) {
+        MetaValue v;
+        DL_ASSIGN_OR_RETURN(v, MetaValue::Deserialize(&reader));
+        out->push_back(std::move(v));
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("columnar chunk: unknown column tag " +
+                                std::to_string(tag));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("columnar chunk: column payload trailing bytes");
+  }
+  return Status::OK();
+}
+
+// Serializes `rows` (ids strictly ascending) into `out` and fills the
+// footer entry. Layout: varint rows, then length-prefixed blocks in fixed
+// order — ids, dataset, frameno, parent, bbox, meta, pixels, features —
+// so the decoder can skip any block without parsing its interior.
+Status EncodeChunk(const std::vector<Patch>& rows, ByteBuffer* out,
+                   ChunkMeta* meta) {
+  const size_t n = rows.size();
+  out->PutVarint(n);
+  ByteBuffer block;
+  auto emit = [&] {
+    out->PutLengthPrefixed(block.AsSlice());
+    block.Clear();
+  };
+
+  {  // ids, delta-encoded against the ascending invariant
+    std::vector<uint64_t> deltas(n);
+    uint64_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+      deltas[i] = rows[i].id() - prev;
+      prev = rows[i].id();
+    }
+    SvbEncodeU64Block(deltas.data(), n, &block);
+    emit();
+  }
+  {  // ref.dataset, dictionary-coded
+    std::vector<const std::string*> datasets;
+    datasets.reserve(n);
+    for (const Patch& p : rows) datasets.push_back(&p.ref().dataset);
+    EncodeStringDict(datasets, &block);
+    emit();
+  }
+  {  // ref.frameno
+    std::vector<uint64_t> zz(n);
+    for (size_t i = 0; i < n; ++i) zz[i] = ZigZag64(rows[i].ref().frameno);
+    SvbEncodeU64Block(zz.data(), n, &block);
+    emit();
+  }
+  {  // ref.parent
+    std::vector<uint64_t> parents(n);
+    for (size_t i = 0; i < n; ++i) parents[i] = rows[i].ref().parent;
+    SvbEncodeU64Block(parents.data(), n, &block);
+    emit();
+  }
+  {  // bbox: x0 y0 x1 y1 as four consecutive planes in one block
+    std::vector<uint32_t> plane(n);
+    auto encode_plane = [&](auto getter) {
+      for (size_t i = 0; i < n; ++i) {
+        plane[i] = ZigZag32(getter(rows[i].bbox()));
+      }
+      SvbEncodeU32Block(plane.data(), n, &block);
+    };
+    encode_plane([](const nn::BBox& b) { return b.x0; });
+    encode_plane([](const nn::BBox& b) { return b.y0; });
+    encode_plane([](const nn::BBox& b) { return b.x1; });
+    encode_plane([](const nn::BBox& b) { return b.y1; });
+    emit();
+  }
+  {  // metadata columns (MetaDict order → sorted, unique names)
+    struct ColBuild {
+      std::vector<uint8_t> present;
+      std::vector<const MetaValue*> values;  // present rows, row order
+    };
+    std::map<std::string, ColBuild> cols;
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& [key, value] : rows[i].meta()) {
+        ColBuild& col = cols[key];
+        if (col.present.empty()) col.present.assign(n, 0);
+        col.present[i] = 1;
+        col.values.push_back(&value);
+      }
+    }
+    block.PutVarint(cols.size());
+    for (const auto& [name, col] : cols) {
+      const uint8_t tag = ColumnTag(col.values);
+      block.PutLengthPrefixed(Slice(name));
+      block.PutU8(tag);
+      PutPackedBits(col.present, &block);
+      ByteBuffer payload;
+      EncodeColumnPayload(tag, col.values, &payload);
+      block.PutLengthPrefixed(payload.AsSlice());
+
+      ChunkColumnMeta cm;
+      cm.name = name;
+      cm.tag = tag;
+      uint64_t nonnull = 0;
+      const MetaValue* min = nullptr;
+      const MetaValue* max = nullptr;
+      for (const MetaValue* v : col.values) {
+        if (v->is_null()) continue;
+        ++nonnull;
+        if (min == nullptr || v->Compare(*min) < 0) min = v;
+        if (max == nullptr || v->Compare(*max) > 0) max = v;
+      }
+      cm.zone.null_count = n - nonnull;
+      if (nonnull > 0) {
+        ByteBuffer probe;
+        min->SerializeInto(&probe);
+        max->SerializeInto(&probe);
+        if (probe.size() <= 2 * kMaxZoneMapValueBytes) {
+          cm.zone.has_minmax = true;
+          cm.zone.min = *min;
+          cm.zone.max = *max;
+        }
+      }
+      meta->columns.push_back(std::move(cm));
+    }
+    emit();
+  }
+  {  // pixels: presence, blob lengths, concatenated raw-image blobs
+    std::vector<uint8_t> present(n, 0);
+    std::vector<uint32_t> lengths;
+    std::vector<uint8_t> blobs;
+    for (size_t i = 0; i < n; ++i) {
+      if (!rows[i].has_pixels()) continue;
+      present[i] = 1;
+      const std::vector<uint8_t> raw = codec::SerializeRawImage(
+          rows[i].pixels());
+      if (raw.size() > UINT32_MAX) {
+        return Status::InvalidArgument("columnar chunk: pixel blob too big");
+      }
+      lengths.push_back(static_cast<uint32_t>(raw.size()));
+      blobs.insert(blobs.end(), raw.begin(), raw.end());
+    }
+    PutPackedBits(present, &block);
+    SvbEncodeU32Block(lengths.data(), lengths.size(), &block);
+    block.PutBytes(blobs.data(), blobs.size());
+    emit();
+  }
+  {  // features: presence, float counts, raw f32 bytes
+    std::vector<uint8_t> present(n, 0);
+    std::vector<uint32_t> counts;
+    std::vector<uint8_t> floats;
+    for (size_t i = 0; i < n; ++i) {
+      if (!rows[i].has_features()) continue;
+      present[i] = 1;
+      const Tensor& t = rows[i].features();
+      counts.push_back(static_cast<uint32_t>(t.size()));
+      const uint8_t* data = reinterpret_cast<const uint8_t*>(t.data());
+      floats.insert(floats.end(), data,
+                    data + static_cast<size_t>(t.size()) * sizeof(float));
+    }
+    PutPackedBits(present, &block);
+    SvbEncodeU32Block(counts.data(), counts.size(), &block);
+    block.PutBytes(floats.data(), floats.size());
+    emit();
+  }
+
+  meta->rows = n;
+  meta->id_min = rows.front().id();
+  meta->id_max = rows.back().id();
+  return Status::OK();
+}
+
+// Parses the trailing footer of an already-open file. The validation
+// ladder distinguishes "valid but empty" (header-only file) from every
+// torn-tail shape, which all surface as typed Corruption.
+Result<ColumnarFooter> ReadFooter(const RandomAccessFile& file) {
+  const uint64_t size = file.size();
+  if (size < kHeaderSize) {
+    return Status::Corruption("columnar file: shorter than header");
+  }
+  std::vector<uint8_t> head;
+  DL_RETURN_NOT_OK(file.ReadAt(0, kHeaderSize, &head));
+  uint64_t magic = 0;
+  std::memcpy(&magic, head.data(), sizeof(magic));
+  if (magic != kColumnarMagic) {
+    return Status::Corruption("columnar file: bad header magic");
+  }
+  if (size == kHeaderSize) return ColumnarFooter{};  // created, no commits
+  if (size < kHeaderSize + kTailSize) {
+    return Status::Corruption("columnar file: torn tail");
+  }
+  std::vector<uint8_t> tail;
+  DL_RETURN_NOT_OK(file.ReadAt(size - kTailSize, kTailSize, &tail));
+  ByteReader tr(Slice(tail.data(), tail.size()));
+  uint32_t footer_len = 0;
+  uint32_t footer_crc = 0;
+  uint64_t tail_magic = 0;
+  DL_ASSIGN_OR_RETURN(footer_len, tr.GetU32());
+  DL_ASSIGN_OR_RETURN(footer_crc, tr.GetU32());
+  DL_ASSIGN_OR_RETURN(tail_magic, tr.GetU64());
+  if (tail_magic != kColumnarMagic) {
+    return Status::Corruption("columnar file: torn tail (bad magic)");
+  }
+  if (footer_len > size - kHeaderSize - kTailSize) {
+    return Status::Corruption("columnar file: footer length out of range");
+  }
+  const uint64_t footer_start = size - kTailSize - footer_len;
+  std::vector<uint8_t> footer_bytes;
+  DL_RETURN_NOT_OK(file.ReadAt(footer_start, footer_len, &footer_bytes));
+  if (Crc32c(footer_bytes.data(), footer_bytes.size()) != footer_crc) {
+    return Status::Corruption("columnar file: footer checksum mismatch");
+  }
+  ByteReader fr(Slice(footer_bytes.data(), footer_bytes.size()));
+  ColumnarFooter footer;
+  DL_ASSIGN_OR_RETURN(footer, ColumnarFooter::Deserialize(&fr));
+  for (const ChunkMeta& chunk : footer.chunks) {
+    if (chunk.offset < kHeaderSize || chunk.length == 0 ||
+        chunk.offset + chunk.length < chunk.offset ||
+        chunk.offset + chunk.length > footer_start) {
+      return Status::Corruption("columnar file: chunk extent out of range");
+    }
+  }
+  return footer;
+}
+
+}  // namespace
+
+// --- ColumnarWriter -----------------------------------------------------
+
+Result<std::unique_ptr<ColumnarWriter>> ColumnarWriter::Open(
+    const std::string& path, const ColumnarWriterOptions& options) {
+  size_t chunk_rows = options.chunk_rows;
+  if (chunk_rows == 0) chunk_rows = ColumnarChunkRowsFromEnv();
+  if (chunk_rows > kMaxChunkRows) chunk_rows = kMaxChunkRows;
+
+  ColumnarFooter footer;
+  const bool existing = FileExists(path) && FileSize(path).ValueOr(0) > 0;
+  if (existing) {
+    DL_ASSIGN_OR_RETURN(auto probe, RandomAccessFile::Open(path));
+    DL_ASSIGN_OR_RETURN(footer, ReadFooter(*probe));
+  }
+  DL_ASSIGN_OR_RETURN(auto file, AppendOnlyFile::Open(path));
+  auto writer = std::unique_ptr<ColumnarWriter>(
+      new ColumnarWriter(path, std::move(file), chunk_rows));
+  if (existing) {
+    writer->footer_ = std::move(footer);
+    if (!writer->footer_.chunks.empty()) {
+      writer->has_last_ = true;
+      writer->last_id_ = writer->footer_.chunks.back().id_max;
+    }
+  } else {
+    ByteBuffer header;
+    header.PutU64(kColumnarMagic);
+    DL_RETURN_NOT_OK(writer->file_->Append(header.AsSlice()).status());
+    // Flush now: a header-only file is the valid empty state, and readers
+    // opened before the first Commit() must see it (not a 0-byte file).
+    DL_RETURN_NOT_OK(writer->file_->Flush());
+  }
+  return writer;
+}
+
+Status ColumnarWriter::Append(const Patch& patch) {
+  if (has_last_ && patch.id() <= last_id_) {
+    return Status::InvalidArgument(
+        "columnar writer: ids must be strictly increasing (got " +
+        std::to_string(patch.id()) + " after " + std::to_string(last_id_) +
+        ")");
+  }
+  open_rows_.push_back(patch);
+  has_last_ = true;
+  last_id_ = patch.id();
+  if (open_rows_.size() >= chunk_rows_) return SealChunk();
+  return Status::OK();
+}
+
+Status ColumnarWriter::SealChunk() {
+  if (open_rows_.empty()) return Status::OK();
+  ByteBuffer chunk;
+  ChunkMeta meta;
+  DL_RETURN_NOT_OK(EncodeChunk(open_rows_, &chunk, &meta));
+  meta.length = chunk.size();
+  meta.crc = Crc32c(chunk.AsSlice());
+  DL_ASSIGN_OR_RETURN(meta.offset, file_->Append(chunk.AsSlice()));
+  footer_.total_rows += meta.rows;
+  footer_.chunks.push_back(std::move(meta));
+  open_rows_.clear();
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status ColumnarWriter::Commit() {
+  DL_RETURN_NOT_OK(SealChunk());
+  if (!dirty_) return Status::OK();
+  ByteBuffer footer_bytes;
+  footer_.SerializeInto(&footer_bytes);
+  ByteBuffer tail;
+  tail.PutBytes(footer_bytes.data().data(), footer_bytes.size());
+  tail.PutU32(static_cast<uint32_t>(footer_bytes.size()));
+  tail.PutU32(Crc32c(footer_bytes.AsSlice()));
+  tail.PutU64(kColumnarMagic);
+  DL_RETURN_NOT_OK(file_->Append(tail.AsSlice()).status());
+  DL_RETURN_NOT_OK(file_->Flush());
+  dirty_ = false;
+  return Status::OK();
+}
+
+// --- ColumnarReader -----------------------------------------------------
+
+Result<std::shared_ptr<ColumnarReader>> ColumnarReader::Open(
+    const std::string& path) {
+  DL_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  DL_ASSIGN_OR_RETURN(ColumnarFooter footer, ReadFooter(*file));
+  return std::shared_ptr<ColumnarReader>(
+      new ColumnarReader(path, std::move(file), std::move(footer)));
+}
+
+std::vector<size_t> ColumnarReader::SelectChunks(
+    const std::vector<ColumnPredicate>& preds) const {
+  std::vector<size_t> selected;
+  selected.reserve(footer_.chunks.size());
+  for (size_t i = 0; i < footer_.chunks.size(); ++i) {
+    if (ChunkMayMatch(footer_.chunks[i], preds)) selected.push_back(i);
+  }
+  return selected;
+}
+
+Result<PatchCollection> ColumnarReader::ReadChunk(
+    size_t index, const ChunkReadOptions& options) const {
+  if (index >= footer_.chunks.size()) {
+    return Status::InvalidArgument("columnar reader: chunk index " +
+                                   std::to_string(index) + " out of range");
+  }
+  const ChunkMeta& cm = footer_.chunks[index];
+  std::vector<uint8_t> buf;
+  DL_RETURN_NOT_OK(
+      file_->ReadAt(cm.offset, static_cast<size_t>(cm.length), &buf));
+  if (Crc32c(buf.data(), buf.size()) != cm.crc) {
+    return Status::Corruption("columnar chunk: checksum mismatch at offset " +
+                              std::to_string(cm.offset));
+  }
+  ByteReader reader(Slice(buf.data(), buf.size()));
+  uint64_t rows = 0;
+  DL_ASSIGN_OR_RETURN(rows, reader.GetVarint());
+  if (rows != cm.rows) {
+    return Status::Corruption(
+        "columnar chunk: row count disagrees with footer");
+  }
+  const size_t n = static_cast<size_t>(rows);
+  Slice ids_block, dataset_block, frameno_block, parent_block, bbox_block,
+      meta_block, pixels_block, features_block;
+  DL_ASSIGN_OR_RETURN(ids_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(dataset_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(frameno_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(parent_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(bbox_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(meta_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(pixels_block, reader.GetLengthPrefixed());
+  DL_ASSIGN_OR_RETURN(features_block, reader.GetLengthPrefixed());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("columnar chunk: trailing bytes");
+  }
+
+  // ids: always decoded (row identity).
+  std::vector<uint64_t> ids;
+  {
+    ByteReader ir(ids_block);
+    DL_RETURN_NOT_OK(SvbDecodeU64Block(&ir, n, &ids));
+    if (ids.size() != n || !ir.AtEnd()) {
+      return Status::Corruption("columnar chunk: id column count");
+    }
+    for (size_t i = 1; i < n; ++i) {
+      const uint64_t prev = ids[i - 1];
+      ids[i] += prev;
+      if (ids[i] <= prev) {
+        return Status::Corruption("columnar chunk: ids not ascending");
+      }
+    }
+    if (ids.front() != cm.id_min || ids.back() != cm.id_max) {
+      return Status::Corruption(
+          "columnar chunk: id range disagrees with footer");
+    }
+  }
+
+  // Walk the metadata column directory once; decode lazily below.
+  struct ColSlices {
+    std::string name;
+    uint8_t tag = 0;
+    Slice present;
+    Slice payload;
+  };
+  std::vector<ColSlices> cols;
+  {
+    ByteReader mr(meta_block);
+    uint64_t ncols = 0;
+    DL_ASSIGN_OR_RETURN(ncols, mr.GetVarint());
+    if (ncols != cm.columns.size()) {
+      return Status::Corruption(
+          "columnar chunk: column count disagrees with footer");
+    }
+    cols.reserve(static_cast<size_t>(ncols));
+    for (uint64_t c = 0; c < ncols; ++c) {
+      ColSlices col;
+      Slice name;
+      DL_ASSIGN_OR_RETURN(name, mr.GetLengthPrefixed());
+      col.name = name.ToString();
+      if (col.name != cm.columns[c].name) {
+        return Status::Corruption(
+            "columnar chunk: column name disagrees with footer");
+      }
+      DL_ASSIGN_OR_RETURN(col.tag, mr.GetU8());
+      DL_ASSIGN_OR_RETURN(col.present, mr.GetLengthPrefixed());
+      if (col.present.size() != (n + 7) / 8) {
+        return Status::Corruption("columnar chunk: presence bitmap size");
+      }
+      DL_ASSIGN_OR_RETURN(col.payload, mr.GetLengthPrefixed());
+      cols.push_back(std::move(col));
+    }
+    if (!mr.AtEnd()) {
+      return Status::Corruption("columnar chunk: meta block trailing bytes");
+    }
+  }
+
+  // Lazily decoded columns: a rows-length presence vector plus one
+  // MetaValue per *present* row (indexed by presence rank).
+  struct DecodedCol {
+    std::vector<uint8_t> present;
+    std::vector<uint32_t> rank;  // row -> index into values (when present)
+    std::vector<MetaValue> values;
+  };
+  std::map<std::string, DecodedCol> decoded;
+  auto decode_col = [&](const ColSlices& col) -> Status {
+    if (decoded.count(col.name)) return Status::OK();
+    DecodedCol d;
+    d.present.assign(n, 0);
+    const uint8_t* bits = reinterpret_cast<const uint8_t*>(
+        col.present.data());
+    d.rank.assign(n, 0);
+    uint32_t present_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((bits[i / 8] >> (i % 8)) & 1) {
+        d.present[i] = 1;
+        d.rank[i] = present_count++;
+      }
+    }
+    DL_RETURN_NOT_OK(
+        DecodeColumnPayload(col.tag, present_count, col.payload, &d.values));
+    decoded.emplace(col.name, std::move(d));
+    return Status::OK();
+  };
+  auto find_col = [&](const std::string& name) -> const ColSlices* {
+    for (const ColSlices& col : cols) {
+      if (col.name == name) return &col;
+    }
+    return nullptr;
+  };
+
+  // Row filter: decode only the filtered columns, mark survivors.
+  std::vector<uint8_t> keep(n, 1);
+  for (const ColumnPredicate& pred : options.row_filter) {
+    if (pred.value.is_null()) {
+      keep.assign(n, 0);
+      break;
+    }
+    const ColSlices* col = find_col(pred.key);
+    if (col == nullptr) {  // every row reads null -> never passes
+      keep.assign(n, 0);
+      break;
+    }
+    DL_RETURN_NOT_OK(decode_col(*col));
+    const DecodedCol& d = decoded[pred.key];
+    static const MetaValue kNull;
+    for (size_t i = 0; i < n; ++i) {
+      if (!keep[i]) continue;
+      const MetaValue& v = d.present[i] ? d.values[d.rank[i]] : kNull;
+      if (!ValuePassesPredicate(v, pred)) keep[i] = 0;
+    }
+  }
+  std::vector<uint32_t> sel;
+  sel.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
+  }
+  PatchCollection out;
+  if (sel.empty()) return out;
+  out.reserve(sel.size());
+
+  // Fixed columns (cheap; always materialized for surviving rows).
+  std::vector<std::string> datasets;
+  {
+    ByteReader dr(dataset_block);
+    DL_RETURN_NOT_OK(DecodeStringDict(&dr, n, &datasets));
+    if (!dr.AtEnd()) {
+      return Status::Corruption("columnar chunk: dataset trailing bytes");
+    }
+  }
+  std::vector<uint64_t> framenos, parents;
+  {
+    ByteReader fr(frameno_block);
+    DL_RETURN_NOT_OK(SvbDecodeU64Block(&fr, n, &framenos));
+    if (framenos.size() != n || !fr.AtEnd()) {
+      return Status::Corruption("columnar chunk: frameno column count");
+    }
+    ByteReader pr(parent_block);
+    DL_RETURN_NOT_OK(SvbDecodeU64Block(&pr, n, &parents));
+    if (parents.size() != n || !pr.AtEnd()) {
+      return Status::Corruption("columnar chunk: parent column count");
+    }
+  }
+  std::vector<uint32_t> bbox_planes[4];
+  {
+    ByteReader br(bbox_block);
+    for (int plane = 0; plane < 4; ++plane) {
+      DL_RETURN_NOT_OK(SvbDecodeU32Block(&br, n, &bbox_planes[plane]));
+      if (bbox_planes[plane].size() != n) {
+        return Status::Corruption("columnar chunk: bbox plane count");
+      }
+    }
+    if (!br.AtEnd()) {
+      return Status::Corruption("columnar chunk: bbox trailing bytes");
+    }
+  }
+
+  for (uint32_t row : sel) {
+    Patch p;
+    p.set_id(ids[row]);
+    ImgRef ref;
+    ref.dataset = datasets[row];
+    ref.frameno = UnZigZag64(framenos[row]);
+    ref.parent = parents[row];
+    p.set_ref(std::move(ref));
+    p.set_bbox(nn::BBox{UnZigZag32(bbox_planes[0][row]),
+                        UnZigZag32(bbox_planes[1][row]),
+                        UnZigZag32(bbox_planes[2][row]),
+                        UnZigZag32(bbox_planes[3][row])});
+    out.push_back(std::move(p));
+  }
+
+  // Projected metadata columns.
+  for (const ColSlices& col : cols) {
+    if (!options.projection.WantsMeta(col.name)) continue;
+    DL_RETURN_NOT_OK(decode_col(col));
+    const DecodedCol& d = decoded[col.name];
+    for (size_t k = 0; k < sel.size(); ++k) {
+      const uint32_t row = sel[k];
+      if (d.present[row]) {
+        out[k].mutable_meta().Set(col.name, d.values[d.rank[row]]);
+      }
+    }
+  }
+
+  // Pixels (skipped entirely — bytes unparsed — unless projected).
+  if (options.projection.pixels) {
+    ByteReader pr(pixels_block);
+    std::vector<uint8_t> present;
+    DL_RETURN_NOT_OK(GetPackedBits(&pr, n, &present));
+    size_t present_count = 0;
+    for (uint8_t b : present) present_count += b;
+    std::vector<uint32_t> lengths;
+    DL_RETURN_NOT_OK(SvbDecodeU32Block(&pr, present_count, &lengths));
+    if (lengths.size() != present_count) {
+      return Status::Corruption("columnar chunk: pixel length count");
+    }
+    uint64_t total = 0;
+    for (uint32_t len : lengths) total += len;
+    if (total != pr.remaining()) {
+      return Status::Corruption("columnar chunk: pixel blob size mismatch");
+    }
+    Slice blobs;
+    DL_ASSIGN_OR_RETURN(blobs, pr.GetBytes(pr.remaining()));
+    // Per-row blob offsets via presence rank.
+    std::vector<uint64_t> offsets(present_count + 1, 0);
+    for (size_t k = 0; k < present_count; ++k) {
+      offsets[k + 1] = offsets[k] + lengths[k];
+    }
+    std::vector<uint32_t> rank(n, 0);
+    uint32_t seen = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (present[i]) rank[i] = seen++;
+    }
+    for (size_t k = 0; k < sel.size(); ++k) {
+      const uint32_t row = sel[k];
+      if (!present[row]) continue;
+      const uint32_t pr_rank = rank[row];
+      Slice blob(reinterpret_cast<const uint8_t*>(blobs.data()) +
+                     offsets[pr_rank],
+                 static_cast<size_t>(lengths[pr_rank]));
+      DL_ASSIGN_OR_RETURN(Image img, codec::DeserializeRawImage(blob));
+      out[k].set_pixels(std::move(img));
+    }
+  }
+
+  // Features (same skip rule).
+  if (options.projection.features) {
+    ByteReader fr(features_block);
+    std::vector<uint8_t> present;
+    DL_RETURN_NOT_OK(GetPackedBits(&fr, n, &present));
+    size_t present_count = 0;
+    for (uint8_t b : present) present_count += b;
+    std::vector<uint32_t> counts;
+    DL_RETURN_NOT_OK(SvbDecodeU32Block(&fr, present_count, &counts));
+    if (counts.size() != present_count) {
+      return Status::Corruption("columnar chunk: feature count column");
+    }
+    uint64_t total_floats = 0;
+    for (uint32_t c : counts) total_floats += c;
+    if (total_floats * sizeof(float) != fr.remaining()) {
+      return Status::Corruption("columnar chunk: feature bytes mismatch");
+    }
+    Slice raw;
+    DL_ASSIGN_OR_RETURN(raw, fr.GetBytes(fr.remaining()));
+    std::vector<uint64_t> offsets(present_count + 1, 0);
+    for (size_t k = 0; k < present_count; ++k) {
+      offsets[k + 1] = offsets[k] + counts[k];
+    }
+    std::vector<uint32_t> rank(n, 0);
+    uint32_t seen = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (present[i]) rank[i] = seen++;
+    }
+    for (size_t k = 0; k < sel.size(); ++k) {
+      const uint32_t row = sel[k];
+      if (!present[row]) continue;
+      const uint32_t fr_rank = rank[row];
+      const size_t count = counts[fr_rank];
+      std::vector<float> values(count);
+      std::memcpy(values.data(),
+                  reinterpret_cast<const uint8_t*>(raw.data()) +
+                      offsets[fr_rank] * sizeof(float),
+                  count * sizeof(float));
+      out[k].set_features(
+          Tensor({static_cast<int64_t>(count)}, std::move(values)));
+    }
+  }
+
+  return out;
+}
+
+Result<PatchCollection> ColumnarReader::ReadAll() const {
+  PatchCollection out;
+  out.reserve(static_cast<size_t>(footer_.total_rows));
+  ChunkReadOptions options;  // full projection, no filter
+  for (size_t i = 0; i < footer_.chunks.size(); ++i) {
+    DL_ASSIGN_OR_RETURN(PatchCollection rows, ReadChunk(i, options));
+    for (Patch& p : rows) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace columnar
+}  // namespace deeplens

@@ -1,0 +1,677 @@
+// Unit tests for storage/columnar/: stream-vbyte codec framing, the
+// chunked writer/reader round-trip (byte-identical to the legacy
+// RecordStore format across randomized, NULL-heavy, empty, and one-chunk
+// views), zone-map pruning equivalence against unpruned scans, torn-tail
+// and corrupt-chunk recovery to typed Corruption, and the async
+// decode-ahead loader (concurrent readers, byte budget, depth knob).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "core/planner.h"
+#include "etl/materialize.h"
+#include "exec/expression.h"
+#include "storage/columnar/async_loader.h"
+#include "storage/columnar/columnar_file.h"
+#include "storage/columnar/encoding.h"
+#include "storage/columnar/format.h"
+
+namespace deeplens {
+namespace {
+
+class ColumnarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dl_columnar_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    unsetenv("DEEPLENS_COLUMNAR_CHUNK_ROWS");
+    unsetenv("DEEPLENS_PREFETCH_DEPTH");
+    unsetenv("DEEPLENS_VIEW_FORMAT");
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::string SerializePatch(const Patch& p) {
+  ByteBuffer buf;
+  p.SerializeInto(&buf);
+  const Slice s = buf.AsSlice();
+  return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+}
+
+// Byte-identical equality: the strongest round-trip check the format can
+// offer, covering every field including float bit patterns.
+void ExpectSamePatches(const PatchCollection& a, const PatchCollection& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(SerializePatch(a[i]), SerializePatch(b[i]))
+        << "patch " << i << " (id " << a[i].id() << ")";
+  }
+}
+
+Image NoisyImage(int w, int h, uint64_t seed) {
+  Image img(w, h, 3);
+  Rng rng(seed);
+  for (auto& b : img.bytes()) b = static_cast<uint8_t>(rng.NextU64());
+  return img;
+}
+
+// A randomized patch exercising every column encoder: int/float/string
+// meta (some keys missing, some explicitly null, one key mixed-type),
+// pixels and features present on a subset of rows.
+Patch RandomPatch(PatchId id, Rng* rng, bool null_heavy = false) {
+  Patch p;
+  p.set_id(id);
+  p.set_ref(ImgRef{"cam" + std::to_string(rng->NextU64Below(3)),
+                   static_cast<int>(rng->NextInt(0, 5000)),
+                   kInvalidPatchId});
+  p.set_bbox(nn::BBox{static_cast<int>(rng->NextInt(-50, 50)),
+                      static_cast<int>(rng->NextInt(-50, 50)),
+                      static_cast<int>(rng->NextInt(51, 600)),
+                      static_cast<int>(rng->NextInt(51, 600))});
+  const uint64_t missing_bias = null_heavy ? 2 : 8;
+  if (rng->NextU64Below(10) < missing_bias) {
+    p.mutable_meta().Set("label", std::string(rng->NextU64Below(2) == 0
+                                                  ? "car"
+                                                  : "person"));
+  }
+  if (rng->NextU64Below(10) < missing_bias) {
+    p.mutable_meta().Set("score", rng->NextDouble());
+  }
+  if (rng->NextU64Below(10) < missing_bias) {
+    p.mutable_meta().Set("frameno", rng->NextInt(0, 100));
+  }
+  if (rng->NextU64Below(8) == 0) {
+    p.mutable_meta().Set("odd", MetaValue());  // explicit null
+  } else if (rng->NextU64Below(8) == 0) {
+    // Mixed-type column: int rows and string rows force the kTagMixed
+    // row-serialized fallback.
+    if (rng->NextU64Below(2) == 0) {
+      p.mutable_meta().Set("odd", rng->NextInt(-10, 10));
+    } else {
+      p.mutable_meta().Set("odd", std::string("str"));
+    }
+  }
+  if (rng->NextU64Below(4) == 0) {
+    p.set_pixels(NoisyImage(static_cast<int>(3 + rng->NextU64Below(6)),
+                            static_cast<int>(3 + rng->NextU64Below(6)),
+                            rng->NextU64()));
+  }
+  if (rng->NextU64Below(3) == 0) {
+    std::vector<float> f(4 + rng->NextU64Below(5));
+    for (auto& v : f) v = static_cast<float>(rng->NextDouble());
+    p.set_features(Tensor::FromVector(std::move(f)));
+  }
+  return p;
+}
+
+PatchCollection RandomPatches(size_t n, uint64_t seed,
+                              bool null_heavy = false) {
+  Rng rng(seed);
+  PatchCollection out;
+  PatchId id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    id += 1 + rng.NextU64Below(7);  // gaps between ids
+    out.push_back(RandomPatch(id, &rng, null_heavy));
+  }
+  return out;
+}
+
+// --- Stream-vbyte codec ---------------------------------------------------
+
+TEST(SvbCodecTest, U32RoundTripAllMagnitudes) {
+  Rng rng(11);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 4097; ++i) {  // odd count: exercises the tail group
+    const int bytes = static_cast<int>(rng.NextU64Below(4)) + 1;
+    values.push_back(static_cast<uint32_t>(
+        rng.NextU64() & ((1ull << (8 * bytes)) - 1)));
+  }
+  ByteBuffer buf;
+  columnar::SvbEncodeU32Block(values.data(), values.size(), &buf);
+  ByteReader reader(buf.AsSlice());
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(columnar::SvbDecodeU32Block(&reader, values.size(), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded, values);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SvbCodecTest, U64RoundTripAndEmpty) {
+  Rng rng(12);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.NextU64() >> rng.NextU64Below(64));
+  }
+  ByteBuffer buf;
+  columnar::SvbEncodeU64Block(values.data(), values.size(), &buf);
+  ByteReader reader(buf.AsSlice());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(columnar::SvbDecodeU64Block(&reader, values.size(), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded, values);
+
+  ByteBuffer empty;
+  columnar::SvbEncodeU64Block(nullptr, 0, &empty);
+  ByteReader er(empty.AsSlice());
+  std::vector<uint64_t> none;
+  ASSERT_TRUE(columnar::SvbDecodeU64Block(&er, 0, &none).ok());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(SvbCodecTest, CorruptFramingIsTypedCorruption) {
+  std::vector<uint32_t> values{1, 300, 70000, 0x01020304};
+  ByteBuffer buf;
+  columnar::SvbEncodeU32Block(values.data(), values.size(), &buf);
+
+  // Truncated data stream.
+  ByteReader truncated(Slice(buf.AsSlice().data(), buf.size() - 2));
+  std::vector<uint32_t> out;
+  Status st = columnar::SvbDecodeU32Block(&truncated, 4, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+
+  // Count exceeding the caller's bound: a fuzz-bomb header must not
+  // drive an allocation.
+  ByteReader bounded(buf.AsSlice());
+  st = columnar::SvbDecodeU32Block(&bounded, 3, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+// --- Writer / reader round-trip -------------------------------------------
+
+TEST_F(ColumnarTest, MultiChunkRoundTripIsByteIdentical) {
+  const PatchCollection patches = RandomPatches(333, 42);
+  columnar::ColumnarWriterOptions options;
+  options.chunk_rows = 64;  // 6 chunks
+  auto writer =
+      columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+  for (const Patch& p : patches) ASSERT_TRUE(writer->Append(p).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+  EXPECT_EQ(reader->total_rows(), patches.size());
+  EXPECT_EQ(reader->num_chunks(), (patches.size() + 63) / 64);
+  ExpectSamePatches(reader->ReadAll().value(), patches);
+}
+
+TEST_F(ColumnarTest, AppendAfterReopenKeepsOldRows) {
+  const PatchCollection patches = RandomPatches(100, 7);
+  columnar::ColumnarWriterOptions options;
+  options.chunk_rows = 16;
+  {
+    auto writer =
+        columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+    for (size_t i = 0; i < 50; ++i) ASSERT_TRUE(writer->Append(patches[i]).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  {
+    auto writer =
+        columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+    for (size_t i = 50; i < patches.size(); ++i) {
+      ASSERT_TRUE(writer->Append(patches[i]).ok());
+    }
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+  ExpectSamePatches(reader->ReadAll().value(), patches);
+}
+
+TEST_F(ColumnarTest, NonAscendingIdIsRejected) {
+  auto writer = columnar::ColumnarWriter::Open(Path("v.col")).value();
+  Rng rng(1);
+  ASSERT_TRUE(writer->Append(RandomPatch(10, &rng)).ok());
+  Status st = writer->Append(RandomPatch(10, &rng));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(writer->Append(RandomPatch(3, &rng)).ok());
+}
+
+TEST_F(ColumnarTest, EmptyFileIsValidAndEmpty) {
+  {
+    auto writer = columnar::ColumnarWriter::Open(Path("v.col")).value();
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+  EXPECT_EQ(reader->total_rows(), 0u);
+  EXPECT_EQ(reader->num_chunks(), 0u);
+  EXPECT_TRUE(reader->ReadAll().value().empty());
+}
+
+// --- Differential vs legacy format ----------------------------------------
+
+TEST_F(ColumnarTest, DifferentialAgainstLegacyRandomized) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    const PatchCollection patches = RandomPatches(211, seed);
+    auto legacy = MaterializedView::Open(Path("legacy_" + std::to_string(seed)),
+                                         MaterializedView::Format::kLegacy)
+                      .value();
+    setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", "32", 1);
+    auto col = MaterializedView::Open(Path("col_" + std::to_string(seed)),
+                                      MaterializedView::Format::kColumnar)
+                   .value();
+    ASSERT_EQ(legacy->format(), MaterializedView::Format::kLegacy);
+    ASSERT_EQ(col->format(), MaterializedView::Format::kColumnar);
+    for (const Patch& p : patches) {
+      ASSERT_TRUE(legacy->Append(p).ok());
+      ASSERT_TRUE(col->Append(p).ok());
+    }
+    ASSERT_TRUE(legacy->Flush().ok());
+    ASSERT_TRUE(col->Flush().ok());
+    EXPECT_EQ(col->size(), legacy->size());
+    ExpectSamePatches(col->LoadAll().value(), legacy->LoadAll().value());
+  }
+}
+
+TEST_F(ColumnarTest, DifferentialEdgeCases) {
+  // Empty view, single-chunk view, and NULL-heavy view must all agree
+  // with the legacy format row for row.
+  const struct {
+    const char* name;
+    PatchCollection patches;
+  } kCases[] = {
+      {"empty", {}},
+      {"one_chunk", RandomPatches(20, 5)},  // < default chunk_rows
+      {"null_heavy", RandomPatches(150, 6, /*null_heavy=*/true)},
+  };
+  for (const auto& c : kCases) {
+    auto legacy =
+        MaterializedView::Open(Path(std::string("l_") + c.name),
+                               MaterializedView::Format::kLegacy)
+            .value();
+    auto col = MaterializedView::Open(Path(std::string("c_") + c.name),
+                                      MaterializedView::Format::kColumnar)
+                   .value();
+    for (const Patch& p : c.patches) {
+      ASSERT_TRUE(legacy->Append(p).ok());
+      ASSERT_TRUE(col->Append(p).ok());
+    }
+    ASSERT_TRUE(legacy->Flush().ok());
+    ASSERT_TRUE(col->Flush().ok());
+    ExpectSamePatches(col->LoadAll().value(), legacy->LoadAll().value());
+  }
+}
+
+TEST_F(ColumnarTest, OutOfOrderAndOverwritingAppendsMatchLegacy) {
+  setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", "16", 1);
+  auto legacy = MaterializedView::Open(Path("legacy"),
+                                       MaterializedView::Format::kLegacy)
+                    .value();
+  auto col = MaterializedView::Open(Path("col"),
+                                    MaterializedView::Format::kColumnar)
+                 .value();
+  Rng rng(123);
+  // Shuffled ids, then overwrite a third of them with fresh content.
+  std::vector<PatchId> ids;
+  for (PatchId id = 1; id <= 90; ++id) ids.push_back(id);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextU64Below(i)]);
+  }
+  for (PatchId id : ids) {
+    const Patch p = RandomPatch(id, &rng);
+    ASSERT_TRUE(legacy->Append(p).ok());
+    ASSERT_TRUE(col->Append(p).ok());
+  }
+  for (PatchId id = 2; id <= 90; id += 3) {
+    const Patch p = RandomPatch(id, &rng);
+    ASSERT_TRUE(legacy->Append(p).ok());
+    ASSERT_TRUE(col->Append(p).ok());
+  }
+  ASSERT_TRUE(legacy->Flush().ok());
+  ASSERT_TRUE(col->Flush().ok());
+  ExpectSamePatches(col->LoadAll().value(), legacy->LoadAll().value());
+  // The merge-rewrite must leave a clean strictly-ascending file behind.
+  auto reader = col->OpenReader().value();
+  EXPECT_EQ(reader->total_rows(), 90u);
+}
+
+// --- Zone-map pruning vs unpruned scans ------------------------------------
+
+// Patches whose "bucket" meta key is monotone in the id, so a range
+// predicate on it prunes a contiguous chunk prefix/suffix via zone maps.
+PatchCollection BucketedPatches(size_t n) {
+  Rng rng(77);
+  PatchCollection out;
+  for (size_t i = 0; i < n; ++i) {
+    Patch p = RandomPatch(static_cast<PatchId>(i + 1), &rng);
+    p.mutable_meta().Set("bucket", static_cast<int64_t>(i / 10));
+    p.mutable_meta().Set("label",
+                         std::string(i % 3 == 0 ? "car" : "person"));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST_F(ColumnarTest, ZoneMapPrunedScanMatchesUnprunedScan) {
+  setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", "20", 1);
+  const PatchCollection patches = BucketedPatches(200);
+
+  auto db = Database::Open(Path("db")).value();
+  ASSERT_TRUE(db->RegisterView("v", patches).ok());
+  ASSERT_TRUE(db->PersistView("v").ok());
+
+  // Resident scan (full collection in RAM) is the oracle.
+  ViewCache resident;
+  resident.patches = patches;
+
+  ASSERT_TRUE(db->AttachPersistedView("v").ok());
+  ViewCache* attached = db->GetView("v").value();
+  ASSERT_TRUE(attached->disk_backed());
+
+  const struct {
+    const char* name;
+    ExprPtr predicate;
+    bool expect_pruning;
+  } kCases[] = {
+      {"range", And(Ge(Attr("bucket"), Lit(int64_t{4})),
+                    Lt(Attr("bucket"), Lit(int64_t{7}))),
+       true},
+      {"eq_plus_residual",
+       And(Eq(Attr("bucket"), Lit(int64_t{2})),
+           Eq(Attr("label"), Lit("car"))),
+       true},
+      {"unsargable_arith",
+       Gt(Add(Attr("bucket"), Lit(int64_t{0})), Lit(int64_t{15})), false},
+      {"no_predicate", nullptr, false},
+      {"empty_result", Gt(Attr("bucket"), Lit(int64_t{1000})), true},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    PlanExplanation oracle_plan;
+    auto expected =
+        Planner::ExecuteScan(resident, c.predicate, &oracle_plan).value();
+    PlanExplanation plan;
+    auto got = Planner::ExecuteScan(*attached, c.predicate, &plan).value();
+    EXPECT_EQ(plan.path, AccessPath::kColumnarScan);
+    EXPECT_TRUE(plan.columnar.used);
+    EXPECT_EQ(plan.columnar.chunks_total, 10u);
+    if (c.expect_pruning) {
+      EXPECT_GT(plan.columnar.chunks_pruned, 0u);
+    } else {
+      EXPECT_EQ(plan.columnar.chunks_pruned, 0u);
+    }
+    EXPECT_EQ(plan.columnar.chunks_read,
+              plan.columnar.chunks_total - plan.columnar.chunks_pruned);
+    ExpectSamePatches(got, expected);
+  }
+}
+
+TEST_F(ColumnarTest, AggregatesOnAttachedViewMatchResident) {
+  setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", "20", 1);
+  const PatchCollection patches = BucketedPatches(200);
+  auto db = Database::Open(Path("db")).value();
+  ASSERT_TRUE(db->RegisterView("v", patches).ok());
+  ASSERT_TRUE(db->PersistView("v").ok());
+  ASSERT_TRUE(db->AttachPersistedView("v").ok());
+  ViewCache* attached = db->GetView("v").value();
+  ViewCache resident;
+  resident.patches = patches;
+
+  const ExprPtr pred = Le(Attr("bucket"), Lit(int64_t{5}));
+  EXPECT_EQ(Planner::ExecuteScanCount(*attached, pred, nullptr).value(),
+            Planner::ExecuteScanCount(resident, pred, nullptr).value());
+  EXPECT_EQ(
+      Planner::ExecuteScanCountDistinct(*attached, "label", pred, nullptr)
+          .value(),
+      Planner::ExecuteScanCountDistinct(resident, "label", pred, nullptr)
+          .value());
+  EXPECT_EQ(
+      Planner::ExecuteScanGroupCount(*attached, "label", pred, nullptr)
+          .value(),
+      Planner::ExecuteScanGroupCount(resident, "label", pred, nullptr)
+          .value());
+  auto got = Planner::ExecuteScanMinBy(*attached, "bucket", pred, nullptr)
+                 .value();
+  auto expected =
+      Planner::ExecuteScanMinBy(resident, "bucket", pred, nullptr).value();
+  ASSERT_EQ(got.has_value(), expected.has_value());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(SerializePatch(*got), SerializePatch(*expected));
+}
+
+// --- Corruption recovery ---------------------------------------------------
+
+TEST_F(ColumnarTest, TornTailIsTypedCorruption) {
+  {
+    columnar::ColumnarWriterOptions options;
+    options.chunk_rows = 16;
+    auto writer =
+        columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+    for (const Patch& p : RandomPatches(64, 9)) {
+      ASSERT_TRUE(writer->Append(p).ok());
+    }
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  // A crash mid-commit leaves a truncated tail.
+  const auto full = std::filesystem::file_size(Path("v.col"));
+  std::filesystem::resize_file(Path("v.col"), full - 5);
+  auto opened = columnar::ColumnarReader::Open(Path("v.col"));
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ColumnarTest, FlippedChunkByteIsTypedCorruption) {
+  {
+    columnar::ColumnarWriterOptions options;
+    options.chunk_rows = 16;
+    auto writer =
+        columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+    for (const Patch& p : RandomPatches(64, 10)) {
+      ASSERT_TRUE(writer->Append(p).ok());
+    }
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  // Footer stays valid, so Open succeeds; the damaged chunk's CRC check
+  // fires at read time.
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+  ASSERT_GT(reader->num_chunks(), 1u);
+  const uint64_t offset = reader->chunk(1).offset + 3;
+  {
+    std::fstream f(Path("v.col"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+  auto damaged = columnar::ColumnarReader::Open(Path("v.col")).value();
+  auto read = damaged->ReadChunk(1, columnar::ChunkReadOptions{});
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  // Undamaged chunks still read fine.
+  EXPECT_TRUE(damaged->ReadChunk(0, columnar::ChunkReadOptions{}).ok());
+}
+
+TEST_F(ColumnarTest, GarbageFileIsTypedCorruption) {
+  {
+    std::ofstream f(Path("v.col"), std::ios::binary);
+    f << "DLCOLV1\nnot really a footer at all";
+  }
+  auto opened = columnar::ColumnarReader::Open(Path("v.col"));
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+// --- Async decode-ahead loader ---------------------------------------------
+
+TEST_F(ColumnarTest, ConcurrentPrefetchScansAreDeterministic) {
+  setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", "16", 1);
+  const PatchCollection patches = RandomPatches(160, 21);
+  auto view = MaterializedView::Open(Path("v"),
+                                     MaterializedView::Format::kColumnar)
+                  .value();
+  for (const Patch& p : patches) ASSERT_TRUE(view->Append(p).ok());
+  ASSERT_TRUE(view->Flush().ok());
+  auto reader = view->OpenReader().value();
+
+  // Many threads, each with its own decode-ahead loader over the shared
+  // reader; every scan must produce the identical byte sequence.
+  constexpr int kThreads = 4;
+  std::vector<PatchCollection> results(kThreads);
+  std::vector<Status> statuses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<size_t> chunks(reader->num_chunks());
+      for (size_t i = 0; i < chunks.size(); ++i) chunks[i] = i;
+      columnar::PrefetchOptions prefetch;
+      prefetch.depth = 1 + static_cast<size_t>(t);  // vary the knob
+      columnar::AsyncChunkLoader loader(reader, chunks,
+                                        columnar::ChunkReadOptions{},
+                                        prefetch);
+      while (true) {
+        auto rows = loader.Next();
+        if (!rows.ok()) {
+          statuses[t] = rows.status();
+          return;
+        }
+        if (!rows.value().has_value()) break;
+        for (Patch& p : *rows.value()) {
+          results[t].push_back(std::move(p));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << statuses[t].ToString();
+    ExpectSamePatches(results[t], patches);
+  }
+}
+
+TEST_F(ColumnarTest, ByteBudgetBoundsTheQueue) {
+  const PatchCollection patches = RandomPatches(240, 31);
+  columnar::ColumnarWriterOptions options;
+  options.chunk_rows = 16;
+  auto writer =
+      columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+  for (const Patch& p : patches) ASSERT_TRUE(writer->Append(p).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+
+  std::vector<size_t> chunks(reader->num_chunks());
+  size_t max_chunk_bytes = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    chunks[i] = i;
+    size_t bytes = 0;
+    const PatchCollection chunk_rows =
+        reader->ReadChunk(i, columnar::ChunkReadOptions{}).value();
+    for (const Patch& p : chunk_rows) {
+      bytes += columnar::ApproxPatchBytes(p);
+    }
+    max_chunk_bytes = std::max(max_chunk_bytes, bytes);
+  }
+  columnar::PrefetchOptions prefetch;
+  prefetch.depth = 8;
+  prefetch.byte_budget = 1;  // every queued chunk overshoots
+  columnar::AsyncChunkLoader loader(reader, chunks,
+                                    columnar::ChunkReadOptions{}, prefetch);
+  // Don't consume yet: with nothing draining, the worker enqueues chunk 0
+  // (empty-queue exemption), then must hit the budget wait on chunk 1.
+  // Polling instead of asserting after the drain keeps this deterministic
+  // — a fast consumer can otherwise empty the queue before the worker
+  // ever observes it over budget.
+  while (loader.stats().budget_waits == 0) {
+    std::this_thread::yield();
+  }
+  PatchCollection all;
+  while (true) {
+    auto rows = loader.Next().value();
+    if (!rows.has_value()) break;
+    for (Patch& p : *rows) all.push_back(std::move(p));
+  }
+  ExpectSamePatches(all, patches);
+  const columnar::PrefetchStats stats = loader.stats();
+  EXPECT_EQ(stats.chunks_loaded, reader->num_chunks());
+  EXPECT_EQ(stats.rows_loaded, patches.size());
+  EXPECT_GT(stats.budget_waits, 0u);
+  // The empty-queue exemption admits one oversized chunk at a time, so
+  // the high-water mark is a single chunk, never depth * chunk.
+  EXPECT_LE(stats.peak_queued_bytes, max_chunk_bytes);
+}
+
+TEST_F(ColumnarTest, DepthZeroIsSynchronous) {
+  const PatchCollection patches = RandomPatches(60, 41);
+  columnar::ColumnarWriterOptions options;
+  options.chunk_rows = 16;
+  auto writer =
+      columnar::ColumnarWriter::Open(Path("v.col"), options).value();
+  for (const Patch& p : patches) ASSERT_TRUE(writer->Append(p).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+  std::vector<size_t> chunks(reader->num_chunks());
+  for (size_t i = 0; i < chunks.size(); ++i) chunks[i] = i;
+  columnar::PrefetchOptions prefetch;
+  prefetch.depth = 0;
+  columnar::AsyncChunkLoader loader(reader, chunks,
+                                    columnar::ChunkReadOptions{}, prefetch);
+  PatchCollection all;
+  while (true) {
+    auto rows = loader.Next().value();
+    if (!rows.has_value()) break;
+    for (Patch& p : *rows) all.push_back(std::move(p));
+  }
+  ExpectSamePatches(all, patches);
+  EXPECT_EQ(loader.stats().depth, 0u);
+  EXPECT_EQ(loader.stats().consumer_waits, 0u);
+}
+
+TEST_F(ColumnarTest, ProjectionSkipsUnrequestedColumns) {
+  const PatchCollection patches = BucketedPatches(50);
+  auto writer = columnar::ColumnarWriter::Open(Path("v.col")).value();
+  for (const Patch& p : patches) ASSERT_TRUE(writer->Append(p).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+
+  columnar::ChunkReadOptions options;
+  options.projection.pixels = false;
+  options.projection.features = false;
+  options.projection.all_meta = false;
+  options.projection.meta_keys = {"bucket"};
+  auto rows = reader->ReadChunk(0, options).value();
+  ASSERT_EQ(rows.size(), patches.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].id(), patches[i].id());
+    EXPECT_FALSE(rows[i].has_pixels());
+    EXPECT_FALSE(rows[i].has_features());
+    EXPECT_EQ(rows[i].meta().Get("bucket").Compare(
+                  patches[i].meta().Get("bucket")),
+              0);
+    EXPECT_TRUE(rows[i].meta().Get("label").is_null());  // not projected
+  }
+}
+
+TEST_F(ColumnarTest, ChunkRowsKnobShapesTheFile) {
+  setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", "25", 1);
+  auto writer = columnar::ColumnarWriter::Open(Path("v.col")).value();
+  for (const Patch& p : RandomPatches(100, 51)) {
+    ASSERT_TRUE(writer->Append(p).ok());
+  }
+  ASSERT_TRUE(writer->Commit().ok());
+  auto reader = columnar::ColumnarReader::Open(Path("v.col")).value();
+  EXPECT_EQ(reader->num_chunks(), 4u);
+  for (size_t c = 0; c < reader->num_chunks(); ++c) {
+    EXPECT_EQ(reader->chunk(c).rows, 25u);
+  }
+}
+
+}  // namespace
+}  // namespace deeplens

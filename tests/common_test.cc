@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "storage/columnar/format.h"
 
 namespace deeplens {
 namespace {
@@ -438,6 +439,91 @@ TEST_F(ServingKnobTest, AdmissionWaitMsMatrix) {
   EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_ADMISSION_WAIT_MS", kDefault,
                                86400000ull, /*allow_zero=*/true),
             kDefault);
+}
+
+// --- Columnar storage knobs ----------------------------------------------
+// The chunk-size and prefetch knobs size buffers directly, so a garbage
+// value must fall back, never size a zero-row chunk or an unbounded
+// queue. The format choice knob is closed-set with case-folding.
+
+class ColumnarKnobTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("DEEPLENS_COLUMNAR_CHUNK_ROWS");
+    unsetenv("DEEPLENS_PREFETCH_DEPTH");
+    unsetenv("DEEPLENS_VIEW_FORMAT");
+  }
+};
+
+TEST_F(ColumnarKnobTest, ChunkRowsMatrix) {
+  const struct {
+    const char* value;
+    size_t expected;
+  } kCases[] = {
+      {"1", 1},            // minimum legal chunk
+      {"8192", 8192},      // the default, spelled out
+      {"65536", 65536},    // max
+      {"0", columnar::kDefaultChunkRows},      // zero-row chunks illegal
+      {"65537", columnar::kDefaultChunkRows},  // beyond kMaxChunkRows
+      {"-1", columnar::kDefaultChunkRows},
+      {"4k", columnar::kDefaultChunkRows},     // no suffixes
+      {"", columnar::kDefaultChunkRows},
+      {"  16", columnar::kDefaultChunkRows},   // bare decimal only
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_COLUMNAR_CHUNK_ROWS", c.value, 1);
+    EXPECT_EQ(columnar::ColumnarChunkRowsFromEnv(), c.expected)
+        << "value='" << c.value << "'";
+  }
+  unsetenv("DEEPLENS_COLUMNAR_CHUNK_ROWS");
+  EXPECT_EQ(columnar::ColumnarChunkRowsFromEnv(),
+            columnar::kDefaultChunkRows);
+}
+
+TEST_F(ColumnarKnobTest, PrefetchDepthMatrix) {
+  const struct {
+    const char* value;
+    size_t expected;
+  } kCases[] = {
+      {"0", 0},   // legal: disables the I/O thread (synchronous loads)
+      {"1", 1},
+      {"64", 64},  // kMaxPrefetchDepth
+      {"65", columnar::kDefaultPrefetchDepth},  // beyond the cap
+      {"-2", columnar::kDefaultPrefetchDepth},
+      {"two", columnar::kDefaultPrefetchDepth},
+      {"4 ", columnar::kDefaultPrefetchDepth},  // trailing garbage
+      {"", columnar::kDefaultPrefetchDepth},
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_PREFETCH_DEPTH", c.value, 1);
+    EXPECT_EQ(columnar::PrefetchDepthFromEnv(), c.expected)
+        << "value='" << c.value << "'";
+  }
+  unsetenv("DEEPLENS_PREFETCH_DEPTH");
+  EXPECT_EQ(columnar::PrefetchDepthFromEnv(),
+            columnar::kDefaultPrefetchDepth);
+}
+
+TEST_F(ColumnarKnobTest, ViewFormatMatrix) {
+  const struct {
+    const char* value;
+    const char* expected;
+  } kCases[] = {
+      {"columnar", "columnar"},
+      {"legacy", "legacy"},
+      {"LEGACY", "legacy"},    // case-insensitive, canonical returned
+      {"Columnar", "columnar"},
+      {"parquet", "columnar"},  // outside the closed set -> default
+      {"", "columnar"},
+      {"legacy ", "columnar"},  // trailing space is not a match
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_VIEW_FORMAT", c.value, 1);
+    EXPECT_EQ(columnar::ViewFormatFromEnv(), c.expected)
+        << "value='" << c.value << "'";
+  }
+  unsetenv("DEEPLENS_VIEW_FORMAT");
+  EXPECT_EQ(columnar::ViewFormatFromEnv(), "columnar");
 }
 
 }  // namespace
