@@ -2,8 +2,9 @@
 """Bench regression gate for the `bench` CI stage.
 
 Compares the speedup metrics of freshly emitted BENCH_cache.json /
-BENCH_pipeline.json / BENCH_store.json (written into the repo root by
-bench_micro_cache, bench_micro_pipeline_batch, and bench_micro_store)
+BENCH_pipeline.json / BENCH_store.json / BENCH_plans.json (written into
+the repo root by bench_micro_cache, bench_micro_pipeline_batch,
+bench_micro_store, and bench_tab1_plans --optimizer-only)
 against the committed baselines in
 bench/baselines/, and fails when any metric regresses by more than 20%.
 
@@ -124,6 +125,23 @@ def store_metrics(doc):
     }
 
 
+def plans_metrics(doc):
+    """Optimizer ratios emitted by bench_tab1_plans --optimizer-only.
+
+    udf_reorder_speedup: a query written expensive-UDF-first vs the
+    planner's cost-ranked order (cheap sargable conjunct hoisted in front
+    of the model). cascade_speedup: proxy cascade at threshold 0.25 vs
+    the full-model scan on a 70%-confidently-rejectable view. Both are
+    verified byte-identical before timing, so a regression here is pure
+    performance, never accuracy.
+    """
+    return {
+        k: v
+        for k, v in doc.items()
+        if isinstance(v, (int, float)) and "_speedup" in k
+    }
+
+
 def check(fresh_name, extract):
     fresh_doc = load(REPO_ROOT / fresh_name)
     base_doc = load(REPO_ROOT / "bench" / "baselines" / fresh_name)
@@ -163,6 +181,7 @@ def main():
     failures += check("BENCH_cache.json", cache_metrics)
     failures += check("BENCH_pipeline.json", pipeline_metrics)
     failures += check("BENCH_store.json", store_metrics)
+    failures += check("BENCH_plans.json", plans_metrics)
     if failures:
         print("\ncheck_bench: FAILED")
         for f in failures:

@@ -61,6 +61,10 @@ stage_bench() {
   # Storage gate: pruned columnar scan >= 2x the legacy selective scan
   # with zone maps pruning >= half the chunks. Writes BENCH_store.json.
   "$BUILD_DIR"/bench_micro_store
+  # Optimizer gate: UDF-first query reordered >= 2x, proxy cascade >=
+  # 1.2x, both byte-identical to the naive plans. Writes
+  # BENCH_plans.json.
+  "$BUILD_DIR"/bench_tab1_plans --optimizer-only
   # Regression gate: fresh speedups must stay within 20% of the
   # committed baselines.
   python3 scripts/check_bench.py
@@ -99,7 +103,7 @@ stage_tsan() {
     -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             serving_test columnar_test
+             serving_test columnar_test optimizer_test
   (cd "$dir" && ctest --output-on-failure -L parallel)
 }
 
@@ -114,7 +118,7 @@ stage_asan() {
     -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             storage_test serving_test columnar_test
+             storage_test serving_test columnar_test optimizer_test
   (cd "$dir" && ctest --output-on-failure -L 'parallel|persistence')
 }
 

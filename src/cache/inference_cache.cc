@@ -228,8 +228,9 @@ void InferenceCache::Put(const std::string& key, InferenceValue value) {
 
 Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
                                   const Image& pixels, uint64_t fingerprint,
-                                  nn::Device* device,
-                                  InferenceCache* cache) {
+                                  nn::Device* device, InferenceCache* cache,
+                                  bool* computed) {
+  if (computed != nullptr) *computed = false;
   std::string key;
   if (cache != nullptr && cache->enabled() && fingerprint != 0) {
     key = InferenceCache::KeyFor(
@@ -252,9 +253,10 @@ Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
     DL_ASSIGN_OR_RETURN(
         auto shared,
         cache->inflight()->Do(key, [&]() -> Result<InferenceValue> {
-          DL_ASSIGN_OR_RETURN(std::string computed,
+          if (computed != nullptr) *computed = true;  // flight leader
+          DL_ASSIGN_OR_RETURN(std::string text,
                               ocr.RecognizeText(pixels, device));
-          InferenceValue value{computed};
+          InferenceValue value{text};
           cache->Put(key, value);
           return value;
         }));
@@ -263,6 +265,7 @@ Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
     }
     return Status::Internal("in-flight OCR value has non-string payload");
   }
+  if (computed != nullptr) *computed = true;
   DL_ASSIGN_OR_RETURN(std::string text, ocr.RecognizeText(pixels, device));
   if (!key.empty()) {
     cache->Put(key, InferenceValue{text});
@@ -273,7 +276,8 @@ Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
 Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
                            const nn::BBox& bbox, int frame_h,
                            uint64_t fingerprint, nn::Device* device,
-                           InferenceCache* cache) {
+                           InferenceCache* cache, bool* computed) {
+  if (computed != nullptr) *computed = false;
   std::string key;
   if (cache != nullptr && cache->enabled() && fingerprint != 0) {
     // The geometry cue depends on the source-frame height, so it is part
@@ -292,10 +296,11 @@ Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
     DL_ASSIGN_OR_RETURN(
         auto shared,
         cache->inflight()->Do(key, [&]() -> Result<InferenceValue> {
+          if (computed != nullptr) *computed = true;  // flight leader
           DL_ASSIGN_OR_RETURN(
-              float computed,
+              float predicted,
               model.PredictDepth(pixels, bbox, frame_h, device));
-          InferenceValue value{static_cast<double>(computed)};
+          InferenceValue value{static_cast<double>(predicted)};
           cache->Put(key, value);
           return value;
         }));
@@ -304,6 +309,7 @@ Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
     }
     return Status::Internal("in-flight depth value has non-double payload");
   }
+  if (computed != nullptr) *computed = true;
   DL_ASSIGN_OR_RETURN(float depth,
                       model.PredictDepth(pixels, bbox, frame_h, device));
   const double value = static_cast<double>(depth);

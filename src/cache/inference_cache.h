@@ -142,16 +142,21 @@ class InferenceCache {
 // cache).
 
 /// OCR over patch pixels. `fingerprint` is Patch::Fingerprint() (or
-/// ImageFingerprint for bare crops).
+/// ImageFingerprint for bare crops). `computed`, when non-null, reports
+/// whether this call ran the model itself (miss path) as opposed to
+/// being served by the cache or a concurrent in-flight computation — the
+/// cost model's hit/miss discriminator for its runtime EWMAs.
 Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
                                   const Image& pixels, uint64_t fingerprint,
-                                  nn::Device* device, InferenceCache* cache);
+                                  nn::Device* device, InferenceCache* cache,
+                                  bool* computed = nullptr);
 
-/// Monocular depth over patch pixels + box geometry.
+/// Monocular depth over patch pixels + box geometry. `computed` as in
+/// CachedOcrText.
 Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
                            const nn::BBox& bbox, int frame_h,
                            uint64_t fingerprint, nn::Device* device,
-                           InferenceCache* cache);
+                           InferenceCache* cache, bool* computed = nullptr);
 
 /// Fingerprint for cache use: 0 (no hashing at all) when no enabled
 /// cache is attached, so the cache-disabled configuration pays nothing.

@@ -42,6 +42,36 @@ uint64_t PowerOfTwoFromEnv(const char* name, uint64_t fallback,
   return clamped;
 }
 
+double BoundedDoubleFromEnv(const char* name, double fallback,
+                            double min_value, double max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  // Shape check before strtod: strtod happily accepts "1e9", "0x1p2",
+  // "inf", "nan", and leading whitespace — none of which a threshold
+  // knob should. Accept only -?[0-9]+(\.[0-9]*)?.
+  const char* p = env;
+  if (*p == '-') ++p;
+  const char* digits_start = p;
+  while (*p >= '0' && *p <= '9') ++p;
+  const bool has_int_digits = p != digits_start;
+  if (*p == '.') {
+    ++p;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  const bool bare_decimal = has_int_digits && *p == '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = bare_decimal ? std::strtod(env, &end) : 0.0;
+  if (!bare_decimal || errno == ERANGE || end == nullptr || *end != '\0' ||
+      parsed < min_value || parsed > max_value) {
+    DL_LOG(kWarn) << name << "='" << env << "' is not a valid value in ["
+                  << min_value << ", " << max_value << "]; using default "
+                  << fallback;
+    return fallback;
+  }
+  return parsed;
+}
+
 std::map<std::string, uint64_t> WeightMapFromEnv(
     const char* name, uint64_t max_weight,
     const std::map<std::string, uint64_t>& fallback) {

@@ -52,6 +52,16 @@ std::map<std::string, uint64_t> WeightMapFromEnv(
     const char* name, uint64_t max_weight,
     const std::map<std::string, uint64_t>& fallback = {});
 
+/// Parses environment variable `name` as a decimal floating-point value
+/// in [min_value, max_value]. Returns `fallback` when unset. The value
+/// must be a bare decimal number — an optional leading '-', digits, and
+/// at most one '.' (e.g. "0.25", "1", "0."): scientific notation, hex
+/// floats, inf/nan, whitespace, and trailing garbage are rejected with a
+/// warning and fall back, as are out-of-range values. This is the float
+/// analogue of PositiveIntFromEnv, used by ratio/threshold knobs.
+double BoundedDoubleFromEnv(const char* name, double fallback,
+                            double min_value, double max_value);
+
 /// Parses environment variable `name` as one of a closed set of choices
 /// (matched ASCII-case-insensitively; the canonical lowercase spelling is
 /// returned). Unset returns `fallback`; a value outside the set is

@@ -1,0 +1,103 @@
+#include "core/cost_model.h"
+
+namespace deeplens {
+
+namespace {
+
+// FNV-1a over a byte string; stable across runs so profiles recorded by
+// one query rank the next one's identical shapes.
+uint64_t Fnv1a(const std::string& s, uint64_t h = 14695981039346656037ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ConjunctShapeFingerprint(const ExprPtr& conjunct) {
+  if (!conjunct) return 0;
+  int op = 0;
+  size_t slot = 0;
+  std::string key;
+  MetaValue value;
+  if (conjunct->AsAttrCmpLit(&op, &slot, &key, &value)) {
+    // Literal-abstracted: "age > 10" and "age > 90" pool their
+    // selectivity. Good for the common parameterized-query case; a zone
+    // map refines the estimate per-literal at plan time when available.
+    std::string shape = "attr:";
+    shape += std::to_string(op);
+    shape += ':';
+    shape += std::to_string(slot);
+    shape += ':';
+    shape += key;
+    return Fnv1a(shape);
+  }
+  return Fnv1a(conjunct->ToString());
+}
+
+CostModel* CostModel::Global() {
+  static CostModel* model = new CostModel();  // leaky: see header
+  return model;
+}
+
+void CostModel::RecordUdfEval(const std::string& model, bool cache_hit,
+                              double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UdfCostProfile& p = udf_[model];
+  double& ewma = cache_hit ? p.hit_ms : p.miss_ms;
+  uint64_t& n = cache_hit ? p.hit_samples : p.miss_samples;
+  ewma = n == 0 ? ms : ewma + kEwmaAlpha * (ms - ewma);
+  ++n;
+}
+
+std::optional<UdfCostProfile> CostModel::UdfProfile(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = udf_.find(model);
+  if (it == udf_.end()) return std::nullopt;
+  return it->second;
+}
+
+double CostModel::ExpectedUdfMs(const std::string& model,
+                                double hit_rate) const {
+  UdfCostProfile p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = udf_.find(model);
+    if (it != udf_.end()) p = it->second;
+  }
+  const double hit_ms = p.hit_samples > 0 ? p.hit_ms : kDefaultHitMs;
+  const double miss_ms = p.miss_samples > 0 ? p.miss_ms : kDefaultMissMs;
+  const double hr = hit_rate < 0.0 ? 0.0 : (hit_rate > 1.0 ? 1.0 : hit_rate);
+  return hit_ms * hr + miss_ms * (1.0 - hr);
+}
+
+void CostModel::RecordSelectivity(uint64_t shape_fp, uint64_t evaluated,
+                                  uint64_t passed) {
+  if (evaluated == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SelectivityCounts& c = selectivity_[shape_fp];
+  c.evaluated += evaluated;
+  c.passed += passed;
+}
+
+double CostModel::Selectivity(uint64_t shape_fp, double fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = selectivity_.find(shape_fp);
+  if (it == selectivity_.end() ||
+      it->second.evaluated < kMinSelectivitySamples) {
+    return fallback;
+  }
+  return static_cast<double>(it->second.passed) /
+         static_cast<double>(it->second.evaluated);
+}
+
+void CostModel::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  udf_.clear();
+  selectivity_.clear();
+}
+
+}  // namespace deeplens

@@ -1,0 +1,95 @@
+// Cost model feeding the planner's UDF optimizer (paper §5 "Visual Query
+// Optimizer": NN UDF placement dominates visual query cost, so the
+// planner needs live per-UDF runtime and selectivity figures, not static
+// guesses). Three feedback loops meet here:
+//
+//  * Runtime profiles: every NN UDF evaluation (exec/nn_udf.cc) records
+//    its wall time, split into cache-hit and full-model EWMAs, so the
+//    expected per-row cost of a UDF conjunct is hit_ms·hr + miss_ms·(1−hr)
+//    with `hr` taken from the live InferenceCache stats at plan time.
+//  * Selectivity profiles: CompiledPredicate counts per-conjunct
+//    evaluated/passed rows (batched, one atomic flush per eval call) and
+//    publishes them keyed by the conjunct's shape fingerprint, so repeat
+//    queries rank conjuncts by *observed* pass rates.
+//  * Both stores are process-global leaky singletons: expressions,
+//    benches, and morsel workers publish into them without any plumbing,
+//    and no static-destruction-order hazard exists because they are never
+//    destroyed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "exec/expression.h"
+
+namespace deeplens {
+
+/// Per-UDF runtime profile: exponentially-weighted moving averages of
+/// the cache-hit path (lookup-bound) and the full-model path
+/// (compute-bound), kept separate because they differ by orders of
+/// magnitude and the mix depends on the live cache hit rate.
+struct UdfCostProfile {
+  double hit_ms = 0.0;
+  double miss_ms = 0.0;
+  uint64_t hit_samples = 0;
+  uint64_t miss_samples = 0;
+};
+
+/// Stable fingerprint of one conjunct's *shape*. Attr-vs-literal
+/// comparisons are literal-abstracted (op, slot, key only) so observed
+/// selectivity pools across query constants; opaque conjuncts (UDF
+/// comparisons, geometry, arithmetic) are keyed by their full text.
+uint64_t ConjunctShapeFingerprint(const ExprPtr& conjunct);
+
+/// \brief Process-global cost observations. Thread-safe; all methods may
+/// be called concurrently from morsel workers and planning threads.
+class CostModel {
+ public:
+  /// The singleton (leaky: never destroyed, safe to publish into from
+  /// static-destruction time).
+  static CostModel* Global();
+
+  /// Records one UDF evaluation of `model` taking `ms` wall milliseconds.
+  /// `cache_hit` selects which EWMA absorbs the sample.
+  void RecordUdfEval(const std::string& model, bool cache_hit, double ms);
+
+  /// Profile for `model`, if any evaluation has been recorded.
+  std::optional<UdfCostProfile> UdfProfile(const std::string& model) const;
+
+  /// Expected per-row cost (ms) of running `model` given the live cache
+  /// hit rate. Falls back to conservative defaults (`kDefaultMissMs` /
+  /// `kDefaultHitMs`) for sides of the profile with no samples yet.
+  double ExpectedUdfMs(const std::string& model, double hit_rate) const;
+
+  /// Records that a conjunct with shape `shape_fp` was evaluated over
+  /// `evaluated` rows of which `passed` survived.
+  void RecordSelectivity(uint64_t shape_fp, uint64_t evaluated,
+                         uint64_t passed);
+
+  /// Observed pass rate for shape `shape_fp`; `fallback` when fewer than
+  /// `kMinSelectivitySamples` rows have been observed.
+  double Selectivity(uint64_t shape_fp, double fallback) const;
+
+  /// Drops all profiles (test isolation).
+  void Clear();
+
+  static constexpr double kDefaultMissMs = 1.0;
+  static constexpr double kDefaultHitMs = 0.005;
+  static constexpr double kEwmaAlpha = 0.2;
+  static constexpr uint64_t kMinSelectivitySamples = 32;
+
+ private:
+  struct SelectivityCounts {
+    uint64_t evaluated = 0;
+    uint64_t passed = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, UdfCostProfile> udf_;
+  std::unordered_map<uint64_t, SelectivityCounts> selectivity_;
+};
+
+}  // namespace deeplens

@@ -7,6 +7,19 @@
 
 namespace deeplens {
 
+namespace {
+
+// Process-global view-version source. Monotone and never reused, so a
+// memoized plan keyed by (version, shape) can never match a view that was
+// re-registered — even under the same name with identical contents but a
+// different index set.
+uint64_t NextViewVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 Database::Database(std::string root)
     : root_(std::move(root)), depth_(nn::kFocalTimesHeight) {
   ConfigureCaches(CacheConfig::FromEnv());
@@ -164,6 +177,7 @@ Status Database::RegisterView(const std::string& name,
   view.btree_indexes.clear();
   view.feature_index.reset();
   view.bbox_index.reset();
+  view.version = NextViewVersion();
   return Status::OK();
 }
 
@@ -226,6 +240,7 @@ Status Database::AttachPersistedView(const std::string& name) {
   view.btree_indexes.clear();
   view.feature_index.reset();
   view.bbox_index.reset();
+  view.version = NextViewVersion();
   return Status::OK();
 }
 
@@ -307,6 +322,9 @@ Result<IndexStats> Database::BuildIndex(const std::string& view_name,
           IndexKindName(kind));
   }
   stats.build_millis = timer.ElapsedMillis();
+  // A new index changes which access paths exist, so memoized plans for
+  // the previous version must re-plan.
+  view->version = NextViewVersion();
   DL_LOG(kInfo) << "built " << IndexKindName(kind) << " index on '"
                 << view_name << "." << meta_key << "' ("
                 << stats.num_entries << " entries, "
@@ -320,6 +338,9 @@ Status Database::DropIndexes(const std::string& view_name) {
   view->btree_indexes.clear();
   view->feature_index.reset();
   view->bbox_index.reset();
+  // Index availability shapes plans, so a memoized plan for the old
+  // index set must not be replayed against the stripped view.
+  view->version = NextViewVersion();
   return Status::OK();
 }
 

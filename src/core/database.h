@@ -51,6 +51,13 @@ struct ViewCache {
   std::unique_ptr<BallTree> feature_index;           // over features
   std::unique_ptr<RTree> bbox_index;                 // over bboxes
 
+  /// Monotone cache-invalidation token for memoized plans (core/planner.h):
+  /// bumped (process-globally, so re-registering a view never reuses a
+  /// version) whenever the Database swaps this view's contents or mutates
+  /// its index set. Hand-built ViewCaches keep version 0, which the plan
+  /// cache treats as "never memoize".
+  uint64_t version = 0;
+
   /// True when queries stream from the columnar file instead of RAM.
   bool disk_backed() const { return columnar != nullptr && patches.empty(); }
 };

@@ -1,12 +1,21 @@
 #include "core/planner.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iomanip>
+#include <list>
+#include <mutex>
+#include <numeric>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "common/env.h"
+#include "core/cost_model.h"
 #include "exec/aggregates.h"
 #include "exec/pipeline.h"
+#include "sim/accuracy.h"
 #include "storage/columnar/async_loader.h"
 #include "storage/columnar/format.h"
 
@@ -40,11 +49,23 @@ const char* SimJoinStrategyName(SimJoinStrategy strategy) {
   return "?";
 }
 
+double CascadeThresholdFromEnv() {
+  return BoundedDoubleFromEnv("DEEPLENS_CASCADE_THRESHOLD", /*fallback=*/1.0,
+                              /*min_value=*/0.0, /*max_value=*/1.0);
+}
+
+uint64_t PlanCacheEntriesFromEnv() {
+  return PositiveIntFromEnv("DEEPLENS_PLAN_CACHE_ENTRIES", /*fallback=*/128,
+                            /*max_value=*/1u << 20, /*allow_zero=*/true);
+}
+
 namespace {
 
 // Reports the NN UDFs a predicate will run per evaluated row — and
 // whether the inference cache memoizes them — so Explain() stays honest
-// about the plan's compute/cache interaction.
+// about the plan's compute/cache interaction. Called with the *executed*
+// predicate, so the UDF list reflects the order they actually run in
+// after any conjunct reordering.
 PlanExplanation AnnotateUdfUse(PlanExplanation plan,
                                const ExprPtr& predicate) {
   if (!predicate) return plan;
@@ -84,65 +105,278 @@ PlanExplanation AnnotateUdfUse(PlanExplanation plan,
   return plan;
 }
 
-}  // namespace
+// --- Conjunct cost estimation -------------------------------------------
 
-PlanExplanation Planner::PlanScan(const ViewCache& view,
-                                  const ExprPtr& predicate) {
-  PlanExplanation plan;
-  if (view.disk_backed()) {
-    // Disk-backed view: no resident rows, no in-memory indexes. The scan
-    // streams chunks, pruned by footer zone maps against the sargable
-    // conjuncts — prune counts are known at plan time, before any I/O.
-    plan.path = AccessPath::kColumnarScan;
-    const columnar::PredicatePushdown down =
-        columnar::ExtractPushdown(predicate);
-    const size_t total = view.columnar->num_chunks();
-    const size_t kept = view.columnar->SelectChunks(down.preds).size();
-    plan.columnar.used = true;
-    plan.columnar.chunks_total = total;
-    plan.columnar.chunks_pruned = total - kept;
-    plan.columnar.sargable_conjuncts = down.preds.size();
-    plan.columnar.fully_sargable = down.fully_sargable;
-    plan.columnar.prefetch_depth = columnar::PrefetchDepthFromEnv();
-    plan.candidates = view.columnar->total_rows();
-    std::ostringstream desc;
-    desc << "columnar chunk scan: zone maps pruned " << (total - kept) << "/"
-         << total << " chunks, " << down.preds.size()
-         << " pushed conjunct(s)";
-    if (predicate != nullptr) {
-      desc << (down.fully_sargable ? " (fully sargable)"
-                                   : " + residual filter");
+// Base per-row costs (ms) for predicate shapes with no UDFs: a direct
+// metadata comparison vs a tree-walked opaque conjunct. Only the relative
+// magnitudes matter — any NN UDF dwarfs both.
+constexpr double kSargableCostMs = 0.0001;
+constexpr double kOpaqueCostMs = 0.0005;
+// A cascade's proxy evaluation is not free; below this estimated cost the
+// full conjunct is cheap enough that skipping it cannot pay.
+constexpr double kCascadeMinCostMs = 0.05;
+
+struct RankedConjunct {
+  ExprPtr expr;
+  size_t source_index = 0;
+  uint64_t shape_fp = 0;
+  double cost_ms = 0.0;
+  double selectivity = 1.0;
+  bool sargable = false;
+  std::vector<UdfUse> udfs;
+};
+
+RankedConjunct EstimateConjunct(const ExprPtr& c, size_t source_index) {
+  RankedConjunct rc;
+  rc.expr = c;
+  rc.source_index = source_index;
+  rc.shape_fp = ConjunctShapeFingerprint(c);
+  c->CollectUdfUse(&rc.udfs);
+  int op = 0;
+  size_t slot = 0;
+  std::string key;
+  MetaValue value;
+  rc.sargable = c->AsAttrCmpLit(&op, &slot, &key, &value);
+  // Textbook selectivity priors until observation takes over: equality
+  // is the most selective, ranges moderate, opaque trees unknown.
+  const double fallback_sel =
+      rc.sargable ? (op == 0 ? 0.1 : 0.33) : 0.5;
+  rc.cost_ms = rc.sargable ? kSargableCostMs : kOpaqueCostMs;
+  CostModel* cm = CostModel::Global();
+  for (const UdfUse& u : rc.udfs) {
+    rc.cost_ms += cm->ExpectedUdfMs(u.model, u.cache_hit_rate);
+  }
+  rc.selectivity = cm->Selectivity(rc.shape_fp, fallback_sel);
+  return rc;
+}
+
+// The classic optimal ordering for independent conjuncts: ascending
+// cost / (1 - selectivity), i.e. cost per *eliminated* row. A conjunct
+// that passes everything (selectivity → 1) eliminates nothing and sorts
+// last however cheap it is. Ties (identical shapes, no observations)
+// keep source order via stable_sort, so an unprofiled predicate executes
+// exactly as written.
+double RankKey(const RankedConjunct& rc) {
+  return rc.cost_ms / std::max(1e-6, 1.0 - rc.selectivity);
+}
+
+// Shape key of the whole predicate: conjunct shape fingerprints in
+// written order plus the cascade threshold (the threshold changes what
+// the planner would decide, so plans for different thresholds must not
+// alias). FNV-1a over the parts.
+uint64_t PredicateShapeKey(const std::vector<RankedConjunct>& conjuncts,
+                           double threshold) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
     }
-    desc << ", prefetch depth " << plan.columnar.prefetch_depth;
-    plan.description = desc.str();
-    return AnnotateUdfUse(std::move(plan), predicate);
-  }
-  plan.description = "full scan (no usable index)";
-  if (!predicate) {
-    plan.description = "full scan (no predicate)";
-    return plan;
-  }
-  std::vector<ExprPtr> conjuncts;
-  CollectConjuncts(predicate, &conjuncts);
+  };
+  for (const RankedConjunct& c : conjuncts) mix(c.shape_fp);
+  uint64_t threshold_bits = 0;
+  static_assert(sizeof(threshold_bits) == sizeof(threshold));
+  std::memcpy(&threshold_bits, &threshold, sizeof(threshold_bits));
+  mix(threshold_bits);
+  return h;
+}
 
-  // Prefer equality-on-hash, then equality-on-btree, then btree range;
-  // only slot-0 patterns are sargable on a single-view scan.
+// --- Plan memoization ----------------------------------------------------
+
+// Expected per-row cost of one model at memoization time; a later lookup
+// re-derives the live value and discards the plan when it has drifted
+// beyond 2x (the break-even points that picked this order no longer
+// hold).
+struct UdfCostSnapshot {
+  std::string model;
+  double expected_ms = 0.0;
+};
+
+// One memoized planning decision. Everything needed to rebuild the
+// executed predicate from a fresh conjunct decomposition — never the
+// expression pointers themselves, which belong to the query that planned.
+struct PlanCacheEntry {
+  std::vector<size_t> order;    // executed order as source indices
+  std::vector<char> cascade;    // per executed position: wrap in cascade?
+  AccessPath path = AccessPath::kFullScan;
+  std::string index_key;
+  std::string base_description;
+  bool reordered = false;
+  std::vector<UdfCostSnapshot> udf_costs;
+};
+
+// Process-global LRU of memoized plans keyed by (view version, predicate
+// shape). View versions are never reused (core/database.cc), so stale
+// entries can never match; they age out of the LRU instead.
+class PlanCache {
+ public:
+  static PlanCache* Global() {
+    // Leaky singleton: queries may plan during static destruction of
+    // test fixtures; a destructed cache would be UB, a leaked one is not.
+    static PlanCache* cache = new PlanCache();
+    return cache;
+  }
+
+  bool Lookup(uint64_t version, uint64_t shape, PlanCacheEntry* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(Key{version, shape});
+    if (it == entries_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    *out = it->second.entry;
+    return true;
+  }
+
+  void RecordHit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+  }
+
+  void RecordMiss() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+  }
+
+  // Drift eviction: the entry is gone and the probe counts as a miss.
+  void Invalidate(uint64_t version, uint64_t shape) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(Key{version, shape});
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_pos);
+      entries_.erase(it);
+    }
+    ++invalidations_;
+    ++misses_;
+  }
+
+  void Insert(uint64_t version, uint64_t shape, PlanCacheEntry entry,
+              uint64_t max_entries) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Key key{version, shape};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      it->second.entry = std::move(entry);
+      return;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+    while (entries_.size() > max_entries && !lru_.empty()) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  Planner::PlanCacheStats Stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Planner::PlanCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.invalidations = invalidations_;
+    stats.entries = entries_.size();
+    return stats;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    lru_.clear();
+    hits_ = misses_ = invalidations_ = 0;
+  }
+
+ private:
+  struct Key {
+    uint64_t version = 0;
+    uint64_t shape = 0;
+    bool operator==(const Key& o) const {
+      return version == o.version && shape == o.shape;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.shape ^ (k.version * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct Slot {
+    PlanCacheEntry entry;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<Key, Slot, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+// Fresh expected cost of `model` given the hit rates observed in the
+// fresh conjunct decomposition (first use of the model wins; a predicate
+// runs each model under one cache).
+double FreshExpectedMs(const std::string& model,
+                       const std::vector<RankedConjunct>& conjuncts) {
+  for (const RankedConjunct& rc : conjuncts) {
+    for (const UdfUse& u : rc.udfs) {
+      if (u.model == model) {
+        return CostModel::Global()->ExpectedUdfMs(model, u.cache_hit_rate);
+      }
+    }
+  }
+  return CostModel::Global()->ExpectedUdfMs(model, 0.0);
+}
+
+// A memoized plan is replayable when it still describes the fresh
+// decomposition (permutation of the same conjunct count — the shape key
+// all but guarantees this; the check makes cache corruption impossible
+// to act on) and no UDF's live expected cost has drifted beyond 2x from
+// the memoized snapshot. The absolute floor keeps sub-0.05ms jitter
+// (cache warm-up on an already-cheap model) from churning plans that
+// would not change anyway.
+bool EntryStillValid(const PlanCacheEntry& entry,
+                     const std::vector<RankedConjunct>& conjuncts) {
+  if (entry.order.size() != conjuncts.size() ||
+      entry.cascade.size() != conjuncts.size()) {
+    return false;
+  }
+  std::vector<char> seen(conjuncts.size(), 0);
+  for (size_t pos : entry.order) {
+    if (pos >= conjuncts.size() || seen[pos]) return false;
+    seen[pos] = 1;
+  }
+  for (const UdfCostSnapshot& snap : entry.udf_costs) {
+    const double fresh = FreshExpectedMs(snap.model, conjuncts);
+    const double drift = std::fabs(fresh - snap.expected_ms);
+    if (drift > 0.05 && (fresh > 2.0 * snap.expected_ms ||
+                         fresh < 0.5 * snap.expected_ms)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Access-path selection over the source conjuncts: equality-on-hash,
+// then equality-on-btree, then btree range; only slot-0 patterns are
+// sargable on a single-view scan. Fills path/index_key/description.
+void ChooseAccessPath(const ViewCache& view,
+                      const std::vector<ExprPtr>& conjuncts,
+                      PlanCacheEntry* entry) {
+  entry->path = AccessPath::kFullScan;
+  entry->base_description = "full scan (no usable index)";
   for (const ExprPtr& c : conjuncts) {
     auto eq = MatchAttrEqLit(c);
     if (eq.has_value() && eq->slot == 0) {
       if (view.hash_indexes.count(eq->key)) {
-        plan.path = AccessPath::kHashLookup;
-        plan.index_key = eq->key;
-        plan.description =
+        entry->path = AccessPath::kHashLookup;
+        entry->index_key = eq->key;
+        entry->base_description =
             "hash index lookup on '" + eq->key + "', residual filter";
-        return AnnotateUdfUse(std::move(plan), predicate);
+        return;
       }
       if (view.btree_indexes.count(eq->key)) {
-        plan.path = AccessPath::kBTreeLookup;
-        plan.index_key = eq->key;
-        plan.description =
+        entry->path = AccessPath::kBTreeLookup;
+        entry->index_key = eq->key;
+        entry->base_description =
             "b+tree lookup on '" + eq->key + "', residual filter";
-        return AnnotateUdfUse(std::move(plan), predicate);
+        return;
       }
     }
   }
@@ -150,20 +384,256 @@ PlanExplanation Planner::PlanScan(const ViewCache& view,
     auto range = MatchAttrRange(c);
     if (range.has_value() && range->slot == 0 &&
         view.btree_indexes.count(range->key)) {
-      plan.path = AccessPath::kBTreeRange;
-      plan.index_key = range->key;
-      plan.description =
+      entry->path = AccessPath::kBTreeRange;
+      entry->index_key = range->key;
+      entry->base_description =
           "b+tree range scan on '" + range->key + "', residual filter";
-      return AnnotateUdfUse(std::move(plan), predicate);
+      return;
     }
   }
+}
+
+// Fresh planning decision: access path + cost-ranked order + cascade
+// eligibility per executed position.
+PlanCacheEntry DecidePlan(const ViewCache& view,
+                          const std::vector<RankedConjunct>& conjuncts,
+                          double threshold) {
+  PlanCacheEntry entry;
+  std::vector<ExprPtr> source;
+  source.reserve(conjuncts.size());
+  for (const RankedConjunct& rc : conjuncts) source.push_back(rc.expr);
+  ChooseAccessPath(view, source, &entry);
+
+  entry.order.resize(conjuncts.size());
+  std::iota(entry.order.begin(), entry.order.end(), size_t{0});
+  std::stable_sort(entry.order.begin(), entry.order.end(),
+                   [&](size_t a, size_t b) {
+                     return RankKey(conjuncts[a]) < RankKey(conjuncts[b]);
+                   });
+  for (size_t i = 0; i < entry.order.size(); ++i) {
+    entry.reordered = entry.reordered || entry.order[i] != i;
+  }
+
+  entry.cascade.assign(conjuncts.size(), 0);
+  if (threshold < 1.0) {
+    for (size_t i = 0; i < entry.order.size(); ++i) {
+      const RankedConjunct& rc = conjuncts[entry.order[i]];
+      if (rc.expr->has_proxy() && rc.cost_ms >= kCascadeMinCostMs) {
+        entry.cascade[i] = 1;
+      }
+    }
+  }
+
+  std::unordered_set<std::string> snapped;
+  for (const RankedConjunct& rc : conjuncts) {
+    for (const UdfUse& u : rc.udfs) {
+      if (!snapped.insert(u.model).second) continue;
+      entry.udf_costs.push_back(UdfCostSnapshot{
+          u.model,
+          CostModel::Global()->ExpectedUdfMs(u.model, u.cache_hit_rate)});
+    }
+  }
+  return entry;
+}
+
+// Realizes a planning decision (fresh or replayed) against the fresh
+// conjunct decomposition: builds the executed predicate and the full
+// explanation.
+ScanPlan BuildScanPlan(const ViewCache& view, const ExprPtr& predicate,
+                       const std::vector<RankedConjunct>& conjuncts,
+                       const PlanCacheEntry& entry, double threshold,
+                       bool from_cache) {
+  ScanPlan plan;
+  PlanExplanation& ex = plan.explanation;
+  ex.path = entry.path;
+  ex.index_key = entry.index_key;
+  ex.description = entry.base_description;
+  ex.reordered = entry.reordered;
+  ex.plan_cache_hit = from_cache;
+  ex.cascade.threshold = threshold;
+
+  bool any_cascade = false;
+  for (char c : entry.cascade) any_cascade = any_cascade || c != 0;
+  if (any_cascade) plan.telemetry = std::make_shared<CascadeTelemetry>();
+
+  std::ostringstream costs;
+  costs << std::scientific << std::setprecision(2);
+  ExprPtr exec;
+  std::string cascaded_texts;
+  for (size_t i = 0; i < entry.order.size(); ++i) {
+    const RankedConjunct& rc = conjuncts[entry.order[i]];
+    ConjunctCost cc;
+    cc.text = rc.expr->ToString();
+    cc.source_index = rc.source_index;
+    cc.cost_ms = rc.cost_ms;
+    cc.selectivity = rc.selectivity;
+    cc.sargable = rc.sargable;
+    cc.cascade = entry.cascade[i] != 0;
+    for (const UdfUse& u : rc.udfs) cc.udfs.push_back(u.model);
+    ex.conjunct_costs.push_back(cc);
+
+    if (i > 0) costs << ", ";
+    costs << cc.text << " cost=" << cc.cost_ms << "ms sel=" << std::fixed
+          << std::setprecision(2) << cc.selectivity << std::scientific
+          << std::setprecision(2);
+
+    ExprPtr c = rc.expr;
+    if (entry.cascade[i] != 0) {
+      if (!cascaded_texts.empty()) cascaded_texts += ", ";
+      cascaded_texts += cc.text;
+      c = MakeCascade(c, threshold, plan.telemetry);
+    }
+    exec = exec ? And(std::move(exec), std::move(c)) : std::move(c);
+  }
+  // Nothing changed → execute the predicate exactly as written (same
+  // tree, same short-circuit error order).
+  plan.exec_predicate =
+      (!entry.reordered && !any_cascade) ? predicate : exec;
+
+  if (!ex.conjunct_costs.empty()) {
+    ex.description += "; conjunct costs [" + costs.str() + "]";
+  }
+  if (entry.reordered) {
+    ex.description += "; conjuncts reordered by cost-per-eliminated-row";
+  }
+  if (any_cascade) {
+    ex.cascade.used = true;
+    ex.cascade.conjuncts = cascaded_texts;
+    std::ostringstream t;
+    t << std::fixed << std::setprecision(2) << threshold;
+    ex.description += "; proxy cascade on [" + cascaded_texts +
+                      "] at confidence >= " + t.str();
+  }
+  if (from_cache) {
+    ex.description +=
+        "; plan cache hit (view v" + std::to_string(view.version) + ")";
+  }
+  ex = AnnotateUdfUse(std::move(ex), plan.exec_predicate);
+  return plan;
+}
+
+PlanExplanation PlanColumnarScan(const ViewCache& view,
+                                 const ExprPtr& predicate) {
+  // Disk-backed view: no resident rows, no in-memory indexes. The scan
+  // streams chunks, pruned by footer zone maps against the sargable
+  // conjuncts — prune counts are known at plan time, before any I/O.
+  // Conjunct reordering and cascades do not apply: the pushdown already
+  // evaluates sargable conjuncts during decode, below the expression
+  // layer. (Cost-ranking the residual is an open follow-up.)
+  PlanExplanation plan;
+  plan.path = AccessPath::kColumnarScan;
+  const columnar::PredicatePushdown down =
+      columnar::ExtractPushdown(predicate);
+  const size_t total = view.columnar->num_chunks();
+  const size_t kept = view.columnar->SelectChunks(down.preds).size();
+  plan.columnar.used = true;
+  plan.columnar.chunks_total = total;
+  plan.columnar.chunks_pruned = total - kept;
+  plan.columnar.sargable_conjuncts = down.preds.size();
+  plan.columnar.fully_sargable = down.fully_sargable;
+  plan.columnar.prefetch_depth = columnar::PrefetchDepthFromEnv();
+  plan.candidates = view.columnar->total_rows();
+  std::ostringstream desc;
+  desc << "columnar chunk scan: zone maps pruned " << (total - kept) << "/"
+       << total << " chunks, " << down.preds.size()
+       << " pushed conjunct(s)";
+  if (predicate != nullptr) {
+    desc << (down.fully_sargable ? " (fully sargable)"
+                                 : " + residual filter");
+  }
+  desc << ", prefetch depth " << plan.columnar.prefetch_depth;
+  plan.description = desc.str();
   return AnnotateUdfUse(std::move(plan), predicate);
 }
+
+}  // namespace
+
+ScanPlan Planner::PlanScanFull(const ViewCache& view,
+                               const ExprPtr& predicate) {
+  if (view.disk_backed()) {
+    ScanPlan plan;
+    plan.explanation = PlanColumnarScan(view, predicate);
+    plan.exec_predicate = predicate;
+    return plan;
+  }
+  if (!predicate) {
+    ScanPlan plan;
+    plan.explanation.description = "full scan (no predicate)";
+    return plan;
+  }
+
+  std::vector<ExprPtr> source;
+  CollectConjuncts(predicate, &source);
+  std::vector<RankedConjunct> conjuncts;
+  conjuncts.reserve(source.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    conjuncts.push_back(EstimateConjunct(source[i], i));
+  }
+
+  const double threshold = CascadeThresholdFromEnv();
+  const uint64_t max_entries = PlanCacheEntriesFromEnv();
+  // Hand-built ViewCaches (version 0) have no invalidation signal, so
+  // their plans are never memoized.
+  const bool memoizable = view.version != 0 && max_entries > 0;
+  const uint64_t shape = PredicateShapeKey(conjuncts, threshold);
+
+  PlanCache* cache = PlanCache::Global();
+  if (memoizable) {
+    PlanCacheEntry cached;
+    if (cache->Lookup(view.version, shape, &cached)) {
+      if (EntryStillValid(cached, conjuncts)) {
+        cache->RecordHit();
+        return BuildScanPlan(view, predicate, conjuncts, cached, threshold,
+                             /*from_cache=*/true);
+      }
+      cache->Invalidate(view.version, shape);
+    } else {
+      cache->RecordMiss();
+    }
+  }
+
+  PlanCacheEntry entry = DecidePlan(view, conjuncts, threshold);
+  if (memoizable) {
+    cache->Insert(view.version, shape, entry, max_entries);
+  }
+  return BuildScanPlan(view, predicate, conjuncts, entry, threshold,
+                       /*from_cache=*/false);
+}
+
+PlanExplanation Planner::PlanScan(const ViewCache& view,
+                                  const ExprPtr& predicate) {
+  return PlanScanFull(view, predicate).explanation;
+}
+
+void Planner::FinalizeScanPlan(ScanPlan* plan) {
+  if (plan->telemetry == nullptr) return;
+  const CascadeTelemetry& tel = *plan->telemetry;
+  CascadeReport& report = plan->explanation.cascade;
+  report.proxy_evals = tel.proxy_evals.load(std::memory_order_relaxed);
+  report.proxy_skips = tel.proxy_skips.load(std::memory_order_relaxed);
+  report.full_evals = tel.full_evals.load(std::memory_order_relaxed);
+  report.audits = tel.audits.load(std::memory_order_relaxed);
+  report.audit_overturns =
+      tel.audit_overturns.load(std::memory_order_relaxed);
+  const sim::PrecisionRecall pr = sim::EstimateCascadeAccuracy(
+      tel.passes.load(std::memory_order_relaxed), report.proxy_skips,
+      report.audits, report.audit_overturns);
+  report.est_precision = pr.precision();
+  report.est_recall = pr.recall();
+}
+
+Planner::PlanCacheStats Planner::GetPlanCacheStats() {
+  return PlanCache::Global()->Stats();
+}
+
+void Planner::ResetPlanCacheForTest() { PlanCache::Global()->Reset(); }
 
 namespace {
 
 // Fetches the candidate row ids for an index-backed plan; returns false
-// when the plan is a full scan (no index consulted).
+// when the plan is a full scan (no index consulted). Matches against the
+// *source* predicate — the index conjunct's position in the executed
+// order is irrelevant to which rows the index returns.
 bool CollectIndexCandidates(const ViewCache& view, const ExprPtr& predicate,
                             const PlanExplanation& plan,
                             std::vector<RowId>* candidates) {
@@ -270,7 +740,8 @@ Status DriveColumnarScan(const ViewCache& view, const ExprPtr& predicate,
 Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
                                              const ExprPtr& predicate,
                                              PlanExplanation* explanation) {
-  PlanExplanation local = PlanScan(view, predicate);
+  ScanPlan plan = PlanScanFull(view, predicate);
+  PlanExplanation& local = plan.explanation;
 
   if (local.path == AccessPath::kColumnarScan) {
     PatchCollection out;
@@ -288,9 +759,10 @@ Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
   PatchCollection out;
   if (have_candidates) {
     // Index-driven path: few candidates, so a single compiled-predicate
-    // pass beats spinning up morsels.
+    // pass beats spinning up morsels. The *executed* predicate still
+    // runs in ranked order over each candidate.
     local.candidates = candidates.size();
-    const CompiledPredicate compiled(predicate);
+    const CompiledPredicate compiled(plan.exec_predicate);
     for (RowId r : candidates) {
       const Patch& p = view.patches[static_cast<size_t>(r)];
       DL_ASSIGN_OR_RETURN(bool pass, compiled.EvalOnePatch(p));
@@ -299,8 +771,10 @@ Result<PatchCollection> Planner::ExecuteScan(const ViewCache& view,
   } else {
     // Full scan: morsel-parallel batch evaluation with ordered merge.
     local.candidates = view.patches.size();
-    DL_ASSIGN_OR_RETURN(out, ParallelSelect(view.patches, predicate));
+    DL_ASSIGN_OR_RETURN(out,
+                        ParallelSelect(view.patches, plan.exec_predicate));
   }
+  FinalizeScanPlan(&plan);
   if (explanation != nullptr) *explanation = local;
   return out;
 }
@@ -311,9 +785,10 @@ namespace {
 // surviving candidates into `state` and finalize; disk-backed views fold
 // the streamed chunk rows (meta-only projection of `projected_keys` when
 // `need_row_content` is false and the pushdown covers the predicate);
-// full scans delegate to a pre-merge parallel aggregate. `accumulate` is
-// (State*, const Patch&), `finalize` is State -> Result<Out>, `full_scan`
-// is () -> Result<Out>.
+// full scans delegate to a pre-merge parallel aggregate run over the
+// *executed* (reordered/cascaded) predicate, which full_scan receives as
+// its argument. `accumulate` is (State*, const Patch&), `finalize` is
+// State -> Result<Out>, `full_scan` is (const ExprPtr&) -> Result<Out>.
 template <typename State, typename AccumulateFn, typename FinalizeFn,
           typename FullScanFn>
 auto ExecuteAggregateScan(const ViewCache& view, const ExprPtr& predicate,
@@ -323,8 +798,9 @@ auto ExecuteAggregateScan(const ViewCache& view, const ExprPtr& predicate,
                           const AccumulateFn& accumulate,
                           const FinalizeFn& finalize,
                           const FullScanFn& full_scan)
-    -> decltype(full_scan()) {
-  PlanExplanation local = Planner::PlanScan(view, predicate);
+    -> decltype(full_scan(predicate)) {
+  ScanPlan plan = Planner::PlanScanFull(view, predicate);
+  PlanExplanation& local = plan.explanation;
   if (local.path == AccessPath::kColumnarScan) {
     DL_RETURN_NOT_OK(DriveColumnarScan(
         view, predicate, projected_keys, need_row_content, &local,
@@ -335,18 +811,21 @@ auto ExecuteAggregateScan(const ViewCache& view, const ExprPtr& predicate,
   std::vector<RowId> candidates;
   if (CollectIndexCandidates(view, predicate, local, &candidates)) {
     local.candidates = candidates.size();
-    const CompiledPredicate compiled(predicate);
+    const CompiledPredicate compiled(plan.exec_predicate);
     for (RowId r : candidates) {
       const Patch& p = view.patches[static_cast<size_t>(r)];
       DL_ASSIGN_OR_RETURN(bool pass, compiled.EvalOnePatch(p));
       if (pass) accumulate(&state, p);
     }
+    Planner::FinalizeScanPlan(&plan);
     if (explanation != nullptr) *explanation = local;
     return finalize(std::move(state));
   }
   local.candidates = view.patches.size();
+  auto result = full_scan(plan.exec_predicate);
+  Planner::FinalizeScanPlan(&plan);
   if (explanation != nullptr) *explanation = local;
-  return full_scan();
+  return result;
 }
 
 }  // namespace
@@ -359,7 +838,7 @@ Result<uint64_t> Planner::ExecuteScanCount(const ViewCache& view,
       /*need_row_content=*/false, uint64_t{0},
       [](uint64_t* count, const Patch&) { ++*count; },
       [](uint64_t count) -> Result<uint64_t> { return count; },
-      [&] { return ParallelCount(view.patches, predicate); });
+      [&](const ExprPtr& pred) { return ParallelCount(view.patches, pred); });
 }
 
 Result<uint64_t> Planner::ExecuteScanCountDistinct(
@@ -374,7 +853,9 @@ Result<uint64_t> Planner::ExecuteScanCountDistinct(
       [](std::unordered_set<std::string> seen) -> Result<uint64_t> {
         return static_cast<uint64_t>(seen.size());
       },
-      [&] { return ParallelCountDistinctKey(view.patches, key, predicate); });
+      [&](const ExprPtr& pred) {
+        return ParallelCountDistinctKey(view.patches, key, pred);
+      });
 }
 
 Result<std::map<std::string, uint64_t>> Planner::ExecuteScanGroupCount(
@@ -388,7 +869,9 @@ Result<std::map<std::string, uint64_t>> Planner::ExecuteScanGroupCount(
         ++(*groups)[p.meta().Get(key).ToDisplayString()];
       },
       [](Groups groups) -> Result<Groups> { return groups; },
-      [&] { return ParallelGroupByCount(view.patches, key, predicate); });
+      [&](const ExprPtr& pred) {
+        return ParallelGroupByCount(view.patches, key, pred);
+      });
 }
 
 Result<std::optional<Patch>> Planner::ExecuteScanMinBy(
@@ -407,7 +890,9 @@ Result<std::optional<Patch>> Planner::ExecuteScanMinBy(
         }
       },
       [](Best best) -> Result<Best> { return best; },
-      [&] { return ParallelMinBy(view.patches, order_key, predicate); });
+      [&](const ExprPtr& pred) {
+        return ParallelMinBy(view.patches, order_key, pred);
+      });
 }
 
 PlanExplanation Planner::ExplainJoin(const std::string& key,

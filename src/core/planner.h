@@ -1,11 +1,15 @@
 // Rule/cost-based physical planning (paper §5 "Future Work: Visual Query
 // Optimizer" — prototyped here): selects access paths from available
-// indexes, picks similarity-join strategies from relation sizes and
-// dimensionality, and exposes its reasoning via PlanExplanation so
-// benchmarks can report which plan ran.
+// indexes, reorders AND conjuncts by observed cost-per-surviving-row so
+// cheap/cached predicates run before expensive models, inserts
+// proxy-model cascades around expensive UDF conjuncts, memoizes plan
+// decisions per (view version, predicate shape), picks similarity-join
+// strategies from relation sizes and dimensionality, and exposes its
+// reasoning via PlanExplanation so benchmarks can report which plan ran.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +17,7 @@
 #include "core/database.h"
 #include "exec/expression_patterns.h"
 #include "exec/joins.h"
+#include "exec/nn_udf.h"
 
 namespace deeplens {
 
@@ -46,6 +51,37 @@ struct ColumnarScanStats {
   uint64_t budget_waits = 0;        // worker stalled on depth/byte budget
 };
 
+/// Cost-model estimate for one AND conjunct, reported in *executed*
+/// order (after any reordering).
+struct ConjunctCost {
+  std::string text;           // conjunct expression, as executed
+  size_t source_index = 0;    // position in the predicate as written
+  double cost_ms = 0.0;       // estimated per-row evaluation cost
+  double selectivity = 1.0;   // estimated pass fraction
+  bool sargable = false;      // attr-vs-literal shape
+  bool cascade = false;       // wrapped in a proxy cascade
+  std::vector<std::string> udfs;  // models this conjunct runs per row
+};
+
+/// Execution report of the proxy cascades a plan inserted (exec/nn_udf.h).
+/// Static fields are known at plan time; the row counters fill in after
+/// execution. Precision/recall are the audit-slice estimate from
+/// sim::EstimateCascadeAccuracy — precision is 1.0 by construction (the
+/// cascade only ever *rejects* on the proxy; every emitted row was
+/// confirmed by the full model).
+struct CascadeReport {
+  bool used = false;
+  double threshold = 1.0;      // resolved DEEPLENS_CASCADE_THRESHOLD
+  std::string conjuncts;       // which conjunct(s) were cascaded
+  uint64_t proxy_evals = 0;    // rows where the proxy had an opinion
+  uint64_t proxy_skips = 0;    // full-model evaluations avoided
+  uint64_t full_evals = 0;     // rows that ran the full conjunct
+  uint64_t audits = 0;         // would-be skips run in full as an audit
+  uint64_t audit_overturns = 0;  // audits where the full model disagreed
+  double est_precision = 1.0;
+  double est_recall = 1.0;
+};
+
 /// What the planner decided and why.
 struct PlanExplanation {
   AccessPath path = AccessPath::kFullScan;
@@ -60,6 +96,16 @@ struct PlanExplanation {
   bool uses_inference_cache = false;
   /// Filled when `path` is kColumnarScan (disk-backed view).
   ColumnarScanStats columnar;
+  /// Per-conjunct cost estimates in executed order; empty for plans the
+  /// optimizer does not decompose (no predicate, columnar pushdown).
+  std::vector<ConjunctCost> conjunct_costs;
+  /// True when the executed conjunct order differs from the written one.
+  bool reordered = false;
+  /// Proxy-cascade decisions and (post-execution) accuracy accounting.
+  CascadeReport cascade;
+  /// True when this plan was replayed from the plan cache instead of
+  /// being re-derived.
+  bool plan_cache_hit = false;
   /// Fair-share class the query runs under ("tenant 'dash' weight 4");
   /// filled by Session::Explain, empty for plain Query::Explain.
   std::string scheduling_class;
@@ -78,6 +124,34 @@ enum class SimJoinStrategy {
 
 const char* SimJoinStrategyName(SimJoinStrategy strategy);
 
+/// Resolved DEEPLENS_CASCADE_THRESHOLD: minimum proxy-reject confidence
+/// at which the planner's cascades skip the full model, in [0, 1].
+/// 1.0 (the default) disables cascades entirely — results are then
+/// byte-identical to the exact plan.
+double CascadeThresholdFromEnv();
+
+/// Resolved DEEPLENS_PLAN_CACHE_ENTRIES: LRU capacity of the memoized
+/// plan cache. 0 disables memoization. Default 128.
+uint64_t PlanCacheEntriesFromEnv();
+
+/// A fully planned scan: the explanation plus the predicate to actually
+/// execute (conjuncts reordered by estimated cost-per-surviving-row,
+/// expensive proxy-capable conjuncts optionally wrapped in cascades).
+/// Reordering never changes the result set — AND is commutative and both
+/// the index path and the morsel driver's ordered merge preserve source
+/// row order — though when several conjuncts would *error* on the same
+/// row, which error surfaces first follows the executed order.
+struct ScanPlan {
+  PlanExplanation explanation;
+  /// Predicate to evaluate (null when the scan has none). Equals the
+  /// source predicate when the optimizer changed nothing.
+  ExprPtr exec_predicate;
+  /// Shared counters of every cascade in exec_predicate; null when no
+  /// cascade was inserted. Execution fills them; FinalizeScanPlan copies
+  /// them into the explanation.
+  std::shared_ptr<CascadeTelemetry> telemetry;
+};
+
 /// \brief The planner. Stateless; all inputs are explicit.
 class Planner {
  public:
@@ -85,6 +159,30 @@ class Planner {
   /// that exist on it.
   static PlanExplanation PlanScan(const ViewCache& view,
                                   const ExprPtr& predicate);
+
+  /// Full planning: access path + cost-ranked conjunct order + cascade
+  /// insertion + plan memoization. Plans for Database-registered views
+  /// (version != 0) are memoized per (view version, predicate shape,
+  /// cascade threshold) and replayed until the view changes or a UDF's
+  /// observed runtime drifts beyond 2x from the memoized snapshot.
+  static ScanPlan PlanScanFull(const ViewCache& view,
+                               const ExprPtr& predicate);
+
+  /// Copies a finished scan's cascade telemetry into its explanation and
+  /// computes the audit-slice accuracy estimate.
+  static void FinalizeScanPlan(ScanPlan* plan);
+
+  /// Observability for the memoized-plan cache (process-wide totals).
+  struct PlanCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // drift-evicted entries
+    uint64_t entries = 0;        // currently resident
+  };
+  static PlanCacheStats GetPlanCacheStats();
+
+  /// Drops all memoized plans and zeroes the stats (test isolation).
+  static void ResetPlanCacheForTest();
 
   /// Executes a scan with the chosen plan: index-driven candidate fetch,
   /// then residual predicate. Returns matching patches.

@@ -1,7 +1,9 @@
 #include "exec/expression.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/cost_model.h"
 #include "tensor/ops.h"
 
 namespace deeplens {
@@ -254,7 +256,86 @@ class CmpExpr : public Expr {
     b_->CollectUdfUse(out);
   }
 
+  bool has_proxy() const override {
+    const Expr* value_side = nullptr;
+    const LitExpr* lit = nullptr;
+    bool swapped = false;
+    return MatchProxySides(&value_side, &lit, &swapped);
+  }
+
+  Result<ProxyVerdict> EvalProxy(const PatchTuple& tuple) const override {
+    const Expr* value_side = nullptr;
+    const LitExpr* lit = nullptr;
+    bool swapped = false;
+    if (!MatchProxySides(&value_side, &lit, &swapped)) {
+      return ProxyVerdict{};
+    }
+    ProxyValue pv;
+    if (!value_side->EvalProxyValue(tuple, &pv)) return ProxyVerdict{};
+    const MetaValue& litv = lit->value();
+    if (pv.estimate.is_null() || litv.is_null()) {
+      // The full comparison over a null side evaluates to null, which a
+      // predicate treats as non-matching — the proxy can assert that
+      // with its own confidence.
+      return ProxyVerdict{false, pv.confidence};
+    }
+    const auto est_num = pv.estimate.AsNumeric();
+    const auto lit_num = litv.AsNumeric();
+    int c = pv.estimate.Compare(litv);
+    if (swapped) c = -c;
+    bool pass = false;
+    switch (kind_) {
+      case CmpKind::kEq: pass = c == 0; break;
+      case CmpKind::kNe: pass = c != 0; break;
+      case CmpKind::kLt: pass = c < 0; break;
+      case CmpKind::kLe: pass = c <= 0; break;
+      case CmpKind::kGt: pass = c > 0; break;
+      case CmpKind::kGe: pass = c >= 0; break;
+    }
+    if (!est_num.ok() || !lit_num.ok()) {
+      // Non-numeric (e.g. OCR text): only exact-match comparisons carry
+      // proxy meaning; ordering a guessed string is noise.
+      if (kind_ == CmpKind::kEq || kind_ == CmpKind::kNe) {
+        return ProxyVerdict{pass, pv.confidence};
+      }
+      return ProxyVerdict{};
+    }
+    // Numeric: confidence grows with the estimate-vs-literal margin
+    // relative to the proxy's error bound. An estimate within the band
+    // of an equality literal is "maybe equal" — no confidence either way.
+    const double est = est_num.value();
+    const double lv = lit_num.value();
+    const double denom = std::max(std::max(std::fabs(est), std::fabs(lv)),
+                                  1e-9);
+    const double margin = std::fabs(est - lv) / denom;
+    const double rel = std::max(pv.rel_error, 1e-6);
+    double confidence;
+    if (kind_ == CmpKind::kEq || kind_ == CmpKind::kNe) {
+      confidence = margin <= rel
+                       ? 0.0
+                       : pv.confidence *
+                             std::min(1.0, (margin - rel) / (3.0 * rel));
+    } else {
+      confidence = pv.confidence * std::min(1.0, margin / (4.0 * rel));
+    }
+    return ProxyVerdict{pass, confidence};
+  }
+
  private:
+  // Matches the (proxy-capable value) <op> (literal) shape, either side.
+  bool MatchProxySides(const Expr** value_side, const LitExpr** lit,
+                       bool* swapped) const {
+    *value_side = a_.get();
+    *lit = dynamic_cast<const LitExpr*>(b_.get());
+    *swapped = false;
+    if (*lit == nullptr || !(*value_side)->has_proxy_value()) {
+      *value_side = b_.get();
+      *lit = dynamic_cast<const LitExpr*>(a_.get());
+      *swapped = true;
+    }
+    return *lit != nullptr && (*value_side)->has_proxy_value();
+  }
+
   CmpKind kind_;
   ExprPtr a_, b_;
 };
@@ -481,6 +562,27 @@ void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
 
 }  // namespace
 
+// Selectivity is only observed for the first kMaxTrackedSteps conjuncts:
+// the batch-local counters live on the eval loops' stack, so the bound
+// keeps them fixed-size (predicates beyond it still execute correctly,
+// their tail conjuncts just keep their plan-time estimates).
+constexpr size_t kMaxTrackedSteps = 16;
+
+CompiledPredicate::SelectivityCounters::SelectivityCounters(
+    std::vector<uint64_t> fps)
+    : shape_fps(std::move(fps)),
+      evaluated(shape_fps.size()),
+      passed(shape_fps.size()) {}
+
+CompiledPredicate::SelectivityCounters::~SelectivityCounters() {
+  CostModel* model = CostModel::Global();
+  for (size_t i = 0; i < shape_fps.size(); ++i) {
+    model->RecordSelectivity(shape_fps[i],
+                             evaluated[i].load(std::memory_order_relaxed),
+                             passed[i].load(std::memory_order_relaxed));
+  }
+}
+
 CompiledPredicate::CompiledPredicate(ExprPtr pred) {
   if (!pred) return;
   std::vector<ExprPtr> conjuncts;
@@ -488,16 +590,27 @@ CompiledPredicate::CompiledPredicate(ExprPtr pred) {
   steps_.reserve(conjuncts.size());
   for (const ExprPtr& c : conjuncts) {
     Step step;
+    step.shape_fp = ConjunctShapeFingerprint(c);
     if (!c->AsAttrCmpLit(&step.op, &step.slot, &step.key, &step.value)) {
       step.fallback = c;
     }
     steps_.push_back(std::move(step));
   }
+  std::vector<uint64_t> fps;
+  fps.reserve(std::min(steps_.size(), kMaxTrackedSteps));
+  for (size_t i = 0; i < steps_.size() && i < kMaxTrackedSteps; ++i) {
+    fps.push_back(steps_[i].shape_fp);
+  }
+  if (!fps.empty()) {
+    counters_ = std::make_shared<SelectivityCounters>(std::move(fps));
+  }
   std::vector<UdfUse> udfs;
   pred->CollectUdfUse(&udfs);
   for (const UdfUse& u : udfs) {
-    // Priming only pays off when a cache will consume the fingerprint.
-    if (u.cached) has_nn_udf_ = true;
+    // Priming only pays off when a cache will consume the fingerprint —
+    // and not through a cascade, whose skip path exists precisely to
+    // avoid touching the pixels of most rows.
+    if (u.cached && !u.cascaded) has_nn_udf_ = true;
   }
 }
 
@@ -516,25 +629,39 @@ bool CompiledPredicate::StepPasses(const Step& step, const MetaValue& attr) {
 
 Status CompiledPredicate::EvalTupleRows(const PatchTuple* rows, size_t n,
                                         uint8_t* out) const {
+  // Batch-local selectivity tallies, flushed with one atomic add per
+  // step after the loop, so morsel workers don't contend per row.
+  uint32_t eval_local[kMaxTrackedSteps] = {0};
+  uint32_t pass_local[kMaxTrackedSteps] = {0};
+  const size_t tracked =
+      counters_ ? std::min(steps_.size(), kMaxTrackedSteps) : 0;
   for (size_t i = 0; i < n; ++i) {
     const PatchTuple& row = rows[i];
     uint8_t pass = 1;
-    for (const Step& step : steps_) {
+    for (size_t s = 0; s < steps_.size(); ++s) {
+      const Step& step = steps_[s];
+      bool ok;
       if (step.fallback) {
-        DL_ASSIGN_OR_RETURN(bool ok, step.fallback->EvalBool(row));
-        if (!ok) {
-          pass = 0;
-          break;
-        }
-        continue;
+        DL_ASSIGN_OR_RETURN(ok, step.fallback->EvalBool(row));
+      } else {
+        DL_RETURN_NOT_OK(CheckSlot(step.slot, row));
+        ok = StepPasses(step, row[step.slot].meta().Get(step.key));
       }
-      DL_RETURN_NOT_OK(CheckSlot(step.slot, row));
-      if (!StepPasses(step, row[step.slot].meta().Get(step.key))) {
+      if (s < tracked) {
+        ++eval_local[s];
+        if (ok) ++pass_local[s];
+      }
+      if (!ok) {
         pass = 0;
         break;
       }
     }
     out[i] = pass;
+  }
+  for (size_t s = 0; s < tracked; ++s) {
+    counters_->evaluated[s].fetch_add(eval_local[s],
+                                      std::memory_order_relaxed);
+    counters_->passed[s].fetch_add(pass_local[s], std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -542,10 +669,16 @@ Status CompiledPredicate::EvalTupleRows(const PatchTuple* rows, size_t n,
 Status CompiledPredicate::EvalPatchRows(const Patch* rows, size_t n,
                                         uint8_t* out) const {
   PatchTuple scratch;  // materialized lazily, only for fallback conjuncts
+  uint32_t eval_local[kMaxTrackedSteps] = {0};
+  uint32_t pass_local[kMaxTrackedSteps] = {0};
+  const size_t tracked =
+      counters_ ? std::min(steps_.size(), kMaxTrackedSteps) : 0;
   for (size_t i = 0; i < n; ++i) {
     uint8_t pass = 1;
     bool materialized = false;
-    for (const Step& step : steps_) {
+    for (size_t s = 0; s < steps_.size(); ++s) {
+      const Step& step = steps_[s];
+      bool ok;
       if (step.fallback) {
         if (!materialized) {
           // Prime the fingerprint on the source row first: the memo is
@@ -561,23 +694,29 @@ Status CompiledPredicate::EvalPatchRows(const Patch* rows, size_t n,
           }
           materialized = true;
         }
-        DL_ASSIGN_OR_RETURN(bool ok, step.fallback->EvalBool(scratch));
-        if (!ok) {
-          pass = 0;
-          break;
+        DL_ASSIGN_OR_RETURN(ok, step.fallback->EvalBool(scratch));
+      } else {
+        if (step.slot != 0) {
+          return Status::OutOfRange("expression references tuple slot " +
+                                    std::to_string(step.slot) + " of 1");
         }
-        continue;
+        ok = StepPasses(step, rows[i].meta().Get(step.key));
       }
-      if (step.slot != 0) {
-        return Status::OutOfRange("expression references tuple slot " +
-                                  std::to_string(step.slot) + " of 1");
+      if (s < tracked) {
+        ++eval_local[s];
+        if (ok) ++pass_local[s];
       }
-      if (!StepPasses(step, rows[i].meta().Get(step.key))) {
+      if (!ok) {
         pass = 0;
         break;
       }
     }
     out[i] = pass;
+  }
+  for (size_t s = 0; s < tracked; ++s) {
+    counters_->evaluated[s].fetch_add(eval_local[s],
+                                      std::memory_order_relaxed);
+    counters_->passed[s].fetch_add(pass_local[s], std::memory_order_relaxed);
   }
   return Status::OK();
 }

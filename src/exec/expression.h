@@ -3,6 +3,7 @@
 // (joins bind multiple patches; attribute references carry a tuple slot).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +27,31 @@ struct UdfUse {
   /// True when the memoizing cache also persists results to disk (they
   /// survive process restarts).
   bool persistent = false;
+  /// Live hit rate of the memoizing cache at collection time (0 when
+  /// uncached) — the cost model's mixing weight between the hit-path and
+  /// full-model EWMAs.
+  double cache_hit_rate = 0.0;
+  /// True when the use sits behind a proxy cascade: most rows are
+  /// expected to never reach the model, so eager per-row work keyed on
+  /// "this predicate runs an NN UDF" (e.g. fingerprint priming) should
+  /// not fire for it.
+  bool cascaded = false;
+};
+
+/// Cheap-proxy estimate of an expression's value (nn_udf proxy models).
+/// `rel_error` bounds the estimate's relative error; `confidence` is the
+/// producer's trust in that bound, in [0, 1].
+struct ProxyValue {
+  MetaValue estimate;
+  double rel_error = 0.0;
+  double confidence = 0.0;
+};
+
+/// Cheap-proxy verdict for a boolean predicate node. `confidence` = 0
+/// means "no opinion — run the full predicate".
+struct ProxyVerdict {
+  bool pass = true;
+  double confidence = 0.0;
 };
 
 /// \brief Expression node. Eval returns a MetaValue; predicates are
@@ -80,6 +106,35 @@ class Expr {
     (void)key;
     (void)value;
     return false;
+  }
+
+  // --- Proxy-cascade hooks (default: no proxy) -------------------------
+
+  /// True when this *value* node can produce a cheap estimate of its
+  /// result (a proxy model exists for the UDF).
+  virtual bool has_proxy_value() const { return false; }
+
+  /// Fills a cheap estimate of this node's value for `tuple`. Returning
+  /// false means the proxy has no opinion for this row (the full model
+  /// must run); it is not an error.
+  virtual bool EvalProxyValue(const PatchTuple& tuple,
+                              ProxyValue* out) const {
+    (void)tuple;
+    (void)out;
+    return false;
+  }
+
+  /// True when this *predicate* node can render cheap verdicts (a
+  /// comparison over a proxy-capable value against a literal).
+  virtual bool has_proxy() const { return false; }
+
+  /// Cheap verdict for `tuple`. The default has no opinion; comparison
+  /// nodes over proxy-capable values derive confidence from the margin
+  /// between the estimate and the literal relative to the proxy's error
+  /// bound.
+  virtual Result<ProxyVerdict> EvalProxy(const PatchTuple& tuple) const {
+    (void)tuple;
+    return ProxyVerdict{};
   }
 };
 
@@ -165,11 +220,29 @@ class CompiledPredicate {
     MetaValue value;
     // Non-null → this conjunct is tree-evaluated instead.
     ExprPtr fallback;
+    // Shape fingerprint for selectivity observation (core/cost_model.h).
+    uint64_t shape_fp = 0;
+  };
+
+  // Per-step evaluated/passed counters shared by every copy of this
+  // predicate (morsel workers copy the predicate per stage). Eval loops
+  // accumulate batch-locally and flush once per call; the last owner's
+  // destructor publishes the totals to the global cost model, so the
+  // next query over the same conjunct shapes ranks them by observed
+  // selectivity.
+  struct SelectivityCounters {
+    explicit SelectivityCounters(std::vector<uint64_t> fps);
+    ~SelectivityCounters();  // publishes to CostModel::Global()
+
+    std::vector<uint64_t> shape_fps;
+    std::vector<std::atomic<uint64_t>> evaluated;
+    std::vector<std::atomic<uint64_t>> passed;
   };
 
   static bool StepPasses(const Step& step, const MetaValue& attr);
 
   std::vector<Step> steps_;  // empty = always true
+  std::shared_ptr<SelectivityCounters> counters_;
   // True when a conjunct runs a *cache-backed* NN UDF. EvalPatchRows
   // then primes the source row's fingerprint memo before materializing
   // the scratch tuple, so the memo persists in the view across repeated

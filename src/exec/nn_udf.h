@@ -7,8 +7,13 @@
 //
 // Both UDFs evaluate to null on patches without pixel data (so predicates
 // treat them as non-matching, mirroring absent metadata keys), and are
-// safe to evaluate concurrently from morsel workers.
+// safe to evaluate concurrently from morsel workers. Every evaluation
+// reports its wall time and cache hit/miss to CostModel::Global(), which
+// is what lets the planner rank conjuncts by observed cost.
 #pragma once
+
+#include <atomic>
+#include <memory>
 
 #include "cache/inference_cache.h"
 #include "exec/expression.h"
@@ -31,5 +36,39 @@ ExprPtr OcrTextUdf(size_t slot, const nn::TinyOcr* ocr,
 ExprPtr DepthUdf(size_t slot, const nn::TinyDepth* model, int frame_height,
                  InferenceCache* cache = nullptr,
                  nn::Device* device = nullptr);
+
+// --- Proxy cascades ------------------------------------------------------
+
+/// Execution counters for one cascade-wrapped conjunct, shared between the
+/// executing expression and the plan explanation. All counters are
+/// per-row and relaxed-atomic (morsel workers bump them concurrently).
+struct CascadeTelemetry {
+  /// Rows where the proxy rendered a verdict (any confidence).
+  std::atomic<uint64_t> proxy_evals{0};
+  /// Rows the proxy rejected confidently enough to skip the full model.
+  std::atomic<uint64_t> proxy_skips{0};
+  /// Rows that ran the full conjunct (proxy passed, low confidence, or
+  /// audit).
+  std::atomic<uint64_t> full_evals{0};
+  /// Would-be skips that ran the full model anyway as an accuracy audit.
+  std::atomic<uint64_t> audits{0};
+  /// Audited rows where the full model disagreed with the proxy's reject
+  /// (i.e. the skip would have dropped a true match).
+  std::atomic<uint64_t> audit_overturns{0};
+  /// Rows the cascade passed through to the result.
+  std::atomic<uint64_t> passes{0};
+};
+
+/// Wraps a proxy-capable conjunct in a reject-only cascade: when the
+/// conjunct's proxy rejects a row with confidence >= `threshold`, the full
+/// model is skipped and the row dropped; otherwise the full conjunct runs
+/// and decides. A deterministic 1-in-16 audit slice (by row fingerprint)
+/// runs the full model on would-be skips anyway — its result is used, so
+/// audited rows are always exact — and counts disagreements, giving
+/// Explain() a measured recall estimate. Precision is 1.0 by
+/// construction: every emitted row was confirmed by the full conjunct.
+/// `telemetry` may be null (counters dropped).
+ExprPtr MakeCascade(ExprPtr conjunct, double threshold,
+                    std::shared_ptr<CascadeTelemetry> telemetry);
 
 }  // namespace deeplens

@@ -432,6 +432,24 @@ Result<std::string> TinyOcr::RecognizeText(const Image& patch,
   return result;
 }
 
+bool TinyOcr::ProxyHasInk(const Image& patch) const {
+  if (patch.empty()) return false;
+  // Stride-2 scan: the 5×7 font's strokes span multiple pixels at any
+  // render scale the corpus produces, so sampling half the rows/columns
+  // still lands on ink when there is any. ~4× cheaper than the full
+  // binarization pass, and vastly cheaper than segmentation + per-glyph
+  // matched filters.
+  for (int y = 0; y < patch.height(); y += 2) {
+    for (int x = 0; x < patch.width(); x += 2) {
+      int lum = 0;
+      for (int c = 0; c < patch.channels(); ++c) lum += patch.At(x, y, c);
+      lum /= std::max(1, patch.channels());
+      if (lum >= kInkThreshold) return true;
+    }
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------
 // TinyDepth
 // ---------------------------------------------------------------------
@@ -463,6 +481,15 @@ TinyDepth::TinyDepth(float focal_times_height)
   for (int i = 0; i < kDepthConvFeatures; ++i) {
     w.At(0, 1 + i) = 0.02f * static_cast<float>(rng.NextGaussian());
   }
+}
+
+float TinyDepth::ProxyDepth(const BBox& bbox) const {
+  if (bbox.Height() <= 0) return 0.1f;
+  // The geometry cue carries head weight 1.0 while the conv features are
+  // scaled by 0.02; the proxy is the full prediction minus that small
+  // pixel-dependent residual, clamped like PredictDepth's output.
+  return std::max(0.1f,
+                  focal_times_height_ / static_cast<float>(bbox.Height()));
 }
 
 Result<float> TinyDepth::PredictDepth(const Image& patch, const BBox& bbox,

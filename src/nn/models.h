@@ -76,6 +76,12 @@ class TinyOcr {
   Result<std::string> RecognizeText(const Image& patch,
                                     Device* device) const;
 
+  /// Cheap proxy for RecognizeText: a subsampled ink scan. False means
+  /// no sampled pixel reaches the glyph-ink threshold, so the full
+  /// recognizer would almost certainly return "" — the planner's cascade
+  /// uses this to skip OCR on inkless patches.
+  bool ProxyHasInk(const Image& patch) const;
+
   const Network& network() const { return net_; }
 
  private:
@@ -97,6 +103,13 @@ class TinyDepth {
   /// in the source frame was `bbox` (frame height `frame_h` pixels).
   Result<float> PredictDepth(const Image& patch, const BBox& bbox,
                              int frame_h, Device* device) const;
+
+  /// Cheap proxy for PredictDepth: the projective-geometry cue alone,
+  /// skipping the conv feature extractor (whose contribution perturbs
+  /// the geometric estimate by a few percent). Used by the planner's
+  /// proxy cascades to reject rows whose estimate is far from the
+  /// predicate's threshold without running the network.
+  float ProxyDepth(const BBox& bbox) const;
 
   const Network& network() const { return conv_net_; }
 

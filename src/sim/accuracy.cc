@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 namespace deeplens {
 namespace sim {
@@ -77,6 +79,29 @@ PrecisionRecall ScorePairs(const std::vector<std::pair<int, int>>& found,
 double RelativeError(double predicted, double actual) {
   if (actual == 0.0) return predicted == 0.0 ? 0.0 : 1.0;
   return std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+PrecisionRecall EstimateCascadeAccuracy(uint64_t passes, uint64_t skips,
+                                        uint64_t audits,
+                                        uint64_t audit_overturns) {
+  PrecisionRecall pr;
+  // Counter-to-int clamp: these are per-query row counts, far below
+  // INT_MAX in practice, but a saturating cast keeps the metrics sane if
+  // a pathological workload ever overflows them.
+  auto clamp = [](uint64_t v) {
+    return v > static_cast<uint64_t>(std::numeric_limits<int>::max())
+               ? std::numeric_limits<int>::max()
+               : static_cast<int>(v);
+  };
+  pr.tp = clamp(passes);
+  pr.fp = 0;  // every emitted row was confirmed by the full model
+  if (audits > 0 && skips > 0) {
+    const double overturn_rate =
+        static_cast<double>(audit_overturns) / static_cast<double>(audits);
+    pr.fn = clamp(static_cast<uint64_t>(
+        overturn_rate * static_cast<double>(skips) + 0.5));
+  }
+  return pr;
 }
 
 }  // namespace sim

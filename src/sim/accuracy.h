@@ -3,6 +3,7 @@
 // error summaries. Used by the Figure 2 and Table 1 reproductions.
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <utility>
 #include <vector>
@@ -53,6 +54,17 @@ PrecisionRecall ScorePairs(const std::vector<std::pair<int, int>>& found,
 
 /// Relative error |predicted - actual| / actual.
 double RelativeError(double predicted, double actual);
+
+/// Accuracy estimate for a reject-only proxy cascade (exec/nn_udf.h) from
+/// its execution counters. Precision is exact (1.0): every emitted row was
+/// confirmed by the full model, so fp = 0. Recall is estimated from the
+/// audit slice: of `audits` would-be skips that ran the full model anyway,
+/// `audit_overturns` disagreed; scaling that disagreement rate over the
+/// `skips` unaudited rejects estimates the matches lost (fn). With no
+/// audits, skips are conservatively assumed lossless (fn = 0).
+PrecisionRecall EstimateCascadeAccuracy(uint64_t passes, uint64_t skips,
+                                        uint64_t audits,
+                                        uint64_t audit_overturns);
 
 }  // namespace sim
 }  // namespace deeplens

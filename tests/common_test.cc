@@ -526,5 +526,83 @@ TEST_F(ColumnarKnobTest, ViewFormatMatrix) {
   EXPECT_EQ(columnar::ViewFormatFromEnv(), "columnar");
 }
 
+// --- Optimizer knobs ------------------------------------------------------
+// DEEPLENS_CASCADE_THRESHOLD is the repo's first float knob: a garbage or
+// out-of-range value must fall back to 1.0 (cascades off), because a
+// half-parsed threshold silently trades accuracy. The plan-cache size
+// knob goes through the standard integer path with 0 = disabled.
+
+class OptimizerKnobTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("DEEPLENS_CASCADE_THRESHOLD");
+    unsetenv("DEEPLENS_PLAN_CACHE_ENTRIES");
+  }
+};
+
+TEST_F(OptimizerKnobTest, CascadeThresholdMatrix) {
+  const double kDefault = 1.0;
+  const struct {
+    const char* value;
+    double expected;
+  } kCases[] = {
+      {"0.25", 0.25},      // plain valid
+      {"1.0", 1.0},        // upper bound inclusive
+      {"0", 0.0},          // lower bound inclusive, integer form
+      {"1", 1.0},          // integer form
+      {"0.", 0.0},         // trailing dot is a bare decimal
+      {"", kDefault},      // empty rejected
+      {" 0.5", kDefault},  // leading whitespace rejected
+      {"0.5 ", kDefault},  // trailing whitespace rejected
+      {"0.5x", kDefault},  // trailing garbage rejected
+      {"-0.1", kDefault},  // below range rejected
+      {"1.5", kDefault},   // above range rejected
+      {"nan", kDefault},   // not a bare decimal
+      {"inf", kDefault},
+      {"1e-1", kDefault},  // scientific notation rejected
+      {"0x1p-1", kDefault},  // hex float rejected
+      {"0,5", kDefault},   // locale comma rejected
+      {".5", kDefault},    // leading dot: digits required before '.'
+      {"0..5", kDefault},  // double dot
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_CASCADE_THRESHOLD", c.value, 1);
+    EXPECT_EQ(BoundedDoubleFromEnv("DEEPLENS_CASCADE_THRESHOLD", kDefault,
+                                   0.0, 1.0),
+              c.expected)
+        << "value='" << c.value << "'";
+  }
+  unsetenv("DEEPLENS_CASCADE_THRESHOLD");
+  EXPECT_EQ(
+      BoundedDoubleFromEnv("DEEPLENS_CASCADE_THRESHOLD", kDefault, 0.0, 1.0),
+      kDefault);
+}
+
+TEST_F(OptimizerKnobTest, PlanCacheEntriesMatrix) {
+  const uint64_t kDefault = 128;
+  const struct {
+    const char* value;
+    uint64_t expected;
+  } kCases[] = {
+      {"64", 64},        // plain valid
+      {"1", 1},          // minimum useful capacity
+      {"0", 0},          // zero allowed: disables memoization
+      {"-1", kDefault},  // negative rejected
+      {"8q", kDefault},  // trailing garbage rejected
+      {"", kDefault},    // empty rejected
+      {" 8", kDefault},  // leading whitespace rejected
+      {"0x8", kDefault},
+      {"99999999999999999999", kDefault},  // overflow
+      {"2097152", kDefault},               // beyond the 2^20 cap
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_PLAN_CACHE_ENTRIES", c.value, 1);
+    EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_PLAN_CACHE_ENTRIES", kDefault,
+                                 1u << 20, /*allow_zero=*/true),
+              c.expected)
+        << "value='" << c.value << "'";
+  }
+}
+
 }  // namespace
 }  // namespace deeplens
