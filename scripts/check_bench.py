@@ -105,6 +105,14 @@ def pipeline_metrics(doc):
     dedup = doc.get("serving_dedup_rate")
     if isinstance(dedup, (int, float)):
         metrics["serving_dedup_rate"] = dedup
+    # Cross-query device batching: 4 sessions OCR-ing distinct panels on
+    # the simulated GPU, batch former off vs on. The ratio is the launch-
+    # overhead amortization from flushing concurrent sessions' patches as
+    # one device invocation; results are verified equal before timing.
+    unbatched_ms = case_ms(doc, "serving_ocr_unbatched_4s")
+    batched_ms = case_ms(doc, "serving_ocr_batched_4s")
+    if unbatched_ms and batched_ms:
+        metrics["device_batch_amortization"] = unbatched_ms / batched_ms
     return metrics
 
 

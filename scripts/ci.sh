@@ -12,6 +12,9 @@
 #   tsan      — ThreadSanitizer build of the `parallel`-labeled suites
 #   asan      — AddressSanitizer+UBSan build of the `parallel`- and
 #               `persistence`-labeled suites
+#   docs      — docs/KNOBS.md consistency: every DEEPLENS_* env knob
+#               referenced by src/ or bench/ (and ci.sh's own control
+#               vars) must appear in the knob reference table
 #
 # Usage: scripts/ci.sh [build-dir]
 #   DEEPLENS_CI_STAGES   comma/space-separated subset to run, in the
@@ -32,7 +35,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 NPROC="$(nproc)"
 
-STAGES="${DEEPLENS_CI_STAGES:-configure build test bench fuzz tsan asan}"
+STAGES="${DEEPLENS_CI_STAGES:-configure build test bench fuzz tsan asan docs}"
 STAGES="${STAGES//,/ }"
 if [[ "${DEEPLENS_SKIP_TSAN:-0}" == "1" ]]; then
   STAGES="$(printf '%s\n' $STAGES | grep -vx tsan | tr '\n' ' ' || true)"
@@ -103,7 +106,7 @@ stage_tsan() {
     -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             serving_test columnar_test optimizer_test
+             serving_test columnar_test optimizer_test batch_former_test
   (cd "$dir" && ctest --output-on-failure -L parallel)
 }
 
@@ -118,8 +121,35 @@ stage_asan() {
     -DDEEPLENS_BUILD_FUZZERS=OFF
   cmake --build "$dir" -j"$NPROC" \
     --target exec_parallel_test exec_batch_test cache_test persistence_test \
-             storage_test serving_test columnar_test optimizer_test
+             storage_test serving_test columnar_test optimizer_test \
+             batch_former_test
   (cd "$dir" && ctest --output-on-failure -L 'parallel|persistence')
+}
+
+stage_docs() {
+  # Knob-reference consistency: every DEEPLENS_* env knob the code reads
+  # must be documented in docs/KNOBS.md. Matches quoted string literals
+  # only, so preprocessor macros that merely share the prefix (e.g.
+  # DEEPLENS_SVB_X86) don't count as env knobs; tests/ is excluded
+  # because fixtures invent throwaway knob names on purpose.
+  local knobs missing=0
+  knobs="$( { grep -rhoE '"DEEPLENS_[A-Z0-9_]+"' src bench | tr -d '"';
+              grep -hoE 'DEEPLENS_(CI_STAGES|SKIP_TSAN)' scripts/ci.sh;
+            } | sort -u )"
+  if [[ ! -f docs/KNOBS.md ]]; then
+    echo "ci.sh: docs/KNOBS.md missing" >&2
+    return 1
+  fi
+  local knob
+  for knob in $knobs; do
+    if ! grep -q "$knob" docs/KNOBS.md; then
+      echo "ci.sh: knob ${knob} is read by the code but undocumented" \
+           "in docs/KNOBS.md" >&2
+      missing=1
+    fi
+  done
+  if [[ "$missing" == "1" ]]; then return 1; fi
+  echo "docs: all $(echo "$knobs" | wc -l) referenced knobs documented"
 }
 
 declare -a RAN_NAMES=() RAN_SECS=()
@@ -137,7 +167,7 @@ print_summary() {
 for stage in $STAGES; do
   if ! declare -F "stage_${stage}" > /dev/null; then
     echo "ci.sh: unknown stage '${stage}' (valid: configure build test" \
-         "bench fuzz tsan asan)" >&2
+         "bench fuzz tsan asan docs)" >&2
     exit 2
   fi
 done

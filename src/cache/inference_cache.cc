@@ -2,6 +2,9 @@
 
 #include "cache/cache_key.h"
 #include "cache/inflight.h"
+#include "common/clock.h"
+#include "core/cost_model.h"
+#include "exec/batch_former.h"
 #include "nn/device.h"
 
 namespace deeplens {
@@ -146,6 +149,89 @@ Result<std::vector<nn::Detection>> ParseDetections(ByteReader* reader) {
   return dets;
 }
 
+// The batch former engages only for a keyed miss (enabled cache) on a
+// former that is installed and configured on — otherwise the wrappers
+// keep their inline eval path, which is also the byte-identity oracle.
+BatchFormer* ActiveFormer(InferenceCache* cache, const std::string& key) {
+  if (cache == nullptr || key.empty()) return nullptr;
+  BatchFormer* former = cache->batch_former();
+  return (former != nullptr && former->enabled()) ? former : nullptr;
+}
+
+std::vector<BatchFormer::ItemOutcome> ReplicatedError(size_t n,
+                                                      const Status& status) {
+  return std::vector<BatchFormer::ItemOutcome>(
+      n, BatchFormer::ItemOutcome(status));
+}
+
+BatchFormer::BatchFn OcrBatchFn(const nn::TinyOcr* ocr, nn::Device* device) {
+  return [ocr, device](const std::vector<const BatchFormer::Item*>& items)
+             -> std::vector<BatchFormer::ItemOutcome> {
+    std::vector<const Image*> patches;
+    patches.reserve(items.size());
+    for (const BatchFormer::Item* item : items) {
+      patches.push_back(item->pixels);
+    }
+    Stopwatch sw;
+    auto texts = ocr->RecognizeTextBatch(patches, device);
+    if (!texts.ok()) return ReplicatedError(items.size(), texts.status());
+    CostModel::Global()->RecordDeviceBatch(model_names::kOcr, items.size(),
+                                           sw.ElapsedMillis());
+    std::vector<BatchFormer::ItemOutcome> out;
+    out.reserve(items.size());
+    for (std::string& text : *texts) {
+      out.emplace_back(InferenceValue{std::move(text)});
+    }
+    return out;
+  };
+}
+
+BatchFormer::BatchFn DepthBatchFn(const nn::TinyDepth* model,
+                                  nn::Device* device) {
+  return [model, device](const std::vector<const BatchFormer::Item*>& items)
+             -> std::vector<BatchFormer::ItemOutcome> {
+    // Pre-validate per item (the exact check — and message — PredictDepth
+    // applies) so one degenerate patch fails only its own callers and the
+    // rest of the batch stays byte-identical to unbatched execution.
+    std::vector<BatchFormer::ItemOutcome> out(
+        items.size(), BatchFormer::ItemOutcome(
+                          Status::Internal("depth batch: item not evaluated")));
+    std::vector<const Image*> patches;
+    std::vector<nn::BBox> bboxes;
+    std::vector<int> frame_hs;
+    std::vector<size_t> slots;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const BatchFormer::Item& item = *items[i];
+      if (item.pixels == nullptr || item.pixels->empty() ||
+          item.bbox.Height() <= 0) {
+        out[i] = BatchFormer::ItemOutcome(
+            Status::InvalidArgument("TinyDepth needs a non-degenerate patch"));
+        continue;
+      }
+      patches.push_back(item.pixels);
+      bboxes.push_back(item.bbox);
+      frame_hs.push_back(item.frame_h);
+      slots.push_back(i);
+    }
+    if (patches.empty()) return out;
+    Stopwatch sw;
+    auto depths = model->PredictDepthBatch(patches, bboxes, frame_hs, device);
+    if (!depths.ok()) {
+      for (size_t slot : slots) {
+        out[slot] = BatchFormer::ItemOutcome(depths.status());
+      }
+      return out;
+    }
+    CostModel::Global()->RecordDeviceBatch(model_names::kDepth, patches.size(),
+                                           sw.ElapsedMillis());
+    for (size_t j = 0; j < slots.size(); ++j) {
+      out[slots[j]] = BatchFormer::ItemOutcome(
+          InferenceValue{static_cast<double>((*depths)[j])});
+    }
+    return out;
+  };
+}
+
 }  // namespace
 
 size_t InferenceValue::ByteSize() const {
@@ -245,25 +331,49 @@ Result<std::string> CachedOcrText(const nn::TinyOcr& ocr,
       }
     }
   }
+  BatchFormer* former = ActiveFormer(cache, key);
+  // Miss-path compute, shared by the singleflight and standalone paths.
+  // With a former installed, the patch stages into the cross-query batch
+  // (the former Puts on our behalf before resolving the flight);
+  // otherwise it evaluates inline — the pre-batching behavior and the
+  // differential tests' oracle.
+  const auto compute = [&]() -> Result<InferenceValue> {
+    if (former != nullptr) {
+      bool led = false;
+      DL_ASSIGN_OR_RETURN(
+          auto shared,
+          former->Run(
+              InferenceCache::ModelOnDevice(model_names::kOcr, device), key,
+              BatchFormer::Item{&pixels, nn::BBox{}, 0}, cache,
+              OcrBatchFn(&ocr, device), &led));
+      if (led && computed != nullptr) *computed = true;
+      return InferenceValue(*shared);
+    }
+    if (computed != nullptr) *computed = true;  // flight leader
+    DL_ASSIGN_OR_RETURN(std::string text, ocr.RecognizeText(pixels, device));
+    InferenceValue value{text};
+    cache->Put(key, value);
+    return value;
+  };
   if (!key.empty() && cache->inflight() != nullptr) {
     // Singleflight the miss: under concurrent serving, K identical
     // misses in flight at once cost one model call. The leader Puts
     // before the flight resolves, so by the time followers (or late
     // arrivals) run, the cache answers.
-    DL_ASSIGN_OR_RETURN(
-        auto shared,
-        cache->inflight()->Do(key, [&]() -> Result<InferenceValue> {
-          if (computed != nullptr) *computed = true;  // flight leader
-          DL_ASSIGN_OR_RETURN(std::string text,
-                              ocr.RecognizeText(pixels, device));
-          InferenceValue value{text};
-          cache->Put(key, value);
-          return value;
-        }));
+    DL_ASSIGN_OR_RETURN(auto shared, cache->inflight()->Do(key, compute));
     if (const auto* text = std::get_if<std::string>(&shared->payload)) {
       return *text;
     }
     return Status::Internal("in-flight OCR value has non-string payload");
+  }
+  if (former != nullptr) {
+    // No singleflight table installed: the former's own staged map
+    // dedups identical concurrent misses.
+    DL_ASSIGN_OR_RETURN(InferenceValue value, compute());
+    if (const auto* text = std::get_if<std::string>(&value.payload)) {
+      return *text;
+    }
+    return Status::Internal("batched OCR value has non-string payload");
   }
   if (computed != nullptr) *computed = true;
   DL_ASSIGN_OR_RETURN(std::string text, ocr.RecognizeText(pixels, device));
@@ -292,22 +402,39 @@ Result<double> CachedDepth(const nn::TinyDepth& model, const Image& pixels,
       }
     }
   }
+  BatchFormer* former = ActiveFormer(cache, key);
+  const auto compute = [&]() -> Result<InferenceValue> {
+    if (former != nullptr) {
+      bool led = false;
+      DL_ASSIGN_OR_RETURN(
+          auto shared,
+          former->Run(
+              InferenceCache::ModelOnDevice(model_names::kDepth, device), key,
+              BatchFormer::Item{&pixels, bbox, frame_h}, cache,
+              DepthBatchFn(&model, device), &led));
+      if (led && computed != nullptr) *computed = true;
+      return InferenceValue(*shared);
+    }
+    if (computed != nullptr) *computed = true;  // flight leader
+    DL_ASSIGN_OR_RETURN(float predicted,
+                        model.PredictDepth(pixels, bbox, frame_h, device));
+    InferenceValue value{static_cast<double>(predicted)};
+    cache->Put(key, value);
+    return value;
+  };
   if (!key.empty() && cache->inflight() != nullptr) {
-    DL_ASSIGN_OR_RETURN(
-        auto shared,
-        cache->inflight()->Do(key, [&]() -> Result<InferenceValue> {
-          if (computed != nullptr) *computed = true;  // flight leader
-          DL_ASSIGN_OR_RETURN(
-              float predicted,
-              model.PredictDepth(pixels, bbox, frame_h, device));
-          InferenceValue value{static_cast<double>(predicted)};
-          cache->Put(key, value);
-          return value;
-        }));
+    DL_ASSIGN_OR_RETURN(auto shared, cache->inflight()->Do(key, compute));
     if (const double* depth = std::get_if<double>(&shared->payload)) {
       return *depth;
     }
     return Status::Internal("in-flight depth value has non-double payload");
+  }
+  if (former != nullptr) {
+    DL_ASSIGN_OR_RETURN(InferenceValue value, compute());
+    if (const double* depth = std::get_if<double>(&value.payload)) {
+      return *depth;
+    }
+    return Status::Internal("batched depth value has non-double payload");
   }
   if (computed != nullptr) *computed = true;
   DL_ASSIGN_OR_RETURN(float depth,

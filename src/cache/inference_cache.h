@@ -32,6 +32,7 @@
 namespace deeplens {
 
 class InflightTable;  // cache/inflight.h — includes this header back
+class BatchFormer;    // exec/batch_former.h — includes this header back
 
 /// Canonical model names used in cache keys and plan explanations.
 namespace model_names {
@@ -124,11 +125,21 @@ class InferenceCache {
   InflightTable* inflight() const { return inflight_; }
   void set_inflight(InflightTable* table) { inflight_ = table; }
 
+  /// Optional cross-query batch former (exec/batch_former.h): when set
+  /// *and* enabled, the Cached* wrappers stage their miss-path inference
+  /// into it so distinct patches from concurrent sessions amortize one
+  /// device invocation. Not owned; like the inflight table, the Database
+  /// owns one former and installs it on every inference cache so batches
+  /// form *across* tenants.
+  BatchFormer* batch_former() const { return batch_former_; }
+  void set_batch_former(BatchFormer* former) { batch_former_ = former; }
+
  protected:
   ShardedLruCache<InferenceValue> cache_;
 
  private:
   InflightTable* inflight_ = nullptr;
+  BatchFormer* batch_former_ = nullptr;
 };
 
 // --- Memoized inference entry points ------------------------------------

@@ -74,6 +74,76 @@ double CostModel::ExpectedUdfMs(const std::string& model,
   return hit_ms * hr + miss_ms * (1.0 - hr);
 }
 
+void CostModel::RecordDeviceBatch(const std::string& model, uint64_t items,
+                                  double ms) {
+  if (items == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  DeviceBatchProfile& p = device_batch_[model];
+  p.invocation_ms =
+      p.invocations == 0 ? ms : p.invocation_ms + kEwmaAlpha * (ms - p.invocation_ms);
+  const double n = static_cast<double>(items);
+  p.mean_items =
+      p.invocations == 0 ? n : p.mean_items + kEwmaAlpha * (n - p.mean_items);
+  ++p.invocations;
+  if (items == 1) {
+    p.single_ms = p.single_invocations == 0
+                      ? ms
+                      : p.single_ms + kEwmaAlpha * (ms - p.single_ms);
+    ++p.single_invocations;
+  }
+}
+
+std::optional<DeviceBatchProfile> CostModel::DeviceBatch(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = device_batch_.find(model);
+  if (it == device_batch_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BatchCostEstimate> CostModel::EstimateBatchCost(
+    const std::string& model) const {
+  DeviceBatchProfile p;
+  double unbatched_miss_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = device_batch_.find(model);
+    if (it == device_batch_.end() || it->second.invocations == 0) {
+      return std::nullopt;
+    }
+    p = it->second;
+    auto udf = udf_.find(model);
+    if (udf != udf_.end() && udf->second.miss_samples > 0) {
+      unbatched_miss_ms = udf->second.miss_ms;
+    }
+  }
+  BatchCostEstimate est;
+  est.mean_items = p.mean_items < 1.0 ? 1.0 : p.mean_items;
+  // The single-item reference: a flushed batch of one when we have seen
+  // one (same code path, so overhead is directly comparable), else the
+  // unbatched miss EWMA.
+  const double single =
+      p.single_invocations > 0 ? p.single_ms : unbatched_miss_ms;
+  if (est.mean_items > 1.25 && single > 0.0) {
+    // Two-point fit: invocation_ms ≈ overhead + marginal·mean_items and
+    // single ≈ overhead + marginal, solved for the marginal slope.
+    est.marginal_ms = (p.invocation_ms - single) / (est.mean_items - 1.0);
+    if (est.marginal_ms < 0.0) est.marginal_ms = 0.0;
+    est.overhead_ms = single - est.marginal_ms;
+    if (est.overhead_ms < 0.0) est.overhead_ms = 0.0;
+  } else {
+    // No occupancy spread yet: report the invocation cost as all
+    // marginal (no decomposition evidence).
+    est.marginal_ms = p.invocation_ms / est.mean_items;
+    est.overhead_ms = single > est.marginal_ms ? single - est.marginal_ms : 0.0;
+  }
+  const double per_item = p.invocation_ms / est.mean_items;
+  if (single > 0.0 && per_item > 0.0) {
+    est.amortized_speedup = single / per_item;
+  }
+  return est;
+}
+
 void CostModel::RecordSelectivity(uint64_t shape_fp, uint64_t evaluated,
                                   uint64_t passed) {
   if (evaluated == 0) return;
@@ -97,6 +167,7 @@ double CostModel::Selectivity(uint64_t shape_fp, double fallback) const {
 void CostModel::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   udf_.clear();
+  device_batch_.clear();
   selectivity_.clear();
 }
 

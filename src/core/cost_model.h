@@ -38,6 +38,28 @@ struct UdfCostProfile {
   uint64_t miss_samples = 0;
 };
 
+/// Per-model device-batch profile: EWMAs over whole-batch invocations
+/// flushed by the cross-query batch former (exec/batch_former.h).
+/// Single-item invocations are tracked separately — they are the
+/// "overhead only" observations that let EstimateBatchCost split an
+/// invocation into fixed and marginal parts.
+struct DeviceBatchProfile {
+  double invocation_ms = 0.0;  // one batched invocation, wall ms
+  double mean_items = 0.0;     // patches per invocation
+  double single_ms = 0.0;      // invocations that carried one patch
+  uint64_t invocations = 0;
+  uint64_t single_invocations = 0;
+};
+
+/// Two-part cost decomposition of a batched device invocation, surfaced
+/// through Explain() so plans can report expected batching benefit.
+struct BatchCostEstimate {
+  double overhead_ms = 0.0;   // fixed per-invocation cost (launch, sync)
+  double marginal_ms = 0.0;   // added cost per extra patch
+  double mean_items = 1.0;    // observed batch occupancy
+  double amortized_speedup = 1.0;  // single-item cost / per-patch batched
+};
+
 /// Stable fingerprint of one conjunct's *shape*. Attr-vs-literal
 /// comparisons are literal-abstracted (op, slot, key only) so observed
 /// selectivity pools across query constants; opaque conjuncts (UDF
@@ -64,6 +86,21 @@ class CostModel {
   /// `kDefaultHitMs`) for sides of the profile with no samples yet.
   double ExpectedUdfMs(const std::string& model, double hit_rate) const;
 
+  /// Records one batched device invocation of `model` covering `items`
+  /// patches in `ms` wall milliseconds (called from the batch former's
+  /// flush path).
+  void RecordDeviceBatch(const std::string& model, uint64_t items, double ms);
+
+  /// Batch profile for `model`, if any invocation has been recorded.
+  std::optional<DeviceBatchProfile> DeviceBatch(const std::string& model) const;
+
+  /// Overhead/marginal decomposition for `model`. The single-item
+  /// reference point is the single-invocation EWMA when observed,
+  /// otherwise the unbatched miss EWMA; nullopt until at least one batch
+  /// has been profiled.
+  std::optional<BatchCostEstimate> EstimateBatchCost(
+      const std::string& model) const;
+
   /// Records that a conjunct with shape `shape_fp` was evaluated over
   /// `evaluated` rows of which `passed` survived.
   void RecordSelectivity(uint64_t shape_fp, uint64_t evaluated,
@@ -89,6 +126,7 @@ class CostModel {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, UdfCostProfile> udf_;
+  std::unordered_map<std::string, DeviceBatchProfile> device_batch_;
   std::unordered_map<uint64_t, SelectivityCounts> selectivity_;
 };
 

@@ -27,6 +27,10 @@ Database::Database(std::string root)
 }
 
 void Database::ConfigureCaches(const CacheConfig& config) {
+  // Staged patches hold raw pointers into the caches being replaced;
+  // flush them out before retiring (holders stay safe either way via the
+  // retired list, but teardown should not leave batches half-formed).
+  batch_former_.Drain();
   if (inference_cache_) {
     // Raw-pointer holders (expressions, EtlOptions) keep the object
     // alive via the retired list, but Retire() drops its entries now so
@@ -56,6 +60,7 @@ void Database::ConfigureCaches(const CacheConfig& config) {
         config.inference_budget(), shards, config.admission);
   }
   inference_cache_->set_inflight(&inflight_);
+  inference_cache_->set_batch_former(&batch_former_);
   {
     // Tenant partitions were sized against the old budget; retire them
     // (raw-pointer holders stay safe) and let sessions rebuild lazily.
@@ -76,6 +81,11 @@ void Database::ConfigureServing(const ServingConfig& config) {
   serving_config_ = config;
   admission_gate_.Configure(config.max_concurrent_queries,
                             config.admission_wait_ms);
+  // Configure drains staged patches under the old policy first, so no
+  // session is left waiting on a batch sized for a config that no longer
+  // exists.
+  batch_former_.Configure(
+      BatchFormerConfig{config.device_batch_size, config.batch_wait_us});
   // Budgets re-partition under the new weights: retire existing tenant
   // partitions so the next CreateSession rebuilds them.
   std::lock_guard<std::mutex> lock(tenant_mu_);
@@ -96,6 +106,7 @@ InferenceCache* Database::TenantInferenceCache(const std::string& tenant) {
                                           cache_config_.inference_budget()),
         cache_config_.ResolvedShards(), cache_config_.admission);
     cache->set_inflight(&inflight_);
+    cache->set_batch_former(&batch_former_);
     it = tenant_caches_.emplace(tenant, std::move(cache)).first;
   }
   return it->second.get();

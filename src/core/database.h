@@ -16,6 +16,7 @@
 #include "cache/inflight.h"
 #include "cache/segment_cache.h"
 #include "core/serving.h"
+#include "exec/batch_former.h"
 #include "etl/generators.h"
 #include "etl/materialize.h"
 #include "etl/transformers.h"
@@ -117,6 +118,13 @@ class Database {
   /// dedup across tenants even when their caches are partitioned.
   InflightTable* inflight_table() { return &inflight_; }
 
+  /// The database-wide cross-query batch former: like the inflight
+  /// table, installed on every inference cache so concurrent sessions'
+  /// distinct cache-miss patches amortize one device invocation.
+  /// Configured from ServingConfig (DEEPLENS_DEVICE_BATCH_SIZE /
+  /// DEEPLENS_BATCH_WAIT_US); disabled by default.
+  BatchFormer* batch_former() { return &batch_former_; }
+
   /// `tenant`'s partitioned inference cache, created on first use with
   /// its weight-proportional slice of the configured inference budget
   /// (the shared cache for the empty tenant). Tenant partitions are
@@ -209,6 +217,7 @@ class Database {
   ServingConfig serving_config_;
   AdmissionGate admission_gate_;
   InflightTable inflight_;
+  BatchFormer batch_former_;
   // Per-tenant cache partitions, lazily built; guarded by tenant_mu_
   // (sessions may be created from concurrent serving threads).
   std::mutex tenant_mu_;

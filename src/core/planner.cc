@@ -102,6 +102,38 @@ PlanExplanation AnnotateUdfUse(PlanExplanation plan,
                  : all_persistent
                        ? " (memoized by persistent inference cache)"
                        : " (memoized by inference cache)");
+
+  // Cross-query device batching: report the configured batch shape and,
+  // once the cost model has profiled real flushes, the expected
+  // amortization (overhead + marginal decomposition).
+  uint64_t batch_size = 0;
+  for (const UdfUse& u : plan.udfs) {
+    batch_size = std::max(batch_size, u.device_batch_size);
+  }
+  if (batch_size > 0) {
+    plan.device_batching.enabled = true;
+    plan.device_batching.batch_size = batch_size;
+    std::string note = "; device batching: <=" + std::to_string(batch_size) +
+                       " patches/invocation";
+    for (const UdfUse& u : plan.udfs) {
+      if (u.device_batch_size == 0) continue;
+      auto est = CostModel::Global()->EstimateBatchCost(u.model);
+      if (!est) continue;
+      plan.device_batching.overhead_ms = est->overhead_ms;
+      plan.device_batching.marginal_ms = est->marginal_ms;
+      plan.device_batching.mean_items = est->mean_items;
+      plan.device_batching.amortized_speedup = est->amortized_speedup;
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << " (" << u.model << ": ~"
+         << est->overhead_ms << " ms/invocation + " << est->marginal_ms
+         << " ms/patch" << std::setprecision(1) << ", ~"
+         << est->amortized_speedup << "x amortized at " << est->mean_items
+         << " patches/batch)";
+      note += os.str();
+      break;  // one model's figures suffice; the former is shared
+    }
+    plan.description += note;
+  }
   return plan;
 }
 

@@ -113,6 +113,24 @@ struct PlanExplanation {
   /// in-flight computation (database-wide running total; filled by
   /// Session::Explain).
   uint64_t inflight_dedup_hits = 0;
+  /// Cross-query device batching (exec/batch_former.h). `enabled` is set
+  /// when any UDF in this plan stages misses into the former; the cost
+  /// figures come from the cost model's batch profile and stay zero
+  /// until a batch has been profiled.
+  struct DeviceBatchingInfo {
+    bool enabled = false;
+    uint64_t batch_size = 0;       // configured DEEPLENS_DEVICE_BATCH_SIZE
+    double overhead_ms = 0.0;      // fixed per-invocation cost
+    double marginal_ms = 0.0;      // per-patch marginal cost
+    double mean_items = 0.0;       // observed batch occupancy
+    double amortized_speedup = 0.0;  // single-item / per-patch batched
+  };
+  DeviceBatchingInfo device_batching;
+  /// Whole-batch device invocations the former has flushed and the
+  /// patches they covered (database-wide running totals; filled by
+  /// Session::Explain).
+  uint64_t device_batches_formed = 0;
+  uint64_t device_batched_patches = 0;
 };
 
 /// Similarity-join strategies (paper §5/§7.4).

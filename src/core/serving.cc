@@ -24,6 +24,15 @@ ServingConfig ServingConfig::FromEnv() {
       /*max_value=*/86400000ull, /*allow_zero=*/true);
   config.tenant_weights =
       WeightMapFromEnv(serving_env::kTenantPriority, kMaxWeight);
+  // Cap well above any plausible device batch: a larger value only adds
+  // latency (patches wait on a batch that drains slower than it fills).
+  config.device_batch_size = PositiveIntFromEnv(
+      serving_env::kDeviceBatchSize, config.device_batch_size,
+      /*max_value=*/4096, /*allow_zero=*/true);
+  // Cap at one minute: past that a "batching deadline" is really a hang.
+  config.batch_wait_us = PositiveIntFromEnv(
+      serving_env::kBatchWaitUs, config.batch_wait_us,
+      /*max_value=*/60000000ull, /*allow_zero=*/true);
   return config;
 }
 

@@ -30,6 +30,13 @@ inline constexpr const char* kAdmissionWaitMs = "DEEPLENS_ADMISSION_WAIT_MS";
 /// Comma-separated tenant=weight pairs, weights in [1, 1000]
 /// (e.g. "dash=4,batch=1"). Unlisted tenants get weight 1.
 inline constexpr const char* kTenantPriority = "DEEPLENS_TENANT_PRIORITY";
+/// Patches per cross-query device batch (exec/batch_former.h).
+/// 0 = batching disabled (the default: on CPU backends batching buys
+/// nothing and only adds latency; set it when serving on GpuSim).
+inline constexpr const char* kDeviceBatchSize = "DEEPLENS_DEVICE_BATCH_SIZE";
+/// Longest a staged patch waits for batch-mates before its submitter
+/// flushes the queue anyway, in microseconds.
+inline constexpr const char* kBatchWaitUs = "DEEPLENS_BATCH_WAIT_US";
 }  // namespace serving_env
 
 struct ServingConfig {
@@ -42,6 +49,16 @@ struct ServingConfig {
 
   /// Fair-share weight per tenant; unlisted tenants weigh 1.
   std::map<std::string, uint64_t> tenant_weights;
+
+  /// Cross-query device batch formation (exec/batch_former.h): staged
+  /// cache-miss patches per model invocation. 0 (the default) evaluates
+  /// misses inline — the pre-batching behavior.
+  uint64_t device_batch_size = 0;
+
+  /// Deadline a staged patch waits for batch-mates, in microseconds.
+  /// 0 = flush immediately (batches form only from an already-pending
+  /// backlog).
+  uint64_t batch_wait_us = 2000;
 
   /// Hard cap on a configured weight (keeps stride arithmetic exact and
   /// one tenant from starving the rest to rounding error).

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include "cache/inflight.h"
+#include "exec/batch_former.h"
 
 namespace deeplens {
 
@@ -15,6 +16,9 @@ Result<PlanExplanation> Session::Explain(Query& query) const {
   DL_ASSIGN_OR_RETURN(PlanExplanation plan, query.Explain());
   plan.scheduling_class = scheduling_class();
   plan.inflight_dedup_hits = db_->inflight_table()->Stats().joined;
+  const BatchFormerStats former = db_->batch_former()->Stats();
+  plan.device_batches_formed = former.invocations;
+  plan.device_batched_patches = former.batched_items;
   return plan;
 }
 

@@ -36,6 +36,10 @@ struct UdfUse {
   /// "this predicate runs an NN UDF" (e.g. fingerprint priming) should
   /// not fire for it.
   bool cascaded = false;
+  /// Nonzero when cache misses for this use stage into the cross-query
+  /// device batch former (exec/batch_former.h); the value is the
+  /// configured DEEPLENS_DEVICE_BATCH_SIZE.
+  uint64_t device_batch_size = 0;
 };
 
 /// Cheap-proxy estimate of an expression's value (nn_udf proxy models).

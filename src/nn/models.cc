@@ -432,6 +432,45 @@ Result<std::string> TinyOcr::RecognizeText(const Image& patch,
   return result;
 }
 
+Result<std::vector<std::string>> TinyOcr::RecognizeTextBatch(
+    const std::vector<const Image*>& patches, Device* device) const {
+  for (const Image* p : patches) {
+    if (p == nullptr) {
+      return Status::InvalidArgument("TinyOCR batch: null patch");
+    }
+  }
+  std::vector<std::string> result(patches.size());
+  if (device != nullptr && device->kind() == DeviceKind::kGpuSim) {
+    // One launch for the whole batch: per-patch segmentation + matched
+    // filters run data-parallel with host-vectorized math (the
+    // DetectBatch convention), so K staged patches pay one launch
+    // overhead instead of K.
+    size_t transfer_bytes = 0;
+    for (const Image* p : patches) transfer_bytes += p->size_bytes();
+    Device* on_device_math = GetDevice(DeviceKind::kCpuVector);
+    std::atomic<bool> failed{false};
+    device->ParallelMap(
+        patches.size(),
+        [&](size_t i) {
+          auto text = RecognizeText(*patches[i], on_device_math);
+          if (!text.ok()) {
+            failed = true;
+            return;
+          }
+          result[i] = *std::move(text);
+        },
+        transfer_bytes);
+    if (failed) return Status::Internal("batched OCR failed");
+    return result;
+  }
+  // CPU backends: the batch is a plain loop of the single-patch routine,
+  // so batched output is identical to unbatched by construction.
+  for (size_t i = 0; i < patches.size(); ++i) {
+    DL_ASSIGN_OR_RETURN(result[i], RecognizeText(*patches[i], device));
+  }
+  return result;
+}
+
 bool TinyOcr::ProxyHasInk(const Image& patch) const {
   if (patch.empty()) return false;
   // Stride-2 scan: the 5×7 font's strokes span multiple pixels at any
@@ -507,6 +546,46 @@ Result<float> TinyDepth::PredictDepth(const Image& patch, const BBox& bbox,
   }
   DL_ASSIGN_OR_RETURN(Tensor depth, head_.Forward(head_in, device));
   return std::max(0.1f, depth[0]);
+}
+
+Result<std::vector<float>> TinyDepth::PredictDepthBatch(
+    const std::vector<const Image*>& patches, const std::vector<BBox>& bboxes,
+    const std::vector<int>& frame_hs, Device* device) const {
+  if (patches.size() != bboxes.size() || patches.size() != frame_hs.size()) {
+    return Status::InvalidArgument("TinyDepth batch: mismatched item arrays");
+  }
+  for (size_t i = 0; i < patches.size(); ++i) {
+    if (patches[i] == nullptr || patches[i]->empty() ||
+        bboxes[i].Height() <= 0) {
+      return Status::InvalidArgument("TinyDepth needs a non-degenerate patch");
+    }
+  }
+  std::vector<float> result(patches.size(), 0.0f);
+  if (device != nullptr && device->kind() == DeviceKind::kGpuSim) {
+    size_t transfer_bytes = 0;
+    for (const Image* p : patches) transfer_bytes += p->size_bytes();
+    Device* on_device_math = GetDevice(DeviceKind::kCpuVector);
+    std::atomic<bool> failed{false};
+    device->ParallelMap(
+        patches.size(),
+        [&](size_t i) {
+          auto depth = PredictDepth(*patches[i], bboxes[i], frame_hs[i],
+                                    on_device_math);
+          if (!depth.ok()) {
+            failed = true;
+            return;
+          }
+          result[i] = *depth;
+        },
+        transfer_bytes);
+    if (failed) return Status::Internal("batched depth prediction failed");
+    return result;
+  }
+  for (size_t i = 0; i < patches.size(); ++i) {
+    DL_ASSIGN_OR_RETURN(
+        result[i], PredictDepth(*patches[i], bboxes[i], frame_hs[i], device));
+  }
+  return result;
 }
 
 }  // namespace nn

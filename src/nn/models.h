@@ -76,6 +76,13 @@ class TinyOcr {
   Result<std::string> RecognizeText(const Image& patch,
                                     Device* device) const;
 
+  /// Batched variant for the cross-query batch former: one device launch
+  /// for the whole batch on GpuSim, a plain loop of RecognizeText on CPU
+  /// backends (so batched output is identical to unbatched by
+  /// construction). Returns one string per patch, in order.
+  Result<std::vector<std::string>> RecognizeTextBatch(
+      const std::vector<const Image*>& patches, Device* device) const;
+
   /// Cheap proxy for RecognizeText: a subsampled ink scan. False means
   /// no sampled pixel reaches the glyph-ink threshold, so the full
   /// recognizer would almost certainly return "" — the planner's cascade
@@ -103,6 +110,15 @@ class TinyDepth {
   /// in the source frame was `bbox` (frame height `frame_h` pixels).
   Result<float> PredictDepth(const Image& patch, const BBox& bbox,
                              int frame_h, Device* device) const;
+
+  /// Batched variant for the cross-query batch former (parallel arrays,
+  /// one entry per item): one device launch on GpuSim, a loop of
+  /// PredictDepth on CPU backends. Any degenerate item fails the whole
+  /// batch — callers that need per-item isolation pre-validate.
+  Result<std::vector<float>> PredictDepthBatch(
+      const std::vector<const Image*>& patches,
+      const std::vector<BBox>& bboxes, const std::vector<int>& frame_hs,
+      Device* device) const;
 
   /// Cheap proxy for PredictDepth: the projective-geometry cue alone,
   /// skipping the conv feature extractor (whose contribution perturbs

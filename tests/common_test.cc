@@ -398,6 +398,8 @@ class ServingKnobTest : public ::testing::Test {
     unsetenv("DEEPLENS_MAX_CONCURRENT_QUERIES");
     unsetenv("DEEPLENS_ADMISSION_WAIT_MS");
     unsetenv("DEEPLENS_TENANT_PRIORITY");
+    unsetenv("DEEPLENS_DEVICE_BATCH_SIZE");
+    unsetenv("DEEPLENS_BATCH_WAIT_US");
   }
 };
 
@@ -439,6 +441,51 @@ TEST_F(ServingKnobTest, AdmissionWaitMsMatrix) {
   EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_ADMISSION_WAIT_MS", kDefault,
                                86400000ull, /*allow_zero=*/true),
             kDefault);
+}
+
+TEST_F(ServingKnobTest, DeviceBatchSizeMatrix) {
+  const uint64_t kDefault = 0;  // batching off
+  const struct {
+    const char* value;
+    uint64_t expected;
+  } kCases[] = {
+      {"16", 16},          // plain valid
+      {"0", 0},            // zero allowed: disables the former
+      {"4096", 4096},      // at the cap
+      {"4097", kDefault},  // beyond the cap rejected
+      {"-4", kDefault},    // negative rejected
+      {"4x", kDefault},    // trailing garbage rejected
+      {"", kDefault},      // empty rejected
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_DEVICE_BATCH_SIZE", c.value, 1);
+    EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_DEVICE_BATCH_SIZE", kDefault, 4096,
+                                 /*allow_zero=*/true),
+              c.expected)
+        << "value='" << c.value << "'";
+  }
+}
+
+TEST_F(ServingKnobTest, BatchWaitUsMatrix) {
+  const uint64_t kDefault = 2000;
+  const struct {
+    const char* value;
+    uint64_t expected;
+  } kCases[] = {
+      {"500", 500},          // plain valid
+      {"0", 0},              // zero allowed: flush immediately
+      {"60000000", 60000000},  // at the one-minute cap
+      {"60000001", kDefault},  // a "deadline" past a minute is a hang
+      {"2ms", kDefault},       // units rejected (bare microseconds only)
+      {"", kDefault},
+  };
+  for (const auto& c : kCases) {
+    setenv("DEEPLENS_BATCH_WAIT_US", c.value, 1);
+    EXPECT_EQ(PositiveIntFromEnv("DEEPLENS_BATCH_WAIT_US", kDefault,
+                                 60000000ull, /*allow_zero=*/true),
+              c.expected)
+        << "value='" << c.value << "'";
+  }
 }
 
 // --- Columnar storage knobs ----------------------------------------------
